@@ -1,0 +1,144 @@
+//! The agent's memory and symbol layout.
+//!
+//! On real hardware these addresses come from the linker map; EOF's
+//! adaptation step "analyzes the target embedded OS's memory layout"
+//! (paper workflow step ①). Here the layout is derived from the board's
+//! RAM window, and the code symbols sit in the flash-mapped region.
+
+use eof_coverage::CovRegion;
+use eof_hal::{BoardSpec, SymbolTable};
+
+/// Where the agent's buffers and sync symbols live for one board.
+#[derive(Debug, Clone)]
+pub struct AgentLayout {
+    /// Address of the u32 prog length, immediately followed by the prog
+    /// bytes.
+    pub prog_addr: u32,
+    /// Maximum prog bytes the buffer accepts.
+    pub prog_max: u32,
+    /// The coverage buffer region.
+    pub cov: CovRegion,
+    /// Code base for the agent's sync symbols.
+    pub code_base: u32,
+}
+
+/// Symbol offsets from `code_base`.
+const SYM_RESET: u32 = 0x0000;
+const SYM_EXECUTOR_MAIN: u32 = 0x0100;
+const SYM_READ_PROG: u32 = 0x0200;
+const SYM_EXECUTE_ONE: u32 = 0x0300;
+const SYM_KCMP_BUF_FULL: u32 = 0x0400;
+const SYM_IDLE: u32 = 0x0500;
+const SYM_ASSERT: u32 = 0x0e00;
+const SYM_EXCEPTION: u32 = 0x0f00;
+
+impl AgentLayout {
+    /// Derive the layout for a board. Tiny-RAM parts (MSP430 class) get
+    /// a compact layout with a smaller prog buffer and coverage ring.
+    pub fn for_board(board: &BoardSpec) -> Self {
+        let code_base = 0x0800_0000;
+        if board.ram_size < 0x8000 {
+            AgentLayout {
+                prog_addr: board.ram_base + 0x200,
+                prog_max: 1024,
+                cov: CovRegion::new(board.ram_base + 0x800, 128),
+                code_base,
+            }
+        } else {
+            AgentLayout {
+                prog_addr: board.ram_base + 0x1000,
+                prog_max: 4096,
+                cov: CovRegion::new(board.ram_base + 0x3000, 1024),
+                code_base,
+            }
+        }
+    }
+
+    /// Build the symbol table for the agent plus the OS's fault symbols.
+    pub fn symbols(&self, exception_symbol: &str, assert_symbol: &str) -> SymbolTable {
+        let mut t = SymbolTable::new();
+        t.insert("reset_vector", self.code_base + SYM_RESET);
+        t.insert("executor_main", self.code_base + SYM_EXECUTOR_MAIN);
+        t.insert("read_prog", self.code_base + SYM_READ_PROG);
+        t.insert("execute_one", self.code_base + SYM_EXECUTE_ONE);
+        t.insert("_kcmp_buf_full", self.code_base + SYM_KCMP_BUF_FULL);
+        t.insert("idle_loop", self.code_base + SYM_IDLE);
+        t.insert(assert_symbol, self.code_base + SYM_ASSERT);
+        t.insert(exception_symbol, self.code_base + SYM_EXCEPTION);
+        t
+    }
+
+    /// PC value of a named agent phase (used by the firmware stepper).
+    pub fn pc_executor_main(&self) -> u32 {
+        self.code_base + SYM_EXECUTOR_MAIN
+    }
+
+    /// PC at the prog decoder.
+    pub fn pc_read_prog(&self) -> u32 {
+        self.code_base + SYM_READ_PROG
+    }
+
+    /// PC at the per-call executor.
+    pub fn pc_execute_one(&self) -> u32 {
+        self.code_base + SYM_EXECUTE_ONE
+    }
+
+    /// PC at the coverage-buffer-full trap.
+    pub fn pc_buf_full(&self) -> u32 {
+        self.code_base + SYM_KCMP_BUF_FULL
+    }
+
+    /// PC in the idle loop.
+    pub fn pc_idle(&self) -> u32 {
+        self.code_base + SYM_IDLE
+    }
+
+    /// PC at the assertion reporter.
+    pub fn pc_assert(&self) -> u32 {
+        self.code_base + SYM_ASSERT
+    }
+
+    /// PC at the exception handler.
+    pub fn pc_exception(&self) -> u32 {
+        self.code_base + SYM_EXCEPTION
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_hal::BoardCatalog;
+
+    #[test]
+    fn layout_fits_in_ram() {
+        for board in BoardCatalog::all() {
+            let l = AgentLayout::for_board(&board);
+            let end = l.cov.base + l.cov.footprint();
+            assert!(
+                (end - board.ram_base) as usize <= board.ram_size,
+                "{}: layout end {end:#x} past RAM",
+                board.name
+            );
+            assert!(l.prog_addr + l.prog_max <= l.cov.base);
+        }
+    }
+
+    #[test]
+    fn symbols_cover_sync_points() {
+        let l = AgentLayout::for_board(&BoardCatalog::esp32_devkit());
+        let t = l.symbols("panic_handler", "vAssertCalled");
+        for s in [
+            "reset_vector",
+            "executor_main",
+            "read_prog",
+            "execute_one",
+            "_kcmp_buf_full",
+            "panic_handler",
+            "vAssertCalled",
+        ] {
+            assert!(t.lookup(s).is_some(), "{s}");
+        }
+        assert_eq!(t.lookup("executor_main"), Some(l.pc_executor_main()));
+        assert_eq!(t.lookup("panic_handler"), Some(l.pc_exception()));
+    }
+}

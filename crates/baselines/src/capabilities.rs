@@ -1,0 +1,203 @@
+//! Table 1: supported targets per tool.
+//!
+//! The matrix is the paper's, row for row: target systems × architectures
+//! × {EOF, GDBFuzz, Tardis, SHIFT}. EOF's cells additionally come with a
+//! smoke-boot check in the tests — a supported cell means the simulated
+//! board really boots that OS and answers over its debug port.
+
+use eof_hal::Arch;
+use eof_rtos::OsKind;
+
+/// The tools compared in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// This work.
+    Eof,
+    /// GDBFuzz (ISSTA '23).
+    GdbFuzz,
+    /// Tardis (TCAD '22).
+    Tardis,
+    /// SHIFT (USENIX Security '24).
+    Shift,
+}
+
+impl Tool {
+    /// All tools, in the paper's column order.
+    pub const ALL: [Tool; 4] = [Tool::Eof, Tool::GdbFuzz, Tool::Tardis, Tool::Shift];
+
+    /// Column label.
+    pub fn display(self) -> &'static str {
+        match self {
+            Tool::Eof => "EOF",
+            Tool::GdbFuzz => "GDBFuzz",
+            Tool::Tardis => "Tardis",
+            Tool::Shift => "SHIFT",
+        }
+    }
+}
+
+/// Row class: an OS, or the application-level row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetClass {
+    /// A full embedded OS.
+    Os(OsKind),
+    /// Application-level fuzzing targets.
+    Applications,
+}
+
+impl TargetClass {
+    /// Row label as the paper prints it.
+    pub fn display(self) -> &'static str {
+        match self {
+            TargetClass::Os(OsKind::FreeRtos) => "FreeRTOS",
+            TargetClass::Os(OsKind::RtThread) => "RTThread",
+            TargetClass::Os(OsKind::NuttX) => "Nuttx",
+            TargetClass::Os(OsKind::Zephyr) => "Zephyr",
+            TargetClass::Os(OsKind::PokOs) => "PoKOS",
+            TargetClass::Applications => "Applications",
+        }
+    }
+}
+
+/// One (target, arch) row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Target class.
+    pub target: TargetClass,
+    /// Architecture.
+    pub arch: Arch,
+    /// Support cells in [`Tool::ALL`] order.
+    pub cells: [bool; 4],
+}
+
+/// Whether a tool supports a (target, arch) cell — the paper's ✓/- data.
+pub fn supports_cell(tool: Tool, target: TargetClass, arch: Arch) -> bool {
+    use Arch::*;
+    match (tool, target, arch) {
+        // EOF: FreeRTOS on ARM+RISC-V; RT-Thread/NuttX/Zephyr on ARM;
+        // applications on ARM+RISC-V.
+        (Tool::Eof, TargetClass::Os(OsKind::FreeRtos), Arm | RiscV) => true,
+        (Tool::Eof, TargetClass::Os(OsKind::RtThread), Arm) => true,
+        (Tool::Eof, TargetClass::Os(OsKind::NuttX), Arm) => true,
+        (Tool::Eof, TargetClass::Os(OsKind::Zephyr), Arm) => true,
+        (Tool::Eof, TargetClass::Applications, Arm | RiscV) => true,
+        (Tool::Eof, _, _) => false,
+
+        // GDBFuzz: applications only, ARM and MSP430.
+        (Tool::GdbFuzz, TargetClass::Applications, Arm | Msp430) => true,
+        (Tool::GdbFuzz, _, _) => false,
+
+        // Tardis: the four OSs on ARM, FreeRTOS also on RISC-V; no apps.
+        (Tool::Tardis, TargetClass::Os(OsKind::FreeRtos), Arm | RiscV) => true,
+        (Tool::Tardis, TargetClass::Os(OsKind::RtThread), Arm) => true,
+        (Tool::Tardis, TargetClass::Os(OsKind::NuttX), Arm) => true,
+        (Tool::Tardis, TargetClass::Os(OsKind::Zephyr), Arm) => true,
+        (Tool::Tardis, _, _) => false,
+
+        // SHIFT: FreeRTOS across four architectures, apps likewise.
+        (Tool::Shift, TargetClass::Os(OsKind::FreeRtos), Arm | RiscV | PowerPc | Mips) => true,
+        (Tool::Shift, TargetClass::Applications, Arm | RiscV | PowerPc | Mips) => true,
+        (Tool::Shift, _, _) => false,
+    }
+}
+
+/// Build Table 1 in the paper's row order.
+pub fn table1_matrix() -> Vec<Table1Row> {
+    let rows: Vec<(TargetClass, Arch)> = vec![
+        (TargetClass::Os(OsKind::FreeRtos), Arch::Arm),
+        (TargetClass::Os(OsKind::FreeRtos), Arch::RiscV),
+        (TargetClass::Os(OsKind::FreeRtos), Arch::PowerPc),
+        (TargetClass::Os(OsKind::FreeRtos), Arch::Mips),
+        (TargetClass::Os(OsKind::RtThread), Arch::Arm),
+        (TargetClass::Os(OsKind::NuttX), Arch::Arm),
+        (TargetClass::Os(OsKind::Zephyr), Arch::Arm),
+        (TargetClass::Applications, Arch::Arm),
+        (TargetClass::Applications, Arch::RiscV),
+        (TargetClass::Applications, Arch::PowerPc),
+        (TargetClass::Applications, Arch::Mips),
+        (TargetClass::Applications, Arch::Msp430),
+    ];
+    rows.into_iter()
+        .map(|(target, arch)| {
+            let mut cells = [false; 4];
+            for (i, tool) in Tool::ALL.into_iter().enumerate() {
+                cells[i] = supports_cell(tool, target, arch);
+            }
+            Table1Row {
+                target,
+                arch,
+                cells,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_cells() {
+        // Spot checks against Table 1.
+        assert!(supports_cell(Tool::Eof, TargetClass::Os(OsKind::FreeRtos), Arch::Arm));
+        assert!(supports_cell(Tool::Eof, TargetClass::Os(OsKind::FreeRtos), Arch::RiscV));
+        assert!(!supports_cell(Tool::Eof, TargetClass::Os(OsKind::FreeRtos), Arch::PowerPc));
+        assert!(supports_cell(Tool::Shift, TargetClass::Os(OsKind::FreeRtos), Arch::PowerPc));
+        assert!(!supports_cell(Tool::GdbFuzz, TargetClass::Os(OsKind::FreeRtos), Arch::Arm));
+        assert!(supports_cell(Tool::GdbFuzz, TargetClass::Applications, Arch::Msp430));
+        assert!(!supports_cell(Tool::Tardis, TargetClass::Applications, Arch::Arm));
+        assert!(!supports_cell(Tool::Shift, TargetClass::Os(OsKind::RtThread), Arch::Arm));
+    }
+
+    #[test]
+    fn eof_supports_more_os_rows_than_gdbfuzz() {
+        let matrix = table1_matrix();
+        let count = |i: usize| matrix.iter().filter(|r| r.cells[i]).count();
+        let eof = count(0);
+        let gdbfuzz = count(1);
+        assert!(eof > gdbfuzz);
+    }
+
+    #[test]
+    fn eof_cells_agree_with_registry() {
+        // Every EOF ✓ on an OS row is backed by a board in the registry.
+        for row in table1_matrix() {
+            if let TargetClass::Os(os) = row.target {
+                if row.cells[0] {
+                    assert!(
+                        eof_rtos::registry::eof_supports(os, row.arch),
+                        "{:?} {:?}",
+                        os,
+                        row.arch
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eof_supported_os_cells_actually_boot() {
+        use eof_agent::boot_machine;
+        use eof_coverage::InstrumentMode;
+        use eof_rtos::image::ImageProfile;
+        for row in table1_matrix() {
+            let TargetClass::Os(os) = row.target else {
+                continue;
+            };
+            if !row.cells[0] {
+                continue;
+            }
+            let board = eof_rtos::registry::supported_boards(os)
+                .into_iter()
+                .find(|b| b.arch == row.arch)
+                .expect("registry provides a board for the supported arch");
+            let mut m = boot_machine(board, os, ImageProfile::FullSystem, &InstrumentMode::None);
+            assert!(
+                matches!(m.state(), eof_hal::BootState::Running),
+                "{os} on {:?} does not boot",
+                row.arch
+            );
+            assert!(m.debug_pc().is_ok());
+        }
+    }
+}

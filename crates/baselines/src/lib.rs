@@ -1,0 +1,26 @@
+//! `eof-baselines` — the comparison fuzzers of the paper's evaluation.
+//!
+//! Tardis, Gustave, GDBFuzz and SHIFT are re-implemented as
+//! configurations of the shared `eof-core` engine, differing *only* in
+//! the properties the paper attributes to them:
+//!
+//! | fuzzer | substrate | inputs | feedback | bug detection | liveness |
+//! |---|---|---|---|---|---|
+//! | EOF | hardware (debug port) | API-aware | coverage + crash/log | exception bp + log monitor | watchdogs + reflash |
+//! | EOF-nf | hardware | API-aware | none | exception bp + log monitor | watchdogs + reflash |
+//! | Tardis | QEMU (shared memory) | API-aware | coverage | timeout only | reboot only |
+//! | Gustave | customised QEMU | API-aware¹ | coverage | timeout only | reboot only |
+//! | GDBFuzz | hardware (GDB) | random bytes | sparse (hw breakpoints) | exception bp | timeout, reboot |
+//! | SHIFT | hardware (semihosting) | random bytes | coverage (sanitizer) | exception bp | timeout, reboot |
+//!
+//! ¹ Gustave decodes AFL byte input into guest syscalls through its
+//! customised QEMU board, so at the API boundary it behaves API-aware;
+//! its AFL lineage shows in the missing crash-signal feedback.
+//!
+//! [`capabilities`] additionally reproduces Table 1's support matrix.
+
+pub mod capabilities;
+pub mod kinds;
+
+pub use capabilities::{supports_cell, table1_matrix, Table1Row, TargetClass, Tool};
+pub use kinds::BaselineKind;

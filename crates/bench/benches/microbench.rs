@@ -1,0 +1,180 @@
+//! Criterion micro-benchmarks of the per-component hot paths: prog
+//! encoding, generation/mutation, kernel API dispatch, the JSON/HTTP
+//! parsers, debug-port memory traffic, coverage drains, and one full
+//! fuzzing iteration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eof_core::config::GenerationMode;
+use eof_core::{FuzzerConfig, Generator};
+use eof_coverage::{CovRegion, InstrumentMode};
+use eof_dap::{DebugTransport, LinkConfig};
+use eof_hal::{BoardCatalog, Bus, Endianness};
+use eof_rtos::api::KArg;
+use eof_rtos::ctx::{CovState, ExecCtx};
+use eof_rtos::image::ImageProfile;
+use eof_rtos::registry::make_kernel;
+use eof_rtos::OsKind;
+use eof_specgen::extract_spec_text;
+use eof_speclang::parser::parse_spec;
+use eof_speclang::wire::{decode_prog, encode_prog, WireOrder};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let spec = parse_spec(&extract_spec_text(OsKind::RtThread)).unwrap();
+    let mut g = Generator::new(spec, 1, GenerationMode::ApiAware, 8);
+    let table = eof_agent::api_table_of(OsKind::RtThread);
+    let prog = g.generate();
+    let bytes = encode_prog(&prog, &table, WireOrder::Little).unwrap();
+    c.bench_function("wire/encode_prog", |b| {
+        b.iter(|| encode_prog(black_box(&prog), &table, WireOrder::Little).unwrap())
+    });
+    c.bench_function("wire/decode_prog", |b| {
+        b.iter(|| decode_prog(black_box(&bytes), &table, WireOrder::Little).unwrap())
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let spec = parse_spec(&extract_spec_text(OsKind::NuttX)).unwrap();
+    let mut g = Generator::new(spec.clone(), 2, GenerationMode::ApiAware, 8);
+    c.bench_function("gen/generate", |b| b.iter(|| black_box(g.generate())));
+    let seed_prog = g.generate();
+    c.bench_function("gen/mutate", |b| b.iter(|| black_box(g.mutate(&seed_prog))));
+}
+
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let mut kernel = make_kernel(OsKind::Zephyr);
+    let mut bus = Bus::new(0x4000_0000, 0x2_0000, Endianness::Little);
+    let mut cov = CovState::uninstrumented();
+    c.bench_function("kernel/invoke_sem_cycle", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+            let s = match kernel.invoke(&mut ctx, 14, &[KArg::Int(1), KArg::Int(2)]) {
+                eof_rtos::api::InvokeResult::Ok(v) => v,
+                _ => 0,
+            };
+            kernel.invoke(&mut ctx, 15, &[KArg::Int(s)]);
+            kernel.invoke(&mut ctx, 16, &[KArg::Int(s)]);
+            let mut ctx2 = ExecCtx::new(&mut bus, &mut cov);
+            kernel.reset(&mut ctx2);
+        })
+    });
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+    let mut cov = CovState::uninstrumented();
+    let json = br#"{"a":[1,2,3],"b":{"c":"deep","d":[true,null]},"e":1.5e3}"#;
+    c.bench_function("subsys/json_parse", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+            let _ = eof_rtos::subsys::json::parse(&mut ctx, "b::json::p", black_box(json));
+        })
+    });
+    let http = b"POST /api/sensors?id=3 HTTP/1.1\r\nHost: dev\r\nContent-Length: 12\r\n\r\n";
+    c.bench_function("subsys/http_parse", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+            let _ = eof_rtos::subsys::http::parse_request(&mut ctx, "b::http::p", black_box(http));
+        })
+    });
+}
+
+fn bench_debug_port(c: &mut Criterion) {
+    let machine = eof_agent::boot_machine(
+        BoardCatalog::qemu_virt_arm(),
+        OsKind::Zephyr,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
+    let mut t = DebugTransport::attach(machine, LinkConfig::default());
+    let base = t.machine().board().ram_base;
+    let buf = vec![0xa5u8; 256];
+    c.bench_function("dap/write_mem_256B", |b| {
+        b.iter(|| t.write_mem(base + 0x8000, black_box(&buf)).unwrap())
+    });
+    let mut out = vec![0u8; 256];
+    c.bench_function("dap/read_mem_256B", |b| {
+        b.iter(|| t.read_mem(base + 0x8000, &mut out).unwrap())
+    });
+    c.bench_function("dap/read_pc", |b| b.iter(|| t.read_pc().unwrap()));
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let mut bus = Bus::new(0x2000_0000, 0x1_0000, Endianness::Little);
+    let region = CovRegion::new(0x2000_4000, 1024);
+    region.init(&mut bus.ram, Endianness::Little).unwrap();
+    let mut cov = CovState::instrumented(InstrumentMode::Full, region);
+    c.bench_function("cov/hook_hit", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+            ctx.cov_var("b::kernel::site", black_box(7));
+            // Keep the ring from filling across iterations.
+            ctx.cov.buffer_full = false;
+            region.reset(&mut bus.ram, Endianness::Little).unwrap();
+        })
+    });
+    let mut map = eof_coverage::CoverageMap::new();
+    let edges: Vec<u64> = (0..64).map(|i| i * 7919).collect();
+    c.bench_function("cov/map_merge_64", |b| {
+        b.iter(|| black_box(map.merge(&edges)))
+    });
+}
+
+fn bench_fuzz_iteration(c: &mut Criterion) {
+    c.bench_function("fuzzer/one_iteration", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = FuzzerConfig::eof(OsKind::Zephyr, 5);
+                cfg.budget_hours = 100.0;
+                let image = eof_rtos::image::build_image(cfg.os, cfg.profile, &cfg.instrument);
+                let machine = eof_agent::boot_machine(
+                    cfg.board.clone(),
+                    cfg.os,
+                    cfg.profile,
+                    &cfg.instrument,
+                );
+                let kconfig = eof_monitors::parse_kconfig(&eof_monitors::render_kconfig(
+                    "arm",
+                    machine.flash().table(),
+                ))
+                .unwrap();
+                let resto = eof_monitors::StateRestoration::from_kconfig(
+                    &kconfig,
+                    cfg.board.flash_size,
+                    vec![("kernel".into(), image)],
+                )
+                .unwrap();
+                let transport = DebugTransport::attach(machine, LinkConfig::default());
+                let executor = eof_core::Executor::new(
+                    transport,
+                    cfg.clone(),
+                    eof_agent::api_table_of(cfg.os),
+                    resto,
+                )
+                .unwrap();
+                let spec = parse_spec(&extract_spec_text(cfg.os)).unwrap();
+                let generator = Generator::new(spec, cfg.seed, cfg.gen_mode, cfg.max_calls);
+                eof_core::Fuzzer::new(cfg, generator, executor)
+            },
+            |mut fuzzer| {
+                for _ in 0..16 {
+                    fuzzer.step();
+                }
+                black_box(fuzzer.stats().execs)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_generator,
+    bench_kernel_dispatch,
+    bench_parsers,
+    bench_debug_port,
+    bench_coverage,
+    bench_fuzz_iteration
+);
+criterion_main!(benches);

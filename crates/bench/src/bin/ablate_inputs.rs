@@ -1,0 +1,30 @@
+//! Ablation: API-aware generation vs random byte buffers, inside EOF
+//! (same transport, monitors and recovery — only the input model moves).
+
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_core::config::GenerationMode;
+use eof_core::FuzzerConfig;
+use eof_rtos::OsKind;
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    let mut rows = Vec::new();
+    for os in OsKind::ALL {
+        let mut api_cfg = FuzzerConfig::eof(os, 42);
+        api_cfg.budget_hours = hours;
+        let mut rnd_cfg = api_cfg.clone();
+        rnd_cfg.gen_mode = GenerationMode::RandomBytes;
+        let api = mean_branches(&run_reps(&api_cfg, reps));
+        let rnd = mean_branches(&run_reps(&rnd_cfg, reps));
+        eprintln!("  {}: api {api:.1} vs random {rnd:.1}", os.display());
+        rows.push(vec![
+            os.display().to_string(),
+            format!("{api:.1}"),
+            format!("{rnd:.1}"),
+            format!("{:+.1}%", (api - rnd) / rnd.max(1.0) * 100.0),
+        ]);
+    }
+    let headers = ["Target OS", "API-aware", "Random bytes", "API-aware gain"];
+    eof_bench::emit("ablate_inputs", &headers, rows);
+}

@@ -1,0 +1,35 @@
+//! Ablation of the §6 extension: peripheral-event injection (GPIO edges,
+//! serial RX, auxiliary ticks) driving interrupt paths the headline EOF
+//! configuration cannot reach.
+
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_core::FuzzerConfig;
+use eof_rtos::OsKind;
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    let mut rows = Vec::new();
+    for os in [OsKind::FreeRtos, OsKind::Zephyr] {
+        let mut off_cfg = FuzzerConfig::eof(os, 42);
+        off_cfg.budget_hours = hours;
+        let mut on_cfg = off_cfg.clone();
+        on_cfg.peripheral_events = true;
+        let off = mean_branches(&run_reps(&off_cfg, reps));
+        let on = mean_branches(&run_reps(&on_cfg, reps));
+        eprintln!("  {}: {off:.1} -> {on:.1}", os.display());
+        rows.push(vec![
+            os.display().to_string(),
+            format!("{off:.1}"),
+            format!("{on:.1}"),
+            format!("{:+.1}%", (on - off) / off.max(1.0) * 100.0),
+        ]);
+    }
+    let headers = [
+        "Target OS",
+        "Branches (no events)",
+        "Branches (events injected)",
+        "ISR-path gain",
+    ];
+    eof_bench::emit("ablate_irq", &headers, rows);
+}

@@ -1,0 +1,51 @@
+//! Ablation of the §6 extension: power-rail liveness vs the PC-stall
+//! watchdog vs a bare 15-second timeout, on the stall-heavy targets.
+//! Measures stalls recovered, throughput retained and coverage reached.
+
+use eof_bench::{bench_hours, bench_reps, run_reps};
+use eof_core::config::{DetectionConfig, RecoveryConfig};
+use eof_core::FuzzerConfig;
+use eof_rtos::OsKind;
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    let mut rows = Vec::new();
+    for os in [OsKind::Zephyr, OsKind::NuttX] {
+        let mut pc_cfg = FuzzerConfig::eof(os, 42);
+        pc_cfg.budget_hours = hours;
+        let mut pw_cfg = pc_cfg.clone();
+        pw_cfg.recovery = RecoveryConfig::power_based();
+        let mut to_cfg = pc_cfg.clone();
+        to_cfg.detection = DetectionConfig {
+            exception_breakpoints: true,
+            log_monitor: true,
+            timeout_only_secs: Some(15),
+        };
+        to_cfg.recovery = RecoveryConfig {
+            stall_watchdog: false,
+            reflash: true,
+            power_liveness: false,
+        };
+        for (label, cfg) in [
+            ("pc-stall", &pc_cfg),
+            ("power-rail", &pw_cfg),
+            ("timeout-15s", &to_cfg),
+        ] {
+            let rs = run_reps(cfg, reps);
+            let execs: u64 = rs.iter().map(|r| r.stats.execs).sum::<u64>() / reps as u64;
+            let stalls: u64 = rs.iter().map(|r| r.stats.stalls).sum::<u64>() / reps as u64;
+            let branches = eof_bench::mean_branches(&rs);
+            eprintln!("  {} / {label}: {execs} execs, {stalls} stalls, {branches:.1} branches", os.display());
+            rows.push(vec![
+                os.display().to_string(),
+                label.to_string(),
+                execs.to_string(),
+                stalls.to_string(),
+                format!("{branches:.1}"),
+            ]);
+        }
+    }
+    let headers = ["Target OS", "Liveness channel", "Execs", "Stalls recovered", "Branches"];
+    eof_bench::emit("ablate_power", &headers, rows);
+}

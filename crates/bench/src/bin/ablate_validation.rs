@@ -1,0 +1,44 @@
+//! Ablation: the specification validation gate on vs off, under heavy
+//! LLM noise — how many APIs survive, and what that does to coverage.
+
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_core::FuzzerConfig;
+use eof_rtos::OsKind;
+use eof_specgen::{generate_validated, NoiseConfig};
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    let mut rows = Vec::new();
+    for os in OsKind::ALL {
+        // Static view: what the gate does to a heavily-noised spec.
+        let noise = NoiseConfig { seed: 7, defect_rate: 0.6 };
+        let (_, gated) = generate_validated(os, &noise, true);
+        let (_, raw) = generate_validated(os, &noise, false);
+
+        // Dynamic view: campaign coverage with and without the gate.
+        let mut on_cfg = FuzzerConfig::eof(os, 42);
+        on_cfg.budget_hours = hours;
+        on_cfg.spec_noise = Some(7);
+        let mut off_cfg = on_cfg.clone();
+        off_cfg.spec_validation = false;
+        let on = mean_branches(&run_reps(&on_cfg, reps));
+        let off = mean_branches(&run_reps(&off_cfg, reps));
+        eprintln!("  {}: gated {on:.1} vs ungated {off:.1}", os.display());
+        rows.push(vec![
+            os.display().to_string(),
+            format!("{} evicted, {} regenerated", gated.rejected_apis, gated.regenerated_apis),
+            raw.admitted_apis.to_string(),
+            format!("{on:.1}"),
+            format!("{off:.1}"),
+        ]);
+    }
+    let headers = [
+        "Target OS",
+        "Gate action (defect rate 0.6)",
+        "Ungated APIs",
+        "Branches (gated)",
+        "Branches (ungated)",
+    ];
+    eof_bench::emit("ablate_validation", &headers, rows);
+}

@@ -1,0 +1,45 @@
+//! Ablation: EOF's watchdog set (connection timeout + PC stall) vs a
+//! Tardis-style timeout-only liveness check — measuring stalls recovered
+//! and throughput retained on the stall-heavy targets.
+
+use eof_bench::{bench_hours, bench_reps, run_reps};
+use eof_core::config::{DetectionConfig, RecoveryConfig};
+use eof_core::FuzzerConfig;
+use eof_rtos::OsKind;
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    let mut rows = Vec::new();
+    for os in [OsKind::Zephyr, OsKind::NuttX, OsKind::RtThread] {
+        let mut wd_cfg = FuzzerConfig::eof(os, 42);
+        wd_cfg.budget_hours = hours;
+        let mut to_cfg = wd_cfg.clone();
+        to_cfg.detection = DetectionConfig {
+            exception_breakpoints: true,
+            log_monitor: true,
+            timeout_only_secs: Some(15),
+        };
+        to_cfg.recovery = RecoveryConfig {
+            stall_watchdog: false,
+            reflash: true,
+            power_liveness: false,
+        };
+        for (label, cfg) in [("watchdogs", &wd_cfg), ("timeout-15s", &to_cfg)] {
+            let rs = run_reps(cfg, reps);
+            let execs: u64 = rs.iter().map(|r| r.stats.execs).sum::<u64>() / reps as u64;
+            let stalls: u64 = rs.iter().map(|r| r.stats.stalls).sum::<u64>() / reps as u64;
+            let branches = eof_bench::mean_branches(&rs);
+            eprintln!("  {} / {label}: {execs} execs, {stalls} stalls", os.display());
+            rows.push(vec![
+                os.display().to_string(),
+                label.to_string(),
+                execs.to_string(),
+                stalls.to_string(),
+                format!("{branches:.1}"),
+            ]);
+        }
+    }
+    let headers = ["Target OS", "Liveness", "Execs", "Stalls handled", "Branches"];
+    eof_bench::emit("ablate_watchdogs", &headers, rows);
+}

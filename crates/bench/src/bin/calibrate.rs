@@ -1,0 +1,49 @@
+//! Calibration probe: per-exec cost, throughput and discovery rates.
+//!
+//! Not one of the paper's artefacts — a tuning aid that prints what a
+//! campaign of the given length does, so the time model can be checked
+//! against the paper's §5.5.2 throughput numbers.
+
+use eof_baselines::BaselineKind;
+use eof_core::FuzzerConfig;
+use eof_rtos::OsKind;
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    for os in OsKind::ALL {
+        let mut cfg = FuzzerConfig::eof(os, 42);
+        cfg.budget_hours = hours;
+        let wall = std::time::Instant::now();
+        let r = eof_core::run_campaign(cfg);
+        let wall = wall.elapsed();
+        let execs_per_10min = r.stats.execs as f64 / (hours * 6.0);
+        let bug_nums: Vec<u8> = r.bugs.iter().map(|b| b.number()).collect();
+        println!(
+            "{:9} {:4.1}h | execs {:7} ({:7.1}/10min) | branches {:5} | bugs {:?} | stalls {:4} | restores {:4} | wall {:5.2}s",
+            os.display(),
+            hours,
+            r.stats.execs,
+            execs_per_10min,
+            r.branches,
+            bug_nums,
+            r.stats.stalls,
+            r.stats.restorations,
+            wall.as_secs_f64(),
+        );
+    }
+    // One baseline for contrast.
+    let mut cfg = BaselineKind::Tardis
+        .full_system_config(OsKind::Zephyr, 42)
+        .unwrap();
+    cfg.budget_hours = hours;
+    let r = eof_core::run_campaign(cfg);
+    println!(
+        "Tardis/Zephyr {hours:.1}h | execs {} | branches {} | bugs {}",
+        r.stats.execs,
+        r.branches,
+        r.bugs.len()
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 7: 24-hour coverage growth curves on the five embedded OSs,
+//! with the min/max band over repetitions (the figure's shaded area).
+//!
+//! Output: one CSV row per (OS, fuzzer, hour) with mean/min/max branch
+//! counts — the series a plotting script recreates the figure from — and
+//! an ASCII rendering of each sub-figure.
+
+use eof_baselines::BaselineKind;
+use eof_bench::{bench_hours, bench_reps, curve_rows, run_reps};
+use eof_rtos::OsKind;
+
+fn ascii_plot(title: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = format!("\n{title}\n");
+    let max_y = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.1))
+        .fold(1.0f64, f64::max);
+    for (label, pts) in series {
+        out.push_str(&format!("  {label:8} |"));
+        for (_, y) in pts {
+            let level = (y / max_y * 8.0).round() as usize;
+            out.push(match level {
+                0 => ' ',
+                1 => '.',
+                2 => ':',
+                3 => '-',
+                4 => '=',
+                5 => '+',
+                6 => '*',
+                7 => '#',
+                _ => '@',
+            });
+        }
+        out.push_str(&format!("| {:.0}\n", pts.last().map(|p| p.1).unwrap_or(0.0)));
+    }
+    out
+}
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    eprintln!("[fig7] {hours} simulated hours × {reps} reps per curve");
+
+    let fuzzers = [
+        BaselineKind::Eof,
+        BaselineKind::EofNf,
+        BaselineKind::Tardis,
+        BaselineKind::Gustave,
+    ];
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    for os in OsKind::ALL {
+        let mut series = Vec::new();
+        for kind in fuzzers {
+            let Some(mut cfg) = kind.full_system_config(os, 42) else {
+                continue;
+            };
+            cfg.budget_hours = hours;
+            let results = run_reps(&cfg, reps);
+            let mut labelled = curve_rows(kind.display(), &results);
+            // Extract (hours, mean) for the ASCII plot.
+            let pts: Vec<(f64, f64)> = labelled
+                .iter()
+                .map(|r| (r[1].parse().unwrap_or(0.0), r[2].parse().unwrap_or(0.0)))
+                .collect();
+            series.push((kind.display().to_string(), pts));
+            for r in &mut labelled {
+                r.insert(0, os.display().to_string());
+            }
+            rows.extend(labelled);
+            eprintln!("  {} / {} done", os.display(), kind.display());
+        }
+        text.push_str(&ascii_plot(
+            &format!("Figure 7 ({}): branch coverage over {hours} simulated hours", os.display()),
+            &series,
+        ));
+    }
+    let headers = ["os", "fuzzer", "hours", "mean", "min", "max"];
+    eof_bench::write_outputs("fig7", &text, &headers, &rows);
+}

@@ -1,0 +1,41 @@
+//! Figure 8: application-level coverage growth (HTTP server + JSON on
+//! hardware) for EOF, GDBFuzz and SHIFT, with the early-saturation
+//! behaviour the paper notes ("both EOF and EOF-nf stop growing after the
+//! first four hours").
+
+use eof_baselines::BaselineKind;
+use eof_bench::{bench_hours, bench_reps, curve_rows, run_reps};
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    eprintln!("[fig8] {hours} simulated hours × {reps} reps per curve");
+
+    let mut rows = Vec::new();
+    let mut summary = String::from("Figure 8: application-level coverage growth\n");
+    for kind in [BaselineKind::Eof, BaselineKind::GdbFuzz, BaselineKind::Shift] {
+        let mut cfg = kind.app_level_config(42).expect("participant");
+        cfg.budget_hours = hours;
+        cfg.snapshot_hours = (hours / 24.0).max(0.25);
+        let results = run_reps(&cfg, reps);
+        let labelled = curve_rows(kind.display(), &results);
+        // Saturation check: coverage at 1/6 of budget vs at the end.
+        if let (Some(first_quarter), Some(end)) = (
+            labelled.get(labelled.len() / 6),
+            labelled.last(),
+        ) {
+            summary.push_str(&format!(
+                "  {:8}: {} branches at {}h, {} at {}h\n",
+                kind.display(),
+                first_quarter[2],
+                first_quarter[1],
+                end[2],
+                end[1]
+            ));
+        }
+        rows.extend(labelled);
+        eprintln!("  {} done", kind.display());
+    }
+    let headers = ["fuzzer", "hours", "mean", "min", "max"];
+    eof_bench::write_outputs("fig8", &summary, &headers, &rows);
+}

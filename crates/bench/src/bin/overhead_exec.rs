@@ -1,0 +1,64 @@
+//! §5.5.2: instrumentation execution overhead — payloads executed within
+//! 10 simulated minutes, with and without instrumentation, per OS.
+
+use eof_core::{run_campaign, FuzzerConfig};
+use eof_coverage::InstrumentMode;
+use eof_rtos::OsKind;
+
+/// Simulated minutes per measurement window (the paper uses 10).
+const WINDOW_MIN: f64 = 10.0;
+
+fn payloads(os: OsKind, instrument: InstrumentMode, seed: u64) -> u64 {
+    let mut cfg = FuzzerConfig::eof(os, seed);
+    cfg.instrument = instrument;
+    cfg.budget_hours = WINDOW_MIN / 60.0;
+    cfg.snapshot_hours = cfg.budget_hours;
+    run_campaign(cfg).stats.execs
+}
+
+fn main() {
+    let reps = eof_bench::bench_reps() as u64;
+    let paper: &[(OsKind, f64)] = &[
+        (OsKind::NuttX, 30.82),
+        (OsKind::RtThread, 15.99),
+        (OsKind::Zephyr, 24.32),
+        (OsKind::FreeRtos, 24.44),
+    ];
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    for &(os, paper_pct) in paper {
+        let mut plain = 0;
+        let mut inst = 0;
+        for rep in 0..reps {
+            plain += payloads(os, InstrumentMode::None, 42 + rep);
+            inst += payloads(os, InstrumentMode::Full, 42 + rep);
+        }
+        let plain = plain as f64 / reps as f64;
+        let inst = inst as f64 / reps as f64;
+        let pct = (plain - inst) / plain * 100.0;
+        sum += pct;
+        eprintln!("  {}: {plain:.1} -> {inst:.1}", os.display());
+        rows.push(vec![
+            os.display().to_string(),
+            format!("{plain:.1}"),
+            format!("{inst:.1}"),
+            format!("{pct:.2}%"),
+            format!("{paper_pct:.2}%"),
+        ]);
+    }
+    rows.push(vec![
+        "Average".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.2}%", sum / paper.len() as f64),
+        "23.39%".to_string(),
+    ]);
+    let headers = [
+        "Target OS",
+        "Payloads/10min (plain)",
+        "Payloads/10min (instrumented)",
+        "Slowdown",
+        "Paper",
+    ];
+    eof_bench::emit("overhead_exec", &headers, rows);
+}

@@ -1,0 +1,49 @@
+//! §5.5.1: instrumentation memory overhead — image sizes with and
+//! without SanCov-style instrumentation, per OS, with the paper's
+//! reported percentages alongside.
+
+use eof_coverage::InstrumentMode;
+use eof_rtos::image::{build_image, ImageProfile};
+use eof_rtos::OsKind;
+
+fn main() {
+    let paper: &[(OsKind, f64)] = &[
+        (OsKind::NuttX, 4.76),
+        (OsKind::RtThread, 7.11),
+        (OsKind::Zephyr, 9.58),
+        (OsKind::FreeRtos, 4.32),
+        (OsKind::PokOs, f64::NAN),
+    ];
+    let mut rows = Vec::new();
+    let mut sum = 0.0;
+    let mut n = 0;
+    for &(os, paper_pct) in paper {
+        let plain = build_image(os, ImageProfile::FullSystem, &InstrumentMode::None).len();
+        let inst = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full).len();
+        let pct = (inst - plain) as f64 / plain as f64 * 100.0;
+        if !paper_pct.is_nan() {
+            sum += pct;
+            n += 1;
+        }
+        rows.push(vec![
+            os.display().to_string(),
+            format!("{:.3} MB", plain as f64 / 1_000_000.0),
+            format!("{:.3} MB", inst as f64 / 1_000_000.0),
+            format!("{pct:.2}%"),
+            if paper_pct.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{paper_pct:.2}%")
+            },
+        ]);
+    }
+    rows.push(vec![
+        "Average (4 reported OSs)".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.2}%", sum / n as f64),
+        "6.44%".to_string(),
+    ]);
+    let headers = ["Target OS", "Uninstrumented", "Instrumented", "Overhead", "Paper"];
+    eof_bench::emit("overhead_mem", &headers, rows);
+}

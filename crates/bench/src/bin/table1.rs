@@ -1,0 +1,51 @@
+//! Table 1: comparison of supported targets between EOF, GDBFuzz, Tardis
+//! and SHIFT.
+//!
+//! The matrix is validated, not just printed: every EOF ✓ on an OS row is
+//! backed by a live smoke boot of that OS on a catalogued board of that
+//! architecture.
+
+use eof_agent::boot_machine;
+use eof_baselines::{table1_matrix, TargetClass, Tool};
+use eof_coverage::InstrumentMode;
+use eof_rtos::image::ImageProfile;
+
+fn main() {
+    let mut rows = Vec::new();
+    for row in table1_matrix() {
+        // Smoke-boot validation for EOF's OS cells.
+        let mut validated = String::new();
+        if let TargetClass::Os(os) = row.target {
+            if row.cells[0] {
+                let board = eof_rtos::registry::supported_boards(os)
+                    .into_iter()
+                    .find(|b| b.arch == row.arch)
+                    .expect("registry board for supported arch");
+                let m = boot_machine(board, os, ImageProfile::FullSystem, &InstrumentMode::None);
+                validated = if matches!(m.state(), eof_hal::BootState::Running) {
+                    " (booted)".to_string()
+                } else {
+                    " (BOOT FAILED)".to_string()
+                };
+            }
+        }
+        let cell = |b: bool| if b { "Y" } else { "-" }.to_string();
+        rows.push(vec![
+            row.target.display().to_string(),
+            row.arch.to_string(),
+            cell(row.cells[0]) + &validated,
+            cell(row.cells[1]),
+            cell(row.cells[2]),
+            cell(row.cells[3]),
+        ]);
+    }
+    let headers = [
+        "Target Systems",
+        "Arch",
+        Tool::Eof.display(),
+        Tool::GdbFuzz.display(),
+        Tool::Tardis.display(),
+        Tool::Shift.display(),
+    ];
+    eof_bench::emit("table1", &headers, rows);
+}

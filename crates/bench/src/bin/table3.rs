@@ -1,0 +1,51 @@
+//! Table 3: full-system branch coverage — EOF vs EOF-nf vs Tardis vs
+//! Gustave on five embedded OSs (mean of repetitions; parentheses show
+//! EOF's improvement, as the paper prints it).
+
+use eof_baselines::BaselineKind;
+use eof_bench::{bench_hours, bench_reps, fmt1, fmt_impr, mean_branches, run_reps};
+use eof_rtos::OsKind;
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    eprintln!("[table3] {hours} simulated hours × {reps} reps per cell");
+
+    let fuzzers = [
+        BaselineKind::Eof,
+        BaselineKind::EofNf,
+        BaselineKind::Tardis,
+        BaselineKind::Gustave,
+    ];
+    let mut rows = Vec::new();
+    for os in [
+        OsKind::NuttX,
+        OsKind::RtThread,
+        OsKind::Zephyr,
+        OsKind::FreeRtos,
+        OsKind::PokOs,
+    ] {
+        let mut cells = vec![os.display().to_string()];
+        let mut eof_mean = 0.0;
+        for kind in fuzzers {
+            match kind.full_system_config(os, 42) {
+                Some(mut cfg) => {
+                    cfg.budget_hours = hours;
+                    let results = run_reps(&cfg, reps);
+                    let mean = mean_branches(&results);
+                    if kind == BaselineKind::Eof {
+                        eof_mean = mean;
+                        cells.push(fmt1(mean));
+                    } else {
+                        cells.push(fmt_impr(eof_mean, mean));
+                    }
+                    eprintln!("  {} / {}: {:.1}", os.display(), kind.display(), mean);
+                }
+                None => cells.push("-".to_string()),
+            }
+        }
+        rows.push(cells);
+    }
+    let headers = ["Target OSs", "EOF", "EOF-nf", "Tardis", "Gustave"];
+    eof_bench::emit("table3", &headers, rows);
+}

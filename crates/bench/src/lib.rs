@@ -1,0 +1,114 @@
+//! `eof-bench` — the evaluation harness.
+//!
+//! One binary per table and figure of the paper (run them with
+//! `cargo run --release -p eof-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — supported-target matrix |
+//! | `table2` | Table 2 — previously-unknown bugs found |
+//! | `table3` | Table 3 — full-system coverage comparison |
+//! | `table4` | Table 4 — application-level coverage comparison |
+//! | `fig7` | Figure 7 — full-system coverage growth curves |
+//! | `fig8` | Figure 8 — application-level coverage growth curves |
+//! | `overhead_mem` | §5.5.1 — instrumentation memory overhead |
+//! | `overhead_exec` | §5.5.2 — instrumentation execution overhead |
+//! | `ablate_inputs` | ablation: API-aware vs random-byte generation |
+//! | `ablate_watchdogs` | ablation: watchdog set vs timeout-only |
+//! | `ablate_validation` | ablation: spec validation gate on/off |
+//! | `ablate_sched` | ablation: adjacency scheduling vs uniform |
+//!
+//! Every binary prints the paper-shaped table to stdout and writes
+//! machine-readable CSV into `results/`. Campaign scale is controlled by
+//! the `EOF_BENCH_HOURS` and `EOF_BENCH_REPS` environment variables
+//! (defaults: the paper's 24 simulated hours × 5 repetitions).
+
+use eof_core::report::{csv, curve_points_from_runs, text_table};
+use eof_core::{run_campaign, CampaignResult, FuzzerConfig};
+use std::path::Path;
+
+/// Simulated hours per campaign (default: the paper's 24).
+pub fn bench_hours() -> f64 {
+    std::env::var("EOF_BENCH_HOURS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24.0)
+}
+
+/// Repetitions per configuration (default: the paper's 5).
+pub fn bench_reps() -> usize {
+    std::env::var("EOF_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Run `reps` repetitions of a configuration with distinct seeds.
+pub fn run_reps(base: &FuzzerConfig, reps: usize) -> Vec<CampaignResult> {
+    (0..reps)
+        .map(|rep| {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed.wrapping_add(rep as u64 * 0x9e37);
+            cfg.spec_noise = cfg.spec_noise.map(|n| n.wrapping_add(rep as u64));
+            run_campaign(cfg)
+        })
+        .collect()
+}
+
+/// Mean branches across repetitions.
+pub fn mean_branches(results: &[CampaignResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.branches as f64).sum::<f64>() / results.len() as f64
+}
+
+/// Write a text report and its CSV twin into `results/`.
+pub fn write_outputs(name: &str, text: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("{name}.txt")), text);
+    let _ = std::fs::write(dir.join(format!("{name}.csv")), csv(headers, rows));
+    println!("{text}");
+    println!("[written results/{name}.txt and results/{name}.csv]");
+}
+
+/// Format a mean with the paper's one-decimal style.
+pub fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format an improvement percentage the way the paper parenthesises it.
+pub fn fmt_impr(eof: f64, other: f64) -> String {
+    if other == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:.1} (+{:.2}%)", other, (eof - other) / other * 100.0)
+}
+
+/// Curve rows (hours, mean, min, max) for a set of runs of one fuzzer.
+pub fn curve_rows(label: &str, runs: &[CampaignResult]) -> Vec<Vec<String>> {
+    let histories: Vec<&[eof_coverage::Snapshot]> =
+        runs.iter().map(|r| r.history.as_slice()).collect();
+    curve_points_from_runs(&histories)
+        .into_iter()
+        .map(|p| {
+            vec![
+                label.to_string(),
+                format!("{:.2}", p.hours),
+                format!("{:.1}", p.mean),
+                p.min.to_string(),
+                p.max.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Convenience re-export for binaries.
+pub use eof_core::report::text_table as table;
+
+/// Assemble and print a named report (helper shared by binaries).
+pub fn emit(name: &str, headers: &[&str], rows: Vec<Vec<String>>) {
+    let text = text_table(headers, &rows);
+    write_outputs(name, &text, headers, &rows);
+}

@@ -1,0 +1,168 @@
+//! Campaign orchestration: image build → flash → boot → fuzz → results.
+//!
+//! `run_campaign` is the single entry point every example and bench uses:
+//! it performs the paper's workflow steps ① analyse the memory layout
+//! (kconfig), ② generate and validate the API specifications, ③ build
+//! the instrumented image, then attaches over the debug interface and
+//! runs the fuzzing loop to its simulated-time budget.
+
+use crate::config::FuzzerConfig;
+use crate::crash::CrashReport;
+use crate::executor::Executor;
+use crate::fuzzer::{Fuzzer, FuzzerStats};
+use crate::gen::Generator;
+use eof_agent::{agent_loader, api_table_of};
+use eof_coverage::Snapshot;
+use eof_dap::{DebugTransport, LinkConfig};
+use eof_monitors::{parse_kconfig, render_kconfig, StateRestoration};
+use eof_rtos::bugs::BugId;
+use eof_rtos::image::build_image;
+use eof_specgen::{generate_validated, GenReport, NoiseConfig};
+use eof_hal::Machine;
+
+/// Everything a campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Distinct branches discovered.
+    pub branches: usize,
+    /// Coverage-over-time curve (hours since campaign start).
+    pub history: Vec<Snapshot>,
+    /// De-duplicated crashes.
+    pub crashes: Vec<CrashReport>,
+    /// Table-2 bugs found, sorted.
+    pub bugs: Vec<BugId>,
+    /// Loop statistics.
+    pub stats: FuzzerStats,
+    /// Spec-generation report (admission pipeline).
+    pub spec_report: GenReport,
+    /// Image size flashed, in bytes.
+    pub image_bytes: usize,
+}
+
+/// Run one full campaign, also returning the final coverage map (for
+/// diagnostics and coverage-inspection tooling).
+pub fn run_campaign_with_coverage(
+    config: FuzzerConfig,
+) -> (CampaignResult, eof_coverage::CoverageMap) {
+    run_campaign_inner(config)
+}
+
+/// Run one full campaign.
+pub fn run_campaign(config: FuzzerConfig) -> CampaignResult {
+    run_campaign_inner(config).0
+}
+
+fn run_campaign_inner(config: FuzzerConfig) -> (CampaignResult, eof_coverage::CoverageMap) {
+    // ② Extract + validate the API specifications.
+    let noise = match config.spec_noise {
+        Some(seed) => NoiseConfig::default_llm(seed),
+        None => NoiseConfig::none(),
+    };
+    let (mut spec, spec_report) = generate_validated(config.os, &noise, config.spec_validation);
+
+    // Baselines with hand-written specs never had LLM pseudo-syscalls.
+    if config.exclude_pseudo {
+        spec.apis.retain(|a| !a.is_pseudo());
+    }
+
+    // Application-level confinement: keep only the filtered modules'
+    // APIs (by the kernel's own module attribution).
+    if let Some(modules) = &config.module_filter {
+        let kernel = eof_rtos::registry::make_kernel(config.os);
+        let allowed: std::collections::BTreeSet<&str> = kernel
+            .api_table()
+            .iter()
+            .filter(|d| modules.iter().any(|m| m == d.module))
+            .map(|d| d.name)
+            .collect();
+        spec.apis.retain(|a| allowed.contains(a.name.as_str()));
+    }
+
+    // ③ Build the (instrumented) image and flash it.
+    let image = build_image(config.os, config.profile, &config.instrument);
+    let image_bytes = image.len();
+    let mut machine = Machine::new(config.board.clone(), agent_loader());
+    machine
+        .reflash_partition("kernel", &image)
+        .expect("image fits kernel partition");
+    machine.reset();
+
+    // ① Memory layout from the build configuration.
+    let kconfig_text = render_kconfig(
+        &config.board.arch.to_string().to_lowercase(),
+        machine.flash().table(),
+    );
+    let kconfig = parse_kconfig(&kconfig_text).expect("rendered kconfig parses");
+    let restoration = StateRestoration::from_kconfig(
+        &kconfig,
+        config.board.flash_size,
+        vec![("kernel".to_string(), image)],
+    )
+    .expect("golden image fits");
+
+    // Attach over the debug interface and fuzz.
+    let transport = DebugTransport::attach(machine, LinkConfig::default());
+    let executor = Executor::new(
+        transport,
+        config.clone(),
+        api_table_of(config.os),
+        restoration,
+    )
+    .expect("executor binds to sync symbols");
+    let generator = Generator::new(spec, config.seed, config.gen_mode, config.max_calls);
+    let mut fuzzer = Fuzzer::new(config, generator, executor);
+    let history = fuzzer.run_to_budget();
+
+    let result = CampaignResult {
+        branches: fuzzer.executor().coverage().branches(),
+        history,
+        crashes: fuzzer.crashes().unique().cloned().collect(),
+        bugs: fuzzer.crashes().bugs_found(),
+        stats: fuzzer.stats().clone(),
+        spec_report,
+        image_bytes,
+    };
+    (result, fuzzer.executor().coverage().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_rtos::OsKind;
+
+    fn short(os: OsKind, seed: u64, hours: f64) -> FuzzerConfig {
+        let mut c = FuzzerConfig::eof(os, seed);
+        c.budget_hours = hours;
+        c.snapshot_hours = hours / 4.0;
+        c
+    }
+
+    #[test]
+    fn campaign_runs_on_every_os() {
+        for os in OsKind::ALL {
+            let r = run_campaign(short(os, 7, 0.02));
+            assert!(r.stats.execs > 5, "{os}: {} execs", r.stats.execs);
+            assert!(r.branches > 5, "{os}: {} branches", r.branches);
+            assert!(r.spec_report.admitted_apis > 0, "{os}");
+            assert!(r.image_bytes > 500_000, "{os}");
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_campaign(short(OsKind::Zephyr, 11, 0.02));
+        let b = run_campaign(short(OsKind::Zephyr, 11, 0.02));
+        assert_eq!(a.branches, b.branches);
+        assert_eq!(a.stats.execs, b.stats.execs);
+        assert_eq!(a.bugs, b.bugs);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_campaign(short(OsKind::Zephyr, 1, 0.02));
+        let b = run_campaign(short(OsKind::Zephyr, 2, 0.02));
+        // Not a strict requirement for every pair, but for these seeds
+        // the runs must not be identical.
+        assert!(a.stats.execs != b.stats.execs || a.branches != b.branches);
+    }
+}

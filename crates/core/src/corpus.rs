@@ -1,0 +1,183 @@
+//! Seed corpus and energy-weighted scheduling.
+//!
+//! "Inputs that trigger new coverage or a crash are marked as interesting
+//! and added to the corpus for further mutation" (§4.2). Seeds carry an
+//! energy that rises with the coverage they discovered (and, under EOF's
+//! unified feedback, with the crash signals they triggered) and decays as
+//! they are fuzzed, so the scheduler keeps pressure on fresh frontiers.
+
+use eof_speclang::prog::Prog;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One corpus entry.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// The test case.
+    pub prog: Prog,
+    /// New edges it discovered when admitted.
+    pub new_edges: usize,
+    /// Whether it triggered a crash/log signal.
+    pub crashed: bool,
+    /// Scheduling energy.
+    pub energy: f64,
+    /// Times this seed has been picked for mutation.
+    pub picks: u64,
+}
+
+/// The seed corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    seeds: Vec<Seed>,
+    max_seeds: usize,
+    admitted: u64,
+}
+
+impl Corpus {
+    /// A corpus bounded to `max_seeds` entries.
+    pub fn new(max_seeds: usize) -> Self {
+        Corpus {
+            seeds: Vec::new(),
+            max_seeds: max_seeds.max(1),
+            admitted: 0,
+        }
+    }
+
+    /// Number of live seeds.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// Total seeds ever admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Admit an interesting input. Energy scales with discovery size;
+    /// crash signals add a flat bonus (EOF's unified feedback).
+    pub fn admit(&mut self, prog: Prog, new_edges: usize, crashed: bool) {
+        let energy = 1.0 + (new_edges as f64).sqrt() + if crashed { 4.0 } else { 0.0 };
+        self.seeds.push(Seed {
+            prog,
+            new_edges,
+            crashed,
+            energy,
+            picks: 0,
+        });
+        self.admitted += 1;
+        if self.seeds.len() > self.max_seeds {
+            // Cull the lowest-energy seed.
+            if let Some((idx, _)) = self
+                .seeds
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.energy.partial_cmp(&b.1.energy).unwrap())
+            {
+                self.seeds.remove(idx);
+            }
+        }
+    }
+
+    /// Pick a seed for mutation, weighted by energy. Picking decays the
+    /// seed's energy.
+    pub fn pick(&mut self, rng: &mut StdRng) -> Option<&Seed> {
+        if self.seeds.is_empty() {
+            return None;
+        }
+        let total: f64 = self.seeds.iter().map(|s| s.energy).sum();
+        let mut roll = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = self.seeds.len() - 1;
+        for (i, s) in self.seeds.iter().enumerate() {
+            if roll < s.energy {
+                chosen = i;
+                break;
+            }
+            roll -= s.energy;
+        }
+        let s = &mut self.seeds[chosen];
+        s.picks += 1;
+        s.energy = (s.energy * 0.98).max(0.05);
+        Some(&self.seeds[chosen])
+    }
+
+    /// Iterate over seeds (reporting).
+    pub fn iter(&self) -> impl Iterator<Item = &Seed> {
+        self.seeds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_speclang::prog::Call;
+    use rand::SeedableRng;
+
+    fn prog(tag: &str) -> Prog {
+        Prog {
+            calls: vec![Call {
+                api: tag.to_string(),
+                args: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn admit_and_pick() {
+        let mut c = Corpus::new(8);
+        c.admit(prog("a"), 10, false);
+        c.admit(prog("b"), 1, false);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a_picks = 0;
+        for _ in 0..200 {
+            if c.pick(&mut rng).unwrap().prog.calls[0].api == "a" {
+                a_picks += 1;
+            }
+        }
+        // The 10-edge seed should be picked much more often.
+        assert!(a_picks > 110, "energy weighting broken: {a_picks}");
+    }
+
+    #[test]
+    fn crash_seeds_get_bonus_energy() {
+        let mut c = Corpus::new(8);
+        c.admit(prog("cov"), 4, false);
+        c.admit(prog("crash"), 0, true);
+        let crash_energy = c.iter().find(|s| s.crashed).unwrap().energy;
+        let cov_energy = c.iter().find(|s| !s.crashed).unwrap().energy;
+        assert!(crash_energy > cov_energy);
+    }
+
+    #[test]
+    fn culls_lowest_energy_when_full() {
+        let mut c = Corpus::new(2);
+        c.admit(prog("big"), 100, false);
+        c.admit(prog("mid"), 10, false);
+        c.admit(prog("tiny"), 0, false);
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|s| s.prog.calls[0].api != "tiny"));
+        assert_eq!(c.admitted(), 3);
+    }
+
+    #[test]
+    fn pick_decays_energy() {
+        let mut c = Corpus::new(4);
+        c.admit(prog("x"), 9, false);
+        let before = c.iter().next().unwrap().energy;
+        let mut rng = StdRng::seed_from_u64(2);
+        c.pick(&mut rng);
+        let after = c.iter().next().unwrap().energy;
+        assert!(after < before);
+    }
+
+    #[test]
+    fn empty_corpus_picks_none() {
+        let mut c = Corpus::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(c.pick(&mut rng).is_none());
+    }
+}

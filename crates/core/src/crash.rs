@@ -1,0 +1,196 @@
+//! Crash reports, de-duplication and Table-2 triage.
+
+use eof_rtos::bugs::{BugId, BUG_TABLE};
+use eof_rtos::OsKind;
+use eof_speclang::prog::Prog;
+use std::collections::BTreeMap;
+
+/// Which monitor produced a crash observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum DetectionSource {
+    /// Exception-handler breakpoint.
+    ExceptionMonitor,
+    /// UART log signature.
+    LogMonitor,
+    /// Hang noticed by a timeout (the only channel Tardis has).
+    Timeout,
+    /// PC-stall watchdog.
+    StallWatchdog,
+}
+
+/// One observed crash.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Target OS.
+    pub os: OsKind,
+    /// Crash banner / matched log line.
+    pub message: String,
+    /// Symbolised backtrace, innermost first (may be empty).
+    pub backtrace: Vec<String>,
+    /// How it was detected.
+    pub source: DetectionSource,
+    /// The test case that triggered it.
+    pub prog: Prog,
+    /// Simulated time (hours) at detection.
+    pub at_hours: f64,
+    /// Triaged Table-2 bug, if attributable.
+    pub bug: Option<BugId>,
+}
+
+/// Attribute a crash to a seeded Table-2 bug by matching the triggering
+/// operation's name against the backtrace and banner — the offline
+/// analysis step every fuzzer does on its crash dumps.
+pub fn triage(os: OsKind, message: &str, backtrace: &[String]) -> Option<BugId> {
+    for info in BUG_TABLE.iter().filter(|b| b.os == os) {
+        let op = info.operation.trim_end_matches("()");
+        if backtrace.iter().any(|f| f.contains(op)) || message.contains(op) {
+            return Some(info.id);
+        }
+    }
+    None
+}
+
+/// Stable de-duplication key: message class + top frames.
+fn dedup_key(report: &CrashReport) -> String {
+    let top: Vec<&str> = report
+        .backtrace
+        .iter()
+        .take(3)
+        .map(|s| s.as_str())
+        .collect();
+    // Message class: strip volatile digits so addresses and counters
+    // do not split one bug into many buckets.
+    let class: String = report
+        .message
+        .chars()
+        .map(|c| if c.is_ascii_digit() { '#' } else { c })
+        .collect();
+    format!("{class}|{}", top.join(">"))
+}
+
+/// The de-duplicated crash database of one campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CrashDb {
+    unique: BTreeMap<String, CrashReport>,
+    total_observed: u64,
+}
+
+impl CrashDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation; returns `true` if it is a new unique crash.
+    pub fn record(&mut self, report: CrashReport) -> bool {
+        self.total_observed += 1;
+        let key = dedup_key(&report);
+        if self.unique.contains_key(&key) {
+            false
+        } else {
+            self.unique.insert(key, report);
+            true
+        }
+    }
+
+    /// Unique crashes.
+    pub fn unique(&self) -> impl Iterator<Item = &CrashReport> {
+        self.unique.values()
+    }
+
+    /// Count of unique crashes.
+    pub fn unique_count(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Raw observation count (before de-duplication).
+    pub fn total_observed(&self) -> u64 {
+        self.total_observed
+    }
+
+    /// The set of Table-2 bugs found, sorted by table number.
+    pub fn bugs_found(&self) -> Vec<BugId> {
+        let mut bugs: Vec<BugId> = self
+            .unique
+            .values()
+            .filter_map(|r| r.bug)
+            .collect();
+        bugs.sort();
+        bugs.dedup();
+        bugs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(msg: &str, frames: &[&str], bug: Option<BugId>) -> CrashReport {
+        CrashReport {
+            os: OsKind::RtThread,
+            message: msg.to_string(),
+            backtrace: frames.iter().map(|s| s.to_string()).collect(),
+            source: DetectionSource::ExceptionMonitor,
+            prog: Prog::new(),
+            at_hours: 1.0,
+            bug,
+        }
+    }
+
+    #[test]
+    fn triage_matches_figure6_backtrace() {
+        let frames: Vec<String> = ["rt_serial_write", "rt_device_write", "_kputs", "rt_kprintf", "sal_socket"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            triage(OsKind::RtThread, "BUG: unexpected stop", &frames),
+            Some(BugId::B12SerialWrite)
+        );
+    }
+
+    #[test]
+    fn triage_by_message() {
+        assert_eq!(
+            triage(OsKind::NuttX, "PANIC: NULL dereference in gettimeofday", &[]),
+            Some(BugId::B15Gettimeofday)
+        );
+        assert_eq!(triage(OsKind::NuttX, "all quiet", &[]), None);
+    }
+
+    #[test]
+    fn triage_respects_os() {
+        // A Zephyr-looking message on RT-Thread triages to nothing.
+        assert_eq!(
+            triage(OsKind::RtThread, "panic in z_impl_k_msgq_get", &[]),
+            None
+        );
+    }
+
+    #[test]
+    fn dedup_collapses_digit_variants() {
+        let mut db = CrashDb::new();
+        assert!(db.record(report("fault at 0x1000", &["f", "g"], None)));
+        assert!(!db.record(report("fault at 0x2344", &["f", "g"], None)));
+        assert_eq!(db.unique_count(), 1);
+        assert_eq!(db.total_observed(), 2);
+    }
+
+    #[test]
+    fn different_frames_stay_distinct() {
+        let mut db = CrashDb::new();
+        assert!(db.record(report("fault", &["f"], None)));
+        assert!(db.record(report("fault", &["h"], None)));
+        assert_eq!(db.unique_count(), 2);
+    }
+
+    #[test]
+    fn bugs_found_sorted_unique() {
+        let mut db = CrashDb::new();
+        db.record(report("a", &["x"], Some(BugId::B12SerialWrite)));
+        db.record(report("b", &["y"], Some(BugId::B05ObjectGetType)));
+        db.record(report("c", &["z"], Some(BugId::B05ObjectGetType)));
+        let bugs = db.bugs_found();
+        assert_eq!(bugs, vec![BugId::B05ObjectGetType, BugId::B12SerialWrite]);
+    }
+}

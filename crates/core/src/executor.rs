@@ -1,0 +1,825 @@
+//! One test case, end to end, over the debug port.
+//!
+//! The executor owns the probe session and implements the host half of
+//! the paper's Figure 4: it parks the target at `executor_main()`,
+//! writes the encoded prog into the agent's buffer, resumes, services
+//! `_kcmp_buf_full` drains, classifies exception halts, catches stalls
+//! with the liveness watchdogs (or a bare timeout, for the baselines),
+//! and restores the target when it degrades.
+
+use crate::config::FuzzerConfig;
+use crate::crash::{triage, CrashReport, DetectionSource};
+use eof_agent::AgentLayout;
+use eof_coverage::{CoverageMap, InstrumentMode};
+use eof_dap::{DebugTransport, LinkEvent};
+use eof_hal::clock::{secs_to_cycles, CYCLES_PER_SEC};
+use eof_monitors::{
+    parse_backtrace, Liveness, LivenessWatchdog, LogMonitor, PowerWatchdog, StateRestoration,
+};
+use eof_speclang::prog::Prog;
+use eof_speclang::wire::{encode_prog, ApiTable, WireOrder};
+
+/// Budget for one `continue` slice, in cycles.
+const SLICE_CYCLES: u64 = 2_000;
+
+/// Maximum slices per execution before the stall machinery engages hard.
+const MAX_SLICES: u32 = 24;
+
+/// Penalty for campaigns without reflash when a reboot fails to revive
+/// the target — the "manual intervention" the paper says such tools need.
+const MANUAL_INTERVENTION_SECS: u64 = 60;
+
+/// Outcome of one test-case execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutcome {
+    /// Edges newly discovered by this input.
+    pub new_edges: usize,
+    /// Total edges observed (including known ones).
+    pub edges_hit: usize,
+    /// Crash observed during this execution.
+    pub crash: Option<CrashReport>,
+    /// The target entered a degraded state (stall/timeout).
+    pub stalled: bool,
+    /// A restoration (reflash/reboot) was performed.
+    pub restored: bool,
+    /// The debug connection was lost at some point.
+    pub target_lost: bool,
+    /// Cycles consumed by this execution, all costs included.
+    pub cycles: u64,
+}
+
+/// The host-side executor bound to one probe session.
+pub struct Executor {
+    transport: DebugTransport,
+    config: FuzzerConfig,
+    layout: AgentLayout,
+    order: WireOrder,
+    api_table: ApiTable,
+    main_addr: u32,
+    buf_full_addr: u32,
+    exception_addr: Option<u32>,
+    log_monitor: LogMonitor,
+    watchdog: LivenessWatchdog,
+    power_watchdog: PowerWatchdog,
+    restoration: StateRestoration,
+    cov_map: CoverageMap,
+    at_main: bool,
+    execs: u64,
+    restorations: u64,
+    stall_events: u64,
+}
+
+impl Executor {
+    /// Bind an executor to a booted target. Arms the sync and monitor
+    /// breakpoints and parks the target at `executor_main`.
+    pub fn new(
+        mut transport: DebugTransport,
+        config: FuzzerConfig,
+        api_table: ApiTable,
+        restoration: StateRestoration,
+    ) -> Result<Self, eof_dap::DapError> {
+        // A mismatched board descriptor silently mis-addresses every
+        // RAM transaction; fail loudly instead.
+        if transport.machine().board().name != config.board.name {
+            return Err(eof_dap::DapError::Protocol(format!(
+                "config board {:?} does not match attached target {:?}",
+                config.board.name,
+                transport.machine().board().name
+            )));
+        }
+        let layout = AgentLayout::for_board(&config.board);
+        let order = eof_agent::wire_order_of(&config.board);
+        let main_addr = transport
+            .symbol("executor_main")
+            .ok_or_else(|| eof_dap::DapError::Protocol("no executor_main symbol".into()))?;
+        let buf_full_addr = transport
+            .symbol("_kcmp_buf_full")
+            .ok_or_else(|| eof_dap::DapError::Protocol("no _kcmp_buf_full symbol".into()))?;
+        transport.set_breakpoint(main_addr)?;
+        if config.instrument != InstrumentMode::None {
+            transport.set_breakpoint(buf_full_addr)?;
+        }
+        let exception_addr = if config.detection.exception_breakpoints {
+            let kernel = eof_rtos::registry::make_kernel(config.os);
+            let addr = transport.symbol(kernel.exception_symbol()).ok_or_else(|| {
+                eof_dap::DapError::Protocol("no exception symbol on target".into())
+            })?;
+            transport.set_breakpoint(addr)?;
+            Some(addr)
+        } else {
+            None
+        };
+        let mut exec = Executor {
+            transport,
+            config,
+            layout,
+            order,
+            api_table,
+            main_addr,
+            buf_full_addr,
+            exception_addr,
+            log_monitor: LogMonitor::new(),
+            watchdog: LivenessWatchdog::new(),
+            power_watchdog: PowerWatchdog::new(),
+            restoration,
+            cov_map: CoverageMap::new(),
+            at_main: false,
+            execs: 0,
+            restorations: 0,
+            stall_events: 0,
+        };
+        exec.sync_to_main();
+        Ok(exec)
+    }
+
+    /// The accumulated coverage map.
+    pub fn coverage(&self) -> &CoverageMap {
+        &self.cov_map
+    }
+
+    /// Mutable coverage access (for snapshots).
+    pub fn coverage_mut(&mut self) -> &mut CoverageMap {
+        &mut self.cov_map
+    }
+
+    /// Executions completed.
+    pub fn execs(&self) -> u64 {
+        self.execs
+    }
+
+    /// Restorations performed.
+    pub fn restorations(&self) -> u64 {
+        self.restorations
+    }
+
+    /// Stall/timeout events handled.
+    pub fn stall_events(&self) -> u64 {
+        self.stall_events
+    }
+
+    /// Current simulated time in hours.
+    pub fn now_hours(&self) -> f64 {
+        self.transport.now() as f64 / (CYCLES_PER_SEC as f64 * 3600.0)
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.transport.now()
+    }
+
+    /// The probe session (tests).
+    pub fn transport_mut(&mut self) -> &mut DebugTransport {
+        &mut self.transport
+    }
+
+    /// Raise a peripheral interrupt on the target (the §6 extension).
+    pub fn inject_peripheral_event(&mut self, line: u8, payload: Vec<u8>) {
+        self.transport.inject_irq(line, payload);
+    }
+
+    /// Park the target at `executor_main`, recovering if necessary.
+    fn sync_to_main(&mut self) {
+        for _ in 0..8 {
+            match self.transport.continue_until_halt(8 * SLICE_CYCLES) {
+                Ok(LinkEvent::BreakpointHit { pc }) if pc == self.main_addr => {
+                    self.at_main = true;
+                    return;
+                }
+                Ok(LinkEvent::BreakpointHit { .. }) | Ok(LinkEvent::StillRunning) => continue,
+                Ok(LinkEvent::WatchdogReset) => continue,
+                Ok(LinkEvent::TargetDead) | Err(_) => {
+                    self.recover();
+                }
+            }
+        }
+        // Could not reach main even after recovery attempts; leave
+        // `at_main` false — the next run will try again.
+        self.at_main = false;
+    }
+
+    /// Restore the target per the configured recovery policy.
+    fn recover(&mut self) {
+        self.restorations += 1;
+        if self.config.recovery.reflash {
+            let _ = self.restoration.restore(&mut self.transport);
+        } else {
+            // Reboot-only tools: try the cheap thing first.
+            let _ = self.transport.reset_target();
+            self.transport.sleep(secs_to_cycles(1));
+            if self.transport.read_pc().is_err() {
+                // Image is damaged; a human walks over with a flasher.
+                self.transport.sleep(secs_to_cycles(MANUAL_INTERVENTION_SECS));
+                let _ = self.restoration.restore(&mut self.transport);
+            }
+        }
+        self.watchdog.reset();
+    }
+
+    /// Drain the on-device coverage buffer and reset it.
+    fn drain_cov(&mut self) -> Vec<u64> {
+        if self.config.instrument == InstrumentMode::None {
+            return Vec::new();
+        }
+        let region = self.layout.cov;
+        let endian = self.config.board.endianness;
+        let mut header = [0u8; 12];
+        if self.transport.read_mem(region.base, &mut header).is_err() {
+            return Vec::new();
+        }
+        let count = endian
+            .u32_from([header[0], header[1], header[2], header[3]])
+            .min(region.capacity);
+        if count == 0 {
+            return Vec::new();
+        }
+        let mut records = vec![0u8; (count * 8) as usize];
+        if self
+            .transport
+            .read_mem(region.base + 12, &mut records)
+            .is_err()
+        {
+            return Vec::new();
+        }
+        let mut raw = header.to_vec();
+        raw.extend_from_slice(&records);
+        let (edges, _overflow) = region.parse_drain(&raw, endian);
+        // Reset the buffer for the agent.
+        let zero = endian.u32_bytes(0);
+        let _ = self.transport.write_mem(region.base, &zero);
+        let _ = self.transport.write_mem(region.base + 8, &zero);
+        edges
+    }
+
+    /// Apply the coverage observability model (GDBFuzz's rotating
+    /// hardware breakpoints see only a deterministic subset of edges).
+    fn observe(&self, edges: Vec<u64>) -> Vec<u64> {
+        let f = self.config.cov_observe_fraction.clamp(0.0, 1.0);
+        if f >= 1.0 {
+            return edges;
+        }
+        let threshold = (f * 1024.0) as u64;
+        edges
+            .into_iter()
+            .filter(|e| {
+                // Deterministic per-edge visibility: an edge either has a
+                // breakpoint slot in the rotation or it does not.
+                let h = (e ^ self.config.seed).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 54;
+                h < threshold
+            })
+            .collect()
+    }
+
+    /// Harvest UART output into the log monitor; returns matched lines.
+    fn scan_uart(&mut self) -> Vec<eof_monitors::LogHit> {
+        let bytes = self.transport.drain_uart();
+        self.log_monitor.feed(&bytes)
+    }
+
+    /// Build a crash report from the current banner tail.
+    fn crash_from_banner(&mut self, source: DetectionSource, prog: &Prog) -> CrashReport {
+        let tail: Vec<String> = self.log_monitor.tail().to_vec();
+        let backtrace = parse_backtrace(&tail);
+        // The banner's headline: the most recent crash-looking line that
+        // is not a frame line.
+        let message = tail
+            .iter()
+            .rev()
+            .find(|l| !l.starts_with("Level:") && !l.starts_with("Stack frames"))
+            .cloned()
+            .unwrap_or_else(|| "crash".to_string());
+        let bug = triage(self.config.os, &message, &backtrace).or_else(|| {
+            tail.iter()
+                .rev()
+                .find_map(|l| triage(self.config.os, l, &backtrace))
+        });
+        CrashReport {
+            os: self.config.os,
+            message,
+            backtrace,
+            source,
+            prog: prog.clone(),
+            at_hours: self.now_hours(),
+            bug,
+        }
+    }
+
+    /// Execute one prog. This is the body of the fuzzing loop.
+    pub fn run_one(&mut self, prog: &Prog) -> ExecOutcome {
+        let start = self.transport.now();
+        let mut outcome = ExecOutcome::default();
+        let mut all_edges: Vec<u64> = Vec::new();
+        // Scope crash attribution to this execution: stale banner lines
+        // from an earlier test case must not leak into this one's
+        // backtrace recovery.
+        self.log_monitor.clear_tail();
+
+        if !self.at_main {
+            self.sync_to_main();
+            if !self.at_main {
+                // Target unreachable; one more recovery, then give up on
+                // this exec (time was charged).
+                self.recover();
+                outcome.restored = true;
+                outcome.target_lost = true;
+                outcome.cycles = self.transport.now() - start;
+                self.sync_to_main();
+                return outcome;
+            }
+        }
+
+        // Upload the prog.
+        let Ok(bytes) = encode_prog(prog, &self.api_table, self.order) else {
+            outcome.cycles = self.transport.now() - start;
+            return outcome;
+        };
+        let endian = self.config.board.endianness;
+        let len_bytes = endian.u32_bytes(bytes.len() as u32);
+        if self
+            .transport
+            .write_mem(self.layout.prog_addr, &len_bytes)
+            .is_err()
+            || self
+                .transport
+                .write_mem(self.layout.prog_addr + 4, &bytes)
+                .is_err()
+        {
+            self.recover();
+            outcome.restored = true;
+            outcome.target_lost = true;
+            outcome.cycles = self.transport.now() - start;
+            self.sync_to_main();
+            return outcome;
+        }
+        self.at_main = false;
+
+        let mut crashed_this_exec = false;
+        let mut parked_hits = 0u32;
+        let mut slices = 0u32;
+        loop {
+            slices += 1;
+            if slices > MAX_SLICES {
+                // Pathologically long execution: treat as degraded.
+                self.stall_events += 1;
+                outcome.stalled = true;
+                let _ = self.scan_uart();
+                self.recover();
+                outcome.restored = true;
+                break;
+            }
+            match self.transport.continue_until_halt(SLICE_CYCLES) {
+                Ok(LinkEvent::BreakpointHit { pc }) if pc == self.main_addr => {
+                    // Prog finished.
+                    self.at_main = true;
+                    break;
+                }
+                Ok(LinkEvent::BreakpointHit { pc }) if pc == self.buf_full_addr => {
+                    all_edges.extend(self.drain_cov());
+                    continue;
+                }
+                Ok(LinkEvent::BreakpointHit { pc })
+                    if Some(pc) == self.exception_addr && !crashed_this_exec =>
+                {
+                    crashed_this_exec = true;
+                    // Let the handler print its banner: the banner steps
+                    // keep the PC on the handler, so each one re-halts.
+                    for _ in 0..12 {
+                        match self.transport.continue_until_halt(64) {
+                            Ok(LinkEvent::BreakpointHit { pc: p }) if Some(p) == self.exception_addr => {
+                                continue
+                            }
+                            _ => break,
+                        }
+                    }
+                    let _ = self.scan_uart();
+                    // Crash-path coverage matters (the paper feeds crash
+                    // signals back as guidance): drain before anything
+                    // resets the buffer.
+                    all_edges.extend(self.drain_cov());
+                    let report =
+                        self.crash_from_banner(DetectionSource::ExceptionMonitor, prog);
+                    outcome.crash = Some(report);
+                    continue;
+                }
+                Ok(LinkEvent::BreakpointHit { pc }) if Some(pc) == self.exception_addr => {
+                    // Still parked in the handler after reporting. A
+                    // recoverable fault walks out within a couple of
+                    // resumes; a hanging one never does — apply the
+                    // configured liveness channel to decide how fast the
+                    // campaign notices.
+                    parked_hits += 1;
+                    if parked_hits < 3 {
+                        continue;
+                    }
+                    let declare = if self.config.recovery.stall_watchdog {
+                        // Algorithm 1's PC check: the PC has provably not
+                        // left the handler across three resumes.
+                        true
+                    } else if self.config.recovery.power_liveness {
+                        self.power_watchdog
+                            .check(&mut self.transport)
+                            .is_liveness_issue()
+                    } else if let Some(secs) = self.config.detection.timeout_only_secs {
+                        self.transport.now() - start >= secs_to_cycles(secs)
+                    } else {
+                        false
+                    };
+                    if declare {
+                        self.stall_events += 1;
+                        outcome.stalled = true;
+                        all_edges.extend(self.drain_cov());
+                        let _ = self.scan_uart();
+                        self.recover();
+                        outcome.restored = true;
+                        break;
+                    }
+                    continue;
+                }
+                Ok(LinkEvent::BreakpointHit { .. }) => continue,
+                Ok(LinkEvent::WatchdogReset) => {
+                    outcome.stalled = true;
+                    self.at_main = false;
+                    break;
+                }
+                Ok(LinkEvent::StillRunning) => {
+                    if self.config.recovery.power_liveness && !self.config.recovery.stall_watchdog {
+                        // §6 extension: the current probe spots plateaus
+                        // (spin loops) and idle draw (dead core) without
+                        // touching the debug link.
+                        if self.power_watchdog.check(&mut self.transport).is_liveness_issue() {
+                            self.stall_events += 1;
+                            outcome.stalled = true;
+                            let hits = self.scan_uart();
+                            if self.config.detection.log_monitor {
+                                if let Some(hit) = hits.first() {
+                                    let mut report = self
+                                        .crash_from_banner(DetectionSource::LogMonitor, prog);
+                                    report.message = hit.line.clone();
+                                    report.bug = triage(
+                                        self.config.os,
+                                        &hit.line,
+                                        &report.backtrace,
+                                    )
+                                    .or(report.bug);
+                                    outcome.crash = Some(report);
+                                }
+                            }
+                            self.recover();
+                            outcome.restored = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    if self.config.recovery.stall_watchdog {
+                        match self.watchdog.check(&mut self.transport) {
+                            Liveness::Alive => continue,
+                            Liveness::Stalled { .. } | Liveness::ConnectionTimeout => {
+                                self.stall_events += 1;
+                                outcome.stalled = true;
+                                all_edges.extend(self.drain_cov());
+                                let hits = self.scan_uart();
+                                if self.config.detection.log_monitor {
+                                    if let Some(hit) = hits.first() {
+                                        let mut report = self.crash_from_banner(
+                                            DetectionSource::LogMonitor,
+                                            prog,
+                                        );
+                                        report.message = hit.line.clone();
+                                        report.bug = triage(
+                                            self.config.os,
+                                            &hit.line,
+                                            &report.backtrace,
+                                        )
+                                        .or(report.bug);
+                                        outcome.crash = Some(report);
+                                    }
+                                }
+                                self.recover();
+                                outcome.restored = true;
+                                break;
+                            }
+                        }
+                    } else if let Some(secs) = self.config.detection.timeout_only_secs {
+                        // Timeout-only liveness: keep burning slices until
+                        // the patience runs out.
+                        if self.transport.now() - start >= secs_to_cycles(secs) {
+                            self.stall_events += 1;
+                            outcome.stalled = true;
+                            all_edges.extend(self.drain_cov());
+                            // Offline triage of whatever the UART holds.
+                            let _ = self.scan_uart();
+                            let tail = self.log_monitor.tail().to_vec();
+                            let crash_line = tail.iter().rev().find(|l| {
+                                eof_monitors::PatternSet::default_crash_patterns()
+                                    .first_match(l)
+                                    .is_some()
+                            });
+                            if let Some(line) = crash_line {
+                                let backtrace = parse_backtrace(&tail);
+                                let bug = triage(self.config.os, line, &backtrace);
+                                outcome.crash = Some(CrashReport {
+                                    os: self.config.os,
+                                    message: line.clone(),
+                                    backtrace,
+                                    source: DetectionSource::Timeout,
+                                    prog: prog.clone(),
+                                    at_hours: self.now_hours(),
+                                    bug,
+                                });
+                            }
+                            self.recover();
+                            outcome.restored = true;
+                            break;
+                        }
+                        continue;
+                    } else {
+                        // No stall detection at all: rely on MAX_SLICES.
+                        continue;
+                    }
+                }
+                Ok(LinkEvent::TargetDead) | Err(_) => {
+                    outcome.target_lost = true;
+                    outcome.stalled = true;
+                    let _ = self.scan_uart();
+                    self.recover();
+                    outcome.restored = true;
+                    break;
+                }
+            }
+        }
+
+        // Final coverage drain (healthy completion path).
+        if self.at_main {
+            all_edges.extend(self.drain_cov());
+        }
+
+        // Log monitor on the healthy path too (non-hanging assert spam).
+        let hits = self.scan_uart();
+        if self.config.detection.log_monitor && outcome.crash.is_none() {
+            if let Some(hit) = hits.first() {
+                let mut report = self.crash_from_banner(DetectionSource::LogMonitor, prog);
+                report.message = hit.line.clone();
+                report.bug =
+                    triage(self.config.os, &hit.line, &report.backtrace).or(report.bug);
+                outcome.crash = Some(report);
+            }
+        }
+
+        let observed = self.observe(all_edges);
+        outcome.edges_hit = observed.len();
+        outcome.new_edges = self.cov_map.merge(&observed);
+        self.execs += 1;
+
+        // Baseline execution-cost model (QEMU TCG, semihosting traps).
+        let spent = self.transport.now() - start;
+        if self.config.exec_cost_multiplier > 1.0 {
+            let extra = ((self.config.exec_cost_multiplier - 1.0) * spent as f64) as u64;
+            self.transport.sleep(extra);
+        }
+        outcome.cycles = self.transport.now() - start;
+        if outcome.cycles > 1_000_000 && std::env::var_os("EOF_DEBUG_SLOW").is_some() {
+            eprintln!("[slow exec: {} cycles]\n{prog}", outcome.cycles);
+        }
+
+        if !self.at_main {
+            self.sync_to_main();
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DetectionConfig, FuzzerConfig};
+    use eof_agent::{api_table_of, boot_machine};
+    use eof_dap::LinkConfig;
+    use eof_monitors::{parse_kconfig, render_kconfig};
+    use eof_rtos::image::{build_image, ImageProfile};
+    use eof_rtos::OsKind;
+    use eof_speclang::prog::{ArgValue, Call};
+
+    fn executor_for(config: FuzzerConfig) -> Executor {
+        let image = build_image(config.os, config.profile, &config.instrument);
+        let machine = boot_machine(
+            config.board.clone(),
+            config.os,
+            config.profile,
+            &config.instrument,
+        );
+        let kconfig =
+            parse_kconfig(&render_kconfig("arm", machine.flash().table())).unwrap();
+        let restoration = StateRestoration::from_kconfig(
+            &kconfig,
+            config.board.flash_size,
+            vec![("kernel".to_string(), image)],
+        )
+        .unwrap();
+        let transport = DebugTransport::attach(machine, LinkConfig::default());
+        let table = api_table_of(config.os);
+        Executor::new(transport, config, table, restoration).unwrap()
+    }
+
+    fn call(api: &str, args: Vec<ArgValue>) -> Call {
+        Call {
+            api: api.into(),
+            args,
+        }
+    }
+
+    #[test]
+    fn healthy_prog_executes_and_covers() {
+        let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 1));
+        let prog = Prog {
+            calls: vec![
+                call("xQueueCreate", vec![ArgValue::Int(4), ArgValue::Int(16)]),
+                call(
+                    "xQueueSend",
+                    vec![ArgValue::ResourceRef(0), ArgValue::Buffer(vec![1, 2, 3])],
+                ),
+                call("json_parse", vec![ArgValue::Buffer(br#"{"a":[1,2]}"#.to_vec())]),
+            ],
+        };
+        let out = e.run_one(&prog);
+        assert!(out.crash.is_none(), "{:?}", out.crash);
+        assert!(!out.stalled);
+        assert!(out.new_edges > 0, "no coverage observed");
+        assert_eq!(e.execs(), 1);
+        // Re-running the same prog finds nothing new.
+        let out2 = e.run_one(&prog);
+        assert_eq!(out2.new_edges, 0);
+        assert!(out2.edges_hit > 0);
+    }
+
+    #[test]
+    fn exception_bug_is_caught_and_triaged() {
+        let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 2));
+        let prog = Prog {
+            calls: vec![call(
+                "load_partitions",
+                vec![ArgValue::Int(3), ArgValue::Int(0x10)],
+            )],
+        };
+        let out = e.run_one(&prog);
+        let crash = out.crash.expect("crash detected");
+        assert_eq!(crash.source, DetectionSource::ExceptionMonitor);
+        assert_eq!(crash.bug.map(|b| b.number()), Some(13));
+        assert!(crash.backtrace.iter().any(|f| f.contains("load_partitions")));
+        // Recoverable fault: no restoration needed.
+        assert!(!out.restored);
+        // The target keeps fuzzing.
+        let out2 = e.run_one(&Prog {
+            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[]".to_vec())])],
+        });
+        assert!(out2.crash.is_none());
+    }
+
+    #[test]
+    fn hanging_bug_is_caught_by_log_monitor_and_restored() {
+        let mut e = executor_for(FuzzerConfig::eof(OsKind::RtThread, 3));
+        // Bug #8: assert + hang; detection class is the log monitor.
+        let prog = Prog {
+            calls: vec![call(
+                "rt_object_init",
+                vec![ArgValue::Int(6), ArgValue::CString(String::new())],
+            )],
+        };
+        let out = e.run_one(&prog);
+        let crash = out.crash.expect("crash detected");
+        assert_eq!(crash.source, DetectionSource::LogMonitor);
+        assert_eq!(crash.bug.map(|b| b.number()), Some(8));
+        assert!(out.stalled);
+        assert!(out.restored);
+        // Target restored and fuzzing continues.
+        let out2 = e.run_one(&Prog {
+            calls: vec![call("rt_malloc", vec![ArgValue::Int(64)])],
+        });
+        assert!(out2.crash.is_none(), "{:?}", out2.crash);
+        assert!(e.restorations() >= 1);
+    }
+
+    #[test]
+    fn legit_hang_is_degraded_state_not_bug() {
+        let mut e = executor_for(FuzzerConfig::eof(OsKind::Zephyr, 4));
+        // A K_FOREVER get on an empty queue is bounded by the agent and
+        // is NOT a degraded state.
+        let bounded = Prog {
+            calls: vec![
+                call("k_msgq_alloc_init", vec![ArgValue::Int(4), ArgValue::Int(16)]),
+                call(
+                    "z_impl_k_msgq_get",
+                    vec![ArgValue::ResourceRef(0), ArgValue::Int(u64::MAX)],
+                ),
+            ],
+        };
+        let out = e.run_one(&bounded);
+        assert!(!out.stalled);
+        assert!(out.crash.is_none(), "{:?}", out.crash);
+        // A frozen core (injected execution stall) IS a degraded state:
+        // the watchdog recovers it without calling it a bug.
+        let now = e.transport_mut().now();
+        e.transport_mut()
+            .machine_mut()
+            .set_fault_plan(eof_hal::FaultPlan::none().at(now + 10, eof_hal::InjectedFault::FreezeFirmware));
+        let out = e.run_one(&bounded);
+        assert!(out.stalled);
+        assert!(out.restored);
+        assert!(out.crash.is_none(), "{:?}", out.crash);
+        assert!(e.stall_events() >= 1);
+    }
+
+    #[test]
+    fn timeout_only_detection_sees_hanging_bug_late() {
+        let mut cfg = FuzzerConfig::eof(OsKind::Zephyr, 5);
+        cfg.detection = DetectionConfig::timeout_only(10);
+        cfg.recovery = crate::config::RecoveryConfig::reboot_only();
+        let mut e = executor_for(cfg);
+        // Bug #4 hangs after the fault; timeout-only tools notice the
+        // hang and triage offline from the UART tail.
+        let prog = Prog {
+            calls: vec![call("k_heap_init", vec![ArgValue::Int(12), ArgValue::Int(7)])],
+        };
+        let before = e.now();
+        let out = e.run_one(&prog);
+        let crash = out.crash.expect("timeout-detected crash");
+        assert_eq!(crash.source, DetectionSource::Timeout);
+        assert_eq!(crash.bug.map(|b| b.number()), Some(4));
+        // And it took at least the timeout patience.
+        assert!(e.now() - before >= secs_to_cycles(10));
+    }
+
+    #[test]
+    fn timeout_only_misses_recoverable_bug() {
+        let mut cfg = FuzzerConfig::eof(OsKind::FreeRtos, 6);
+        cfg.detection = DetectionConfig::timeout_only(10);
+        let mut e = executor_for(cfg);
+        // Bug #13 does not hang: without exception breakpoints it is
+        // invisible.
+        let prog = Prog {
+            calls: vec![call(
+                "load_partitions",
+                vec![ArgValue::Int(3), ArgValue::Int(0x10)],
+            )],
+        };
+        let out = e.run_one(&prog);
+        assert!(out.crash.is_none());
+        assert!(!out.stalled);
+    }
+
+    #[test]
+    fn uninstrumented_run_sees_no_edges() {
+        let mut cfg = FuzzerConfig::eof(OsKind::FreeRtos, 7);
+        cfg.instrument = InstrumentMode::None;
+        let mut e = executor_for(cfg);
+        let out = e.run_one(&Prog {
+            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
+        });
+        assert_eq!(out.new_edges, 0);
+        assert!(out.crash.is_none());
+    }
+
+    #[test]
+    fn observe_fraction_reduces_feedback() {
+        let mut full_cfg = FuzzerConfig::eof(OsKind::FreeRtos, 8);
+        full_cfg.instrument = InstrumentMode::Modules(vec!["json".into(), "http".into()]);
+        let mut partial_cfg = full_cfg.clone();
+        partial_cfg.cov_observe_fraction = 0.15;
+        let prog = Prog {
+            calls: vec![
+                call(
+                    "json_parse",
+                    vec![ArgValue::Buffer(br#"{"k":[1,true,"s"],"m":{}}"#.to_vec())],
+                ),
+                call(
+                    "http_request",
+                    vec![ArgValue::Buffer(b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n".to_vec())],
+                ),
+            ],
+        };
+        let mut full = executor_for(full_cfg);
+        let mut partial = executor_for(partial_cfg);
+        let f = full.run_one(&prog);
+        let p = partial.run_one(&prog);
+        assert!(
+            p.new_edges < f.new_edges,
+            "partial observation ({}) must see less than full ({})",
+            p.new_edges,
+            f.new_edges
+        );
+    }
+
+    #[test]
+    fn exec_cost_multiplier_slows_execution() {
+        let mut fast_cfg = FuzzerConfig::eof(OsKind::FreeRtos, 9);
+        fast_cfg.board = eof_rtos::registry::default_board(OsKind::FreeRtos);
+        let mut slow_cfg = fast_cfg.clone();
+        slow_cfg.exec_cost_multiplier = 2.0;
+        let prog = Prog {
+            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1,2]".to_vec())])],
+        };
+        let mut fast = executor_for(fast_cfg);
+        let mut slow = executor_for(slow_cfg);
+        let cf = fast.run_one(&prog).cycles;
+        let cs = slow.run_one(&prog).cycles;
+        assert!(cs > cf + cf / 2, "multiplier not applied: {cf} vs {cs}");
+    }
+}

@@ -1,0 +1,306 @@
+//! The feedback-guided fuzzing loop.
+//!
+//! Each iteration either mutates a corpus seed or generates a fresh
+//! prog, executes it via the [`Executor`], and — when feedback is
+//! enabled — admits interesting inputs to the corpus and rewards their
+//! call adjacencies (§4.5). Without feedback (EOF-nf) every input is
+//! fresh and nothing is retained, which is exactly the ablation the
+//! paper measures.
+
+use crate::config::FuzzerConfig;
+use crate::corpus::Corpus;
+use crate::crash::CrashDb;
+use crate::executor::Executor;
+use crate::gen::Generator;
+use eof_coverage::Snapshot;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Aggregate counters of one campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzerStats {
+    /// Test cases executed.
+    pub execs: u64,
+    /// Inputs that discovered new coverage.
+    pub interesting: u64,
+    /// Crash observations (pre-dedup).
+    pub crash_observations: u64,
+    /// Stall/timeout degraded states handled.
+    pub stalls: u64,
+    /// Restorations performed.
+    pub restorations: u64,
+}
+
+/// The EOF fuzzing loop.
+pub struct Fuzzer {
+    config: FuzzerConfig,
+    generator: Generator,
+    corpus: Corpus,
+    executor: Executor,
+    crashes: CrashDb,
+    rng: StdRng,
+    stats: FuzzerStats,
+}
+
+impl Fuzzer {
+    /// Assemble the loop.
+    pub fn new(config: FuzzerConfig, generator: Generator, executor: Executor) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xf00d);
+        Fuzzer {
+            config,
+            generator,
+            corpus: Corpus::new(256),
+            executor,
+            crashes: CrashDb::new(),
+            rng,
+            stats: FuzzerStats::default(),
+        }
+    }
+
+    /// The crash database.
+    pub fn crashes(&self) -> &CrashDb {
+        &self.crashes
+    }
+
+    /// The corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Loop statistics.
+    pub fn stats(&self) -> &FuzzerStats {
+        &self.stats
+    }
+
+    /// The executor (coverage access).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Run one fuzzing iteration: pick or generate an input, execute it,
+    /// and — when it discovers new coverage — immediately exploit the
+    /// frontier with a burst of follow-up mutations (the AFL-style
+    /// reaction that lets guided search climb breadcrumb ladders).
+    pub fn step(&mut self) {
+        let prog = if self.config.coverage_feedback && !self.corpus.is_empty() && self.rng.random_bool(0.5)
+        {
+            let seed_prog = self
+                .corpus
+                .pick(&mut self.rng)
+                .map(|s| s.prog.clone())
+                .unwrap_or_default();
+            self.generator.mutate(&seed_prog)
+        } else {
+            self.generator.generate()
+        };
+        let (mut frontier, _) = self.run_and_record(prog);
+        if !self.config.coverage_feedback {
+            return;
+        }
+        // Frontier burst: chase each discovery with focused mutations.
+        // A stalling mutant ends the burst — hammering inputs adjacent
+        // to a hang melts the budget in restorations.
+        let mut burst_budget = 24u32;
+        'burst: while let Some(seed) = frontier.take() {
+            for _ in 0..8 {
+                if burst_budget == 0 {
+                    break 'burst;
+                }
+                burst_budget -= 1;
+                let mutant = self.generator.mutate(&seed);
+                let (next, stalled) = self.run_and_record(mutant);
+                if stalled {
+                    break 'burst;
+                }
+                if let Some(next) = next {
+                    frontier = Some(next);
+                    continue 'burst;
+                }
+            }
+        }
+    }
+
+    /// Execute one prog with full bookkeeping. Returns the prog when it
+    /// was interesting (new coverage or a new crash class) — the caller
+    /// may exploit it further — plus whether the target stalled.
+    fn run_and_record(
+        &mut self,
+        prog: eof_speclang::prog::Prog,
+    ) -> (Option<eof_speclang::prog::Prog>, bool) {
+        if prog.is_empty() {
+            return (None, false);
+        }
+        // §6 extension: stimulate interrupt paths alongside the test case.
+        if self.config.peripheral_events {
+            for _ in 0..self.rng.random_range(0..=2u32) {
+                match self.rng.random_range(0..3u32) {
+                    0 => self.executor.inject_peripheral_event(eof_hal::irq::GPIO, Vec::new()),
+                    1 => {
+                        let len = self.rng.random_range(0..24usize);
+                        let payload = (0..len).map(|_| self.rng.random()).collect();
+                        self.executor
+                            .inject_peripheral_event(eof_hal::irq::SERIAL_RX, payload);
+                    }
+                    _ => self.executor.inject_peripheral_event(eof_hal::irq::TIMER, Vec::new()),
+                }
+            }
+        }
+        let outcome = self.executor.run_one(&prog);
+        self.stats.execs += 1;
+        if outcome.stalled {
+            self.stats.stalls += 1;
+        }
+        if outcome.restored {
+            self.stats.restorations += 1;
+        }
+        let crashed = outcome.crash.is_some();
+        let mut new_crash_class = false;
+        if let Some(report) = outcome.crash {
+            self.stats.crash_observations += 1;
+            new_crash_class = self.crashes.record(report);
+        }
+        if outcome.new_edges > 0 {
+            self.stats.interesting += 1;
+        }
+        // Feedback: coverage always admits; crash signals admit only
+        // under EOF's unified feedback. Inputs that *hang* the target are
+        // quarantined (recorded but never mutated) — re-running them costs
+        // a restoration every time, so keeping them hot would melt the
+        // campaign budget. AFL-lineage fuzzers do the same with their
+        // hangs/ directory.
+        // A crash is only *interesting* the first time its class is seen
+        // — re-admitting every duplicate crash floods the corpus with
+        // prog-truncating inputs and starves breadth.
+        let _ = crashed;
+        let hangs_target = outcome.stalled;
+        let interesting = !hangs_target
+            && ((self.config.coverage_feedback && outcome.new_edges > 0)
+                || (self.config.crash_feedback && new_crash_class));
+        if interesting {
+            self.generator
+                .reward(&prog, 0.5 + (outcome.new_edges as f64).sqrt() * 0.25);
+            self.corpus.admit(prog.clone(), outcome.new_edges, new_crash_class);
+            return (Some(prog), outcome.stalled);
+        }
+        (None, outcome.stalled)
+    }
+
+    /// Run until the simulated-time budget is exhausted, snapshotting
+    /// coverage on the configured interval. Returns the coverage curve.
+    pub fn run_to_budget(&mut self) -> Vec<Snapshot> {
+        let start_hours = self.executor.now_hours();
+        let end_hours = start_hours + self.config.budget_hours;
+        let mut next_snap = start_hours + self.config.snapshot_hours;
+        while self.executor.now_hours() < end_hours {
+            self.step();
+            while self.executor.now_hours() >= next_snap {
+                let h = next_snap - start_hours;
+                self.executor.coverage_mut().snapshot(h);
+                next_snap += self.config.snapshot_hours;
+                if next_snap > end_hours + self.config.snapshot_hours {
+                    break;
+                }
+            }
+        }
+        // Final snapshot at the budget boundary.
+        self.executor
+            .coverage_mut()
+            .snapshot(self.config.budget_hours);
+        self.executor.coverage().history().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenerationMode;
+    use crate::executor::Executor;
+    use eof_agent::{api_table_of, boot_machine};
+    use eof_dap::{DebugTransport, LinkConfig};
+    use eof_monitors::{parse_kconfig, render_kconfig, StateRestoration};
+    use eof_rtos::image::build_image;
+    use eof_rtos::OsKind;
+    use eof_specgen::extract_spec_text;
+    use eof_speclang::parser::parse_spec;
+
+    fn fuzzer_for(config: FuzzerConfig) -> Fuzzer {
+        let image = build_image(config.os, config.profile, &config.instrument);
+        let machine = boot_machine(
+            config.board.clone(),
+            config.os,
+            config.profile,
+            &config.instrument,
+        );
+        let kconfig = parse_kconfig(&render_kconfig("arm", machine.flash().table())).unwrap();
+        let restoration = StateRestoration::from_kconfig(
+            &kconfig,
+            config.board.flash_size,
+            vec![("kernel".to_string(), image)],
+        )
+        .unwrap();
+        let transport = DebugTransport::attach(machine, LinkConfig::default());
+        let executor = Executor::new(
+            transport,
+            config.clone(),
+            api_table_of(config.os),
+            restoration,
+        )
+        .unwrap();
+        let spec = parse_spec(&extract_spec_text(config.os)).unwrap();
+        let generator = Generator::new(spec, config.seed, config.gen_mode, config.max_calls);
+        Fuzzer::new(config, generator, executor)
+    }
+
+    #[test]
+    fn short_campaign_makes_progress() {
+        let mut cfg = FuzzerConfig::eof(OsKind::FreeRtos, 101);
+        cfg.budget_hours = 0.05;
+        cfg.snapshot_hours = 0.01;
+        let mut f = fuzzer_for(cfg);
+        let curve = f.run_to_budget();
+        assert!(f.stats().execs > 20, "too few execs: {}", f.stats().execs);
+        assert!(f.executor().coverage().branches() > 20);
+        assert!(!curve.is_empty());
+        // Curve is monotone.
+        for w in curve.windows(2) {
+            assert!(w[0].branches <= w[1].branches);
+        }
+    }
+
+    #[test]
+    fn feedback_builds_a_corpus() {
+        let mut cfg = FuzzerConfig::eof(OsKind::Zephyr, 102);
+        cfg.budget_hours = 0.05;
+        let mut f = fuzzer_for(cfg);
+        f.run_to_budget();
+        assert!(f.corpus().len() > 3, "corpus: {}", f.corpus().len());
+        assert!(f.stats().interesting > 3);
+    }
+
+    #[test]
+    fn no_feedback_keeps_corpus_empty() {
+        let mut cfg = FuzzerConfig::eof_nf(OsKind::Zephyr, 102);
+        cfg.budget_hours = 0.02;
+        let mut f = fuzzer_for(cfg);
+        f.run_to_budget();
+        assert_eq!(f.corpus().len(), 0);
+    }
+
+    #[test]
+    fn random_bytes_mode_covers_less() {
+        let mut api_cfg = FuzzerConfig::eof(OsKind::FreeRtos, 103);
+        api_cfg.budget_hours = 0.05;
+        let mut rnd_cfg = api_cfg.clone();
+        rnd_cfg.gen_mode = GenerationMode::RandomBytes;
+        let mut api = fuzzer_for(api_cfg);
+        let mut rnd = fuzzer_for(rnd_cfg);
+        api.run_to_budget();
+        rnd.run_to_budget();
+        let api_cov = api.executor().coverage().branches();
+        let rnd_cov = rnd.executor().coverage().branches();
+        assert!(
+            api_cov > rnd_cov,
+            "API-aware ({api_cov}) must beat random bytes ({rnd_cov})"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! `eof-core` — the EOF fuzzing engine (the paper's primary contribution).
+//!
+//! EOF is a feedback-guided fuzzer for embedded operating systems running
+//! on hardware, using the debug port as its single channel of control and
+//! observation. This crate is the host engine:
+//!
+//! * [`config`] — campaign configuration: target, budget, and the knobs
+//!   that also express every baseline fuzzer (detection set, generation
+//!   mode, recovery policy, coverage observability, execution-cost
+//!   multiplier);
+//! * [`gen`] — API-aware test-case generation and mutation over parsed
+//!   specifications, with resource-dependency satisfaction and
+//!   adjacency scoring (§4.5), plus the random-byte mode the baselines
+//!   use;
+//! * [`corpus`] — seed retention and energy-weighted scheduling;
+//! * [`crash`] — crash reports, de-duplication and Table-2 triage;
+//! * [`executor`] — one test case end to end over the debug link:
+//!   sync-point breakpoints, prog upload, coverage drain at
+//!   `_kcmp_buf_full`, exception/assert classification, stall handling
+//!   and state restoration;
+//! * [`fuzzer`] — the feedback loop;
+//! * [`campaign`] — image build → flash → boot → fuzz → results;
+//! * [`report`] — serialisable result records for the benches.
+
+pub mod campaign;
+pub mod config;
+pub mod corpus;
+pub mod crash;
+pub mod executor;
+pub mod fuzzer;
+pub mod gen;
+pub mod minimize;
+pub mod report;
+
+pub use campaign::{run_campaign, run_campaign_with_coverage, CampaignResult};
+pub use config::{DetectionConfig, FuzzerConfig, GenerationMode, RecoveryConfig};
+pub use corpus::{Corpus, Seed};
+pub use crash::{triage, CrashDb, CrashReport, DetectionSource};
+pub use executor::{ExecOutcome, Executor};
+pub use fuzzer::{Fuzzer, FuzzerStats};
+pub use gen::Generator;
+pub use minimize::{minimize, MinimizeResult};

@@ -1,0 +1,226 @@
+//! Serialisable result records shared by the benches, and on-disk
+//! campaign reports (crash dumps with reproducers, the artefacts a
+//! fuzzing campaign hands to developers).
+
+use crate::campaign::CampaignResult;
+use eof_rtos::OsKind;
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// One row of a coverage-comparison table (Table 3 / Table 4 shape).
+#[derive(Debug, Clone, Serialize)]
+pub struct CoverageRow {
+    /// Target label (OS name or module name).
+    pub target: String,
+    /// Fuzzer label.
+    pub fuzzer: String,
+    /// Mean branches across repetitions.
+    pub mean_branches: f64,
+    /// Minimum across repetitions.
+    pub min_branches: usize,
+    /// Maximum across repetitions.
+    pub max_branches: usize,
+    /// Repetitions.
+    pub reps: usize,
+}
+
+/// One point of a coverage curve with min/max band (Figure 7/8 shape).
+#[derive(Debug, Clone, Serialize)]
+pub struct CurvePoint {
+    /// Simulated hours since campaign start.
+    pub hours: f64,
+    /// Mean branches at this time.
+    pub mean: f64,
+    /// Minimum across repetitions.
+    pub min: usize,
+    /// Maximum across repetitions.
+    pub max: usize,
+}
+
+/// Band statistics over several runs' snapshot histories, aligned by
+/// snapshot index (all our campaigns snapshot on the same schedule).
+pub fn curve_points_from_runs(histories: &[&[eof_coverage::Snapshot]]) -> Vec<CurvePoint> {
+    eof_coverage::bitmap::curve_band(histories)
+        .into_iter()
+        .map(|(hours, mean, min, max)| CurvePoint {
+            hours,
+            mean,
+            min,
+            max,
+        })
+        .collect()
+}
+
+/// Improvement percentage `a` over `b`, as the paper reports it.
+pub fn improvement_pct(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        return 0.0;
+    }
+    (a - b) / b * 100.0
+}
+
+/// Render rows as an aligned text table.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:width$} | ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Render rows as CSV.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let esc = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a campaign's artefacts to `dir`: a summary, the coverage curve
+/// as CSV, and one crash dump per unique crash with its Figure-6-style
+/// backtrace and reproducer prog.
+pub fn write_campaign_report(
+    dir: &Path,
+    os: OsKind,
+    result: &CampaignResult,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir.join("crashes"))?;
+
+    let mut summary = std::fs::File::create(dir.join("summary.txt"))?;
+    writeln!(summary, "EOF campaign report — {} {}", os.display(), os.version())?;
+    writeln!(summary, "executions        : {}", result.stats.execs)?;
+    writeln!(summary, "branches found    : {}", result.branches)?;
+    writeln!(summary, "interesting inputs: {}", result.stats.interesting)?;
+    writeln!(summary, "crash observations: {}", result.stats.crash_observations)?;
+    writeln!(summary, "unique crashes    : {}", result.crashes.len())?;
+    writeln!(summary, "stalls recovered  : {}", result.stats.stalls)?;
+    writeln!(summary, "restorations      : {}", result.stats.restorations)?;
+    writeln!(
+        summary,
+        "Table-2 bugs      : {:?}",
+        result.bugs.iter().map(|b| b.number()).collect::<Vec<_>>()
+    )?;
+
+    let mut curve = std::fs::File::create(dir.join("coverage.csv"))?;
+    writeln!(curve, "hours,branches")?;
+    for point in &result.history {
+        writeln!(curve, "{:.3},{}", point.hours, point.branches)?;
+    }
+
+    for (i, crash) in result.crashes.iter().enumerate() {
+        let tag = crash
+            .bug
+            .map(|b| format!("bug{:02}", b.number()))
+            .unwrap_or_else(|| "untriaged".to_string());
+        let mut f = std::fs::File::create(
+            dir.join("crashes").join(format!("crash-{i:03}-{tag}.txt")),
+        )?;
+        writeln!(f, "{}", crash.message)?;
+        writeln!(f, "detected by : {:?}", crash.source)?;
+        writeln!(f, "at          : {:.2} simulated hours", crash.at_hours)?;
+        if let Some(bug) = crash.bug {
+            let info = bug.info();
+            writeln!(
+                f,
+                "triaged     : Table 2 #{} — {} / {} / {}",
+                info.number, info.scope, info.bug_type, info.operation
+            )?;
+        }
+        writeln!(f, "
+Stack frames at BUG: unexpected stop:")?;
+        for (lvl, frame) in crash.backtrace.iter().enumerate() {
+            writeln!(f, "Level: {}: {}", lvl + 1, frame)?;
+        }
+        writeln!(f, "
+reproducer:
+{}", crash.prog)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement_pct(150.0, 100.0) - 50.0).abs() < 1e-9);
+        assert!((improvement_pct(100.0, 150.0) + 33.333).abs() < 0.01);
+        assert_eq!(improvement_pct(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = text_table(
+            &["Fuzzer", "Branches"],
+            &[
+                vec!["EOF".into(), "2139.0".into()],
+                vec!["Tardis".into(), "1442.6".into()],
+            ],
+        );
+        assert!(t.contains("| EOF    |"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn campaign_report_writes_artefacts() {
+        use crate::config::FuzzerConfig;
+        let mut cfg = FuzzerConfig::eof(OsKind::RtThread, 3);
+        cfg.budget_hours = 0.5;
+        cfg.snapshot_hours = 0.25;
+        let result = crate::campaign::run_campaign(cfg);
+        let dir = std::env::temp_dir().join(format!("eof-report-test-{}", std::process::id()));
+        write_campaign_report(&dir, OsKind::RtThread, &result).unwrap();
+        let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
+        assert!(summary.contains("branches found"));
+        assert!(dir.join("coverage.csv").exists());
+        // At least one crash dump exists for this seed/budget and names
+        // its reproducer.
+        let crashes: Vec<_> = std::fs::read_dir(dir.join("crashes")).unwrap().collect();
+        if !crashes.is_empty() {
+            let first = crashes[0].as_ref().unwrap().path();
+            let dump = std::fs::read_to_string(first).unwrap();
+            assert!(dump.contains("reproducer:"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let c = csv(&["a", "b"], &[vec!["x,y".into(), "q\"z".into()]]);
+        assert!(c.contains("\"x,y\""));
+        assert!(c.contains("\"q\"\"z\""));
+    }
+}

@@ -1,0 +1,152 @@
+//! Host-side coverage accounting.
+//!
+//! The fuzzer keeps one [`CoverageMap`] per campaign. Each drained batch of
+//! edge ids is merged; the map answers the two questions the fuzzing loop
+//! asks — *did this input discover anything new?* and *how many distinct
+//! branches have we found so far?* — and records time-stamped
+//! [`Snapshot`]s for the paper's coverage-growth curves (Figures 7 and 8).
+
+use std::collections::HashSet;
+
+/// A `(simulated time, branches found)` point on a coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Simulated time in hours since campaign start.
+    pub hours: f64,
+    /// Distinct branches discovered by this time.
+    pub branches: usize,
+}
+
+/// Accumulated set of discovered edges plus the growth history.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    seen: HashSet<u64>,
+    history: Vec<Snapshot>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge a batch of edge ids; returns how many were new.
+    pub fn merge(&mut self, edges: &[u64]) -> usize {
+        let before = self.seen.len();
+        self.seen.extend(edges.iter().copied());
+        self.seen.len() - before
+    }
+
+    /// Whether a specific edge has been seen.
+    pub fn contains(&self, edge: u64) -> bool {
+        self.seen.contains(&edge)
+    }
+
+    /// Distinct branches discovered so far.
+    pub fn branches(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Record a snapshot at `hours` of simulated time.
+    pub fn snapshot(&mut self, hours: f64) {
+        self.history.push(Snapshot {
+            hours,
+            branches: self.seen.len(),
+        });
+    }
+
+    /// The recorded growth curve.
+    pub fn history(&self) -> &[Snapshot] {
+        &self.history
+    }
+
+    /// Union with another map (merging repetition runs for min/max bands).
+    pub fn union(&mut self, other: &CoverageMap) {
+        self.seen.extend(other.seen.iter().copied());
+    }
+
+    /// Iterate over discovered edge ids (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.seen.iter().copied()
+    }
+}
+
+/// Pointwise statistics over several runs' curves: for each sample hour,
+/// the mean, min and max branch counts. Curves are sampled at each run's
+/// own snapshot times; runs are aligned by snapshot index, which holds for
+/// our campaigns because every run snapshots on the same schedule.
+pub fn curve_band(runs: &[&[Snapshot]]) -> Vec<(f64, f64, usize, usize)> {
+    let n = runs.iter().map(|r| r.len()).min().unwrap_or(0);
+    (0..n)
+        .map(|i| {
+            let hours = runs[0][i].hours;
+            let vals: Vec<usize> = runs.iter().map(|r| r[i].branches).collect();
+            let mean = vals.iter().sum::<usize>() as f64 / vals.len() as f64;
+            let min = *vals.iter().min().unwrap();
+            let max = *vals.iter().max().unwrap();
+            (hours, mean, min, max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_counts_new_only() {
+        let mut m = CoverageMap::new();
+        assert_eq!(m.merge(&[1, 2, 3]), 3);
+        assert_eq!(m.merge(&[2, 3, 4]), 1);
+        assert_eq!(m.branches(), 4);
+        assert!(m.contains(4));
+        assert!(!m.contains(5));
+    }
+
+    #[test]
+    fn snapshots_form_monotone_curve() {
+        let mut m = CoverageMap::new();
+        m.merge(&[1]);
+        m.snapshot(1.0);
+        m.merge(&[2, 3]);
+        m.snapshot(2.0);
+        let h = m.history();
+        assert_eq!(h.len(), 2);
+        assert!(h[0].branches <= h[1].branches);
+        assert_eq!(h[1].branches, 3);
+    }
+
+    #[test]
+    fn union_merges_runs() {
+        let mut a = CoverageMap::new();
+        a.merge(&[1, 2]);
+        let mut b = CoverageMap::new();
+        b.merge(&[2, 3]);
+        a.union(&b);
+        assert_eq!(a.branches(), 3);
+    }
+
+    #[test]
+    fn band_statistics() {
+        let r1 = [
+            Snapshot { hours: 1.0, branches: 10 },
+            Snapshot { hours: 2.0, branches: 20 },
+        ];
+        let r2 = [
+            Snapshot { hours: 1.0, branches: 14 },
+            Snapshot { hours: 2.0, branches: 30 },
+        ];
+        let band = curve_band(&[&r1, &r2]);
+        assert_eq!(band.len(), 2);
+        let (h, mean, min, max) = band[1];
+        assert_eq!(h, 2.0);
+        assert_eq!(mean, 25.0);
+        assert_eq!(min, 20);
+        assert_eq!(max, 30);
+    }
+
+    #[test]
+    fn band_of_empty_is_empty() {
+        assert!(curve_band(&[]).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! The on-device coverage ring buffer and its drain protocol.
+//!
+//! Layout in target RAM (all words in the core's byte order):
+//!
+//! ```text
+//! base + 0   u32  count      — records currently in the buffer
+//! base + 4   u32  capacity   — maximum records (set at init)
+//! base + 8   u32  overflow   — records dropped since last drain
+//! base + 12  u64 × capacity  — edge ids, written by __sanitizer-style hooks
+//! ```
+//!
+//! The device side ([`CovRegion::record`]) is what the instrumented kernel
+//! calls (the paper's `write_comp_data()`); when the buffer is full it
+//! reports [`RecordOutcome::Full`], which makes the firmware trap at
+//! `_kcmp_buf_full` so the host can drain. The host side
+//! ([`CovRegion::parse_drain`]) decodes bytes read over the debug port and
+//! [`CovRegion::reset`] rewinds the count.
+
+use eof_hal::{Endianness, HalError, Ram};
+
+/// Bytes of the buffer header (count, capacity, overflow).
+pub const COV_HEADER_BYTES: u32 = 12;
+
+/// Bytes per coverage record (one 64-bit edge id).
+pub const COV_RECORD_BYTES: u32 = 8;
+
+/// Result of recording one edge on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// Record stored; buffer still has room.
+    Stored,
+    /// Record stored and the buffer is now full — time to trap.
+    Full,
+    /// Buffer was already full; the record was dropped (overflow counter
+    /// incremented). Happens when the host is slow to drain.
+    Dropped,
+}
+
+/// A coverage buffer at a fixed location in target RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CovRegion {
+    /// RAM address of the header.
+    pub base: u32,
+    /// Capacity in records.
+    pub capacity: u32,
+}
+
+impl CovRegion {
+    /// Construct a region descriptor.
+    pub fn new(base: u32, capacity: u32) -> Self {
+        CovRegion { base, capacity }
+    }
+
+    /// Total RAM footprint in bytes.
+    pub fn footprint(&self) -> u32 {
+        COV_HEADER_BYTES + self.capacity * COV_RECORD_BYTES
+    }
+
+    /// Device-side init: zero the header, publish the capacity.
+    pub fn init(&self, ram: &mut Ram, e: Endianness) -> Result<(), HalError> {
+        ram.write_u32(self.base, 0, e)?;
+        ram.write_u32(self.base + 4, self.capacity, e)?;
+        ram.write_u32(self.base + 8, 0, e)
+    }
+
+    /// Device-side hook: append one edge id.
+    pub fn record(&self, ram: &mut Ram, e: Endianness, edge: u64) -> Result<RecordOutcome, HalError> {
+        let count = ram.read_u32(self.base, e)?;
+        if count >= self.capacity {
+            let overflow = ram.read_u32(self.base + 8, e)?;
+            ram.write_u32(self.base + 8, overflow.saturating_add(1), e)?;
+            return Ok(RecordOutcome::Dropped);
+        }
+        let slot = self.base + COV_HEADER_BYTES + count * COV_RECORD_BYTES;
+        ram.write_u64(slot, edge, e)?;
+        ram.write_u32(self.base, count + 1, e)?;
+        Ok(if count + 1 >= self.capacity {
+            RecordOutcome::Full
+        } else {
+            RecordOutcome::Stored
+        })
+    }
+
+    /// Host-side: number of bytes to read over the debug port to capture
+    /// the header plus every stored record.
+    pub fn drain_len(&self) -> usize {
+        self.footprint() as usize
+    }
+
+    /// Host-side: decode a raw drain (header + records) into edge ids.
+    /// Returns `(edges, overflowed_records)`.
+    pub fn parse_drain(&self, bytes: &[u8], e: Endianness) -> (Vec<u64>, u32) {
+        if bytes.len() < COV_HEADER_BYTES as usize {
+            return (Vec::new(), 0);
+        }
+        let word = |off: usize| -> u32 {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[off..off + 4]);
+            e.u32_from(b)
+        };
+        let count = word(0).min(self.capacity);
+        let overflow = word(8);
+        let mut edges = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let off = (COV_HEADER_BYTES + i * COV_RECORD_BYTES) as usize;
+            if off + 8 > bytes.len() {
+                break;
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[off..off + 8]);
+            edges.push(e.u64_from(b));
+        }
+        (edges, overflow)
+    }
+
+    /// Host-side: rewind the buffer after a drain (writes go over the
+    /// debug port in practice; this is the byte image to write).
+    pub fn reset(&self, ram: &mut Ram, e: Endianness) -> Result<(), HalError> {
+        ram.write_u32(self.base, 0, e)?;
+        ram.write_u32(self.base + 8, 0, e)
+    }
+
+    /// Device-side: current record count (used by the agent to decide
+    /// whether a trap is needed).
+    pub fn count(&self, ram: &Ram, e: Endianness) -> Result<u32, HalError> {
+        ram.read_u32(self.base, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(cap: u32) -> (Ram, CovRegion, Endianness) {
+        let ram = Ram::new(0x2000_0000, 0x2000);
+        let region = CovRegion::new(0x2000_0100, cap);
+        (ram, region, Endianness::Little)
+    }
+
+    #[test]
+    fn record_until_full_then_drop() {
+        let (mut ram, r, e) = setup(3);
+        r.init(&mut ram, e).unwrap();
+        assert_eq!(r.record(&mut ram, e, 10).unwrap(), RecordOutcome::Stored);
+        assert_eq!(r.record(&mut ram, e, 20).unwrap(), RecordOutcome::Stored);
+        assert_eq!(r.record(&mut ram, e, 30).unwrap(), RecordOutcome::Full);
+        assert_eq!(r.record(&mut ram, e, 40).unwrap(), RecordOutcome::Dropped);
+        assert_eq!(r.count(&ram, e).unwrap(), 3);
+    }
+
+    #[test]
+    fn drain_roundtrip() {
+        let (mut ram, r, e) = setup(8);
+        r.init(&mut ram, e).unwrap();
+        for id in [111u64, 222, 333] {
+            r.record(&mut ram, e, id).unwrap();
+        }
+        let raw = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        let (edges, overflow) = r.parse_drain(&raw, e);
+        assert_eq!(edges, vec![111, 222, 333]);
+        assert_eq!(overflow, 0);
+    }
+
+    #[test]
+    fn overflow_is_visible_to_host() {
+        let (mut ram, r, e) = setup(1);
+        r.init(&mut ram, e).unwrap();
+        r.record(&mut ram, e, 1).unwrap();
+        r.record(&mut ram, e, 2).unwrap();
+        r.record(&mut ram, e, 3).unwrap();
+        let raw = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        let (edges, overflow) = r.parse_drain(&raw, e);
+        assert_eq!(edges, vec![1]);
+        assert_eq!(overflow, 2);
+    }
+
+    #[test]
+    fn reset_reopens_buffer() {
+        let (mut ram, r, e) = setup(2);
+        r.init(&mut ram, e).unwrap();
+        r.record(&mut ram, e, 1).unwrap();
+        r.record(&mut ram, e, 2).unwrap();
+        r.reset(&mut ram, e).unwrap();
+        assert_eq!(r.count(&ram, e).unwrap(), 0);
+        assert_eq!(r.record(&mut ram, e, 3).unwrap(), RecordOutcome::Stored);
+    }
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut ram = Ram::new(0x8000_0000, 0x1000);
+        let r = CovRegion::new(0x8000_0000, 4);
+        let e = Endianness::Big;
+        r.init(&mut ram, e).unwrap();
+        r.record(&mut ram, e, 0xdead_beef_0000_0001).unwrap();
+        let raw = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        let (edges, _) = r.parse_drain(&raw, e);
+        assert_eq!(edges, vec![0xdead_beef_0000_0001]);
+    }
+
+    #[test]
+    fn truncated_drain_is_safe() {
+        let (mut ram, r, e) = setup(4);
+        r.init(&mut ram, e).unwrap();
+        r.record(&mut ram, e, 42).unwrap();
+        let raw = ram.slice(r.base, 10).unwrap().to_vec();
+        let (edges, _) = r.parse_drain(&raw, e);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn hostile_count_is_clamped() {
+        let (mut ram, r, e) = setup(2);
+        r.init(&mut ram, e).unwrap();
+        // A buggy/corrupted target claims absurd count; host must clamp.
+        ram.write_u32(r.base, u32::MAX, e).unwrap();
+        let raw = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        let (edges, _) = r.parse_drain(&raw, e);
+        assert!(edges.len() <= 2);
+    }
+
+    #[test]
+    fn footprint_math() {
+        let r = CovRegion::new(0, 256);
+        assert_eq!(r.footprint(), 12 + 256 * 8);
+    }
+}

@@ -1,0 +1,163 @@
+//! The "compile-time" instrumentation plan and its cost model.
+//!
+//! When an OS image is built (`eof-rtos::image`), the builder consults an
+//! [`InstrumentPlan`] to decide which registered edge sites get a coverage
+//! callback. Instrumentation is not free — exactly as in the paper's §5.5:
+//!
+//! * each instrumented site adds callback code to the image
+//!   ([`InstrumentCost::IMAGE_BYTES_PER_SITE`] bytes → memory overhead);
+//! * each *hit* of an instrumented site burns extra cycles
+//!   ([`InstrumentCost::CYCLES_PER_HIT`] → execution overhead);
+//! * the coverage buffer itself reserves RAM.
+
+use crate::edge::{EdgeId, EdgeRegistry};
+use std::collections::HashSet;
+
+/// What to instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentMode {
+    /// No instrumentation (baseline images for the overhead experiments,
+    /// and fuzzers without coverage feedback).
+    None,
+    /// Instrument every registered site (full-system fuzzing).
+    Full,
+    /// Instrument only the named modules — the paper's GDBFuzz comparison
+    /// confines instrumentation to the HTTP server and JSON modules.
+    Modules(Vec<String>),
+}
+
+/// A resolved instrumentation plan for one image build.
+#[derive(Debug, Clone)]
+pub struct InstrumentPlan {
+    mode: InstrumentMode,
+    active: HashSet<EdgeId>,
+    active_count: usize,
+}
+
+impl InstrumentPlan {
+    /// Resolve `mode` against the sites in `registry`.
+    pub fn resolve(mode: InstrumentMode, registry: &EdgeRegistry) -> Self {
+        let active: HashSet<EdgeId> = match &mode {
+            InstrumentMode::None => HashSet::new(),
+            InstrumentMode::Full => registry.iter().map(|s| s.id).collect(),
+            InstrumentMode::Modules(mods) => registry
+                .iter()
+                .filter(|s| mods.iter().any(|m| m == &s.module))
+                .map(|s| s.id)
+                .collect(),
+        };
+        let active_count = active.len();
+        InstrumentPlan {
+            mode,
+            active,
+            active_count,
+        }
+    }
+
+    /// A plan with no instrumentation and no registry.
+    pub fn none() -> Self {
+        InstrumentPlan {
+            mode: InstrumentMode::None,
+            active: HashSet::new(),
+            active_count: 0,
+        }
+    }
+
+    /// The requested mode.
+    pub fn mode(&self) -> &InstrumentMode {
+        &self.mode
+    }
+
+    /// Whether a given edge site carries a callback in this build.
+    pub fn is_active(&self, id: EdgeId) -> bool {
+        self.active.contains(&id)
+    }
+
+    /// Number of instrumented sites.
+    pub fn active_sites(&self) -> usize {
+        self.active_count
+    }
+
+    /// Image size inflation in bytes caused by this plan.
+    pub fn image_overhead_bytes(&self) -> u64 {
+        self.active_count as u64 * InstrumentCost::IMAGE_BYTES_PER_SITE
+            + if self.active_count > 0 {
+                InstrumentCost::RUNTIME_BYTES
+            } else {
+                0
+            }
+    }
+}
+
+/// Cost constants of the SanCov-style instrumentation.
+pub struct InstrumentCost;
+
+impl InstrumentCost {
+    /// Code bytes added per instrumented branch site (the inlined
+    /// `__sanitizer_cov_trace_cmp` call + spill).
+    pub const IMAGE_BYTES_PER_SITE: u64 = 14;
+    /// One-time bytes for the callback runtime (`write_comp_data`,
+    /// `_kcmp_buf_full`) linked into an instrumented image.
+    pub const RUNTIME_BYTES: u64 = 640;
+    /// Extra cycles burned each time an instrumented site is hit.
+    pub const CYCLES_PER_HIT: u64 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> EdgeRegistry {
+        let mut r = EdgeRegistry::new();
+        r.register("os::json::parse::digit");
+        r.register("os::json::parse::string");
+        r.register("os::http::route::get");
+        r.register("os::kernel::sched::tick");
+        r
+    }
+
+    #[test]
+    fn full_plan_covers_everything() {
+        let reg = registry();
+        let p = InstrumentPlan::resolve(InstrumentMode::Full, &reg);
+        assert_eq!(p.active_sites(), 4);
+        for s in reg.iter() {
+            assert!(p.is_active(s.id));
+        }
+    }
+
+    #[test]
+    fn none_plan_covers_nothing() {
+        let reg = registry();
+        let p = InstrumentPlan::resolve(InstrumentMode::None, &reg);
+        assert_eq!(p.active_sites(), 0);
+        assert_eq!(p.image_overhead_bytes(), 0);
+    }
+
+    #[test]
+    fn module_confinement() {
+        let reg = registry();
+        let p = InstrumentPlan::resolve(
+            InstrumentMode::Modules(vec!["json".into(), "http".into()]),
+            &reg,
+        );
+        assert_eq!(p.active_sites(), 3);
+        let kernel_site = reg
+            .iter()
+            .find(|s| s.module == "kernel")
+            .unwrap();
+        assert!(!p.is_active(kernel_site.id));
+    }
+
+    #[test]
+    fn overhead_scales_with_sites() {
+        let reg = registry();
+        let full = InstrumentPlan::resolve(InstrumentMode::Full, &reg);
+        let partial = InstrumentPlan::resolve(
+            InstrumentMode::Modules(vec!["json".into()]),
+            &reg,
+        );
+        assert!(full.image_overhead_bytes() > partial.image_overhead_bytes());
+        assert!(partial.image_overhead_bytes() >= InstrumentCost::RUNTIME_BYTES);
+    }
+}

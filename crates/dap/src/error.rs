@@ -1,0 +1,76 @@
+//! Debug-link error types.
+
+use eof_hal::HalError;
+use std::fmt;
+
+/// Errors surfaced by the debug access port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DapError {
+    /// The operation timed out: the target never answered. This is the
+    /// signal Algorithm 1's first watchdog keys on — it fires when the
+    /// system "has either failed to boot correctly or has become entirely
+    /// unresponsive".
+    ConnectionTimeout {
+        /// Cycles spent waiting before giving up.
+        waited: u64,
+    },
+    /// The physical link is down (cable fault / probe outage injection).
+    LinkDown,
+    /// The target rejected the operation (bad address, bad state, …).
+    Target(HalError),
+    /// A protocol-level framing error (bad RSP checksum, unknown OpenOCD
+    /// command, …).
+    Protocol(String),
+}
+
+impl fmt::Display for DapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DapError::ConnectionTimeout { waited } => {
+                write!(f, "debug connection timeout after {waited} cycles")
+            }
+            DapError::LinkDown => f.write_str("debug link down"),
+            DapError::Target(e) => write!(f, "target error: {e}"),
+            DapError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DapError {}
+
+impl From<HalError> for DapError {
+    fn from(e: HalError) -> Self {
+        DapError::Target(e)
+    }
+}
+
+impl DapError {
+    /// Whether this error indicates the *connection* (rather than the
+    /// request) failed — the predicate `ConnectionTimeout(DebugPipe)` in
+    /// Algorithm 1.
+    pub fn is_connection_loss(&self) -> bool {
+        matches!(
+            self,
+            DapError::ConnectionTimeout { .. } | DapError::LinkDown
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_loss_classification() {
+        assert!(DapError::ConnectionTimeout { waited: 10 }.is_connection_loss());
+        assert!(DapError::LinkDown.is_connection_loss());
+        assert!(!DapError::Target(HalError::NoFirmware).is_connection_loss());
+        assert!(!DapError::Protocol("x".into()).is_connection_loss());
+    }
+
+    #[test]
+    fn from_hal_error() {
+        let e: DapError = HalError::NoFirmware.into();
+        assert!(matches!(e, DapError::Target(_)));
+    }
+}

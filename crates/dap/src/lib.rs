@@ -1,0 +1,31 @@
+//! `eof-dap` — the hardware debug access port and its protocol stack.
+//!
+//! EOF's core design decision is to use the hardware debug interface as
+//! the *single* channel for control and observation (paper §4.2): test
+//! cases go down over direct memory writes, execution is synchronised with
+//! hardware breakpoints, coverage and crash state come back over memory
+//! reads, and recovery is a reflash through the same port. This crate
+//! provides that channel for the simulated boards:
+//!
+//! * [`transport`] — [`DebugTransport`]: the probe session itself, with
+//!   per-operation latency, timeout semantics against a dead target, and
+//!   injectable link outages (the raw material of Algorithm 1's
+//!   `ConnectionTimeout` check);
+//! * [`tap`] — a JTAG TAP controller state machine, driven underneath
+//!   JTAG-interfaced boards for protocol fidelity;
+//! * [`ocd`] — an OpenOCD-style text command server (`halt`, `mdw`,
+//!   `flash write_image`, …) layered on the transport;
+//! * [`rsp`] — a GDB Remote Serial Protocol codec and server (`$m…#cs`
+//!   packets), the path the paper's GDB/MI commands travel.
+
+pub mod error;
+pub mod ocd;
+pub mod rsp;
+pub mod tap;
+pub mod transport;
+
+pub use error::DapError;
+pub use ocd::OcdServer;
+pub use rsp::{checksum, frame_packet, parse_packet, RspServer};
+pub use tap::{TapController, TapState};
+pub use transport::{DebugTransport, LinkConfig, LinkEvent};

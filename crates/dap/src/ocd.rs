@@ -1,0 +1,342 @@
+//! OpenOCD-style text command server.
+//!
+//! The paper connects the host fuzzer to the board through OpenOCD
+//! (§4.3.1, §4.6); EOF's Rust component speaks OpenOCD's Tcl-ish command
+//! language. This module implements the subset of commands the fuzzer and
+//! examples need, executing them against a [`DebugTransport`]:
+//!
+//! | command | effect |
+//! |---|---|
+//! | `halt` / `resume` | stop / start the core |
+//! | `reset run` | hardware reset |
+//! | `mdw ADDR [N]` | read N (default 1) 32-bit words |
+//! | `mww ADDR VAL` | write one 32-bit word |
+//! | `bp ADDR` / `rbp ADDR` | set / remove hardware breakpoint |
+//! | `reg pc` | read the program counter |
+//! | `flash write_image PART HEXBYTES` | program a partition |
+//! | `flash verify_image PART HEXBYTES` | target-side checksum compare |
+//! | `flash erase PART` | erase a partition |
+//! | `reset halt` | reset and hold the core |
+//! | `power` | sample the power rail |
+//! | `targets` | identify the attached target |
+
+use crate::error::DapError;
+use crate::transport::DebugTransport;
+use eof_hal::Endianness;
+
+/// A command interpreter bound to one transport.
+pub struct OcdServer {
+    transport: DebugTransport,
+}
+
+impl OcdServer {
+    /// Wrap a transport.
+    pub fn new(transport: DebugTransport) -> Self {
+        OcdServer { transport }
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &DebugTransport {
+        &self.transport
+    }
+
+    /// Mutable transport access.
+    pub fn transport_mut(&mut self) -> &mut DebugTransport {
+        &mut self.transport
+    }
+
+    /// Consume the server, returning the transport.
+    pub fn into_transport(self) -> DebugTransport {
+        self.transport
+    }
+
+    /// Execute one command line, returning its textual response.
+    pub fn execute(&mut self, line: &str) -> Result<String, DapError> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => Ok(String::new()),
+            ["halt"] => {
+                self.transport.halt()?;
+                Ok("target halted".into())
+            }
+            ["resume"] => {
+                self.transport.resume()?;
+                Ok("target running".into())
+            }
+            ["reset", "run"] | ["reset"] => {
+                self.transport.reset_target()?;
+                Ok("target reset".into())
+            }
+            ["reset", "halt"] => {
+                self.transport.reset_target()?;
+                self.transport.halt()?;
+                Ok("target reset, halted".into())
+            }
+            ["power"] => {
+                let mw = self.transport.sample_power();
+                Ok(format!("power: {mw:.1} mW"))
+            }
+            ["mdw", addr] | ["mdw", addr, "1"] => self.mdw(addr, 1),
+            ["mdw", addr, n] => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| DapError::Protocol(format!("bad count {n:?}")))?;
+                self.mdw(addr, n)
+            }
+            ["mww", addr, val] => {
+                let addr = parse_num(addr)?;
+                let val = parse_num(val)?;
+                let e = self.endianness();
+                self.transport.write_mem(addr, &e.u32_bytes(val))?;
+                Ok(String::new())
+            }
+            ["bp", addr] => {
+                self.transport.set_breakpoint(parse_num(addr)?)?;
+                Ok("breakpoint set".into())
+            }
+            ["rbp", addr] => {
+                self.transport.clear_breakpoint(parse_num(addr)?)?;
+                Ok("breakpoint removed".into())
+            }
+            ["reg", "pc"] => {
+                let pc = self.transport.read_pc()?;
+                Ok(format!("pc (/32): {pc:#010x}"))
+            }
+            ["flash", "write_image", part, hex] => {
+                let image = parse_hex_bytes(hex)?;
+                self.transport.flash_partition(part, &image)?;
+                Ok(format!("wrote {} bytes to {part}", image.len()))
+            }
+            ["flash", "verify_image", part, hex] => {
+                let image = parse_hex_bytes(hex)?;
+                let target_cs = self.transport.flash_checksum(part)?;
+                // Pad to the partition size, as the flasher would have.
+                let size = self
+                    .transport
+                    .machine()
+                    .flash()
+                    .table()
+                    .get(part)
+                    .map_err(eof_dap_part_err)?
+                    .size as usize;
+                let mut padded = image;
+                padded.resize(size, 0xff);
+                let expect = eof_hal::flash::fnv1a(&padded);
+                if target_cs == expect {
+                    Ok("verified OK".into())
+                } else {
+                    Ok(format!("MISMATCH: target {target_cs:#x} != image {expect:#x}"))
+                }
+            }
+            ["flash", "erase", part] => {
+                let part_info = self
+                    .transport
+                    .machine()
+                    .flash()
+                    .table()
+                    .get(part)
+                    .map_err(eof_dap_part_err)?
+                    .clone();
+                self.transport
+                    .machine_mut()
+                    .flash_mut()
+                    .erase(part_info.offset, part_info.size as usize)
+                    .map_err(eof_dap_part_err)?;
+                Ok(format!("erased {part}"))
+            }
+            ["targets"] => {
+                let b = self.transport.machine().board();
+                Ok(format!(
+                    "{} ({}, {}) via {}",
+                    b.name, b.arch, b.endianness, b.debug_iface
+                ))
+            }
+            other => Err(DapError::Protocol(format!(
+                "unknown command {:?}",
+                other.join(" ")
+            ))),
+        }
+    }
+
+    fn endianness(&self) -> Endianness {
+        self.transport.machine().board().endianness
+    }
+
+    fn mdw(&mut self, addr: &str, n: usize) -> Result<String, DapError> {
+        let addr = parse_num(addr)?;
+        let e = self.endianness();
+        let mut out = String::new();
+        for i in 0..n {
+            let mut b = [0u8; 4];
+            self.transport.read_mem(addr + (i as u32) * 4, &mut b)?;
+            let v = e.u32_from(b);
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&format!("{v:#010x}"));
+        }
+        Ok(format!("{addr:#010x}: {out}"))
+    }
+}
+
+fn eof_dap_part_err(e: eof_hal::HalError) -> DapError {
+    DapError::Target(e)
+}
+
+fn parse_num(s: &str) -> Result<u32, DapError> {
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| DapError::Protocol(format!("bad number {s:?}")))
+}
+
+fn parse_hex_bytes(s: &str) -> Result<Vec<u8>, DapError> {
+    if s.len() % 2 != 0 {
+        return Err(DapError::Protocol("odd hex string".into()));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| DapError::Protocol(format!("bad hex at {i}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LinkConfig;
+    use eof_hal::{BoardCatalog, FirmwareLoader, Machine};
+
+    struct Idle {
+        symbols: eof_hal::SymbolTable,
+    }
+
+    impl eof_hal::Firmware for Idle {
+        fn name(&self) -> &str {
+            "idle"
+        }
+        fn symbols(&self) -> &eof_hal::SymbolTable {
+            &self.symbols
+        }
+        fn step(&mut self, bus: &mut eof_hal::Bus) -> eof_hal::StepResult {
+            eof_hal::StepResult::Running {
+                pc: 0x1000 + (bus.now() % 64) as u32,
+                cycles: 1,
+            }
+        }
+        fn on_reset(&mut self, _bus: &mut eof_hal::Bus) {}
+        fn freeze(&mut self) {}
+    }
+
+    fn server() -> OcdServer {
+        let loader: FirmwareLoader = Box::new(|_, _| {
+            Ok(Box::new(Idle {
+                symbols: eof_hal::SymbolTable::new(),
+            }))
+        });
+        let mut m = Machine::new(BoardCatalog::stm32f4_disco(), loader);
+        m.reset();
+        OcdServer::new(DebugTransport::attach(m, LinkConfig::default()))
+    }
+
+    #[test]
+    fn memory_commands_roundtrip() {
+        let mut s = server();
+        s.execute("mww 0x20000010 0xdeadbeef").unwrap();
+        let out = s.execute("mdw 0x20000010").unwrap();
+        assert!(out.contains("0xdeadbeef"), "{out}");
+    }
+
+    #[test]
+    fn multi_word_read() {
+        let mut s = server();
+        s.execute("mww 0x20000000 0x00000001").unwrap();
+        s.execute("mww 0x20000004 0x00000002").unwrap();
+        let out = s.execute("mdw 0x20000000 2").unwrap();
+        assert!(out.contains("0x00000001 0x00000002"), "{out}");
+    }
+
+    #[test]
+    fn halt_resume_reset() {
+        let mut s = server();
+        assert_eq!(s.execute("halt").unwrap(), "target halted");
+        assert_eq!(s.execute("resume").unwrap(), "target running");
+        assert_eq!(s.execute("reset run").unwrap(), "target reset");
+    }
+
+    #[test]
+    fn breakpoints() {
+        let mut s = server();
+        assert!(s.execute("bp 0x1000").unwrap().contains("set"));
+        assert!(s.execute("rbp 0x1000").unwrap().contains("removed"));
+    }
+
+    #[test]
+    fn reg_pc() {
+        let mut s = server();
+        let out = s.execute("reg pc").unwrap();
+        assert!(out.starts_with("pc (/32): 0x"), "{out}");
+    }
+
+    #[test]
+    fn flash_write_image() {
+        let mut s = server();
+        let out = s.execute("flash write_image fs 48656c6c6f").unwrap();
+        assert!(out.contains("wrote 5 bytes"), "{out}");
+        assert_eq!(
+            &s.transport().machine().flash().read_partition("fs").unwrap()[..5],
+            b"Hello"
+        );
+    }
+
+    #[test]
+    fn flash_verify_and_erase() {
+        let mut s = server();
+        s.execute("flash write_image fs 48656c6c6f").unwrap();
+        assert_eq!(s.execute("flash verify_image fs 48656c6c6f").unwrap(), "verified OK");
+        assert!(s
+            .execute("flash verify_image fs 42414421")
+            .unwrap()
+            .contains("MISMATCH"));
+        s.execute("flash erase fs").unwrap();
+        assert!(s
+            .execute("flash verify_image fs 48656c6c6f")
+            .unwrap()
+            .contains("MISMATCH"));
+    }
+
+    #[test]
+    fn reset_halt_and_power() {
+        let mut s = server();
+        assert!(s.execute("reset halt").unwrap().contains("halted"));
+        assert!(s.execute("power").unwrap().starts_with("power: "));
+    }
+
+    #[test]
+    fn targets_identifies_board() {
+        let mut s = server();
+        let out = s.execute("targets").unwrap();
+        assert!(out.contains("stm32f4-discovery"));
+        assert!(out.contains("SWD"));
+    }
+
+    #[test]
+    fn unknown_command_is_protocol_error() {
+        let mut s = server();
+        assert!(matches!(
+            s.execute("explode everything").unwrap_err(),
+            DapError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        let mut s = server();
+        assert!(s.execute("mdw zzz").is_err());
+        assert!(s.execute("flash write_image fs abc").is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! GDB Remote Serial Protocol codec and server.
+//!
+//! GDBFuzz and EOF both ride GDB's remote protocol; the paper's Algorithm 1
+//! issues `-exec-continue` and reads the PC through this layer. Packets
+//! are framed as `$<data>#<2-hex-checksum>` where the checksum is the
+//! modulo-256 sum of the data bytes. The server implements the commands a
+//! fuzzer needs:
+//!
+//! | packet | meaning |
+//! |---|---|
+//! | `?` | halt reason |
+//! | `p20` | read PC (register 0x20 here) |
+//! | `m ADDR,LEN` | read memory (hex) |
+//! | `M ADDR,LEN:HEX` | write memory |
+//! | `Z0,ADDR,4` / `z0,ADDR,4` | set / clear breakpoint |
+//! | `c` | continue (bounded by the server's run budget) |
+//! | `R` | restart target |
+
+use crate::error::DapError;
+use crate::transport::{DebugTransport, LinkEvent};
+
+/// Compute the RSP checksum of packet data.
+pub fn checksum(data: &str) -> u8 {
+    data.bytes().fold(0u8, |a, b| a.wrapping_add(b))
+}
+
+/// Frame data into a `$data#cs` packet.
+pub fn frame_packet(data: &str) -> String {
+    format!("${}#{:02x}", data, checksum(data))
+}
+
+/// Parse and verify a framed packet, returning the payload.
+pub fn parse_packet(raw: &str) -> Result<&str, DapError> {
+    let raw = raw.trim();
+    if !raw.starts_with('$') {
+        return Err(DapError::Protocol("packet must start with '$'".into()));
+    }
+    let hash = raw
+        .rfind('#')
+        .ok_or_else(|| DapError::Protocol("packet missing '#'".into()))?;
+    let data = &raw[1..hash];
+    let cs_str = &raw[hash + 1..];
+    let cs = u8::from_str_radix(cs_str, 16)
+        .map_err(|_| DapError::Protocol(format!("bad checksum field {cs_str:?}")))?;
+    if cs != checksum(data) {
+        return Err(DapError::Protocol(format!(
+            "checksum mismatch: got {cs:02x}, want {:02x}",
+            checksum(data)
+        )));
+    }
+    Ok(data)
+}
+
+/// An RSP endpoint bound to a transport.
+pub struct RspServer {
+    transport: DebugTransport,
+    /// Cycle budget for each `c` (continue) packet.
+    pub run_budget: u64,
+}
+
+impl RspServer {
+    /// Wrap a transport with a default continue budget.
+    pub fn new(transport: DebugTransport) -> Self {
+        RspServer {
+            transport,
+            run_budget: 100_000,
+        }
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &DebugTransport {
+        &self.transport
+    }
+
+    /// Mutable transport access.
+    pub fn transport_mut(&mut self) -> &mut DebugTransport {
+        &mut self.transport
+    }
+
+    /// Handle one framed packet, returning the framed reply.
+    pub fn handle(&mut self, raw: &str) -> Result<String, DapError> {
+        let data = parse_packet(raw)?;
+        let reply = self.dispatch(data)?;
+        Ok(frame_packet(&reply))
+    }
+
+    fn dispatch(&mut self, data: &str) -> Result<String, DapError> {
+        match data {
+            "?" => Ok("S05".into()),
+            "p20" => {
+                let pc = self.transport.read_pc()?;
+                // Registers travel little-endian in RSP.
+                Ok(hex_encode(&pc.to_le_bytes()))
+            }
+            "c" => match self.transport.continue_until_halt(self.run_budget)? {
+                LinkEvent::BreakpointHit { .. } => Ok("S05".into()),
+                LinkEvent::StillRunning => Ok("S00".into()),
+                LinkEvent::TargetDead => Ok("X09".into()),
+                LinkEvent::WatchdogReset => Ok("S12".into()),
+            },
+            "R" => {
+                self.transport.reset_target()?;
+                Ok("OK".into())
+            }
+            _ if data.starts_with('m') => {
+                let (addr, len) = parse_addr_len(&data[1..])?;
+                let mut buf = vec![0u8; len];
+                self.transport.read_mem(addr, &mut buf)?;
+                Ok(hex_encode(&buf))
+            }
+            _ if data.starts_with('M') => {
+                let colon = data
+                    .find(':')
+                    .ok_or_else(|| DapError::Protocol("M packet missing ':'".into()))?;
+                let (addr, len) = parse_addr_len(&data[1..colon])?;
+                let bytes = hex_decode(&data[colon + 1..])?;
+                if bytes.len() != len {
+                    return Err(DapError::Protocol(format!(
+                        "M packet length mismatch: header {len}, payload {}",
+                        bytes.len()
+                    )));
+                }
+                self.transport.write_mem(addr, &bytes)?;
+                Ok("OK".into())
+            }
+            _ if data.starts_with("Z0,") => {
+                let addr = parse_hex_field(data[3..].split(',').next().unwrap_or(""))?;
+                self.transport.set_breakpoint(addr)?;
+                Ok("OK".into())
+            }
+            _ if data.starts_with("z0,") => {
+                let addr = parse_hex_field(data[3..].split(',').next().unwrap_or(""))?;
+                self.transport.clear_breakpoint(addr)?;
+                Ok("OK".into())
+            }
+            other => Err(DapError::Protocol(format!("unsupported packet {other:?}"))),
+        }
+    }
+}
+
+fn parse_addr_len(s: &str) -> Result<(u32, usize), DapError> {
+    let (a, l) = s
+        .split_once(',')
+        .ok_or_else(|| DapError::Protocol(format!("expected ADDR,LEN in {s:?}")))?;
+    Ok((parse_hex_field(a)?, parse_hex_field(l)? as usize))
+}
+
+fn parse_hex_field(s: &str) -> Result<u32, DapError> {
+    u32::from_str_radix(s, 16).map_err(|_| DapError::Protocol(format!("bad hex field {s:?}")))
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, DapError> {
+    if s.len() % 2 != 0 {
+        return Err(DapError::Protocol("odd hex payload".into()));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16)
+                .map_err(|_| DapError::Protocol(format!("bad hex at {i}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LinkConfig;
+    use eof_hal::{BoardCatalog, FirmwareLoader, Machine};
+
+    struct Hopper {
+        pc: u32,
+        symbols: eof_hal::SymbolTable,
+    }
+
+    impl eof_hal::Firmware for Hopper {
+        fn name(&self) -> &str {
+            "hopper"
+        }
+        fn symbols(&self) -> &eof_hal::SymbolTable {
+            &self.symbols
+        }
+        fn step(&mut self, _bus: &mut eof_hal::Bus) -> eof_hal::StepResult {
+            self.pc += 4;
+            eof_hal::StepResult::Running {
+                pc: self.pc,
+                cycles: 1,
+            }
+        }
+        fn on_reset(&mut self, _bus: &mut eof_hal::Bus) {
+            self.pc = 0x4000;
+        }
+        fn freeze(&mut self) {}
+    }
+
+    fn server() -> RspServer {
+        let loader: FirmwareLoader = Box::new(|_, _| {
+            Ok(Box::new(Hopper {
+                pc: 0x4000,
+                symbols: eof_hal::SymbolTable::new(),
+            }))
+        });
+        let mut m = Machine::new(BoardCatalog::stm32h745_nucleo(), loader);
+        m.reset();
+        RspServer::new(DebugTransport::attach(m, LinkConfig::default()))
+    }
+
+    #[test]
+    fn framing_roundtrip() {
+        let p = frame_packet("m24000000,10");
+        assert!(p.starts_with('$'));
+        assert_eq!(parse_packet(&p).unwrap(), "m24000000,10");
+    }
+
+    #[test]
+    fn checksum_rejects_corruption() {
+        let mut p = frame_packet("c");
+        p.replace_range(1..2, "x");
+        assert!(parse_packet(&p).is_err());
+    }
+
+    #[test]
+    fn known_checksum_vector() {
+        // "OK" = 0x4f + 0x4b = 0x9a.
+        assert_eq!(checksum("OK"), 0x9a);
+        assert_eq!(frame_packet("OK"), "$OK#9a");
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let mut s = server();
+        let reply = s.handle(&frame_packet("M24000100,4:deadbeef")).unwrap();
+        assert_eq!(parse_packet(&reply).unwrap(), "OK");
+        let reply = s.handle(&frame_packet("m24000100,4")).unwrap();
+        assert_eq!(parse_packet(&reply).unwrap(), "deadbeef");
+    }
+
+    #[test]
+    fn halt_reason() {
+        let mut s = server();
+        let reply = s.handle(&frame_packet("?")).unwrap();
+        assert_eq!(parse_packet(&reply).unwrap(), "S05");
+    }
+
+    #[test]
+    fn breakpoint_continue_pc() {
+        let mut s = server();
+        s.handle(&frame_packet("Z0,4010,4")).unwrap();
+        let reply = s.handle(&frame_packet("c")).unwrap();
+        assert_eq!(parse_packet(&reply).unwrap(), "S05");
+        let pc_reply = s.handle(&frame_packet("p20")).unwrap();
+        let hex = parse_packet(&pc_reply).unwrap();
+        let bytes = hex_decode(hex).unwrap();
+        let pc = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        assert_eq!(pc, 0x4010);
+    }
+
+    #[test]
+    fn clear_breakpoint_lets_target_run() {
+        let mut s = server();
+        s.handle(&frame_packet("Z0,4010,4")).unwrap();
+        s.handle(&frame_packet("z0,4010,4")).unwrap();
+        s.run_budget = 50;
+        let reply = s.handle(&frame_packet("c")).unwrap();
+        assert_eq!(parse_packet(&reply).unwrap(), "S00");
+    }
+
+    #[test]
+    fn restart_packet() {
+        let mut s = server();
+        let reply = s.handle(&frame_packet("R")).unwrap();
+        assert_eq!(parse_packet(&reply).unwrap(), "OK");
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut s = server();
+        assert!(s.handle(&frame_packet("M24000100,4:dead")).is_err());
+    }
+
+    #[test]
+    fn unsupported_packet() {
+        let mut s = server();
+        assert!(s.handle(&frame_packet("qSupported")).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! JTAG TAP controller state machine (IEEE 1149.1).
+//!
+//! OpenOCD drives the target's Test Access Port through the standard
+//! 16-state machine; every halt/memory/flash operation ultimately becomes
+//! TMS/TDI sequences walking this graph. The reproduction models the
+//! controller faithfully so the JTAG-interfaced boards exercise a real
+//! protocol layer (and so link-level statistics like TCK cycles per
+//! operation are available to the cost model).
+
+/// The sixteen TAP controller states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TapState {
+    /// Test-Logic-Reset: TAP held in reset.
+    TestLogicReset,
+    /// Run-Test/Idle.
+    RunTestIdle,
+    /// Select-DR-Scan.
+    SelectDrScan,
+    /// Capture-DR.
+    CaptureDr,
+    /// Shift-DR.
+    ShiftDr,
+    /// Exit1-DR.
+    Exit1Dr,
+    /// Pause-DR.
+    PauseDr,
+    /// Exit2-DR.
+    Exit2Dr,
+    /// Update-DR.
+    UpdateDr,
+    /// Select-IR-Scan.
+    SelectIrScan,
+    /// Capture-IR.
+    CaptureIr,
+    /// Shift-IR.
+    ShiftIr,
+    /// Exit1-IR.
+    Exit1Ir,
+    /// Pause-IR.
+    PauseIr,
+    /// Exit2-IR.
+    Exit2Ir,
+    /// Update-IR.
+    UpdateIr,
+}
+
+/// A TAP controller tracking state and TCK statistics.
+#[derive(Debug, Clone)]
+pub struct TapController {
+    state: TapState,
+    tck_cycles: u64,
+}
+
+impl Default for TapController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TapController {
+    /// A controller in Test-Logic-Reset (the power-on state).
+    pub fn new() -> Self {
+        TapController {
+            state: TapState::TestLogicReset,
+            tck_cycles: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// Total TCK clock cycles applied.
+    pub fn tck_cycles(&self) -> u64 {
+        self.tck_cycles
+    }
+
+    /// Clock one TCK with the given TMS level (the IEEE 1149.1 table).
+    pub fn clock(&mut self, tms: bool) -> TapState {
+        use TapState::*;
+        self.tck_cycles += 1;
+        self.state = match (self.state, tms) {
+            (TestLogicReset, false) => RunTestIdle,
+            (TestLogicReset, true) => TestLogicReset,
+            (RunTestIdle, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (SelectDrScan, true) => SelectIrScan,
+            (CaptureDr, false) => ShiftDr,
+            (CaptureDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (Exit1Dr, false) => PauseDr,
+            (Exit1Dr, true) => UpdateDr,
+            (PauseDr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (Exit2Dr, false) => ShiftDr,
+            (Exit2Dr, true) => UpdateDr,
+            (UpdateDr, false) => RunTestIdle,
+            (UpdateDr, true) => SelectDrScan,
+            (SelectIrScan, false) => CaptureIr,
+            (SelectIrScan, true) => TestLogicReset,
+            (CaptureIr, false) => ShiftIr,
+            (CaptureIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (Exit1Ir, false) => PauseIr,
+            (Exit1Ir, true) => UpdateIr,
+            (PauseIr, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (Exit2Ir, false) => ShiftIr,
+            (Exit2Ir, true) => UpdateIr,
+            (UpdateIr, false) => RunTestIdle,
+            (UpdateIr, true) => SelectDrScan,
+        };
+        self.state
+    }
+
+    /// Five TMS-high clocks reach Test-Logic-Reset from any state.
+    pub fn reset(&mut self) {
+        for _ in 0..5 {
+            self.clock(true);
+        }
+        debug_assert_eq!(self.state, TapState::TestLogicReset);
+    }
+
+    /// Walk to Shift-DR from Run-Test/Idle and shift `bits` data bits,
+    /// returning to Run-Test/Idle. Returns TCK cycles used. This is the
+    /// skeleton of every DR scan (memory access, register access).
+    ///
+    /// The Shift-DR self-loop is applied arithmetically — clocking a
+    /// megabit scan one edge at a time would only exercise the same
+    /// self-transition `bits` times.
+    pub fn scan_dr(&mut self, bits: u32) -> u64 {
+        let start = self.tck_cycles;
+        // From RunTestIdle: TMS 1,0,0 → SelectDR, CaptureDR, ShiftDR.
+        self.clock(true);
+        self.clock(false);
+        self.clock(false);
+        debug_assert_eq!(self.state, TapState::ShiftDr);
+        // bits-1 TMS-low edges stay in Shift-DR; account them directly.
+        self.tck_cycles += (bits.saturating_sub(1)) as u64;
+        // Last bit with TMS high → Exit1-DR.
+        self.clock(true);
+        // Update-DR, back to Run-Test/Idle.
+        self.clock(true);
+        self.clock(false);
+        self.tck_cycles - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_state() {
+        assert_eq!(TapController::new().state(), TapState::TestLogicReset);
+    }
+
+    #[test]
+    fn tms_low_leaves_reset() {
+        let mut t = TapController::new();
+        assert_eq!(t.clock(false), TapState::RunTestIdle);
+    }
+
+    #[test]
+    fn five_tms_high_resets_from_anywhere() {
+        let mut t = TapController::new();
+        // Wander somewhere deep.
+        t.clock(false);
+        t.clock(true);
+        t.clock(false);
+        t.clock(false);
+        assert_eq!(t.state(), TapState::ShiftDr);
+        t.reset();
+        assert_eq!(t.state(), TapState::TestLogicReset);
+    }
+
+    #[test]
+    fn dr_scan_path() {
+        let mut t = TapController::new();
+        t.clock(false); // RunTestIdle
+        let cycles = t.scan_dr(32);
+        assert_eq!(t.state(), TapState::RunTestIdle);
+        // 3 entry clocks + 32 shift clocks + 2 exit clocks.
+        assert_eq!(cycles, 3 + 32 + 2);
+    }
+
+    #[test]
+    fn ir_path_reachable() {
+        let mut t = TapController::new();
+        t.clock(false); // idle
+        t.clock(true); // select-dr
+        t.clock(true); // select-ir
+        assert_eq!(t.state(), TapState::SelectIrScan);
+        t.clock(false); // capture-ir
+        t.clock(false); // shift-ir
+        assert_eq!(t.state(), TapState::ShiftIr);
+        t.clock(true); // exit1-ir
+        t.clock(true); // update-ir
+        t.clock(false); // idle
+        assert_eq!(t.state(), TapState::RunTestIdle);
+    }
+
+    #[test]
+    fn pause_and_resume_shift() {
+        let mut t = TapController::new();
+        t.clock(false); // idle
+        t.clock(true);
+        t.clock(false);
+        t.clock(false); // shift-dr
+        t.clock(true); // exit1-dr
+        t.clock(false); // pause-dr
+        assert_eq!(t.state(), TapState::PauseDr);
+        t.clock(true); // exit2-dr
+        t.clock(false); // back to shift-dr
+        assert_eq!(t.state(), TapState::ShiftDr);
+    }
+
+    #[test]
+    fn tck_counter_accumulates() {
+        let mut t = TapController::new();
+        t.reset();
+        assert_eq!(t.tck_cycles(), 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Processor architecture and debug-interface descriptors.
+//!
+//! The paper's Table 1 compares fuzzer support across processor
+//! architectures (ARM, RISC-V, Xtensa, PowerPC, MIPS, MSP430). The
+//! simulated boards carry the same metadata so the adaptability matrix can
+//! be regenerated, and so endianness-sensitive code paths (test-case
+//! serialisation, coverage buffer layout) are exercised both ways.
+
+use std::fmt;
+
+/// Processor architecture of a simulated board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arch {
+    /// ARM Cortex-M class cores (STM32 family).
+    Arm,
+    /// RISC-V RV32 class cores (HiFive-style devkits, ESP32-C3).
+    RiscV,
+    /// Tensilica Xtensa cores (classic ESP32).
+    Xtensa,
+    /// PowerPC cores (covered by SHIFT in the paper, not by EOF).
+    PowerPc,
+    /// MIPS cores (covered by SHIFT in the paper, not by EOF).
+    Mips,
+    /// TI MSP430 cores (covered by GDBFuzz in the paper, not by EOF).
+    Msp430,
+}
+
+impl Arch {
+    /// All architectures that appear in the paper's Table 1.
+    pub const ALL: [Arch; 6] = [
+        Arch::Arm,
+        Arch::RiscV,
+        Arch::Xtensa,
+        Arch::PowerPc,
+        Arch::Mips,
+        Arch::Msp430,
+    ];
+
+    /// Natural word size of the architecture in bytes.
+    pub fn word_bytes(self) -> usize {
+        match self {
+            Arch::Msp430 => 2,
+            _ => 4,
+        }
+    }
+
+    /// Default endianness used by the boards we model for this architecture.
+    pub fn default_endianness(self) -> Endianness {
+        match self {
+            Arch::PowerPc | Arch::Mips => Endianness::Big,
+            _ => Endianness::Little,
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Arch::Arm => "ARM",
+            Arch::RiscV => "RISC-V",
+            Arch::Xtensa => "Xtensa",
+            Arch::PowerPc => "Power PC",
+            Arch::Mips => "MIPS",
+            Arch::Msp430 => "MSP430",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Byte order of a simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endianness {
+    /// Least-significant byte first.
+    Little,
+    /// Most-significant byte first.
+    Big,
+}
+
+impl Endianness {
+    /// Encode a `u32` in this byte order.
+    pub fn u32_bytes(self, v: u32) -> [u8; 4] {
+        match self {
+            Endianness::Little => v.to_le_bytes(),
+            Endianness::Big => v.to_be_bytes(),
+        }
+    }
+
+    /// Decode a `u32` in this byte order.
+    pub fn u32_from(self, b: [u8; 4]) -> u32 {
+        match self {
+            Endianness::Little => u32::from_le_bytes(b),
+            Endianness::Big => u32::from_be_bytes(b),
+        }
+    }
+
+    /// Encode a `u64` in this byte order.
+    pub fn u64_bytes(self, v: u64) -> [u8; 8] {
+        match self {
+            Endianness::Little => v.to_le_bytes(),
+            Endianness::Big => v.to_be_bytes(),
+        }
+    }
+
+    /// Decode a `u64` in this byte order.
+    pub fn u64_from(self, b: [u8; 8]) -> u64 {
+        match self {
+            Endianness::Little => u64::from_le_bytes(b),
+            Endianness::Big => u64::from_be_bytes(b),
+        }
+    }
+}
+
+impl fmt::Display for Endianness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Endianness::Little => "little",
+            Endianness::Big => "big",
+        })
+    }
+}
+
+/// On-chip debug interface exposed by a board.
+///
+/// EOF uses whichever interface the board provides; both are driven through
+/// the same [`crate::machine::Machine`] debug surface, mirroring how OpenOCD
+/// abstracts JTAG and SWD behind one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DebugIface {
+    /// IEEE 1149.1 JTAG (ESP32 devkits, RISC-V boards).
+    Jtag,
+    /// ARM Serial Wire Debug (STM32 boards).
+    Swd,
+}
+
+impl fmt::Display for DebugIface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DebugIface::Jtag => "JTAG",
+            DebugIface::Swd => "SWD",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_sizes() {
+        assert_eq!(Arch::Arm.word_bytes(), 4);
+        assert_eq!(Arch::Msp430.word_bytes(), 2);
+    }
+
+    #[test]
+    fn endianness_roundtrip_u32() {
+        for e in [Endianness::Little, Endianness::Big] {
+            for v in [0u32, 1, 0xdead_beef, u32::MAX] {
+                assert_eq!(e.u32_from(e.u32_bytes(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn endianness_roundtrip_u64() {
+        for e in [Endianness::Little, Endianness::Big] {
+            for v in [0u64, 1, 0xdead_beef_cafe_f00d, u64::MAX] {
+                assert_eq!(e.u64_from(e.u64_bytes(v)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn big_endian_differs_from_little() {
+        let v = 0x0102_0304u32;
+        assert_eq!(Endianness::Little.u32_bytes(v), [4, 3, 2, 1]);
+        assert_eq!(Endianness::Big.u32_bytes(v), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn default_endianness_per_arch() {
+        assert_eq!(Arch::Arm.default_endianness(), Endianness::Little);
+        assert_eq!(Arch::PowerPc.default_endianness(), Endianness::Big);
+        assert_eq!(Arch::Mips.default_endianness(), Endianness::Big);
+    }
+
+    #[test]
+    fn display_matches_paper_table() {
+        assert_eq!(Arch::PowerPc.to_string(), "Power PC");
+        assert_eq!(Arch::RiscV.to_string(), "RISC-V");
+        assert_eq!(DebugIface::Jtag.to_string(), "JTAG");
+    }
+}

@@ -1,0 +1,290 @@
+//! Board descriptors and the catalog of simulated development boards.
+//!
+//! Each entry mirrors a class of hardware the paper (or one of its
+//! baselines) runs on. The `has_peripheral_emulator` flag encodes the
+//! paper's central motivation: boards like the STM32H745 have no
+//! peripheral-accurate emulator, so emulation-based fuzzers (Tardis,
+//! Gustave) simply cannot target them, while debug-port fuzzers can.
+
+use crate::arch::{Arch, DebugIface, Endianness};
+use crate::flash::{Partition, PartitionTable};
+
+/// Static description of a simulated development board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoardSpec {
+    /// Board name, e.g. `"esp32-devkitc"`.
+    pub name: &'static str,
+    /// Core architecture.
+    pub arch: Arch,
+    /// Core byte order.
+    pub endianness: Endianness,
+    /// RAM window base address.
+    pub ram_base: u32,
+    /// RAM size in bytes.
+    pub ram_size: usize,
+    /// Flash size in bytes.
+    pub flash_size: u32,
+    /// On-chip debug interface.
+    pub debug_iface: DebugIface,
+    /// Number of hardware breakpoint comparators.
+    pub max_breakpoints: usize,
+    /// Whether a peripheral-accurate emulator exists for this board —
+    /// gates emulation-based baselines.
+    pub has_peripheral_emulator: bool,
+    /// Whether this "board" IS an emulator instance (QEMU machine) rather
+    /// than silicon. Emulated boards have no ambient peripheral activity:
+    /// no spontaneous timer/GPIO interrupts reach the firmware.
+    pub is_emulated: bool,
+    /// Nominal core clock in MHz (report metadata only).
+    pub cpu_mhz: u32,
+}
+
+impl BoardSpec {
+    /// The default three-component partition layout used by our OS images:
+    /// bootloader, kernel (bulk of flash) and a small filesystem.
+    pub fn default_partitions(&self) -> PartitionTable {
+        let boot = 0x1_0000u32.min(self.flash_size / 16).max(0x1000);
+        let fs = 0x2_0000u32.min(self.flash_size / 8).max(0x1000);
+        let kernel = self.flash_size - boot - fs;
+        PartitionTable::new(
+            vec![
+                Partition::new("bootloader", 0, boot),
+                Partition::new("kernel", boot, kernel),
+                Partition::new("fs", boot + kernel, fs),
+            ],
+            self.flash_size,
+        )
+        .expect("default partition layout is valid by construction")
+    }
+}
+
+/// The catalog of boards modelled by the reproduction.
+pub struct BoardCatalog;
+
+impl BoardCatalog {
+    /// ESP32 devkit: Xtensa, JTAG, 520 KiB SRAM, 4 MiB flash. The board the
+    /// paper uses for the GDBFuzz comparison (§5.4.2). QEMU can emulate it.
+    /// The Xtensa core has two hardware comparators, but OpenOCD extends
+    /// them with flash-patched software breakpoints; the effective budget
+    /// modelled here is what an OpenOCD session offers.
+    pub fn esp32_devkit() -> BoardSpec {
+        BoardSpec {
+            name: "esp32-devkitc",
+            arch: Arch::Xtensa,
+            endianness: Endianness::Little,
+            ram_base: 0x3ffb_0000,
+            ram_size: 520 * 1024,
+            flash_size: 4 * 1024 * 1024,
+            debug_iface: DebugIface::Jtag,
+            max_breakpoints: 8,
+            has_peripheral_emulator: true,
+            is_emulated: false,
+            cpu_mhz: 240,
+        }
+    }
+
+    /// ESP32-C3 devkit: RISC-V variant of the ESP32 line.
+    pub fn esp32_c3() -> BoardSpec {
+        BoardSpec {
+            name: "esp32-c3-devkitm",
+            arch: Arch::RiscV,
+            endianness: Endianness::Little,
+            ram_base: 0x3fc8_0000,
+            ram_size: 400 * 1024,
+            flash_size: 4 * 1024 * 1024,
+            debug_iface: DebugIface::Jtag,
+            max_breakpoints: 8,
+            has_peripheral_emulator: true,
+            is_emulated: false,
+            cpu_mhz: 160,
+        }
+    }
+
+    /// STM32F4 Discovery: Cortex-M4, SWD, QEMU support exists. Flash
+    /// includes the memory-mapped external QSPI NOR the full OS images
+    /// live in.
+    pub fn stm32f4_disco() -> BoardSpec {
+        BoardSpec {
+            name: "stm32f4-discovery",
+            arch: Arch::Arm,
+            endianness: Endianness::Little,
+            ram_base: 0x2000_0000,
+            ram_size: 192 * 1024,
+            flash_size: 4 * 1024 * 1024,
+            debug_iface: DebugIface::Swd,
+            max_breakpoints: 6,
+            has_peripheral_emulator: true,
+            is_emulated: false,
+            cpu_mhz: 168,
+        }
+    }
+
+    /// STM32H745 Nucleo: the paper's flagship "no emulator exists" board
+    /// (industrial control / robotics, §1). Emulation-based fuzzers cannot
+    /// target it.
+    pub fn stm32h745_nucleo() -> BoardSpec {
+        BoardSpec {
+            name: "stm32h745-nucleo",
+            arch: Arch::Arm,
+            endianness: Endianness::Little,
+            ram_base: 0x2400_0000,
+            ram_size: 1024 * 1024,
+            flash_size: 4 * 1024 * 1024,
+            debug_iface: DebugIface::Swd,
+            max_breakpoints: 8,
+            has_peripheral_emulator: false,
+            is_emulated: false,
+            cpu_mhz: 480,
+        }
+    }
+
+    /// HiFive-style RISC-V devkit with JTAG.
+    pub fn hifive_riscv() -> BoardSpec {
+        BoardSpec {
+            name: "hifive-rv32",
+            arch: Arch::RiscV,
+            endianness: Endianness::Little,
+            ram_base: 0x8000_0000,
+            ram_size: 256 * 1024,
+            flash_size: 2 * 1024 * 1024,
+            debug_iface: DebugIface::Jtag,
+            max_breakpoints: 4,
+            has_peripheral_emulator: true,
+            is_emulated: false,
+            cpu_mhz: 320,
+        }
+    }
+
+    /// Big-endian PowerPC evaluation board (SHIFT territory in Table 1).
+    pub fn ppc_eval() -> BoardSpec {
+        BoardSpec {
+            name: "ppc-eval",
+            arch: Arch::PowerPc,
+            endianness: Endianness::Big,
+            ram_base: 0x0010_0000,
+            ram_size: 512 * 1024,
+            flash_size: 4 * 1024 * 1024,
+            debug_iface: DebugIface::Jtag,
+            max_breakpoints: 4,
+            has_peripheral_emulator: false,
+            is_emulated: false,
+            cpu_mhz: 400,
+        }
+    }
+
+    /// Big-endian MIPS evaluation board (SHIFT territory in Table 1).
+    pub fn mips_eval() -> BoardSpec {
+        BoardSpec {
+            name: "mips-eval",
+            arch: Arch::Mips,
+            endianness: Endianness::Big,
+            ram_base: 0x8000_0000,
+            ram_size: 512 * 1024,
+            flash_size: 4 * 1024 * 1024,
+            debug_iface: DebugIface::Jtag,
+            max_breakpoints: 4,
+            has_peripheral_emulator: false,
+            is_emulated: false,
+            cpu_mhz: 500,
+        }
+    }
+
+    /// MSP430 LaunchPad (GDBFuzz territory in Table 1). Tiny RAM.
+    pub fn msp430_launchpad() -> BoardSpec {
+        BoardSpec {
+            name: "msp430-launchpad",
+            arch: Arch::Msp430,
+            endianness: Endianness::Little,
+            ram_base: 0x0000_1c00,
+            ram_size: 8 * 1024,
+            flash_size: 256 * 1024,
+            debug_iface: DebugIface::Jtag,
+            max_breakpoints: 2,
+            has_peripheral_emulator: false,
+            is_emulated: false,
+            cpu_mhz: 16,
+        }
+    }
+
+    /// Generic QEMU `virt` ARM machine — the board Tardis-style emulation
+    /// fuzzing actually runs on.
+    pub fn qemu_virt_arm() -> BoardSpec {
+        BoardSpec {
+            name: "qemu-virt-arm",
+            arch: Arch::Arm,
+            endianness: Endianness::Little,
+            ram_base: 0x4000_0000,
+            ram_size: 8 * 1024 * 1024,
+            flash_size: 16 * 1024 * 1024,
+            debug_iface: DebugIface::Jtag,
+            max_breakpoints: 16,
+            has_peripheral_emulator: true,
+            is_emulated: true,
+            cpu_mhz: 1000,
+        }
+    }
+
+    /// All catalogued boards.
+    pub fn all() -> Vec<BoardSpec> {
+        vec![
+            Self::esp32_devkit(),
+            Self::esp32_c3(),
+            Self::stm32f4_disco(),
+            Self::stm32h745_nucleo(),
+            Self::hifive_riscv(),
+            Self::ppc_eval(),
+            Self::mips_eval(),
+            Self::msp430_launchpad(),
+            Self::qemu_virt_arm(),
+        ]
+    }
+
+    /// Look a board up by name.
+    pub fn by_name(name: &str) -> Option<BoardSpec> {
+        Self::all().into_iter().find(|b| b.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let all = BoardCatalog::all();
+        let mut names: Vec<_> = all.iter().map(|b| b.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn default_partitions_are_valid_for_every_board() {
+        for b in BoardCatalog::all() {
+            let t = b.default_partitions();
+            assert_eq!(t.len(), 3, "{}", b.name);
+            assert!(t.get("kernel").unwrap().size > t.get("bootloader").unwrap().size);
+        }
+    }
+
+    #[test]
+    fn h745_has_no_emulator() {
+        assert!(!BoardCatalog::stm32h745_nucleo().has_peripheral_emulator);
+        assert!(BoardCatalog::qemu_virt_arm().has_peripheral_emulator);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(
+            BoardCatalog::by_name("esp32-devkitc").unwrap().arch,
+            Arch::Xtensa
+        );
+        assert!(BoardCatalog::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn big_endian_boards_exist() {
+        assert_eq!(BoardCatalog::ppc_eval().endianness, Endianness::Big);
+        assert_eq!(BoardCatalog::mips_eval().endianness, Endianness::Big);
+    }
+}

@@ -1,0 +1,101 @@
+//! The memory/peripheral bus visible to firmware.
+//!
+//! Firmware (the OS kernel model plus the execution agent) can touch RAM,
+//! the UART and the cycle clock — exactly what code running on the core
+//! could. Flash, breakpoints and the reset line belong to
+//! [`crate::machine::Machine`] and are reachable only through the debug
+//! port, preserving the isolation the paper's design leans on.
+
+use crate::arch::Endianness;
+use crate::clock::CycleClock;
+use crate::mem::Ram;
+use crate::uart::Uart;
+use std::collections::VecDeque;
+
+/// A pending interrupt request raised by external stimulus hardware
+/// (GPIO toggles, host-side serial TX, timer expiry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrqRequest {
+    /// Interrupt line number.
+    pub line: u8,
+    /// Payload for data-carrying lines (serial RX bytes).
+    pub payload: Vec<u8>,
+}
+
+/// Well-known interrupt lines of the simulated boards.
+pub mod irq {
+    /// GPIO edge interrupt.
+    pub const GPIO: u8 = 1;
+    /// Serial receive interrupt (payload = received bytes).
+    pub const SERIAL_RX: u8 = 2;
+    /// Auxiliary timer tick.
+    pub const TIMER: u8 = 3;
+}
+
+/// Everything the firmware can access while executing.
+#[derive(Debug)]
+pub struct Bus {
+    /// On-chip SRAM.
+    pub ram: Ram,
+    /// Transmit-only UART used for kernel logs.
+    pub uart: Uart,
+    /// Cycle clock; kernel work charges cycles here.
+    pub clock: CycleClock,
+    /// Byte order of the core, needed for in-RAM structure layout.
+    pub endianness: Endianness,
+    /// Interrupt requests waiting for the firmware to service.
+    pub pending_irqs: VecDeque<IrqRequest>,
+    /// Whether this bus belongs to real silicon (ambient peripheral
+    /// activity exists) or an emulator instance (it does not).
+    pub silicon: bool,
+}
+
+impl Bus {
+    /// Create a bus with zeroed RAM at `ram_base`.
+    pub fn new(ram_base: u32, ram_size: usize, endianness: Endianness) -> Self {
+        Bus {
+            ram: Ram::new(ram_base, ram_size),
+            uart: Uart::default(),
+            clock: CycleClock::new(),
+            endianness,
+            pending_irqs: VecDeque::new(),
+            silicon: true,
+        }
+    }
+
+    /// Charge `n` cycles of work to the clock.
+    pub fn charge(&mut self, n: u64) {
+        self.clock.charge(n);
+    }
+
+    /// Current cycle count (convenience).
+    pub fn now(&self) -> u64 {
+        self.clock.cycles()
+    }
+
+    /// Reset peripherals and RAM to their power-on state. The clock is
+    /// *not* reset: simulated time keeps flowing across reboots, exactly as
+    /// wall-clock time does for a real campaign.
+    pub fn power_cycle(&mut self) {
+        self.ram.fill(0);
+        self.uart.reset();
+        self.pending_irqs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_cycle_preserves_clock() {
+        let mut b = Bus::new(0x2000_0000, 64, Endianness::Little);
+        b.charge(123);
+        b.ram.write_u8(0x2000_0000, 9).unwrap();
+        b.uart.tx(b"x");
+        b.power_cycle();
+        assert_eq!(b.now(), 123);
+        assert_eq!(b.ram.read_u8(0x2000_0000).unwrap(), 0);
+        assert_eq!(b.uart.pending(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types for the hardware abstraction layer.
+
+use std::fmt;
+
+/// Errors raised by the simulated hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HalError {
+    /// A memory access fell outside the RAM address space.
+    OutOfBoundsRam {
+        /// Faulting address.
+        addr: u32,
+        /// Access length in bytes.
+        len: usize,
+        /// RAM size in bytes.
+        ram_size: usize,
+    },
+    /// A flash access fell outside the flash address space.
+    OutOfBoundsFlash {
+        /// Faulting offset.
+        offset: u32,
+        /// Access length in bytes.
+        len: usize,
+        /// Flash size in bytes.
+        flash_size: usize,
+    },
+    /// A flash write targeted a region that was not erased first.
+    FlashNotErased {
+        /// Offset of the first conflicting byte.
+        offset: u32,
+    },
+    /// A partition name was not present in the partition table.
+    UnknownPartition(String),
+    /// Partition layout is inconsistent (overlap or out of range).
+    BadPartitionLayout(String),
+    /// The machine has no firmware loaded (boot failed or flash empty).
+    NoFirmware,
+    /// The machine is not in the state the operation requires.
+    BadMachineState {
+        /// Operation that was attempted.
+        op: &'static str,
+        /// Human-readable state description.
+        state: String,
+    },
+    /// The flash image failed validation at boot.
+    BootFailure(String),
+    /// Breakpoint table is full (hardware has a small fixed number).
+    BreakpointLimit {
+        /// Maximum supported by the board.
+        max: usize,
+    },
+}
+
+impl fmt::Display for HalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HalError::OutOfBoundsRam {
+                addr,
+                len,
+                ram_size,
+            } => write!(
+                f,
+                "RAM access out of bounds: addr={addr:#010x} len={len} ram_size={ram_size:#x}"
+            ),
+            HalError::OutOfBoundsFlash {
+                offset,
+                len,
+                flash_size,
+            } => write!(
+                f,
+                "flash access out of bounds: offset={offset:#010x} len={len} flash_size={flash_size:#x}"
+            ),
+            HalError::FlashNotErased { offset } => {
+                write!(f, "flash write to non-erased region at {offset:#010x}")
+            }
+            HalError::UnknownPartition(name) => write!(f, "unknown partition {name:?}"),
+            HalError::BadPartitionLayout(msg) => write!(f, "bad partition layout: {msg}"),
+            HalError::NoFirmware => f.write_str("no firmware loaded"),
+            HalError::BadMachineState { op, state } => {
+                write!(f, "cannot {op}: machine is {state}")
+            }
+            HalError::BootFailure(msg) => write!(f, "boot failure: {msg}"),
+            HalError::BreakpointLimit { max } => {
+                write!(f, "hardware breakpoint limit reached (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HalError::OutOfBoundsRam {
+            addr: 0x2000_0000,
+            len: 4,
+            ram_size: 0x1_0000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x20000000"));
+        assert!(s.contains("len=4"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(HalError::NoFirmware);
+        assert_eq!(e.to_string(), "no firmware loaded");
+    }
+}

@@ -1,0 +1,137 @@
+//! Firmware fault taxonomy and host-side fault injection.
+//!
+//! Two different things are modelled here:
+//!
+//! * [`FaultKind`] / [`FaultRecord`] — faults *raised by the firmware
+//!   itself* (kernel panics, failed assertions, memory faults). These are
+//!   the explicit fault signals of the paper's threat model (§4.1) and are
+//!   what the exception monitor observes.
+//! * [`FaultPlan`] / [`InjectedFault`] — faults *injected by the test
+//!   harness* (flash bit flips, hard lockups, debug-link drops) to exercise
+//!   EOF's liveness watchdogs and state restoration without waiting for a
+//!   fuzzing campaign to corrupt the device naturally.
+
+/// Classification of a firmware-raised fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Kernel panic (unrecoverable error detected by the OS itself).
+    Panic,
+    /// Failed kernel assertion (`RT_ASSERT`, `configASSERT`, `__ASSERT`, …).
+    Assertion,
+    /// Illegal memory access escalated to a bus/mem fault.
+    MemFault,
+    /// Usage fault (illegal state transition, bad mode).
+    UsageFault,
+    /// Hard lockup: the core stops fetching entirely; even the debug port
+    /// may lose the target. A reboot alone does not always recover it.
+    HardLockup,
+}
+
+impl FaultKind {
+    /// Short lower-case tag used in UART crash banners.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Assertion => "assertion",
+            FaultKind::MemFault => "memfault",
+            FaultKind::UsageFault => "usagefault",
+            FaultKind::HardLockup => "lockup",
+        }
+    }
+}
+
+/// A fault captured by the machine when firmware raised it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Fault classification.
+    pub kind: FaultKind,
+    /// Message emitted by the failing kernel path.
+    pub message: String,
+    /// Symbolised call stack, innermost frame first.
+    pub backtrace: Vec<String>,
+    /// Program counter at the fault (the exception handler address).
+    pub pc: u32,
+    /// Cycle at which the fault was raised.
+    pub at_cycle: u64,
+}
+
+/// A harness-injected hardware fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Flip one bit in flash — models image corruption that survives reboot.
+    FlashBitFlip {
+        /// Flash byte offset.
+        offset: u32,
+        /// Bit index 0..8.
+        bit: u8,
+    },
+    /// Freeze the firmware: the PC stops changing (execution stall).
+    FreezeFirmware,
+    /// Kill the core entirely: debug reads start timing out.
+    KillCore,
+    /// Drop the debug link for `cycles` cycles (consumed by `eof-dap`).
+    DropLink {
+        /// Outage duration in cycles.
+        cycles: u64,
+    },
+}
+
+/// A scheduled set of injected faults, each firing once at a given cycle.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(u64, InjectedFault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `fault` to fire at absolute cycle `at_cycle`.
+    pub fn at(mut self, at_cycle: u64, fault: InjectedFault) -> Self {
+        self.entries.push((at_cycle, fault));
+        self.entries.sort_by_key(|(c, _)| *c);
+        self
+    }
+
+    /// Remove and return every fault due at or before `cycle`.
+    pub fn take_due(&mut self, cycle: u64) -> Vec<InjectedFault> {
+        let split = self.entries.partition_point(|(c, _)| *c <= cycle);
+        self.entries.drain(..split).map(|(_, f)| f).collect()
+    }
+
+    /// Number of faults still pending.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_due_is_ordered_and_consuming() {
+        let mut p = FaultPlan::none()
+            .at(100, InjectedFault::FreezeFirmware)
+            .at(50, InjectedFault::KillCore)
+            .at(200, InjectedFault::DropLink { cycles: 10 });
+        assert_eq!(p.pending(), 3);
+        let due = p.take_due(120);
+        assert_eq!(
+            due,
+            vec![InjectedFault::KillCore, InjectedFault::FreezeFirmware]
+        );
+        assert_eq!(p.pending(), 1);
+        assert!(p.take_due(120).is_empty());
+        assert_eq!(p.take_due(200).len(), 1);
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(FaultKind::Panic.tag(), "panic");
+        assert_eq!(FaultKind::Assertion.tag(), "assertion");
+        assert_eq!(FaultKind::HardLockup.tag(), "lockup");
+    }
+}

@@ -1,0 +1,188 @@
+//! The firmware execution contract.
+//!
+//! A [`Firmware`] is whatever got flashed onto the board — in this
+//! reproduction, an embedded-OS kernel model plus the EOF execution agent.
+//! The machine drives it in *quanta*: each [`Firmware::step`] call performs
+//! a bounded amount of work and reports where the program counter ended up
+//! and how many cycles it burned. Between quanta the machine checks
+//! hardware breakpoints, injected faults and the watchdog — giving the
+//! debug port the same observation granularity a halting probe has on real
+//! silicon.
+
+use crate::bus::Bus;
+use crate::fault::{FaultKind, FaultRecord};
+use crate::symbols::SymbolTable;
+
+/// Outcome of one firmware execution quantum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepResult {
+    /// Progress was made; the PC moved.
+    Running {
+        /// New program counter.
+        pc: u32,
+        /// Cycles consumed by this quantum.
+        cycles: u64,
+    },
+    /// The firmware is spinning without progress (e.g. an infinite polling
+    /// loop after API misuse). The PC does not change — this is what the
+    /// paper's second liveness watchdog detects.
+    Stalled {
+        /// Program counter the core is stuck at.
+        pc: u32,
+        /// Cycles burned while spinning.
+        cycles: u64,
+    },
+    /// The firmware raised a fault; the PC is at the exception handler.
+    Fault(FaultRecord),
+}
+
+impl StepResult {
+    /// Construct a fault step at handler address `pc`.
+    pub fn fault(
+        kind: FaultKind,
+        pc: u32,
+        at_cycle: u64,
+        message: impl Into<String>,
+        backtrace: Vec<String>,
+    ) -> Self {
+        StepResult::Fault(FaultRecord {
+            kind,
+            message: message.into(),
+            backtrace,
+            pc,
+            at_cycle,
+        })
+    }
+
+    /// Program counter this step ended at.
+    pub fn pc(&self) -> u32 {
+        match self {
+            StepResult::Running { pc, .. } | StepResult::Stalled { pc, .. } => *pc,
+            StepResult::Fault(rec) => rec.pc,
+        }
+    }
+
+    /// Cycles consumed by this step.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            StepResult::Running { cycles, .. } | StepResult::Stalled { cycles, .. } => *cycles,
+            // Taking the exception costs a fixed pipeline flush.
+            StepResult::Fault(_) => 8,
+        }
+    }
+}
+
+/// Code running on the simulated core.
+pub trait Firmware {
+    /// Human-readable firmware identity, e.g. `"freertos-5.4+agent"`.
+    fn name(&self) -> &str;
+
+    /// Symbol table for breakpoint placement and PC symbolisation.
+    fn symbols(&self) -> &SymbolTable;
+
+    /// Execute one quantum.
+    fn step(&mut self, bus: &mut Bus) -> StepResult;
+
+    /// Warm-reset hook: reinitialise internal state. RAM has already been
+    /// cleared by the machine when this is called.
+    fn on_reset(&mut self, bus: &mut Bus);
+
+    /// Freeze the firmware: after this call every `step` must report
+    /// [`StepResult::Stalled`] at the current PC. Used by fault injection
+    /// to model execution stalls.
+    fn freeze(&mut self);
+}
+
+#[cfg(test)]
+pub(crate) mod testfw {
+    //! A tiny counting firmware used by machine tests.
+
+    use super::*;
+    use crate::arch::Endianness;
+
+    /// Firmware that walks PC through `base, base+4, base+8, …` and writes
+    /// the step count at a fixed RAM address.
+    pub struct CountingFirmware {
+        pub base: u32,
+        pub steps: u32,
+        pub frozen: bool,
+        pub fault_at_step: Option<u32>,
+        symbols: SymbolTable,
+    }
+
+    impl CountingFirmware {
+        pub fn new(base: u32) -> Self {
+            let mut symbols = SymbolTable::new();
+            symbols.insert("entry", base);
+            symbols.insert("handle_exception", 0x0fff_0000);
+            CountingFirmware {
+                base,
+                steps: 0,
+                frozen: false,
+                fault_at_step: None,
+                symbols,
+            }
+        }
+    }
+
+    impl Firmware for CountingFirmware {
+        fn name(&self) -> &str {
+            "counting-test-firmware"
+        }
+
+        fn symbols(&self) -> &SymbolTable {
+            &self.symbols
+        }
+
+        fn step(&mut self, bus: &mut Bus) -> StepResult {
+            if self.frozen {
+                return StepResult::Stalled {
+                    pc: self.base + self.steps * 4,
+                    cycles: 1,
+                };
+            }
+            if self.fault_at_step == Some(self.steps) {
+                return StepResult::fault(
+                    FaultKind::Panic,
+                    0x0fff_0000,
+                    bus.now(),
+                    "test panic",
+                    vec!["entry".into()],
+                );
+            }
+            self.steps += 1;
+            let base = bus.ram.base();
+            bus.ram
+                .write_u32(base, self.steps, Endianness::Little)
+                .unwrap();
+            StepResult::Running {
+                pc: self.base + self.steps * 4,
+                cycles: 2,
+            }
+        }
+
+        fn on_reset(&mut self, _bus: &mut Bus) {
+            self.steps = 0;
+            self.frozen = false;
+        }
+
+        fn freeze(&mut self) {
+            self.frozen = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_result_accessors() {
+        let r = StepResult::Running { pc: 0x100, cycles: 3 };
+        assert_eq!(r.pc(), 0x100);
+        assert_eq!(r.cycles(), 3);
+        let f = StepResult::fault(FaultKind::MemFault, 0x200, 7, "boom", vec![]);
+        assert_eq!(f.pc(), 0x200);
+        assert!(f.cycles() > 0);
+    }
+}

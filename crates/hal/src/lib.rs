@@ -1,0 +1,53 @@
+//! `eof-hal` — simulated embedded hardware substrate for the EOF fuzzer.
+//!
+//! The EOF paper (EuroSys '26) fuzzes embedded operating systems running on
+//! physical development boards (ESP32, STM32, RISC-V devkits) through the
+//! hardware debug port. This crate is the reproduction's hardware
+//! substitution: a deterministic, cycle-metered microcontroller simulator
+//! that exposes exactly the surface a debug probe sees — memory, flash,
+//! a program counter, breakpoints, reset lines and a UART — plus the
+//! failure modes that matter for on-hardware fuzzing (boot failure, image
+//! corruption, execution stalls, watchdog expiry).
+//!
+//! Nothing in this crate knows about any particular operating system; the
+//! firmware that runs on a [`machine::Machine`] is abstracted behind the
+//! [`firmware::Firmware`] trait and loaded from flash by a caller-supplied
+//! [`machine::FirmwareLoader`].
+//!
+//! # Layering
+//!
+//! ```text
+//!   eof-dap (debug access port)        — drives Machine via its debug surface
+//!        │
+//!   eof-hal::Machine                   — CPU state, breakpoints, reset, boot
+//!        │
+//!   Bus { Ram, Flash, Uart, Clock }    — what the firmware itself can touch
+//! ```
+
+pub mod arch;
+pub mod board;
+pub mod bus;
+pub mod clock;
+pub mod error;
+pub mod fault;
+pub mod firmware;
+pub mod flash;
+pub mod machine;
+pub mod mem;
+pub mod symbols;
+pub mod uart;
+pub mod watchdog;
+
+pub use arch::{Arch, DebugIface, Endianness};
+pub use board::{BoardCatalog, BoardSpec};
+pub use bus::{irq, Bus, IrqRequest};
+pub use clock::CycleClock;
+pub use error::HalError;
+pub use fault::{FaultKind, FaultPlan, InjectedFault};
+pub use firmware::{Firmware, StepResult};
+pub use flash::{Flash, Partition, PartitionTable};
+pub use machine::{BootState, FirmwareLoader, Machine, RunExit};
+pub use mem::Ram;
+pub use symbols::SymbolTable;
+pub use uart::Uart;
+pub use watchdog::HardwareWatchdog;

@@ -1,0 +1,640 @@
+//! The simulated machine: core state, boot, breakpoints, reset and the
+//! debug surface the DAP drives.
+//!
+//! A [`Machine`] composes a [`BoardSpec`], a [`Bus`] (RAM + UART + clock),
+//! flash, and a slot for loaded [`Firmware`]. The host never calls firmware
+//! directly; it either lets the machine run ([`Machine::run`]) or pokes it
+//! through the same primitives a JTAG/SWD probe has: halt, resume, read and
+//! write memory, set breakpoints, reset, reflash.
+
+use crate::board::BoardSpec;
+use crate::bus::Bus;
+use crate::error::HalError;
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, InjectedFault};
+use crate::firmware::{Firmware, StepResult};
+use crate::flash::Flash;
+use crate::watchdog::HardwareWatchdog;
+
+/// Lifecycle state of the simulated core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BootState {
+    /// Power is off; nothing loaded.
+    Off,
+    /// Boot failed (bad image); the core never started. Debug reads of the
+    /// core state time out in this state.
+    Dead(String),
+    /// Core is executing firmware.
+    Running,
+    /// Core is halted (breakpoint hit or debugger halt request).
+    Halted,
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// A hardware breakpoint at `pc` was hit.
+    Breakpoint {
+        /// Address of the breakpoint.
+        pc: u32,
+    },
+    /// The cycle budget given to `run` was exhausted while still running.
+    BudgetExhausted,
+    /// The core died mid-run (injected `KillCore` or boot failure).
+    CoreDead,
+    /// The on-chip hardware watchdog fired and warm-reset the machine.
+    WatchdogReset,
+}
+
+/// Constructor for firmware from flash contents. Supplied by the OS layer
+/// (`eof-rtos`); the HAL itself is OS-agnostic.
+pub type FirmwareLoader =
+    Box<dyn Fn(&Flash, &BoardSpec) -> Result<Box<dyn Firmware>, HalError> + Send>;
+
+/// A simulated development board with a debug port.
+pub struct Machine {
+    board: BoardSpec,
+    bus: Bus,
+    flash: Flash,
+    firmware: Option<Box<dyn Firmware>>,
+    loader: FirmwareLoader,
+    state: BootState,
+    pc: u32,
+    breakpoints: Vec<u32>,
+    fault_plan: FaultPlan,
+    last_fault: Option<FaultRecord>,
+    watchdog: HardwareWatchdog,
+    reset_count: u64,
+    /// Set by an injected `KillCore`; cleared only by reflash+reset.
+    core_killed: bool,
+    /// Most recent power-rail sample in milliwatts (external probe view).
+    power_mw: f32,
+}
+
+impl Machine {
+    /// Assemble a powered-off machine for `board`, using `loader` to
+    /// construct firmware from flash at boot.
+    pub fn new(board: BoardSpec, loader: FirmwareLoader) -> Self {
+        let mut bus = Bus::new(board.ram_base, board.ram_size, board.endianness);
+        bus.silicon = !board.is_emulated;
+        let flash = Flash::new(board.flash_size as usize, board.default_partitions());
+        Machine {
+            board,
+            bus,
+            flash,
+            firmware: None,
+            loader,
+            state: BootState::Off,
+            pc: 0,
+            breakpoints: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            last_fault: None,
+            watchdog: HardwareWatchdog::new(u64::MAX / 2),
+            reset_count: 0,
+            core_killed: false,
+            power_mw: POWER_IDLE_MW,
+        }
+    }
+
+    /// Board descriptor.
+    pub fn board(&self) -> &BoardSpec {
+        &self.board
+    }
+
+    /// Shared bus (RAM, UART, clock).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable bus access (host-side test helpers; the DAP uses the
+    /// dedicated memory methods below).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Flash array.
+    pub fn flash(&self) -> &Flash {
+        &self.flash
+    }
+
+    /// Mutable flash access (programming over the debug port).
+    pub fn flash_mut(&mut self) -> &mut Flash {
+        &mut self.flash
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> &BootState {
+        &self.state
+    }
+
+    /// Program counter most recently reported by the firmware.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Number of resets (cold + warm) since construction.
+    pub fn reset_count(&self) -> u64 {
+        self.reset_count
+    }
+
+    /// The most recent firmware fault, if any.
+    pub fn last_fault(&self) -> Option<&FaultRecord> {
+        self.last_fault.as_ref()
+    }
+
+    /// Clear the recorded fault (after the host has harvested it).
+    pub fn clear_fault(&mut self) {
+        self.last_fault = None;
+    }
+
+    /// Install a fault-injection plan (testing / ablation harnesses).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// On-chip hardware watchdog.
+    pub fn watchdog_mut(&mut self) -> &mut HardwareWatchdog {
+        &mut self.watchdog
+    }
+
+    /// Whether the core is dead (boot failure or killed).
+    pub fn is_dead(&self) -> bool {
+        matches!(self.state, BootState::Dead(_)) || self.core_killed
+    }
+
+    /// Whether the core is halted under debugger control.
+    pub fn is_halted(&self) -> bool {
+        self.state == BootState::Halted
+    }
+
+    // ----- boot & reset ---------------------------------------------------
+
+    /// Power-on (or warm) reset: clear RAM and peripherals, re-run the
+    /// loader against current flash contents. A corrupted image leaves the
+    /// machine [`BootState::Dead`]. A killed core stays dead across plain
+    /// resets — only a reflash of the kernel partition revives it,
+    /// reproducing the "a simple reboot is insufficient" property (§3.2).
+    pub fn reset(&mut self) {
+        self.reset_count += 1;
+        self.bus.power_cycle();
+        self.bus.charge(cost::RESET);
+        self.last_fault = None;
+        if self.core_killed {
+            self.state = BootState::Dead("core killed; reflash required".into());
+            self.firmware = None;
+            return;
+        }
+        match (self.loader)(&self.flash, &self.board) {
+            Ok(mut fw) => {
+                fw.on_reset(&mut self.bus);
+                self.pc = fw.symbols().lookup("reset_vector").unwrap_or(0);
+                self.firmware = Some(fw);
+                self.state = BootState::Running;
+            }
+            Err(e) => {
+                self.firmware = None;
+                self.state = BootState::Dead(e.to_string());
+            }
+        }
+    }
+
+    /// Reflash a partition over the debug port and clear the killed flag
+    /// for kernel reflashes (new image, fresh core state).
+    pub fn reflash_partition(&mut self, name: &str, image: &[u8]) -> Result<(), HalError> {
+        // Debug-port flashing is slow; charge proportional to image size.
+        self.bus
+            .charge(cost::FLASH_BASE + (image.len() as u64 / 64) * cost::FLASH_PER_64B);
+        self.flash.flash_partition(name, image)?;
+        if name == "kernel" {
+            self.core_killed = false;
+        }
+        Ok(())
+    }
+
+    // ----- execution ------------------------------------------------------
+
+    /// Apply injected faults that are due at the current cycle.
+    fn apply_due_faults(&mut self) {
+        for f in self.fault_plan.take_due(self.bus.now()) {
+            match f {
+                InjectedFault::FlashBitFlip { offset, bit } => {
+                    let _ = self.flash.flip_bit(offset, bit);
+                }
+                InjectedFault::FreezeFirmware => {
+                    if let Some(fw) = self.firmware.as_mut() {
+                        fw.freeze();
+                    }
+                }
+                InjectedFault::KillCore => {
+                    self.core_killed = true;
+                    self.state = BootState::Dead("core killed by injected fault".into());
+                    self.bus.uart.mute();
+                }
+                // Link faults are consumed by the DAP layer, not the core.
+                InjectedFault::DropLink { .. } => {}
+            }
+        }
+    }
+
+    /// Execute a single firmware quantum. Returns the step result, or
+    /// `None` if the machine is not in a runnable state.
+    pub fn step(&mut self) -> Option<StepResult> {
+        if self.state != BootState::Running {
+            return None;
+        }
+        self.apply_due_faults();
+        if self.state != BootState::Running {
+            return None;
+        }
+        let fw = self.firmware.as_mut()?;
+        let result = fw.step(&mut self.bus);
+        self.bus.charge(result.cycles());
+        self.pc = result.pc();
+        // Power model: varied workloads draw varied current; a spin loop
+        // draws a flat plateau; a fault handler spikes briefly.
+        self.power_mw = match &result {
+            StepResult::Running { .. } => {
+                POWER_ACTIVE_MW + ((self.bus.now().wrapping_mul(7919) % 100) as f32) / 8.0
+            }
+            StepResult::Stalled { .. } => POWER_PLATEAU_MW,
+            StepResult::Fault(_) => POWER_SPIKE_MW,
+        };
+        if let StepResult::Fault(rec) = &result {
+            // A hard lockup takes the UART with it.
+            if rec.kind == FaultKind::HardLockup {
+                self.bus.uart.mute();
+            }
+            self.last_fault = Some(rec.clone());
+        }
+        if self.breakpoints.contains(&self.pc) {
+            self.state = BootState::Halted;
+        }
+        Some(result)
+    }
+
+    /// Run until a breakpoint, death, watchdog reset, or `budget` cycles
+    /// elapse (measured from entry).
+    pub fn run(&mut self, budget: u64) -> RunExit {
+        let start = self.bus.now();
+        loop {
+            if self.is_dead() {
+                return RunExit::CoreDead;
+            }
+            if self.watchdog.expired(self.bus.now()) {
+                self.reset();
+                return RunExit::WatchdogReset;
+            }
+            if self.state == BootState::Halted {
+                return RunExit::Breakpoint { pc: self.pc };
+            }
+            if self.bus.now().saturating_sub(start) >= budget {
+                return RunExit::BudgetExhausted;
+            }
+            if self.step().is_none() {
+                // Not runnable and not halted/dead: treat as dead air.
+                return RunExit::CoreDead;
+            }
+            if self.state == BootState::Halted {
+                return RunExit::Breakpoint { pc: self.pc };
+            }
+        }
+    }
+
+    // ----- debug surface (what a probe can do) -----------------------------
+
+    /// Debugger halt request.
+    pub fn debug_halt(&mut self) -> Result<(), HalError> {
+        match self.state {
+            BootState::Running | BootState::Halted => {
+                self.state = BootState::Halted;
+                Ok(())
+            }
+            _ => Err(self.bad_state("halt")),
+        }
+    }
+
+    /// Debugger resume request.
+    pub fn debug_resume(&mut self) -> Result<(), HalError> {
+        match self.state {
+            BootState::Halted | BootState::Running => {
+                self.state = BootState::Running;
+                Ok(())
+            }
+            _ => Err(self.bad_state("resume")),
+        }
+    }
+
+    /// Read target RAM over the debug port.
+    pub fn debug_read(&mut self, addr: u32, buf: &mut [u8]) -> Result<(), HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("read memory"));
+        }
+        self.bus
+            .charge(cost::MEM_BASE + (buf.len() as u64 / 4) * cost::MEM_PER_WORD);
+        self.bus.ram.read(addr, buf)
+    }
+
+    /// Write target RAM over the debug port.
+    pub fn debug_write(&mut self, addr: u32, buf: &[u8]) -> Result<(), HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("write memory"));
+        }
+        self.bus
+            .charge(cost::MEM_BASE + (buf.len() as u64 / 4) * cost::MEM_PER_WORD);
+        self.bus.ram.write(addr, buf)
+    }
+
+    /// Read the PC over the debug port. Fails when the core is dead, which
+    /// is how the liveness watchdog's connection timeout manifests.
+    pub fn debug_pc(&mut self) -> Result<u32, HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("read pc"));
+        }
+        self.bus.charge(cost::REG_READ);
+        Ok(self.pc)
+    }
+
+    /// Install a hardware breakpoint. Bounded by the board's comparator
+    /// count, like real debug units.
+    pub fn set_breakpoint(&mut self, addr: u32) -> Result<(), HalError> {
+        if self.breakpoints.contains(&addr) {
+            return Ok(());
+        }
+        if self.breakpoints.len() >= self.board.max_breakpoints {
+            return Err(HalError::BreakpointLimit {
+                max: self.board.max_breakpoints,
+            });
+        }
+        self.bus.charge(cost::BP_OP);
+        self.breakpoints.push(addr);
+        Ok(())
+    }
+
+    /// Remove a hardware breakpoint (no-op if absent).
+    pub fn clear_breakpoint(&mut self, addr: u32) {
+        self.bus.charge(cost::BP_OP);
+        self.breakpoints.retain(|&a| a != addr);
+    }
+
+    /// Currently installed breakpoints.
+    pub fn breakpoints(&self) -> &[u32] {
+        &self.breakpoints
+    }
+
+    /// Look up a firmware symbol (probe-side ELF symbol table stand-in).
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.firmware.as_ref().and_then(|f| f.symbols().lookup(name))
+    }
+
+    /// Symbolise an address against the loaded firmware.
+    pub fn symbolize(&self, addr: u32) -> Option<(String, u32)> {
+        self.firmware
+            .as_ref()
+            .and_then(|f| f.symbols().symbolize(addr))
+            .map(|(n, off)| (n.to_string(), off))
+    }
+
+    /// Target-side checksum of a flash partition (OpenOCD's
+    /// `flash verify_image` runs a CRC loop on the target; this is its
+    /// stand-in). Works even when the core is dead — the flash
+    /// controller answers independently.
+    pub fn debug_flash_checksum(&mut self, partition: &str) -> Result<u64, HalError> {
+        // A hard-locked core takes the debug access port down with it;
+        // only the reset/flash lines still answer.
+        if self.core_killed {
+            return Err(self.bad_state("flash checksum"));
+        }
+        let part = self.flash.table().get(partition)?.clone();
+        // The verify loop costs time proportional to the region size.
+        self.bus
+            .charge(cost::VERIFY_BASE + (part.size as u64 / 1024) * cost::VERIFY_PER_KB);
+        self.flash.checksum(part.offset, part.size as usize)
+    }
+
+    /// Power-rail sample as an external current probe sees it — works
+    /// regardless of debug-link or core state (a dead core draws idle
+    /// current). The paper's §6 names power signals as a complementary
+    /// liveness channel; this is its substrate.
+    pub fn power_sample(&self) -> f32 {
+        if self.is_dead() {
+            POWER_IDLE_MW
+        } else {
+            self.power_mw
+        }
+    }
+
+    /// Drain pending UART output (host side of the redirected log channel).
+    pub fn drain_uart(&mut self) -> Vec<u8> {
+        self.bus.uart.drain()
+    }
+
+    fn bad_state(&self, op: &'static str) -> HalError {
+        HalError::BadMachineState {
+            op,
+            state: format!("{:?}", self.state),
+        }
+    }
+}
+
+/// Idle/dead draw in milliwatts.
+pub const POWER_IDLE_MW: f32 = 1.2;
+/// Base draw of a core doing varied work.
+pub const POWER_ACTIVE_MW: f32 = 18.0;
+/// Flat draw of a tight spin loop.
+pub const POWER_PLATEAU_MW: f32 = 24.0;
+/// Brief draw while taking an exception.
+pub const POWER_SPIKE_MW: f32 = 45.0;
+
+/// Cycle costs of machine-level operations.
+pub mod cost {
+    /// Warm/cold reset latency.
+    pub const RESET: u64 = 2_000;
+    /// Fixed cost of any debug memory transaction.
+    pub const MEM_BASE: u64 = 4;
+    /// Additional cost per 32-bit word transferred.
+    pub const MEM_PER_WORD: u64 = 1;
+    /// Cost of a register (PC) read.
+    pub const REG_READ: u64 = 2;
+    /// Cost of installing/removing a breakpoint.
+    pub const BP_OP: u64 = 2;
+    /// Base cost of a flash programming session.
+    pub const FLASH_BASE: u64 = 3_000;
+    /// Additional cost per 64 bytes programmed.
+    pub const FLASH_PER_64B: u64 = 4;
+    /// Base cost of a target-side verify (CRC) pass.
+    pub const VERIFY_BASE: u64 = 200;
+    /// Verify cost per KiB checked.
+    pub const VERIFY_PER_KB: u64 = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::BoardCatalog;
+    use crate::firmware::testfw::CountingFirmware;
+
+    fn counting_machine() -> Machine {
+        let loader: FirmwareLoader = Box::new(|flash, _board| {
+            // Image validity check: kernel partition must start with magic.
+            let kernel = flash.read_partition("kernel")?;
+            if &kernel[..4] != b"IMG!" {
+                return Err(HalError::BootFailure("bad magic".into()));
+            }
+            Ok(Box::new(CountingFirmware::new(0x0800_0000)))
+        });
+        let mut m = Machine::new(BoardCatalog::stm32f4_disco(), loader);
+        m.reflash_partition("kernel", b"IMG!payload").unwrap();
+        m
+    }
+
+    #[test]
+    fn boot_runs_firmware() {
+        let mut m = counting_machine();
+        m.reset();
+        assert_eq!(*m.state(), BootState::Running);
+        assert_eq!(m.run(100), RunExit::BudgetExhausted);
+        // Firmware wrote its step count at RAM base.
+        let base = m.bus().ram.base();
+        let steps = m
+            .bus()
+            .ram
+            .read_u32(base, crate::arch::Endianness::Little)
+            .unwrap();
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn bad_image_is_boot_failure() {
+        let loader: FirmwareLoader =
+            Box::new(|_, _| Err(HalError::BootFailure("checksum".into())));
+        let mut m = Machine::new(BoardCatalog::stm32f4_disco(), loader);
+        m.reset();
+        assert!(matches!(m.state(), BootState::Dead(_)));
+        assert!(m.debug_pc().is_err());
+        assert_eq!(m.run(100), RunExit::CoreDead);
+    }
+
+    #[test]
+    fn breakpoint_halts_at_exact_pc() {
+        let mut m = counting_machine();
+        m.reset();
+        // CountingFirmware visits base+4, base+8, ...
+        m.set_breakpoint(0x0800_0000 + 3 * 4).unwrap();
+        match m.run(1_000) {
+            RunExit::Breakpoint { pc } => assert_eq!(pc, 0x0800_000c),
+            other => panic!("expected breakpoint, got {other:?}"),
+        }
+        assert!(m.is_halted());
+        // Resume continues past it.
+        m.debug_resume().unwrap();
+        assert_eq!(m.run(10), RunExit::BudgetExhausted);
+        assert!(m.pc() > 0x0800_000c);
+    }
+
+    #[test]
+    fn breakpoint_limit_enforced() {
+        let mut m = counting_machine();
+        m.reset();
+        let max = m.board().max_breakpoints;
+        for i in 0..max {
+            m.set_breakpoint(0x1000 + i as u32).unwrap();
+        }
+        assert!(matches!(
+            m.set_breakpoint(0xffff),
+            Err(HalError::BreakpointLimit { .. })
+        ));
+        // Duplicates do not consume slots.
+        m.set_breakpoint(0x1000).unwrap();
+        m.clear_breakpoint(0x1000);
+        m.set_breakpoint(0xffff).unwrap();
+    }
+
+    #[test]
+    fn freeze_injection_stalls_pc() {
+        let mut m = counting_machine();
+        m.set_fault_plan(FaultPlan::none().at(0, InjectedFault::FreezeFirmware));
+        m.reset();
+        m.run(50);
+        let pc1 = m.debug_pc().unwrap();
+        m.run(50);
+        let pc2 = m.debug_pc().unwrap();
+        assert_eq!(pc1, pc2, "frozen firmware must not move the PC");
+    }
+
+    #[test]
+    fn kill_core_requires_reflash_not_reboot() {
+        let mut m = counting_machine();
+        m.set_fault_plan(FaultPlan::none().at(10, InjectedFault::KillCore));
+        m.reset();
+        assert_eq!(m.run(1_000), RunExit::CoreDead);
+        assert!(m.debug_pc().is_err());
+        // A plain reboot does NOT revive it.
+        m.reset();
+        assert!(m.is_dead());
+        // Reflash + reboot does.
+        m.reflash_partition("kernel", b"IMG!payload-v2").unwrap();
+        m.reset();
+        assert_eq!(*m.state(), BootState::Running);
+        assert!(m.debug_pc().is_ok());
+    }
+
+    #[test]
+    fn firmware_fault_is_recorded_and_symbolized() {
+        let loader: FirmwareLoader = Box::new(|_, _| {
+            let mut fw = CountingFirmware::new(0x0800_0000);
+            fw.fault_at_step = Some(2);
+            Ok(Box::new(fw))
+        });
+        let mut m = Machine::new(BoardCatalog::stm32f4_disco(), loader);
+        m.reset();
+        m.run(100);
+        let fault = m.last_fault().expect("fault recorded");
+        assert_eq!(fault.kind, FaultKind::Panic);
+        assert_eq!(fault.pc, 0x0fff_0000);
+        assert_eq!(m.symbolize(0x0fff_0000).unwrap().0, "handle_exception");
+    }
+
+    #[test]
+    fn breakpoint_on_exception_handler_halts() {
+        let loader: FirmwareLoader = Box::new(|_, _| {
+            let mut fw = CountingFirmware::new(0x0800_0000);
+            fw.fault_at_step = Some(1);
+            Ok(Box::new(fw))
+        });
+        let mut m = Machine::new(BoardCatalog::stm32f4_disco(), loader);
+        m.reset();
+        m.set_breakpoint(0x0fff_0000).unwrap();
+        match m.run(1_000) {
+            RunExit::Breakpoint { pc } => assert_eq!(pc, 0x0fff_0000),
+            other => panic!("expected halt at exception handler, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_and_resets() {
+        let mut m = counting_machine();
+        m.reset();
+        let now = m.bus().now();
+        *m.watchdog_mut() = HardwareWatchdog::new(20);
+        m.watchdog_mut().arm(now);
+        assert_eq!(m.run(10_000), RunExit::WatchdogReset);
+        assert!(m.reset_count() >= 2);
+    }
+
+    #[test]
+    fn debug_ops_charge_cycles() {
+        let mut m = counting_machine();
+        m.reset();
+        let before = m.bus().now();
+        let mut buf = [0u8; 64];
+        m.debug_read(m.board().ram_base, &mut buf).unwrap();
+        assert!(m.bus().now() > before);
+    }
+
+    #[test]
+    fn uart_drains_through_machine() {
+        let mut m = counting_machine();
+        m.reset();
+        m.bus_mut().uart.tx_line("hello from fw");
+        assert_eq!(m.drain_uart(), b"hello from fw\n");
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulated on-chip SRAM.
+//!
+//! Embedded targets address RAM from a base address (e.g. `0x2000_0000` on
+//! Cortex-M); the debug probe and the firmware both see the same bytes. All
+//! accesses are bounds-checked and return [`HalError::OutOfBoundsRam`]
+//! rather than panicking, because out-of-range accesses are a *normal*
+//! event during fuzzing (a corrupted test case can make the agent compute a
+//! wild pointer) and must surface as a simulated bus fault, not a host
+//! crash.
+
+use crate::arch::Endianness;
+use crate::error::HalError;
+
+/// Byte-addressable simulated SRAM with a fixed base address.
+#[derive(Debug, Clone)]
+pub struct Ram {
+    base: u32,
+    bytes: Vec<u8>,
+}
+
+impl Ram {
+    /// Create zero-filled RAM of `size` bytes mapped at `base`.
+    pub fn new(base: u32, size: usize) -> Self {
+        Ram {
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Base address of the RAM window.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size of the RAM in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Translate an absolute address into an offset, bounds-checked for a
+    /// `len`-byte access.
+    fn offset(&self, addr: u32, len: usize) -> Result<usize, HalError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr < self.base || off.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+            return Err(HalError::OutOfBoundsRam {
+                addr,
+                len,
+                ram_size: self.bytes.len(),
+            });
+        }
+        Ok(off)
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u32, buf: &mut [u8]) -> Result<(), HalError> {
+        let off = self.offset(addr, buf.len())?;
+        buf.copy_from_slice(&self.bytes[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`.
+    pub fn write(&mut self, addr: u32, buf: &[u8]) -> Result<(), HalError> {
+        let off = self.offset(addr, buf.len())?;
+        self.bytes[off..off + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Read a single byte.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, HalError> {
+        let off = self.offset(addr, 1)?;
+        Ok(self.bytes[off])
+    }
+
+    /// Write a single byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), HalError> {
+        let off = self.offset(addr, 1)?;
+        self.bytes[off] = v;
+        Ok(())
+    }
+
+    /// Read a 16-bit value with the given byte order.
+    pub fn read_u16(&self, addr: u32, e: Endianness) -> Result<u16, HalError> {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b)?;
+        Ok(match e {
+            Endianness::Little => u16::from_le_bytes(b),
+            Endianness::Big => u16::from_be_bytes(b),
+        })
+    }
+
+    /// Write a 16-bit value with the given byte order.
+    pub fn write_u16(&mut self, addr: u32, v: u16, e: Endianness) -> Result<(), HalError> {
+        let b = match e {
+            Endianness::Little => v.to_le_bytes(),
+            Endianness::Big => v.to_be_bytes(),
+        };
+        self.write(addr, &b)
+    }
+
+    /// Read a 32-bit value with the given byte order.
+    pub fn read_u32(&self, addr: u32, e: Endianness) -> Result<u32, HalError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(e.u32_from(b))
+    }
+
+    /// Write a 32-bit value with the given byte order.
+    pub fn write_u32(&mut self, addr: u32, v: u32, e: Endianness) -> Result<(), HalError> {
+        self.write(addr, &e.u32_bytes(v))
+    }
+
+    /// Read a 64-bit value with the given byte order.
+    pub fn read_u64(&self, addr: u32, e: Endianness) -> Result<u64, HalError> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(e.u64_from(b))
+    }
+
+    /// Write a 64-bit value with the given byte order.
+    pub fn write_u64(&mut self, addr: u32, v: u64, e: Endianness) -> Result<(), HalError> {
+        self.write(addr, &e.u64_bytes(v))
+    }
+
+    /// Fill the whole RAM with a byte value (power-on / reset pattern).
+    pub fn fill(&mut self, v: u8) {
+        self.bytes.fill(v);
+    }
+
+    /// Borrow a region as a slice (host-side convenience for bulk drains).
+    pub fn slice(&self, addr: u32, len: usize) -> Result<&[u8], HalError> {
+        let off = self.offset(addr, len)?;
+        Ok(&self.bytes[off..off + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ram() -> Ram {
+        Ram::new(0x2000_0000, 0x1000)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut r = ram();
+        r.write(0x2000_0010, &[1, 2, 3, 4]).unwrap();
+        let mut b = [0u8; 4];
+        r.read(0x2000_0010, &mut b).unwrap();
+        assert_eq!(b, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn word_roundtrip_both_endiannesses() {
+        let mut r = ram();
+        for e in [Endianness::Little, Endianness::Big] {
+            r.write_u32(0x2000_0000, 0xcafe_babe, e).unwrap();
+            assert_eq!(r.read_u32(0x2000_0000, e).unwrap(), 0xcafe_babe);
+            r.write_u64(0x2000_0008, 0x0123_4567_89ab_cdef, e).unwrap();
+            assert_eq!(r.read_u64(0x2000_0008, e).unwrap(), 0x0123_4567_89ab_cdef);
+        }
+    }
+
+    #[test]
+    fn below_base_is_out_of_bounds() {
+        let r = ram();
+        let err = r.read_u8(0x1fff_ffff).unwrap_err();
+        assert!(matches!(err, HalError::OutOfBoundsRam { .. }));
+    }
+
+    #[test]
+    fn end_of_ram_boundary() {
+        let mut r = ram();
+        // Last valid byte.
+        r.write_u8(0x2000_0fff, 7).unwrap();
+        assert_eq!(r.read_u8(0x2000_0fff).unwrap(), 7);
+        // One past the end.
+        assert!(r.write_u8(0x2000_1000, 7).is_err());
+        // A 4-byte access straddling the end.
+        assert!(r.read_u32(0x2000_0ffd, Endianness::Little).is_err());
+    }
+
+    #[test]
+    fn overflowing_access_is_rejected() {
+        let r = ram();
+        let mut buf = vec![0u8; 16];
+        assert!(r.read(u32::MAX - 2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn fill_resets_contents() {
+        let mut r = ram();
+        r.write_u8(0x2000_0040, 0xaa).unwrap();
+        r.fill(0);
+        assert_eq!(r.read_u8(0x2000_0040).unwrap(), 0);
+    }
+
+    #[test]
+    fn slice_view() {
+        let mut r = ram();
+        r.write(0x2000_0100, b"hello").unwrap();
+        assert_eq!(r.slice(0x2000_0100, 5).unwrap(), b"hello");
+        assert!(r.slice(0x2000_0100, 0x1000).is_err());
+    }
+}

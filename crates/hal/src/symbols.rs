@@ -1,0 +1,124 @@
+//! Firmware symbol tables.
+//!
+//! EOF sets hardware breakpoints at *named* locations in the agent and in
+//! the OS's exception handlers (`executor_main`, `execute_one`,
+//! `panic_handler`, `common_exception`, …). On real hardware those names
+//! come from the ELF symbol table; here each firmware publishes a
+//! [`SymbolTable`] mapping symbol names to the virtual addresses its step
+//! function reports as the program counter.
+
+use std::collections::BTreeMap;
+
+/// Map from symbol name to virtual address.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    by_name: BTreeMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a table from `(name, addr)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, u32)>,
+        S: Into<String>,
+    {
+        SymbolTable {
+            by_name: pairs.into_iter().map(|(n, a)| (n.into(), a)).collect(),
+        }
+    }
+
+    /// Register a symbol. Later insertions of the same name win, matching
+    /// link order semantics.
+    pub fn insert(&mut self, name: impl Into<String>, addr: u32) {
+        self.by_name.insert(name.into(), addr);
+    }
+
+    /// Address of a symbol, if present.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Reverse lookup: symbol whose address equals `addr` exactly.
+    pub fn name_at(&self, addr: u32) -> Option<&str> {
+        self.by_name
+            .iter()
+            .find(|(_, &a)| a == addr)
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// Nearest symbol at or below `addr` — the classic "symbolise a PC"
+    /// operation used when formatting backtraces.
+    pub fn symbolize(&self, addr: u32) -> Option<(&str, u32)> {
+        self.by_name
+            .iter()
+            .filter(|(_, &a)| a <= addr)
+            .max_by_key(|(_, &a)| a)
+            .map(|(n, &a)| (n.as_str(), addr - a))
+    }
+
+    /// Iterate over `(name, addr)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.by_name.iter().map(|(n, &a)| (n.as_str(), a))
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        SymbolTable::from_pairs([
+            ("executor_main", 0x0800_1000u32),
+            ("read_prog", 0x0800_1100),
+            ("execute_one", 0x0800_1200),
+            ("handle_exception", 0x0800_1f00),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_reverse() {
+        let t = table();
+        assert_eq!(t.lookup("execute_one"), Some(0x0800_1200));
+        assert_eq!(t.lookup("missing"), None);
+        assert_eq!(t.name_at(0x0800_1100), Some("read_prog"));
+        assert_eq!(t.name_at(0x0800_1101), None);
+    }
+
+    #[test]
+    fn symbolize_picks_nearest_below() {
+        let t = table();
+        assert_eq!(t.symbolize(0x0800_1234), Some(("execute_one", 0x34)));
+        assert_eq!(t.symbolize(0x0800_0fff), None);
+    }
+
+    #[test]
+    fn later_insert_wins() {
+        let mut t = table();
+        t.insert("execute_one", 0x0900_0000);
+        assert_eq!(t.lookup("execute_one"), Some(0x0900_0000));
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let t = table();
+        let names: Vec<_> = t.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,160 @@
+//! Simulated UART transmit channel.
+//!
+//! EOF "captures the target OS's UART output and redirects it to the stdout
+//! channel as the target OS's runtime log" (paper §4.3.1). The log monitor
+//! then scans that stream for crash signatures. Two properties of real
+//! UARTs matter to the reproduction and are modelled here:
+//!
+//! * the transmit FIFO is small and *lossy* — when the firmware outruns the
+//!   drain rate (or nobody is listening), bytes are dropped, which is why
+//!   "UART logs may vanish after a fault" (paper §3.2);
+//! * output is a byte stream, not discrete messages — the host must
+//!   re-segment lines itself.
+
+use std::collections::VecDeque;
+
+/// Default capacity of the simulated TX FIFO in bytes.
+pub const DEFAULT_FIFO: usize = 4096;
+
+/// A one-directional (target→host) UART with a bounded FIFO.
+#[derive(Debug, Clone)]
+pub struct Uart {
+    fifo: VecDeque<u8>,
+    capacity: usize,
+    dropped: u64,
+    total_tx: u64,
+    /// When set, all subsequent writes are discarded — models the UART
+    /// peripheral dying after a hard fault.
+    muted: bool,
+}
+
+impl Default for Uart {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_FIFO)
+    }
+}
+
+impl Uart {
+    /// Create a UART with a FIFO of `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Uart {
+            fifo: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+            total_tx: 0,
+            muted: false,
+        }
+    }
+
+    /// Transmit raw bytes from the firmware. Bytes beyond the free FIFO
+    /// space are silently dropped (counted in [`Uart::dropped`]).
+    pub fn tx(&mut self, data: &[u8]) {
+        if self.muted {
+            self.dropped += data.len() as u64;
+            return;
+        }
+        for &b in data {
+            self.total_tx += 1;
+            if self.fifo.len() < self.capacity {
+                self.fifo.push_back(b);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Transmit a string followed by a newline — the firmware-side `printk`.
+    pub fn tx_line(&mut self, line: &str) {
+        self.tx(line.as_bytes());
+        self.tx(b"\n");
+    }
+
+    /// Drain everything currently buffered (host side).
+    pub fn drain(&mut self) -> Vec<u8> {
+        self.fifo.drain(..).collect()
+    }
+
+    /// Number of bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Bytes dropped due to FIFO overflow or muting.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total bytes the firmware attempted to transmit.
+    pub fn total_tx(&self) -> u64 {
+        self.total_tx
+    }
+
+    /// Kill the UART (hard-fault aftermath). Subsequent writes are lost.
+    pub fn mute(&mut self) {
+        self.muted = true;
+    }
+
+    /// Whether the UART has been muted by a fault.
+    pub fn is_muted(&self) -> bool {
+        self.muted
+    }
+
+    /// Power-on/reset: clears the FIFO and un-mutes.
+    pub fn reset(&mut self) {
+        self.fifo.clear();
+        self.muted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_and_drain() {
+        let mut u = Uart::default();
+        u.tx_line("boot ok");
+        assert_eq!(u.drain(), b"boot ok\n");
+        assert_eq!(u.pending(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_tail() {
+        let mut u = Uart::with_capacity(4);
+        u.tx(b"abcdef");
+        assert_eq!(u.drain(), b"abcd");
+        assert_eq!(u.dropped(), 2);
+        assert_eq!(u.total_tx(), 6);
+    }
+
+    #[test]
+    fn mute_loses_logs() {
+        let mut u = Uart::default();
+        u.tx(b"before");
+        u.mute();
+        u.tx(b"after-fault");
+        assert_eq!(u.drain(), b"before");
+        assert_eq!(u.dropped(), 11);
+    }
+
+    #[test]
+    fn reset_unmutes_and_clears() {
+        let mut u = Uart::with_capacity(8);
+        u.tx(b"junk");
+        u.mute();
+        u.reset();
+        assert!(!u.is_muted());
+        u.tx(b"fresh");
+        assert_eq!(u.drain(), b"fresh");
+    }
+
+    #[test]
+    fn drain_frees_capacity() {
+        let mut u = Uart::with_capacity(4);
+        u.tx(b"abcd");
+        u.drain();
+        u.tx(b"ef");
+        assert_eq!(u.drain(), b"ef");
+        assert_eq!(u.dropped(), 0);
+    }
+}

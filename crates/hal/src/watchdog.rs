@@ -1,0 +1,115 @@
+//! On-chip hardware watchdog timer.
+//!
+//! Distinct from EOF's *host-side* liveness watchdogs (which live in
+//! `eof-monitors` and observe the target over the debug link), this is the
+//! independent on-chip timer most MCUs ship: if firmware stops kicking it,
+//! the chip performs a warm reset on its own. The paper's future-work
+//! section names hardware watchdogs as a complementary redundancy
+//! mechanism; modelling it lets the ablation benches compare host-side
+//! detection latency against chip-level self-reset.
+
+/// A count-down watchdog driven by the machine's cycle clock.
+#[derive(Debug, Clone)]
+pub struct HardwareWatchdog {
+    timeout_cycles: u64,
+    deadline: Option<u64>,
+    fired: u64,
+}
+
+impl HardwareWatchdog {
+    /// Create a disabled watchdog with the given timeout.
+    pub fn new(timeout_cycles: u64) -> Self {
+        HardwareWatchdog {
+            timeout_cycles,
+            deadline: None,
+            fired: 0,
+        }
+    }
+
+    /// Arm (or re-arm) the watchdog at the current cycle.
+    pub fn arm(&mut self, now: u64) {
+        self.deadline = Some(now + self.timeout_cycles);
+    }
+
+    /// Disarm the watchdog.
+    pub fn disarm(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Firmware kick: push the deadline out.
+    pub fn kick(&mut self, now: u64) {
+        if self.deadline.is_some() {
+            self.deadline = Some(now + self.timeout_cycles);
+        }
+    }
+
+    /// Check for expiry. Returns `true` exactly once per expiry; the
+    /// watchdog re-arms itself afterwards (windowed mode).
+    pub fn expired(&mut self, now: u64) -> bool {
+        match self.deadline {
+            Some(d) if now >= d => {
+                self.fired += 1;
+                self.deadline = Some(now + self.timeout_cycles);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the watchdog is armed.
+    pub fn is_armed(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Number of times the watchdog has fired since creation.
+    pub fn times_fired(&self) -> u64 {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_never_fires() {
+        let mut w = HardwareWatchdog::new(100);
+        assert!(!w.expired(1_000_000));
+        assert_eq!(w.times_fired(), 0);
+    }
+
+    #[test]
+    fn fires_after_timeout_without_kick() {
+        let mut w = HardwareWatchdog::new(100);
+        w.arm(0);
+        assert!(!w.expired(99));
+        assert!(w.expired(100));
+        assert_eq!(w.times_fired(), 1);
+    }
+
+    #[test]
+    fn kick_defers_expiry() {
+        let mut w = HardwareWatchdog::new(100);
+        w.arm(0);
+        w.kick(90);
+        assert!(!w.expired(150));
+        assert!(w.expired(190));
+    }
+
+    #[test]
+    fn rearms_after_firing() {
+        let mut w = HardwareWatchdog::new(100);
+        w.arm(0);
+        assert!(w.expired(100));
+        assert!(!w.expired(150));
+        assert!(w.expired(200));
+        assert_eq!(w.times_fired(), 2);
+    }
+
+    #[test]
+    fn kick_on_disarmed_is_noop() {
+        let mut w = HardwareWatchdog::new(100);
+        w.kick(50);
+        assert!(!w.is_armed());
+    }
+}

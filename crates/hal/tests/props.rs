@@ -1,0 +1,104 @@
+//! Property tests of the hardware substrate.
+
+use eof_hal::flash::{fnv1a, ERASED};
+use eof_hal::{Endianness, Flash, Partition, PartitionTable, Ram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn ram_write_read_roundtrip(
+        offset in 0u32..0x0f00,
+        data in proptest::collection::vec(any::<u8>(), 1..128)
+    ) {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let addr = 0x2000_0000 + offset.min(0x1000 - data.len() as u32);
+        ram.write(addr, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        ram.read(addr, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn ram_out_of_bounds_never_panics(addr in any::<u32>(), len in 0usize..4096) {
+        let ram = Ram::new(0x2000_0000, 0x1000);
+        let mut buf = vec![0u8; len];
+        let _ = ram.read(addr, &mut buf);
+    }
+
+    #[test]
+    fn word_accessors_roundtrip_any_endianness(
+        v32 in any::<u32>(),
+        v64 in any::<u64>(),
+        big in any::<bool>()
+    ) {
+        let e = if big { Endianness::Big } else { Endianness::Little };
+        let mut ram = Ram::new(0, 64);
+        ram.write_u32(0, v32, e).unwrap();
+        ram.write_u64(8, v64, e).unwrap();
+        prop_assert_eq!(ram.read_u32(0, e).unwrap(), v32);
+        prop_assert_eq!(ram.read_u64(8, e).unwrap(), v64);
+    }
+
+    #[test]
+    fn flash_partition_roundtrip(
+        image in proptest::collection::vec(any::<u8>(), 1..512)
+    ) {
+        let table = PartitionTable::new(
+            vec![Partition::new("kernel", 0x100, 0x400)],
+            0x1000,
+        ).unwrap();
+        let mut flash = Flash::new(0x1000, table);
+        flash.flash_partition("kernel", &image).unwrap();
+        let back = flash.read_partition("kernel").unwrap();
+        prop_assert_eq!(&back[..image.len()], &image[..]);
+        prop_assert!(back[image.len()..].iter().all(|&b| b == ERASED));
+        // Reflash is idempotent.
+        let cs1 = flash.checksum(0x100, 0x400).unwrap();
+        flash.flash_partition("kernel", &image).unwrap();
+        prop_assert_eq!(flash.checksum(0x100, 0x400).unwrap(), cs1);
+    }
+
+    #[test]
+    fn any_bit_flip_changes_partition_checksum(
+        image in proptest::collection::vec(any::<u8>(), 16..256),
+        flip_off in 0u32..256,
+        bit in 0u8..8
+    ) {
+        let table = PartitionTable::new(
+            vec![Partition::new("kernel", 0, 0x400)],
+            0x1000,
+        ).unwrap();
+        let mut flash = Flash::new(0x1000, table);
+        flash.flash_partition("kernel", &image).unwrap();
+        let before = flash.checksum(0, 0x400).unwrap();
+        flash.flip_bit(flip_off.min(image.len() as u32 - 1), bit).unwrap();
+        prop_assert_ne!(flash.checksum(0, 0x400).unwrap(), before);
+    }
+
+    #[test]
+    fn overlapping_partitions_always_rejected(
+        a_off in 0u32..100, a_size in 1u32..100,
+        b_delta in 0u32..50, b_size in 1u32..100
+    ) {
+        // b starts inside a.
+        let b_off = a_off + b_delta % a_size;
+        let r = PartitionTable::new(
+            vec![
+                Partition::new("a", a_off, a_size),
+                Partition::new("b", b_off, b_size),
+            ],
+            0x10000,
+        );
+        prop_assert!(r.is_err());
+    }
+
+    #[test]
+    fn fnv1a_sensitivity(data in proptest::collection::vec(any::<u8>(), 1..64), i in 0usize..64) {
+        let mut mutated = data.clone();
+        let idx = i % data.len();
+        mutated[idx] ^= 0x01;
+        prop_assert_ne!(fnv1a(&data), fnv1a(&mutated));
+    }
+}

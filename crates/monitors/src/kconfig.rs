@@ -1,0 +1,175 @@
+//! Build-configuration parsing: the partition table source.
+//!
+//! Algorithm 1's `StateRestoration` begins with
+//! `PartitionMap ← GetPartitionTable(KConfig)`: the memory partition
+//! table is "a configuration file supplied by the developer" (§4.4.2).
+//! This module reads (and writes) that file in the familiar
+//! `CONFIG_…=value` kconfig style:
+//!
+//! ```text
+//! CONFIG_ARCH="arm"
+//! CONFIG_PARTITION_BOOTLOADER_OFFSET=0x0
+//! CONFIG_PARTITION_BOOTLOADER_SIZE=0x10000
+//! CONFIG_PARTITION_KERNEL_OFFSET=0x10000
+//! CONFIG_PARTITION_KERNEL_SIZE=0x3d0000
+//! ```
+
+use eof_hal::{HalError, Partition, PartitionTable};
+use std::collections::BTreeMap;
+
+/// A parsed build configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KConfig {
+    /// Raw `CONFIG_` keys and values (quotes stripped).
+    pub values: BTreeMap<String, String>,
+}
+
+impl KConfig {
+    /// Look up a raw value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// Extract the partition table (Algorithm 1's `GetPartitionTable`).
+    pub fn partition_table(&self, flash_size: u32) -> Result<PartitionTable, HalError> {
+        let mut parts = Vec::new();
+        for (key, value) in &self.values {
+            let Some(rest) = key.strip_prefix("CONFIG_PARTITION_") else {
+                continue;
+            };
+            let Some(name) = rest.strip_suffix("_OFFSET") else {
+                continue;
+            };
+            let offset = parse_num(value).ok_or_else(|| {
+                HalError::BadPartitionLayout(format!("bad offset for {name}: {value:?}"))
+            })?;
+            let size_key = format!("CONFIG_PARTITION_{name}_SIZE");
+            let size = self
+                .get(&size_key)
+                .and_then(parse_num_ref)
+                .ok_or_else(|| {
+                    HalError::BadPartitionLayout(format!("missing/bad {size_key}"))
+                })?;
+            parts.push(Partition::new(name.to_lowercase(), offset, size));
+        }
+        PartitionTable::new(parts, flash_size)
+    }
+}
+
+fn parse_num(s: &String) -> Option<u32> {
+    parse_num_ref(s.as_str())
+}
+
+fn parse_num_ref(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parse kconfig text. Unknown lines (`# comments`, blanks) are skipped;
+/// malformed `CONFIG_` lines are an error.
+pub fn parse_kconfig(text: &str) -> Result<KConfig, HalError> {
+    let mut cfg = KConfig::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(HalError::BadPartitionLayout(format!(
+                "kconfig line {}: missing '=' in {line:?}",
+                i + 1
+            )));
+        };
+        if !key.starts_with("CONFIG_") {
+            return Err(HalError::BadPartitionLayout(format!(
+                "kconfig line {}: key {key:?} lacks CONFIG_ prefix",
+                i + 1
+            )));
+        }
+        let value = value.trim().trim_matches('"');
+        cfg.values.insert(key.trim().to_string(), value.to_string());
+    }
+    Ok(cfg)
+}
+
+/// Render a board's partition layout as kconfig text — what a target's
+/// build system would have produced for EOF to read.
+pub fn render_kconfig(arch: &str, table: &PartitionTable) -> String {
+    let mut out = String::new();
+    out.push_str("# Generated build configuration\n");
+    out.push_str(&format!("CONFIG_ARCH=\"{arch}\"\n"));
+    for p in table.iter() {
+        let name = p.name.to_uppercase();
+        out.push_str(&format!(
+            "CONFIG_PARTITION_{name}_OFFSET={:#x}\n",
+            p.offset
+        ));
+        out.push_str(&format!("CONFIG_PARTITION_{name}_SIZE={:#x}\n", p.size));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_hal::BoardCatalog;
+
+    #[test]
+    fn parse_extracts_partitions() {
+        let cfg = parse_kconfig(
+            "# header\n\
+             CONFIG_ARCH=\"arm\"\n\
+             CONFIG_PARTITION_BOOTLOADER_OFFSET=0x0\n\
+             CONFIG_PARTITION_BOOTLOADER_SIZE=0x1000\n\
+             CONFIG_PARTITION_KERNEL_OFFSET=0x1000\n\
+             CONFIG_PARTITION_KERNEL_SIZE=4096\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.get("CONFIG_ARCH"), Some("arm"));
+        let table = cfg.partition_table(0x10_0000).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get("kernel").unwrap().offset, 0x1000);
+        assert_eq!(table.get("kernel").unwrap().size, 4096);
+    }
+
+    #[test]
+    fn roundtrip_via_render() {
+        let board = BoardCatalog::esp32_devkit();
+        let table = board.default_partitions();
+        let text = render_kconfig("xtensa", &table);
+        let cfg = parse_kconfig(&text).unwrap();
+        let back = cfg.partition_table(board.flash_size).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_kconfig("CONFIG_NO_EQUALS").is_err());
+        assert!(parse_kconfig("NOT_CONFIG=1").is_err());
+    }
+
+    #[test]
+    fn missing_size_is_error() {
+        let cfg = parse_kconfig("CONFIG_PARTITION_KERNEL_OFFSET=0x1000\n").unwrap();
+        assert!(cfg.partition_table(0x10_0000).is_err());
+    }
+
+    #[test]
+    fn bad_offset_is_error() {
+        let cfg = parse_kconfig(
+            "CONFIG_PARTITION_KERNEL_OFFSET=zzz\nCONFIG_PARTITION_KERNEL_SIZE=0x100\n",
+        )
+        .unwrap();
+        assert!(cfg.partition_table(0x10_0000).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let cfg = parse_kconfig("\n# only comments\n\n").unwrap();
+        assert!(cfg.values.is_empty());
+        assert!(cfg.partition_table(0x1000).unwrap().is_empty());
+    }
+}

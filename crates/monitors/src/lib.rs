@@ -1,0 +1,34 @@
+//! `eof-monitors` — feedback monitors and liveness maintenance.
+//!
+//! The host side of EOF's observation machinery (paper §4.4 and §4.5.2):
+//!
+//! * [`patterns`] / [`log_monitor`] — the **log monitor**: scans the
+//!   UART stream redirected over the debug port for crash signatures,
+//!   using a small in-repo wildcard matcher (no regex dependency — the
+//!   pattern language the paper needs is tiny);
+//! * [`exception_monitor`] — the **exception monitor**: breakpoints at
+//!   each OS's exception and assertion symbols, classification of halt
+//!   addresses, and Figure-6-style backtrace recovery from the banner;
+//! * [`watchdog`] — the two **liveness watchdogs** of Algorithm 1:
+//!   debug-connection timeout and PC-stall detection;
+//! * [`kconfig`] / [`restore`] — **state restoration**: partition-table
+//!   extraction from the build configuration and checksum-verified
+//!   reflash + reboot through the debug port;
+//! * [`power`] — the paper's §6 extension: power-rail plateau/dead
+//!   detection as a liveness channel independent of the debug link.
+
+pub mod exception_monitor;
+pub mod kconfig;
+pub mod log_monitor;
+pub mod patterns;
+pub mod power;
+pub mod restore;
+pub mod watchdog;
+
+pub use exception_monitor::{parse_backtrace, ExceptionKind, ExceptionMonitor};
+pub use kconfig::{parse_kconfig, render_kconfig, KConfig};
+pub use log_monitor::{LogHit, LogMonitor};
+pub use patterns::{Pattern, PatternSet};
+pub use power::{PowerVerdict, PowerWatchdog};
+pub use restore::StateRestoration;
+pub use watchdog::{Liveness, LivenessWatchdog};

@@ -1,0 +1,182 @@
+//! The log monitor: UART stream → crash signatures.
+//!
+//! EOF "redirects all kernel and user logs to the stdout channel and
+//! monitors it for any output that matches predefined patterns"
+//! (§4.5.2). The stream arrives in arbitrary chunks over the debug port,
+//! so the monitor re-segments lines itself and keeps partial tails
+//! across feeds. It catches the bugs whose only signal is an assertion
+//! banner (Table 2: bugs #5, #8, #17).
+
+use crate::patterns::PatternSet;
+
+/// One matched crash line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHit {
+    /// The full UART line that matched.
+    pub line: String,
+    /// The pattern source that matched it.
+    pub pattern: String,
+}
+
+/// A stateful UART-log scanner.
+#[derive(Debug, Clone)]
+pub struct LogMonitor {
+    patterns: PatternSet,
+    partial: String,
+    hits: Vec<LogHit>,
+    lines_scanned: u64,
+    /// Recent lines kept for backtrace recovery.
+    tail: Vec<String>,
+    tail_cap: usize,
+}
+
+impl LogMonitor {
+    /// A monitor with the default crash-signature set.
+    pub fn new() -> Self {
+        Self::with_patterns(PatternSet::default_crash_patterns())
+    }
+
+    /// A monitor with a custom pattern set.
+    pub fn with_patterns(patterns: PatternSet) -> Self {
+        LogMonitor {
+            patterns,
+            partial: String::new(),
+            hits: Vec::new(),
+            lines_scanned: 0,
+            tail: Vec::new(),
+            tail_cap: 64,
+        }
+    }
+
+    /// Feed a chunk of UART bytes; returns hits found in this chunk.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<LogHit> {
+        let mut new_hits = Vec::new();
+        for &b in bytes {
+            if b == b'\n' {
+                let line = std::mem::take(&mut self.partial);
+                if let Some(hit) = self.scan_line(&line) {
+                    new_hits.push(hit);
+                }
+            } else if b != b'\r' {
+                // Tolerate binary garbage: lossy-push as chars.
+                self.partial.push(b as char);
+            }
+        }
+        new_hits
+    }
+
+    fn scan_line(&mut self, line: &str) -> Option<LogHit> {
+        self.lines_scanned += 1;
+        self.tail.push(line.to_string());
+        if self.tail.len() > self.tail_cap {
+            self.tail.remove(0);
+        }
+        let hit = self.patterns.first_match(line).map(|p| LogHit {
+            line: line.to_string(),
+            pattern: p.source().to_string(),
+        });
+        if let Some(h) = &hit {
+            self.hits.push(h.clone());
+        }
+        hit
+    }
+
+    /// All hits since construction.
+    pub fn hits(&self) -> &[LogHit] {
+        &self.hits
+    }
+
+    /// Lines scanned since construction.
+    pub fn lines_scanned(&self) -> u64 {
+        self.lines_scanned
+    }
+
+    /// Recent complete lines (newest last), for backtrace recovery.
+    pub fn tail(&self) -> &[String] {
+        &self.tail
+    }
+
+    /// Drop accumulated hits (after the host harvested them).
+    pub fn clear_hits(&mut self) {
+        self.hits.clear();
+    }
+
+    /// Drop the recent-line tail. The fuzzing loop calls this at the
+    /// start of each execution so crash attribution never sees banner
+    /// lines from a previous test case.
+    pub fn clear_tail(&mut self) {
+        self.tail.clear();
+    }
+}
+
+impl Default for LogMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_crash_line() {
+        let mut m = LogMonitor::new();
+        let hits = m.feed(b"I (1) boot ok\nPANIC: NULL dereference in gettimeofday\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].line.contains("gettimeofday"));
+        assert_eq!(m.lines_scanned(), 2);
+    }
+
+    #[test]
+    fn reassembles_split_lines() {
+        let mut m = LogMonitor::new();
+        assert!(m.feed(b"Kernel pa").is_empty());
+        assert!(m.feed(b"nic in z_impl").is_empty());
+        let hits = m.feed(b"_k_msgq_get\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].line.contains("Kernel panic in z_impl_k_msgq_get"));
+    }
+
+    #[test]
+    fn crlf_normalised() {
+        let mut m = LogMonitor::new();
+        let hits = m.feed(b"BUG: unexpected stop\r\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, "BUG: unexpected stop");
+    }
+
+    #[test]
+    fn incomplete_tail_not_scanned() {
+        let mut m = LogMonitor::new();
+        m.feed(b"PANIC: not yet terminated");
+        assert_eq!(m.lines_scanned(), 0);
+        assert!(m.hits().is_empty());
+    }
+
+    #[test]
+    fn tail_keeps_recent_lines() {
+        let mut m = LogMonitor::new();
+        for i in 0..100 {
+            m.feed(format!("line {i}\n").as_bytes());
+        }
+        assert_eq!(m.tail().len(), 64);
+        assert_eq!(m.tail().last().unwrap(), "line 99");
+    }
+
+    #[test]
+    fn hits_accumulate_and_clear() {
+        let mut m = LogMonitor::new();
+        m.feed(b"BUG: one\nBUG: two\n");
+        assert_eq!(m.hits().len(), 2);
+        m.clear_hits();
+        assert!(m.hits().is_empty());
+    }
+
+    #[test]
+    fn binary_garbage_does_not_panic() {
+        let mut m = LogMonitor::new();
+        m.feed(&[0xff, 0xfe, b'\n', 0x00, b'B', b'U', b'G', b':', b' ', b'x', b'\n']);
+        assert_eq!(m.hits().len(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! A small wildcard pattern language for crash-signature matching.
+//!
+//! EOF's log monitor matches UART lines against "predefined patterns
+//! using regular expressions" (§4.5.2). The signatures actually needed
+//! are substring-and-wildcard shaped, so this module implements exactly
+//! that: `*` matches any run of characters (including empty), everything
+//! else matches literally, and matching is unanchored unless the pattern
+//! starts with `^` or ends with `$`.
+
+/// A compiled pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    source: String,
+    anchored_start: bool,
+    anchored_end: bool,
+    parts: Vec<String>,
+}
+
+impl Pattern {
+    /// Compile a pattern.
+    pub fn new(source: &str) -> Self {
+        let mut body = source;
+        let anchored_start = body.starts_with('^');
+        if anchored_start {
+            body = &body[1..];
+        }
+        let anchored_end = body.ends_with('$') && !body.ends_with("\\$");
+        if anchored_end {
+            body = &body[..body.len() - 1];
+        }
+        let parts = body.split('*').map(|s| s.replace("\\$", "$")).collect();
+        Pattern {
+            source: source.to_string(),
+            anchored_start,
+            anchored_end,
+            parts,
+        }
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether `line` matches.
+    pub fn matches(&self, line: &str) -> bool {
+        let mut pos = 0usize;
+        for (i, part) in self.parts.iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            let first = i == 0;
+            let found = if first && self.anchored_start {
+                line[pos..].starts_with(part.as_str()).then_some(0)
+            } else {
+                line[pos..].find(part.as_str())
+            };
+            match found {
+                Some(off) => pos += off + part.len(),
+                None => return false,
+            }
+        }
+        if self.anchored_end {
+            if let Some(last) = self.parts.iter().rev().find(|p| !p.is_empty()) {
+                // The final literal must sit at the end of the line.
+                if !line.ends_with(last.as_str()) {
+                    return false;
+                }
+                // And the match found above must be consistent with it.
+                return pos <= line.len();
+            }
+        }
+        true
+    }
+}
+
+/// An ordered set of patterns; the first match wins.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from pattern sources.
+    pub fn from_sources<I, S>(sources: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        PatternSet {
+            patterns: sources.into_iter().map(|s| Pattern::new(s.as_ref())).collect(),
+        }
+    }
+
+    /// Add a pattern.
+    pub fn push(&mut self, source: &str) {
+        self.patterns.push(Pattern::new(source));
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// First matching pattern for a line.
+    pub fn first_match(&self, line: &str) -> Option<&Pattern> {
+        self.patterns.iter().find(|p| p.matches(line))
+    }
+
+    /// The crash signatures EOF ships for all supported OSs: kernel
+    /// panics, fatal errors, assertion reports and bus-fault banners.
+    pub fn default_crash_patterns() -> Self {
+        Self::from_sources([
+            "*FATAL ERROR*",
+            "*Kernel panic*",
+            "PANIC:*",
+            "*Guru Meditation*",
+            "*assertion failed*",
+            "*Assertion failed*",
+            "*asserted at*",
+            "up_assert:*",
+            "_assert:*",
+            "BUG:*",
+            "*bus fault*",
+            "*Bus Fault*",
+            "*unexpected stop*",
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_substring() {
+        let p = Pattern::new("panic");
+        assert!(p.matches("Kernel panic at 0x1000"));
+        assert!(!p.matches("all good"));
+    }
+
+    #[test]
+    fn wildcard_spans() {
+        let p = Pattern::new("BUG:*serial*");
+        assert!(p.matches("BUG: unexpected stop in serial driver"));
+        assert!(!p.matches("serial BUG-free"));
+    }
+
+    #[test]
+    fn anchors() {
+        let start = Pattern::new("^E (");
+        assert!(start.matches("E (421) part: bad"));
+        assert!(!start.matches("LOG E (421)"));
+        let end = Pattern::new("failed$");
+        assert!(end.matches("assertion failed"));
+        assert!(!end.matches("failed assertion"));
+    }
+
+    #[test]
+    fn star_at_edges() {
+        let p = Pattern::new("*panic*");
+        assert!(p.matches("panic"));
+        assert!(p.matches("a panic b"));
+    }
+
+    #[test]
+    fn multiple_literals_in_order() {
+        let p = Pattern::new("Level:*rt_serial_write*917");
+        assert!(p.matches("Level: 1: /path/serial.c : rt_serial_write : 917"));
+        assert!(!p.matches("rt_serial_write Level: 917... wrong order? no 917 after"));
+    }
+
+    #[test]
+    fn default_set_catches_all_os_banners() {
+        let set = PatternSet::default_crash_patterns();
+        for line in [
+            ">>> ZEPHYR FATAL ERROR 4: Kernel panic in z_impl_k_msgq_get",
+            "PANIC: NULL dereference in gettimeofday",
+            "Guru Meditation Error: LoadProhibited at load_partitions",
+            "(obj != object_find(name)) assertion failed at rt_object_init",
+            "up_assert: Assertion failed at env_setenv",
+            "BUG: unexpected stop: bus fault in _serial_poll_tx",
+        ] {
+            assert!(set.first_match(line).is_some(), "missed: {line}");
+        }
+        for line in [
+            "I (123) boot: normal startup",
+            "heap_4: 65536 bytes at 0x20001000",
+            "I sal: socket 0 created (domain 2)",
+        ] {
+            assert!(set.first_match(line).is_none(), "false positive: {line}");
+        }
+    }
+
+    #[test]
+    fn set_ordering_first_wins() {
+        let set = PatternSet::from_sources(["*panic*", "*FATAL*"]);
+        let hit = set.first_match("FATAL panic").unwrap();
+        assert_eq!(hit.source(), "*panic*");
+    }
+}

@@ -1,0 +1,189 @@
+//! Power-signal liveness (the paper's §6 extension).
+//!
+//! "We can leverage hardware signals, such as power consumption, to spot
+//! spikes/plateaus that indicate liveness issues … These signals can
+//! inform EOF to stop unproductive runs and reset quickly." The current
+//! probe is an instrument independent of the debug link, so this channel
+//! keeps working when the link itself is wedged.
+//!
+//! Detection logic: a healthy core doing varied work draws *varied*
+//! current; a tight spin loop draws a flat plateau; a dead core draws
+//! idle current. The watchdog samples the rail across a short window of
+//! target run time and classifies.
+
+use eof_dap::DebugTransport;
+
+/// Classification of a power window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerVerdict {
+    /// Varied draw: the core is doing real work.
+    Active,
+    /// Flat non-idle draw: a spin loop / stalled execution.
+    Plateau {
+        /// The flat level observed, in milliwatts.
+        level_mw: f32,
+    },
+    /// Idle-level draw: the core is dead or held in reset.
+    Dead,
+}
+
+impl PowerVerdict {
+    /// Whether the verdict demands recovery.
+    pub fn is_liveness_issue(self) -> bool {
+        !matches!(self, PowerVerdict::Active)
+    }
+}
+
+/// A power-rail watchdog.
+#[derive(Debug, Clone)]
+pub struct PowerWatchdog {
+    /// Samples per window.
+    pub window: usize,
+    /// Target run cycles between samples.
+    pub spacing_cycles: u64,
+    /// Draw at or below this level counts as dead (mW).
+    pub dead_mw: f32,
+    /// Max spread within a window still considered flat (mW).
+    pub flat_mw: f32,
+    checks: u64,
+    plateaus: u64,
+    deads: u64,
+}
+
+impl Default for PowerWatchdog {
+    fn default() -> Self {
+        PowerWatchdog {
+            window: 8,
+            spacing_cycles: 32,
+            dead_mw: 2.0,
+            flat_mw: 1.5,
+            checks: 0,
+            plateaus: 0,
+            deads: 0,
+        }
+    }
+}
+
+impl PowerWatchdog {
+    /// A watchdog with default calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classify a pre-collected sample window.
+    pub fn classify(&self, samples: &[f32]) -> PowerVerdict {
+        if samples.is_empty() {
+            return PowerVerdict::Dead;
+        }
+        let max = samples.iter().copied().fold(f32::MIN, f32::max);
+        let min = samples.iter().copied().fold(f32::MAX, f32::min);
+        if max <= self.dead_mw {
+            return PowerVerdict::Dead;
+        }
+        if max - min <= self.flat_mw {
+            return PowerVerdict::Plateau { level_mw: max };
+        }
+        PowerVerdict::Active
+    }
+
+    /// Run one check: let the target run in short bursts, sampling the
+    /// rail between bursts, then classify the window.
+    pub fn check(&mut self, pipe: &mut DebugTransport) -> PowerVerdict {
+        self.checks += 1;
+        let mut samples = Vec::with_capacity(self.window);
+        for _ in 0..self.window {
+            samples.push(pipe.sample_power());
+            let _ = pipe.continue_until_halt(self.spacing_cycles);
+        }
+        let verdict = self.classify(&samples);
+        match verdict {
+            PowerVerdict::Plateau { .. } => self.plateaus += 1,
+            PowerVerdict::Dead => self.deads += 1,
+            PowerVerdict::Active => {}
+        }
+        verdict
+    }
+
+    /// Checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Plateaus detected.
+    pub fn plateaus(&self) -> u64 {
+        self.plateaus
+    }
+
+    /// Dead windows detected.
+    pub fn deads(&self) -> u64 {
+        self.deads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_agent::boot_machine;
+    use eof_coverage::InstrumentMode;
+    use eof_dap::LinkConfig;
+    use eof_hal::{BoardCatalog, FaultPlan, InjectedFault};
+    use eof_rtos::image::ImageProfile;
+    use eof_rtos::OsKind;
+
+    fn transport() -> DebugTransport {
+        let m = boot_machine(
+            BoardCatalog::qemu_virt_arm(),
+            OsKind::Zephyr,
+            ImageProfile::FullSystem,
+            &InstrumentMode::None,
+        );
+        DebugTransport::attach(m, LinkConfig::default())
+    }
+
+    #[test]
+    fn classify_windows() {
+        let w = PowerWatchdog::new();
+        assert_eq!(w.classify(&[1.0, 1.1, 1.2]), PowerVerdict::Dead);
+        assert!(matches!(
+            w.classify(&[24.0, 24.0, 24.0]),
+            PowerVerdict::Plateau { .. }
+        ));
+        assert_eq!(w.classify(&[18.0, 25.0, 21.0, 30.0]), PowerVerdict::Active);
+        assert_eq!(w.classify(&[]), PowerVerdict::Dead);
+    }
+
+    #[test]
+    fn healthy_target_reads_active() {
+        let mut t = transport();
+        let _ = t.continue_until_halt(500);
+        let mut w = PowerWatchdog::new();
+        assert_eq!(w.check(&mut t), PowerVerdict::Active);
+        assert_eq!(w.plateaus(), 0);
+    }
+
+    #[test]
+    fn frozen_target_reads_plateau() {
+        let mut t = transport();
+        t.machine_mut()
+            .set_fault_plan(FaultPlan::none().at(10, InjectedFault::FreezeFirmware));
+        let _ = t.continue_until_halt(500);
+        let mut w = PowerWatchdog::new();
+        let verdict = w.check(&mut t);
+        assert!(verdict.is_liveness_issue(), "{verdict:?}");
+        assert!(matches!(verdict, PowerVerdict::Plateau { .. }));
+    }
+
+    #[test]
+    fn dead_core_reads_dead_even_with_link_down() {
+        let mut t = transport();
+        t.machine_mut()
+            .set_fault_plan(FaultPlan::none().at(10, InjectedFault::KillCore));
+        let _ = t.continue_until_halt(500);
+        // The debug link times out…
+        assert!(t.read_pc().is_err());
+        // …but the power probe still answers, and says dead.
+        let mut w = PowerWatchdog::new();
+        assert_eq!(w.check(&mut t), PowerVerdict::Dead);
+        assert_eq!(w.deads(), 1);
+    }
+}

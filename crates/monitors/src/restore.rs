@@ -1,0 +1,245 @@
+//! State restoration: reflash every partition and reboot.
+//!
+//! Algorithm 1's `StateRestoration()`: when a liveness watchdog trips,
+//! EOF "resets the system by reflashing the image and rebooting it using
+//! the debug interface" — a plain reboot is insufficient when the image
+//! is damaged (§4.4.2). The restoration holds golden images for every
+//! partition named by the build configuration and writes them all back,
+//! then reboots and waits the settle delay (`sleep(5s)`, line 19).
+
+use crate::kconfig::KConfig;
+use crate::watchdog::LivenessWatchdog;
+use eof_dap::{DapError, DebugTransport};
+use eof_hal::clock::secs_to_cycles;
+use eof_hal::flash::fnv1a;
+use eof_hal::PartitionTable;
+
+/// Post-reboot settle delay (Algorithm 1 line 19).
+pub const SETTLE_SECS: u64 = 5;
+
+/// A restoration plan: partition map plus golden images.
+#[derive(Debug, Clone)]
+pub struct StateRestoration {
+    table: PartitionTable,
+    images: Vec<(String, Vec<u8>)>,
+    /// Golden checksums of each partition *as flashed* (image padded
+    /// with erased bytes to the partition size).
+    golden: Vec<(String, u64)>,
+    restorations: u64,
+    reflashes: u64,
+}
+
+impl StateRestoration {
+    /// Build from the target's build configuration and the golden images
+    /// to flash (`(partition name, image bytes)`).
+    pub fn from_kconfig(
+        kconfig: &KConfig,
+        flash_size: u32,
+        images: Vec<(String, Vec<u8>)>,
+    ) -> Result<Self, eof_hal::HalError> {
+        let table = kconfig.partition_table(flash_size)?;
+        for (name, image) in &images {
+            let part = table.get(name)?;
+            if image.len() > part.size as usize {
+                return Err(eof_hal::HalError::BadPartitionLayout(format!(
+                    "golden image for {name:?} ({} bytes) exceeds partition ({} bytes)",
+                    image.len(),
+                    part.size
+                )));
+            }
+        }
+        let golden = images
+            .iter()
+            .map(|(name, image)| {
+                let part = table.get(name).expect("validated above");
+                let mut padded = image.clone();
+                padded.resize(part.size as usize, eof_hal::flash::ERASED);
+                (name.clone(), fnv1a(&padded))
+            })
+            .collect();
+        Ok(StateRestoration {
+            table,
+            images,
+            golden,
+            restorations: 0,
+            reflashes: 0,
+        })
+    }
+
+    /// The partition map extracted from kconfig.
+    pub fn partition_table(&self) -> &PartitionTable {
+        &self.table
+    }
+
+    /// Number of restorations performed.
+    pub fn restorations(&self) -> u64 {
+        self.restorations
+    }
+
+    /// Number of partition reflashes actually performed (restorations
+    /// whose verify pass found damage).
+    pub fn reflashes(&self) -> u64 {
+        self.reflashes
+    }
+
+    /// Algorithm 1 lines 14–19: if the watchdog says the target is not
+    /// alive, reflash every partition, reboot and settle. Returns whether
+    /// a restoration was performed.
+    pub fn restore_if_needed(
+        &mut self,
+        watchdog: &mut LivenessWatchdog,
+        pipe: &mut DebugTransport,
+    ) -> Result<bool, DapError> {
+        if watchdog.check(pipe).is_alive() {
+            return Ok(false);
+        }
+        self.restore(pipe)?;
+        watchdog.reset();
+        Ok(true)
+    }
+
+    /// Restoration: verify each partition against its golden checksum
+    /// (target-side CRC, like OpenOCD `verify_image`) and reflash only
+    /// the damaged ones, then reboot and settle. An intact image after a
+    /// mere hang thus costs seconds, not a full multi-megabyte flash.
+    pub fn restore(&mut self, pipe: &mut DebugTransport) -> Result<(), DapError> {
+        for (i, (name, image)) in self.images.iter().enumerate() {
+            let intact = pipe
+                .flash_checksum(name)
+                .map(|cs| cs == self.golden[i].1)
+                .unwrap_or(false);
+            if !intact {
+                pipe.flash_partition(name, image)?;
+                self.reflashes += 1;
+            }
+        }
+        pipe.reset_target()?;
+        pipe.sleep(secs_to_cycles(SETTLE_SECS));
+        self.restorations += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kconfig::{parse_kconfig, render_kconfig};
+    use eof_agent::{agent_loader, boot_machine};
+    use eof_coverage::InstrumentMode;
+    use eof_dap::LinkConfig;
+    use eof_hal::{BoardCatalog, FaultPlan, InjectedFault, Machine};
+    use eof_rtos::image::{build_image, ImageProfile};
+    use eof_rtos::OsKind;
+
+    fn setup() -> (StateRestoration, DebugTransport) {
+        let board = BoardCatalog::qemu_virt_arm();
+        let image = build_image(OsKind::Zephyr, ImageProfile::FullSystem, &InstrumentMode::None);
+        let kconfig_text = render_kconfig("arm", &board.default_partitions());
+        let kconfig = parse_kconfig(&kconfig_text).unwrap();
+        let restoration = StateRestoration::from_kconfig(
+            &kconfig,
+            board.flash_size,
+            vec![("kernel".to_string(), image.clone())],
+        )
+        .unwrap();
+        let mut m = Machine::new(board, agent_loader());
+        m.reflash_partition("kernel", &image).unwrap();
+        m.reset();
+        (restoration, DebugTransport::attach(m, LinkConfig::default()))
+    }
+
+    #[test]
+    fn healthy_target_is_left_alone() {
+        let (mut resto, mut t) = setup();
+        let mut w = LivenessWatchdog::new();
+        let _ = t.continue_until_halt(200);
+        let did = resto.restore_if_needed(&mut w, &mut t).unwrap();
+        assert!(!did);
+        assert_eq!(resto.restorations(), 0);
+    }
+
+    #[test]
+    fn dead_core_gets_reflashed_and_revives() {
+        let (mut resto, mut t) = setup();
+        t.machine_mut()
+            .set_fault_plan(FaultPlan::none().at(0, InjectedFault::KillCore));
+        let _ = t.continue_until_halt(100);
+        assert!(t.read_pc().is_err());
+        let mut w = LivenessWatchdog::new();
+        let did = resto.restore_if_needed(&mut w, &mut t).unwrap();
+        assert!(did);
+        assert_eq!(resto.restorations(), 1);
+        // The target is back.
+        assert!(t.read_pc().is_ok());
+        let _ = t.continue_until_halt(200);
+        assert!(w.check(&mut t).is_alive());
+    }
+
+    #[test]
+    fn corrupted_flash_gets_restored() {
+        let (mut resto, mut t) = setup();
+        // Corrupt the kernel image and reboot: boot failure.
+        let part = t.machine().flash().table().get("kernel").unwrap().clone();
+        t.machine_mut().flash_mut().flip_bit(part.offset + 100, 1).unwrap();
+        t.reset_target().unwrap();
+        assert!(t.read_pc().is_err());
+        let mut w = LivenessWatchdog::new();
+        assert!(resto.restore_if_needed(&mut w, &mut t).unwrap());
+        assert!(t.read_pc().is_ok());
+    }
+
+    #[test]
+    fn restoration_costs_time() {
+        let (mut resto, mut t) = setup();
+        let before = t.now();
+        resto.restore(&mut t).unwrap();
+        let elapsed = t.now() - before;
+        assert!(
+            elapsed >= secs_to_cycles(SETTLE_SECS),
+            "restoration must include the settle delay; took {elapsed}"
+        );
+    }
+
+    #[test]
+    fn oversize_golden_image_rejected() {
+        let board = BoardCatalog::stm32f4_disco();
+        let kconfig =
+            parse_kconfig(&render_kconfig("arm", &board.default_partitions())).unwrap();
+        let too_big = vec![0u8; board.flash_size as usize];
+        let err = StateRestoration::from_kconfig(
+            &kconfig,
+            board.flash_size,
+            vec![("kernel".to_string(), too_big)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_partition_rejected() {
+        let board = BoardCatalog::stm32f4_disco();
+        let kconfig =
+            parse_kconfig(&render_kconfig("arm", &board.default_partitions())).unwrap();
+        let err = StateRestoration::from_kconfig(
+            &kconfig,
+            board.flash_size,
+            vec![("nvram".to_string(), vec![0u8; 16])],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn boot_machine_helper_matches_kconfig_layout() {
+        // The kconfig render of a board's default partitions must agree
+        // with the machine the agent boots on.
+        let board = BoardCatalog::qemu_virt_arm();
+        let m = boot_machine(
+            board.clone(),
+            OsKind::NuttX,
+            ImageProfile::FullSystem,
+            &InstrumentMode::None,
+        );
+        let kconfig = parse_kconfig(&render_kconfig("arm", m.flash().table())).unwrap();
+        let table = kconfig.partition_table(board.flash_size).unwrap();
+        assert_eq!(&table, m.flash().table());
+    }
+}

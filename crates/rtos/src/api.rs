@@ -1,0 +1,206 @@
+//! API metadata and the kernel invocation ABI.
+//!
+//! Every kernel model publishes [`ApiDescriptor`]s: machine-readable
+//! signatures with typed, constrained parameters and resource
+//! production/consumption. These are the "headers, unit test examples,
+//! and API reference text" the paper feeds to its LLM — `eof-specgen`
+//! extracts Syzlang specifications from them.
+//!
+//! At run time the agent calls [`crate::kernel::Kernel::invoke`] with
+//! resolved [`KArg`]s and receives an [`InvokeResult`]: a normal return
+//! value, an API error code, a raised [`KernelFault`], or a hang.
+
+use eof_hal::FaultKind;
+
+/// The kind (type + constraints) of one API parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgKind {
+    /// Integer with width and inclusive bounds.
+    Int {
+        /// Width in bits (8/16/32/64).
+        bits: u8,
+        /// Inclusive minimum.
+        min: u64,
+        /// Inclusive maximum.
+        max: u64,
+    },
+    /// Value from a named enumeration of symbolic flags.
+    Enum {
+        /// Flag-set name (unique per OS).
+        set: &'static str,
+        /// `(symbol, value)` pairs.
+        values: &'static [(&'static str, u64)],
+    },
+    /// NUL-terminated string up to `max` bytes.
+    Str {
+        /// Maximum length.
+        max: u32,
+    },
+    /// Raw byte buffer up to `max` bytes.
+    Bytes {
+        /// Maximum length.
+        max: u32,
+    },
+    /// Handle to a resource produced by an earlier call.
+    ResourceIn(&'static str),
+}
+
+/// One named parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgMeta {
+    /// Parameter name.
+    pub name: &'static str,
+    /// Parameter kind.
+    pub kind: ArgKind,
+}
+
+impl ArgMeta {
+    /// Shorthand constructor.
+    pub fn new(name: &'static str, kind: ArgKind) -> Self {
+        ArgMeta { name, kind }
+    }
+}
+
+/// A published API of a kernel model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiDescriptor {
+    /// Stable numeric id used on the wire.
+    pub id: u16,
+    /// API name as the OS exposes it.
+    pub name: &'static str,
+    /// Parameters in order.
+    pub args: Vec<ArgMeta>,
+    /// Resource kind produced by the return value, if any.
+    pub returns: Option<&'static str>,
+    /// Module the API belongs to (for instrumentation confinement and
+    /// Table-2 "Scope" reporting).
+    pub module: &'static str,
+    /// One-line documentation (feeds the spec generator).
+    pub doc: &'static str,
+}
+
+/// A resolved runtime argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KArg {
+    /// Scalar (ints, flags, and resource handles passed by value).
+    Int(u64),
+    /// String payload.
+    Str(String),
+    /// Byte payload.
+    Bytes(Vec<u8>),
+}
+
+impl KArg {
+    /// Scalar value, or 0 for non-scalars (kernels treat a non-scalar
+    /// where a scalar is expected like C would: garbage in, defined out).
+    pub fn as_int(&self) -> u64 {
+        match self {
+            KArg::Int(v) => *v,
+            KArg::Str(s) => s.len() as u64,
+            KArg::Bytes(b) => b.len() as u64,
+        }
+    }
+
+    /// String view (empty for non-strings).
+    pub fn as_str(&self) -> &str {
+        match self {
+            KArg::Str(s) => s.as_str(),
+            _ => "",
+        }
+    }
+
+    /// Byte view (empty for scalars).
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            KArg::Bytes(b) => b.as_slice(),
+            KArg::Str(s) => s.as_bytes(),
+            KArg::Int(_) => &[],
+        }
+    }
+}
+
+/// A fault raised inside the kernel model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelFault {
+    /// Classification (panic, assertion, memory fault, …).
+    pub kind: FaultKind,
+    /// The message the OS prints on its crash banner.
+    pub message: String,
+    /// Symbolised frames, innermost first (like the paper's Figure 6).
+    pub frames: Vec<&'static str>,
+    /// Whether the system hangs after the fault (making it visible to
+    /// timeout-only monitors like Tardis's) or recovers to the idle loop.
+    pub hangs_after: bool,
+    /// The seeded Table-2 bug this fault corresponds to, if any.
+    pub bug: Option<crate::bugs::BugId>,
+}
+
+impl KernelFault {
+    /// Construct a fault attributed to a seeded bug.
+    pub fn bug(
+        bug: crate::bugs::BugId,
+        kind: FaultKind,
+        message: impl Into<String>,
+        frames: Vec<&'static str>,
+        hangs_after: bool,
+    ) -> Self {
+        KernelFault {
+            kind,
+            message: message.into(),
+            frames,
+            hangs_after,
+            bug: Some(bug),
+        }
+    }
+}
+
+/// Result of one API invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeResult {
+    /// Success, with the return value (a resource handle for producers).
+    Ok(u64),
+    /// The API rejected the call with an errno-style code. This is the
+    /// *normal* outcome for constraint-violating arguments — rejections
+    /// are cheap and shallow, which is exactly why random byte-buffer
+    /// fuzzing stalls at the API boundary.
+    Err(i32),
+    /// The call raised a kernel fault.
+    Fault(KernelFault),
+    /// The call never returns (infinite polling loop): the agent stalls.
+    Hang,
+}
+
+impl InvokeResult {
+    /// Whether this result is a fault.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, InvokeResult::Fault(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn karg_coercions() {
+        assert_eq!(KArg::Int(7).as_int(), 7);
+        assert_eq!(KArg::Str("abc".into()).as_int(), 3);
+        assert_eq!(KArg::Bytes(vec![1, 2]).as_int(), 2);
+        assert_eq!(KArg::Int(7).as_str(), "");
+        assert_eq!(KArg::Str("abc".into()).as_bytes(), b"abc");
+        assert!(KArg::Int(7).as_bytes().is_empty());
+    }
+
+    #[test]
+    fn fault_constructor_attributes_bug() {
+        let f = KernelFault::bug(
+            crate::bugs::BugId::B12SerialWrite,
+            FaultKind::Panic,
+            "unexpected stop",
+            vec!["rt_serial_write", "rt_device_write"],
+            true,
+        );
+        assert!(f.bug.is_some());
+        assert!(InvokeResult::Fault(f).is_fault());
+    }
+}

@@ -1,0 +1,221 @@
+//! The Table-2 bug inventory.
+//!
+//! Every previously-unknown bug the paper reports is seeded in the kernel
+//! models at the exact operation Table 2 names. This module is the single
+//! source of truth for their metadata: scope, bug type, triggering
+//! operation, confirmation status, and which monitor detects them (the
+//! paper: the log monitor catches bugs #5, #8, #17; the exception monitor
+//! the other sixteen).
+
+use crate::kernel::OsKind;
+
+/// Identifier of a seeded bug (numbering follows the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugId {
+    /// #1 Zephyr / Heap / Kernel Panic / `sys_heap_stress()`.
+    B01HeapStress,
+    /// #2 Zephyr / Kernel / Kernel Panic / `z_impl_k_msgq_get()`.
+    B02MsgqGet,
+    /// #3 Zephyr / JSON / Kernel Panic / `json_obj_encode()` (confirmed).
+    B03JsonEncode,
+    /// #4 Zephyr / KHeap / Kernel Panic / `k_heap_init()` (confirmed).
+    B04KHeapInit,
+    /// #5 RT-Thread / Kernel / Kernel Assertion / `rt_object_get_type()`.
+    B05ObjectGetType,
+    /// #6 RT-Thread / RTService / Kernel Panic / `rt_list_isempty()`.
+    B06ListIsEmpty,
+    /// #7 RT-Thread / Memory / Kernel Panic / `rt_mp_alloc()`.
+    B07MpAlloc,
+    /// #8 RT-Thread / Kernel / Kernel Assertion / `rt_object_init()`.
+    B08ObjectInit,
+    /// #9 RT-Thread / Heap / Kernel Panic / `_heap_lock()`.
+    B09HeapLock,
+    /// #10 RT-Thread / IPC / Kernel Panic / `rt_event_send()`.
+    B10EventSend,
+    /// #11 RT-Thread / Memory / Kernel Panic / `rt_smem_setname()` (confirmed).
+    B11SmemSetname,
+    /// #12 RT-Thread / Serial / Kernel Panic / `rt_serial_write()` — the
+    /// paper's case study (Figure 6).
+    B12SerialWrite,
+    /// #13 FreeRTOS / Kernel / Kernel Panic / `load_partitions()`.
+    B13LoadPartitions,
+    /// #14 NuttX / Kernel / Kernel Panic / `setenv()` (confirmed).
+    B14Setenv,
+    /// #15 NuttX / Libc / Kernel Panic / `gettimeofday()`.
+    B15Gettimeofday,
+    /// #16 NuttX / MQueue / Kernel Panic / `nxmq_timedsend()`.
+    B16MqTimedsend,
+    /// #17 NuttX / Semaphore / Kernel Assertion / `nxsem_trywait()`.
+    B17SemTrywait,
+    /// #18 NuttX / Timer / Kernel Panic / `timer_create()`.
+    B18TimerCreate,
+    /// #19 NuttX / Libc / Kernel Panic / `clock_getres()`.
+    B19ClockGetres,
+}
+
+/// Which monitor detects a bug's signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionClass {
+    /// The OS prints an assertion banner; detected by the log monitor.
+    LogMonitor,
+    /// Execution enters the OS exception handler; detected by the
+    /// exception monitor's breakpoint.
+    ExceptionMonitor,
+}
+
+/// Static metadata for one seeded bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BugInfo {
+    /// Bug id.
+    pub id: BugId,
+    /// Table-2 row number (1-based).
+    pub number: u8,
+    /// Target OS.
+    pub os: OsKind,
+    /// Subsystem scope as Table 2 prints it.
+    pub scope: &'static str,
+    /// Bug type as Table 2 prints it.
+    pub bug_type: &'static str,
+    /// Triggering operation as Table 2 prints it.
+    pub operation: &'static str,
+    /// Whether maintainers confirmed it.
+    pub confirmed: bool,
+    /// Which monitor sees it.
+    pub detection: DetectionClass,
+    /// Whether the system hangs after the fault (a timeout-only monitor
+    /// like Tardis's can only notice hanging bugs).
+    pub hangs: bool,
+    /// Minimum number of *dependent* calls needed to trigger it — a
+    /// proxy for how much guided exploration the bug demands. Depth 1
+    /// bugs are reachable by single-call argument search; depth ≥ 2 need
+    /// state built by earlier calls.
+    pub depth: u8,
+}
+
+/// The full Table-2 inventory.
+pub const BUG_TABLE: [BugInfo; 19] = [
+    BugInfo { id: BugId::B01HeapStress, number: 1, os: OsKind::Zephyr, scope: "Heap", bug_type: "Kernel Panic", operation: "sys_heap_stress()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
+    BugInfo { id: BugId::B02MsgqGet, number: 2, os: OsKind::Zephyr, scope: "Kernel", bug_type: "Kernel Panic", operation: "z_impl_k_msgq_get()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
+    BugInfo { id: BugId::B03JsonEncode, number: 3, os: OsKind::Zephyr, scope: "JSON", bug_type: "Kernel Panic", operation: "json_obj_encode()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
+    BugInfo { id: BugId::B04KHeapInit, number: 4, os: OsKind::Zephyr, scope: "KHeap", bug_type: "Kernel Panic", operation: "k_heap_init()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
+    BugInfo { id: BugId::B05ObjectGetType, number: 5, os: OsKind::RtThread, scope: "Kernel", bug_type: "Kernel Assertion", operation: "rt_object_get_type()", confirmed: false, detection: DetectionClass::LogMonitor, hangs: true, depth: 1 },
+    BugInfo { id: BugId::B06ListIsEmpty, number: 6, os: OsKind::RtThread, scope: "RTService", bug_type: "Kernel Panic", operation: "rt_list_isempty()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 5 },
+    BugInfo { id: BugId::B07MpAlloc, number: 7, os: OsKind::RtThread, scope: "Memory", bug_type: "Kernel Panic", operation: "rt_mp_alloc()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 3 },
+    BugInfo { id: BugId::B08ObjectInit, number: 8, os: OsKind::RtThread, scope: "Kernel", bug_type: "Kernel Assertion", operation: "rt_object_init()", confirmed: false, detection: DetectionClass::LogMonitor, hangs: true, depth: 1 },
+    BugInfo { id: BugId::B09HeapLock, number: 9, os: OsKind::RtThread, scope: "Heap", bug_type: "Kernel Panic", operation: "_heap_lock()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
+    BugInfo { id: BugId::B10EventSend, number: 10, os: OsKind::RtThread, scope: "IPC", bug_type: "Kernel Panic", operation: "rt_event_send()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 3 },
+    BugInfo { id: BugId::B11SmemSetname, number: 11, os: OsKind::RtThread, scope: "Memory", bug_type: "Kernel Panic", operation: "rt_smem_setname()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
+    BugInfo { id: BugId::B12SerialWrite, number: 12, os: OsKind::RtThread, scope: "Serial", bug_type: "Kernel Panic", operation: "rt_serial_write()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 3 },
+    BugInfo { id: BugId::B13LoadPartitions, number: 13, os: OsKind::FreeRtos, scope: "Kernel", bug_type: "Kernel Panic", operation: "load_partitions()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 1 },
+    BugInfo { id: BugId::B14Setenv, number: 14, os: OsKind::NuttX, scope: "Kernel", bug_type: "Kernel Panic", operation: "setenv()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
+    BugInfo { id: BugId::B15Gettimeofday, number: 15, os: OsKind::NuttX, scope: "Libc", bug_type: "Kernel Panic", operation: "gettimeofday()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
+    BugInfo { id: BugId::B16MqTimedsend, number: 16, os: OsKind::NuttX, scope: "MQueue", bug_type: "Kernel Panic", operation: "nxmq_timedsend()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 3 },
+    BugInfo { id: BugId::B17SemTrywait, number: 17, os: OsKind::NuttX, scope: "Semaphore", bug_type: "Kernel Assertion", operation: "nxsem_trywait()", confirmed: false, detection: DetectionClass::LogMonitor, hangs: true, depth: 4 },
+    BugInfo { id: BugId::B18TimerCreate, number: 18, os: OsKind::NuttX, scope: "Timer", bug_type: "Kernel Panic", operation: "timer_create()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
+    BugInfo { id: BugId::B19ClockGetres, number: 19, os: OsKind::NuttX, scope: "Libc", bug_type: "Kernel Panic", operation: "clock_getres()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 1 },
+];
+
+impl BugId {
+    /// Metadata for this bug.
+    pub fn info(self) -> &'static BugInfo {
+        BUG_TABLE
+            .iter()
+            .find(|b| b.id == self)
+            .expect("every BugId is in BUG_TABLE")
+    }
+
+    /// Table-2 row number.
+    pub fn number(self) -> u8 {
+        self.info().number
+    }
+}
+
+/// Bugs the paper reports EOF-nf (no feedback) found: #1-5, 8-9, 13, 15,
+/// 18-19. These are the shallow (depth ≤ 2) bugs.
+pub fn eof_nf_expected() -> Vec<BugId> {
+    BUG_TABLE
+        .iter()
+        .filter(|b| {
+            matches!(
+                b.number,
+                1 | 2 | 3 | 4 | 5 | 8 | 9 | 13 | 15 | 18 | 19
+            )
+        })
+        .map(|b| b.id)
+        .collect()
+}
+
+/// Bugs the paper reports Tardis found: #3, 4, 5, 8, 15, 18 — the
+/// shallow *and hanging* bugs a timeout-only monitor can notice.
+pub fn tardis_expected() -> Vec<BugId> {
+    BUG_TABLE
+        .iter()
+        .filter(|b| matches!(b.number, 3 | 4 | 5 | 8 | 15 | 18))
+        .map(|b| b.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_19_rows_with_unique_numbers() {
+        let mut nums: Vec<u8> = BUG_TABLE.iter().map(|b| b.number).collect();
+        nums.sort();
+        assert_eq!(nums, (1..=19).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn per_os_counts_match_paper() {
+        let count = |os: OsKind| BUG_TABLE.iter().filter(|b| b.os == os).count();
+        assert_eq!(count(OsKind::Zephyr), 4);
+        assert_eq!(count(OsKind::RtThread), 8);
+        assert_eq!(count(OsKind::FreeRtos), 1);
+        assert_eq!(count(OsKind::NuttX), 6);
+        assert_eq!(count(OsKind::PokOs), 0);
+    }
+
+    #[test]
+    fn five_confirmed_bugs() {
+        assert_eq!(BUG_TABLE.iter().filter(|b| b.confirmed).count(), 5);
+    }
+
+    #[test]
+    fn log_monitor_bugs_are_5_8_17() {
+        let log: Vec<u8> = BUG_TABLE
+            .iter()
+            .filter(|b| b.detection == DetectionClass::LogMonitor)
+            .map(|b| b.number)
+            .collect();
+        assert_eq!(log, vec![5, 8, 17]);
+    }
+
+    #[test]
+    fn tardis_subset_of_eof_nf() {
+        let nf = eof_nf_expected();
+        for b in tardis_expected() {
+            assert!(nf.contains(&b), "bug {b:?} found by Tardis must be in EOF-nf set");
+        }
+    }
+
+    #[test]
+    fn tardis_bugs_all_hang() {
+        for b in tardis_expected() {
+            assert!(b.info().hangs, "timeout-only detection requires a hang: {b:?}");
+        }
+    }
+
+    #[test]
+    fn eof_nf_bugs_are_shallow() {
+        for b in eof_nf_expected() {
+            assert!(b.info().depth <= 2, "{b:?} should be shallow");
+        }
+    }
+
+    #[test]
+    fn info_roundtrip() {
+        assert_eq!(BugId::B12SerialWrite.number(), 12);
+        assert_eq!(BugId::B12SerialWrite.info().operation, "rt_serial_write()");
+    }
+}

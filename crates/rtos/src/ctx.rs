@@ -1,0 +1,227 @@
+//! Kernel execution context: bus access, cycle metering and coverage hooks.
+//!
+//! Kernel model code runs with an [`ExecCtx`] in hand. Its `cov` methods
+//! are the reproduction's `__sanitizer_cov_trace_cmp()`: when the build's
+//! instrumentation mode covers the site's module, the hook burns the
+//! instrumentation cycles and appends the edge id to the on-device
+//! coverage buffer; when the buffer fills, a flag is raised so the agent
+//! traps at `_kcmp_buf_full` for the host to drain (paper §4.5.1).
+
+use eof_coverage::{edge_id, CovRegion, InstrumentCost, InstrumentMode, RecordOutcome};
+use eof_hal::Bus;
+
+/// Per-boot coverage state shared between the agent and the kernel.
+#[derive(Debug, Clone)]
+pub struct CovState {
+    /// What the image build instrumented.
+    pub mode: InstrumentMode,
+    /// Where the on-device buffer lives (None when uninstrumented).
+    pub region: Option<CovRegion>,
+    /// Raised when the buffer filled; cleared after the host drains.
+    pub buffer_full: bool,
+    /// Total coverage callback executions (instrumentation overhead
+    /// accounting).
+    pub hits: u64,
+    /// Records dropped because the buffer was full.
+    pub dropped: u64,
+}
+
+impl CovState {
+    /// State for an uninstrumented image.
+    pub fn uninstrumented() -> Self {
+        CovState {
+            mode: InstrumentMode::None,
+            region: None,
+            buffer_full: false,
+            hits: 0,
+            dropped: 0,
+        }
+    }
+
+    /// State for an instrumented image with a buffer at `region`.
+    pub fn instrumented(mode: InstrumentMode, region: CovRegion) -> Self {
+        CovState {
+            mode,
+            region: Some(region),
+            buffer_full: false,
+            hits: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether a site in `module` carries a callback in this build.
+    pub fn module_active(&self, module: &str) -> bool {
+        match &self.mode {
+            InstrumentMode::None => false,
+            InstrumentMode::Full => true,
+            InstrumentMode::Modules(mods) => mods.iter().any(|m| m == module),
+        }
+    }
+}
+
+/// The context kernel code executes in.
+pub struct ExecCtx<'a> {
+    /// Bus (RAM, UART, clock).
+    pub bus: &'a mut Bus,
+    /// Coverage state.
+    pub cov: &'a mut CovState,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Build a context.
+    pub fn new(bus: &'a mut Bus, cov: &'a mut CovState) -> Self {
+        ExecCtx { bus, cov }
+    }
+
+    /// Charge `n` cycles of kernel work.
+    pub fn charge(&mut self, n: u64) {
+        self.bus.charge(n);
+    }
+
+    /// Coverage hook at a static site. Site names are fully qualified:
+    /// `"<os>::<module>::<function>::<branch>"`.
+    pub fn cov(&mut self, site: &'static str) {
+        self.cov_id(site, edge_id(site));
+    }
+
+    /// Coverage hook for a *variant* site: a family of edges derived from
+    /// one static name (e.g. one edge per parser state). Cheap — no
+    /// allocation — and deterministic.
+    pub fn cov_var(&mut self, site: &'static str, variant: u64) {
+        // Mix the variant in with a splitmix-style finaliser so variants
+        // of one site do not collide with other sites' base ids.
+        let mut v = edge_id(site) ^ variant.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        v ^= v >> 30;
+        v = v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        self.cov_id(site, v);
+    }
+
+    fn cov_id(&mut self, site: &str, id: u64) {
+        let module = site.split("::").nth(1).unwrap_or("");
+        if !self.cov.module_active(module) {
+            return;
+        }
+        self.cov.hits += 1;
+        self.bus.charge(InstrumentCost::CYCLES_PER_HIT);
+        if let Some(region) = self.cov.region {
+            match region.record(&mut self.bus.ram, self.bus.endianness, id) {
+                Ok(RecordOutcome::Stored) => {}
+                Ok(RecordOutcome::Full) => self.cov.buffer_full = true,
+                Ok(RecordOutcome::Dropped) => self.cov.dropped += 1,
+                // A broken region (misconfigured address) degrades to
+                // counting only; never crashes the host.
+                Err(_) => self.cov.dropped += 1,
+            }
+        }
+    }
+
+    /// Emit a kernel log line over the UART.
+    pub fn klog(&mut self, line: &str) {
+        self.bus.charge(1 + line.len() as u64 / 8);
+        self.bus.uart.tx_line(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_hal::Endianness;
+
+    fn bus() -> Bus {
+        Bus::new(0x2000_0000, 0x4000, Endianness::Little)
+    }
+
+    #[test]
+    fn uninstrumented_hooks_are_free() {
+        let mut b = bus();
+        let mut cov = CovState::uninstrumented();
+        let before = b.now();
+        let mut ctx = ExecCtx::new(&mut b, &mut cov);
+        ctx.cov("os::kernel::f::a");
+        assert_eq!(cov.hits, 0);
+        assert_eq!(b.now(), before);
+    }
+
+    #[test]
+    fn full_mode_records_and_charges() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 8);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(InstrumentMode::Full, region);
+        let before = b.now();
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cov("os::kernel::f::a");
+            ctx.cov("os::kernel::f::b");
+        }
+        assert_eq!(cov.hits, 2);
+        assert!(b.now() > before);
+        assert_eq!(region.count(&b.ram, Endianness::Little).unwrap(), 2);
+    }
+
+    #[test]
+    fn module_confinement_filters_sites() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 8);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(
+            InstrumentMode::Modules(vec!["json".into()]),
+            region,
+        );
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cov("os::json::parse::digit");
+            ctx.cov("os::kernel::sched::tick");
+        }
+        assert_eq!(cov.hits, 1);
+    }
+
+    #[test]
+    fn buffer_full_raises_flag() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 2);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(InstrumentMode::Full, region);
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cov("os::m::f::a");
+            assert!(!ctx.cov.buffer_full);
+            ctx.cov("os::m::f::b");
+            assert!(ctx.cov.buffer_full);
+            ctx.cov("os::m::f::c");
+        }
+        assert_eq!(cov.dropped, 1);
+    }
+
+    #[test]
+    fn variant_sites_are_distinct() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 16);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(InstrumentMode::Full, region);
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            for k in 0..4 {
+                ctx.cov_var("os::json::parse::state", k);
+            }
+        }
+        let raw = b
+            .ram
+            .slice(0x2000_0100, region.drain_len())
+            .unwrap()
+            .to_vec();
+        let (edges, _) = region.parse_drain(&raw, Endianness::Little);
+        let mut dedup = edges.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "all four variants must be distinct edges");
+    }
+
+    #[test]
+    fn klog_reaches_uart() {
+        let mut b = bus();
+        let mut cov = CovState::uninstrumented();
+        ExecCtx::new(&mut b, &mut cov).klog("I (0) kernel: up");
+        assert_eq!(b.uart.drain(), b"I (0) kernel: up\n");
+    }
+}

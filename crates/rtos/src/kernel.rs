@@ -1,0 +1,158 @@
+//! The kernel model contract.
+//!
+//! Every OS personality implements [`Kernel`]: it publishes its API
+//! surface as [`ApiDescriptor`]s, executes invocations against its
+//! internal state machines, and reports faults through the same explicit
+//! signals a real embedded OS gives (exception handler entry, assertion
+//! banners on the UART). The agent (`eof-agent`) owns a `Box<dyn Kernel>`
+//! and drives it from the deserialised test case.
+
+use crate::api::{ApiDescriptor, InvokeResult, KArg};
+use crate::ctx::ExecCtx;
+use std::fmt;
+
+/// The operating systems modelled by the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OsKind {
+    /// FreeRTOS (v5.4 in the paper's evaluation).
+    FreeRtos,
+    /// RT-Thread (commit 2f55990).
+    RtThread,
+    /// Apache NuttX (commit fc99353).
+    NuttX,
+    /// Zephyr (commit 143b14b).
+    Zephyr,
+    /// POK-like partitioned OS (commit b2e1cc3; the Gustave target).
+    PokOs,
+}
+
+impl OsKind {
+    /// All modelled OSs.
+    pub const ALL: [OsKind; 5] = [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+        OsKind::PokOs,
+    ];
+
+    /// Lower-case short name used in site names and reports.
+    pub fn short(self) -> &'static str {
+        match self {
+            OsKind::FreeRtos => "freertos",
+            OsKind::RtThread => "rt-thread",
+            OsKind::NuttX => "nuttx",
+            OsKind::Zephyr => "zephyr",
+            OsKind::PokOs => "pokos",
+        }
+    }
+
+    /// Display name as the paper prints it.
+    pub fn display(self) -> &'static str {
+        match self {
+            OsKind::FreeRtos => "FreeRTOS",
+            OsKind::RtThread => "Rt-Thread",
+            OsKind::NuttX => "NuttX",
+            OsKind::Zephyr => "Zephyr",
+            OsKind::PokOs => "PoKOS",
+        }
+    }
+
+    /// Version string pinned by the paper's §5.1.
+    pub fn version(self) -> &'static str {
+        match self {
+            OsKind::FreeRtos => "v5.4",
+            OsKind::RtThread => "2f55990",
+            OsKind::NuttX => "fc99353",
+            OsKind::Zephyr => "143b14b",
+            OsKind::PokOs => "b2e1cc3",
+        }
+    }
+
+    /// Encoding byte used in image headers.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            OsKind::FreeRtos => 0,
+            OsKind::RtThread => 1,
+            OsKind::NuttX => 2,
+            OsKind::Zephyr => 3,
+            OsKind::PokOs => 4,
+        }
+    }
+
+    /// Decode an image header byte.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.to_byte() == b)
+    }
+}
+
+impl fmt::Display for OsKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display())
+    }
+}
+
+/// A kernel model an agent can drive.
+pub trait Kernel: Send {
+    /// Which OS this is.
+    fn os(&self) -> OsKind;
+
+    /// The published API surface. Ids are stable for the life of the
+    /// kernel and dense from 0.
+    fn api_table(&self) -> &[ApiDescriptor];
+
+    /// Execute one API call.
+    fn invoke(&mut self, ctx: &mut ExecCtx<'_>, api_id: u16, args: &[KArg]) -> InvokeResult;
+
+    /// Warm-reset all kernel state (fresh boot).
+    fn reset(&mut self, ctx: &mut ExecCtx<'_>);
+
+    /// Name of this OS's exception entry symbol (`panic_handler` on
+    /// FreeRTOS, `common_exception` on RT-Thread, …) — where the
+    /// exception monitor sets its breakpoint.
+    fn exception_symbol(&self) -> &'static str;
+
+    /// Name of this OS's assertion report function (logs then hangs).
+    fn assert_symbol(&self) -> &'static str;
+
+    /// Declared total instrumentable branch sites of the *whole* OS build
+    /// (including code outside the modelled API surface) — determines the
+    /// §5.5.1 image-size overhead.
+    fn total_branch_sites(&self) -> usize;
+
+    /// Lines the OS prints on a clean boot.
+    fn boot_banner(&self) -> Vec<String>;
+
+    /// Service a hardware interrupt (the §6 extension: peripheral models
+    /// driving interrupt paths). The default is an unhandled-IRQ return;
+    /// OSs with modelled ISRs override it.
+    fn on_interrupt(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        line: u8,
+        payload: &[u8],
+    ) -> InvokeResult {
+        let _ = (ctx, line, payload);
+        InvokeResult::Err(-38)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn os_byte_roundtrip() {
+        for os in OsKind::ALL {
+            assert_eq!(OsKind::from_byte(os.to_byte()), Some(os));
+        }
+        assert_eq!(OsKind::from_byte(99), None);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(OsKind::RtThread.display(), "Rt-Thread");
+        assert_eq!(OsKind::FreeRtos.version(), "v5.4");
+        assert_eq!(OsKind::Zephyr.short(), "zephyr");
+    }
+}

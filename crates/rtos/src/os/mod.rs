@@ -1,0 +1,111 @@
+//! The five OS personalities.
+//!
+//! Each module implements [`crate::kernel::Kernel`] for one operating
+//! system, composing the shared subsystems under its own API names,
+//! error conventions and scheduling policy, and seeding its share of the
+//! Table-2 bugs.
+
+pub mod freertos;
+pub mod nuttx;
+pub mod pokos;
+pub mod rtthread;
+pub mod zephyr;
+
+pub use freertos::FreeRtosKernel;
+pub use nuttx::NuttxKernel;
+pub use pokos::PokKernel;
+pub use rtthread::RtThreadKernel;
+pub use zephyr::ZephyrKernel;
+
+use crate::api::{ArgKind, ArgMeta};
+
+/// 32-bit integer parameter with inclusive bounds.
+pub(crate) fn a_int(name: &'static str, min: u64, max: u64) -> ArgMeta {
+    ArgMeta::new(name, ArgKind::Int { bits: 32, min, max })
+}
+
+/// 64-bit integer parameter with inclusive bounds.
+pub(crate) fn a_int64(name: &'static str, min: u64, max: u64) -> ArgMeta {
+    ArgMeta::new(name, ArgKind::Int { bits: 64, min, max })
+}
+
+/// Enumerated flag parameter.
+pub(crate) fn a_enum(
+    name: &'static str,
+    set: &'static str,
+    values: &'static [(&'static str, u64)],
+) -> ArgMeta {
+    ArgMeta::new(name, ArgKind::Enum { set, values })
+}
+
+/// Bounded string parameter.
+pub(crate) fn a_str(name: &'static str, max: u32) -> ArgMeta {
+    ArgMeta::new(name, ArgKind::Str { max })
+}
+
+/// Bounded byte-buffer parameter.
+pub(crate) fn a_bytes(name: &'static str, max: u32) -> ArgMeta {
+    ArgMeta::new(name, ArgKind::Bytes { max })
+}
+
+/// Resource-consuming parameter.
+pub(crate) fn a_res(name: &'static str, kind: &'static str) -> ArgMeta {
+    ArgMeta::new(name, ArgKind::ResourceIn(kind))
+}
+
+/// Fetch argument `i` as a scalar, defaulting to 0 when the call is
+/// under-supplied (C calling convention: garbage registers, not a crash).
+pub(crate) fn arg_int(args: &[crate::api::KArg], i: usize) -> u64 {
+    args.get(i).map(|a| a.as_int()).unwrap_or(0)
+}
+
+/// Fetch argument `i` as a string slice.
+pub(crate) fn arg_str(args: &[crate::api::KArg], i: usize) -> &str {
+    args.get(i).map(|a| a.as_str()).unwrap_or("")
+}
+
+/// Fetch argument `i` as bytes.
+pub(crate) fn arg_bytes(args: &[crate::api::KArg], i: usize) -> &[u8] {
+    args.get(i).map(|a| a.as_bytes()).unwrap_or(&[])
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test scaffolding for driving kernels directly.
+
+    use crate::api::{InvokeResult, KArg};
+    use crate::ctx::{CovState, ExecCtx};
+    use crate::kernel::Kernel;
+    use eof_hal::{Bus, Endianness};
+
+    /// Drive a kernel call with a fresh uninstrumented context.
+    pub fn call(k: &mut dyn Kernel, bus: &mut Bus, api: &str, args: &[KArg]) -> InvokeResult {
+        let id = k
+            .api_table()
+            .iter()
+            .find(|d| d.name == api)
+            .unwrap_or_else(|| panic!("API {api} not found in {}", k.os()))
+            .id;
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(bus, &mut cov);
+        k.invoke(&mut ctx, id, args)
+    }
+
+    /// Fresh bus for kernel tests.
+    pub fn bus() -> Bus {
+        Bus::new(0x2000_0000, 0x2_0000, Endianness::Little)
+    }
+
+    /// Assert the result is `Ok` and return the value.
+    pub fn ok(r: InvokeResult) -> u64 {
+        match r {
+            InvokeResult::Ok(v) => v,
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    /// Assert the result is a fault attributed to the given bug number.
+    pub fn is_bug(r: &InvokeResult, number: u8) -> bool {
+        matches!(r, InvokeResult::Fault(f) if f.bug.map(|b| b.number()) == Some(number))
+    }
+}

@@ -1,0 +1,272 @@
+//! Environment variables and clocks (NuttX libc substrate).
+//!
+//! NuttX exposes a POSIX-flavoured surface; four of its six Table-2 bugs
+//! live against this substrate: #14 (`setenv`), #15 (`gettimeofday`),
+//! #19 (`clock_getres`), with the OS wrapper seeding the faults on top of
+//! the behaviour here.
+//!
+//! Variants: 0 setenv new, 1 setenv overwrite, 2 setenv no-overwrite,
+//! 3 bad name, 4 getenv hit, 5 getenv miss, 6 unsetenv, 7 store full,
+//! 8 clock read, 9 bad clock id, 10 settime, 11 time rollback rejected.
+
+use crate::ctx::ExecCtx;
+
+/// Clock identifiers (CLOCK_*).
+pub mod clockid {
+    /// CLOCK_REALTIME.
+    pub const REALTIME: u64 = 0;
+    /// CLOCK_MONOTONIC.
+    pub const MONOTONIC: u64 = 1;
+    /// CLOCK_BOOTTIME.
+    pub const BOOTTIME: u64 = 7;
+}
+
+/// Failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvError {
+    /// Name empty or containing `=`.
+    BadName,
+    /// Variable store is full.
+    Full,
+    /// Variable not present.
+    NotFound,
+    /// Unsupported clock id.
+    BadClock,
+    /// Attempt to set the realtime clock backwards.
+    TimeRollback,
+}
+
+/// The environment store plus system clocks.
+#[derive(Debug, Clone)]
+pub struct EnvSubsystem {
+    vars: Vec<(String, String)>,
+    max_vars: usize,
+    /// Realtime clock offset in microseconds (settable).
+    realtime_offset_us: u64,
+    sets: u64,
+}
+
+impl EnvSubsystem {
+    /// A store holding at most `max_vars` variables.
+    pub fn new(max_vars: usize) -> Self {
+        EnvSubsystem {
+            vars: Vec::new(),
+            max_vars,
+            realtime_offset_us: 1_600_000_000_000_000, // A plausible epoch.
+            sets: 0,
+        }
+    }
+
+    /// Number of variables set.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Lifetime `setenv` calls that succeeded.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// `setenv(name, value, overwrite)`.
+    pub fn setenv(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        name: &str,
+        value: &str,
+        overwrite: bool,
+    ) -> Result<(), EnvError> {
+        ctx.charge(3);
+        if name.is_empty() || name.contains('=') {
+            ctx.cov_var(site, 3);
+            return Err(EnvError::BadName);
+        }
+        if let Some(slot) = self.vars.iter_mut().find(|(n, _)| n == name) {
+            if overwrite {
+                ctx.cov_var(site, 1);
+                slot.1 = value.to_string();
+                self.sets += 1;
+            } else {
+                ctx.cov_var(site, 2);
+            }
+            return Ok(());
+        }
+        if self.vars.len() >= self.max_vars {
+            ctx.cov_var(site, 7);
+            return Err(EnvError::Full);
+        }
+        ctx.cov_var(site, 0);
+        ctx.cov_var(site, 100 + (name.len() as u64).min(16));
+        ctx.cov_var(site, 120 + (value.len() as u64 / 8).min(8));
+        ctx.cov_var(site, 140 + self.vars.len() as u64);
+        self.vars.push((name.to_string(), value.to_string()));
+        self.sets += 1;
+        Ok(())
+    }
+
+    /// `getenv(name)`.
+    pub fn getenv(&self, ctx: &mut ExecCtx<'_>, site: &'static str, name: &str) -> Option<String> {
+        ctx.charge(2);
+        let hit = self
+            .vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone());
+        ctx.cov_var(site, if hit.is_some() { 4 } else { 5 });
+        hit
+    }
+
+    /// `unsetenv(name)`.
+    pub fn unsetenv(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, name: &str) -> Result<(), EnvError> {
+        ctx.charge(2);
+        let before = self.vars.len();
+        self.vars.retain(|(n, _)| n != name);
+        if self.vars.len() == before {
+            ctx.cov_var(site, 5);
+            Err(EnvError::NotFound)
+        } else {
+            ctx.cov_var(site, 6);
+            Ok(())
+        }
+    }
+
+    /// Read a clock in microseconds since its epoch.
+    pub fn clock_gettime_us(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        clock: u64,
+    ) -> Result<u64, EnvError> {
+        ctx.charge(2);
+        let mono = ctx.bus.now();
+        match clock {
+            clockid::REALTIME => {
+                ctx.cov_var(site, 8);
+                Ok(self.realtime_offset_us + mono)
+            }
+            clockid::MONOTONIC | clockid::BOOTTIME => {
+                ctx.cov_var(site, 8);
+                Ok(mono)
+            }
+            _ => {
+                ctx.cov_var(site, 9);
+                Err(EnvError::BadClock)
+            }
+        }
+    }
+
+    /// Resolution of a clock in nanoseconds.
+    pub fn clock_getres_ns(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        clock: u64,
+    ) -> Result<u64, EnvError> {
+        ctx.charge(1);
+        match clock {
+            clockid::REALTIME | clockid::MONOTONIC => {
+                ctx.cov_var(site, 8);
+                Ok(1_000)
+            }
+            clockid::BOOTTIME => {
+                ctx.cov_var(site, 8);
+                Ok(1_000_000)
+            }
+            _ => {
+                ctx.cov_var(site, 9);
+                Err(EnvError::BadClock)
+            }
+        }
+    }
+
+    /// Set the realtime clock (forward only).
+    pub fn clock_settime_us(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        us: u64,
+    ) -> Result<(), EnvError> {
+        ctx.charge(2);
+        let now = self.realtime_offset_us + ctx.bus.now();
+        if us < now {
+            ctx.cov_var(site, 11);
+            return Err(EnvError::TimeRollback);
+        }
+        ctx.cov_var(site, 10);
+        self.realtime_offset_us = us - ctx.bus.now();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn set_get_unset() {
+        with_ctx(|ctx| {
+            let mut e = EnvSubsystem::new(8);
+            e.setenv(ctx, "s", "PATH", "/bin", true).unwrap();
+            assert_eq!(e.getenv(ctx, "s", "PATH").as_deref(), Some("/bin"));
+            e.unsetenv(ctx, "s", "PATH").unwrap();
+            assert_eq!(e.getenv(ctx, "s", "PATH"), None);
+            assert_eq!(e.unsetenv(ctx, "s", "PATH"), Err(EnvError::NotFound));
+        });
+    }
+
+    #[test]
+    fn overwrite_semantics() {
+        with_ctx(|ctx| {
+            let mut e = EnvSubsystem::new(8);
+            e.setenv(ctx, "s", "V", "1", true).unwrap();
+            e.setenv(ctx, "s", "V", "2", false).unwrap();
+            assert_eq!(e.getenv(ctx, "s", "V").as_deref(), Some("1"));
+            e.setenv(ctx, "s", "V", "3", true).unwrap();
+            assert_eq!(e.getenv(ctx, "s", "V").as_deref(), Some("3"));
+        });
+    }
+
+    #[test]
+    fn name_validation_and_capacity() {
+        with_ctx(|ctx| {
+            let mut e = EnvSubsystem::new(1);
+            assert_eq!(e.setenv(ctx, "s", "A=B", "x", true), Err(EnvError::BadName));
+            assert_eq!(e.setenv(ctx, "s", "", "x", true), Err(EnvError::BadName));
+            e.setenv(ctx, "s", "A", "x", true).unwrap();
+            assert_eq!(e.setenv(ctx, "s", "B", "y", true), Err(EnvError::Full));
+        });
+    }
+
+    #[test]
+    fn clocks() {
+        with_ctx(|ctx| {
+            let mut e = EnvSubsystem::new(4);
+            let rt = e.clock_gettime_us(ctx, "s", clockid::REALTIME).unwrap();
+            let mono = e.clock_gettime_us(ctx, "s", clockid::MONOTONIC).unwrap();
+            assert!(rt > mono);
+            assert_eq!(e.clock_gettime_us(ctx, "s", 42), Err(EnvError::BadClock));
+            assert_eq!(e.clock_getres_ns(ctx, "s", clockid::REALTIME).unwrap(), 1_000);
+            assert_eq!(e.clock_getres_ns(ctx, "s", 42), Err(EnvError::BadClock));
+            // Forward set works, rollback rejected.
+            e.clock_settime_us(ctx, "s", rt + 1_000_000).unwrap();
+            assert_eq!(
+                e.clock_settime_us(ctx, "s", 0),
+                Err(EnvError::TimeRollback)
+            );
+        });
+    }
+}

@@ -1,0 +1,313 @@
+//! First-fit free-list heap allocator with canaries.
+//!
+//! The allocator every kernel model builds its dynamic memory on. It is a
+//! real allocator over a byte arena: block headers carry size, a free
+//! flag and a canary; allocation splits blocks, freeing coalesces
+//! neighbours, and canary damage is detected — the raw material of the
+//! heap-scope bugs (#1, #4, #9) in Table 2.
+//!
+//! Branch variants of the caller's site:
+//! 0 entry, 1 zero-size reject, 2 fit found, 3 block split, 4 no fit,
+//! 5 free entry, 6 bad handle, 7 coalesce-next, 8 coalesce-prev,
+//! 9 canary damage, 10 double free.
+
+use crate::ctx::ExecCtx;
+
+const CANARY: u32 = 0xfee1_dead;
+const MIN_SPLIT: u32 = 16;
+
+/// Allocation failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// Zero-size or oversize request.
+    BadSize,
+    /// No block large enough.
+    OutOfMemory,
+    /// Handle does not denote a live allocation.
+    BadHandle,
+    /// The block was already free.
+    DoubleFree,
+    /// A canary was overwritten — heap corruption.
+    Corrupted,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    offset: u32,
+    size: u32,
+    free: bool,
+    canary: u32,
+}
+
+/// A first-fit heap over a fixed arena.
+#[derive(Debug, Clone)]
+pub struct FreeListHeap {
+    capacity: u32,
+    blocks: Vec<Block>,
+    allocs: u64,
+    frees: u64,
+    peak_used: u32,
+}
+
+impl FreeListHeap {
+    /// A heap managing `capacity` bytes.
+    pub fn new(capacity: u32) -> Self {
+        FreeListHeap {
+            capacity,
+            blocks: vec![Block {
+                offset: 0,
+                size: capacity,
+                free: true,
+                canary: CANARY,
+            }],
+            allocs: 0,
+            frees: 0,
+            peak_used: 0,
+        }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u32 {
+        self.blocks.iter().filter(|b| !b.free).map(|b| b.size).sum()
+    }
+
+    /// High-water mark of [`Self::used`].
+    pub fn peak_used(&self) -> u32 {
+        self.peak_used
+    }
+
+    /// Number of live (non-free) blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| !b.free).count()
+    }
+
+    /// Lifetime allocation count.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Allocate `size` bytes, returning the block offset as a handle.
+    pub fn alloc(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, size: u32) -> Result<u32, HeapError> {
+        ctx.cov_var(site, 0);
+        ctx.charge(4);
+        if size == 0 || size > self.capacity {
+            ctx.cov_var(site, 1);
+            return Err(HeapError::BadSize);
+        }
+        let aligned = (size + 7) & !7;
+        let idx = self
+            .blocks
+            .iter()
+            .position(|b| b.free && b.size >= aligned);
+        let Some(idx) = idx else {
+            ctx.cov_var(site, 4);
+            return Err(HeapError::OutOfMemory);
+        };
+        ctx.cov_var(site, 2);
+        // State-shaped edges: request-size band and heap-occupancy band.
+        ctx.cov_var(site, 100 + (aligned as u64 / 64).min(63));
+        ctx.cov_var(site, 200 + (self.live_blocks() as u64).min(31));
+        let (offset, remainder) = {
+            let b = &mut self.blocks[idx];
+            b.free = false;
+            b.canary = CANARY;
+            let rem = b.size - aligned;
+            if rem >= MIN_SPLIT {
+                b.size = aligned;
+                (b.offset, Some((b.offset + aligned, rem)))
+            } else {
+                (b.offset, None)
+            }
+        };
+        if let Some((roff, rsize)) = remainder {
+            ctx.cov_var(site, 3);
+            self.blocks.insert(
+                idx + 1,
+                Block {
+                    offset: roff,
+                    size: rsize,
+                    free: true,
+                    canary: CANARY,
+                },
+            );
+        }
+        self.allocs += 1;
+        self.peak_used = self.peak_used.max(self.used());
+        Ok(offset)
+    }
+
+    /// Free an allocation by handle.
+    pub fn free(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), HeapError> {
+        ctx.cov_var(site, 5);
+        ctx.charge(3);
+        let Some(idx) = self.blocks.iter().position(|b| b.offset == handle) else {
+            ctx.cov_var(site, 6);
+            return Err(HeapError::BadHandle);
+        };
+        if self.blocks[idx].canary != CANARY {
+            ctx.cov_var(site, 9);
+            return Err(HeapError::Corrupted);
+        }
+        if self.blocks[idx].free {
+            ctx.cov_var(site, 10);
+            return Err(HeapError::DoubleFree);
+        }
+        self.blocks[idx].free = true;
+        self.frees += 1;
+        ctx.cov_var(site, 300 + (idx as u64).min(31));
+        // Coalesce with next.
+        if idx + 1 < self.blocks.len() && self.blocks[idx + 1].free {
+            ctx.cov_var(site, 7);
+            let next = self.blocks.remove(idx + 1);
+            self.blocks[idx].size += next.size;
+        }
+        // Coalesce with previous.
+        if idx > 0 && self.blocks[idx - 1].free {
+            ctx.cov_var(site, 8);
+            let cur = self.blocks.remove(idx);
+            self.blocks[idx - 1].size += cur.size;
+        }
+        Ok(())
+    }
+
+    /// Deliberately damage a block's canary (bug-seeding hook).
+    pub fn smash_canary(&mut self, handle: u32) {
+        if let Some(b) = self.blocks.iter_mut().find(|b| b.offset == handle) {
+            b.canary = 0;
+        }
+    }
+
+    /// Walk the heap verifying canaries and layout invariants.
+    pub fn check(&self) -> Result<(), HeapError> {
+        let mut cursor = 0u32;
+        for b in &self.blocks {
+            if b.canary != CANARY {
+                return Err(HeapError::Corrupted);
+            }
+            if b.offset != cursor {
+                return Err(HeapError::Corrupted);
+            }
+            cursor += b.size;
+        }
+        if cursor != self.capacity {
+            return Err(HeapError::Corrupted);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(1024);
+            let a = h.alloc(ctx, "t::heap::a", 100).unwrap();
+            let b = h.alloc(ctx, "t::heap::a", 200).unwrap();
+            assert_ne!(a, b);
+            assert_eq!(h.live_blocks(), 2);
+            h.free(ctx, "t::heap::f", a).unwrap();
+            h.free(ctx, "t::heap::f", b).unwrap();
+            assert_eq!(h.live_blocks(), 0);
+            h.check().unwrap();
+            // Full coalescing back to one block.
+            assert_eq!(h.alloc(ctx, "t::heap::a", 1024).unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(64);
+            assert_eq!(h.alloc(ctx, "s", 0), Err(HeapError::BadSize));
+        });
+    }
+
+    #[test]
+    fn out_of_memory() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(64);
+            h.alloc(ctx, "s", 48).unwrap();
+            assert_eq!(h.alloc(ctx, "s", 48), Err(HeapError::OutOfMemory));
+        });
+    }
+
+    #[test]
+    fn double_free_detected() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(256);
+            let a = h.alloc(ctx, "s", 32).unwrap();
+            h.free(ctx, "s", a).unwrap();
+            assert_eq!(h.free(ctx, "s", a), Err(HeapError::DoubleFree));
+        });
+    }
+
+    #[test]
+    fn bad_handle_detected() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(256);
+            assert_eq!(h.free(ctx, "s", 9999), Err(HeapError::BadHandle));
+        });
+    }
+
+    #[test]
+    fn canary_damage_detected() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(256);
+            let a = h.alloc(ctx, "s", 32).unwrap();
+            h.smash_canary(a);
+            assert_eq!(h.free(ctx, "s", a), Err(HeapError::Corrupted));
+            assert_eq!(h.check(), Err(HeapError::Corrupted));
+        });
+    }
+
+    #[test]
+    fn fragmentation_then_coalesce() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(1024);
+            // Fill the heap completely: 16 × 64 bytes.
+            let handles: Vec<u32> = (0..16)
+                .map(|_| h.alloc(ctx, "s", 64).unwrap())
+                .collect();
+            // Free every other block: no coalescing possible.
+            for &hd in handles.iter().step_by(2) {
+                h.free(ctx, "s", hd).unwrap();
+            }
+            // A 128-byte request cannot fit in a 64-byte hole.
+            assert_eq!(h.alloc(ctx, "s", 128), Err(HeapError::OutOfMemory));
+            // Free the rest: coalescing makes room.
+            for &hd in handles.iter().skip(1).step_by(2) {
+                h.free(ctx, "s", hd).unwrap();
+            }
+            assert!(h.alloc(ctx, "s", 512).is_ok());
+            h.check().unwrap();
+        });
+    }
+
+    #[test]
+    fn peak_tracking() {
+        with_ctx(|ctx| {
+            let mut h = FreeListHeap::new(512);
+            let a = h.alloc(ctx, "s", 256).unwrap();
+            h.free(ctx, "s", a).unwrap();
+            assert_eq!(h.used(), 0);
+            assert!(h.peak_used() >= 256);
+        });
+    }
+}

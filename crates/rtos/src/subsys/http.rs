@@ -1,0 +1,372 @@
+//! HTTP server: request parser and router.
+//!
+//! The second module of the paper's application-level comparison
+//! (Table 4: the HTTP server on an ESP32). A real request-line and
+//! header parser with a small routing table, giving byte-level inputs a
+//! deep branch structure.
+
+use crate::ctx::ExecCtx;
+
+/// Parse failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// Empty or structurally broken request line.
+    BadRequestLine,
+    /// Unsupported method token.
+    BadMethod,
+    /// Malformed target path.
+    BadPath,
+    /// Unknown HTTP version.
+    BadVersion,
+    /// Malformed header line.
+    BadHeader(usize),
+    /// Headers did not terminate before the input ended.
+    Truncated,
+    /// Too many headers.
+    TooManyHeaders,
+}
+
+/// Supported methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+    /// PUT.
+    Put,
+    /// DELETE.
+    Delete,
+    /// HEAD.
+    Head,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Path component (before any `?`).
+    pub path: String,
+    /// Query string, if any.
+    pub query: Option<String>,
+    /// Header count.
+    pub header_count: u32,
+    /// Content-Length header value, if present and numeric.
+    pub content_length: Option<u32>,
+    /// Whether `Connection: keep-alive` was seen.
+    pub keep_alive: bool,
+}
+
+/// Maximum headers the server accepts.
+pub const MAX_HEADERS: u32 = 16;
+
+/// Parse an HTTP/1.x request head (request line + headers).
+pub fn parse_request(
+    ctx: &mut ExecCtx<'_>,
+    site: &'static str,
+    input: &[u8],
+) -> Result<Request, HttpError> {
+    ctx.cov_var(site, 0);
+    ctx.charge(3 + input.len() as u64 / 8);
+    let text = std::str::from_utf8(input).map_err(|_| {
+        HttpError::BadRequestLine
+    })?;
+    let lines: Vec<&str> = text.split("\r\n").collect();
+    let reqline = *lines.first().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = reqline.split(' ');
+    let method = match parts.next().unwrap_or("") {
+        "GET" => {
+            ctx.cov_var(site, 1);
+            Method::Get
+        }
+        "POST" => {
+            ctx.cov_var(site, 2);
+            Method::Post
+        }
+        "PUT" => {
+            ctx.cov_var(site, 3);
+            Method::Put
+        }
+        "DELETE" => {
+            ctx.cov_var(site, 4);
+            Method::Delete
+        }
+        "HEAD" => {
+            ctx.cov_var(site, 5);
+            Method::Head
+        }
+        "" => {
+            ctx.cov_var(site, 6);
+            return Err(HttpError::BadRequestLine);
+        }
+        _ => {
+            ctx.cov_var(site, 7);
+            return Err(HttpError::BadMethod);
+        }
+    };
+    let target = parts.next().ok_or(HttpError::BadRequestLine)?;
+    if !target.starts_with('/') {
+        ctx.cov_var(site, 8);
+        return Err(HttpError::BadPath);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => {
+            ctx.cov_var(site, 9);
+            (p.to_string(), Some(q.to_string()))
+        }
+        None => (target.to_string(), None),
+    };
+    match parts.next() {
+        Some("HTTP/1.0") => ctx.cov_var(site, 10),
+        Some("HTTP/1.1") => ctx.cov_var(site, 11),
+        _ => {
+            ctx.cov_var(site, 12);
+            return Err(HttpError::BadVersion);
+        }
+    }
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    let mut header_count = 0u32;
+    let mut content_length = None;
+    let mut keep_alive = false;
+    let mut terminated = false;
+    for (i, line) in lines.iter().copied().enumerate().skip(1) {
+        if line.is_empty() {
+            // A trailing empty segment is a split artifact of a lone
+            // final CRLF, not the header terminator; a real terminator
+            // has *something* (even "") after it.
+            if i + 1 < lines.len() {
+                ctx.cov_var(site, 13);
+                terminated = true;
+            }
+            break;
+        }
+        header_count += 1;
+        if header_count > MAX_HEADERS {
+            ctx.cov_var(site, 14);
+            return Err(HttpError::TooManyHeaders);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            ctx.cov_var(site, 15);
+            return Err(HttpError::BadHeader(i));
+        };
+        if name.is_empty() || name.contains(' ') {
+            ctx.cov_var(site, 16);
+            return Err(HttpError::BadHeader(i));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            ctx.cov_var(site, 17);
+            content_length = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("connection") {
+            ctx.cov_var(site, 18);
+            keep_alive = value.eq_ignore_ascii_case("keep-alive");
+        } else {
+            ctx.cov_var(site, 19);
+        }
+    }
+    if !terminated {
+        ctx.cov_var(site, 20);
+        return Err(HttpError::Truncated);
+    }
+    ctx.cov_var(site, 100 + (path.len() as u64 / 4).min(15));
+    ctx.cov_var(site, 120 + header_count as u64);
+    if let Some(q) = &query {
+        ctx.cov_var(site, 140 + (q.len() as u64 / 4).min(15));
+    }
+    if let Some(cl) = content_length {
+        ctx.cov_var(site, 160 + (cl as u64 / 16).min(15));
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        header_count,
+        content_length,
+        keep_alive,
+    })
+}
+
+/// The server's routing table and dispatch.
+#[derive(Debug, Clone, Default)]
+pub struct Router {
+    routes: Vec<(Method, String)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default embedded site: a few REST-ish endpoints.
+    pub fn with_default_routes() -> Self {
+        let mut r = Self::new();
+        for (m, p) in [
+            (Method::Get, "/"),
+            (Method::Get, "/index.html"),
+            (Method::Get, "/status"),
+            (Method::Get, "/api/sensors"),
+            (Method::Post, "/api/sensors"),
+            (Method::Put, "/api/config"),
+            (Method::Delete, "/api/config"),
+            (Method::Get, "/api/metrics"),
+        ] {
+            r.routes.push((m, p.to_string()));
+        }
+        r
+    }
+
+    /// Successful dispatches.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Dispatch a request: returns the HTTP status code.
+    pub fn dispatch(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, req: &Request) -> u16 {
+        ctx.charge(2);
+        let exact = self
+            .routes
+            .iter()
+            .position(|(m, p)| *m == req.method && *p == req.path);
+        if let Some(i) = exact {
+            ctx.cov_var(site, 40 + i as u64);
+            self.hits += 1;
+            // POST/PUT without a length are rejected by the handler.
+            if matches!(req.method, Method::Post | Method::Put) && req.content_length.is_none() {
+                ctx.cov_var(site, 30);
+                return 411;
+            }
+            if req.query.is_some() {
+                ctx.cov_var(site, 31);
+            }
+            return 200;
+        }
+        // Path known under a different method?
+        if self.routes.iter().any(|(_, p)| *p == req.path) {
+            ctx.cov_var(site, 32);
+            self.misses += 1;
+            return 405;
+        }
+        ctx.cov_var(site, 33);
+        self.misses += 1;
+        404
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        with_ctx(|ctx| parse_request(ctx, "t::http::parse", raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let r = parse("GET /status HTTP/1.1\r\nHost: dev\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/status");
+        assert_eq!(r.header_count, 1);
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn parses_query_and_headers() {
+        let r = parse(
+            "POST /api/sensors?id=3 HTTP/1.0\r\nContent-Length: 12\r\nConnection: keep-alive\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.query.as_deref(), Some("id=3"));
+        assert_eq!(r.content_length, Some(12));
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn rejects_bad_method_and_path() {
+        assert_eq!(parse("BREW /pot HTTP/1.1\r\n\r\n"), Err(HttpError::BadMethod));
+        assert_eq!(parse("GET pot HTTP/1.1\r\n\r\n"), Err(HttpError::BadPath));
+        assert_eq!(parse("GET / HTTP/2.0\r\n\r\n"), Err(HttpError::BadVersion));
+        assert_eq!(parse(""), Err(HttpError::BadRequestLine));
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nBad Name: x\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn requires_terminating_blank_line() {
+        assert_eq!(
+            parse("GET / HTTP/1.1\r\nHost: dev\r\n"),
+            Err(HttpError::Truncated)
+        );
+    }
+
+    #[test]
+    fn header_limit() {
+        let mut req = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..17 {
+            req.push_str(&format!("H{i}: v\r\n"));
+        }
+        req.push_str("\r\n");
+        assert_eq!(parse(&req), Err(HttpError::TooManyHeaders));
+    }
+
+    #[test]
+    fn router_status_codes() {
+        with_ctx(|ctx| {
+            let mut router = Router::with_default_routes();
+            let get = |path: &str| Request {
+                method: Method::Get,
+                path: path.into(),
+                query: None,
+                header_count: 0,
+                content_length: None,
+                keep_alive: false,
+            };
+            assert_eq!(router.dispatch(ctx, "t::http::route", &get("/status")), 200);
+            assert_eq!(router.dispatch(ctx, "t::http::route", &get("/nope")), 404);
+            let mut del = get("/");
+            del.method = Method::Delete;
+            assert_eq!(router.dispatch(ctx, "t::http::route", &del), 405);
+            let mut post = get("/api/sensors");
+            post.method = Method::Post;
+            assert_eq!(router.dispatch(ctx, "t::http::route", &post), 411);
+            post.content_length = Some(4);
+            assert_eq!(router.dispatch(ctx, "t::http::route", &post), 200);
+            assert_eq!(router.hits(), 3);
+        });
+    }
+
+    #[test]
+    fn non_utf8_rejected() {
+        with_ctx(|ctx| {
+            assert_eq!(
+                parse_request(ctx, "t::http::parse", &[0xff, 0xfe, 0x00]),
+                Err(HttpError::BadRequestLine)
+            );
+        });
+    }
+}

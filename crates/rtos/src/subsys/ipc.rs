@@ -1,0 +1,446 @@
+//! IPC primitives: message queues, semaphores, mutexes and event groups.
+//!
+//! These are the state machines behind Zephyr's `k_msgq_*` (bug #2),
+//! RT-Thread's `rt_event_send` (bug #10) and NuttX's `nxsem_*` (bug #17).
+//! Blocking semantics are modelled as `WouldBlock` returns — the agent
+//! runs a single fuzzing task, so a real block would simply hang, which
+//! is itself one of the degraded states the watchdogs exist for.
+//!
+//! Branch variants documented per structure.
+
+use crate::ctx::ExecCtx;
+use std::collections::VecDeque;
+
+/// IPC failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpcError {
+    /// Queue/semaphore is at capacity.
+    Full,
+    /// Nothing to receive / count is zero.
+    Empty,
+    /// Message larger than the queue's message size.
+    MsgTooBig,
+    /// The operation would block.
+    WouldBlock,
+    /// Mutex is owned by another holder.
+    Busy,
+    /// Caller does not own the mutex.
+    NotOwner,
+    /// Object was purged/deleted under the caller.
+    Purged,
+}
+
+/// A bounded message queue (Zephyr `k_msgq` / FreeRTOS `xQueue`).
+///
+/// Variants: 0 put entry, 1 msg too big, 2 put ok, 3 queue full,
+/// 4 get entry, 5 get ok, 6 empty, 7 purge.
+#[derive(Debug, Clone)]
+pub struct MsgQueue {
+    msg_size: u32,
+    capacity: usize,
+    msgs: VecDeque<Vec<u8>>,
+    /// Set by purge; cleared on next successful put. Getting from a
+    /// purged-while-waited queue is the precondition of bug #2.
+    pub purged: bool,
+    puts: u64,
+    gets: u64,
+}
+
+impl MsgQueue {
+    /// A queue of `capacity` messages of at most `msg_size` bytes.
+    pub fn new(msg_size: u32, capacity: usize) -> Self {
+        MsgQueue {
+            msg_size,
+            capacity,
+            msgs: VecDeque::new(),
+            purged: false,
+            puts: 0,
+            gets: 0,
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.msgs.len() >= self.capacity
+    }
+
+    /// Lifetime put count.
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Enqueue a message.
+    pub fn put(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, msg: &[u8]) -> Result<(), IpcError> {
+        ctx.cov_var(site, 0);
+        ctx.charge(3);
+        if msg.len() > self.msg_size as usize {
+            ctx.cov_var(site, 1);
+            return Err(IpcError::MsgTooBig);
+        }
+        if self.is_full() {
+            ctx.cov_var(site, 3);
+            return Err(IpcError::Full);
+        }
+        ctx.cov_var(site, 2);
+        ctx.cov_var(site, 100 + self.msgs.len() as u64);
+        ctx.cov_var(site, 130 + (msg.len() as u64 / 8).min(8));
+        self.msgs.push_back(msg.to_vec());
+        self.purged = false;
+        self.puts += 1;
+        Ok(())
+    }
+
+    /// Dequeue a message.
+    pub fn get(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str) -> Result<Vec<u8>, IpcError> {
+        ctx.cov_var(site, 4);
+        ctx.charge(3);
+        match self.msgs.pop_front() {
+            Some(m) => {
+                ctx.cov_var(site, 5);
+                ctx.cov_var(site, 150 + self.msgs.len() as u64);
+                self.gets += 1;
+                Ok(m)
+            }
+            None => {
+                ctx.cov_var(site, 6);
+                Err(IpcError::Empty)
+            }
+        }
+    }
+
+    /// Drop all queued messages and mark the queue purged.
+    pub fn purge(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str) {
+        ctx.cov_var(site, 7);
+        ctx.charge(2);
+        self.msgs.clear();
+        self.purged = true;
+    }
+}
+
+/// A counting semaphore.
+///
+/// Variants: 0 take ok, 1 would block, 2 give ok, 3 at max,
+/// 4 trywait-on-contended.
+#[derive(Debug, Clone)]
+pub struct Semaphore {
+    count: i32,
+    max: i32,
+    /// Waiters simulated for the trywait-under-contention path (bug #17's
+    /// precondition in the NuttX model).
+    pub waiters: u32,
+    /// Destroyed-while-waited flag.
+    pub destroyed: bool,
+}
+
+impl Semaphore {
+    /// A semaphore with initial `count` and maximum `max`.
+    pub fn new(count: i32, max: i32) -> Self {
+        Semaphore {
+            count,
+            max,
+            waiters: 0,
+            destroyed: false,
+        }
+    }
+
+    /// Current count (negative means waiters in POSIX style).
+    pub fn count(&self) -> i32 {
+        self.count
+    }
+
+    /// Non-blocking take.
+    pub fn try_take(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str) -> Result<(), IpcError> {
+        ctx.charge(2);
+        if self.count > 0 {
+            ctx.cov_var(site, 0);
+            self.count -= 1;
+            Ok(())
+        } else {
+            ctx.cov_var(site, 1);
+            if self.waiters > 0 {
+                ctx.cov_var(site, 4);
+            }
+            Err(IpcError::WouldBlock)
+        }
+    }
+
+    /// Blocking-take bookkeeping: records a waiter and drives the count
+    /// negative (POSIX semantics).
+    pub fn take_blocking(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str) {
+        ctx.charge(2);
+        ctx.cov_var(site, 1);
+        self.count -= 1;
+        if self.count < 0 {
+            self.waiters += 1;
+            // Breadcrumb: the wait-list insertion branches per queue
+            // position.
+            ctx.cov_var(site, 10 + (self.waiters as u64).min(7));
+        }
+    }
+
+    /// Give the semaphore.
+    pub fn give(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str) -> Result<(), IpcError> {
+        ctx.charge(2);
+        if self.count >= self.max {
+            ctx.cov_var(site, 3);
+            return Err(IpcError::Full);
+        }
+        ctx.cov_var(site, 2);
+        self.count += 1;
+        if self.waiters > 0 && self.count <= 0 {
+            self.waiters -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// A (recursive) mutex.
+///
+/// Variants: 0 lock acquired, 1 recursive relock, 2 busy, 3 unlock,
+/// 4 not owner.
+#[derive(Debug, Clone, Default)]
+pub struct Mutex {
+    owner: Option<u32>,
+    depth: u32,
+}
+
+impl Mutex {
+    /// An unlocked mutex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current owner handle.
+    pub fn owner(&self) -> Option<u32> {
+        self.owner
+    }
+
+    /// Acquire for `who`.
+    pub fn lock(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, who: u32) -> Result<(), IpcError> {
+        ctx.charge(2);
+        match self.owner {
+            None => {
+                ctx.cov_var(site, 0);
+                self.owner = Some(who);
+                self.depth = 1;
+                Ok(())
+            }
+            Some(o) if o == who => {
+                ctx.cov_var(site, 1);
+                self.depth += 1;
+                Ok(())
+            }
+            Some(_) => {
+                ctx.cov_var(site, 2);
+                Err(IpcError::Busy)
+            }
+        }
+    }
+
+    /// Release for `who`.
+    pub fn unlock(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, who: u32) -> Result<(), IpcError> {
+        ctx.charge(2);
+        match self.owner {
+            Some(o) if o == who => {
+                ctx.cov_var(site, 3);
+                self.depth -= 1;
+                if self.depth == 0 {
+                    self.owner = None;
+                }
+                Ok(())
+            }
+            _ => {
+                ctx.cov_var(site, 4);
+                Err(IpcError::NotOwner)
+            }
+        }
+    }
+}
+
+/// An event group (RT-Thread `rt_event` / FreeRTOS event bits).
+///
+/// Variants: 0 send entry, 1 bits set, 2 waiter satisfied AND,
+/// 3 waiter satisfied OR, 4 recv no match, 5 recv match+clear, 6 zero set.
+#[derive(Debug, Clone, Default)]
+pub struct EventGroup {
+    bits: u32,
+    sends: u64,
+    /// Deleted-object marker (bug #10's precondition in the RT-Thread
+    /// model: send to a deleted event).
+    pub deleted: bool,
+}
+
+impl EventGroup {
+    /// A cleared event group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current event bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Lifetime sends.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// OR `set` into the group.
+    pub fn send(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, set: u32) -> Result<u32, IpcError> {
+        ctx.cov_var(site, 0);
+        ctx.charge(2);
+        if set == 0 {
+            ctx.cov_var(site, 6);
+            return Err(IpcError::Empty);
+        }
+        ctx.cov_var(site, 1);
+        ctx.cov_var(site, 100 + set.count_ones() as u64);
+        self.bits |= set;
+        ctx.cov_var(site, 140 + (self.bits & 0xff) as u64);
+        self.sends += 1;
+        Ok(self.bits)
+    }
+
+    /// Receive: wait for `want` bits with AND/OR semantics; optionally
+    /// clear on success.
+    pub fn recv(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        want: u32,
+        all: bool,
+        clear: bool,
+    ) -> Result<u32, IpcError> {
+        ctx.charge(2);
+        let hit = if all {
+            self.bits & want == want
+        } else {
+            self.bits & want != 0
+        };
+        if !hit {
+            ctx.cov_var(site, 4);
+            return Err(IpcError::WouldBlock);
+        }
+        ctx.cov_var(site, if all { 2 } else { 3 });
+        ctx.cov_var(site, 100 + (self.bits & want).count_ones() as u64);
+        let got = self.bits & want;
+        if clear {
+            ctx.cov_var(site, 5);
+            self.bits &= !want;
+        }
+        Ok(got)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn msgq_fifo_order() {
+        with_ctx(|ctx| {
+            let mut q = MsgQueue::new(16, 4);
+            q.put(ctx, "s", b"one").unwrap();
+            q.put(ctx, "s", b"two").unwrap();
+            assert_eq!(q.get(ctx, "s").unwrap(), b"one");
+            assert_eq!(q.get(ctx, "s").unwrap(), b"two");
+            assert_eq!(q.get(ctx, "s"), Err(IpcError::Empty));
+        });
+    }
+
+    #[test]
+    fn msgq_limits() {
+        with_ctx(|ctx| {
+            let mut q = MsgQueue::new(4, 1);
+            assert_eq!(q.put(ctx, "s", b"toolong"), Err(IpcError::MsgTooBig));
+            q.put(ctx, "s", b"ok").unwrap();
+            assert_eq!(q.put(ctx, "s", b"no"), Err(IpcError::Full));
+        });
+    }
+
+    #[test]
+    fn msgq_purge_flag() {
+        with_ctx(|ctx| {
+            let mut q = MsgQueue::new(8, 4);
+            q.put(ctx, "s", b"x").unwrap();
+            q.purge(ctx, "s");
+            assert!(q.purged);
+            assert!(q.is_empty());
+            q.put(ctx, "s", b"y").unwrap();
+            assert!(!q.purged);
+        });
+    }
+
+    #[test]
+    fn semaphore_counting() {
+        with_ctx(|ctx| {
+            let mut s = Semaphore::new(1, 2);
+            s.try_take(ctx, "s").unwrap();
+            assert_eq!(s.try_take(ctx, "s"), Err(IpcError::WouldBlock));
+            s.give(ctx, "s").unwrap();
+            s.give(ctx, "s").unwrap();
+            assert_eq!(s.give(ctx, "s"), Err(IpcError::Full));
+        });
+    }
+
+    #[test]
+    fn semaphore_waiters_go_negative() {
+        with_ctx(|ctx| {
+            let mut s = Semaphore::new(0, 4);
+            s.take_blocking(ctx, "s");
+            assert_eq!(s.count(), -1);
+            assert_eq!(s.waiters, 1);
+            s.give(ctx, "s").unwrap();
+            assert_eq!(s.waiters, 0);
+        });
+    }
+
+    #[test]
+    fn mutex_recursion_and_ownership() {
+        with_ctx(|ctx| {
+            let mut m = Mutex::new();
+            m.lock(ctx, "s", 1).unwrap();
+            m.lock(ctx, "s", 1).unwrap();
+            assert_eq!(m.lock(ctx, "s", 2), Err(IpcError::Busy));
+            assert_eq!(m.unlock(ctx, "s", 2), Err(IpcError::NotOwner));
+            m.unlock(ctx, "s", 1).unwrap();
+            assert_eq!(m.owner(), Some(1));
+            m.unlock(ctx, "s", 1).unwrap();
+            assert_eq!(m.owner(), None);
+        });
+    }
+
+    #[test]
+    fn event_group_and_or_semantics() {
+        with_ctx(|ctx| {
+            let mut e = EventGroup::new();
+            assert_eq!(e.send(ctx, "s", 0), Err(IpcError::Empty));
+            e.send(ctx, "s", 0b0101).unwrap();
+            // AND on a partially-set mask blocks.
+            assert_eq!(e.recv(ctx, "s", 0b0111, true, false), Err(IpcError::WouldBlock));
+            // OR succeeds and clears only the matched bits.
+            assert_eq!(e.recv(ctx, "s", 0b0100, false, true).unwrap(), 0b0100);
+            assert_eq!(e.bits(), 0b0001);
+        });
+    }
+}

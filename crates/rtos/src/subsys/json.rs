@@ -1,0 +1,505 @@
+//! JSON library: a real recursive-descent parser and an encoder.
+//!
+//! This is one of the two modules the paper uses for the GDBFuzz
+//! comparison (Table 4: the JSON component on hardware) and the home of
+//! Zephyr bug #3 (`json_obj_encode`). The parser is deliberately branchy —
+//! per-state, per-character-class coverage — so coverage-guided input
+//! generation has real structure to climb.
+//!
+//! Variants: parser uses `parse::state`-family edges keyed by
+//! (state, char-class); encoder uses depth/width edges.
+
+use crate::ctx::ExecCtx;
+
+/// Parse failure modes, with byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonError {
+    /// Unexpected byte.
+    Unexpected(usize),
+    /// Input ended mid-value.
+    Truncated,
+    /// Nesting beyond the library's fixed stack.
+    TooDeep,
+    /// Trailing bytes after the top-level value.
+    Trailing(usize),
+    /// Invalid escape sequence.
+    BadEscape(usize),
+    /// Invalid number syntax.
+    BadNumber(usize),
+    /// Serialised output exceeds the encode buffer.
+    OutputOverflow,
+}
+
+/// Statistics of a successful parse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonStats {
+    /// Objects seen.
+    pub objects: u32,
+    /// Arrays seen.
+    pub arrays: u32,
+    /// Strings seen (keys included).
+    pub strings: u32,
+    /// Numbers seen.
+    pub numbers: u32,
+    /// Booleans and nulls seen.
+    pub literals: u32,
+    /// Maximum nesting depth reached.
+    pub max_depth: u32,
+}
+
+/// Maximum nesting the library supports.
+pub const MAX_DEPTH: u32 = 12;
+
+/// Parse a JSON document, returning its statistics.
+pub fn parse(ctx: &mut ExecCtx<'_>, site: &'static str, input: &[u8]) -> Result<JsonStats, JsonError> {
+    ctx.cov_var(site, 0);
+    ctx.charge(2 + input.len() as u64 / 8);
+    let mut p = Parser {
+        input,
+        pos: 0,
+        stats: JsonStats::default(),
+        site,
+    };
+    p.ws(ctx);
+    p.value(ctx, 1)?;
+    p.ws(ctx);
+    if p.pos != input.len() {
+        ctx.cov_var(site, 2);
+        return Err(JsonError::Trailing(p.pos));
+    }
+    ctx.cov_var(site, 1);
+    // Shape-of-document edges: what the input actually contained.
+    let st = &p.stats;
+    ctx.cov_var(site, 200 + (st.objects as u64).min(15));
+    ctx.cov_var(site, 220 + (st.arrays as u64).min(15));
+    ctx.cov_var(site, 240 + (st.strings as u64).min(15));
+    ctx.cov_var(site, 260 + (st.numbers as u64).min(15));
+    ctx.cov_var(site, 280 + st.max_depth as u64);
+    Ok(p.stats)
+}
+
+struct Parser<'i> {
+    input: &'i [u8],
+    pos: usize,
+    stats: JsonStats,
+    site: &'static str,
+}
+
+impl<'i> Parser<'i> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn ws(&mut self, ctx: &mut ExecCtx<'_>) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+        ctx.charge(1);
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(x) if x == b => Ok(()),
+            Some(_) => Err(JsonError::Unexpected(self.pos - 1)),
+            None => Err(JsonError::Truncated),
+        }
+    }
+
+    fn value(&mut self, ctx: &mut ExecCtx<'_>, depth: u32) -> Result<(), JsonError> {
+        if depth > MAX_DEPTH {
+            ctx.cov_var(self.site, 3);
+            return Err(JsonError::TooDeep);
+        }
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        // Edge per (depth bucket, value class) — rich, input-shaped space.
+        match self.peek() {
+            Some(b'{') => {
+                ctx.cov_var(self.site, 10 + depth as u64);
+                self.object(ctx, depth)
+            }
+            Some(b'[') => {
+                ctx.cov_var(self.site, 30 + depth as u64);
+                self.array(ctx, depth)
+            }
+            Some(b'"') => {
+                ctx.cov_var(self.site, 50);
+                self.string(ctx)?;
+                self.stats.strings += 1;
+                Ok(())
+            }
+            Some(b't') => {
+                ctx.cov_var(self.site, 51);
+                self.literal(b"true")?;
+                self.stats.literals += 1;
+                Ok(())
+            }
+            Some(b'f') => {
+                ctx.cov_var(self.site, 52);
+                self.literal(b"false")?;
+                self.stats.literals += 1;
+                Ok(())
+            }
+            Some(b'n') => {
+                ctx.cov_var(self.site, 53);
+                self.literal(b"null")?;
+                self.stats.literals += 1;
+                Ok(())
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                ctx.cov_var(self.site, 54);
+                self.number(ctx)?;
+                self.stats.numbers += 1;
+                Ok(())
+            }
+            Some(_) => {
+                ctx.cov_var(self.site, 55);
+                Err(JsonError::Unexpected(self.pos))
+            }
+            None => Err(JsonError::Truncated),
+        }
+    }
+
+    fn object(&mut self, ctx: &mut ExecCtx<'_>, depth: u32) -> Result<(), JsonError> {
+        self.expect(b'{')?;
+        self.stats.objects += 1;
+        self.ws(ctx);
+        if self.peek() == Some(b'}') {
+            ctx.cov_var(self.site, 70);
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws(ctx);
+            if self.peek() != Some(b'"') {
+                ctx.cov_var(self.site, 71);
+                return Err(JsonError::Unexpected(self.pos));
+            }
+            self.string(ctx)?;
+            self.stats.strings += 1;
+            self.ws(ctx);
+            self.expect(b':')?;
+            self.ws(ctx);
+            self.value(ctx, depth + 1)?;
+            self.ws(ctx);
+            match self.bump() {
+                Some(b',') => {
+                    ctx.cov_var(self.site, 72);
+                    continue;
+                }
+                Some(b'}') => {
+                    ctx.cov_var(self.site, 73);
+                    return Ok(());
+                }
+                Some(_) => return Err(JsonError::Unexpected(self.pos - 1)),
+                None => return Err(JsonError::Truncated),
+            }
+        }
+    }
+
+    fn array(&mut self, ctx: &mut ExecCtx<'_>, depth: u32) -> Result<(), JsonError> {
+        self.expect(b'[')?;
+        self.stats.arrays += 1;
+        self.ws(ctx);
+        if self.peek() == Some(b']') {
+            ctx.cov_var(self.site, 80);
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws(ctx);
+            self.value(ctx, depth + 1)?;
+            self.ws(ctx);
+            match self.bump() {
+                Some(b',') => {
+                    ctx.cov_var(self.site, 81);
+                    continue;
+                }
+                Some(b']') => {
+                    ctx.cov_var(self.site, 82);
+                    return Ok(());
+                }
+                Some(_) => return Err(JsonError::Unexpected(self.pos - 1)),
+                None => return Err(JsonError::Truncated),
+            }
+        }
+    }
+
+    fn string(&mut self, ctx: &mut ExecCtx<'_>) -> Result<(), JsonError> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        ctx.cov_var(self.site, 90);
+                    }
+                    Some(b'u') => {
+                        ctx.cov_var(self.site, 91);
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(h) if h.is_ascii_hexdigit() => {}
+                                Some(_) => return Err(JsonError::BadEscape(self.pos - 1)),
+                                None => return Err(JsonError::Truncated),
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        ctx.cov_var(self.site, 92);
+                        return Err(JsonError::BadEscape(self.pos - 1));
+                    }
+                    None => return Err(JsonError::Truncated),
+                },
+                Some(c) if c < 0x20 => {
+                    ctx.cov_var(self.site, 93);
+                    return Err(JsonError::Unexpected(self.pos - 1));
+                }
+                Some(_) => {}
+                None => return Err(JsonError::Truncated),
+            }
+        }
+    }
+
+    fn number(&mut self, ctx: &mut ExecCtx<'_>) -> Result<(), JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            ctx.cov_var(self.site, 100);
+            self.pos += 1;
+        }
+        // Integer part.
+        match self.bump() {
+            Some(b'0') => {
+                ctx.cov_var(self.site, 101);
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(JsonError::BadNumber(start));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(JsonError::BadNumber(start)),
+        }
+        // Fraction.
+        if self.peek() == Some(b'.') {
+            ctx.cov_var(self.site, 102);
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::BadNumber(start));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            ctx.cov_var(self.site, 103);
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::BadNumber(start));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &[u8]) -> Result<(), JsonError> {
+        for &w in word {
+            match self.bump() {
+                Some(b) if b == w => {}
+                Some(_) => return Err(JsonError::Unexpected(self.pos - 1)),
+                None => return Err(JsonError::Truncated),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Maximum serialised output the library's buffer can hold.
+pub const MAX_ENCODE_BYTES: usize = 64 * 1024;
+
+/// Encode a synthetic object tree of the given shape, returning its
+/// serialised length. `depth` beyond the library stack is the substrate
+/// of Zephyr bug #3 — the OS wrapper panics instead of erroring when the
+/// descriptor's nesting exceeds its unchecked encoder stack. The length
+/// is computed bottom-up in O(depth); output past the encode buffer is
+/// an overflow error.
+pub fn encode(
+    ctx: &mut ExecCtx<'_>,
+    site: &'static str,
+    depth: u32,
+    width: u32,
+) -> Result<usize, JsonError> {
+    ctx.cov_var(site, 0);
+    // Validate before doing any work — a wild depth must cost nothing.
+    if depth > MAX_DEPTH {
+        ctx.cov_var(site, 1);
+        ctx.charge(2);
+        return Err(JsonError::TooDeep);
+    }
+    // Work is bounded by the encode buffer regardless of the requested
+    // width; cost must be too.
+    ctx.charge(2 + (depth as u64) * (width.clamp(1, 64) as u64));
+    let width = width.max(1) as usize;
+    // len(0) = 1; len(d) = 2 + width*(5 + len(d-1)) + (width-1).
+    let mut len = 1usize;
+    for d in 1..=depth {
+        ctx.cov_var(site, 110 + d as u64);
+        len = match len
+            .checked_mul(width)
+            .and_then(|v| v.checked_add(2 + 6 * width - 1))
+        {
+            Some(v) if v <= MAX_ENCODE_BYTES => v,
+            _ => {
+                ctx.cov_var(site, 2);
+                return Err(JsonError::OutputOverflow);
+            }
+        };
+    }
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    fn ok(input: &str) -> JsonStats {
+        with_ctx(|ctx| parse(ctx, "t::json::parse", input.as_bytes()).unwrap())
+    }
+
+    fn err(input: &str) -> JsonError {
+        with_ctx(|ctx| parse(ctx, "t::json::parse", input.as_bytes()).unwrap_err())
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(ok("42").numbers, 1);
+        assert_eq!(ok("-3.5e+2").numbers, 1);
+        assert_eq!(ok("\"hi\"").strings, 1);
+        assert_eq!(ok("true").literals, 1);
+        assert_eq!(ok("null").literals, 1);
+    }
+
+    #[test]
+    fn parses_structures() {
+        let s = ok(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#);
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.arrays, 1);
+        assert_eq!(s.numbers, 2);
+        assert_eq!(s.strings, 4);
+        assert_eq!(s.literals, 1);
+        assert!(s.max_depth >= 3);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(ok("{}").objects, 1);
+        assert_eq!(ok("[]").arrays, 1);
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(ok(r#""a\n\tAb""#).strings, 1);
+        assert!(matches!(err(r#""\q""#), JsonError::BadEscape(_)));
+        assert!(matches!(err(r#""\u00g1""#), JsonError::BadEscape(_)));
+    }
+
+    #[test]
+    fn number_syntax_errors() {
+        assert!(matches!(err("01"), JsonError::BadNumber(_)));
+        assert!(matches!(err("1."), JsonError::BadNumber(_)));
+        assert!(matches!(err("1e"), JsonError::BadNumber(_)));
+        assert!(matches!(err("-"), JsonError::BadNumber(_)));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(err("{\"a\" 1}"), JsonError::Unexpected(_)));
+        assert!(matches!(err("{1: 2}"), JsonError::Unexpected(_)));
+        assert!(matches!(err("[1, 2"), JsonError::Truncated));
+        assert!(matches!(err("[] []"), JsonError::Trailing(_)));
+        assert!(matches!(err(""), JsonError::Truncated));
+    }
+
+    #[test]
+    fn control_chars_in_strings_rejected() {
+        assert!(matches!(err("\"a\u{0}b\""), JsonError::Unexpected(_)));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(13) + &"]".repeat(13);
+        assert_eq!(err(&deep), JsonError::TooDeep);
+        let fine = "[".repeat(11) + "1" + &"]".repeat(11);
+        assert!(ok(&fine).max_depth <= MAX_DEPTH);
+    }
+
+    #[test]
+    fn encoder_length_grows_with_shape() {
+        with_ctx(|ctx| {
+            let a = encode(ctx, "t::json::enc", 1, 1).unwrap();
+            let b = encode(ctx, "t::json::enc", 3, 2).unwrap();
+            assert!(b > a);
+            assert_eq!(encode(ctx, "t::json::enc", 13, 1), Err(JsonError::TooDeep));
+            // Wide and deep shapes overflow the encode buffer instead of
+            // taking exponential time.
+            assert_eq!(
+                encode(ctx, "t::json::enc", 12, 4),
+                Err(JsonError::OutputOverflow)
+            );
+        });
+    }
+
+    #[test]
+    fn parser_coverage_is_input_shaped() {
+        let mut bus = Bus::new(0x2000_0000, 0x8000, Endianness::Little);
+        let region = eof_coverage::CovRegion::new(0x2000_1000, 512);
+        region.init(&mut bus.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(eof_coverage::InstrumentMode::Full, region);
+        {
+            let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+            parse(ctx.by_ref(), "t::json::parse", b"1").ok();
+        }
+        let shallow = cov.hits;
+        {
+            let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+            parse(
+                ctx.by_ref(),
+                "t::json::parse",
+                br#"{"a":[1,true,"x"],"b":{"c":null}}"#,
+            )
+            .ok();
+        }
+        assert!(cov.hits > shallow * 2, "richer input must hit more edges");
+    }
+}
+
+#[cfg(test)]
+impl<'a> ExecCtx<'a> {
+    /// Test helper: reborrow for multiple uses in one scope.
+    pub(crate) fn by_ref(&mut self) -> &mut Self {
+        self
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared subsystem building blocks of the kernel models.
+//!
+//! Real embedded OSs implement the same concepts (heaps, schedulers,
+//! queues) with different APIs and semantics. The models share these
+//! implementations but each OS wires them with its own API surface, error
+//! conventions, scheduling policy and — crucially for coverage accounting
+//! — its own edge namespace: every subsystem entry point takes a
+//! `site: &'static str` supplied by the calling OS, and derives its
+//! internal branch edges as deterministic variants of that site
+//! ([`crate::ctx::ExecCtx::cov_var`]). Two OSs exercising the same
+//! allocator therefore discover disjoint edges, exactly as two separately
+//! compiled binaries would.
+
+pub mod env;
+pub mod heap;
+pub mod http;
+pub mod ipc;
+pub mod json;
+pub mod mq;
+pub mod object;
+pub mod pool;
+pub mod sal;
+pub mod sched;
+pub mod serial;
+pub mod timer;

@@ -1,0 +1,345 @@
+//! Named POSIX message queues (NuttX `mq_*` substrate).
+//!
+//! NuttX implements POSIX mqueues in the kernel (`nxmq_*`); bug #16
+//! (`nxmq_timedsend`) fires in the OS wrapper when a *full* queue is
+//! squeezed with an already-expired absolute timeout — a state only
+//! reachable after enough prior sends.
+//!
+//! Variants: 0 open new, 1 open existing, 2 bad name, 3 table full,
+//! 4 send ok, 5 send full, 6 timedsend expired, 7 receive ok,
+//! 8 receive empty, 9 close, 10 unlink, 11 bad descriptor, 12 prio order.
+
+use crate::ctx::ExecCtx;
+use std::collections::VecDeque;
+
+/// Failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MqError {
+    /// Name must start with `/` and be short.
+    BadName,
+    /// Too many queues.
+    TooMany,
+    /// Descriptor invalid or closed.
+    BadDesc,
+    /// Queue full.
+    Full,
+    /// Queue empty.
+    Empty,
+    /// Absolute timeout already expired.
+    TimedOut,
+    /// Message exceeds the queue's message size.
+    MsgTooBig,
+    /// Queue does not exist.
+    NotFound,
+}
+
+#[derive(Debug, Clone)]
+struct Mq {
+    name: String,
+    msg_size: u32,
+    capacity: usize,
+    msgs: VecDeque<(u8, Vec<u8>)>,
+    open_descs: u32,
+    unlinked: bool,
+}
+
+/// The mqueue namespace of one kernel.
+#[derive(Debug, Clone, Default)]
+pub struct MqNamespace {
+    queues: Vec<Mq>,
+    descs: Vec<Option<usize>>,
+    max_queues: usize,
+}
+
+impl MqNamespace {
+    /// A namespace with at most `max_queues` queues.
+    pub fn new(max_queues: usize) -> Self {
+        MqNamespace {
+            queues: Vec::new(),
+            descs: Vec::new(),
+            max_queues,
+        }
+    }
+
+    /// Live queue count.
+    pub fn queue_count(&self) -> usize {
+        self.queues.iter().filter(|q| !q.unlinked).count()
+    }
+
+    /// `mq_open(name, msg_size, capacity)` — creates or opens.
+    pub fn open(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        name: &str,
+        msg_size: u32,
+        capacity: usize,
+    ) -> Result<u32, MqError> {
+        ctx.charge(3);
+        if !name.starts_with('/') || name.len() < 2 || name.len() > 32 {
+            ctx.cov_var(site, 2);
+            return Err(MqError::BadName);
+        }
+        let idx = if let Some(i) = self
+            .queues
+            .iter()
+            .position(|q| !q.unlinked && q.name == name)
+        {
+            ctx.cov_var(site, 1);
+            i
+        } else {
+            if self.queue_count() >= self.max_queues {
+                ctx.cov_var(site, 3);
+                return Err(MqError::TooMany);
+            }
+            ctx.cov_var(site, 0);
+            ctx.cov_var(site, 100 + (msg_size as u64 / 8).min(8));
+            ctx.cov_var(site, 120 + (capacity as u64).min(8));
+            self.queues.push(Mq {
+                name: name.to_string(),
+                msg_size: msg_size.clamp(1, 256),
+                capacity: capacity.clamp(1, 64),
+                msgs: VecDeque::new(),
+                open_descs: 0,
+                unlinked: false,
+            });
+            self.queues.len() - 1
+        };
+        self.queues[idx].open_descs += 1;
+        self.descs.push(Some(idx));
+        Ok(self.descs.len() as u32 - 1)
+    }
+
+    fn queue_of(&mut self, desc: u32) -> Result<usize, MqError> {
+        self.descs
+            .get(desc as usize)
+            .copied()
+            .flatten()
+            .ok_or(MqError::BadDesc)
+    }
+
+    /// `mq_send(desc, msg, prio)` — non-blocking.
+    pub fn send(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        desc: u32,
+        msg: &[u8],
+        prio: u8,
+    ) -> Result<(), MqError> {
+        ctx.charge(3);
+        let qi = self.queue_of(desc).inspect_err(|_| {
+            ctx.cov_var(site, 11);
+        })?;
+        let q = &mut self.queues[qi];
+        if msg.len() > q.msg_size as usize {
+            return Err(MqError::MsgTooBig);
+        }
+        if q.msgs.len() >= q.capacity {
+            ctx.cov_var(site, 5);
+            return Err(MqError::Full);
+        }
+        ctx.cov_var(site, 4);
+        ctx.cov_var(site, 100 + prio as u64);
+        ctx.cov_var(site, 140 + q.msgs.len() as u64);
+        // Priority-ordered insertion (highest first).
+        let pos = q.msgs.iter().position(|(p, _)| *p < prio);
+        match pos {
+            Some(i) => {
+                ctx.cov_var(site, 12);
+                q.msgs.insert(i, (prio, msg.to_vec()));
+            }
+            None => q.msgs.push_back((prio, msg.to_vec())),
+        }
+        Ok(())
+    }
+
+    /// `mq_timedsend(desc, msg, prio, abs_deadline_cycles)`.
+    pub fn timedsend(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        desc: u32,
+        msg: &[u8],
+        prio: u8,
+        abs_deadline: u64,
+    ) -> Result<(), MqError> {
+        let now = ctx.bus.now();
+        let qi = self.queue_of(desc).inspect_err(|_| {
+            ctx.cov_var(site, 11);
+        })?;
+        let full = self.queues[qi].msgs.len() >= self.queues[qi].capacity;
+        if full && abs_deadline <= now {
+            ctx.cov_var(site, 6);
+            return Err(MqError::TimedOut);
+        }
+        self.send(ctx, site, desc, msg, prio)
+    }
+
+    /// `mq_receive(desc)` — highest priority first.
+    pub fn receive(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        desc: u32,
+    ) -> Result<(u8, Vec<u8>), MqError> {
+        ctx.charge(3);
+        let qi = self.queue_of(desc).inspect_err(|_| {
+            ctx.cov_var(site, 11);
+        })?;
+        match self.queues[qi].msgs.pop_front() {
+            Some(m) => {
+                ctx.cov_var(site, 7);
+                Ok(m)
+            }
+            None => {
+                ctx.cov_var(site, 8);
+                Err(MqError::Empty)
+            }
+        }
+    }
+
+    /// `mq_close(desc)`.
+    pub fn close(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, desc: u32) -> Result<(), MqError> {
+        ctx.charge(2);
+        let qi = self.queue_of(desc).inspect_err(|_| {
+            ctx.cov_var(site, 11);
+        })?;
+        ctx.cov_var(site, 9);
+        self.queues[qi].open_descs = self.queues[qi].open_descs.saturating_sub(1);
+        self.descs[desc as usize] = None;
+        Ok(())
+    }
+
+    /// `mq_unlink(name)`.
+    pub fn unlink(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, name: &str) -> Result<(), MqError> {
+        ctx.charge(2);
+        match self
+            .queues
+            .iter_mut()
+            .find(|q| !q.unlinked && q.name == name)
+        {
+            Some(q) => {
+                ctx.cov_var(site, 10);
+                q.unlinked = true;
+                Ok(())
+            }
+            None => Err(MqError::NotFound),
+        }
+    }
+
+    /// Whether the queue behind a descriptor is full (bug #16's gate).
+    pub fn is_full(&self, desc: u32) -> bool {
+        self.descs
+            .get(desc as usize)
+            .copied()
+            .flatten()
+            .map(|qi| self.queues[qi].msgs.len() >= self.queues[qi].capacity)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn open_send_receive() {
+        with_ctx(|ctx| {
+            let mut ns = MqNamespace::new(4);
+            let d = ns.open(ctx, "s", "/q0", 16, 4).unwrap();
+            ns.send(ctx, "s", d, b"hello", 0).unwrap();
+            assert_eq!(ns.receive(ctx, "s", d).unwrap().1, b"hello");
+            assert_eq!(ns.receive(ctx, "s", d), Err(MqError::Empty));
+        });
+    }
+
+    #[test]
+    fn priority_ordering() {
+        with_ctx(|ctx| {
+            let mut ns = MqNamespace::new(4);
+            let d = ns.open(ctx, "s", "/q", 8, 8).unwrap();
+            ns.send(ctx, "s", d, b"low", 1).unwrap();
+            ns.send(ctx, "s", d, b"high", 9).unwrap();
+            ns.send(ctx, "s", d, b"mid", 5).unwrap();
+            assert_eq!(ns.receive(ctx, "s", d).unwrap(), (9, b"high".to_vec()));
+            assert_eq!(ns.receive(ctx, "s", d).unwrap(), (5, b"mid".to_vec()));
+            assert_eq!(ns.receive(ctx, "s", d).unwrap(), (1, b"low".to_vec()));
+        });
+    }
+
+    #[test]
+    fn capacity_and_timedsend() {
+        with_ctx(|ctx| {
+            let mut ns = MqNamespace::new(4);
+            let d = ns.open(ctx, "s", "/q", 8, 2).unwrap();
+            ns.send(ctx, "s", d, b"a", 0).unwrap();
+            ns.send(ctx, "s", d, b"b", 0).unwrap();
+            assert!(ns.is_full(d));
+            assert_eq!(ns.send(ctx, "s", d, b"c", 0), Err(MqError::Full));
+            // Expired absolute deadline on a full queue.
+            assert_eq!(
+                ns.timedsend(ctx, "s", d, b"c", 0, 0),
+                Err(MqError::TimedOut)
+            );
+            // Future deadline on a full queue degrades to Full.
+            let later = ctx.bus.now() + 1_000_000;
+            assert_eq!(
+                ns.timedsend(ctx, "s", d, b"c", 0, later),
+                Err(MqError::Full)
+            );
+        });
+    }
+
+    #[test]
+    fn name_rules() {
+        with_ctx(|ctx| {
+            let mut ns = MqNamespace::new(4);
+            assert_eq!(ns.open(ctx, "s", "noslash", 8, 2), Err(MqError::BadName));
+            assert_eq!(ns.open(ctx, "s", "/", 8, 2), Err(MqError::BadName));
+        });
+    }
+
+    #[test]
+    fn open_existing_shares_queue() {
+        with_ctx(|ctx| {
+            let mut ns = MqNamespace::new(4);
+            let a = ns.open(ctx, "s", "/q", 8, 4).unwrap();
+            let b = ns.open(ctx, "s", "/q", 8, 4).unwrap();
+            ns.send(ctx, "s", a, b"x", 0).unwrap();
+            assert_eq!(ns.receive(ctx, "s", b).unwrap().1, b"x");
+            assert_eq!(ns.queue_count(), 1);
+        });
+    }
+
+    #[test]
+    fn close_invalidates_descriptor() {
+        with_ctx(|ctx| {
+            let mut ns = MqNamespace::new(4);
+            let d = ns.open(ctx, "s", "/q", 8, 4).unwrap();
+            ns.close(ctx, "s", d).unwrap();
+            assert_eq!(ns.send(ctx, "s", d, b"x", 0), Err(MqError::BadDesc));
+            assert_eq!(ns.close(ctx, "s", d), Err(MqError::BadDesc));
+        });
+    }
+
+    #[test]
+    fn unlink_hides_name() {
+        with_ctx(|ctx| {
+            let mut ns = MqNamespace::new(4);
+            ns.open(ctx, "s", "/q", 8, 4).unwrap();
+            ns.unlink(ctx, "s", "/q").unwrap();
+            assert_eq!(ns.unlink(ctx, "s", "/q"), Err(MqError::NotFound));
+            assert_eq!(ns.queue_count(), 0);
+        });
+    }
+}

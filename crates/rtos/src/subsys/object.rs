@@ -1,0 +1,317 @@
+//! Kernel object registry (RT-Thread's `rt_object` system).
+//!
+//! RT-Thread routes every kernel entity — threads, semaphores, events,
+//! memory pools, devices — through a typed object registry with
+//! per-type container lists. Three of the paper's RT-Thread bugs live
+//! here: #5 (`rt_object_get_type` on a detached object), #6
+//! (`rt_list_isempty` walking a corrupted container after a double
+//! detach) and #8 (`rt_object_init` with an empty name).
+//!
+//! Variants: 0 init, 1 dup name, 2 table full, 3 detach, 4 find hit,
+//! 5 find miss, 6 get_type live, 7 get_type detached.
+
+use crate::ctx::ExecCtx;
+
+/// RT-Thread object classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjClass {
+    /// Thread objects.
+    Thread,
+    /// Semaphore objects.
+    Semaphore,
+    /// Event objects.
+    Event,
+    /// Memory-pool objects.
+    MemPool,
+    /// Device objects.
+    Device,
+    /// Timer objects.
+    Timer,
+}
+
+impl ObjClass {
+    /// All classes.
+    pub const ALL: [ObjClass; 6] = [
+        ObjClass::Thread,
+        ObjClass::Semaphore,
+        ObjClass::Event,
+        ObjClass::MemPool,
+        ObjClass::Device,
+        ObjClass::Timer,
+    ];
+
+    /// Numeric type tag (mirrors `rt_object_class_type`).
+    pub fn tag(self) -> u8 {
+        match self {
+            ObjClass::Thread => 1,
+            ObjClass::Semaphore => 2,
+            ObjClass::Event => 3,
+            ObjClass::MemPool => 4,
+            ObjClass::Device => 5,
+            ObjClass::Timer => 6,
+        }
+    }
+}
+
+/// Registry failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjError {
+    /// Name already registered in this class.
+    DupName,
+    /// Registry full.
+    Full,
+    /// Handle unknown.
+    BadHandle,
+    /// Name empty or too long.
+    BadName,
+    /// Object already detached.
+    AlreadyDetached,
+}
+
+/// One registered kernel object.
+#[derive(Debug, Clone)]
+pub struct KObject {
+    /// Registry handle.
+    pub handle: u32,
+    /// Object class.
+    pub class: ObjClass,
+    /// Object name (≤ 15 chars, RT-Thread's `RT_NAME_MAX`).
+    pub name: String,
+    /// Detached objects stay in the table as stale entries — the dangling
+    /// state bugs #5 and #12 exploit.
+    pub detached: bool,
+}
+
+/// The object registry.
+#[derive(Debug, Clone)]
+pub struct ObjectRegistry {
+    objects: Vec<KObject>,
+    max_objects: usize,
+    next_handle: u32,
+    /// Count of double-detach events (container corruption proxy for #6).
+    pub double_detaches: u32,
+}
+
+/// RT-Thread's `RT_NAME_MAX` minus the NUL.
+pub const NAME_MAX: usize = 15;
+
+impl ObjectRegistry {
+    /// A registry holding at most `max_objects`.
+    pub fn new(max_objects: usize) -> Self {
+        ObjectRegistry {
+            objects: Vec::new(),
+            max_objects,
+            next_handle: 0x100,
+            double_detaches: 0,
+        }
+    }
+
+    /// Live (non-detached) object count.
+    pub fn live_count(&self) -> usize {
+        self.objects.iter().filter(|o| !o.detached).count()
+    }
+
+    /// Look up by handle (including stale entries).
+    pub fn get(&self, handle: u32) -> Option<&KObject> {
+        self.objects.iter().find(|o| o.handle == handle)
+    }
+
+    /// Register an object. Empty names are a [`ObjError::BadName`] at this
+    /// layer; the RT-Thread wrapper turns that into assertion bug #8.
+    pub fn init(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        class: ObjClass,
+        name: &str,
+    ) -> Result<u32, ObjError> {
+        ctx.cov_var(site, 0);
+        ctx.charge(3);
+        if name.is_empty() || name.len() > NAME_MAX {
+            return Err(ObjError::BadName);
+        }
+        if self
+            .objects
+            .iter()
+            .any(|o| !o.detached && o.class == class && o.name == name)
+        {
+            ctx.cov_var(site, 1);
+            return Err(ObjError::DupName);
+        }
+        if self.live_count() >= self.max_objects {
+            ctx.cov_var(site, 2);
+            return Err(ObjError::Full);
+        }
+        ctx.cov_var(site, 100 + class.tag() as u64 * 16 + name.len() as u64);
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.objects.push(KObject {
+            handle,
+            class,
+            name: name.to_string(),
+            detached: false,
+        });
+        Ok(handle)
+    }
+
+    /// Detach an object (it remains as a stale table entry).
+    pub fn detach(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), ObjError> {
+        ctx.charge(2);
+        let Some(o) = self.objects.iter_mut().find(|o| o.handle == handle) else {
+            return Err(ObjError::BadHandle);
+        };
+        if o.detached {
+            self.double_detaches += 1;
+            // Breadcrumb: the unlink-twice path is its own branch per
+            // object class (the corrupted container the walker later
+            // trips over).
+            ctx.cov_var(site, 200 + o.class.tag() as u64);
+            return Err(ObjError::AlreadyDetached);
+        }
+        ctx.cov_var(site, 3);
+        o.detached = true;
+        Ok(())
+    }
+
+    /// Find a live object by class and name.
+    pub fn find(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        class: ObjClass,
+        name: &str,
+    ) -> Option<u32> {
+        ctx.charge(2);
+        let hit = self
+            .objects
+            .iter()
+            .find(|o| !o.detached && o.class == class && o.name == name)
+            .map(|o| o.handle);
+        ctx.cov_var(site, if hit.is_some() { 4 } else { 5 });
+        hit
+    }
+
+    /// Read an object's type tag. Reading a *detached* object's type is
+    /// the undefined behaviour behind bug #5 — this layer reports it, the
+    /// OS wrapper asserts.
+    pub fn get_type(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(u8, bool), ObjError> {
+        ctx.charge(1);
+        match self.get(handle) {
+            Some(o) => {
+                ctx.cov_var(site, if o.detached { 7 } else { 6 });
+                Ok((o.class.tag(), o.detached))
+            }
+            None => Err(ObjError::BadHandle),
+        }
+    }
+
+    /// Container-list emptiness check for a class (`rt_list_isempty`).
+    /// Walking a container whose entries were double-detached dereferences
+    /// a poisoned list node — bug #6's substrate. The walk reports
+    /// whether poison was touched.
+    pub fn container_is_empty(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        class: ObjClass,
+    ) -> (bool, bool) {
+        ctx.charge(2);
+        let empty = !self.objects.iter().any(|o| !o.detached && o.class == class);
+        let poisoned = self.double_detaches > 0
+            && self.objects.iter().any(|o| o.detached && o.class == class);
+        ctx.cov_var(site, if empty { 5 } else { 4 });
+        (empty, poisoned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn init_find_detach_lifecycle() {
+        with_ctx(|ctx| {
+            let mut r = ObjectRegistry::new(8);
+            let h = r.init(ctx, "s", ObjClass::Semaphore, "sem0").unwrap();
+            assert_eq!(r.find(ctx, "s", ObjClass::Semaphore, "sem0"), Some(h));
+            r.detach(ctx, "s", h).unwrap();
+            assert_eq!(r.find(ctx, "s", ObjClass::Semaphore, "sem0"), None);
+            // Stale entry still resolvable by handle.
+            assert!(r.get(h).unwrap().detached);
+        });
+    }
+
+    #[test]
+    fn name_validation() {
+        with_ctx(|ctx| {
+            let mut r = ObjectRegistry::new(8);
+            assert_eq!(r.init(ctx, "s", ObjClass::Thread, ""), Err(ObjError::BadName));
+            assert_eq!(
+                r.init(ctx, "s", ObjClass::Thread, "sixteen-chars-xx"),
+                Err(ObjError::BadName)
+            );
+        });
+    }
+
+    #[test]
+    fn duplicate_names_per_class() {
+        with_ctx(|ctx| {
+            let mut r = ObjectRegistry::new(8);
+            r.init(ctx, "s", ObjClass::Event, "e0").unwrap();
+            assert_eq!(
+                r.init(ctx, "s", ObjClass::Event, "e0"),
+                Err(ObjError::DupName)
+            );
+            // Same name in another class is fine.
+            r.init(ctx, "s", ObjClass::Timer, "e0").unwrap();
+        });
+    }
+
+    #[test]
+    fn detached_type_read_is_flagged() {
+        with_ctx(|ctx| {
+            let mut r = ObjectRegistry::new(8);
+            let h = r.init(ctx, "s", ObjClass::Device, "uart1").unwrap();
+            assert_eq!(r.get_type(ctx, "s", h).unwrap(), (5, false));
+            r.detach(ctx, "s", h).unwrap();
+            assert_eq!(r.get_type(ctx, "s", h).unwrap(), (5, true));
+        });
+    }
+
+    #[test]
+    fn double_detach_poisons_container() {
+        with_ctx(|ctx| {
+            let mut r = ObjectRegistry::new(8);
+            let h = r.init(ctx, "s", ObjClass::MemPool, "mp").unwrap();
+            r.detach(ctx, "s", h).unwrap();
+            assert_eq!(r.detach(ctx, "s", h), Err(ObjError::AlreadyDetached));
+            assert_eq!(r.double_detaches, 1);
+            let (empty, poisoned) = r.container_is_empty(ctx, "s", ObjClass::MemPool);
+            assert!(empty);
+            assert!(poisoned);
+        });
+    }
+
+    #[test]
+    fn registry_capacity() {
+        with_ctx(|ctx| {
+            let mut r = ObjectRegistry::new(1);
+            r.init(ctx, "s", ObjClass::Thread, "a").unwrap();
+            assert_eq!(r.init(ctx, "s", ObjClass::Thread, "b"), Err(ObjError::Full));
+        });
+    }
+}

@@ -1,0 +1,149 @@
+//! Fixed-block memory pool (RT-Thread `rt_mp_*` style).
+//!
+//! A pool hands out equal-size blocks from a bitmap. RT-Thread's memory
+//! pool is the substrate of bug #7 (`rt_mp_alloc()`): the OS layer seeds
+//! the fault in its wrapper when a precisely exhausted pool is squeezed
+//! again under the buggy flag combination.
+//!
+//! Branch variants: 0 entry, 1 found free block, 2 exhausted, 3 free ok,
+//! 4 bad block index, 5 block already free.
+
+use crate::ctx::ExecCtx;
+
+/// Pool failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// All blocks in use.
+    Exhausted,
+    /// Index out of range.
+    BadBlock,
+    /// Block already free.
+    NotAllocated,
+}
+
+/// A fixed-block pool.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    /// Pool name (RT-Thread pools are named kernel objects).
+    pub name: String,
+    block_size: u32,
+    used: Vec<bool>,
+    total_allocs: u64,
+}
+
+impl MemoryPool {
+    /// A pool of `block_count` blocks of `block_size` bytes each.
+    pub fn new(name: impl Into<String>, block_size: u32, block_count: usize) -> Self {
+        MemoryPool {
+            name: name.into(),
+            block_size,
+            used: vec![false; block_count],
+            total_allocs: 0,
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+
+    /// Total block count.
+    pub fn block_count(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Blocks currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.used.iter().filter(|&&u| u).count()
+    }
+
+    /// Whether every block is allocated.
+    pub fn is_exhausted(&self) -> bool {
+        self.used.iter().all(|&u| u)
+    }
+
+    /// Allocate one block, returning its index.
+    pub fn alloc(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str) -> Result<u32, PoolError> {
+        ctx.cov_var(site, 0);
+        ctx.charge(2);
+        match self.used.iter().position(|&u| !u) {
+            Some(i) => {
+                ctx.cov_var(site, 1);
+                ctx.cov_var(site, 100 + i as u64);
+                self.used[i] = true;
+                self.total_allocs += 1;
+                Ok(i as u32)
+            }
+            None => {
+                ctx.cov_var(site, 2);
+                Err(PoolError::Exhausted)
+            }
+        }
+    }
+
+    /// Free a block by index.
+    pub fn free(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, block: u32) -> Result<(), PoolError> {
+        ctx.charge(2);
+        let i = block as usize;
+        if i >= self.used.len() {
+            ctx.cov_var(site, 4);
+            return Err(PoolError::BadBlock);
+        }
+        if !self.used[i] {
+            ctx.cov_var(site, 5);
+            return Err(PoolError::NotAllocated);
+        }
+        ctx.cov_var(site, 3);
+        self.used[i] = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn exhaustion_and_reuse() {
+        with_ctx(|ctx| {
+            let mut p = MemoryPool::new("mp0", 32, 3);
+            let a = p.alloc(ctx, "s").unwrap();
+            let _b = p.alloc(ctx, "s").unwrap();
+            let _c = p.alloc(ctx, "s").unwrap();
+            assert!(p.is_exhausted());
+            assert_eq!(p.alloc(ctx, "s"), Err(PoolError::Exhausted));
+            p.free(ctx, "s", a).unwrap();
+            assert_eq!(p.alloc(ctx, "s").unwrap(), a);
+        });
+    }
+
+    #[test]
+    fn free_validation() {
+        with_ctx(|ctx| {
+            let mut p = MemoryPool::new("mp0", 32, 2);
+            assert_eq!(p.free(ctx, "s", 5), Err(PoolError::BadBlock));
+            assert_eq!(p.free(ctx, "s", 1), Err(PoolError::NotAllocated));
+        });
+    }
+
+    #[test]
+    fn counters() {
+        with_ctx(|ctx| {
+            let mut p = MemoryPool::new("mp0", 16, 4);
+            p.alloc(ctx, "s").unwrap();
+            p.alloc(ctx, "s").unwrap();
+            assert_eq!(p.in_use(), 2);
+            assert_eq!(p.block_count(), 4);
+            assert_eq!(p.block_size(), 16);
+        });
+    }
+}

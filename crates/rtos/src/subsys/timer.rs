@@ -1,0 +1,295 @@
+//! Software timers (FreeRTOS `xTimer*` / NuttX `timer_*` substrate).
+//!
+//! A timer wheel advanced by the kernel tick. One-shot timers fire once
+//! and disarm; periodic timers re-arm. NuttX's `timer_create` (bug #18)
+//! is seeded in the OS wrapper around [`TimerWheel::create`].
+//!
+//! Variants: 0 create, 1 bad period, 2 start, 3 stop, 4 fire oneshot,
+//! 5 fire periodic, 6 bad handle, 7 delete.
+
+use crate::ctx::ExecCtx;
+
+/// Timer mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerMode {
+    /// Fires once, then disarms.
+    OneShot,
+    /// Fires every period.
+    Periodic,
+}
+
+/// Timer failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerError {
+    /// Period of zero ticks.
+    BadPeriod,
+    /// Handle does not name a live timer.
+    BadHandle,
+    /// Timer table is full.
+    TooMany,
+}
+
+#[derive(Debug, Clone)]
+struct Timer {
+    handle: u32,
+    period: u64,
+    mode: TimerMode,
+    /// Absolute tick of next expiry; `None` = stopped.
+    deadline: Option<u64>,
+    fires: u64,
+}
+
+/// The timer subsystem of one kernel.
+#[derive(Debug, Clone)]
+pub struct TimerWheel {
+    timers: Vec<Timer>,
+    max_timers: usize,
+    now: u64,
+    next_handle: u32,
+    total_fires: u64,
+}
+
+impl TimerWheel {
+    /// A wheel with room for `max_timers` timers.
+    pub fn new(max_timers: usize) -> Self {
+        TimerWheel {
+            timers: Vec::new(),
+            max_timers,
+            now: 0,
+            next_handle: 1,
+            total_fires: 0,
+        }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Live timer count.
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Whether no timers exist.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// Total expirations processed.
+    pub fn total_fires(&self) -> u64 {
+        self.total_fires
+    }
+
+    /// Expiry count of a specific timer.
+    pub fn fires_of(&self, handle: u32) -> Option<u64> {
+        self.timers.iter().find(|t| t.handle == handle).map(|t| t.fires)
+    }
+
+    /// Create a stopped timer.
+    pub fn create(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        period: u64,
+        mode: TimerMode,
+    ) -> Result<u32, TimerError> {
+        ctx.cov_var(site, 0);
+        ctx.charge(3);
+        if period == 0 {
+            ctx.cov_var(site, 1);
+            return Err(TimerError::BadPeriod);
+        }
+        if self.timers.len() >= self.max_timers {
+            return Err(TimerError::TooMany);
+        }
+        ctx.cov_var(site, 100 + (period / 64).min(15));
+        ctx.cov_var(site, 130 + self.timers.len() as u64);
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.timers.push(Timer {
+            handle,
+            period,
+            mode,
+            deadline: None,
+            fires: 0,
+        });
+        Ok(handle)
+    }
+
+    fn find_mut(&mut self, handle: u32) -> Option<&mut Timer> {
+        self.timers.iter_mut().find(|t| t.handle == handle)
+    }
+
+    /// Arm a timer.
+    pub fn start(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), TimerError> {
+        ctx.charge(2);
+        let now = self.now;
+        match self.find_mut(handle) {
+            Some(t) => {
+                ctx.cov_var(site, 2);
+                t.deadline = Some(now + t.period);
+                Ok(())
+            }
+            None => {
+                ctx.cov_var(site, 6);
+                Err(TimerError::BadHandle)
+            }
+        }
+    }
+
+    /// Disarm a timer.
+    pub fn stop(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), TimerError> {
+        ctx.charge(2);
+        match self.find_mut(handle) {
+            Some(t) => {
+                ctx.cov_var(site, 3);
+                t.deadline = None;
+                Ok(())
+            }
+            None => {
+                ctx.cov_var(site, 6);
+                Err(TimerError::BadHandle)
+            }
+        }
+    }
+
+    /// Delete a timer.
+    pub fn delete(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), TimerError> {
+        ctx.charge(2);
+        let before = self.timers.len();
+        self.timers.retain(|t| t.handle != handle);
+        if self.timers.len() == before {
+            ctx.cov_var(site, 6);
+            Err(TimerError::BadHandle)
+        } else {
+            ctx.cov_var(site, 7);
+            Ok(())
+        }
+    }
+
+    /// Advance `ticks`, firing due timers. Returns total fires.
+    pub fn advance(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, ticks: u64) -> u64 {
+        ctx.charge(1 + ticks / 4);
+        let mut fired = 0;
+        for _ in 0..ticks {
+            self.now += 1;
+            for t in &mut self.timers {
+                if t.deadline == Some(self.now) {
+                    t.fires += 1;
+                    fired += 1;
+                    match t.mode {
+                        TimerMode::OneShot => {
+                            ctx.cov_var(site, 4);
+                            t.deadline = None;
+                        }
+                        TimerMode::Periodic => {
+                            ctx.cov_var(site, 5);
+                            t.deadline = Some(self.now + t.period);
+                        }
+                    }
+                }
+            }
+        }
+        self.total_fires += fired;
+        if fired > 0 {
+            ctx.cov_var(site, 100 + fired.min(15));
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::CovState;
+    use eof_hal::{Bus, Endianness};
+
+    fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+        let mut bus = Bus::new(0x2000_0000, 0x1000, Endianness::Little);
+        let mut cov = CovState::uninstrumented();
+        let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn oneshot_fires_once() {
+        with_ctx(|ctx| {
+            let mut w = TimerWheel::new(8);
+            let t = w.create(ctx, "s", 3, TimerMode::OneShot).unwrap();
+            w.start(ctx, "s", t).unwrap();
+            assert_eq!(w.advance(ctx, "s", 10), 1);
+            assert_eq!(w.fires_of(t), Some(1));
+            assert_eq!(w.advance(ctx, "s", 10), 0);
+        });
+    }
+
+    #[test]
+    fn periodic_fires_repeatedly() {
+        with_ctx(|ctx| {
+            let mut w = TimerWheel::new(8);
+            let t = w.create(ctx, "s", 2, TimerMode::Periodic).unwrap();
+            w.start(ctx, "s", t).unwrap();
+            assert_eq!(w.advance(ctx, "s", 10), 5);
+        });
+    }
+
+    #[test]
+    fn stop_prevents_fire() {
+        with_ctx(|ctx| {
+            let mut w = TimerWheel::new(8);
+            let t = w.create(ctx, "s", 2, TimerMode::Periodic).unwrap();
+            w.start(ctx, "s", t).unwrap();
+            w.stop(ctx, "s", t).unwrap();
+            assert_eq!(w.advance(ctx, "s", 10), 0);
+        });
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        with_ctx(|ctx| {
+            let mut w = TimerWheel::new(8);
+            assert_eq!(
+                w.create(ctx, "s", 0, TimerMode::OneShot),
+                Err(TimerError::BadPeriod)
+            );
+        });
+    }
+
+    #[test]
+    fn table_limit() {
+        with_ctx(|ctx| {
+            let mut w = TimerWheel::new(1);
+            w.create(ctx, "s", 1, TimerMode::OneShot).unwrap();
+            assert_eq!(
+                w.create(ctx, "s", 1, TimerMode::OneShot),
+                Err(TimerError::TooMany)
+            );
+        });
+    }
+
+    #[test]
+    fn delete_and_bad_handles() {
+        with_ctx(|ctx| {
+            let mut w = TimerWheel::new(8);
+            let t = w.create(ctx, "s", 5, TimerMode::OneShot).unwrap();
+            w.delete(ctx, "s", t).unwrap();
+            assert_eq!(w.start(ctx, "s", t), Err(TimerError::BadHandle));
+            assert_eq!(w.stop(ctx, "s", t), Err(TimerError::BadHandle));
+            assert_eq!(w.delete(ctx, "s", t), Err(TimerError::BadHandle));
+        });
+    }
+
+    #[test]
+    fn restart_pushes_deadline() {
+        with_ctx(|ctx| {
+            let mut w = TimerWheel::new(8);
+            let t = w.create(ctx, "s", 5, TimerMode::OneShot).unwrap();
+            w.start(ctx, "s", t).unwrap();
+            w.advance(ctx, "s", 3);
+            w.start(ctx, "s", t).unwrap();
+            assert_eq!(w.advance(ctx, "s", 4), 0);
+            assert_eq!(w.advance(ctx, "s", 1), 1);
+        });
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests of the kernel-model subsystems.
+
+use eof_hal::{Bus, Endianness};
+use eof_rtos::ctx::{CovState, ExecCtx};
+use eof_rtos::subsys::ipc::MsgQueue;
+use eof_rtos::subsys::sched::{Policy, Scheduler, TaskState};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+fn with_ctx<R>(f: impl FnOnce(&mut ExecCtx<'_>) -> R) -> R {
+    let mut bus = Bus::new(0x2000_0000, 0x4000, Endianness::Little);
+    let mut cov = CovState::uninstrumented();
+    let mut ctx = ExecCtx::new(&mut bus, &mut cov);
+    f(&mut ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn msgq_matches_reference_model(
+        ops in proptest::collection::vec((any::<bool>(), proptest::collection::vec(any::<u8>(), 0..20)), 1..60)
+    ) {
+        with_ctx(|ctx| {
+            let mut q = MsgQueue::new(16, 8);
+            let mut model: VecDeque<Vec<u8>> = VecDeque::new();
+            for (is_put, msg) in ops {
+                if is_put {
+                    let ok = q.put(ctx, "p::q", &msg).is_ok();
+                    let model_ok = msg.len() <= 16 && model.len() < 8;
+                    prop_assert_eq!(ok, model_ok);
+                    if model_ok {
+                        model.push_back(msg);
+                    }
+                } else {
+                    let got = q.get(ctx, "p::q").ok();
+                    prop_assert_eq!(got, model.pop_front());
+                }
+                prop_assert_eq!(q.len(), model.len());
+            }
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn scheduler_has_at_most_one_running_task(
+        ops in proptest::collection::vec((0u8..6, any::<u8>()), 1..80)
+    ) {
+        with_ctx(|ctx| {
+            let mut s = Scheduler::new(Policy::TickRoundRobin, 8, 31, 16, 128);
+            let mut handles: Vec<u32> = Vec::new();
+            for (op, v) in ops {
+                match op {
+                    0 => {
+                        if let Ok(h) = s.create(ctx, "p::s", "t", v % 32, 256) {
+                            handles.push(h);
+                        }
+                    }
+                    1 => {
+                        if !handles.is_empty() {
+                            let h = handles.remove(v as usize % handles.len());
+                            let _ = s.delete(ctx, "p::s", h);
+                        }
+                    }
+                    2 => {
+                        if !handles.is_empty() {
+                            let h = handles[v as usize % handles.len()];
+                            let _ = s.suspend(ctx, "p::s", h);
+                        }
+                    }
+                    3 => {
+                        if !handles.is_empty() {
+                            let h = handles[v as usize % handles.len()];
+                            let _ = s.resume(ctx, "p::s", h);
+                        }
+                    }
+                    4 => {
+                        if !handles.is_empty() {
+                            let h = handles[v as usize % handles.len()];
+                            let _ = s.delay(ctx, "p::s", h, (v % 8) as u64);
+                        }
+                    }
+                    _ => s.tick(ctx, "p::s"),
+                }
+                // Invariant: at most one task is Running, and it is the
+                // one the scheduler reports.
+                let running: Vec<u32> = handles
+                    .iter()
+                    .copied()
+                    .filter(|&h| s.task(h).map(|t| t.state == TaskState::Running).unwrap_or(false))
+                    .collect();
+                prop_assert!(running.len() <= 1);
+                if let Some(&h) = running.first() {
+                    prop_assert_eq!(s.running(), Some(h));
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn image_build_is_deterministic_and_parseable(os_idx in 0usize..5, full in any::<bool>()) {
+        use eof_coverage::InstrumentMode;
+        use eof_rtos::image::{build_image, parse_image, ImageProfile};
+        let os = eof_rtos::OsKind::ALL[os_idx];
+        let mode = if full { InstrumentMode::Full } else { InstrumentMode::None };
+        let a = build_image(os, ImageProfile::FullSystem, &mode);
+        let b = build_image(os, ImageProfile::FullSystem, &mode);
+        prop_assert_eq!(&a, &b);
+        let info = parse_image(&a).unwrap();
+        prop_assert_eq!(info.os, os);
+    }
+}

@@ -1,0 +1,28 @@
+//! `eof-specgen` — API specification generation (the paper's LLM stage).
+//!
+//! The paper prompts GPT-4o with "the target embedded OS's headers, unit
+//! test examples, and API reference text" and asks it to emit Syzlang
+//! specifications, which are then "post-validated by parsing and type
+//! checking, and only validated specifications are admitted to the
+//! corpus" (§4.5). We have no LLM, so per the substitution rule this
+//! crate implements the closest equivalent that exercises the same code
+//! path:
+//!
+//! * [`extract`] — a deterministic extractor over the machine-readable
+//!   API metadata every kernel model publishes (the stand-in for the
+//!   model reading headers), emitting Syzlang text;
+//! * [`noise`] — a seeded imperfection model reproducing characteristic
+//!   LLM output defects (inverted bounds, dangling flag references,
+//!   hallucinated APIs, dropped resource declarations), so the
+//!   validation gate has real work to do;
+//! * [`pipeline`] — the admission pipeline: generate → perturb → parse →
+//!   type check → drop offending APIs → re-validate, with a report of
+//!   what was rejected (the ablation benches switch the gate off).
+
+pub mod extract;
+pub mod noise;
+pub mod pipeline;
+
+pub use extract::{extract_spec_text, spec_line_count};
+pub use noise::{NoiseConfig, NoiseKind};
+pub use pipeline::{generate_validated, GenReport};

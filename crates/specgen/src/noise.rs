@@ -1,0 +1,279 @@
+//! The LLM-imperfection model.
+//!
+//! "While flexible, this can yield suboptimal cases such as API misuse
+//! and meaningless arguments" (§6). The noise model perturbs a parsed
+//! specification with the defect classes LLM-generated Syzlang actually
+//! exhibits, at a seeded, configurable rate. The validation gate
+//! (`pipeline`) must then catch the structural ones.
+
+use eof_speclang::ast::{ApiSpec, Param, SpecFile, TypeDesc};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Defect classes the model can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// Swap a range's bounds (`int32[4096:128]`).
+    InvertedRange,
+    /// Reference a flag set that does not exist.
+    DanglingFlags,
+    /// Reference a resource kind that was never declared.
+    DanglingResource,
+    /// Emit a second API with the same name.
+    DuplicateApi,
+    /// Invent an API the OS does not have (hallucination).
+    HallucinatedApi,
+    /// Drop a resource declaration other APIs depend on.
+    DroppedResource,
+    /// Widen a numeric constraint beyond the real bound (semantic noise
+    /// the type checker cannot catch — it survives the gate and wastes
+    /// executions at run time).
+    WidenedRange,
+}
+
+/// Configuration of the noise pass.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Per-API probability of receiving one defect, 0.0–1.0.
+    pub defect_rate: f64,
+}
+
+impl NoiseConfig {
+    /// No noise at all.
+    pub fn none() -> Self {
+        NoiseConfig {
+            seed: 0,
+            defect_rate: 0.0,
+        }
+    }
+
+    /// The default rate used in the evaluation: a quarter of APIs come
+    /// back imperfect, matching the need for a validation gate.
+    pub fn default_llm(seed: u64) -> Self {
+        NoiseConfig {
+            seed,
+            defect_rate: 0.25,
+        }
+    }
+}
+
+/// Apply the noise model; returns the defects injected.
+pub fn apply_noise(spec: &mut SpecFile, config: &NoiseConfig) -> Vec<NoiseKind> {
+    if config.defect_rate <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut injected = Vec::new();
+    let api_count = spec.apis.len();
+    let mut extra_apis: Vec<ApiSpec> = Vec::new();
+
+    for idx in 0..api_count {
+        if !rng.random_bool(config.defect_rate.clamp(0.0, 1.0)) {
+            continue;
+        }
+        let kind = match rng.random_range(0..7u32) {
+            0 => NoiseKind::InvertedRange,
+            1 => NoiseKind::DanglingFlags,
+            2 => NoiseKind::DanglingResource,
+            3 => NoiseKind::DuplicateApi,
+            4 => NoiseKind::HallucinatedApi,
+            5 => NoiseKind::DroppedResource,
+            _ => NoiseKind::WidenedRange,
+        };
+        match kind {
+            NoiseKind::InvertedRange => {
+                if invert_first_range(&mut spec.apis[idx]) {
+                    injected.push(kind);
+                }
+            }
+            NoiseKind::WidenedRange => {
+                if widen_first_range(&mut spec.apis[idx]) {
+                    injected.push(kind);
+                }
+            }
+            NoiseKind::DanglingFlags => {
+                spec.apis[idx].params.push(Param {
+                    name: format!("ghost_flags_{idx}"),
+                    ty: TypeDesc::Flags {
+                        set: "nonexistent_flag_set".into(),
+                    },
+                });
+                injected.push(kind);
+            }
+            NoiseKind::DanglingResource => {
+                spec.apis[idx].params.push(Param {
+                    name: format!("ghost_res_{idx}"),
+                    ty: TypeDesc::Resource {
+                        name: "phantom_handle".into(),
+                    },
+                });
+                injected.push(kind);
+            }
+            NoiseKind::DuplicateApi => {
+                extra_apis.push(spec.apis[idx].clone());
+                injected.push(kind);
+            }
+            NoiseKind::HallucinatedApi => {
+                extra_apis.push(ApiSpec {
+                    name: format!("{}_v2_ex", spec.apis[idx].name),
+                    params: vec![Param {
+                        name: "magic".into(),
+                        ty: TypeDesc::Resource {
+                            name: "undeclared_kind".into(),
+                        },
+                    }],
+                    returns: None,
+                    doc: Some("Hallucinated variant.".into()),
+                });
+                injected.push(kind);
+            }
+            NoiseKind::DroppedResource => {
+                // Remove an arbitrary resource declaration if any exist.
+                if let Some(name) = spec.resources.keys().next().cloned() {
+                    spec.resources.remove(&name);
+                    injected.push(kind);
+                }
+            }
+        }
+    }
+    spec.apis.extend(extra_apis);
+    injected
+}
+
+fn invert_first_range(api: &mut ApiSpec) -> bool {
+    for p in &mut api.params {
+        if let TypeDesc::Int {
+            range: Some((min, max)),
+            ..
+        } = &mut p.ty
+        {
+            if min != max {
+                std::mem::swap(min, max);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn widen_first_range(api: &mut ApiSpec) -> bool {
+    for p in &mut api.params {
+        if let TypeDesc::Int {
+            bits,
+            range: Some((_, max)),
+        } = &mut p.ty
+        {
+            let width_max = match bits {
+                8 => u8::MAX as u64,
+                16 => u16::MAX as u64,
+                32 => u32::MAX as u64,
+                _ => u64::MAX,
+            };
+            // LLMs over-estimate bounds by a factor, not to the type's
+            // absolute limit: quadruple the declared maximum.
+            let widened = max.saturating_mul(4).clamp(*max, width_max);
+            if widened > *max {
+                *max = widened;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_speclang::parser::parse_spec;
+    use eof_speclang::typecheck::typecheck;
+
+    fn base_spec() -> SpecFile {
+        parse_spec(
+            "resource task[int32]: -1\n\
+             prio = LOW:0x0, HIGH:0x1\n\
+             create(p flags[prio], d int32[1:10]) task\n\
+             delete(t task)\n\
+             ping(n int32[0:5])\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let mut s = base_spec();
+        let orig = s.clone();
+        let injected = apply_noise(&mut s, &NoiseConfig::none());
+        assert!(injected.is_empty());
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn full_rate_injects_detectable_defects() {
+        let mut s = base_spec();
+        let cfg = NoiseConfig {
+            seed: 7,
+            defect_rate: 1.0,
+        };
+        let injected = apply_noise(&mut s, &cfg);
+        assert!(!injected.is_empty());
+        // At full rate on several APIs, the gate must have something to
+        // reject OR the only defects are semantic (widened ranges).
+        let structural = injected.iter().any(|k| {
+            !matches!(k, NoiseKind::WidenedRange)
+        });
+        if structural {
+            assert!(!typecheck(&s).is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = NoiseConfig {
+            seed: 42,
+            defect_rate: 0.8,
+        };
+        let mut a = base_spec();
+        let mut b = base_spec();
+        let ia = apply_noise(&mut a, &cfg);
+        let ib = apply_noise(&mut b, &cfg);
+        assert_eq!(ia, ib);
+        assert_eq!(a, b);
+        // A different seed gives a different outcome (with high
+        // probability for this spec size).
+        let mut c = base_spec();
+        let ic = apply_noise(
+            &mut c,
+            &NoiseConfig {
+                seed: 43,
+                defect_rate: 0.8,
+            },
+        );
+        assert!(ia != ic || a != c);
+    }
+
+    #[test]
+    fn inverted_range_helper() {
+        let mut s = base_spec();
+        let api = s.apis.iter_mut().find(|a| a.name == "create").unwrap();
+        assert!(invert_first_range(api));
+        match &api.params[1].ty {
+            TypeDesc::Int {
+                range: Some((min, max)),
+                ..
+            } => {
+                assert!(min > max);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn widened_range_survives_typecheck() {
+        let mut s = base_spec();
+        let api = s.apis.iter_mut().find(|a| a.name == "ping").unwrap();
+        assert!(widen_first_range(api));
+        assert!(typecheck(&s).is_empty(), "semantic noise must pass the gate");
+    }
+}

@@ -1,0 +1,200 @@
+//! The specification admission pipeline.
+//!
+//! "Generated specifications are then post-validated by parsing and type
+//! checking, and only validated specifications are admitted to the
+//! corpus" (§4.5). The pipeline runs: extract → perturb (noise model) →
+//! render → re-parse → type check → evict offending APIs → re-validate,
+//! and reports what happened — the numbers the validation-gate ablation
+//! bench compares.
+
+use crate::extract::extract_spec_text;
+use crate::noise::{apply_noise, NoiseConfig};
+use eof_rtos::kernel::OsKind;
+use eof_speclang::ast::SpecFile;
+use eof_speclang::display::render_spec;
+use eof_speclang::parser::parse_spec;
+use eof_speclang::typecheck::typecheck;
+use std::collections::BTreeSet;
+
+/// What the pipeline did.
+#[derive(Debug, Clone, Default)]
+pub struct GenReport {
+    /// APIs in the raw generated spec (including hallucinations).
+    pub generated_apis: usize,
+    /// Defects the noise model injected.
+    pub defects_injected: usize,
+    /// APIs evicted by the validation gate.
+    pub rejected_apis: usize,
+    /// APIs admitted to the corpus.
+    pub admitted_apis: usize,
+    /// Evicted real APIs recovered by the regeneration round.
+    pub regenerated_apis: usize,
+    /// Type errors found on the first validation pass.
+    pub initial_errors: usize,
+    /// Whether the gate was enabled.
+    pub validated: bool,
+}
+
+/// Run the full pipeline for an OS. With `validate` off (the ablation),
+/// the noisy spec is admitted as-is — mirroring a fuzzer that trusts
+/// LLM output blindly.
+pub fn generate_validated(
+    os: OsKind,
+    noise: &NoiseConfig,
+    validate: bool,
+) -> (SpecFile, GenReport) {
+    let text = extract_spec_text(os);
+    let mut spec = parse_spec(&text).expect("extractor output always parses");
+    let injected = apply_noise(&mut spec, noise);
+
+    let mut report = GenReport {
+        generated_apis: spec.apis.len(),
+        defects_injected: injected.len(),
+        validated: validate,
+        ..GenReport::default()
+    };
+
+    // The "LLM emitted text" step: render and re-parse, so the admitted
+    // artefact really went through the concrete syntax.
+    let rendered = render_spec(&spec);
+    let mut spec = match parse_spec(&rendered) {
+        Ok(s) => s,
+        // A spec so broken it does not re-parse is rejected wholesale.
+        Err(_) => {
+            report.rejected_apis = report.generated_apis;
+            return (SpecFile::default(), report);
+        }
+    };
+
+    if !validate {
+        report.admitted_apis = spec.apis.len();
+        return (spec, report);
+    }
+
+    let mut errors = typecheck(&spec);
+    report.initial_errors = errors.len();
+    // Evict offending APIs until clean (duplicate names make eviction by
+    // name slightly aggressive, which matches a conservative gate).
+    let mut evicted = BTreeSet::new();
+    let mut rounds = 0;
+    while !errors.is_empty() && rounds < 16 {
+        let bad_names: BTreeSet<String> = errors.iter().map(|e| e.context.clone()).collect();
+        for name in &bad_names {
+            evicted.insert(name.clone());
+        }
+        spec.apis.retain(|a| !evicted.contains(&a.name));
+        // Flag-set and resource errors name non-API contexts; evicting
+        // APIs that reference them needs one more pass, which the loop
+        // provides. Dangling declarations themselves are harmless.
+        errors = typecheck(&spec)
+            .into_iter()
+            .filter(|e| spec.api(&e.context).is_some())
+            .collect();
+        rounds += 1;
+    }
+    report.rejected_apis = report.generated_apis - spec.apis.len();
+
+    // Regeneration round: for every evicted API that the target really
+    // exposes, re-prompt (our deterministic extractor is the re-prompt)
+    // and admit the clean signature. Hallucinated APIs have no clean
+    // counterpart and stay evicted. This mirrors the iterative prompting
+    // the paper's workflow implies — the admitted corpus must cover the
+    // real API surface, or whole subsystems go untested.
+    let clean = parse_spec(&text).expect("extractor output always parses");
+    for name in &evicted {
+        if let Some(real) = clean.api(name) {
+            if spec.api(name).is_none() {
+                spec.apis.push(real.clone());
+                report.regenerated_apis += 1;
+            }
+        }
+    }
+    // Restore any dropped declarations the clean APIs rely on.
+    for (rname, rdecl) in &clean.resources {
+        spec.resources
+            .entry(rname.clone())
+            .or_insert_with(|| rdecl.clone());
+    }
+    for (fname, fdecl) in &clean.flags {
+        spec.flags
+            .entry(fname.clone())
+            .or_insert_with(|| fdecl.clone());
+    }
+    // Final safety: anything still failing is dropped for good.
+    let residual: BTreeSet<String> = typecheck(&spec)
+        .into_iter()
+        .map(|e| e.context)
+        .collect();
+    spec.apis.retain(|a| !residual.contains(&a.name));
+
+    report.admitted_apis = spec.apis.len();
+    (spec, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_generation_admits_everything() {
+        for os in OsKind::ALL {
+            let (spec, report) = generate_validated(os, &NoiseConfig::none(), true);
+            assert_eq!(report.rejected_apis, 0, "{os}");
+            assert_eq!(report.admitted_apis, spec.apis.len());
+            assert!(report.admitted_apis > 5, "{os}");
+        }
+    }
+
+    #[test]
+    fn noisy_generation_gets_filtered() {
+        let noise = NoiseConfig {
+            seed: 11,
+            defect_rate: 0.6,
+        };
+        let (spec, report) = generate_validated(OsKind::RtThread, &noise, true);
+        assert!(report.defects_injected > 0);
+        // Admitted spec is clean.
+        let residual: Vec<_> = typecheck(&spec)
+            .into_iter()
+            .filter(|e| spec.api(&e.context).is_some())
+            .collect();
+        assert!(residual.is_empty(), "{residual:?}");
+        // And the regeneration round restored the full real surface.
+        let kernel_apis = eof_rtos::registry::make_kernel(OsKind::RtThread)
+            .api_table()
+            .len();
+        assert_eq!(report.admitted_apis, kernel_apis);
+        if report.rejected_apis > 0 {
+            assert!(report.regenerated_apis > 0);
+        }
+    }
+
+    #[test]
+    fn gate_off_admits_defects() {
+        let noise = NoiseConfig {
+            seed: 11,
+            defect_rate: 0.6,
+        };
+        let (_, with_gate) = generate_validated(OsKind::RtThread, &noise, true);
+        let (spec_raw, without_gate) = generate_validated(OsKind::RtThread, &noise, false);
+        assert!(without_gate.admitted_apis >= with_gate.admitted_apis);
+        assert_eq!(without_gate.rejected_apis, 0);
+        // The unvalidated spec still carries structural defects.
+        if with_gate.rejected_apis > 0 {
+            assert!(!typecheck(&spec_raw).is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let noise = NoiseConfig {
+            seed: 5,
+            defect_rate: 0.4,
+        };
+        let (a, ra) = generate_validated(OsKind::Zephyr, &noise, true);
+        let (b, rb) = generate_validated(OsKind::Zephyr, &noise, true);
+        assert_eq!(a, b);
+        assert_eq!(ra.admitted_apis, rb.admitted_apis);
+        assert_eq!(ra.rejected_apis, rb.rejected_apis);
+    }
+}

@@ -1,0 +1,179 @@
+//! Human-readable rendering of progs and specs.
+//!
+//! Crash reports (like the paper's Figure 6) show the triggering test case
+//! in a syscall-trace style: `syz_create_bind_socket(0xbc78, 0x0, 0x101,
+//! 0x0)`. This module renders progs that way for corpus dumps, crash
+//! de-duplication reports and the examples.
+
+use crate::ast::SpecFile;
+use crate::prog::{ArgValue, Call, Prog};
+use std::fmt;
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::Int(v) => write!(f, "{v:#x}"),
+            ArgValue::ResourceRef(r) => write!(f, "r{r}"),
+            ArgValue::Buffer(b) => {
+                write!(f, "&\"")?;
+                for byte in b.iter().take(16) {
+                    write!(f, "{byte:02x}")?;
+                }
+                if b.len() > 16 {
+                    write!(f, "…({})", b.len())?;
+                }
+                write!(f, "\"")
+            }
+            ArgValue::CString(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Call {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.api)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Prog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, call) in self.calls.iter().enumerate() {
+            writeln!(f, "r{i} = {call}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a spec file back to (canonical) source text, usable as input to
+/// [`crate::parser::parse_spec`] again.
+pub fn render_spec(spec: &SpecFile) -> String {
+    use crate::ast::TypeDesc;
+
+    fn ty(t: &TypeDesc) -> String {
+        match t {
+            TypeDesc::Int { bits, range: None } => format!("int{bits}"),
+            TypeDesc::Int {
+                bits,
+                range: Some((lo, hi)),
+            } => format!("int{bits}[{lo}:{hi}]"),
+            TypeDesc::Flags { set } => format!("flags[{set}]"),
+            TypeDesc::Ptr(inner) => format!("ptr[{}]", ty(inner)),
+            TypeDesc::Buffer { max_len } => format!("buffer[{max_len}]"),
+            TypeDesc::CString { max_len } => format!("cstring[{max_len}]"),
+            TypeDesc::Resource { name } => name.clone(),
+        }
+    }
+
+    let mut out = String::new();
+    for r in spec.resources.values() {
+        out.push_str(&format!("resource {}[int{}]", r.name, r.bits));
+        if !r.sentinels.is_empty() {
+            let vals: Vec<String> = r
+                .sentinels
+                .iter()
+                .map(|&v| {
+                    if (v as i64) < 0 {
+                        format!("{}", v as i64)
+                    } else {
+                        format!("{v}")
+                    }
+                })
+                .collect();
+            out.push_str(&format!(": {}", vals.join(", ")));
+        }
+        out.push('\n');
+    }
+    for fs in spec.flags.values() {
+        let vals: Vec<String> = fs
+            .values
+            .iter()
+            .map(|(n, v)| format!("{n}:{v:#x}"))
+            .collect();
+        out.push_str(&format!("{} = {}\n", fs.name, vals.join(", ")));
+    }
+    for api in &spec.apis {
+        if let Some(doc) = &api.doc {
+            out.push_str(&format!("# {doc}\n"));
+        }
+        let params: Vec<String> = api
+            .params
+            .iter()
+            .map(|p| format!("{} {}", p.name, ty(&p.ty)))
+            .collect();
+        out.push_str(&format!("{}({})", api.name, params.join(", ")));
+        if let Some(ret) = &api.returns {
+            out.push_str(&format!(" {ret}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    #[test]
+    fn call_rendering_matches_paper_style() {
+        let c = Call {
+            api: "syz_create_bind_socket".into(),
+            args: vec![
+                ArgValue::Int(0xbc78),
+                ArgValue::Int(0),
+                ArgValue::Int(0x101),
+                ArgValue::Int(0),
+            ],
+        };
+        assert_eq!(
+            c.to_string(),
+            "syz_create_bind_socket(0xbc78, 0x0, 0x101, 0x0)"
+        );
+    }
+
+    #[test]
+    fn prog_rendering_numbers_results() {
+        let p = Prog {
+            calls: vec![
+                Call {
+                    api: "create".into(),
+                    args: vec![],
+                },
+                Call {
+                    api: "use".into(),
+                    args: vec![ArgValue::ResourceRef(0)],
+                },
+            ],
+        };
+        let s = p.to_string();
+        assert!(s.contains("r0 = create()"));
+        assert!(s.contains("r1 = use(r0)"));
+    }
+
+    #[test]
+    fn long_buffers_are_abbreviated() {
+        let a = ArgValue::Buffer(vec![0xab; 40]);
+        let s = a.to_string();
+        assert!(s.contains("…(40)"));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let src = "resource task[int32]: -1\n\
+                   prio = LOW:0x0, HIGH:0x1\n\
+                   # Creates a task.\n\
+                   create(p flags[prio], d int32[1:10], n ptr[cstring[8]]) task\n\
+                   delete(t task)\n";
+        let spec = parse_spec(src).unwrap();
+        let rendered = render_spec(&spec);
+        let reparsed = parse_spec(&rendered).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+}

@@ -1,0 +1,255 @@
+//! Tokeniser for the Syzlang-flavoured specification syntax.
+//!
+//! The language is line-oriented like Syzlang: every declaration fits on
+//! one line, `#` starts a comment that runs to end of line, and blank lines
+//! separate nothing. Comment lines immediately preceding an API signature
+//! are preserved as its doc string.
+
+use std::fmt;
+
+/// Kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal, `0x` hex, or negative decimal stored as
+    /// two's-complement `u64`).
+    Number(u64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `:`.
+    Colon,
+    /// `=`.
+    Equals,
+    /// End of a logical line.
+    Newline,
+    /// A `#`-comment's text (leading `#` and surrounding space stripped).
+    Comment(String),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending character.
+    pub ch: char,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character {:?}", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The specification lexer.
+pub struct Lexer;
+
+impl Lexer {
+    /// Tokenise `src`. Every source line yields its tokens followed by one
+    /// [`TokenKind::Newline`] (blank lines yield just the newline).
+    pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        for (idx, raw_line) in src.lines().enumerate() {
+            let line = idx + 1;
+            let mut chars = raw_line.char_indices().peekable();
+            while let Some(&(i, c)) = chars.peek() {
+                match c {
+                    ' ' | '\t' | '\r' => {
+                        chars.next();
+                    }
+                    '#' => {
+                        let text = raw_line[i + 1..].trim().to_string();
+                        out.push(Token {
+                            kind: TokenKind::Comment(text),
+                            line,
+                        });
+                        break;
+                    }
+                    '(' | ')' | '[' | ']' | ',' | ':' | '=' => {
+                        chars.next();
+                        let kind = match c {
+                            '(' => TokenKind::LParen,
+                            ')' => TokenKind::RParen,
+                            '[' => TokenKind::LBracket,
+                            ']' => TokenKind::RBracket,
+                            ',' => TokenKind::Comma,
+                            ':' => TokenKind::Colon,
+                            _ => TokenKind::Equals,
+                        };
+                        out.push(Token { kind, line });
+                    }
+                    '-' | '0'..='9' => {
+                        let neg = c == '-';
+                        if neg {
+                            chars.next();
+                        }
+                        let start = chars.peek().map(|&(i, _)| i).unwrap_or(raw_line.len());
+                        let hex = raw_line[start..].starts_with("0x")
+                            || raw_line[start..].starts_with("0X");
+                        if hex {
+                            chars.next();
+                            chars.next();
+                        }
+                        let mut digits = String::new();
+                        while let Some(&(_, d)) = chars.peek() {
+                            if d.is_ascii_hexdigit() && (hex || d.is_ascii_digit()) {
+                                digits.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        if digits.is_empty() {
+                            return Err(LexError { ch: c, line });
+                        }
+                        let radix = if hex { 16 } else { 10 };
+                        let magnitude =
+                            u64::from_str_radix(&digits, radix).map_err(|_| LexError {
+                                ch: c,
+                                line,
+                            })?;
+                        let value = if neg {
+                            (magnitude as i64).wrapping_neg() as u64
+                        } else {
+                            magnitude
+                        };
+                        out.push(Token {
+                            kind: TokenKind::Number(value),
+                            line,
+                        });
+                    }
+                    c if c.is_ascii_alphabetic() || c == '_' => {
+                        let mut ident = String::new();
+                        while let Some(&(_, d)) = chars.peek() {
+                            if d.is_ascii_alphanumeric() || d == '_' {
+                                ident.push(d);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        out.push(Token {
+                            kind: TokenKind::Ident(ident),
+                            line,
+                        });
+                    }
+                    other => return Err(LexError { ch: other, line }),
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Newline,
+                line,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lex_api_signature() {
+        let k = kinds("xTaskCreate(depth int32[128:4096]) task");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("xTaskCreate".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("depth".into()),
+                TokenKind::Ident("int32".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(128),
+                TokenKind::Colon,
+                TokenKind::Number(4096),
+                TokenKind::RBracket,
+                TokenKind::RParen,
+                TokenKind::Ident("task".into()),
+                TokenKind::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_hex_and_negative() {
+        let k = kinds("0xbc78 -1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Number(0xbc78),
+                TokenKind::Number(u64::MAX),
+                TokenKind::Newline
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comment_captures_text() {
+        let k = kinds("# creates and binds a socket\nsocket()");
+        assert_eq!(k[0], TokenKind::Comment("creates and binds a socket".into()));
+        assert_eq!(k[1], TokenKind::Newline);
+    }
+
+    #[test]
+    fn blank_lines_yield_newlines() {
+        let k = kinds("a\n\nb");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Newline,
+                TokenKind::Newline,
+                TokenKind::Ident("b".into()),
+                TokenKind::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = Lexer::tokenize("a\nb\nc").unwrap();
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn bad_character_is_reported() {
+        let err = Lexer::tokenize("ok\nbad^char").unwrap_err();
+        assert_eq!(err.ch, '^');
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn bare_minus_is_error() {
+        assert!(Lexer::tokenize("-").is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! Recursive-descent parser for specification files.
+//!
+//! Grammar (one declaration per line):
+//!
+//! ```text
+//! file     := line*
+//! line     := resource | flagset | api | comment | blank
+//! resource := "resource" IDENT "[" intty "]" (":" NUMBER ("," NUMBER)*)?
+//! flagset  := IDENT "=" IDENT ":" NUMBER ("," IDENT ":" NUMBER)*
+//! api      := IDENT "(" params? ")" IDENT?
+//! params   := param ("," param)*
+//! param    := IDENT type
+//! type     := intty ("[" NUMBER ":" NUMBER "]")?
+//!           | "flags" "[" IDENT "]"
+//!           | "ptr" "[" type "]"
+//!           | "buffer" "[" NUMBER "]"
+//!           | "cstring" "[" NUMBER "]"
+//!           | IDENT                      — a resource kind reference
+//! intty    := "int8" | "int16" | "int32" | "int64"
+//! ```
+//!
+//! A comment line directly above an API becomes its doc string, mirroring
+//! how the LLM-generated specs carry an explanation per pseudo-syscall.
+
+use crate::ast::{ApiSpec, FlagSet, Param, ResourceDecl, SpecFile, TypeDesc};
+use crate::lexer::{Lexer, Token, TokenKind};
+use std::fmt;
+
+/// Parse failure with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a full specification source into a [`SpecFile`].
+pub fn parse_spec(src: &str) -> Result<SpecFile, ParseError> {
+    let tokens = Lexer::tokenize(src).map_err(|e| ParseError {
+        line: e.line,
+        message: e.to_string(),
+    })?;
+    Parser {
+        tokens,
+        pos: 0,
+    }
+    .file()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, ParseError> {
+        match self.bump() {
+            Some(TokenKind::Number(n)) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(k) if k == kind => Ok(()),
+            other => Err(self.err(format!("expected {kind:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn end_line(&mut self) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(TokenKind::Newline) | None => Ok(()),
+            other => Err(self.err(format!("trailing tokens on line: {other:?}"))),
+        }
+    }
+
+    fn file(&mut self) -> Result<SpecFile, ParseError> {
+        let mut spec = SpecFile::default();
+        let mut pending_doc: Option<String> = None;
+        while let Some(tok) = self.peek() {
+            match tok.clone() {
+                TokenKind::Newline => {
+                    self.pos += 1;
+                    pending_doc = None;
+                }
+                TokenKind::Comment(text) => {
+                    self.pos += 1;
+                    pending_doc = Some(text);
+                    self.end_line()?;
+                }
+                TokenKind::Ident(word) if word == "resource" => {
+                    self.pos += 1;
+                    let decl = self.resource()?;
+                    spec.resources.insert(decl.name.clone(), decl);
+                    pending_doc = None;
+                }
+                TokenKind::Ident(_) => {
+                    // Either a flagset (`name = …`) or an API (`name(…)`).
+                    let name = self.expect_ident()?;
+                    match self.peek() {
+                        Some(TokenKind::Equals) => {
+                            self.pos += 1;
+                            let fs = self.flagset(name)?;
+                            spec.flags.insert(fs.name.clone(), fs);
+                            pending_doc = None;
+                        }
+                        Some(TokenKind::LParen) => {
+                            let api = self.api(name, pending_doc.take())?;
+                            spec.apis.push(api);
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("expected '=' or '(' after name, found {other:?}"))
+                            )
+                        }
+                    }
+                }
+                other => return Err(self.err(format!("unexpected token {other:?}"))),
+            }
+        }
+        Ok(spec)
+    }
+
+    fn int_bits(&mut self) -> Result<u8, ParseError> {
+        let word = self.expect_ident()?;
+        match word.as_str() {
+            "int8" => Ok(8),
+            "int16" => Ok(16),
+            "int32" => Ok(32),
+            "int64" => Ok(64),
+            other => Err(self.err(format!("expected int type, found {other:?}"))),
+        }
+    }
+
+    fn resource(&mut self) -> Result<ResourceDecl, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LBracket)?;
+        let bits = self.int_bits()?;
+        self.expect(TokenKind::RBracket)?;
+        let mut sentinels = Vec::new();
+        if self.eat(&TokenKind::Colon) {
+            sentinels.push(self.expect_number()?);
+            while self.eat(&TokenKind::Comma) {
+                sentinels.push(self.expect_number()?);
+            }
+        }
+        self.end_line()?;
+        Ok(ResourceDecl {
+            name,
+            bits,
+            sentinels,
+        })
+    }
+
+    fn flagset(&mut self, name: String) -> Result<FlagSet, ParseError> {
+        let mut values = Vec::new();
+        loop {
+            let sym = self.expect_ident()?;
+            self.expect(TokenKind::Colon)?;
+            let val = self.expect_number()?;
+            values.push((sym, val));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.end_line()?;
+        Ok(FlagSet { name, values })
+    }
+
+    fn api(&mut self, name: String, doc: Option<String>) -> Result<ApiSpec, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let pname = self.expect_ident()?;
+                let ty = self.type_desc()?;
+                params.push(Param { name: pname, ty });
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(TokenKind::RParen)?;
+                break;
+            }
+        }
+        let returns = match self.peek() {
+            Some(TokenKind::Ident(_)) => Some(self.expect_ident()?),
+            _ => None,
+        };
+        self.end_line()?;
+        Ok(ApiSpec {
+            name,
+            params,
+            returns,
+            doc,
+        })
+    }
+
+    fn type_desc(&mut self) -> Result<TypeDesc, ParseError> {
+        let word = self.expect_ident()?;
+        match word.as_str() {
+            "int8" | "int16" | "int32" | "int64" => {
+                let bits = match word.as_str() {
+                    "int8" => 8,
+                    "int16" => 16,
+                    "int32" => 32,
+                    _ => 64,
+                };
+                let range = if self.eat(&TokenKind::LBracket) {
+                    let min = self.expect_number()?;
+                    self.expect(TokenKind::Colon)?;
+                    let max = self.expect_number()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Some((min, max))
+                } else {
+                    None
+                };
+                Ok(TypeDesc::Int { bits, range })
+            }
+            "flags" => {
+                self.expect(TokenKind::LBracket)?;
+                let set = self.expect_ident()?;
+                self.expect(TokenKind::RBracket)?;
+                Ok(TypeDesc::Flags { set })
+            }
+            "ptr" => {
+                self.expect(TokenKind::LBracket)?;
+                let inner = self.type_desc()?;
+                self.expect(TokenKind::RBracket)?;
+                Ok(TypeDesc::Ptr(Box::new(inner)))
+            }
+            "buffer" => {
+                self.expect(TokenKind::LBracket)?;
+                let max_len = self.expect_number()? as u32;
+                self.expect(TokenKind::RBracket)?;
+                Ok(TypeDesc::Buffer { max_len })
+            }
+            "cstring" => {
+                self.expect(TokenKind::LBracket)?;
+                let max_len = self.expect_number()? as u32;
+                self.expect(TokenKind::RBracket)?;
+                Ok(TypeDesc::CString { max_len })
+            }
+            resource => Ok(TypeDesc::Resource {
+                name: resource.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+resource task[int32]: -1
+resource sock[int32]: -1, 0
+
+sock_domain = AF_INET:2, AF_INET6:10, AF_UNIX:1
+
+# Create a task with a bounded stack.
+xTaskCreate(name ptr[cstring[16]], depth int32[128:4096], prio int32[0:31]) task
+vTaskDelete(handle task)
+# Bundled socket create + bind.
+syz_create_bind_socket(domain flags[sock_domain], type int32, protocol int32, addr ptr[buffer[64]]) sock
+"#;
+
+    #[test]
+    fn parse_full_sample() {
+        let spec = parse_spec(SAMPLE).unwrap();
+        assert_eq!(spec.resources.len(), 2);
+        assert_eq!(spec.flags.len(), 1);
+        assert_eq!(spec.apis.len(), 3);
+        assert_eq!(spec.resources["sock"].sentinels, vec![u64::MAX, 0]);
+        assert_eq!(spec.flags["sock_domain"].values.len(), 3);
+    }
+
+    #[test]
+    fn api_types_and_resources() {
+        let spec = parse_spec(SAMPLE).unwrap();
+        let create = spec.api("xTaskCreate").unwrap();
+        assert_eq!(create.returns.as_deref(), Some("task"));
+        assert_eq!(
+            create.params[1].ty,
+            TypeDesc::Int {
+                bits: 32,
+                range: Some((128, 4096))
+            }
+        );
+        let del = spec.api("vTaskDelete").unwrap();
+        assert_eq!(del.consumed_resources(), vec!["task"]);
+    }
+
+    #[test]
+    fn doc_comments_attach_to_next_api() {
+        let spec = parse_spec(SAMPLE).unwrap();
+        assert_eq!(
+            spec.api("xTaskCreate").unwrap().doc.as_deref(),
+            Some("Create a task with a bounded stack.")
+        );
+        // The doc for the pseudo-syscall must not leak to vTaskDelete.
+        assert!(spec.api("vTaskDelete").unwrap().doc.is_none());
+        assert!(spec
+            .api("syz_create_bind_socket")
+            .unwrap()
+            .doc
+            .as_deref()
+            .unwrap()
+            .contains("Bundled"));
+    }
+
+    #[test]
+    fn nested_pointer_type() {
+        let spec = parse_spec("f(p ptr[ptr[int32]])").unwrap();
+        match &spec.apis[0].params[0].ty {
+            TypeDesc::Ptr(inner) => match inner.as_ref() {
+                TypeDesc::Ptr(inner2) => {
+                    assert_eq!(**inner2, TypeDesc::Int { bits: 32, range: None })
+                }
+                other => panic!("expected nested ptr, got {other:?}"),
+            },
+            other => panic!("expected ptr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_params() {
+        let spec = parse_spec("rt_thread_yield()").unwrap();
+        assert!(spec.apis[0].params.is_empty());
+        assert!(spec.apis[0].returns.is_none());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_spec("ok()\nbroken(").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_spec("f() task extra").is_err());
+    }
+
+    #[test]
+    fn missing_colon_in_flagset() {
+        assert!(parse_spec("flags_set = A, B").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_spec() {
+        let spec = parse_spec("").unwrap();
+        assert!(spec.apis.is_empty());
+    }
+}

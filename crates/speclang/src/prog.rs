@@ -1,0 +1,329 @@
+//! Concrete test cases ("progs").
+//!
+//! A [`Prog`] is what the fuzzer actually executes: an ordered sequence of
+//! API calls with concrete argument values. Arguments that consume a
+//! resource refer to the *index of the producing call* within the same
+//! prog — the dependency structure that lets EOF order calls by resource
+//! production/consumption (§5.4.2).
+
+use crate::ast::{SpecFile, TypeDesc};
+
+/// A concrete argument value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArgValue {
+    /// Scalar (covers ints and flag combinations).
+    Int(u64),
+    /// Reference to the result of the `n`-th call in the same prog.
+    ResourceRef(u16),
+    /// Raw bytes (for `buffer[...]` / `ptr[buffer[...]]` parameters).
+    Buffer(Vec<u8>),
+    /// NUL-terminated string payload (NUL added on the wire).
+    CString(String),
+}
+
+/// One API invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Call {
+    /// API name (resolved to a numeric id at encode time).
+    pub api: String,
+    /// Concrete arguments, one per declared parameter.
+    pub args: Vec<ArgValue>,
+}
+
+/// An executable test case.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Prog {
+    /// The call sequence.
+    pub calls: Vec<Call>,
+}
+
+impl Prog {
+    /// An empty prog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of calls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the prog has no calls.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Structural validity: every resource reference must point at an
+    /// *earlier* call. Returns the index of the first invalid call.
+    pub fn first_invalid_ref(&self) -> Option<usize> {
+        for (i, call) in self.calls.iter().enumerate() {
+            for arg in &call.args {
+                if let ArgValue::ResourceRef(r) = arg {
+                    if *r as usize >= i {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Validity against a spec: call names exist, arity matches, resource
+    /// refs are backward, and the referenced producer returns the right
+    /// resource kind.
+    pub fn conforms_to(&self, spec: &SpecFile) -> bool {
+        if self.first_invalid_ref().is_some() {
+            return false;
+        }
+        for call in &self.calls {
+            let Some(api) = spec.api(&call.api) else {
+                return false;
+            };
+            if api.params.len() != call.args.len() {
+                return false;
+            }
+            for (param, arg) in api.params.iter().zip(&call.args) {
+                if let ArgValue::ResourceRef(r) = arg {
+                    let Some(kind) = param.ty.consumed_resource() else {
+                        return false;
+                    };
+                    let producer = &self.calls[*r as usize];
+                    let Some(papi) = spec.api(&producer.api) else {
+                        return false;
+                    };
+                    if papi.returns.as_deref() != Some(kind) {
+                        return false;
+                    }
+                }
+                // Scalars vs buffers: a light shape check.
+                let shape_ok = matches!(
+                    (&param.ty, arg),
+                    (TypeDesc::Int { .. }, ArgValue::Int(_))
+                        | (TypeDesc::Flags { .. }, ArgValue::Int(_))
+                        | (TypeDesc::Resource { .. }, ArgValue::Int(_))
+                        | (TypeDesc::Resource { .. }, ArgValue::ResourceRef(_))
+                        | (TypeDesc::Ptr(_), _)
+                        | (TypeDesc::Buffer { .. }, ArgValue::Buffer(_))
+                        | (TypeDesc::CString { .. }, ArgValue::CString(_))
+                );
+                if !shape_ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Indices of calls whose result is referenced later (must be kept
+    /// when minimising).
+    pub fn referenced_calls(&self) -> Vec<usize> {
+        let mut used = vec![false; self.calls.len()];
+        for call in &self.calls {
+            for arg in &call.args {
+                if let ArgValue::ResourceRef(r) = arg {
+                    if (*r as usize) < used.len() {
+                        used[*r as usize] = true;
+                    }
+                }
+            }
+        }
+        used.iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Insert `call` at `idx`, shifting later calls' resource references
+    /// up by one. The inserted call's own references must point into the
+    /// prefix (`< idx`); the caller guarantees that by generating its
+    /// arguments against the prefix.
+    pub fn insert_call(&mut self, idx: usize, call: Call) {
+        let idx = idx.min(self.calls.len());
+        for c in self.calls[idx..].iter_mut() {
+            for arg in &mut c.args {
+                if let ArgValue::ResourceRef(r) = arg {
+                    if *r as usize >= idx {
+                        *r += 1;
+                    }
+                }
+            }
+        }
+        self.calls.insert(idx, call);
+    }
+
+    /// Remove call `idx`, fixing up (and dropping calls with) references
+    /// that become invalid. Used by the crash minimiser.
+    pub fn remove_call(&mut self, idx: usize) {
+        if idx >= self.calls.len() {
+            return;
+        }
+        self.calls.remove(idx);
+        let mut i = 0;
+        while i < self.calls.len() {
+            let mut drop_call = false;
+            for arg in &mut self.calls[i].args {
+                if let ArgValue::ResourceRef(r) = arg {
+                    let ri = *r as usize;
+                    if ri == idx {
+                        drop_call = true;
+                    } else if ri > idx {
+                        *r -= 1;
+                    }
+                }
+            }
+            if drop_call {
+                self.remove_call(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    fn spec() -> SpecFile {
+        parse_spec(
+            "resource task[int32]: -1\n\
+             create(d int32[1:10]) task\n\
+             delete(t task)\n\
+             ping()",
+        )
+        .unwrap()
+    }
+
+    fn valid_prog() -> Prog {
+        Prog {
+            calls: vec![
+                Call {
+                    api: "create".into(),
+                    args: vec![ArgValue::Int(5)],
+                },
+                Call {
+                    api: "delete".into(),
+                    args: vec![ArgValue::ResourceRef(0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn forward_refs_are_invalid() {
+        let mut p = valid_prog();
+        p.calls[1].args[0] = ArgValue::ResourceRef(1);
+        assert_eq!(p.first_invalid_ref(), Some(1));
+        p.calls[1].args[0] = ArgValue::ResourceRef(0);
+        assert_eq!(p.first_invalid_ref(), None);
+    }
+
+    #[test]
+    fn conformance_accepts_valid() {
+        assert!(valid_prog().conforms_to(&spec()));
+    }
+
+    #[test]
+    fn conformance_rejects_unknown_api() {
+        let mut p = valid_prog();
+        p.calls[0].api = "nonsense".into();
+        assert!(!p.conforms_to(&spec()));
+    }
+
+    #[test]
+    fn conformance_rejects_bad_arity() {
+        let mut p = valid_prog();
+        p.calls[0].args.push(ArgValue::Int(1));
+        assert!(!p.conforms_to(&spec()));
+    }
+
+    #[test]
+    fn conformance_rejects_wrong_producer_kind() {
+        let s = parse_spec(
+            "resource task[int32]: -1\nresource sock[int32]: -1\n\
+             mksock() sock\ndelete(t task)",
+        )
+        .unwrap();
+        let p = Prog {
+            calls: vec![
+                Call {
+                    api: "mksock".into(),
+                    args: vec![],
+                },
+                Call {
+                    api: "delete".into(),
+                    args: vec![ArgValue::ResourceRef(0)],
+                },
+            ],
+        };
+        assert!(!p.conforms_to(&s));
+    }
+
+    #[test]
+    fn sentinel_int_for_resource_is_allowed() {
+        let p = Prog {
+            calls: vec![Call {
+                api: "delete".into(),
+                args: vec![ArgValue::Int(u64::MAX)],
+            }],
+        };
+        assert!(p.conforms_to(&spec()));
+    }
+
+    #[test]
+    fn remove_call_fixes_references() {
+        let mut p = Prog {
+            calls: vec![
+                Call {
+                    api: "ping".into(),
+                    args: vec![],
+                },
+                Call {
+                    api: "create".into(),
+                    args: vec![ArgValue::Int(3)],
+                },
+                Call {
+                    api: "delete".into(),
+                    args: vec![ArgValue::ResourceRef(1)],
+                },
+            ],
+        };
+        p.remove_call(0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.calls[1].args[0], ArgValue::ResourceRef(0));
+        assert!(p.conforms_to(&spec()));
+    }
+
+    #[test]
+    fn remove_producer_drops_consumer() {
+        let mut p = valid_prog();
+        p.remove_call(0);
+        assert!(p.is_empty(), "consumer of removed producer must go too");
+    }
+
+    #[test]
+    fn insert_call_shifts_references() {
+        let mut p = Prog {
+            calls: vec![
+                Call { api: "create".into(), args: vec![ArgValue::Int(3)] },
+                Call { api: "delete".into(), args: vec![ArgValue::ResourceRef(0)] },
+            ],
+        };
+        // Insert before the producer: the consumer's ref shifts.
+        p.insert_call(0, Call { api: "ping".into(), args: vec![] });
+        assert_eq!(p.calls[2].args[0], ArgValue::ResourceRef(1));
+        assert!(p.conforms_to(&spec()));
+        // Insert between producer and consumer: ref shifts again.
+        p.insert_call(2, Call { api: "ping".into(), args: vec![] });
+        assert_eq!(p.calls[3].args[0], ArgValue::ResourceRef(1));
+        assert!(p.conforms_to(&spec()));
+    }
+
+    #[test]
+    fn referenced_calls_tracking() {
+        let p = valid_prog();
+        assert_eq!(p.referenced_calls(), vec![0]);
+    }
+}

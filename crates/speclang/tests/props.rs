@@ -1,0 +1,55 @@
+//! Property tests of the specification language pipeline.
+
+use eof_speclang::display::render_spec;
+use eof_speclang::lexer::Lexer;
+use eof_speclang::parser::parse_spec;
+use eof_speclang::typecheck::typecheck;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC{0,256}") {
+        let _ = Lexer::tokenize(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9_\\[\\]():,= #\n-]{0,256}") {
+        let _ = parse_spec(&src);
+    }
+
+    #[test]
+    fn parse_render_parse_is_identity(
+        n_res in 1usize..4,
+        n_api in 1usize..6,
+        ranges in proptest::collection::vec((0u64..100, 100u64..10000), 6)
+    ) {
+        // Build a structured random spec source.
+        let mut src = String::new();
+        for i in 0..n_res {
+            src.push_str(&format!("resource res{i}[int32]: -1\n"));
+        }
+        src.push_str("flagz = A:0x1, B:0x2, C:0x40\n");
+        for i in 0..n_api {
+            let (lo, hi) = ranges[i % ranges.len()];
+            src.push_str(&format!(
+                "api{i}(a int32[{lo}:{hi}], f flags[flagz], r res{}, buf ptr[buffer[64]]) res{}\n",
+                i % n_res,
+                i % n_res,
+            ));
+        }
+        let spec1 = parse_spec(&src).unwrap();
+        prop_assert!(typecheck(&spec1).is_empty());
+        let rendered = render_spec(&spec1);
+        let spec2 = parse_spec(&rendered).unwrap();
+        prop_assert_eq!(spec1, spec2);
+    }
+
+    #[test]
+    fn typecheck_never_panics_on_parsed_input(src in "[a-z0-9_\\[\\]():,= \n]{0,200}") {
+        if let Ok(spec) = parse_spec(&src) {
+            let _ = typecheck(&spec);
+        }
+    }
+}

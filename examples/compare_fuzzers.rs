@@ -1,0 +1,60 @@
+//! Head-to-head on one target: EOF vs EOF-nf vs Tardis on Zephyr —
+//! a single-OS slice of the paper's Table 3 / Figure 7, runnable in
+//! seconds.
+//!
+//! Run with: `cargo run --release --example compare_fuzzers [hours]`
+
+use eof::prelude::*;
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4.0);
+    let os = OsKind::Zephyr;
+    println!("target: {} for {hours} simulated hours per fuzzer\n", os.display());
+
+    let mut rows = Vec::new();
+    for kind in [BaselineKind::Eof, BaselineKind::EofNf, BaselineKind::Tardis] {
+        let mut cfg = kind.full_system_config(os, 42).expect("supported");
+        cfg.budget_hours = hours;
+        cfg.snapshot_hours = (hours / 10.0).max(0.1);
+        let r = run_campaign(cfg);
+        println!(
+            "{:8} | {:6} execs | {:4} branches | {:2} bugs | {:3} stalls handled",
+            kind.display(),
+            r.stats.execs,
+            r.branches,
+            r.bugs.len(),
+            r.stats.stalls
+        );
+        rows.push((kind, r));
+    }
+
+    println!("\ncoverage growth (each row one fuzzer, one char per snapshot):");
+    let max = rows
+        .iter()
+        .flat_map(|(_, r)| r.history.iter().map(|s| s.branches))
+        .max()
+        .unwrap_or(1) as f64;
+    for (kind, r) in &rows {
+        let bar: String = r
+            .history
+            .iter()
+            .map(|s| {
+                let l = (s.branches as f64 / max * 8.0).round() as usize;
+                [' ', '.', ':', '-', '=', '+', '*', '#', '@'][l.min(8)]
+            })
+            .collect();
+        println!("  {:8} |{bar}|", kind.display());
+    }
+
+    let eof = rows[0].1.branches as f64;
+    for (kind, r) in rows.iter().skip(1) {
+        println!(
+            "EOF improvement over {}: {:+.2}%",
+            kind.display(),
+            (eof - r.branches as f64) / r.branches as f64 * 100.0
+        );
+    }
+}

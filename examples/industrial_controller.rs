@@ -1,0 +1,82 @@
+//! Domain scenario from the paper's introduction: an industrial
+//! controller running on an STM32H745 — a board with *no
+//! peripheral-accurate emulator*, so emulation-based fuzzers cannot test
+//! it at all. EOF attaches over SWD and runs a full-system campaign.
+//!
+//! Run with: `cargo run --release --example industrial_controller [hours]`
+
+use eof::prelude::*;
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    let board = BoardCatalog::stm32h745_nucleo();
+    println!(
+        "target: {} ({}, {}) — peripheral-accurate emulator available: {}",
+        board.name, board.arch, board.debug_iface, board.has_peripheral_emulator
+    );
+    assert!(
+        !board.has_peripheral_emulator,
+        "the point of this scenario is an emulator-less board"
+    );
+
+    // Tardis cannot even be configured for this target class; EOF can.
+    let tardis = BaselineKind::Tardis.full_system_config(OsKind::RtThread, 1);
+    println!(
+        "Tardis on this board: {}",
+        if tardis.map(|c| c.board.has_peripheral_emulator) == Some(true) {
+            "must fall back to QEMU — cannot exercise this hardware"
+        } else {
+            "unsupported"
+        }
+    );
+
+    // EOF: RT-Thread full-system campaign over SWD.
+    let mut config = FuzzerConfig::eof(OsKind::RtThread, 1);
+    config.board = board;
+    config.budget_hours = hours;
+    config.snapshot_hours = (hours / 12.0).max(0.25);
+    println!("\nEOF campaign: RT-Thread, {hours} simulated hours over SWD…");
+    let result = run_campaign(config);
+
+    println!("\n── campaign summary ──────────────────────────────");
+    println!("executions      : {}", result.stats.execs);
+    println!("branches found  : {}", result.branches);
+    println!("stalls recovered: {}", result.stats.stalls);
+    println!("restorations    : {}", result.stats.restorations);
+    println!("unique crashes  : {}", result.crashes.len());
+    println!(
+        "Table-2 bugs    : {:?}",
+        result.bugs.iter().map(|b| b.number()).collect::<Vec<_>>()
+    );
+    println!("\ncoverage growth:");
+    for point in result.history.iter().step_by(2) {
+        println!(
+            "  {:5.1} h  {:5}  {}",
+            point.hours,
+            point.branches,
+            "#".repeat(point.branches / 8)
+        );
+    }
+    // Persist the developer-facing artefacts.
+    let report_dir = std::path::PathBuf::from("results/campaign-rtthread-h745");
+    if write_campaign_report(&report_dir, OsKind::RtThread, &result).is_ok() {
+        println!("
+report written to {}", report_dir.display());
+    }
+
+    for crash in result.crashes.iter().take(3) {
+        println!("\ncrash: {}", crash.message);
+        println!("  detected by {:?} at {:.2} h", crash.source, crash.at_hours);
+        if let Some(bug) = crash.bug {
+            let info = bug.info();
+            println!(
+                "  triaged: Table 2 #{} — {} / {} / {}",
+                info.number, info.scope, info.bug_type, info.operation
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Liveness maintenance under fire: flash corruption and core lockups
+//! injected mid-campaign, detected by Algorithm 1's watchdogs and cured
+//! by checksum-verified reflash — the fuzzer never needs a human.
+//!
+//! Run with: `cargo run --release --example liveness_rescue`
+
+use eof::hal::{FaultPlan, InjectedFault};
+use eof::prelude::*;
+use eof::speclang::prog::{ArgValue, Call};
+
+fn main() {
+    let board = BoardCatalog::stm32h745_nucleo();
+    let os = OsKind::NuttX;
+    let mut config = FuzzerConfig::eof(os, 99);
+    config.board = board.clone();
+    let image = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let mut machine = boot_machine(board.clone(), os, ImageProfile::FullSystem, &InstrumentMode::Full);
+
+    // Schedule trouble: a flash bit flip deep in the kernel image at
+    // t≈10 sim-seconds, and a hard core lockup at t≈30.
+    let kernel_off = machine.flash().table().get("kernel").unwrap().offset;
+    machine.set_fault_plan(
+        FaultPlan::none()
+            .at(10_000, InjectedFault::FlashBitFlip { offset: kernel_off + 0x4000, bit: 2 })
+            .at(30_000, InjectedFault::KillCore),
+    );
+
+    let kconfig = eof::monitors::parse_kconfig(&eof::monitors::render_kconfig(
+        "arm",
+        machine.flash().table(),
+    ))
+    .unwrap();
+    let restoration =
+        StateRestoration::from_kconfig(&kconfig, board.flash_size, vec![("kernel".into(), image)])
+            .unwrap();
+    let mut executor = Executor::new(
+        DebugTransport::attach(machine, LinkConfig::default()),
+        config,
+        api_table_of(os),
+        restoration,
+    )
+    .unwrap();
+
+    let probe = Prog {
+        calls: vec![Call {
+            api: "getenv".into(),
+            args: vec![ArgValue::CString("PATH".into())],
+        }],
+    };
+
+    println!("fuzzing through injected flash corruption and a core lockup…\n");
+    let mut rescued = 0;
+    for i in 0..200 {
+        let out = executor.run_one(&probe);
+        if out.restored {
+            rescued += 1;
+            println!(
+                "exec {i:3}: target lost ({}) → watchdog tripped → restoration #{rescued} → fuzzing continues",
+                if out.target_lost { "debug link dead" } else { "stall" },
+            );
+        }
+        if rescued >= 2 && i > 60 {
+            break;
+        }
+    }
+    println!("\nexecutions completed : {}", executor.execs());
+    println!("restorations needed  : {}", executor.restorations());
+    assert!(
+        executor.restorations() >= 1,
+        "the injected faults must have forced at least one restoration"
+    );
+    // The proof of life: the target still answers.
+    let out = executor.run_one(&probe);
+    println!("final probe after rescue: crash={} (target healthy)", out.crash.is_some());
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Reproduce every table and figure at the paper's scale.
+set -u
+cd "$(dirname "$0")"
+export EOF_BENCH_HOURS=${EOF_BENCH_HOURS:-24} EOF_BENCH_REPS=${EOF_BENCH_REPS:-5}
+for b in table1 table2 table3 table4 fig7 fig8 overhead_mem overhead_exec \
+         ablate_inputs ablate_watchdogs ablate_validation ablate_sched \
+         ablate_power ablate_irq; do
+  echo "=== $b ($(date +%T)) ==="
+  cargo run --release -p eof-bench --bin "$b" 2>/dev/null
+done
+echo "=== all done ($(date +%T)) ==="

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Plot Figure 7/8 curves from the CSVs in results/.
+
+Usage: python3 scripts/plot_curves.py results/fig7.csv [out-prefix]
+
+Produces one PNG per target OS (fig7) or a single PNG (fig8) with the
+mean line and min/max band per fuzzer, mirroring the paper's shaded
+plots. Requires matplotlib; falls back to a text summary without it.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    series = defaultdict(list)  # (os?, fuzzer) -> [(h, mean, min, max)]
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    for row in rows:
+        key = (row.get("os", ""), row["fuzzer"])
+        series[key].append(
+            (float(row["hours"]), float(row["mean"]), float(row["min"]), float(row["max"]))
+        )
+    return series
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/fig7.csv"
+    prefix = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0]
+    series = load(path)
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable — text summary:")
+        for (os_name, fuzzer), pts in sorted(series.items()):
+            last = pts[-1]
+            print(f"  {os_name or '-':10} {fuzzer:8} -> {last[1]:.0f} branches @ {last[0]:.0f}h")
+        return
+
+    oses = sorted({os_name for (os_name, _) in series})
+    for os_name in oses:
+        fig, ax = plt.subplots(figsize=(5, 3.2))
+        for (o, fuzzer), pts in sorted(series.items()):
+            if o != os_name:
+                continue
+            hs = [p[0] for p in pts]
+            means = [p[1] for p in pts]
+            los = [p[2] for p in pts]
+            his = [p[3] for p in pts]
+            (line,) = ax.plot(hs, means, label=fuzzer)
+            ax.fill_between(hs, los, his, alpha=0.2, color=line.get_color())
+        ax.set_xlabel("simulated hours")
+        ax.set_ylabel("branch coverage")
+        title = os_name or "application-level"
+        ax.set_title(title)
+        ax.legend(fontsize=8)
+        fig.tight_layout()
+        out = f"{prefix}-{title or 'all'}.png".replace(" ", "_")
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+//! Integration tests of the debug-port stack: OpenOCD commands and GDB
+//! RSP packets driving real agent firmware, plus monitor behaviour over
+//! the same link.
+
+use eof::dap::{frame_packet, parse_packet};
+use eof::monitors::{ExceptionMonitor, Liveness, LivenessWatchdog};
+use eof::prelude::*;
+
+fn transport(os: OsKind) -> DebugTransport {
+    let m = boot_machine(
+        BoardCatalog::qemu_virt_arm(),
+        os,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
+    DebugTransport::attach(m, LinkConfig::default())
+}
+
+#[test]
+fn ocd_session_against_live_agent() {
+    let mut ocd = OcdServer::new(transport(OsKind::Zephyr));
+    assert!(ocd.execute("targets").unwrap().contains("qemu-virt-arm"));
+    // Let it boot, then read the PC twice — it must move.
+    ocd.transport_mut().continue_until_halt(500).unwrap();
+    let pc1 = ocd.execute("reg pc").unwrap();
+    ocd.transport_mut().continue_until_halt(500).unwrap();
+    let pc2 = ocd.execute("reg pc").unwrap();
+    assert_ne!(pc1, pc2, "agent must make progress");
+    // Memory scratch write via the text protocol.
+    ocd.execute("mww 0x40000010 0x12345678").unwrap();
+    assert!(ocd.execute("mdw 0x40000010").unwrap().contains("0x12345678"));
+}
+
+#[test]
+fn rsp_session_sets_breakpoint_at_executor_main() {
+    let t = transport(OsKind::FreeRtos);
+    let main_addr = t.symbol("executor_main").unwrap();
+    let mut rsp = eof::dap::RspServer::new(t);
+    let z = format!("Z0,{main_addr:x},4");
+    assert_eq!(parse_packet(&rsp.handle(&frame_packet(&z)).unwrap()).unwrap(), "OK");
+    let reply = rsp.handle(&frame_packet("c")).unwrap();
+    assert_eq!(parse_packet(&reply).unwrap(), "S05");
+    // Read the PC register packet and confirm it is the breakpoint.
+    let pc_reply = rsp.handle(&frame_packet("p20")).unwrap();
+    let hex = parse_packet(&pc_reply).unwrap().to_string();
+    let bytes: Vec<u8> = (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+        .collect();
+    let pc = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    assert_eq!(pc, main_addr);
+}
+
+#[test]
+fn watchdog_sees_healthy_agent_as_alive() {
+    let mut t = transport(OsKind::NuttX);
+    let mut w = LivenessWatchdog::new();
+    for _ in 0..10 {
+        t.continue_until_halt(300).unwrap();
+        assert_eq!(w.check(&mut t), Liveness::Alive);
+    }
+    assert_eq!(w.stalls(), 0);
+}
+
+#[test]
+fn exception_monitor_arms_on_every_os() {
+    for os in OsKind::ALL {
+        let kernel = eof::rtos::registry::make_kernel(os);
+        let mut t = transport(os);
+        let mon = ExceptionMonitor::arm(&mut t, kernel.exception_symbol(), kernel.assert_symbol());
+        assert!(mon.is_ok(), "{os}");
+    }
+}
+
+#[test]
+fn uart_log_flows_over_the_link() {
+    let mut t = transport(OsKind::Zephyr);
+    t.continue_until_halt(2_000).unwrap();
+    let log = String::from_utf8_lossy(&t.drain_uart()).into_owned();
+    assert!(log.contains("Booting Zephyr OS"), "{log}");
+}
+
+#[test]
+fn link_outage_and_recovery() {
+    let mut t = transport(OsKind::Zephyr);
+    let now = t.now();
+    t.schedule_outage(now, 5_000);
+    assert!(t.read_pc().is_err());
+    t.sleep(6_000);
+    assert!(t.read_pc().is_ok());
+}
+
+#[test]
+fn flash_checksum_detects_corruption_over_link() {
+    let mut t = transport(OsKind::Zephyr);
+    let before = t.flash_checksum("kernel").unwrap();
+    let off = t.machine().flash().table().get("kernel").unwrap().offset;
+    t.machine_mut().flash_mut().flip_bit(off + 999, 1).unwrap();
+    let after = t.flash_checksum("kernel").unwrap();
+    assert_ne!(before, after);
+}

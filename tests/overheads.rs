@@ -1,0 +1,65 @@
+//! Integration checks of the §5.5 overhead properties: instrumentation
+//! must cost image bytes in the paper's band and execution throughput
+//! measurably, and the costs must come from the modelled mechanisms.
+
+use eof::prelude::*;
+
+#[test]
+fn image_overhead_in_paper_band() {
+    // Paper: 4.32–9.58 % across the four reported OSs, average 6.44 %.
+    let mut sum = 0.0;
+    let mut n = 0;
+    for os in [OsKind::NuttX, OsKind::RtThread, OsKind::Zephyr, OsKind::FreeRtos] {
+        let plain = build_image(os, ImageProfile::FullSystem, &InstrumentMode::None).len() as f64;
+        let inst = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full).len() as f64;
+        let pct = (inst - plain) / plain * 100.0;
+        assert!((4.0..10.0).contains(&pct), "{os}: {pct:.2}%");
+        sum += pct;
+        n += 1;
+    }
+    let avg = sum / n as f64;
+    assert!((avg - 6.44).abs() < 0.5, "average {avg:.2}% vs paper 6.44%");
+}
+
+#[test]
+fn module_confined_instrumentation_is_much_smaller() {
+    let full = build_image(OsKind::FreeRtos, ImageProfile::AppLevel, &InstrumentMode::Full).len();
+    let confined = build_image(
+        OsKind::FreeRtos,
+        ImageProfile::AppLevel,
+        &InstrumentMode::Modules(vec!["json".into(), "http".into()]),
+    )
+    .len();
+    let none = build_image(OsKind::FreeRtos, ImageProfile::AppLevel, &InstrumentMode::None).len();
+    assert!(none < confined && confined < full);
+}
+
+#[test]
+fn execution_overhead_is_positive_and_bounded() {
+    // One 10-simulated-minute window per mode, like §5.5.2.
+    let runs = |mode: InstrumentMode| -> u64 {
+        let mut cfg = FuzzerConfig::eof(OsKind::RtThread, 42);
+        cfg.instrument = mode;
+        cfg.budget_hours = 10.0 / 60.0;
+        cfg.snapshot_hours = cfg.budget_hours;
+        run_campaign(cfg).stats.execs
+    };
+    let plain = runs(InstrumentMode::None);
+    let instrumented = runs(InstrumentMode::Full);
+    assert!(plain > 100, "throughput sanity: {plain}");
+    let slowdown = (plain as f64 - instrumented as f64) / plain as f64 * 100.0;
+    assert!(
+        (3.0..60.0).contains(&slowdown),
+        "slowdown {slowdown:.1}% out of the plausible band ({plain} vs {instrumented})"
+    );
+}
+
+#[test]
+fn uninstrumented_images_make_no_coverage_traffic() {
+    let mut cfg = FuzzerConfig::eof(OsKind::Zephyr, 9);
+    cfg.instrument = InstrumentMode::None;
+    cfg.budget_hours = 0.02;
+    let r = run_campaign(cfg);
+    assert_eq!(r.branches, 0, "no instrumentation, no edges");
+    assert!(r.stats.execs > 10);
+}
