@@ -258,7 +258,7 @@ impl Firmware for AgentFirmware {
                             line: eof_hal::irq::TIMER,
                             payload: Vec::new(),
                         });
-                        if now % 3 == 0 {
+                        if now.is_multiple_of(3) {
                             bus.pending_irqs.push_back(eof_hal::IrqRequest {
                                 line: eof_hal::irq::GPIO,
                                 payload: Vec::new(),

@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the per-component hot paths: prog
 //! encoding, generation/mutation, kernel API dispatch, the JSON/HTTP
-//! parsers, debug-port memory traffic, coverage drains, and one full
-//! fuzzing iteration.
+//! parsers, debug-port memory traffic, coverage drains, one full
+//! fuzzing iteration, and the fleet runner (serial vs parallel batch).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use eof_core::config::GenerationMode;
@@ -167,6 +167,25 @@ fn bench_fuzz_iteration(c: &mut Criterion) {
     });
 }
 
+fn bench_fleet(c: &mut Criterion) {
+    // Four short campaigns — the smallest batch where fan-out matters.
+    let configs: Vec<FuzzerConfig> = [OsKind::NuttX, OsKind::Zephyr, OsKind::FreeRtos, OsKind::RtThread]
+        .into_iter()
+        .map(|os| {
+            let mut cfg = FuzzerConfig::eof(os, 5);
+            cfg.budget_hours = 0.02;
+            cfg
+        })
+        .collect();
+    let jobs = std::thread::available_parallelism().map_or(4, |n| n.get().min(4));
+    c.bench_function("fleet/serial_4_campaigns", |b| {
+        b.iter(|| black_box(eof_core::FleetRunner::new(1).run(configs.clone())))
+    });
+    c.bench_function("fleet/parallel_4_campaigns", |b| {
+        b.iter(|| black_box(eof_core::FleetRunner::new(jobs).run(configs.clone())))
+    });
+}
+
 criterion_group!(
     benches,
     bench_wire,
@@ -175,6 +194,7 @@ criterion_group!(
     bench_parsers,
     bench_debug_port,
     bench_coverage,
-    bench_fuzz_iteration
+    bench_fuzz_iteration,
+    bench_fleet
 );
 criterion_main!(benches);

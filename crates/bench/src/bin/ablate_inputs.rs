@@ -1,7 +1,7 @@
 //! Ablation: API-aware generation vs random byte buffers, inside EOF
 //! (same transport, monitors and recovery — only the input model moves).
 
-use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_config_set};
 use eof_core::config::GenerationMode;
 use eof_core::FuzzerConfig;
 use eof_rtos::OsKind;
@@ -9,14 +9,23 @@ use eof_rtos::OsKind;
 fn main() {
     let hours = bench_hours();
     let reps = bench_reps();
+    // Both arms of all five OSs fan out as one fleet batch.
+    let bases: Vec<FuzzerConfig> = OsKind::ALL
+        .into_iter()
+        .flat_map(|os| {
+            let mut api_cfg = FuzzerConfig::eof(os, 42);
+            api_cfg.budget_hours = hours;
+            let mut rnd_cfg = api_cfg.clone();
+            rnd_cfg.gen_mode = GenerationMode::RandomBytes;
+            [api_cfg, rnd_cfg]
+        })
+        .collect();
+    let mut per_arm = run_config_set(&bases, reps).into_iter();
+
     let mut rows = Vec::new();
     for os in OsKind::ALL {
-        let mut api_cfg = FuzzerConfig::eof(os, 42);
-        api_cfg.budget_hours = hours;
-        let mut rnd_cfg = api_cfg.clone();
-        rnd_cfg.gen_mode = GenerationMode::RandomBytes;
-        let api = mean_branches(&run_reps(&api_cfg, reps));
-        let rnd = mean_branches(&run_reps(&rnd_cfg, reps));
+        let api = mean_branches(&per_arm.next().expect("api arm"));
+        let rnd = mean_branches(&per_arm.next().expect("random arm"));
         eprintln!("  {}: api {api:.1} vs random {rnd:.1}", os.display());
         rows.push(vec![
             os.display().to_string(),

@@ -2,21 +2,31 @@
 //! serial RX, auxiliary ticks) driving interrupt paths the headline EOF
 //! configuration cannot reach.
 
-use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_config_set};
 use eof_core::FuzzerConfig;
 use eof_rtos::OsKind;
 
 fn main() {
     let hours = bench_hours();
     let reps = bench_reps();
+    let oses = [OsKind::FreeRtos, OsKind::Zephyr];
+    // Both arms of both OSs fan out as one fleet batch.
+    let bases: Vec<FuzzerConfig> = oses
+        .into_iter()
+        .flat_map(|os| {
+            let mut off_cfg = FuzzerConfig::eof(os, 42);
+            off_cfg.budget_hours = hours;
+            let mut on_cfg = off_cfg.clone();
+            on_cfg.peripheral_events = true;
+            [off_cfg, on_cfg]
+        })
+        .collect();
+    let mut per_arm = run_config_set(&bases, reps).into_iter();
+
     let mut rows = Vec::new();
-    for os in [OsKind::FreeRtos, OsKind::Zephyr] {
-        let mut off_cfg = FuzzerConfig::eof(os, 42);
-        off_cfg.budget_hours = hours;
-        let mut on_cfg = off_cfg.clone();
-        on_cfg.peripheral_events = true;
-        let off = mean_branches(&run_reps(&off_cfg, reps));
-        let on = mean_branches(&run_reps(&on_cfg, reps));
+    for os in oses {
+        let off = mean_branches(&per_arm.next().expect("events-off arm"));
+        let on = mean_branches(&per_arm.next().expect("events-on arm"));
         eprintln!("  {}: {off:.1} -> {on:.1}", os.display());
         rows.push(vec![
             os.display().to_string(),

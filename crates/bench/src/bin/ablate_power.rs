@@ -2,7 +2,7 @@
 //! watchdog vs a bare 15-second timeout, on the stall-heavy targets.
 //! Measures stalls recovered, throughput retained and coverage reached.
 
-use eof_bench::{bench_hours, bench_reps, run_reps};
+use eof_bench::{bench_hours, bench_reps, run_config_set};
 use eof_core::config::{DetectionConfig, RecoveryConfig};
 use eof_core::FuzzerConfig;
 use eof_rtos::OsKind;
@@ -10,29 +10,36 @@ use eof_rtos::OsKind;
 fn main() {
     let hours = bench_hours();
     let reps = bench_reps();
+    let oses = [OsKind::Zephyr, OsKind::NuttX];
+    let labels = ["pc-stall", "power-rail", "timeout-15s"];
+    // Three liveness channels × two OSs, submitted as one fleet batch.
+    let bases: Vec<FuzzerConfig> = oses
+        .into_iter()
+        .flat_map(|os| {
+            let mut pc_cfg = FuzzerConfig::eof(os, 42);
+            pc_cfg.budget_hours = hours;
+            let mut pw_cfg = pc_cfg.clone();
+            pw_cfg.recovery = RecoveryConfig::power_based();
+            let mut to_cfg = pc_cfg.clone();
+            to_cfg.detection = DetectionConfig {
+                exception_breakpoints: true,
+                log_monitor: true,
+                timeout_only_secs: Some(15),
+            };
+            to_cfg.recovery = RecoveryConfig {
+                stall_watchdog: false,
+                reflash: true,
+                power_liveness: false,
+            };
+            [pc_cfg, pw_cfg, to_cfg]
+        })
+        .collect();
+    let mut per_channel = run_config_set(&bases, reps).into_iter();
+
     let mut rows = Vec::new();
-    for os in [OsKind::Zephyr, OsKind::NuttX] {
-        let mut pc_cfg = FuzzerConfig::eof(os, 42);
-        pc_cfg.budget_hours = hours;
-        let mut pw_cfg = pc_cfg.clone();
-        pw_cfg.recovery = RecoveryConfig::power_based();
-        let mut to_cfg = pc_cfg.clone();
-        to_cfg.detection = DetectionConfig {
-            exception_breakpoints: true,
-            log_monitor: true,
-            timeout_only_secs: Some(15),
-        };
-        to_cfg.recovery = RecoveryConfig {
-            stall_watchdog: false,
-            reflash: true,
-            power_liveness: false,
-        };
-        for (label, cfg) in [
-            ("pc-stall", &pc_cfg),
-            ("power-rail", &pw_cfg),
-            ("timeout-15s", &to_cfg),
-        ] {
-            let rs = run_reps(cfg, reps);
+    for os in oses {
+        for label in labels {
+            let rs = per_channel.next().expect("one result set per channel");
             let execs: u64 = rs.iter().map(|r| r.stats.execs).sum::<u64>() / reps as u64;
             let stalls: u64 = rs.iter().map(|r| r.stats.stalls).sum::<u64>() / reps as u64;
             let branches = eof_bench::mean_branches(&rs);

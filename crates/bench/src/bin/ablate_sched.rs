@@ -7,26 +7,35 @@
 //! strength — expressed here as the EOF-nf midpoint plus a corpus-only
 //! configuration.
 
-use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_config_set};
 use eof_core::FuzzerConfig;
 use eof_rtos::OsKind;
 
 fn main() {
     let hours = bench_hours();
     let reps = bench_reps();
+    // Three feedback arms per OS, all five OSs in one fleet batch.
+    let bases: Vec<FuzzerConfig> = OsKind::ALL
+        .into_iter()
+        .flat_map(|os| {
+            let mut full = FuzzerConfig::eof(os, 42);
+            full.budget_hours = hours;
+            // Corpus retention without crash-signal energy: isolates the
+            // adjacency/unified-feedback contribution.
+            let mut corpus_only = full.clone();
+            corpus_only.crash_feedback = false;
+            let mut none = FuzzerConfig::eof_nf(os, 42);
+            none.budget_hours = hours;
+            [full, corpus_only, none]
+        })
+        .collect();
+    let mut per_arm = run_config_set(&bases, reps).into_iter();
+
     let mut rows = Vec::new();
     for os in OsKind::ALL {
-        let mut full = FuzzerConfig::eof(os, 42);
-        full.budget_hours = hours;
-        // Corpus retention without crash-signal energy: isolates the
-        // adjacency/unified-feedback contribution.
-        let mut corpus_only = full.clone();
-        corpus_only.crash_feedback = false;
-        let mut none = FuzzerConfig::eof_nf(os, 42);
-        none.budget_hours = hours;
-        let a = mean_branches(&run_reps(&full, reps));
-        let b = mean_branches(&run_reps(&corpus_only, reps));
-        let c = mean_branches(&run_reps(&none, reps));
+        let a = mean_branches(&per_arm.next().expect("unified arm"));
+        let b = mean_branches(&per_arm.next().expect("coverage-only arm"));
+        let c = mean_branches(&per_arm.next().expect("no-feedback arm"));
         eprintln!("  {}: unified {a:.1} / coverage-only {b:.1} / none {c:.1}", os.display());
         rows.push(vec![
             os.display().to_string(),

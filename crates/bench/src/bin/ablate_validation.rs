@@ -1,29 +1,39 @@
 //! Ablation: the specification validation gate on vs off, under heavy
 //! LLM noise — how many APIs survive, and what that does to coverage.
 
-use eof_bench::{bench_hours, bench_reps, mean_branches, run_reps};
+use eof_bench::{bench_hours, bench_reps, mean_branches, run_config_set};
 use eof_core::FuzzerConfig;
 use eof_rtos::OsKind;
-use eof_specgen::{generate_validated, NoiseConfig};
+use eof_specgen::NoiseConfig;
 
 fn main() {
     let hours = bench_hours();
     let reps = bench_reps();
+    // Dynamic view first: gated and ungated campaigns for all five OSs
+    // go out as one fleet batch.
+    let bases: Vec<FuzzerConfig> = OsKind::ALL
+        .into_iter()
+        .flat_map(|os| {
+            let mut on_cfg = FuzzerConfig::eof(os, 42);
+            on_cfg.budget_hours = hours;
+            on_cfg.spec_noise = Some(7);
+            let mut off_cfg = on_cfg.clone();
+            off_cfg.spec_validation = false;
+            [on_cfg, off_cfg]
+        })
+        .collect();
+    let mut per_arm = run_config_set(&bases, reps).into_iter();
+
     let mut rows = Vec::new();
     for os in OsKind::ALL {
-        // Static view: what the gate does to a heavily-noised spec.
+        // Static view: what the gate does to a heavily-noised spec (the
+        // artifact cache serves repeated asks for the same noised spec).
         let noise = NoiseConfig { seed: 7, defect_rate: 0.6 };
-        let (_, gated) = generate_validated(os, &noise, true);
-        let (_, raw) = generate_validated(os, &noise, false);
+        let gated = eof_core::cached_spec(os, &noise, true).1.clone();
+        let raw = eof_core::cached_spec(os, &noise, false).1.clone();
 
-        // Dynamic view: campaign coverage with and without the gate.
-        let mut on_cfg = FuzzerConfig::eof(os, 42);
-        on_cfg.budget_hours = hours;
-        on_cfg.spec_noise = Some(7);
-        let mut off_cfg = on_cfg.clone();
-        off_cfg.spec_validation = false;
-        let on = mean_branches(&run_reps(&on_cfg, reps));
-        let off = mean_branches(&run_reps(&off_cfg, reps));
+        let on = mean_branches(&per_arm.next().expect("gated arm"));
+        let off = mean_branches(&per_arm.next().expect("ungated arm"));
         eprintln!("  {}: gated {on:.1} vs ungated {off:.1}", os.display());
         rows.push(vec![
             os.display().to_string(),

@@ -2,7 +2,7 @@
 //! Tardis-style timeout-only liveness check — measuring stalls recovered
 //! and throughput retained on the stall-heavy targets.
 
-use eof_bench::{bench_hours, bench_reps, run_reps};
+use eof_bench::{bench_hours, bench_reps, run_config_set};
 use eof_core::config::{DetectionConfig, RecoveryConfig};
 use eof_core::FuzzerConfig;
 use eof_rtos::OsKind;
@@ -10,23 +10,34 @@ use eof_rtos::OsKind;
 fn main() {
     let hours = bench_hours();
     let reps = bench_reps();
+    let oses = [OsKind::Zephyr, OsKind::NuttX, OsKind::RtThread];
+    let labels = ["watchdogs", "timeout-15s"];
+    // Both liveness arms of all three OSs fan out as one fleet batch.
+    let bases: Vec<FuzzerConfig> = oses
+        .into_iter()
+        .flat_map(|os| {
+            let mut wd_cfg = FuzzerConfig::eof(os, 42);
+            wd_cfg.budget_hours = hours;
+            let mut to_cfg = wd_cfg.clone();
+            to_cfg.detection = DetectionConfig {
+                exception_breakpoints: true,
+                log_monitor: true,
+                timeout_only_secs: Some(15),
+            };
+            to_cfg.recovery = RecoveryConfig {
+                stall_watchdog: false,
+                reflash: true,
+                power_liveness: false,
+            };
+            [wd_cfg, to_cfg]
+        })
+        .collect();
+    let mut per_arm = run_config_set(&bases, reps).into_iter();
+
     let mut rows = Vec::new();
-    for os in [OsKind::Zephyr, OsKind::NuttX, OsKind::RtThread] {
-        let mut wd_cfg = FuzzerConfig::eof(os, 42);
-        wd_cfg.budget_hours = hours;
-        let mut to_cfg = wd_cfg.clone();
-        to_cfg.detection = DetectionConfig {
-            exception_breakpoints: true,
-            log_monitor: true,
-            timeout_only_secs: Some(15),
-        };
-        to_cfg.recovery = RecoveryConfig {
-            stall_watchdog: false,
-            reflash: true,
-            power_liveness: false,
-        };
-        for (label, cfg) in [("watchdogs", &wd_cfg), ("timeout-15s", &to_cfg)] {
-            let rs = run_reps(cfg, reps);
+    for os in oses {
+        for label in labels {
+            let rs = per_arm.next().expect("one result set per arm");
             let execs: u64 = rs.iter().map(|r| r.stats.execs).sum::<u64>() / reps as u64;
             let stalls: u64 = rs.iter().map(|r| r.stats.stalls).sum::<u64>() / reps as u64;
             let branches = eof_bench::mean_branches(&rs);

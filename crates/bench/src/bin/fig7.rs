@@ -6,7 +6,7 @@
 //! an ASCII rendering of each sub-figure.
 
 use eof_baselines::BaselineKind;
-use eof_bench::{bench_hours, bench_reps, curve_rows, run_reps};
+use eof_bench::{bench_hours, bench_reps, curve_rows, run_config_set};
 use eof_rtos::OsKind;
 
 fn ascii_plot(title: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
@@ -47,16 +47,32 @@ fn main() {
         BaselineKind::Tardis,
         BaselineKind::Gustave,
     ];
-    let mut rows = Vec::new();
-    let mut text = String::new();
+    // Assemble the full OS × fuzzer grid up front and fan the whole
+    // figure out as one fleet batch: with EOF_JOBS workers the slowest
+    // cell bounds the wall clock, not the sum of all cells.
+    let mut cells = Vec::new();
+    let mut bases = Vec::new();
     for os in OsKind::ALL {
-        let mut series = Vec::new();
         for kind in fuzzers {
             let Some(mut cfg) = kind.full_system_config(os, 42) else {
                 continue;
             };
             cfg.budget_hours = hours;
-            let results = run_reps(&cfg, reps);
+            cells.push((os, kind));
+            bases.push(cfg);
+        }
+    }
+    let mut per_base = run_config_set(&bases, reps).into_iter();
+
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    for os in OsKind::ALL {
+        let mut series = Vec::new();
+        for kind in fuzzers {
+            if !cells.contains(&(os, kind)) {
+                continue;
+            }
+            let results = per_base.next().expect("one result set per cell");
             let mut labelled = curve_rows(kind.display(), &results);
             // Extract (hours, mean) for the ASCII plot.
             let pts: Vec<(f64, f64)> = labelled

@@ -4,20 +4,29 @@
 //! first four hours").
 
 use eof_baselines::BaselineKind;
-use eof_bench::{bench_hours, bench_reps, curve_rows, run_reps};
+use eof_bench::{bench_hours, bench_reps, curve_rows, run_config_set};
 
 fn main() {
     let hours = bench_hours();
     let reps = bench_reps();
     eprintln!("[fig8] {hours} simulated hours × {reps} reps per curve");
 
+    // One fleet batch for all three curves.
+    let kinds = [BaselineKind::Eof, BaselineKind::GdbFuzz, BaselineKind::Shift];
+    let bases: Vec<_> = kinds
+        .iter()
+        .map(|kind| {
+            let mut cfg = kind.app_level_config(42).expect("participant");
+            cfg.budget_hours = hours;
+            cfg.snapshot_hours = (hours / 24.0).max(0.25);
+            cfg
+        })
+        .collect();
+    let per_kind = run_config_set(&bases, reps);
+
     let mut rows = Vec::new();
     let mut summary = String::from("Figure 8: application-level coverage growth\n");
-    for kind in [BaselineKind::Eof, BaselineKind::GdbFuzz, BaselineKind::Shift] {
-        let mut cfg = kind.app_level_config(42).expect("participant");
-        cfg.budget_hours = hours;
-        cfg.snapshot_hours = (hours / 24.0).max(0.25);
-        let results = run_reps(&cfg, reps);
+    for (kind, results) in kinds.iter().zip(per_kind) {
         let labelled = curve_rows(kind.display(), &results);
         // Saturation check: coverage at 1/6 of budget vs at the end.
         if let (Some(first_quarter), Some(end)) = (

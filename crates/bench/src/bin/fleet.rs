@@ -1,0 +1,148 @@
+//! Fleet benchmark: wall-clock of a Figure-7-shaped workload run
+//! serially (1 job) vs across the fleet, with per-phase artifact-cache
+//! hit rates and a byte-level identity check between the two phases.
+//!
+//! Writes the measurement to `BENCH_fleet.json` (repo root, i.e. the
+//! working directory) plus the usual `results/` outputs. Scale knobs:
+//! `EOF_FLEET_HOURS` (default 0.25 simulated hours per campaign) and
+//! `EOF_FLEET_REPS` (default 3 repetitions per cell).
+
+use eof_baselines::BaselineKind;
+use eof_bench::rep_configs;
+use eof_core::{artifacts, cache_stats, CacheStats, CampaignResult, FleetRunner, FuzzerConfig};
+use eof_rtos::OsKind;
+use std::time::Instant;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Figure-7-shaped batch: four OS × fuzzer cells, several repetitions
+/// each — the workload every table in the harness generalises.
+fn workload(hours: f64, reps: usize) -> (Vec<(OsKind, BaselineKind)>, Vec<FuzzerConfig>) {
+    // Two fuzzers share NuttX so the batch also exercises cross-cell
+    // spec/image reuse, exactly like the real Figure-7 grid does.
+    let cells = vec![
+        (OsKind::NuttX, BaselineKind::Eof),
+        (OsKind::NuttX, BaselineKind::EofNf),
+        (OsKind::Zephyr, BaselineKind::Eof),
+        (OsKind::FreeRtos, BaselineKind::Eof),
+        (OsKind::RtThread, BaselineKind::Tardis),
+    ];
+    let configs = cells
+        .iter()
+        .flat_map(|&(os, kind)| {
+            let mut cfg = kind.full_system_config(os, 42).expect("fleet cell");
+            cfg.budget_hours = hours;
+            rep_configs(&cfg, reps)
+        })
+        .collect();
+    (cells, configs)
+}
+
+/// Run one phase from cold caches; returns wall seconds, the results in
+/// submission order and the phase's cache counters.
+fn run_phase(jobs: usize, configs: Vec<FuzzerConfig>) -> (f64, Vec<CampaignResult>, CacheStats) {
+    artifacts::clear_caches();
+    eof_core::reset_cache_stats();
+    let start = Instant::now();
+    let results: Vec<CampaignResult> = FleetRunner::new(jobs)
+        .run(configs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    (start.elapsed().as_secs_f64(), results, cache_stats())
+}
+
+/// Order-sensitive fingerprint of everything a campaign reports.
+fn fingerprint(results: &[CampaignResult]) -> String {
+    results
+        .iter()
+        .map(|r| {
+            format!(
+                "branches={} execs={} bugs={:?} crashes={:?} stats={:?};",
+                r.branches, r.stats.execs, r.bugs, r.crashes, r.stats
+            )
+        })
+        .collect()
+}
+
+fn cache_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"image_hits\": {}, \"image_misses\": {}, \"spec_hits\": {}, \"spec_misses\": {}}}",
+        s.hits(), s.misses(), s.hit_rate(), s.image_hits, s.image_misses, s.spec_hits, s.spec_misses
+    )
+}
+
+fn main() {
+    let hours = env_f64("EOF_FLEET_HOURS", 0.25);
+    let reps = env_usize("EOF_FLEET_REPS", 3);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_jobs = FleetRunner::from_env().jobs().max(4);
+
+    let (cells, configs) = workload(hours, reps);
+    eprintln!(
+        "[fleet] {} configs ({} cells × {reps} reps, {hours}h each); host has {host_cores} cores",
+        configs.len(),
+        cells.len()
+    );
+
+    eprintln!("[fleet] serial phase (1 job)...");
+    let (serial_secs, serial_results, serial_cache) = run_phase(1, configs.clone());
+    eprintln!("[fleet] parallel phase ({parallel_jobs} jobs)...");
+    let (parallel_secs, parallel_results, parallel_cache) = run_phase(parallel_jobs, configs);
+
+    let identical = fingerprint(&serial_results) == fingerprint(&parallel_results);
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    assert!(
+        identical,
+        "fleet determinism violated: serial and parallel phases disagree"
+    );
+
+    let cell_names: Vec<String> = cells
+        .iter()
+        .map(|(os, kind)| format!("\"{}/{}\"", os.display(), kind.display()))
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": {{\"cells\": [{}], \"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \"host_cores\": {host_cores},\n  \"serial\": {{\"jobs\": 1, \"secs\": {serial_secs:.3}, \"cache\": {}}},\n  \"parallel\": {{\"jobs\": {parallel_jobs}, \"secs\": {parallel_secs:.3}, \"cache\": {}}},\n  \"speedup\": {speedup:.2},\n  \"identical_results\": {identical}\n}}\n",
+        cell_names.join(", "),
+        cache_json(&serial_cache),
+        cache_json(&parallel_cache),
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("{json}");
+    println!("[written BENCH_fleet.json]");
+
+    let headers = ["phase", "jobs", "secs", "cache hits", "cache misses", "hit rate"];
+    let rows = vec![
+        vec![
+            "serial".to_string(),
+            "1".to_string(),
+            format!("{serial_secs:.3}"),
+            serial_cache.hits().to_string(),
+            serial_cache.misses().to_string(),
+            format!("{:.0}%", serial_cache.hit_rate() * 100.0),
+        ],
+        vec![
+            "parallel".to_string(),
+            parallel_jobs.to_string(),
+            format!("{parallel_secs:.3}"),
+            parallel_cache.hits().to_string(),
+            parallel_cache.misses().to_string(),
+            format!("{:.0}%", parallel_cache.hit_rate() * 100.0),
+        ],
+        vec![
+            "speedup".to_string(),
+            String::new(),
+            format!("{speedup:.2}x"),
+            String::new(),
+            String::new(),
+            String::new(),
+        ],
+    ];
+    eof_bench::emit("fleet", &headers, rows);
+}

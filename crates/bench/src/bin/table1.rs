@@ -7,28 +7,48 @@
 
 use eof_agent::boot_machine;
 use eof_baselines::{table1_matrix, TargetClass, Tool};
+use eof_core::FleetRunner;
 use eof_coverage::InstrumentMode;
 use eof_rtos::image::ImageProfile;
+use std::collections::HashMap;
 
 fn main() {
-    let mut rows = Vec::new();
-    for row in table1_matrix() {
-        // Smoke-boot validation for EOF's OS cells.
-        let mut validated = String::new();
-        if let TargetClass::Os(os) = row.target {
-            if row.cells[0] {
-                let board = eof_rtos::registry::supported_boards(os)
-                    .into_iter()
-                    .find(|b| b.arch == row.arch)
-                    .expect("registry board for supported arch");
-                let m = boot_machine(board, os, ImageProfile::FullSystem, &InstrumentMode::None);
-                validated = if matches!(m.state(), eof_hal::BootState::Running) {
-                    " (booted)".to_string()
-                } else {
-                    " (BOOT FAILED)".to_string()
-                };
+    let matrix = table1_matrix();
+    // Every EOF OS cell needs a live smoke boot; fan them all out across
+    // the fleet instead of booting row by row.
+    let boots: Vec<_> = matrix
+        .iter()
+        .enumerate()
+        .filter_map(|(i, row)| {
+            let TargetClass::Os(os) = row.target else {
+                return None;
+            };
+            if !row.cells[0] {
+                return None;
             }
-        }
+            let board = eof_rtos::registry::supported_boards(os)
+                .into_iter()
+                .find(|b| b.arch == row.arch)
+                .expect("registry board for supported arch");
+            Some((i, board, os))
+        })
+        .collect();
+    let booted: HashMap<usize, bool> = FleetRunner::from_env()
+        .map(boots, |_, (i, board, os)| {
+            let m = boot_machine(board, os, ImageProfile::FullSystem, &InstrumentMode::None);
+            (i, matches!(m.state(), eof_hal::BootState::Running))
+        })
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+
+    let mut rows = Vec::new();
+    for (i, row) in matrix.into_iter().enumerate() {
+        let validated = match booted.get(&i) {
+            Some(true) => " (booted)".to_string(),
+            Some(false) => " (BOOT FAILED)".to_string(),
+            None => String::new(),
+        };
         let cell = |b: bool| if b { "Y" } else { "-" }.to_string();
         rows.push(vec![
             row.target.display().to_string(),

@@ -6,23 +6,26 @@
 //! comparison rows of §5.4.1 (EOF-nf's and Tardis's bug sets).
 
 use eof_baselines::BaselineKind;
-use eof_bench::{bench_hours, bench_reps, run_reps};
+use eof_bench::{bench_hours, bench_reps, run_config_set};
 use eof_rtos::bugs::{BugId, DetectionClass, BUG_TABLE};
 use eof_rtos::OsKind;
 use std::collections::BTreeSet;
 
 fn bug_union(kind: BaselineKind, hours: f64, reps: usize) -> BTreeSet<BugId> {
-    let mut found = BTreeSet::new();
-    for os in OsKind::ALL {
-        let Some(mut cfg) = kind.full_system_config(os, 42) else {
-            continue;
-        };
-        cfg.budget_hours = hours;
-        for r in run_reps(&cfg, reps) {
-            found.extend(r.bugs);
-        }
-    }
-    found
+    // All five OS campaigns of this fuzzer go out as one fleet batch.
+    let bases: Vec<_> = OsKind::ALL
+        .into_iter()
+        .filter_map(|os| {
+            let mut cfg = kind.full_system_config(os, 42)?;
+            cfg.budget_hours = hours;
+            Some(cfg)
+        })
+        .collect();
+    run_config_set(&bases, reps)
+        .into_iter()
+        .flatten()
+        .flat_map(|r| r.bugs)
+        .collect()
 }
 
 fn main() {

@@ -3,7 +3,7 @@
 //! EOF's improvement, as the paper prints it).
 
 use eof_baselines::BaselineKind;
-use eof_bench::{bench_hours, bench_reps, fmt1, fmt_impr, mean_branches, run_reps};
+use eof_bench::{bench_hours, bench_reps, fmt1, fmt_impr, mean_branches, run_config_set};
 use eof_rtos::OsKind;
 
 fn main() {
@@ -17,31 +17,44 @@ fn main() {
         BaselineKind::Tardis,
         BaselineKind::Gustave,
     ];
-    let mut rows = Vec::new();
-    for os in [
+    let oses = [
         OsKind::NuttX,
         OsKind::RtThread,
         OsKind::Zephyr,
         OsKind::FreeRtos,
         OsKind::PokOs,
-    ] {
+    ];
+    // The whole table is one fleet batch; unsupported cells stay out.
+    let mut grid = Vec::new();
+    let mut bases = Vec::new();
+    for os in oses {
+        for kind in fuzzers {
+            if let Some(mut cfg) = kind.full_system_config(os, 42) {
+                cfg.budget_hours = hours;
+                grid.push((os, kind));
+                bases.push(cfg);
+            }
+        }
+    }
+    let mut per_cell = run_config_set(&bases, reps).into_iter();
+
+    let mut rows = Vec::new();
+    for os in oses {
         let mut cells = vec![os.display().to_string()];
         let mut eof_mean = 0.0;
         for kind in fuzzers {
-            match kind.full_system_config(os, 42) {
-                Some(mut cfg) => {
-                    cfg.budget_hours = hours;
-                    let results = run_reps(&cfg, reps);
-                    let mean = mean_branches(&results);
-                    if kind == BaselineKind::Eof {
-                        eof_mean = mean;
-                        cells.push(fmt1(mean));
-                    } else {
-                        cells.push(fmt_impr(eof_mean, mean));
-                    }
-                    eprintln!("  {} / {}: {:.1}", os.display(), kind.display(), mean);
+            if grid.contains(&(os, kind)) {
+                let results = per_cell.next().expect("one result set per cell");
+                let mean = mean_branches(&results);
+                if kind == BaselineKind::Eof {
+                    eof_mean = mean;
+                    cells.push(fmt1(mean));
+                } else {
+                    cells.push(fmt_impr(eof_mean, mean));
                 }
-                None => cells.push("-".to_string()),
+                eprintln!("  {} / {}: {:.1}", os.display(), kind.display(), mean);
+            } else {
+                cells.push("-".to_string());
             }
         }
         rows.push(cells);

@@ -3,20 +3,19 @@
 //! strictly confined to those two modules.
 
 use eof_baselines::BaselineKind;
-use eof_bench::{bench_hours, bench_reps, fmt1, fmt_impr, run_reps};
-use eof_core::CampaignResult;
+use eof_bench::{bench_hours, bench_reps, fmt1, fmt_impr, run_config_set};
+use eof_core::FuzzerConfig;
 
-/// Mean branches within one module across runs, using the edge totals of
-/// module-confined instrumentation (the whole map IS the two modules;
-/// the per-module split is recovered from each campaign's history by
-/// running the two single-module configurations).
-fn mean_for_module(kind: BaselineKind, module: &str, hours: f64, reps: usize) -> f64 {
+/// Configuration for one (fuzzer, module) cell: instrumentation strictly
+/// confined to the module, matching the paper's hardware setup (the whole
+/// map IS the module; the per-module split is recovered by running the
+/// two single-module configurations).
+fn module_config(kind: BaselineKind, module: &str, hours: f64) -> FuzzerConfig {
     let mut cfg = kind.app_level_config(42).expect("app-level participant");
     cfg.budget_hours = hours;
     cfg.instrument = eof_coverage::InstrumentMode::Modules(vec![module.to_string()]);
     cfg.module_filter = Some(vec![module.to_string()]);
-    let results: Vec<CampaignResult> = run_reps(&cfg, reps);
-    eof_bench::mean_branches(&results)
+    cfg
 }
 
 fn main() {
@@ -24,11 +23,20 @@ fn main() {
     let reps = bench_reps();
     eprintln!("[table4] {hours} simulated hours × {reps} reps per cell");
 
+    // 3 fuzzers × 2 modules = 6 cells, submitted as one fleet batch.
     let fuzzers = [BaselineKind::Eof, BaselineKind::GdbFuzz, BaselineKind::Shift];
+    let bases: Vec<FuzzerConfig> = fuzzers
+        .iter()
+        .flat_map(|&kind| {
+            ["http", "json"].map(|module| module_config(kind, module, hours))
+        })
+        .collect();
+    let mut per_cell = run_config_set(&bases, reps).into_iter();
+
     let mut means = Vec::new();
     for kind in fuzzers {
-        let http = mean_for_module(kind, "http", hours, reps);
-        let json = mean_for_module(kind, "json", hours, reps);
+        let http = eof_bench::mean_branches(&per_cell.next().expect("http cell"));
+        let json = eof_bench::mean_branches(&per_cell.next().expect("json cell"));
         eprintln!("  {}: http {http:.1}, json {json:.1}", kind.display());
         means.push((kind, http, json));
     }

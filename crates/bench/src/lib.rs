@@ -21,10 +21,12 @@
 //! Every binary prints the paper-shaped table to stdout and writes
 //! machine-readable CSV into `results/`. Campaign scale is controlled by
 //! the `EOF_BENCH_HOURS` and `EOF_BENCH_REPS` environment variables
-//! (defaults: the paper's 24 simulated hours × 5 repetitions).
+//! (defaults: the paper's 24 simulated hours × 5 repetitions); campaign
+//! *parallelism* by `EOF_JOBS` (default: the host's available cores —
+//! every campaign batch fans out over [`eof_core::FleetRunner`]).
 
 use eof_core::report::{csv, curve_points_from_runs, text_table};
-use eof_core::{run_campaign, CampaignResult, FuzzerConfig};
+use eof_core::{CampaignResult, FleetRunner, FuzzerConfig};
 use std::path::Path;
 
 /// Simulated hours per campaign (default: the paper's 24).
@@ -43,16 +45,59 @@ pub fn bench_reps() -> usize {
         .unwrap_or(5)
 }
 
+/// The `rep`'th variation of a base configuration. The seed schedule is
+/// part of the reproduction's determinism contract — identical inputs
+/// must reproduce identical campaigns across serial and fleet runs.
+pub fn rep_config(base: &FuzzerConfig, rep: usize) -> FuzzerConfig {
+    let mut cfg = base.clone();
+    cfg.seed = base.seed.wrapping_add(rep as u64 * 0x9e37);
+    cfg.spec_noise = cfg.spec_noise.map(|n| n.wrapping_add(rep as u64));
+    cfg
+}
+
+/// All `reps` variations of a base configuration, in repetition order.
+pub fn rep_configs(base: &FuzzerConfig, reps: usize) -> Vec<FuzzerConfig> {
+    (0..reps).map(|rep| rep_config(base, rep)).collect()
+}
+
+/// Run a batch of campaigns across the fleet (`EOF_JOBS` workers),
+/// results in submission order. A panicking campaign aborts the bench —
+/// the tables must never silently drop cells.
+pub fn run_fleet(configs: Vec<FuzzerConfig>) -> Vec<CampaignResult> {
+    FleetRunner::from_env()
+        .run(configs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
 /// Run `reps` repetitions of a configuration with distinct seeds.
 pub fn run_reps(base: &FuzzerConfig, reps: usize) -> Vec<CampaignResult> {
-    (0..reps)
-        .map(|rep| {
-            let mut cfg = base.clone();
-            cfg.seed = base.seed.wrapping_add(rep as u64 * 0x9e37);
-            cfg.spec_noise = cfg.spec_noise.map(|n| n.wrapping_add(rep as u64));
-            run_campaign(cfg)
-        })
-        .collect()
+    run_fleet(rep_configs(base, reps))
+}
+
+/// Run several bases × `reps` as ONE fleet batch — the whole table fans
+/// out at once instead of filling cell by cell — and chunk the results
+/// back per base, each in repetition order.
+pub fn run_config_set(bases: &[FuzzerConfig], reps: usize) -> Vec<Vec<CampaignResult>> {
+    let all: Vec<FuzzerConfig> = bases.iter().flat_map(|b| rep_configs(b, reps)).collect();
+    let mut flat = run_fleet(all).into_iter();
+    bases.iter().map(|_| flat.by_ref().take(reps).collect()).collect()
+}
+
+/// One-line artifact-cache summary for bench logs.
+pub fn cache_report() -> String {
+    let s = eof_core::cache_stats();
+    format!(
+        "artifact cache: {} hits / {} misses ({:.0}% hit rate; images {}h/{}m, specs {}h/{}m)",
+        s.hits(),
+        s.misses(),
+        s.hit_rate() * 100.0,
+        s.image_hits,
+        s.image_misses,
+        s.spec_hits,
+        s.spec_misses,
+    )
 }
 
 /// Mean branches across repetitions.
@@ -71,6 +116,7 @@ pub fn write_outputs(name: &str, text: &str, headers: &[&str], rows: &[Vec<Strin
     let _ = std::fs::write(dir.join(format!("{name}.csv")), csv(headers, rows));
     println!("{text}");
     println!("[written results/{name}.txt and results/{name}.csv]");
+    eprintln!("[{name}] {}", cache_report());
 }
 
 /// Format a mean with the paper's one-decimal style.

@@ -16,8 +16,7 @@ use eof_coverage::Snapshot;
 use eof_dap::{DebugTransport, LinkConfig};
 use eof_monitors::{parse_kconfig, render_kconfig, StateRestoration};
 use eof_rtos::bugs::BugId;
-use eof_rtos::image::build_image;
-use eof_specgen::{generate_validated, GenReport, NoiseConfig};
+use eof_specgen::{GenReport, NoiseConfig};
 use eof_hal::Machine;
 
 /// Everything a campaign produced.
@@ -53,12 +52,15 @@ pub fn run_campaign(config: FuzzerConfig) -> CampaignResult {
 }
 
 fn run_campaign_inner(config: FuzzerConfig) -> (CampaignResult, eof_coverage::CoverageMap) {
-    // ② Extract + validate the API specifications.
+    // ② Extract + validate the API specifications. The pipeline is pure
+    // in (os, noise, validation), so it is interned process-wide; the
+    // spec is cloned out because the config filters below mutate it.
     let noise = match config.spec_noise {
         Some(seed) => NoiseConfig::default_llm(seed),
         None => NoiseConfig::none(),
     };
-    let (mut spec, spec_report) = generate_validated(config.os, &noise, config.spec_validation);
+    let (mut spec, spec_report) =
+        (*crate::artifacts::cached_spec(config.os, &noise, config.spec_validation)).clone();
 
     // Baselines with hand-written specs never had LLM pseudo-syscalls.
     if config.exclude_pseudo {
@@ -78,8 +80,8 @@ fn run_campaign_inner(config: FuzzerConfig) -> (CampaignResult, eof_coverage::Co
         spec.apis.retain(|a| allowed.contains(a.name.as_str()));
     }
 
-    // ③ Build the (instrumented) image and flash it.
-    let image = build_image(config.os, config.profile, &config.instrument);
+    // ③ Build (or fetch the interned) instrumented image and flash it.
+    let image = crate::artifacts::cached_image(config.os, config.profile, &config.instrument);
     let image_bytes = image.len();
     let mut machine = Machine::new(config.board.clone(), agent_loader());
     machine
@@ -93,10 +95,12 @@ fn run_campaign_inner(config: FuzzerConfig) -> (CampaignResult, eof_coverage::Co
         machine.flash().table(),
     );
     let kconfig = parse_kconfig(&kconfig_text).expect("rendered kconfig parses");
+    // The restoration keeps its own golden copy (it re-flashes from it
+    // on recovery, and the cache entry must stay pristine).
     let restoration = StateRestoration::from_kconfig(
         &kconfig,
         config.board.flash_size,
-        vec![("kernel".to_string(), image)],
+        vec![("kernel".to_string(), (*image).clone())],
     )
     .expect("golden image fits");
 

@@ -58,9 +58,13 @@ impl Corpus {
         self.admitted
     }
 
-    /// Admit an interesting input. Energy scales with discovery size;
-    /// crash signals add a flat bonus (EOF's unified feedback).
-    pub fn admit(&mut self, prog: Prog, new_edges: usize, crashed: bool) {
+    /// Admit an interesting input (by value — the fuzzing loop's hot
+    /// path must not clone progs). Energy scales with discovery size;
+    /// crash signals add a flat bonus (EOF's unified feedback). Returns
+    /// the new seed's index, or `None` in the rare case that the corpus
+    /// was full and the new seed itself was the cull victim. Indices of
+    /// *other* seeds stay valid until the next `admit`.
+    pub fn admit(&mut self, prog: Prog, new_edges: usize, crashed: bool) -> Option<usize> {
         let energy = 1.0 + (new_edges as f64).sqrt() + if crashed { 4.0 } else { 0.0 };
         self.seeds.push(Seed {
             prog,
@@ -79,13 +83,23 @@ impl Corpus {
                 .min_by(|a, b| a.1.energy.partial_cmp(&b.1.energy).unwrap())
             {
                 self.seeds.remove(idx);
+                if idx == self.seeds.len() {
+                    // The newcomer itself was culled.
+                    return None;
+                }
             }
         }
+        Some(self.seeds.len() - 1)
     }
 
-    /// Pick a seed for mutation, weighted by energy. Picking decays the
-    /// seed's energy.
-    pub fn pick(&mut self, rng: &mut StdRng) -> Option<&Seed> {
+    /// The seed at `idx`, if live.
+    pub fn get(&self, idx: usize) -> Option<&Seed> {
+        self.seeds.get(idx)
+    }
+
+    /// Pick a seed for mutation, weighted by energy, returning its
+    /// index. Picking decays the seed's energy.
+    pub fn pick_index(&mut self, rng: &mut StdRng) -> Option<usize> {
         if self.seeds.is_empty() {
             return None;
         }
@@ -102,7 +116,13 @@ impl Corpus {
         let s = &mut self.seeds[chosen];
         s.picks += 1;
         s.energy = (s.energy * 0.98).max(0.05);
-        Some(&self.seeds[chosen])
+        Some(chosen)
+    }
+
+    /// Pick a seed for mutation, weighted by energy. Picking decays the
+    /// seed's energy.
+    pub fn pick(&mut self, rng: &mut StdRng) -> Option<&Seed> {
+        self.pick_index(rng).map(|i| &self.seeds[i])
     }
 
     /// Iterate over seeds (reporting).
@@ -157,10 +177,25 @@ mod tests {
         let mut c = Corpus::new(2);
         c.admit(prog("big"), 100, false);
         c.admit(prog("mid"), 10, false);
-        c.admit(prog("tiny"), 0, false);
+        // The newcomer is itself the weakest: culled on arrival.
+        assert_eq!(c.admit(prog("tiny"), 0, false), None);
         assert_eq!(c.len(), 2);
         assert!(c.iter().all(|s| s.prog.calls[0].api != "tiny"));
         assert_eq!(c.admitted(), 3);
+    }
+
+    #[test]
+    fn admit_returns_a_live_index() {
+        let mut c = Corpus::new(2);
+        let a = c.admit(prog("a"), 1, false).unwrap();
+        assert_eq!(c.get(a).unwrap().prog.calls[0].api, "a");
+        let b = c.admit(prog("b"), 2, false).unwrap();
+        assert_eq!(c.get(b).unwrap().prog.calls[0].api, "b");
+        // "c" displaces the weaker "a"; its index must account for the
+        // shift the cull caused.
+        let idx = c.admit(prog("c"), 9, false).unwrap();
+        assert_eq!(c.get(idx).unwrap().prog.calls[0].api, "c");
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

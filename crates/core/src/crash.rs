@@ -85,11 +85,12 @@ impl CrashDb {
     pub fn record(&mut self, report: CrashReport) -> bool {
         self.total_observed += 1;
         let key = dedup_key(&report);
-        if self.unique.contains_key(&key) {
-            false
-        } else {
-            self.unique.insert(key, report);
-            true
+        match self.unique.entry(key) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(report);
+                true
+            }
         }
     }
 

@@ -594,7 +594,7 @@ mod tests {
     use eof_agent::{api_table_of, boot_machine};
     use eof_dap::LinkConfig;
     use eof_monitors::{parse_kconfig, render_kconfig};
-    use eof_rtos::image::{build_image, ImageProfile};
+    use eof_rtos::image::build_image;
     use eof_rtos::OsKind;
     use eof_speclang::prog::{ArgValue, Call};
 
@@ -716,10 +716,9 @@ mod tests {
         assert!(out.crash.is_none(), "{:?}", out.crash);
         // A frozen core (injected execution stall) IS a degraded state:
         // the watchdog recovers it without calling it a bug.
-        let now = e.transport_mut().now();
         e.transport_mut()
             .machine_mut()
-            .set_fault_plan(eof_hal::FaultPlan::none().at(now + 10, eof_hal::InjectedFault::FreezeFirmware));
+            .set_fault_plan(eof_hal::FaultPlan::none().at(10, eof_hal::InjectedFault::FreezeFirmware));
         let out = e.run_one(&bounded);
         assert!(out.stalled);
         assert!(out.restored);

@@ -84,12 +84,14 @@ impl Fuzzer {
     pub fn step(&mut self) {
         let prog = if self.config.coverage_feedback && !self.corpus.is_empty() && self.rng.random_bool(0.5)
         {
-            let seed_prog = self
-                .corpus
-                .pick(&mut self.rng)
-                .map(|s| s.prog.clone())
-                .unwrap_or_default();
-            self.generator.mutate(&seed_prog)
+            match self.corpus.pick_index(&mut self.rng) {
+                // Mutate straight off the corpus entry — the seed prog
+                // is only read, never cloned.
+                Some(i) => self
+                    .generator
+                    .mutate(&self.corpus.get(i).expect("picked index is live").prog),
+                None => self.generator.generate(),
+            }
         } else {
             self.generator.generate()
         };
@@ -99,34 +101,37 @@ impl Fuzzer {
         }
         // Frontier burst: chase each discovery with focused mutations.
         // A stalling mutant ends the burst — hammering inputs adjacent
-        // to a hang melts the budget in restorations.
+        // to a hang melts the budget in restorations. The frontier is a
+        // corpus index; it stays valid through non-interesting mutants
+        // (the corpus only changes on admit, and an admit hands back the
+        // replacement frontier immediately).
         let mut burst_budget = 24u32;
-        'burst: while let Some(seed) = frontier.take() {
+        'burst: while let Some(seed_idx) = frontier.take() {
             for _ in 0..8 {
                 if burst_budget == 0 {
                     break 'burst;
                 }
                 burst_budget -= 1;
-                let mutant = self.generator.mutate(&seed);
+                let mutant = self
+                    .generator
+                    .mutate(&self.corpus.get(seed_idx).expect("frontier index is live").prog);
                 let (next, stalled) = self.run_and_record(mutant);
                 if stalled {
                     break 'burst;
                 }
-                if let Some(next) = next {
-                    frontier = Some(next);
+                if next.is_some() {
+                    frontier = next;
                     continue 'burst;
                 }
             }
         }
     }
 
-    /// Execute one prog with full bookkeeping. Returns the prog when it
-    /// was interesting (new coverage or a new crash class) — the caller
-    /// may exploit it further — plus whether the target stalled.
-    fn run_and_record(
-        &mut self,
-        prog: eof_speclang::prog::Prog,
-    ) -> (Option<eof_speclang::prog::Prog>, bool) {
+    /// Execute one prog with full bookkeeping. Returns the corpus index
+    /// of the prog when it was interesting (new coverage or a new crash
+    /// class) — the caller may exploit it further — plus whether the
+    /// target stalled.
+    fn run_and_record(&mut self, prog: eof_speclang::prog::Prog) -> (Option<usize>, bool) {
         if prog.is_empty() {
             return (None, false);
         }
@@ -137,7 +142,10 @@ impl Fuzzer {
                     0 => self.executor.inject_peripheral_event(eof_hal::irq::GPIO, Vec::new()),
                     1 => {
                         let len = self.rng.random_range(0..24usize);
-                        let payload = (0..len).map(|_| self.rng.random()).collect();
+                        let mut payload = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            payload.push(self.rng.random::<u8>());
+                        }
                         self.executor
                             .inject_peripheral_event(eof_hal::irq::SERIAL_RX, payload);
                     }
@@ -179,8 +187,10 @@ impl Fuzzer {
         if interesting {
             self.generator
                 .reward(&prog, 0.5 + (outcome.new_edges as f64).sqrt() * 0.25);
-            self.corpus.admit(prog.clone(), outcome.new_edges, new_crash_class);
-            return (Some(prog), outcome.stalled);
+            // By-value admission: the corpus takes the only copy and
+            // hands back its index for the frontier burst.
+            let idx = self.corpus.admit(prog, outcome.new_edges, new_crash_class);
+            return (idx, outcome.stalled);
         }
         (None, outcome.stalled)
     }

@@ -292,17 +292,15 @@ impl Generator {
     }
 
     fn gen_int(&mut self, bits: u8, range: Option<(u64, u64)>) -> u64 {
-        let (min, max) = range.unwrap_or_else(|| {
-            (
-                0,
-                match bits {
-                    8 => u8::MAX as u64,
-                    16 => u16::MAX as u64,
-                    32 => u32::MAX as u64,
-                    _ => u64::MAX,
-                },
-            )
-        });
+        let (min, max) = range.unwrap_or((
+            0,
+            match bits {
+                8 => u8::MAX as u64,
+                16 => u16::MAX as u64,
+                32 => u32::MAX as u64,
+                _ => u64::MAX,
+            },
+        ));
         let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
         match self.rng.random_range(0..10u32) {
             0 => lo,

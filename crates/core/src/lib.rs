@@ -20,19 +20,32 @@
 //!   and state restoration;
 //! * [`fuzzer`] — the feedback loop;
 //! * [`campaign`] — image build → flash → boot → fuzz → results;
+//! * [`artifacts`] — memoized image/spec pipeline shared by every
+//!   campaign in the process (one build per distinct key);
+//! * [`fleet`] — batch campaign execution over a scoped worker pool
+//!   with deterministic, submission-ordered results;
 //! * [`report`] — serialisable result records for the benches.
 
+// Every dependency in Cargo.toml must actually be linked against —
+// declared-but-unused crates cost compile time and mislead readers
+// about what the engine is built on.
+#![warn(unused_crate_dependencies)]
+
+pub mod artifacts;
 pub mod campaign;
 pub mod config;
 pub mod corpus;
 pub mod crash;
 pub mod executor;
+pub mod fleet;
 pub mod fuzzer;
 pub mod gen;
 pub mod minimize;
 pub mod report;
 
+pub use artifacts::{cached_image, cached_spec, cache_stats, reset_cache_stats, CacheStats};
 pub use campaign::{run_campaign, run_campaign_with_coverage, CampaignResult};
+pub use fleet::{FleetError, FleetResult, FleetRunner};
 pub use config::{DetectionConfig, FuzzerConfig, GenerationMode, RecoveryConfig};
 pub use corpus::{Corpus, Seed};
 pub use crash::{triage, CrashDb, CrashReport, DetectionSource};

@@ -14,7 +14,7 @@ use crate::edge::{EdgeId, EdgeRegistry};
 use std::collections::HashSet;
 
 /// What to instrument.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum InstrumentMode {
     /// No instrumentation (baseline images for the overhead experiments,
     /// and fuzzers without coverage feedback).

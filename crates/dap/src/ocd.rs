@@ -193,7 +193,7 @@ fn parse_num(s: &str) -> Result<u32, DapError> {
 }
 
 fn parse_hex_bytes(s: &str) -> Result<Vec<u8>, DapError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(DapError::Protocol("odd hex string".into()));
     }
     (0..s.len())

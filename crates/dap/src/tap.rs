@@ -134,6 +134,11 @@ impl TapController {
     /// self-transition `bits` times.
     pub fn scan_dr(&mut self, bits: u32) -> u64 {
         let start = self.tck_cycles;
+        // Fresh or just-reset controllers sit in Test-Logic-Reset; one
+        // TMS-low edge steps into Run-Test/Idle, where DR scans start.
+        if self.state == TapState::TestLogicReset {
+            self.clock(false);
+        }
         // From RunTestIdle: TMS 1,0,0 → SelectDR, CaptureDR, ShiftDR.
         self.clock(true);
         self.clock(false);

@@ -95,6 +95,15 @@ impl FaultPlan {
         self
     }
 
+    /// Shift every entry forward by `base` cycles (saturating). Used by
+    /// the machine to anchor a freshly-armed plan at the current bus time.
+    pub fn rebase(mut self, base: u64) -> Self {
+        for (c, _) in &mut self.entries {
+            *c = c.saturating_add(base);
+        }
+        self
+    }
+
     /// Remove and return every fault due at or before `cycle`.
     pub fn take_due(&mut self, cycle: u64) -> Vec<InjectedFault> {
         let split = self.entries.partition_point(|(c, _)| *c <= cycle);

@@ -147,8 +147,13 @@ impl Machine {
     }
 
     /// Install a fault-injection plan (testing / ablation harnesses).
+    ///
+    /// Plan entries are measured from the moment the plan is armed, not
+    /// from power-on: booting alone charges six figures of bus cycles, so
+    /// absolute schedules written by a test would already be in the past
+    /// and fire (then get silently absorbed) inside executor setup.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault_plan = plan;
+        self.fault_plan = plan.rebase(self.bus.now());
     }
 
     /// On-chip hardware watchdog.

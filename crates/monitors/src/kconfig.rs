@@ -56,8 +56,8 @@ impl KConfig {
     }
 }
 
-fn parse_num(s: &String) -> Option<u32> {
-    parse_num_ref(s.as_str())
+fn parse_num(s: &str) -> Option<u32> {
+    parse_num_ref(s)
 }
 
 fn parse_num_ref(s: &str) -> Option<u32> {

@@ -31,7 +31,7 @@ use eof_hal::HalError;
 pub const IMAGE_MAGIC: [u8; 4] = *b"EIMG";
 
 /// Build profile: how much of the OS is linked in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ImageProfile {
     /// The full OS (Table 3 / Figure 7 campaigns).
     FullSystem,

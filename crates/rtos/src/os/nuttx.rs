@@ -395,7 +395,7 @@ impl Kernel for NuttxKernel {
                 // Bug #19: the BOOTTIME branch stores the 64-bit
                 // resolution with a doubleword store that traps on a
                 // misaligned timespec.
-                if clock == clockid::BOOTTIME && align % 4 != 0 {
+                if clock == clockid::BOOTTIME && !align.is_multiple_of(4) {
                     ctx.cov("nuttx::libc::clock_getres::boottime_misaligned");
                     ctx.klog("up_assert: Unaligned access in clock_getres");
                     return InvokeResult::Fault(KernelFault::bug(
@@ -477,7 +477,9 @@ impl Kernel for NuttxKernel {
                         false,
                     ));
                 }
-                let deadline = ctx.bus.now() + rel;
+                // `rel` is attacker-controlled; clamp far-future
+                // deadlines instead of overflowing the tick counter.
+                let deadline = ctx.bus.now().saturating_add(rel);
                 match self.mq.timedsend(
                     ctx,
                     "nuttx::mqueue::nxmq_timedsend",
@@ -590,7 +592,7 @@ impl Kernel for NuttxKernel {
                 // large 16-aligned cookie lands the notification work
                 // item in the wrong pool; the create itself scribbles the
                 // pool header.
-                if clock == clockid::MONOTONIC && notify == 2 && cookie >= 500 && cookie % 16 == 0 {
+                if clock == clockid::MONOTONIC && notify == 2 && cookie >= 500 && cookie.is_multiple_of(16) {
                     ctx.cov("nuttx::timer::timer_create::monotonic_thread");
                     ctx.klog("up_assert: work queue pool corrupt in timer_create");
                     return InvokeResult::Fault(KernelFault::bug(

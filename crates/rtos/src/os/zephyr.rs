@@ -441,7 +441,7 @@ impl Kernel for ZephyrKernel {
                 // Bug #1: with live external allocations, a long stress
                 // run whose PRNG lands on the rebalance path merges a
                 // chunk that is still owned outside the harness.
-                if self.live_allocs >= 2 && ops > 48 && seed % 7 == 0 {
+                if self.live_allocs >= 2 && ops > 48 && seed.is_multiple_of(7) {
                     ctx.cov("zephyr::heap::sys_heap_stress::rebalance_live");
                     ctx.klog("E: sys_heap: assertion failed in rebalance");
                     return InvokeResult::Fault(KernelFault::bug(
@@ -630,9 +630,10 @@ mod tests {
         let mut b = bus();
         let s = ok(call(&mut k, &mut b, "k_sem_init", &[KArg::Int(0), KArg::Int(4)]));
         let mut cov = crate::ctx::CovState::uninstrumented();
-        let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
-        k.on_interrupt(&mut ctx, eof_hal::irq::GPIO, &[]);
-        drop(ctx);
+        {
+            let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
+            k.on_interrupt(&mut ctx, eof_hal::irq::GPIO, &[]);
+        }
         // The semaphore is now takable: the ISR→thread handoff worked.
         ok(call(&mut k, &mut b, "k_sem_take", &[KArg::Int(s)]));
     }
@@ -643,9 +644,10 @@ mod tests {
         let mut b = bus();
         let q = ok(call(&mut k, &mut b, "k_msgq_alloc_init", &[KArg::Int(4), KArg::Int(32)]));
         let mut cov = crate::ctx::CovState::uninstrumented();
-        let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
-        k.on_interrupt(&mut ctx, eof_hal::irq::SERIAL_RX, b"rx-data");
-        drop(ctx);
+        {
+            let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
+            k.on_interrupt(&mut ctx, eof_hal::irq::SERIAL_RX, b"rx-data");
+        }
         assert_eq!(
             ok(call(&mut k, &mut b, "z_impl_k_msgq_get", &[KArg::Int(q), KArg::Int(0)])),
             7

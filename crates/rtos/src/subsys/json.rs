@@ -373,6 +373,14 @@ pub fn encode(
 }
 
 #[cfg(test)]
+impl<'a> ExecCtx<'a> {
+    /// Test helper: reborrow for multiple uses in one scope.
+    pub(crate) fn by_ref(&mut self) -> &mut Self {
+        self
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::ctx::CovState;
@@ -493,13 +501,5 @@ mod tests {
             .ok();
         }
         assert!(cov.hits > shallow * 2, "richer input must hit more edges");
-    }
-}
-
-#[cfg(test)]
-impl<'a> ExecCtx<'a> {
-    /// Test helper: reborrow for multiple uses in one scope.
-    pub(crate) fn by_ref(&mut self) -> &mut Self {
-        self
     }
 }

@@ -51,9 +51,11 @@ fn probe(os: OsKind) -> Prog {
 
 #[test]
 fn survives_scheduled_core_kill() {
+    // Plan cycles count from arming (post-boot); a trivial exec costs
+    // ~80 bus cycles, so 2_000 lands the kill mid-loop.
     let mut ex = harness(
         OsKind::Zephyr,
-        FaultPlan::none().at(20_000, InjectedFault::KillCore),
+        FaultPlan::none().at(2_000, InjectedFault::KillCore),
     );
     let prog = probe(OsKind::Zephyr);
     let mut restored = false;
@@ -73,8 +75,8 @@ fn survives_flash_corruption_plus_lockup() {
     let mut ex = harness(
         OsKind::RtThread,
         FaultPlan::none()
-            .at(10_000, InjectedFault::FlashBitFlip { offset: 0x20_0000, bit: 5 })
-            .at(25_000, InjectedFault::KillCore),
+            .at(1_000, InjectedFault::FlashBitFlip { offset: 0x20_0000, bit: 5 })
+            .at(2_500, InjectedFault::KillCore),
     );
     let prog = probe(OsKind::RtThread);
     for _ in 0..150 {
@@ -130,7 +132,7 @@ fn survives_hostile_coverage_header() {
 fn frozen_firmware_mid_campaign_is_recovered() {
     let mut ex = harness(
         OsKind::NuttX,
-        FaultPlan::none().at(15_000, InjectedFault::FreezeFirmware),
+        FaultPlan::none().at(1_500, InjectedFault::FreezeFirmware),
     );
     let prog = probe(OsKind::NuttX);
     let mut stalled = false;

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `criterion_group!`/`criterion_main!`/`bench_function`
+//! surface with a simple adaptive wall-clock measurement: warm up,
+//! then run batches until ~`EOF_CRITERION_MS` milliseconds (default
+//! 200) have elapsed, and report mean ns/iter. No statistics, plots,
+//! or baselines — just honest numbers on stderr/stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched setup costs are amortised (accepted, not used — every
+/// batch re-runs setup exactly once per measured routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Fresh setup for every single iteration.
+    PerIteration,
+}
+
+/// Measurement budget per benchmark, in milliseconds.
+fn budget() -> Duration {
+    let ms = std::env::var("EOF_CRITERION_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup.
+        for _ in 0..3 {
+            std_black_box(routine());
+        }
+        let budget = budget();
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measure `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let budget = budget();
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark and print its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<32} (no iterations)");
+        } else {
+            let ns = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("{id:<32} {ns:>14.1} ns/iter ({} iters)", b.iters);
+        }
+        self
+    }
+}
+
+/// Declare a group function running each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for the `crossbeam` crate: scoped threads with the
+//! `crossbeam::thread::scope(|s| s.spawn(|_| ...))` API shape, backed
+//! by `std::thread::scope` (stable since Rust 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result of [`scope`]: `Err` carries a child panic payload.
+    pub type ScopeResult<R> = stdthread::Result<R>;
+
+    /// A handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = stdthread::ScopedJoinHandle<'scope, T>;
+
+    /// The spawning context handed to the scope closure and to every
+    /// spawned thread (crossbeam passes it so children can spawn
+    /// siblings).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope's lifetime.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all children are joined before this returns. A panic in
+    /// an unjoined child propagates (std semantics), so the `Ok` wrapper
+    /// exists purely for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(0u64);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    *sums.lock().unwrap() += part;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sums.into_inner().unwrap(), 10);
+    }
+}

@@ -1,0 +1,186 @@
+//! Generation-only support for the character-class string patterns the
+//! workspace's tests use: one class (or `\PC`) followed by an optional
+//! `{m,n}` repetition, e.g. `"[a-z0-9_]{0,24}"` or
+//! `"[ -~&&[^$#]]{0,128}"` (Java-style class intersection).
+
+use crate::test_runner::Rng;
+use std::collections::BTreeSet;
+
+/// Characters considered "any printable" (`\PC`, class negation
+/// universe): printable ASCII plus newline and tab.
+fn universe() -> BTreeSet<char> {
+    let mut set: BTreeSet<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+    set.insert('\n');
+    set.insert('\t');
+    set
+}
+
+fn parse_escape(p: &[char], i: &mut usize) -> char {
+    // *i points at the char after '\'.
+    let c = p[*i];
+    *i += 1;
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parse `[...]` starting at `p[*i] == '['`; leaves `*i` one past the
+/// closing `]`.
+fn parse_class(p: &[char], i: &mut usize) -> BTreeSet<char> {
+    assert_eq!(p[*i], '[', "pattern class must start with '['");
+    *i += 1;
+    let negated = p.get(*i) == Some(&'^');
+    if negated {
+        *i += 1;
+    }
+    let mut set = BTreeSet::new();
+    let mut intersections: Vec<BTreeSet<char>> = Vec::new();
+    while *i < p.len() && p[*i] != ']' {
+        // `&&[...]` — intersect with a nested class.
+        if p[*i] == '&' && p.get(*i + 1) == Some(&'&') && p.get(*i + 2) == Some(&'[') {
+            *i += 2;
+            intersections.push(parse_class(p, i));
+            continue;
+        }
+        let first = if p[*i] == '\\' {
+            *i += 1;
+            parse_escape(p, i)
+        } else {
+            let c = p[*i];
+            *i += 1;
+            c
+        };
+        // `a-z` range (a trailing '-' right before ']' is a literal).
+        if p.get(*i) == Some(&'-') && p.get(*i + 1).is_some_and(|&c| c != ']') {
+            *i += 1;
+            let last = if p[*i] == '\\' {
+                *i += 1;
+                parse_escape(p, i)
+            } else {
+                let c = p[*i];
+                *i += 1;
+                c
+            };
+            for code in (first as u32)..=(last as u32) {
+                if let Some(c) = char::from_u32(code) {
+                    set.insert(c);
+                }
+            }
+        } else {
+            set.insert(first);
+        }
+    }
+    assert!(*i < p.len(), "unterminated character class");
+    *i += 1; // consume ']'
+    if negated {
+        set = universe().difference(&set).copied().collect();
+    }
+    for other in intersections {
+        set = set.intersection(&other).copied().collect();
+    }
+    set
+}
+
+/// Parse an optional `{m}` / `{m,n}` repetition; defaults to `{1}`.
+fn parse_repeat(p: &[char], i: &mut usize) -> (usize, usize) {
+    if p.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    *i += 1;
+    let digits = |p: &[char], i: &mut usize| -> usize {
+        let mut v = 0usize;
+        while let Some(d) = p.get(*i).and_then(|c| c.to_digit(10)) {
+            v = v * 10 + d as usize;
+            *i += 1;
+        }
+        v
+    };
+    let min = digits(p, i);
+    let max = if p.get(*i) == Some(&',') {
+        *i += 1;
+        digits(p, i)
+    } else {
+        min
+    };
+    assert_eq!(p.get(*i), Some(&'}'), "malformed repetition");
+    *i += 1;
+    (min, max)
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut Rng) -> String {
+    let p: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let set: Vec<char> = if p.get(0) == Some(&'\\') && p.get(1) == Some(&'P') {
+        // `\PC` — "not a control character".
+        i = 3;
+        universe().into_iter().collect()
+    } else {
+        parse_class(&p, &mut i).into_iter().collect()
+    };
+    let (min, max) = parse_repeat(&p, &mut i);
+    assert_eq!(i, p.len(), "unsupported pattern tail in {pattern:?}");
+    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+    let len = min + rng.below((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| set[rng.below(set.len() as u64) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::new(99)
+    }
+
+    #[test]
+    fn simple_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9_]{0,24}", &mut r);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn intersection_with_negation() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[ -~&&[^$#]]{0,128}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '$' && c != '#'));
+        }
+    }
+
+    #[test]
+    fn bounded_min_len() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-zA-Z0-9,:]{4,64}", &mut r);
+            assert!((4..=64).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn not_control() {
+        let mut r = rng();
+        let s = generate_from_pattern("\\PC{0,256}", &mut r);
+        assert!(s.chars().all(|c| !c.is_control() || c == '\n' || c == '\t'));
+    }
+
+    #[test]
+    fn escapes_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z0-9_\\[\\]():,= #\n-]{0,32}", &mut r);
+            assert!(s.chars().all(|c| "[]():,= #\n-_".contains(c)
+                || c.is_ascii_lowercase()
+                || c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic case runner: generate N inputs, run the body, report
+//! the first failure with its full input (no shrinking).
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A deterministic xoshiro256++ generator for test inputs.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeded generator (SplitMix64-expanded).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below(0)");
+        self.next() % bound
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to run per property (`PROPTEST_CASES` env overrides).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A test-case failure raised by `prop_assert*`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wrap a failure message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Execute `cases` generated inputs against `test`. Deterministic: the
+/// input stream is a pure function of the property name.
+pub fn run<S, F>(name: &str, config: ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let mut rng = Rng::new(fnv1a(name) ^ 0x50f7_e57e_5eed_0001);
+    for case in 0..cases {
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "property '{name}' failed at case {case}: {e}\n       input: {rendered}"
+            ),
+            Err(payload) => {
+                eprintln!("property '{name}' panicked at case {case}; input: {rendered}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize` on a handful of report
+//! types (no serializer is ever instantiated — the benches emit CSV and
+//! text by hand), so the stand-in reduces serialization to marker
+//! traits with blanket impls and inert derive macros. Swapping the real
+//! serde back in requires no source changes.
+
+/// Marker for serializable types. Blanket-implemented: every type in
+/// this workspace is "serializable" as far as trait bounds go.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (unused, kept for API parity).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Inert derives for the offline serde stand-in: the `serde` crate in
+//! `vendor/` blanket-implements its marker traits, so the derives only
+//! need to exist (and swallow `#[serde(...)]` helper attributes).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
