@@ -11,9 +11,11 @@ use crate::crash::CrashReport;
 use crate::executor::Executor;
 use crate::fuzzer::{Fuzzer, FuzzerStats};
 use crate::gen::Generator;
+use crate::supervisor::ResilienceStats;
 use eof_agent::{agent_loader, api_table_of};
 use eof_coverage::Snapshot;
 use eof_dap::{DebugTransport, LinkConfig};
+use eof_hal::FaultPlan;
 use eof_monitors::{parse_kconfig, render_kconfig, StateRestoration};
 use eof_rtos::bugs::BugId;
 use eof_specgen::{GenReport, NoiseConfig};
@@ -32,6 +34,8 @@ pub struct CampaignResult {
     pub bugs: Vec<BugId>,
     /// Loop statistics.
     pub stats: FuzzerStats,
+    /// Recovery-supervisor and link-retry accounting.
+    pub resilience: ResilienceStats,
     /// Spec-generation report (admission pipeline).
     pub spec_report: GenReport,
     /// Image size flashed, in bytes.
@@ -43,15 +47,25 @@ pub struct CampaignResult {
 pub fn run_campaign_with_coverage(
     config: FuzzerConfig,
 ) -> (CampaignResult, eof_coverage::CoverageMap) {
-    run_campaign_inner(config)
+    run_campaign_inner(config, FaultPlan::none())
 }
 
 /// Run one full campaign.
 pub fn run_campaign(config: FuzzerConfig) -> CampaignResult {
-    run_campaign_inner(config).0
+    run_campaign_inner(config, FaultPlan::none()).0
 }
 
-fn run_campaign_inner(config: FuzzerConfig) -> (CampaignResult, eof_coverage::CoverageMap) {
+/// Run one full campaign under a harness-injected fault schedule (the
+/// chaos harness's entry point). Plan cycles are relative to the moment
+/// the fuzzer attaches — i.e. to campaign start.
+pub fn run_campaign_with_faults(config: FuzzerConfig, plan: FaultPlan) -> CampaignResult {
+    run_campaign_inner(config, plan).0
+}
+
+fn run_campaign_inner(
+    config: FuzzerConfig,
+    plan: FaultPlan,
+) -> (CampaignResult, eof_coverage::CoverageMap) {
     // ② Extract + validate the API specifications. The pipeline is pure
     // in (os, noise, validation), so it is interned process-wide; the
     // spec is cloned out because the config filters below mutate it.
@@ -88,6 +102,11 @@ fn run_campaign_inner(config: FuzzerConfig) -> (CampaignResult, eof_coverage::Co
         .reflash_partition("kernel", &image)
         .expect("image fits kernel partition");
     machine.reset();
+    if plan.pending() > 0 {
+        // Armed after boot: the plan's cycle offsets are rebased to the
+        // current bus time by the machine.
+        machine.set_fault_plan(plan);
+    }
 
     // ① Memory layout from the build configuration.
     let kconfig_text = render_kconfig(
@@ -123,6 +142,7 @@ fn run_campaign_inner(config: FuzzerConfig) -> (CampaignResult, eof_coverage::Co
         crashes: fuzzer.crashes().unique().cloned().collect(),
         bugs: fuzzer.crashes().bugs_found(),
         stats: fuzzer.stats().clone(),
+        resilience: fuzzer.executor().resilience(),
         spec_report,
         image_bytes,
     };
@@ -159,6 +179,26 @@ mod tests {
         assert_eq!(a.branches, b.branches);
         assert_eq!(a.stats.execs, b.stats.execs);
         assert_eq!(a.bugs, b.bugs);
+        assert_eq!(a.resilience, b.resilience);
+    }
+
+    #[test]
+    fn fault_free_campaigns_keep_the_supervisor_quiet() {
+        use crate::supervisor::Rung;
+        // Without injected faults the only degraded states are the
+        // target's own hangs: every recovery episode is a stall, recovers
+        // on the first reset, and the connection-loss machinery (resume
+        // rung, link retries, manual escalation) never fires. This pins
+        // the refactored recovery path to the old ad-hoc behaviour on
+        // fault-free schedules.
+        let r = run_campaign(short(OsKind::FreeRtos, 7, 0.02));
+        let res = &r.resilience;
+        assert_eq!(res.rung_attempts[Rung::Resume.index()], 0, "{res:?}");
+        assert_eq!(res.episodes, res.rung_successes[Rung::Reset.index()], "{res:?}");
+        assert_eq!(res.manual_interventions, 0, "{res:?}");
+        assert_eq!(res.failed_syncs, 0, "{res:?}");
+        assert_eq!(res.link.retries, 0, "{res:?}");
+        assert_eq!(res.backoff_cycles, 0, "{res:?}");
     }
 
     #[test]

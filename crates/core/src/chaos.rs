@@ -1,0 +1,237 @@
+//! Seeded chaos harness: full campaigns under randomized fault schedules.
+//!
+//! Nothing else in the repo runs the fuzzer *while the hardware
+//! misbehaves*, yet that is exactly the regime the paper's liveness and
+//! restoration machinery (§4.4) exists for — and the regime µAFL and
+//! Ember-IO report as the operational reality of on-hardware fuzzing
+//! (flaky probes, brownouts, silently corrupted campaigns). The harness
+//! draws a deterministic schedule of injected faults from a seed, runs a
+//! normal campaign under it, and checks the supervisor's contract:
+//!
+//! * the campaign completes (no panic, forward progress);
+//! * the coverage curve stays monotone — recovery never corrupts the map;
+//! * every recovery episode ends **recovered or reported** (a manual
+//!   intervention is a report, a wedged campaign is a violation);
+//! * no single recovery episode exceeds a hard time bound.
+//!
+//! Identical seeds reproduce identical schedules, campaigns and
+//! [`ResilienceStats`] — asserted by the `chaos` bench and CI.
+
+use crate::campaign::{run_campaign_with_faults, CampaignResult};
+use crate::config::FuzzerConfig;
+use crate::supervisor::ResilienceStats;
+use eof_hal::clock::{secs_to_cycles, CYCLES_PER_SEC};
+use eof_hal::{FaultPlan, InjectedFault};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hard bound on one recovery episode, in simulated seconds. The worst
+/// legitimate path is a full ladder walk where every rung's health
+/// verify burns its whole continue budget (8 rung attempts × ~130 k
+/// cycles of verification) plus inter-attempt backoff, the 60 s manual
+/// intervention and a final full reflash — about 1 200 s. Anything past
+/// 1 800 s means the ladder is looping, not escalating.
+pub const MAX_RECOVERY_SECS: u64 = 1_800;
+
+/// Kinds the schedule draws from, with their report labels.
+const KINDS: [&str; 7] = [
+    "flash_bit_flip",
+    "freeze_firmware",
+    "kill_core",
+    "drop_link",
+    "flaky_link",
+    "brownout",
+    "uart_garbage",
+];
+
+/// A chaos run: a base campaign plus a fault-schedule seed.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Campaign to torture. Its own `seed` controls fuzzing; the chaos
+    /// seed below only controls the fault schedule.
+    pub base: FuzzerConfig,
+    /// Fault-schedule seed.
+    pub chaos_seed: u64,
+    /// Number of faults to inject across the campaign budget.
+    pub faults: usize,
+}
+
+/// What a chaos run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The underlying campaign result (includes `resilience`).
+    pub result: CampaignResult,
+    /// Faults scheduled, per kind label (same order as injected).
+    pub fault_counts: Vec<(&'static str, usize)>,
+    /// Total faults scheduled.
+    pub planned_faults: usize,
+    /// Invariant violations. Empty = the supervisor held its contract.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Resilience accounting shorthand.
+    pub fn resilience(&self) -> &ResilienceStats {
+        &self.result.resilience
+    }
+}
+
+/// Draw a deterministic fault schedule: `faults` faults with randomized
+/// kinds, parameters and fire times spread over the first 90% of
+/// `horizon_cycles` (the tail is left quiet so the last recovery can
+/// finish inside the budget). Returns the plan and the per-kind counts.
+pub fn chaos_plan(
+    seed: u64,
+    faults: usize,
+    horizon_cycles: u64,
+    flash_size: u32,
+) -> (FaultPlan, Vec<(&'static str, usize)>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a05);
+    let mut plan = FaultPlan::none();
+    let mut counts = [0usize; 7];
+    let window = (horizon_cycles / 10).max(1) * 9;
+    for _ in 0..faults {
+        let at = rng.random_range(0..window.max(2));
+        let kind = rng.random_range(0..7u32) as usize;
+        counts[kind] += 1;
+        let fault = match kind {
+            0 => InjectedFault::FlashBitFlip {
+                offset: rng.random_range(0..flash_size.max(2)),
+                bit: rng.random_range(0..=7u8),
+            },
+            1 => InjectedFault::FreezeFirmware,
+            2 => InjectedFault::KillCore,
+            3 => InjectedFault::DropLink {
+                cycles: rng.random_range(500..40_000u64),
+            },
+            4 => InjectedFault::FlakyLink {
+                drop_per_mille: rng.random_range(100..=700u16),
+                cycles: rng.random_range(5_000..60_000u64),
+            },
+            5 => InjectedFault::Brownout {
+                cycles: rng.random_range(2_000..20_000u64),
+            },
+            _ => InjectedFault::UartGarbage,
+        };
+        plan = plan.at(at, fault);
+    }
+    let labelled = KINDS.iter().zip(counts).map(|(k, c)| (*k, c)).collect();
+    (plan, labelled)
+}
+
+/// Run one campaign under a seeded fault schedule and check the
+/// supervisor's invariants.
+pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
+    let horizon = (config.base.budget_hours * 3600.0 * CYCLES_PER_SEC as f64) as u64;
+    let (plan, fault_counts) = chaos_plan(
+        config.chaos_seed,
+        config.faults,
+        horizon,
+        config.base.board.flash_size,
+    );
+    let planned_faults = plan.pending();
+    let result = run_campaign_with_faults(config.base.clone(), plan);
+    let violations = check_invariants(&result);
+    ChaosReport {
+        result,
+        fault_counts,
+        planned_faults,
+        violations,
+    }
+}
+
+/// The supervisor's contract, checked against a finished campaign.
+pub fn check_invariants(result: &CampaignResult) -> Vec<String> {
+    let mut violations = Vec::new();
+    if result.stats.execs == 0 {
+        violations.push("campaign made no forward progress (0 execs)".to_string());
+    }
+    for w in result.history.windows(2) {
+        if w[1].branches < w[0].branches {
+            violations.push(format!(
+                "coverage regressed: {} -> {} branches at {:.2}h",
+                w[0].branches, w[1].branches, w[1].hours
+            ));
+            break;
+        }
+    }
+    let r = &result.resilience;
+    let accounted = r.recovered() + r.manual_interventions;
+    if accounted != r.episodes {
+        violations.push(format!(
+            "unaccounted recovery episodes: {} entered, {} recovered + {} manual",
+            r.episodes,
+            r.recovered(),
+            r.manual_interventions
+        ));
+    }
+    if r.max_recovery_cycles > secs_to_cycles(MAX_RECOVERY_SECS) {
+        violations.push(format!(
+            "recovery episode exceeded bound: {} cycles > {MAX_RECOVERY_SECS} s",
+            r.max_recovery_cycles
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eof_rtos::OsKind;
+
+    fn chaos_config(os: OsKind, fuzz_seed: u64, chaos_seed: u64, faults: usize) -> ChaosConfig {
+        let mut base = FuzzerConfig::eof(os, fuzz_seed);
+        base.budget_hours = 0.1;
+        base.snapshot_hours = 0.025;
+        ChaosConfig {
+            base,
+            chaos_seed,
+            faults,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_complete() {
+        let (a, counts_a) = chaos_plan(42, 64, 1_000_000, 1 << 20);
+        let (b, counts_b) = chaos_plan(42, 64, 1_000_000, 1 << 20);
+        assert_eq!(a.pending(), 64);
+        assert_eq!(counts_a, counts_b);
+        let mut a = a;
+        let mut b = b;
+        assert_eq!(a.take_due(u64::MAX), b.take_due(u64::MAX));
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let (mut a, _) = chaos_plan(1, 64, 1_000_000, 1 << 20);
+        let (mut b, _) = chaos_plan(2, 64, 1_000_000, 1 << 20);
+        assert_ne!(a.take_due(u64::MAX), b.take_due(u64::MAX));
+    }
+
+    #[test]
+    fn chaos_campaign_survives_and_accounts_for_every_outage() {
+        let report = run_chaos(&chaos_config(OsKind::FreeRtos, 21, 77, 30));
+        assert!(
+            report.violations.is_empty(),
+            "invariant violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.planned_faults, 30);
+        // The schedule fired real faults and the ladder really climbed.
+        let r = report.resilience();
+        assert!(r.episodes > 0, "no recovery episodes under 30 faults");
+        assert!(
+            r.recovered() + r.manual_interventions == r.episodes,
+            "episodes unaccounted"
+        );
+    }
+
+    #[test]
+    fn chaos_is_reproducible() {
+        let a = run_chaos(&chaos_config(OsKind::Zephyr, 5, 99, 20));
+        let b = run_chaos(&chaos_config(OsKind::Zephyr, 5, 99, 20));
+        assert_eq!(a.result.resilience, b.result.resilience);
+        assert_eq!(a.result.branches, b.result.branches);
+        assert_eq!(a.result.stats.execs, b.result.stats.execs);
+    }
+}

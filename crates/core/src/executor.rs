@@ -9,9 +9,10 @@
 
 use crate::config::FuzzerConfig;
 use crate::crash::{triage, CrashReport, DetectionSource};
+use crate::supervisor::{RecoveryReason, RecoverySupervisor, ResilienceStats};
 use eof_agent::AgentLayout;
 use eof_coverage::{CoverageMap, InstrumentMode};
-use eof_dap::{DebugTransport, LinkEvent};
+use eof_dap::{DebugTransport, LinkEvent, RetryPolicy, RetryStats};
 use eof_hal::clock::{secs_to_cycles, CYCLES_PER_SEC};
 use eof_monitors::{
     parse_backtrace, Liveness, LivenessWatchdog, LogMonitor, PowerWatchdog, StateRestoration,
@@ -24,10 +25,6 @@ const SLICE_CYCLES: u64 = 2_000;
 
 /// Maximum slices per execution before the stall machinery engages hard.
 const MAX_SLICES: u32 = 24;
-
-/// Penalty for campaigns without reflash when a reboot fails to revive
-/// the target — the "manual intervention" the paper says such tools need.
-const MANUAL_INTERVENTION_SECS: u64 = 60;
 
 /// Outcome of one test-case execution.
 #[derive(Debug, Clone, Default)]
@@ -44,6 +41,9 @@ pub struct ExecOutcome {
     pub restored: bool,
     /// The debug connection was lost at some point.
     pub target_lost: bool,
+    /// Even after recovery the target could not be parked at the sync
+    /// point — the execution was skipped (its time was still charged).
+    pub sync_failed: bool,
     /// Cycles consumed by this execution, all costs included.
     pub cycles: u64,
 }
@@ -62,11 +62,15 @@ pub struct Executor {
     watchdog: LivenessWatchdog,
     power_watchdog: PowerWatchdog,
     restoration: StateRestoration,
+    supervisor: RecoverySupervisor,
+    retry: RetryPolicy,
+    link_retry: RetryStats,
     cov_map: CoverageMap,
     at_main: bool,
     execs: u64,
     restorations: u64,
     stall_events: u64,
+    failed_syncs: u64,
 }
 
 impl Executor {
@@ -109,6 +113,7 @@ impl Executor {
         } else {
             None
         };
+        let supervisor = RecoverySupervisor::for_policy(&config.recovery);
         let mut exec = Executor {
             transport,
             config,
@@ -122,11 +127,15 @@ impl Executor {
             watchdog: LivenessWatchdog::new(),
             power_watchdog: PowerWatchdog::new(),
             restoration,
+            supervisor,
+            retry: RetryPolicy::default(),
+            link_retry: RetryStats::default(),
             cov_map: CoverageMap::new(),
             at_main: false,
             execs: 0,
             restorations: 0,
             stall_events: 0,
+            failed_syncs: 0,
         };
         exec.sync_to_main();
         Ok(exec)
@@ -157,6 +166,20 @@ impl Executor {
         self.stall_events
     }
 
+    /// Syncs that failed even after a full recovery episode.
+    pub fn failed_syncs(&self) -> u64 {
+        self.failed_syncs
+    }
+
+    /// Combined resilience accounting: supervisor ladder counters plus
+    /// the link-layer retry totals and failed syncs.
+    pub fn resilience(&self) -> ResilienceStats {
+        let mut stats = *self.supervisor.stats();
+        stats.link.absorb(&self.link_retry);
+        stats.failed_syncs = self.failed_syncs;
+        stats
+    }
+
     /// Current simulated time in hours.
     pub fn now_hours(&self) -> f64 {
         self.transport.now() as f64 / (CYCLES_PER_SEC as f64 * 3600.0)
@@ -177,53 +200,79 @@ impl Executor {
         self.transport.inject_irq(line, payload);
     }
 
-    /// Park the target at `executor_main`, recovering if necessary.
-    fn sync_to_main(&mut self) {
+    /// Try to park the target at `executor_main` — the supervisor's
+    /// health verify as well as the inter-exec sync. Intermediate
+    /// breakpoint hits (coverage drains during boot) are tolerated; two
+    /// consecutive budget-exhausted slices mean the target is running
+    /// but not getting there (hung), and a dead target fails fast.
+    fn park_at_main(pipe: &mut DebugTransport, main_addr: u32) -> bool {
+        let mut still = 0u32;
         for _ in 0..8 {
-            match self.transport.continue_until_halt(8 * SLICE_CYCLES) {
-                Ok(LinkEvent::BreakpointHit { pc }) if pc == self.main_addr => {
-                    self.at_main = true;
-                    return;
+            match pipe.continue_until_halt(8 * SLICE_CYCLES) {
+                Ok(LinkEvent::BreakpointHit { pc }) if pc == main_addr => return true,
+                Ok(LinkEvent::BreakpointHit { .. }) | Ok(LinkEvent::WatchdogReset) => {
+                    still = 0;
                 }
-                Ok(LinkEvent::BreakpointHit { .. }) | Ok(LinkEvent::StillRunning) => continue,
-                Ok(LinkEvent::WatchdogReset) => continue,
-                Ok(LinkEvent::TargetDead) | Err(_) => {
-                    self.recover();
+                Ok(LinkEvent::StillRunning) => {
+                    still += 1;
+                    if still >= 2 {
+                        return false;
+                    }
                 }
+                Ok(LinkEvent::TargetDead) | Err(_) => return false,
             }
         }
-        // Could not reach main even after recovery attempts; leave
-        // `at_main` false — the next run will try again.
-        self.at_main = false;
+        false
     }
 
-    /// Restore the target per the configured recovery policy.
-    fn recover(&mut self) {
-        self.restorations += 1;
-        if self.config.recovery.reflash {
-            let _ = self.restoration.restore(&mut self.transport);
-        } else {
-            // Reboot-only tools: try the cheap thing first.
-            let _ = self.transport.reset_target();
-            self.transport.sleep(secs_to_cycles(1));
-            if self.transport.read_pc().is_err() {
-                // Image is damaged; a human walks over with a flasher.
-                self.transport.sleep(secs_to_cycles(MANUAL_INTERVENTION_SECS));
-                let _ = self.restoration.restore(&mut self.transport);
-            }
+    /// Park the target at `executor_main`, recovering if necessary.
+    /// A sync that fails even after a full supervisor episode is counted
+    /// and surfaced — never swallowed.
+    fn sync_to_main(&mut self) {
+        if Self::park_at_main(&mut self.transport, self.main_addr) {
+            self.at_main = true;
+            return;
         }
+        self.recover(RecoveryReason::ConnectionLoss);
+        if !self.at_main {
+            self.failed_syncs += 1;
+        }
+    }
+
+    /// Run one supervisor recovery episode. The episode climbs the
+    /// restoration ladder until the target verifies healthy (parked at
+    /// `executor_main`) or escalates to manual intervention; either way
+    /// `at_main` reflects the verified end state.
+    fn recover(&mut self, reason: RecoveryReason) {
+        self.restorations += 1;
+        let main_addr = self.main_addr;
+        let outcome = self.supervisor.recover(
+            reason,
+            &mut self.transport,
+            &mut self.restoration,
+            |pipe| Self::park_at_main(pipe, main_addr),
+        );
+        self.at_main = outcome.parked;
         self.watchdog.reset();
     }
 
-    /// Drain the on-device coverage buffer and reset it.
+    /// Drain the on-device coverage buffer and reset it. Transient link
+    /// drops mid-drain are retried at the link layer: an interrupted
+    /// drain must not silently lose the buffered edges.
     fn drain_cov(&mut self) -> Vec<u64> {
         if self.config.instrument == InstrumentMode::None {
             return Vec::new();
         }
         let region = self.layout.cov;
         let endian = self.config.board.endianness;
+        let policy = self.retry;
         let mut header = [0u8; 12];
-        if self.transport.read_mem(region.base, &mut header).is_err() {
+        if policy
+            .run(&mut self.link_retry, &mut self.transport, |p| {
+                p.read_mem(region.base, &mut header)
+            })
+            .is_err()
+        {
             return Vec::new();
         }
         let count = endian
@@ -233,9 +282,10 @@ impl Executor {
             return Vec::new();
         }
         let mut records = vec![0u8; (count * 8) as usize];
-        if self
-            .transport
-            .read_mem(region.base + 12, &mut records)
+        if policy
+            .run(&mut self.link_retry, &mut self.transport, |p| {
+                p.read_mem(region.base + 12, &mut records)
+            })
             .is_err()
         {
             return Vec::new();
@@ -245,8 +295,12 @@ impl Executor {
         let (edges, _overflow) = region.parse_drain(&raw, endian);
         // Reset the buffer for the agent.
         let zero = endian.u32_bytes(0);
-        let _ = self.transport.write_mem(region.base, &zero);
-        let _ = self.transport.write_mem(region.base + 8, &zero);
+        let _ = policy.run(&mut self.link_retry, &mut self.transport, |p| {
+            p.write_mem(region.base, &zero)
+        });
+        let _ = policy.run(&mut self.link_retry, &mut self.transport, |p| {
+            p.write_mem(region.base + 8, &zero)
+        });
         edges
     }
 
@@ -316,38 +370,42 @@ impl Executor {
         if !self.at_main {
             self.sync_to_main();
             if !self.at_main {
-                // Target unreachable; one more recovery, then give up on
-                // this exec (time was charged).
-                self.recover();
+                // Target unreachable even after a full supervisor
+                // episode; give up on this exec (time was charged) and
+                // surface the failed sync instead of swallowing it.
                 outcome.restored = true;
                 outcome.target_lost = true;
+                outcome.sync_failed = true;
                 outcome.cycles = self.transport.now() - start;
-                self.sync_to_main();
                 return outcome;
             }
         }
 
-        // Upload the prog.
+        // Upload the prog. Transient link drops are retried at the link
+        // layer; only a persistent loss escalates to the supervisor.
         let Ok(bytes) = encode_prog(prog, &self.api_table, self.order) else {
             outcome.cycles = self.transport.now() - start;
             return outcome;
         };
         let endian = self.config.board.endianness;
         let len_bytes = endian.u32_bytes(bytes.len() as u32);
-        if self
-            .transport
-            .write_mem(self.layout.prog_addr, &len_bytes)
+        let prog_addr = self.layout.prog_addr;
+        let policy = self.retry;
+        if policy
+            .run(&mut self.link_retry, &mut self.transport, |p| {
+                p.write_mem(prog_addr, &len_bytes)
+            })
             .is_err()
-            || self
-                .transport
-                .write_mem(self.layout.prog_addr + 4, &bytes)
+            || policy
+                .run(&mut self.link_retry, &mut self.transport, |p| {
+                    p.write_mem(prog_addr + 4, &bytes)
+                })
                 .is_err()
         {
-            self.recover();
+            self.recover(RecoveryReason::ConnectionLoss);
             outcome.restored = true;
             outcome.target_lost = true;
             outcome.cycles = self.transport.now() - start;
-            self.sync_to_main();
             return outcome;
         }
         self.at_main = false;
@@ -362,11 +420,17 @@ impl Executor {
                 self.stall_events += 1;
                 outcome.stalled = true;
                 let _ = self.scan_uart();
-                self.recover();
+                self.recover(RecoveryReason::Stall);
                 outcome.restored = true;
                 break;
             }
-            match self.transport.continue_until_halt(SLICE_CYCLES) {
+            // Transient link errors on the continue are retried at the
+            // link layer (re-issuing a resume is idempotent); only a
+            // persistent loss reaches the supervisor below.
+            let step = policy.run(&mut self.link_retry, &mut self.transport, |p| {
+                p.continue_until_halt(SLICE_CYCLES)
+            });
+            match step {
                 Ok(LinkEvent::BreakpointHit { pc }) if pc == self.main_addr => {
                     // Prog finished.
                     self.at_main = true;
@@ -428,7 +492,7 @@ impl Executor {
                         outcome.stalled = true;
                         all_edges.extend(self.drain_cov());
                         let _ = self.scan_uart();
-                        self.recover();
+                        self.recover(RecoveryReason::Stall);
                         outcome.restored = true;
                         break;
                     }
@@ -463,7 +527,7 @@ impl Executor {
                                     outcome.crash = Some(report);
                                 }
                             }
-                            self.recover();
+                            self.recover(RecoveryReason::Stall);
                             outcome.restored = true;
                             break;
                         }
@@ -472,7 +536,7 @@ impl Executor {
                     if self.config.recovery.stall_watchdog {
                         match self.watchdog.check(&mut self.transport) {
                             Liveness::Alive => continue,
-                            Liveness::Stalled { .. } | Liveness::ConnectionTimeout => {
+                            verdict @ (Liveness::Stalled { .. } | Liveness::ConnectionTimeout) => {
                                 self.stall_events += 1;
                                 outcome.stalled = true;
                                 all_edges.extend(self.drain_cov());
@@ -493,7 +557,15 @@ impl Executor {
                                         outcome.crash = Some(report);
                                     }
                                 }
-                                self.recover();
+                                // Algorithm 1 distinguishes the two
+                                // liveness failures; so does the ladder.
+                                let reason = match verdict {
+                                    Liveness::ConnectionTimeout => {
+                                        RecoveryReason::ConnectionLoss
+                                    }
+                                    _ => RecoveryReason::Stall,
+                                };
+                                self.recover(reason);
                                 outcome.restored = true;
                                 break;
                             }
@@ -526,7 +598,7 @@ impl Executor {
                                     bug,
                                 });
                             }
-                            self.recover();
+                            self.recover(RecoveryReason::Stall);
                             outcome.restored = true;
                             break;
                         }
@@ -540,7 +612,7 @@ impl Executor {
                     outcome.target_lost = true;
                     outcome.stalled = true;
                     let _ = self.scan_uart();
-                    self.recover();
+                    self.recover(RecoveryReason::ConnectionLoss);
                     outcome.restored = true;
                     break;
                 }
@@ -727,6 +799,140 @@ mod tests {
     }
 
     #[test]
+    fn reset_rung_recovers_frozen_firmware() {
+        use crate::supervisor::Rung;
+        let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 31));
+        let prog = Prog {
+            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
+        };
+        e.transport_mut()
+            .machine_mut()
+            .set_fault_plan(eof_hal::FaultPlan::none().at(10, eof_hal::InjectedFault::FreezeFirmware));
+        let out = e.run_one(&prog);
+        assert!(out.stalled);
+        assert!(out.restored);
+        let r = e.resilience();
+        // Frozen firmware means the flash is intact: the first rung that
+        // acts on the core — reset — must be the one that sticks, and a
+        // stall must never burn the resume rung (the PC provably cannot
+        // move, so re-parking without action is futile).
+        assert_eq!(r.rung_successes[Rung::Reset.index()], 1, "{r:?}");
+        assert_eq!(r.rung_attempts[Rung::Resume.index()], 0, "{r:?}");
+        assert_eq!(r.rung_attempts[Rung::VerifyReflash.index()], 0, "{r:?}");
+        // Target is healthy again.
+        assert!(e.run_one(&prog).crash.is_none());
+    }
+
+    #[test]
+    fn reflash_rung_heals_corrupted_flash() {
+        use crate::supervisor::Rung;
+        let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 32));
+        let prog = Prog {
+            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
+        };
+        let kernel = e
+            .transport_mut()
+            .machine_mut()
+            .flash()
+            .table()
+            .get("kernel")
+            .unwrap()
+            .clone();
+        // Corrupt the stored image, then freeze the (still-loaded) copy:
+        // the stall forces recovery, and every plain reset now boots the
+        // corrupted flash — only the checksum-verify rung can heal it.
+        e.transport_mut().machine_mut().set_fault_plan(
+            eof_hal::FaultPlan::none()
+                .at(
+                    5,
+                    eof_hal::InjectedFault::FlashBitFlip {
+                        offset: kernel.offset + 4096,
+                        bit: 2,
+                    },
+                )
+                .at(10, eof_hal::InjectedFault::FreezeFirmware),
+        );
+        let out = e.run_one(&prog);
+        assert!(out.restored);
+        let r = e.resilience();
+        assert_eq!(r.rung_successes[Rung::VerifyReflash.index()], 1, "{r:?}");
+        // The reset rung was tried (its full budget) and could not help.
+        assert_eq!(r.rung_attempts[Rung::Reset.index()], 2, "{r:?}");
+        assert_eq!(r.rung_successes[Rung::Reset.index()], 0, "{r:?}");
+        assert!(e.run_one(&prog).crash.is_none());
+    }
+
+    #[test]
+    fn power_cycle_rung_revives_killed_core_under_link_outage() {
+        use crate::supervisor::Rung;
+        let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 33));
+        let prog = Prog {
+            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
+        };
+        // A killed core with the probe link down defeats every rung that
+        // needs the debug port: reset and reflash all fail while the
+        // outage lasts, and a plain reset cannot release the lockup latch
+        // anyway. The power rail is independent of the link, so the
+        // power-cycle rung revives the core; by the time its verify runs
+        // the outage has expired and the park succeeds.
+        e.transport_mut().machine_mut().set_fault_plan(
+            eof_hal::FaultPlan::none()
+                .at(10, eof_hal::InjectedFault::KillCore)
+                .at(10, eof_hal::InjectedFault::DropLink { cycles: 12_000 }),
+        );
+        let out = e.run_one(&prog);
+        assert!(out.restored);
+        let r = e.resilience();
+        assert_eq!(r.rung_successes[Rung::PowerCycle.index()], 1, "{r:?}");
+        assert_eq!(r.rung_successes[Rung::FullReflash.index()], 0, "{r:?}");
+        assert_eq!(r.manual_interventions, 0, "{r:?}");
+        assert!(e.transport_mut().machine_mut().power_cycles() >= 1);
+        assert!(e.run_one(&prog).crash.is_none());
+    }
+
+    #[test]
+    fn outage_mid_run_loses_no_coverage_or_crash() {
+        // A transient link drop during the exec must be absorbed by the
+        // link-layer retry: the coverage drained and the crash detected
+        // must match a fault-free run of the identical prog bit-for-bit.
+        let prog = Prog {
+            calls: vec![
+                call("json_parse", vec![ArgValue::Buffer(br#"{"a":[1,2]}"#.to_vec())]),
+                call(
+                    "load_partitions",
+                    vec![ArgValue::Int(3), ArgValue::Int(0x10)],
+                ),
+            ],
+        };
+        let mut control = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 34));
+        let clean = control.run_one(&prog);
+        let mut faulted = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 34));
+        faulted.transport_mut().machine_mut().set_fault_plan(
+            eof_hal::FaultPlan::none()
+                .at(300, eof_hal::InjectedFault::DropLink { cycles: 600 }),
+        );
+        let noisy = faulted.run_one(&prog);
+        let r = faulted.resilience();
+        assert!(
+            r.link.recovered > 0,
+            "outage never hit a link op (retune the fault time): {r:?}"
+        );
+        assert_eq!(r.link.exhausted, 0, "{r:?}");
+        // Nothing escalated to the supervisor...
+        assert_eq!(r.episodes, 0, "{r:?}");
+        // ...and nothing was lost: same edges, same crash class.
+        assert_eq!(noisy.new_edges, clean.new_edges);
+        assert_eq!(
+            noisy.crash.as_ref().map(|c| c.bug),
+            clean.crash.as_ref().map(|c| c.bug)
+        );
+        assert_eq!(
+            faulted.coverage().branches(),
+            control.coverage().branches()
+        );
+    }
+
+    #[test]
     fn timeout_only_detection_sees_hanging_bug_late() {
         let mut cfg = FuzzerConfig::eof(OsKind::Zephyr, 5);
         cfg.detection = DetectionConfig::timeout_only(10);
@@ -822,3 +1028,4 @@ mod tests {
         assert!(cs > cf + cf / 2, "multiplier not applied: {cf} vs {cs}");
     }
 }
+

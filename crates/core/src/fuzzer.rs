@@ -29,6 +29,9 @@ pub struct FuzzerStats {
     pub stalls: u64,
     /// Restorations performed.
     pub restorations: u64,
+    /// Executions skipped because the target could not be parked at the
+    /// sync point even after recovery.
+    pub failed_syncs: u64,
 }
 
 /// The EOF fuzzing loop.
@@ -160,6 +163,9 @@ impl Fuzzer {
         }
         if outcome.restored {
             self.stats.restorations += 1;
+        }
+        if outcome.sync_failed {
+            self.stats.failed_syncs += 1;
         }
         let crashed = outcome.crash.is_some();
         let mut new_crash_class = false;

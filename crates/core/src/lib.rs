@@ -18,8 +18,14 @@
 //!   sync-point breakpoints, prog upload, coverage drain at
 //!   `_kcmp_buf_full`, exception/assert classification, stall handling
 //!   and state restoration;
+//! * [`supervisor`] — the recovery supervisor: an escalating
+//!   restoration ladder (resume → reset → verify-reflash → full
+//!   reflash → power-cycle) with bounded, backed-off retries and
+//!   [`supervisor::ResilienceStats`] accounting;
 //! * [`fuzzer`] — the feedback loop;
 //! * [`campaign`] — image build → flash → boot → fuzz → results;
+//! * [`chaos`] — seeded chaos harness: full campaigns under randomized
+//!   injected-fault schedules, with invariant checking;
 //! * [`artifacts`] — memoized image/spec pipeline shared by every
 //!   campaign in the process (one build per distinct key);
 //! * [`fleet`] — batch campaign execution over a scoped worker pool
@@ -33,6 +39,7 @@
 
 pub mod artifacts;
 pub mod campaign;
+pub mod chaos;
 pub mod config;
 pub mod corpus;
 pub mod crash;
@@ -42,9 +49,13 @@ pub mod fuzzer;
 pub mod gen;
 pub mod minimize;
 pub mod report;
+pub mod supervisor;
 
 pub use artifacts::{cached_image, cached_spec, cache_stats, reset_cache_stats, CacheStats};
-pub use campaign::{run_campaign, run_campaign_with_coverage, CampaignResult};
+pub use campaign::{
+    run_campaign, run_campaign_with_coverage, run_campaign_with_faults, CampaignResult,
+};
+pub use chaos::{chaos_plan, run_chaos, ChaosConfig, ChaosReport};
 pub use fleet::{FleetError, FleetResult, FleetRunner};
 pub use config::{DetectionConfig, FuzzerConfig, GenerationMode, RecoveryConfig};
 pub use corpus::{Corpus, Seed};
@@ -53,3 +64,6 @@ pub use executor::{ExecOutcome, Executor};
 pub use fuzzer::{Fuzzer, FuzzerStats};
 pub use gen::Generator;
 pub use minimize::{minimize, MinimizeResult};
+pub use supervisor::{
+    RecoveryOutcome, RecoveryReason, RecoverySupervisor, ResilienceStats, Rung,
+};

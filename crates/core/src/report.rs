@@ -132,6 +132,25 @@ pub fn write_campaign_report(
         "Table-2 bugs      : {:?}",
         result.bugs.iter().map(|b| b.number()).collect::<Vec<_>>()
     )?;
+    let r = &result.resilience;
+    writeln!(summary, "recovery episodes : {}", r.episodes)?;
+    for rung in crate::supervisor::Rung::ALL {
+        writeln!(
+            summary,
+            "  {:14}: {} ok / {} tried",
+            rung.name(),
+            r.rung_successes[rung.index()],
+            r.rung_attempts[rung.index()]
+        )?;
+    }
+    writeln!(summary, "manual interventions: {}", r.manual_interventions)?;
+    writeln!(summary, "failed syncs      : {}", r.failed_syncs)?;
+    writeln!(summary, "mttr              : {:.2} s", r.mttr_secs())?;
+    writeln!(
+        summary,
+        "link retries      : {} ({} recovered, {} exhausted)",
+        r.link.retries, r.link.recovered, r.link.exhausted
+    )?;
 
     let mut curve = std::fs::File::create(dir.join("coverage.csv"))?;
     writeln!(curve, "hours,branches")?;

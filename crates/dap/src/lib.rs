@@ -16,16 +16,21 @@
 //! * [`ocd`] — an OpenOCD-style text command server (`halt`, `mdw`,
 //!   `flash write_image`, …) layered on the transport;
 //! * [`rsp`] — a GDB Remote Serial Protocol codec and server (`$m…#cs`
-//!   packets), the path the paper's GDB/MI commands travel.
+//!   packets), the path the paper's GDB/MI commands travel;
+//! * [`retry`] — [`RetryPolicy`]: exponential-backoff retry of transient
+//!   connection losses, so a flaky probe is ridden out at the link layer
+//!   instead of escalating to a full state restoration.
 
 pub mod error;
 pub mod ocd;
+pub mod retry;
 pub mod rsp;
 pub mod tap;
 pub mod transport;
 
 pub use error::DapError;
 pub use ocd::OcdServer;
+pub use retry::{RetryPolicy, RetryStats};
 pub use rsp::{checksum, frame_packet, parse_packet, RspServer};
 pub use tap::{TapController, TapState};
 pub use transport::{DebugTransport, LinkConfig, LinkEvent};

@@ -15,7 +15,7 @@
 
 use crate::error::DapError;
 use crate::tap::TapController;
-use eof_hal::{DebugIface, Machine, RunExit};
+use eof_hal::{DebugIface, InjectedFault, Machine, RunExit};
 
 /// Link parameters of a probe session.
 #[derive(Debug, Clone, Copy)]
@@ -56,10 +56,16 @@ pub struct DebugTransport {
     machine: Machine,
     config: LinkConfig,
     tap: Option<TapController>,
-    /// Scheduled link outages as `(start_cycle, end_cycle)`.
+    /// Scheduled link outages as `(start_cycle, end_cycle)`. Expired
+    /// windows are pruned on every operation so a multi-day campaign
+    /// never scans an ever-growing list.
     outages: Vec<(u64, u64)>,
+    /// Flaky-link windows as `(start_cycle, end_cycle, drop_per_mille)`.
+    flaky: Vec<(u64, u64, u16)>,
     ops: u64,
     timeouts: u64,
+    /// Operations refused by a flaky-link window.
+    flaky_drops: u64,
 }
 
 impl DebugTransport {
@@ -74,8 +80,10 @@ impl DebugTransport {
             config,
             tap,
             outages: Vec::new(),
+            flaky: Vec::new(),
             ops: 0,
             timeouts: 0,
+            flaky_drops: 0,
         }
     }
 
@@ -99,9 +107,22 @@ impl DebugTransport {
         self.timeouts
     }
 
+    /// Operations dropped by an injected flaky-link window.
+    pub fn flaky_drops(&self) -> u64 {
+        self.flaky_drops
+    }
+
     /// Schedule a link outage of `duration` cycles starting at `at_cycle`.
     pub fn schedule_outage(&mut self, at_cycle: u64, duration: u64) {
         self.outages.push((at_cycle, at_cycle + duration));
+    }
+
+    /// Schedule a flaky-link window: each operation inside it is dropped
+    /// with probability `drop_per_mille`/1000 (deterministically, keyed
+    /// on the operation counter).
+    pub fn schedule_flaky(&mut self, at_cycle: u64, duration: u64, drop_per_mille: u16) {
+        self.flaky
+            .push((at_cycle, at_cycle + duration, drop_per_mille.min(1000)));
     }
 
     fn link_up(&self) -> bool {
@@ -109,20 +130,75 @@ impl DebugTransport {
         !self.outages.iter().any(|&(s, e)| now >= s && now < e)
     }
 
-    /// Preamble of every operation: charge latency (and TAP scan cost on
-    /// JTAG), verify the link, verify the target answers.
-    fn begin_op(&mut self, payload_bits: u32) -> Result<(), DapError> {
+    /// Collect due link faults from the machine's injection plan and turn
+    /// them into outage / flaky windows starting now.
+    fn poll_link_faults(&mut self) {
+        // Fast path: nothing scheduled (the overwhelmingly common case).
+        if self.machine.pending_injected_faults() == 0 {
+            return;
+        }
+        let now = self.machine.bus().now();
+        for fault in self.machine.take_due_link_faults() {
+            match fault {
+                InjectedFault::DropLink { cycles } => self.outages.push((now, now + cycles)),
+                InjectedFault::FlakyLink {
+                    drop_per_mille,
+                    cycles,
+                } => self
+                    .flaky
+                    .push((now, now + cycles, drop_per_mille.min(1000))),
+                _ => {}
+            }
+        }
+    }
+
+    /// Whether an active flaky window drops this operation. Deterministic:
+    /// the coin is a hash of the monotone operation counter, so identical
+    /// campaigns see identical drop sequences.
+    fn flaky_drop(&self) -> bool {
+        let now = self.machine.bus().now();
+        let Some(&(_, _, per_mille)) = self.flaky.iter().find(|&&(s, e, _)| now >= s && now < e)
+        else {
+            return false;
+        };
+        let mut x = self.ops ^ 0x9e37_79b9_7f4a_7c15;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x % 1000 < per_mille as u64
+    }
+
+    /// Link-layer preamble shared by every operation: charge latency,
+    /// fire due link faults, prune expired windows, verify the link.
+    /// Used directly by the core-independent operations (reset, flash) —
+    /// those lines answer even when the core is dead.
+    fn begin_link_op(&mut self) -> Result<(), DapError> {
         self.ops += 1;
         self.machine.bus_mut().charge(self.config.latency);
+        self.poll_link_faults();
+        let now = self.machine.bus().now();
+        self.outages.retain(|&(_, e)| e > now);
+        self.flaky.retain(|&(_, e, _)| e > now);
+        if !self.link_up() {
+            return Err(DapError::LinkDown);
+        }
+        if self.flaky_drop() {
+            self.flaky_drops += 1;
+            return Err(DapError::LinkDown);
+        }
+        Ok(())
+    }
+
+    /// Preamble of every core-facing operation: charge latency (and TAP
+    /// scan cost on JTAG), verify the link, verify the target answers.
+    fn begin_op(&mut self, payload_bits: u32) -> Result<(), DapError> {
         if let Some(tap) = self.tap.as_mut() {
             // Each operation is one DR scan of the payload width; the TCK
             // cycles map 1:8 onto core cycles (TCK is slower).
             let tck = tap.scan_dr(payload_bits.max(8));
             self.machine.bus_mut().charge(tck / 8);
         }
-        if !self.link_up() {
-            return Err(DapError::LinkDown);
-        }
+        self.begin_link_op()?;
         if self.machine.is_dead() {
             // Block for the full timeout window, then report.
             self.machine.bus_mut().charge(self.config.timeout);
@@ -205,23 +281,24 @@ impl DebugTransport {
     /// Reset the target (OpenOCD `reset run`). Works even when the target
     /// is dead — the reset line is independent of the core.
     pub fn reset_target(&mut self) -> Result<(), DapError> {
-        self.ops += 1;
-        self.machine.bus_mut().charge(self.config.latency);
-        if !self.link_up() {
-            return Err(DapError::LinkDown);
-        }
+        self.begin_link_op()?;
         self.machine.reset();
         Ok(())
+    }
+
+    /// Cut the target's power for `off_cycles`, then cold-boot it. The
+    /// power rail needs no probe at all — this is the one recovery action
+    /// that works with the debug link completely down, which is why it is
+    /// the last rung of the restoration ladder.
+    pub fn power_cycle(&mut self, off_cycles: u64) {
+        self.ops += 1;
+        self.machine.power_cycle(off_cycles);
     }
 
     /// Program an image into a named flash partition (OpenOCD
     /// `flash write_image`). Also link-independent of core state.
     pub fn flash_partition(&mut self, name: &str, image: &[u8]) -> Result<(), DapError> {
-        self.ops += 1;
-        self.machine.bus_mut().charge(self.config.latency);
-        if !self.link_up() {
-            return Err(DapError::LinkDown);
-        }
+        self.begin_link_op()?;
         self.machine
             .reflash_partition(name, image)
             .map_err(Into::into)
@@ -230,11 +307,7 @@ impl DebugTransport {
     /// Target-side checksum of a flash partition (OpenOCD
     /// `flash verify_image`). Link-dependent but core-independent.
     pub fn flash_checksum(&mut self, name: &str) -> Result<u64, DapError> {
-        self.ops += 1;
-        self.machine.bus_mut().charge(self.config.latency);
-        if !self.link_up() {
-            return Err(DapError::LinkDown);
-        }
+        self.begin_link_op()?;
         self.machine.debug_flash_checksum(name).map_err(Into::into)
     }
 
@@ -441,5 +514,127 @@ mod tests {
         let before = t.now();
         t.sleep(5_000);
         assert_eq!(t.now() - before, 5_000);
+    }
+
+    #[test]
+    fn flaky_window_drops_some_but_not_all_ops() {
+        let mut t = transport();
+        let now = t.now();
+        t.schedule_flaky(now, 1_000_000, 500);
+        let mut ok = 0u32;
+        let mut dropped = 0u32;
+        for _ in 0..200 {
+            match t.ping() {
+                Ok(()) => ok += 1,
+                Err(DapError::LinkDown) => dropped += 1,
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        // ~50% drop rate: both outcomes must occur in quantity.
+        assert!(ok > 40, "only {ok} ops survived a 500‰ window");
+        assert!(dropped > 40, "only {dropped} ops dropped in a 500‰ window");
+        assert_eq!(t.flaky_drops(), dropped as u64);
+    }
+
+    #[test]
+    fn flaky_drop_sequence_is_deterministic() {
+        let run = || {
+            let mut t = transport();
+            let now = t.now();
+            t.schedule_flaky(now, 1_000_000, 300);
+            (0..100).map(|_| t.ping().is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn expired_windows_are_pruned() {
+        let mut t = transport();
+        let now = t.now();
+        for i in 0..50 {
+            t.schedule_outage(now + i, 1);
+            t.schedule_flaky(now + i, 1, 900);
+        }
+        t.machine_mut().bus_mut().charge(10_000);
+        t.ping().unwrap();
+        assert!(t.outages.is_empty(), "expired outages must be pruned");
+        assert!(t.flaky.is_empty(), "expired flaky windows must be pruned");
+    }
+
+    #[test]
+    fn drop_link_fault_reaches_transport_as_outage() {
+        let mut t = transport();
+        t.machine_mut()
+            .set_fault_plan(FaultPlan::none().at(0, InjectedFault::DropLink { cycles: 50_000 }));
+        // Even with the core halted, the next op trips over the outage.
+        assert_eq!(t.ping().unwrap_err(), DapError::LinkDown);
+        t.machine_mut().bus_mut().charge(60_000);
+        assert!(t.ping().is_ok());
+    }
+
+    #[test]
+    fn power_cycle_revives_killed_core_during_outage() {
+        let mut t = transport();
+        t.machine_mut()
+            .set_fault_plan(FaultPlan::none().at(0, InjectedFault::KillCore));
+        let _ = t.continue_until_halt(100);
+        let now = t.now();
+        t.schedule_outage(now, 1_000_000);
+        // Probe-side actions all fail: the link is dark.
+        assert!(t.reset_target().is_err());
+        assert!(t.flash_partition("kernel", b"IMG!fw").is_err());
+        // Pulling the power needs no probe and clears the kill latch.
+        t.power_cycle(5_000);
+        assert!(!t.machine().is_dead());
+    }
+
+    #[test]
+    fn retry_policy_rides_out_short_outage() {
+        use crate::retry::{RetryPolicy, RetryStats};
+        let mut t = transport();
+        let now = t.now();
+        // Outage shorter than the first backoff: one retry clears it.
+        t.schedule_outage(now, 100);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 512,
+            max_backoff: 8_192,
+        };
+        let mut stats = RetryStats::default();
+        policy.run(&mut stats, &mut t, |p| p.ping()).unwrap();
+        assert_eq!(stats.recovered, 1);
+        assert!(stats.retries >= 1);
+        assert!(stats.backoff_cycles >= 512);
+    }
+
+    #[test]
+    fn retry_policy_exhausts_on_long_outage() {
+        use crate::retry::{RetryPolicy, RetryStats};
+        let mut t = transport();
+        let now = t.now();
+        t.schedule_outage(now, 10_000_000);
+        let mut stats = RetryStats::default();
+        let err = RetryPolicy::default()
+            .run(&mut stats, &mut t, |p| p.ping())
+            .unwrap_err();
+        assert!(err.is_connection_loss());
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.attempts, 4);
+        assert_eq!(stats.recovered, 0);
+    }
+
+    #[test]
+    fn retry_policy_passes_through_target_errors() {
+        use crate::retry::{RetryPolicy, RetryStats};
+        let mut t = transport();
+        let mut stats = RetryStats::default();
+        // Unknown partition is a target error, not a connection loss —
+        // it must not be retried.
+        let err = RetryPolicy::default()
+            .run(&mut stats, &mut t, |p| p.flash_checksum("no-such-part"))
+            .unwrap_err();
+        assert!(!err.is_connection_loss());
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.retries, 0);
     }
 }

@@ -62,7 +62,7 @@ pub enum InjectedFault {
     FlashBitFlip {
         /// Flash byte offset.
         offset: u32,
-        /// Bit index 0..8.
+        /// Bit index 0..=7.
         bit: u8,
     },
     /// Freeze the firmware: the PC stops changing (execution stall).
@@ -74,6 +74,40 @@ pub enum InjectedFault {
         /// Outage duration in cycles.
         cycles: u64,
     },
+    /// Sustained debug-link flakiness: for `cycles` cycles, each debug
+    /// operation is dropped with probability `drop_per_mille`/1000
+    /// (consumed by `eof-dap`). Models the loose-cable / noisy-probe
+    /// behaviour µAFL reports as a first-order operational cost.
+    FlakyLink {
+        /// Per-operation drop probability in parts per thousand (0..=1000).
+        drop_per_mille: u16,
+        /// Window duration in cycles.
+        cycles: u64,
+    },
+    /// Supply brownout: the core is unresponsive for `cycles` cycles
+    /// (debug operations time out), then execution resumes. No reset or
+    /// reflash can shorten it — only waiting (or a power-cycle whose
+    /// off-time outlasts the sag) gets the target back.
+    Brownout {
+        /// Sag duration in cycles.
+        cycles: u64,
+    },
+    /// Burst of line noise on the UART: binary garbage appears in the
+    /// log stream. The log monitor must neither crash on it nor report
+    /// it as a target bug.
+    UartGarbage,
+}
+
+impl InjectedFault {
+    /// Whether this fault acts on the debug *link* (consumed by the
+    /// `eof-dap` transport) rather than on the core/peripherals
+    /// (consumed by the machine's step loop).
+    pub fn is_link_fault(&self) -> bool {
+        matches!(
+            self,
+            InjectedFault::DropLink { .. } | InjectedFault::FlakyLink { .. }
+        )
+    }
 }
 
 /// A scheduled set of injected faults, each firing once at a given cycle.
@@ -88,10 +122,13 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Schedule `fault` to fire at absolute cycle `at_cycle`.
+    /// Schedule `fault` to fire at absolute cycle `at_cycle`. Binary-search
+    /// insertion keeps the list sorted without re-sorting the whole plan on
+    /// every call; ties keep insertion order, matching the stable sort this
+    /// replaces.
     pub fn at(mut self, at_cycle: u64, fault: InjectedFault) -> Self {
-        self.entries.push((at_cycle, fault));
-        self.entries.sort_by_key(|(c, _)| *c);
+        let idx = self.entries.partition_point(|(c, _)| *c <= at_cycle);
+        self.entries.insert(idx, (at_cycle, fault));
         self
     }
 
@@ -108,6 +145,31 @@ impl FaultPlan {
     pub fn take_due(&mut self, cycle: u64) -> Vec<InjectedFault> {
         let split = self.entries.partition_point(|(c, _)| *c <= cycle);
         self.entries.drain(..split).map(|(_, f)| f).collect()
+    }
+
+    /// Remove and return the due *core/peripheral* faults, leaving link
+    /// faults in place for the transport to collect.
+    pub fn take_due_core(&mut self, cycle: u64) -> Vec<InjectedFault> {
+        self.take_due_filtered(cycle, false)
+    }
+
+    /// Remove and return the due *link* faults, leaving core faults in
+    /// place for the machine's step loop.
+    pub fn take_due_link(&mut self, cycle: u64) -> Vec<InjectedFault> {
+        self.take_due_filtered(cycle, true)
+    }
+
+    fn take_due_filtered(&mut self, cycle: u64, link: bool) -> Vec<InjectedFault> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() && self.entries[i].0 <= cycle {
+            if self.entries[i].1.is_link_fault() == link {
+                out.push(self.entries.remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        out
     }
 
     /// Number of faults still pending.
@@ -142,5 +204,66 @@ mod tests {
         assert_eq!(FaultKind::Panic.tag(), "panic");
         assert_eq!(FaultKind::Assertion.tag(), "assertion");
         assert_eq!(FaultKind::HardLockup.tag(), "lockup");
+    }
+
+    #[test]
+    fn at_keeps_entries_sorted_with_stable_ties() {
+        let mut p = FaultPlan::none()
+            .at(50, InjectedFault::KillCore)
+            .at(10, InjectedFault::FreezeFirmware)
+            .at(50, InjectedFault::UartGarbage)
+            .at(5, InjectedFault::Brownout { cycles: 3 });
+        assert_eq!(
+            p.take_due(u64::MAX),
+            vec![
+                InjectedFault::Brownout { cycles: 3 },
+                InjectedFault::FreezeFirmware,
+                InjectedFault::KillCore,
+                InjectedFault::UartGarbage,
+            ]
+        );
+    }
+
+    #[test]
+    fn link_and_core_faults_split_cleanly() {
+        let mut p = FaultPlan::none()
+            .at(10, InjectedFault::DropLink { cycles: 5 })
+            .at(20, InjectedFault::FreezeFirmware)
+            .at(
+                30,
+                InjectedFault::FlakyLink {
+                    drop_per_mille: 500,
+                    cycles: 100,
+                },
+            )
+            .at(40, InjectedFault::KillCore);
+        let core = p.take_due_core(25);
+        assert_eq!(core, vec![InjectedFault::FreezeFirmware]);
+        // The link fault at 10 is still there for the transport.
+        let link = p.take_due_link(35);
+        assert_eq!(
+            link,
+            vec![
+                InjectedFault::DropLink { cycles: 5 },
+                InjectedFault::FlakyLink {
+                    drop_per_mille: 500,
+                    cycles: 100,
+                },
+            ]
+        );
+        assert_eq!(p.pending(), 1);
+    }
+
+    #[test]
+    fn link_fault_classification() {
+        assert!(InjectedFault::DropLink { cycles: 1 }.is_link_fault());
+        assert!(InjectedFault::FlakyLink {
+            drop_per_mille: 1,
+            cycles: 1
+        }
+        .is_link_fault());
+        assert!(!InjectedFault::Brownout { cycles: 1 }.is_link_fault());
+        assert!(!InjectedFault::UartGarbage.is_link_fault());
+        assert!(!InjectedFault::KillCore.is_link_fault());
     }
 }

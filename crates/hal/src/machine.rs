@@ -64,8 +64,14 @@ pub struct Machine {
     last_fault: Option<FaultRecord>,
     watchdog: HardwareWatchdog,
     reset_count: u64,
-    /// Set by an injected `KillCore`; cleared only by reflash+reset.
+    /// Set by an injected `KillCore`; cleared only by reflash+reset or a
+    /// full power-cycle (power-on reset releases the lockup latch).
     core_killed: bool,
+    /// An injected `Brownout` keeps the core unresponsive until this
+    /// cycle; 0 = no sag active.
+    brownout_until: u64,
+    /// Number of full power-cycles performed since construction.
+    power_cycles: u64,
     /// Most recent power-rail sample in milliwatts (external probe view).
     power_mw: f32,
 }
@@ -91,6 +97,8 @@ impl Machine {
             watchdog: HardwareWatchdog::new(u64::MAX / 2),
             reset_count: 0,
             core_killed: false,
+            brownout_until: 0,
+            power_cycles: 0,
             power_mw: POWER_IDLE_MW,
         }
     }
@@ -161,9 +169,19 @@ impl Machine {
         &mut self.watchdog
     }
 
-    /// Whether the core is dead (boot failure or killed).
+    /// Whether the core is dead (boot failure, killed, or browned out).
     pub fn is_dead(&self) -> bool {
-        matches!(self.state, BootState::Dead(_)) || self.core_killed
+        matches!(self.state, BootState::Dead(_)) || self.core_killed || self.browned_out()
+    }
+
+    /// Whether a supply brownout currently holds the core down.
+    pub fn browned_out(&self) -> bool {
+        self.bus.now() < self.brownout_until
+    }
+
+    /// Number of full power-cycles performed.
+    pub fn power_cycles(&self) -> u64 {
+        self.power_cycles
     }
 
     /// Whether the core is halted under debugger control.
@@ -208,6 +226,14 @@ impl Machine {
         // Debug-port flashing is slow; charge proportional to image size.
         self.bus
             .charge(cost::FLASH_BASE + (image.len() as u64 / 64) * cost::FLASH_PER_64B);
+        // The flash controller shares the supply rail: a sagging supply
+        // corrupts programming, so the operation is refused outright.
+        if self.browned_out() {
+            return Err(HalError::BadMachineState {
+                op: "flash write",
+                state: "brownout".into(),
+            });
+        }
         self.flash.flash_partition(name, image)?;
         if name == "kernel" {
             self.core_killed = false;
@@ -215,11 +241,26 @@ impl Machine {
         Ok(())
     }
 
+    /// Full power-cycle: the supply is cut for `off_cycles`, then the
+    /// machine cold-boots. Unlike [`Machine::reset`], this is a power-on
+    /// reset — it releases a hard-lockup latch (`KillCore`) without a
+    /// reflash, and its off-time can outlast a supply brownout. The
+    /// power rail is independent of the debug link, so recovery tooling
+    /// can pull the plug even when the probe sees nothing.
+    pub fn power_cycle(&mut self, off_cycles: u64) {
+        self.power_cycles += 1;
+        self.bus.charge(off_cycles);
+        self.core_killed = false;
+        self.reset();
+    }
+
     // ----- execution ------------------------------------------------------
 
-    /// Apply injected faults that are due at the current cycle.
+    /// Apply injected core/peripheral faults that are due at the current
+    /// cycle. Link faults stay in the plan for the transport to collect
+    /// via [`Machine::take_due_link_faults`].
     fn apply_due_faults(&mut self) {
-        for f in self.fault_plan.take_due(self.bus.now()) {
+        for f in self.fault_plan.take_due_core(self.bus.now()) {
             match f {
                 InjectedFault::FlashBitFlip { offset, bit } => {
                     let _ = self.flash.flip_bit(offset, bit);
@@ -234,10 +275,30 @@ impl Machine {
                     self.state = BootState::Dead("core killed by injected fault".into());
                     self.bus.uart.mute();
                 }
+                InjectedFault::Brownout { cycles } => {
+                    self.brownout_until = self.bus.now().saturating_add(cycles);
+                }
+                InjectedFault::UartGarbage => {
+                    let noise = uart_noise(self.bus.now());
+                    self.bus.uart.tx(&noise);
+                }
                 // Link faults are consumed by the DAP layer, not the core.
-                InjectedFault::DropLink { .. } => {}
+                InjectedFault::DropLink { .. } | InjectedFault::FlakyLink { .. } => {}
             }
         }
+    }
+
+    /// Remove and hand over the link faults that are due now. Called by
+    /// the transport on every operation so link outages fire even while
+    /// the core is halted or dead (the probe's cable does not care what
+    /// the core is doing).
+    pub fn take_due_link_faults(&mut self) -> Vec<InjectedFault> {
+        self.fault_plan.take_due_link(self.bus.now())
+    }
+
+    /// Injected faults not yet fired (chaos-harness accounting).
+    pub fn pending_injected_faults(&self) -> usize {
+        self.fault_plan.pending()
     }
 
     /// Execute a single firmware quantum. Returns the step result, or
@@ -404,8 +465,9 @@ impl Machine {
     /// controller answers independently.
     pub fn debug_flash_checksum(&mut self, partition: &str) -> Result<u64, HalError> {
         // A hard-locked core takes the debug access port down with it;
-        // only the reset/flash lines still answer.
-        if self.core_killed {
+        // only the reset/flash lines still answer. A browned-out flash
+        // controller does not answer either.
+        if self.core_killed || self.browned_out() {
             return Err(self.bad_state("flash checksum"));
         }
         let part = self.flash.table().get(partition)?.clone();
@@ -420,7 +482,9 @@ impl Machine {
     /// current). The paper's §6 names power signals as a complementary
     /// liveness channel; this is its substrate.
     pub fn power_sample(&self) -> f32 {
-        if self.is_dead() {
+        if self.browned_out() {
+            POWER_BROWNOUT_MW
+        } else if self.is_dead() {
             POWER_IDLE_MW
         } else {
             self.power_mw
@@ -440,8 +504,27 @@ impl Machine {
     }
 }
 
+/// Deterministic binary line noise for an injected `UartGarbage` burst:
+/// mostly high-bit bytes (never printable crash-signature text) with a
+/// terminating newline so the burst cannot glue itself onto a real
+/// banner line forever.
+fn uart_noise(seed: u64) -> Vec<u8> {
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut out = Vec::with_capacity(48);
+    for _ in 0..47 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.push(0x80 | (x as u8 & 0x7f));
+    }
+    out.push(b'\n');
+    out
+}
+
 /// Idle/dead draw in milliwatts.
 pub const POWER_IDLE_MW: f32 = 1.2;
+/// Draw while the supply rail sags in a brownout.
+pub const POWER_BROWNOUT_MW: f32 = 0.3;
 /// Base draw of a core doing varied work.
 pub const POWER_ACTIVE_MW: f32 = 18.0;
 /// Flat draw of a tight spin loop.
@@ -580,6 +663,56 @@ mod tests {
         m.reset();
         assert_eq!(*m.state(), BootState::Running);
         assert!(m.debug_pc().is_ok());
+    }
+
+    #[test]
+    fn brownout_suspends_core_until_window_passes() {
+        let mut m = counting_machine();
+        m.reset();
+        // Long enough that a reset (2k cycles) cannot simply outwait it.
+        m.set_fault_plan(FaultPlan::none().at(10, InjectedFault::Brownout { cycles: 20_000 }));
+        assert_eq!(m.run(1_000), RunExit::CoreDead);
+        assert!(m.is_dead());
+        assert!(m.debug_pc().is_err());
+        // Reset and reflash do not shorten the sag.
+        m.reset();
+        assert!(m.is_dead());
+        assert!(m.reflash_partition("kernel", b"IMG!payload").is_err());
+        // Waiting it out does.
+        m.bus_mut().charge(25_000);
+        assert!(!m.is_dead());
+        assert!(m.debug_pc().is_ok());
+        assert_eq!(m.run(100), RunExit::BudgetExhausted);
+    }
+
+    #[test]
+    fn power_cycle_releases_kill_latch_without_reflash() {
+        let mut m = counting_machine();
+        m.set_fault_plan(FaultPlan::none().at(10, InjectedFault::KillCore));
+        m.reset();
+        assert_eq!(m.run(1_000), RunExit::CoreDead);
+        // A plain reboot does NOT revive it…
+        m.reset();
+        assert!(m.is_dead());
+        // …but a power-on reset does, with the image untouched.
+        m.power_cycle(100);
+        assert_eq!(*m.state(), BootState::Running);
+        assert!(m.debug_pc().is_ok());
+        assert_eq!(m.power_cycles(), 1);
+    }
+
+    #[test]
+    fn uart_garbage_is_binary_noise_not_a_banner() {
+        let mut m = counting_machine();
+        m.reset();
+        m.set_fault_plan(FaultPlan::none().at(5, InjectedFault::UartGarbage));
+        m.run(100);
+        let noise = m.drain_uart();
+        assert!(!noise.is_empty());
+        assert_eq!(*noise.last().unwrap(), b'\n');
+        // Nothing but high-bit bytes before the newline: can never spell
+        // a crash signature.
+        assert!(noise[..noise.len() - 1].iter().all(|&b| b >= 0x80));
     }
 
     #[test]

@@ -118,6 +118,21 @@ impl StateRestoration {
         self.restorations += 1;
         Ok(())
     }
+
+    /// Unconditional golden reflash: write every partition back without
+    /// trusting the target-side checksum, then reboot and settle. The
+    /// supervisor escalates here when a verified restore did not stick —
+    /// e.g. the checksum engine itself answers garbage.
+    pub fn restore_full(&mut self, pipe: &mut DebugTransport) -> Result<(), DapError> {
+        for (name, image) in &self.images {
+            pipe.flash_partition(name, image)?;
+            self.reflashes += 1;
+        }
+        pipe.reset_target()?;
+        pipe.sleep(secs_to_cycles(SETTLE_SECS));
+        self.restorations += 1;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
