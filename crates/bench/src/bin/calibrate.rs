@@ -19,6 +19,7 @@ fn main() {
         let wall = std::time::Instant::now();
         let r = eof_core::run_campaign(cfg);
         let wall = wall.elapsed();
+        eof_bench::collect_telemetry(std::slice::from_ref(&r));
         let execs_per_10min = r.stats.execs as f64 / (hours * 6.0);
         let bug_nums: Vec<u8> = r.bugs.iter().map(|b| b.number()).collect();
         println!(
@@ -40,10 +41,12 @@ fn main() {
         .unwrap();
     cfg.budget_hours = hours;
     let r = eof_core::run_campaign(cfg);
+    eof_bench::collect_telemetry(std::slice::from_ref(&r));
     println!(
         "Tardis/Zephyr {hours:.1}h | execs {} | branches {} | bugs {}",
         r.stats.execs,
         r.branches,
         r.bugs.len()
     );
+    let _ = eof_bench::export_telemetry("calibrate");
 }

@@ -112,11 +112,19 @@ fn main() {
             let cfg = cell_config(os, hours, chaos_seed, faults);
             let report = run_chaos(&cfg);
             // The determinism contract: identical seeds → identical
-            // schedules, campaigns and resilience stats.
+            // schedules, campaigns, resilience stats — and, when
+            // recording is on, identical telemetry summaries.
             let replay = run_chaos(&cfg);
+            let telemetry_reproducible = match (&report.result.telemetry, &replay.result.telemetry)
+            {
+                (Some(a), Some(b)) => a.summary().to_json() == b.summary().to_json(),
+                (None, None) => true,
+                _ => false,
+            };
             let reproducible = replay.result.resilience == report.result.resilience
                 && replay.result.branches == report.result.branches
-                && replay.result.stats.execs == report.result.stats.execs;
+                && replay.result.stats.execs == report.result.stats.execs
+                && telemetry_reproducible;
             assert!(
                 report.violations.is_empty(),
                 "{} seed {chaos_seed}: invariant violations: {:?}",
@@ -147,9 +155,20 @@ fn main() {
         .iter()
         .all(|c| c.report.violations.is_empty() && c.reproducible);
 
+    // Merged telemetry summary across the cells, in cell order. Absent
+    // (JSON null) unless `EOF_TRACE` recording was on; the summary holds
+    // no wall-clock data, so the file stays byte-for-byte reproducible
+    // with telemetry enabled.
+    for cell in &cells {
+        eof_bench::collect_telemetry(std::slice::from_ref(&cell.report.result));
+    }
+    let telemetry_json = eof_bench::merged_telemetry()
+        .map(|m| m.summary().to_json())
+        .unwrap_or_else(|| "null".to_string());
+
     let cell_jsons: Vec<String> = cells.iter().map(|c| format!("    {}", cell_json(c))).collect();
     let json = format!(
-        "{{\n  \"config\": {{\"hours\": {hours}, \"faults_per_cell\": {faults}, \"chaos_seeds\": [{}], \"oses\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \"total\": {{\"episodes\": {total_episodes}, \"recovered\": {total_recovered}, \"manual_interventions\": {total_manual}}},\n  \"all_invariants_hold\": {all_ok}\n}}\n",
+        "{{\n  \"config\": {{\"hours\": {hours}, \"faults_per_cell\": {faults}, \"chaos_seeds\": [{}], \"oses\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \"total\": {{\"episodes\": {total_episodes}, \"recovered\": {total_recovered}, \"manual_interventions\": {total_manual}}},\n  \"all_invariants_hold\": {all_ok},\n  \"telemetry\": {telemetry_json}\n}}\n",
         chaos_seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
         oses.iter().map(|o| format!("\"{}\"", o.display())).collect::<Vec<_>>().join(", "),
         cell_jsons.join(",\n"),

@@ -78,6 +78,14 @@ fn cache_json(s: &CacheStats) -> String {
     )
 }
 
+/// Merged telemetry summary of one phase, campaigns in submission
+/// order. `None` unless `EOF_TRACE` recording was on.
+fn phase_summary(results: &[CampaignResult]) -> Option<eof_telemetry::TelemetrySummary> {
+    let parts: Vec<eof_telemetry::Registry> =
+        results.iter().filter_map(|r| r.telemetry.clone()).collect();
+    (!parts.is_empty()).then(|| eof_telemetry::Merged::from_parts(parts).summary())
+}
+
 fn main() {
     let hours = env_f64("EOF_FLEET_HOURS", 0.25);
     let reps = env_usize("EOF_FLEET_REPS", 3);
@@ -103,12 +111,37 @@ fn main() {
         "fleet determinism violated: serial and parallel phases disagree"
     );
 
+    // Telemetry half of the determinism contract: the merged summary of
+    // the 1-job phase must be byte-identical to the N-job phase's — the
+    // fleet merges registries in submission order, so scheduling must
+    // not leak into the observability data either.
+    let serial_summary = phase_summary(&serial_results);
+    let parallel_summary = phase_summary(&parallel_results);
+    let telemetry_identical = match (&serial_summary, &parallel_summary) {
+        (Some(a), Some(b)) => a.to_json() == b.to_json(),
+        (None, None) => true,
+        _ => false,
+    };
+    assert!(
+        telemetry_identical,
+        "fleet determinism violated: serial and parallel telemetry summaries disagree"
+    );
+    eof_bench::collect_telemetry(&serial_results);
+
     let cell_names: Vec<String> = cells
         .iter()
         .map(|(os, kind)| format!("\"{}/{}\"", os.display(), kind.display()))
         .collect();
+    let telemetry_json = match (&serial_summary, &parallel_summary) {
+        (Some(s), Some(p)) => format!(
+            "{{\"identical\": {telemetry_identical}, \"serial\": {}, \"parallel\": {}}}",
+            s.to_json(),
+            p.to_json()
+        ),
+        _ => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"workload\": {{\"cells\": [{}], \"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \"host_cores\": {host_cores},\n  \"serial\": {{\"jobs\": 1, \"secs\": {serial_secs:.3}, \"cache\": {}}},\n  \"parallel\": {{\"jobs\": {parallel_jobs}, \"secs\": {parallel_secs:.3}, \"cache\": {}}},\n  \"speedup\": {speedup:.2},\n  \"identical_results\": {identical}\n}}\n",
+        "{{\n  \"workload\": {{\"cells\": [{}], \"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \"host_cores\": {host_cores},\n  \"serial\": {{\"jobs\": 1, \"secs\": {serial_secs:.3}, \"cache\": {}}},\n  \"parallel\": {{\"jobs\": {parallel_jobs}, \"secs\": {parallel_secs:.3}, \"cache\": {}}},\n  \"speedup\": {speedup:.2},\n  \"identical_results\": {identical},\n  \"telemetry\": {telemetry_json}\n}}\n",
         cell_names.join(", "),
         cache_json(&serial_cache),
         cache_json(&parallel_cache),

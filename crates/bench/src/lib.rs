@@ -27,7 +27,9 @@
 
 use eof_core::report::{csv, curve_points_from_runs, text_table};
 use eof_core::{CampaignResult, FleetRunner, FuzzerConfig};
+use eof_telemetry as tel;
 use std::path::Path;
+use std::sync::Mutex;
 
 /// Simulated hours per campaign (default: the paper's 24).
 pub fn bench_hours() -> f64 {
@@ -64,11 +66,65 @@ pub fn rep_configs(base: &FuzzerConfig, reps: usize) -> Vec<FuzzerConfig> {
 /// results in submission order. A panicking campaign aborts the bench —
 /// the tables must never silently drop cells.
 pub fn run_fleet(configs: Vec<FuzzerConfig>) -> Vec<CampaignResult> {
-    FleetRunner::from_env()
+    let results: Vec<CampaignResult> = FleetRunner::from_env()
         .run(configs)
         .into_iter()
         .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
-        .collect()
+        .collect();
+    collect_telemetry(&results);
+    results
+}
+
+/// Per-campaign telemetry registries collected from every batch the
+/// bench helpers ran in this process, in submission order (batches in
+/// call order). Empty unless `EOF_TRACE` recording is on, so the
+/// accumulator costs nothing at default verbosity.
+static TELEMETRY_PARTS: Mutex<Vec<tel::Registry>> = Mutex::new(Vec::new());
+
+/// Fold a finished batch's telemetry (submission order) into the
+/// process-wide accumulator behind [`export_telemetry`]. Called by
+/// [`run_fleet`]; binaries that run campaigns outside the fleet helpers
+/// (chaos, calibrate) call it themselves.
+pub fn collect_telemetry(results: &[CampaignResult]) {
+    let registries: Vec<tel::Registry> =
+        results.iter().filter_map(|r| r.telemetry.clone()).collect();
+    if !registries.is_empty() {
+        TELEMETRY_PARTS.lock().unwrap().extend(registries);
+    }
+}
+
+/// Everything collected so far, merged in collection order. `None` when
+/// no campaign recorded telemetry (`EOF_TRACE` off).
+pub fn merged_telemetry() -> Option<tel::Merged> {
+    let parts = TELEMETRY_PARTS.lock().unwrap();
+    (!parts.is_empty()).then(|| tel::Merged::from_parts(parts.clone()))
+}
+
+/// Write the bench's telemetry artifact set into `results/` — the
+/// Chrome/Perfetto trace, the JSONL event journal, the Prometheus text
+/// summary, and the deterministic summary JSON — and return the
+/// [`tel::TelemetrySummary`] for embedding in `BENCH_*.json` files.
+/// No-op returning `None` when nothing was recorded.
+pub fn export_telemetry(name: &str) -> Option<tel::TelemetrySummary> {
+    let merged = merged_telemetry()?;
+    let dir = Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("{name}.trace.json")), tel::chrome_trace(&merged));
+    let _ = std::fs::write(
+        dir.join(format!("{name}.telemetry.jsonl")),
+        tel::jsonl_journal(&merged),
+    );
+    let _ = std::fs::write(
+        dir.join(format!("{name}.telemetry.prom")),
+        tel::prometheus_text(&merged),
+    );
+    let summary = merged.summary();
+    let _ = std::fs::write(dir.join(format!("{name}.telemetry.json")), summary.to_json());
+    eprintln!(
+        "[{name}] telemetry: {} campaign(s) merged -> results/{name}.trace.json + .telemetry.{{json,jsonl,prom}}",
+        merged.parts.len()
+    );
+    Some(summary)
 }
 
 /// Run `reps` repetitions of a configuration with distinct seeds.
@@ -108,7 +164,8 @@ pub fn mean_branches(results: &[CampaignResult]) -> f64 {
     results.iter().map(|r| r.branches as f64).sum::<f64>() / results.len() as f64
 }
 
-/// Write a text report and its CSV twin into `results/`.
+/// Write a text report and its CSV twin into `results/`, plus the
+/// telemetry artifact set when `EOF_TRACE` recording was on.
 pub fn write_outputs(name: &str, text: &str, headers: &[&str], rows: &[Vec<String>]) {
     let dir = Path::new("results");
     let _ = std::fs::create_dir_all(dir);
@@ -117,6 +174,7 @@ pub fn write_outputs(name: &str, text: &str, headers: &[&str], rows: &[Vec<Strin
     println!("{text}");
     println!("[written results/{name}.txt and results/{name}.csv]");
     eprintln!("[{name}] {}", cache_report());
+    let _ = export_telemetry(name);
 }
 
 /// Format a mean with the paper's one-decimal style.

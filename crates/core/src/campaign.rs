@@ -11,7 +11,8 @@ use crate::crash::CrashReport;
 use crate::executor::Executor;
 use crate::fuzzer::{Fuzzer, FuzzerStats};
 use crate::gen::Generator;
-use crate::supervisor::ResilienceStats;
+use crate::supervisor::{ResilienceStats, Rung};
+use eof_telemetry as tel;
 use eof_agent::{agent_loader, api_table_of};
 use eof_coverage::Snapshot;
 use eof_dap::{DebugTransport, LinkConfig};
@@ -40,6 +41,12 @@ pub struct CampaignResult {
     pub spec_report: GenReport,
     /// Image size flashed, in bytes.
     pub image_bytes: usize,
+    /// Everything the campaign's telemetry recorder captured; `None`
+    /// unless `EOF_TRACE` was set (or recording was forced). One
+    /// registry per campaign — the fleet merges them in submission
+    /// order, so `EOF_JOBS=1` and `EOF_JOBS=8` produce identical merged
+    /// summaries for identical seeds.
+    pub telemetry: Option<tel::Registry>,
 }
 
 /// Run one full campaign, also returning the final coverage map (for
@@ -62,13 +69,38 @@ pub fn run_campaign_with_faults(config: FuzzerConfig, plan: FaultPlan) -> Campai
     run_campaign_inner(config, plan).0
 }
 
+/// Run one full campaign with telemetry recording forced on, regardless
+/// of `EOF_TRACE`. For tests and tooling: mutating the process
+/// environment is racy under a parallel test runner, so callers that
+/// need a recorded campaign ask for one explicitly.
+pub fn run_campaign_recorded(config: FuzzerConfig) -> CampaignResult {
+    run_campaign_traced(config, FaultPlan::none(), true).0
+}
+
 fn run_campaign_inner(
     config: FuzzerConfig,
     plan: FaultPlan,
 ) -> (CampaignResult, eof_coverage::CoverageMap) {
+    run_campaign_traced(config, plan, tel::enabled())
+}
+
+fn run_campaign_traced(
+    config: FuzzerConfig,
+    plan: FaultPlan,
+    record: bool,
+) -> (CampaignResult, eof_coverage::CoverageMap) {
+    // Install a per-campaign recorder on this thread. Every record call
+    // below (executor, supervisor, transport, HAL) checks only "is a
+    // recorder installed" — never the env — so the campaign's telemetry
+    // shape is fixed at entry. The guard uninstalls on panic, keeping
+    // fleet workers clean across panic-isolated jobs.
+    let guard = record.then(tel::begin);
     // ② Extract + validate the API specifications. The pipeline is pure
     // in (os, noise, validation), so it is interned process-wide; the
     // spec is cloned out because the config filters below mutate it.
+    // (Host-side phases precede the simulated clock; their spans sit at
+    // cycle 0 and carry only wall time.)
+    let spec_span = tel::span_start("campaign.spec", 0);
     let noise = match config.spec_noise {
         Some(seed) => NoiseConfig::default_llm(seed),
         None => NoiseConfig::none(),
@@ -93,10 +125,14 @@ fn run_campaign_inner(
             .collect();
         spec.apis.retain(|a| allowed.contains(a.name.as_str()));
     }
+    tel::span_end(spec_span, 0);
 
     // ③ Build (or fetch the interned) instrumented image and flash it.
+    let image_span = tel::span_start("campaign.image", 0);
     let image = crate::artifacts::cached_image(config.os, config.profile, &config.instrument);
     let image_bytes = image.len();
+    tel::span_end(image_span, 0);
+    let boot_span = tel::span_start("campaign.boot", 0);
     let mut machine = Machine::new(config.board.clone(), agent_loader());
     machine
         .reflash_partition("kernel", &image)
@@ -132,21 +168,82 @@ fn run_campaign_inner(
         restoration,
     )
     .expect("executor binds to sync symbols");
+    tel::span_end(boot_span, executor.now());
     let generator = Generator::new(spec, config.seed, config.gen_mode, config.max_calls);
     let mut fuzzer = Fuzzer::new(config, generator, executor);
+    let fuzz_span = tel::span_start("campaign.fuzz", fuzzer.executor().now());
     let history = fuzzer.run_to_budget();
+    tel::span_end(fuzz_span, fuzzer.executor().now());
+
+    let stats = fuzzer.stats().clone();
+    let resilience = fuzzer.executor().resilience();
+    let telemetry = guard.map(|g| {
+        let registry = g.finish();
+        assert_no_counter_drift(&registry, &stats, &resilience);
+        registry
+    });
 
     let result = CampaignResult {
         branches: fuzzer.executor().coverage().branches(),
         history,
         crashes: fuzzer.crashes().unique().cloned().collect(),
         bugs: fuzzer.crashes().bugs_found(),
-        stats: fuzzer.stats().clone(),
-        resilience: fuzzer.executor().resilience(),
+        stats,
+        resilience,
         spec_report,
         image_bytes,
+        telemetry,
     };
     (result, fuzzer.executor().coverage().clone())
+}
+
+/// The two accounting paths — hand-maintained `FuzzerStats` /
+/// `ResilienceStats` and the telemetry counters mirrored at the same
+/// increment sites — must agree exactly at campaign end. A divergence
+/// means one path silently missed an event; fail loudly instead of
+/// publishing inconsistent numbers.
+fn assert_no_counter_drift(
+    registry: &tel::Registry,
+    stats: &FuzzerStats,
+    resilience: &ResilienceStats,
+) {
+    let checks: [(&str, u64); 14] = [
+        ("fuzz.execs", stats.execs),
+        ("fuzz.interesting", stats.interesting),
+        ("fuzz.crash_observations", stats.crash_observations),
+        ("fuzz.stalls", stats.stalls),
+        ("fuzz.restorations", stats.restorations),
+        ("fuzz.failed_syncs", stats.failed_syncs),
+        ("recovery.episodes", resilience.episodes),
+        ("recovery.backoff_cycles", resilience.backoff_cycles),
+        ("recovery.manual_interventions", resilience.manual_interventions),
+        ("exec.failed_syncs", resilience.failed_syncs),
+        ("dap.retry.attempts", resilience.link.attempts),
+        ("dap.retry.retries", resilience.link.retries),
+        ("dap.retry.recovered", resilience.link.recovered),
+        ("dap.retry.exhausted", resilience.link.exhausted),
+    ];
+    for (name, expected) in checks {
+        assert_eq!(
+            registry.counter(name),
+            expected,
+            "telemetry counter {name:?} drifted from the stats structs"
+        );
+    }
+    for rung in Rung::ALL {
+        assert_eq!(
+            registry.counter(rung.attempts_counter()),
+            resilience.rung_attempts[rung.index()],
+            "rung {} attempt accounting drifted",
+            rung.name()
+        );
+        assert_eq!(
+            registry.counter(rung.successes_counter()),
+            resilience.rung_successes[rung.index()],
+            "rung {} success accounting drifted",
+            rung.name()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +296,35 @@ mod tests {
         assert_eq!(res.failed_syncs, 0, "{res:?}");
         assert_eq!(res.link.retries, 0, "{res:?}");
         assert_eq!(res.backoff_cycles, 0, "{res:?}");
+    }
+
+    #[test]
+    fn recorded_campaigns_are_deterministic_and_drift_free() {
+        // `run_campaign_recorded` exercises the whole telemetry path:
+        // recorder install, span/counter capture across every layer, and
+        // the end-of-campaign counter-drift assertion (which runs inside
+        // the call — reaching this point means it held).
+        let a = run_campaign_recorded(short(OsKind::FreeRtos, 11, 0.02));
+        let b = run_campaign_recorded(short(OsKind::FreeRtos, 11, 0.02));
+        let ta = a.telemetry.as_ref().expect("recorded campaign captures telemetry");
+        let tb = b.telemetry.as_ref().expect("recorded campaign captures telemetry");
+        assert!(ta.counter("fuzz.execs") > 0);
+        assert_eq!(ta.counter("fuzz.execs"), a.stats.execs);
+        // The campaign phases were spanned.
+        for phase in ["campaign.boot", "campaign.fuzz", "exec", "fuzz.gen"] {
+            assert!(
+                ta.span_aggs.contains_key(phase),
+                "missing span {phase}: {:?}",
+                ta.span_aggs.keys().collect::<Vec<_>>()
+            );
+        }
+        // Identical inputs ⇒ byte-identical summaries; and recording
+        // must not perturb the campaign itself.
+        assert_eq!(ta.summary().to_json(), tb.summary().to_json());
+        let plain = run_campaign(short(OsKind::FreeRtos, 11, 0.02));
+        assert_eq!(a.branches, plain.branches);
+        assert_eq!(a.stats.execs, plain.stats.execs);
+        assert_eq!(a.resilience, plain.resilience);
     }
 
     #[test]

@@ -19,12 +19,28 @@ use eof_monitors::{
 };
 use eof_speclang::prog::Prog;
 use eof_speclang::wire::{encode_prog, ApiTable, WireOrder};
+use eof_telemetry as tel;
+use std::sync::OnceLock;
 
 /// Budget for one `continue` slice, in cycles.
 const SLICE_CYCLES: u64 = 2_000;
 
 /// Maximum slices per execution before the stall machinery engages hard.
 const MAX_SLICES: u32 = 24;
+
+/// Cycle threshold above which an execution is journalled as slow
+/// (`exec.slow` telemetry event). Tunable via `EOF_SLOW_EXEC_CYCLES`;
+/// printing the offending prog to stderr additionally requires
+/// `EOF_DEBUG_SLOW`, so default-verbosity runs stay silent.
+fn slow_exec_threshold() -> u64 {
+    static THRESHOLD: OnceLock<u64> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("EOF_SLOW_EXEC_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_000_000)
+    })
+}
 
 /// Outcome of one test-case execution.
 #[derive(Debug, Clone, Default)]
@@ -236,6 +252,7 @@ impl Executor {
         self.recover(RecoveryReason::ConnectionLoss);
         if !self.at_main {
             self.failed_syncs += 1;
+            tel::count("exec.failed_syncs", 1);
         }
     }
 
@@ -260,6 +277,13 @@ impl Executor {
     /// drops mid-drain are retried at the link layer: an interrupted
     /// drain must not silently lose the buffered edges.
     fn drain_cov(&mut self) -> Vec<u64> {
+        let span = tel::span_start("exec.cov_drain", self.transport.now());
+        let edges = self.drain_cov_inner();
+        tel::span_end(span, self.transport.now());
+        edges
+    }
+
+    fn drain_cov_inner(&mut self) -> Vec<u64> {
         if self.config.instrument == InstrumentMode::None {
             return Vec::new();
         }
@@ -331,6 +355,13 @@ impl Executor {
 
     /// Build a crash report from the current banner tail.
     fn crash_from_banner(&mut self, source: DetectionSource, prog: &Prog) -> CrashReport {
+        let span = tel::span_start("exec.triage", self.transport.now());
+        let report = self.crash_from_banner_inner(source, prog);
+        tel::span_end(span, self.transport.now());
+        report
+    }
+
+    fn crash_from_banner_inner(&mut self, source: DetectionSource, prog: &Prog) -> CrashReport {
         let tail: Vec<String> = self.log_monitor.tail().to_vec();
         let backtrace = parse_backtrace(&tail);
         // The banner's headline: the most recent crash-looking line that
@@ -359,6 +390,13 @@ impl Executor {
 
     /// Execute one prog. This is the body of the fuzzing loop.
     pub fn run_one(&mut self, prog: &Prog) -> ExecOutcome {
+        let span = tel::span_start("exec", self.transport.now());
+        let outcome = self.run_one_inner(prog);
+        tel::span_end(span, self.transport.now());
+        outcome
+    }
+
+    fn run_one_inner(&mut self, prog: &Prog) -> ExecOutcome {
         let start = self.transport.now();
         let mut outcome = ExecOutcome::default();
         let mut all_edges: Vec<u64> = Vec::new();
@@ -383,7 +421,10 @@ impl Executor {
 
         // Upload the prog. Transient link drops are retried at the link
         // layer; only a persistent loss escalates to the supervisor.
-        let Ok(bytes) = encode_prog(prog, &self.api_table, self.order) else {
+        let translate_span = tel::span_start("exec.translate", self.transport.now());
+        let encoded = encode_prog(prog, &self.api_table, self.order);
+        tel::span_end(translate_span, self.transport.now());
+        let Ok(bytes) = encoded else {
             outcome.cycles = self.transport.now() - start;
             return outcome;
         };
@@ -648,8 +689,14 @@ impl Executor {
             self.transport.sleep(extra);
         }
         outcome.cycles = self.transport.now() - start;
-        if outcome.cycles > 1_000_000 && std::env::var_os("EOF_DEBUG_SLOW").is_some() {
-            eprintln!("[slow exec: {} cycles]\n{prog}", outcome.cycles);
+        if outcome.cycles >= slow_exec_threshold() {
+            tel::count("exec.slow", 1);
+            tel::event("exec.slow", self.transport.now(), || {
+                format!("cycles={} calls={}", outcome.cycles, prog.calls.len())
+            });
+            if std::env::var_os("EOF_DEBUG_SLOW").is_some() {
+                eprintln!("[slow exec: {} cycles]\n{prog}", outcome.cycles);
+            }
         }
 
         if !self.at_main {

@@ -195,6 +195,29 @@ mod tests {
     }
 
     #[test]
+    fn recorded_fleet_merges_identically_serial_and_parallel() {
+        use crate::campaign::run_campaign_recorded;
+        // The telemetry half of the fleet determinism contract: merging
+        // per-campaign registries in submission order must yield the same
+        // summary whether the jobs ran on 1 worker or 4.
+        let configs: Vec<FuzzerConfig> = vec![
+            short(OsKind::Zephyr, 21),
+            short(OsKind::FreeRtos, 22),
+            short(OsKind::RtThread, 23),
+        ];
+        let merged_summary = |results: Vec<FleetResult<CampaignResult>>| {
+            let parts: Vec<eof_telemetry::Registry> = results
+                .into_iter()
+                .map(|r| r.expect("campaign runs").telemetry.expect("recorded"))
+                .collect();
+            eof_telemetry::Merged::from_parts(parts).summary().to_json()
+        };
+        let serial = FleetRunner::new(1).map(configs.clone(), |_, c| run_campaign_recorded(c));
+        let parallel = FleetRunner::new(4).map(configs, |_, c| run_campaign_recorded(c));
+        assert_eq!(merged_summary(serial), merged_summary(parallel));
+    }
+
+    #[test]
     fn serial_and_parallel_campaigns_are_identical() {
         let configs: Vec<FuzzerConfig> = vec![
             short(OsKind::Zephyr, 11),

@@ -13,6 +13,7 @@ use crate::crash::CrashDb;
 use crate::executor::Executor;
 use crate::gen::Generator;
 use eof_coverage::Snapshot;
+use eof_telemetry as tel;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -85,6 +86,7 @@ impl Fuzzer {
     /// frontier with a burst of follow-up mutations (the AFL-style
     /// reaction that lets guided search climb breadcrumb ladders).
     pub fn step(&mut self) {
+        let gen_span = tel::span_start("fuzz.gen", self.executor.now());
         let prog = if self.config.coverage_feedback && !self.corpus.is_empty() && self.rng.random_bool(0.5)
         {
             match self.corpus.pick_index(&mut self.rng) {
@@ -98,6 +100,7 @@ impl Fuzzer {
         } else {
             self.generator.generate()
         };
+        tel::span_end(gen_span, self.executor.now());
         let (mut frontier, _) = self.run_and_record(prog);
         if !self.config.coverage_feedback {
             return;
@@ -115,9 +118,11 @@ impl Fuzzer {
                     break 'burst;
                 }
                 burst_budget -= 1;
+                let gen_span = tel::span_start("fuzz.gen", self.executor.now());
                 let mutant = self
                     .generator
                     .mutate(&self.corpus.get(seed_idx).expect("frontier index is live").prog);
+                tel::span_end(gen_span, self.executor.now());
                 let (next, stalled) = self.run_and_record(mutant);
                 if stalled {
                     break 'burst;
@@ -157,24 +162,34 @@ impl Fuzzer {
             }
         }
         let outcome = self.executor.run_one(&prog);
+        // Every `FuzzerStats` increment is mirrored onto a telemetry
+        // counter at the same site; the campaign asserts the two
+        // accounting paths agree at the end (drift between them would
+        // mean one path silently missed an event).
         self.stats.execs += 1;
+        tel::count("fuzz.execs", 1);
         if outcome.stalled {
             self.stats.stalls += 1;
+            tel::count("fuzz.stalls", 1);
         }
         if outcome.restored {
             self.stats.restorations += 1;
+            tel::count("fuzz.restorations", 1);
         }
         if outcome.sync_failed {
             self.stats.failed_syncs += 1;
+            tel::count("fuzz.failed_syncs", 1);
         }
         let crashed = outcome.crash.is_some();
         let mut new_crash_class = false;
         if let Some(report) = outcome.crash {
             self.stats.crash_observations += 1;
+            tel::count("fuzz.crash_observations", 1);
             new_crash_class = self.crashes.record(report);
         }
         if outcome.new_edges > 0 {
             self.stats.interesting += 1;
+            tel::count("fuzz.interesting", 1);
         }
         // Feedback: coverage always admits; crash signals admit only
         // under EOF's unified feedback. Inputs that *hang* the target are

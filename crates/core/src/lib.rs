@@ -53,7 +53,8 @@ pub mod supervisor;
 
 pub use artifacts::{cached_image, cached_spec, cache_stats, reset_cache_stats, CacheStats};
 pub use campaign::{
-    run_campaign, run_campaign_with_coverage, run_campaign_with_faults, CampaignResult,
+    run_campaign, run_campaign_recorded, run_campaign_with_coverage, run_campaign_with_faults,
+    CampaignResult,
 };
 pub use chaos::{chaos_plan, run_chaos, ChaosConfig, ChaosReport};
 pub use fleet::{FleetError, FleetResult, FleetRunner};

@@ -11,6 +11,7 @@ use crate::crash::CrashReport;
 use crate::executor::Executor;
 use eof_rtos::bugs::BugId;
 use eof_speclang::prog::Prog;
+use eof_telemetry as tel;
 
 /// Outcome of a minimisation run.
 #[derive(Debug, Clone)]
@@ -43,6 +44,21 @@ fn same_class(report: &CrashReport, bug: Option<BugId>, message: &str) -> bool {
 /// call sequence still triggering the same crash class. `max_trials`
 /// bounds the target executions spent.
 pub fn minimize(
+    executor: &mut Executor,
+    prog: &Prog,
+    crash: &CrashReport,
+    max_trials: u32,
+) -> MinimizeResult {
+    let span = tel::span_start("minimize", executor.now());
+    let result = minimize_inner(executor, prog, crash, max_trials);
+    tel::span_end(span, executor.now());
+    tel::count("minimize.runs", 1);
+    tel::count("minimize.trials", result.trials as u64);
+    tel::count("minimize.calls_removed", result.removed as u64);
+    result
+}
+
+fn minimize_inner(
     executor: &mut Executor,
     prog: &Prog,
     crash: &CrashReport,
@@ -198,5 +214,41 @@ mod tests {
         let crash = outcome.crash.expect("crashes");
         let min = minimize(&mut ex, &noisy, &crash, 3);
         assert!(min.trials <= 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_still_returns_confirmed_reproducer() {
+        // When the trial budget runs out mid-search, the returned prog
+        // must be one that actually re-executed and crashed with the
+        // original class — never an unverified speculative removal. The
+        // chain prog is the adversarial case: most single-call removals
+        // break the crash, so a tiny budget strands the search early.
+        let mut ex = executor(OsKind::RtThread);
+        let noisy = Prog {
+            calls: vec![
+                call("rt_tick_increase", vec![ArgValue::Int(1)]),
+                call("rt_event_create", vec![ArgValue::CString("evt".into())]),
+                call("rt_malloc", vec![ArgValue::Int(32)]),
+                call("rt_event_delete", vec![ArgValue::ResourceRef(1)]),
+                call(
+                    "rt_event_send",
+                    vec![ArgValue::ResourceRef(1), ArgValue::Int((u32::MAX >> 6) as u64)],
+                ),
+            ],
+        };
+        let outcome = ex.run_one(&noisy);
+        let crash = outcome.crash.expect("chain crashes");
+        let bug = crash.bug;
+        assert!(bug.is_some());
+        for budget in [1u32, 2, 3] {
+            let min = minimize(&mut ex, &noisy, &crash, budget);
+            assert!(min.trials <= budget);
+            // The returned crash report came from a confirming run.
+            assert_eq!(min.crash.bug, bug, "budget {budget}");
+            // And the reproducer itself still fires when re-executed.
+            let confirm = ex.run_one(&min.prog);
+            let confirmed = confirm.crash.expect("returned reproducer must still crash");
+            assert_eq!(confirmed.bug, bug, "budget {budget}: {}", min.prog);
+        }
     }
 }

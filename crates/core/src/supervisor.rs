@@ -30,6 +30,7 @@ use crate::config::RecoveryConfig;
 use eof_dap::{DebugTransport, RetryStats};
 use eof_hal::clock::{secs_to_cycles, CYCLES_PER_SEC};
 use eof_monitors::StateRestoration;
+use eof_telemetry as tel;
 
 /// Simulated seconds a manual intervention costs (a human walks over
 /// with a bench flasher).
@@ -87,6 +88,29 @@ impl Rung {
         Rung::FullReflash,
         Rung::PowerCycle,
     ];
+
+    /// Telemetry counter key for attempts of this rung. A match (rather
+    /// than formatting) because counters key on `&'static str`.
+    pub fn attempts_counter(self) -> &'static str {
+        match self {
+            Rung::Resume => "recovery.rung.resume.attempts",
+            Rung::Reset => "recovery.rung.reset.attempts",
+            Rung::VerifyReflash => "recovery.rung.verify_reflash.attempts",
+            Rung::FullReflash => "recovery.rung.full_reflash.attempts",
+            Rung::PowerCycle => "recovery.rung.power_cycle.attempts",
+        }
+    }
+
+    /// Telemetry counter key for successful recoveries by this rung.
+    pub fn successes_counter(self) -> &'static str {
+        match self {
+            Rung::Resume => "recovery.rung.resume.successes",
+            Rung::Reset => "recovery.rung.reset.successes",
+            Rung::VerifyReflash => "recovery.rung.verify_reflash.successes",
+            Rung::FullReflash => "recovery.rung.full_reflash.successes",
+            Rung::PowerCycle => "recovery.rung.power_cycle.successes",
+        }
+    }
 }
 
 /// Why recovery was entered — used to skip rungs that provably cannot
@@ -269,6 +293,8 @@ impl RecoverySupervisor {
     ) -> RecoveryOutcome {
         let start = pipe.now();
         self.stats.episodes += 1;
+        tel::count("recovery.episodes", 1);
+        let episode_span = tel::span_start("recovery.episode", start);
         for spec in self.ladder.clone() {
             // A stall means the core answers but the PC is stuck;
             // re-parking without any action provably cannot help.
@@ -280,14 +306,21 @@ impl RecoverySupervisor {
                 if attempt > 0 && backoff > 0 {
                     pipe.sleep(backoff);
                     self.stats.backoff_cycles += backoff;
+                    tel::count("recovery.backoff_cycles", backoff);
                     backoff = backoff.saturating_mul(2).min(MAX_RUNG_BACKOFF);
                 }
                 self.stats.rung_attempts[spec.rung.index()] += 1;
+                tel::count(spec.rung.attempts_counter(), 1);
                 Self::perform(spec, pipe, restoration);
                 if verify(pipe) {
                     self.stats.rung_successes[spec.rung.index()] += 1;
+                    tel::count(spec.rung.successes_counter(), 1);
                     let cycles = pipe.now() - start;
                     self.finish_episode(cycles);
+                    tel::span_end(episode_span, pipe.now());
+                    tel::event("recovery.recovered", pipe.now(), || {
+                        format!("rung={} cycles={cycles}", spec.rung.name())
+                    });
                     return RecoveryOutcome {
                         rung: Some(spec.rung),
                         parked: true,
@@ -299,12 +332,15 @@ impl RecoverySupervisor {
         // Ladder exhausted: a human walks over, power-cycles the board
         // and reflashes it with a bench programmer.
         self.stats.manual_interventions += 1;
+        tel::count("recovery.manual_interventions", 1);
+        tel::event("recovery.manual_intervention", pipe.now(), String::new);
         pipe.sleep(secs_to_cycles(MANUAL_INTERVENTION_SECS));
         pipe.power_cycle(secs_to_cycles(1));
         let _ = restoration.restore_full(pipe);
         let parked = verify(pipe);
         let cycles = pipe.now() - start;
         self.finish_episode(cycles);
+        tel::span_end(episode_span, pipe.now());
         RecoveryOutcome {
             rung: None,
             parked,
@@ -315,6 +351,7 @@ impl RecoverySupervisor {
     fn finish_episode(&mut self, cycles: u64) {
         self.stats.recovery_cycles += cycles;
         self.stats.max_recovery_cycles = self.stats.max_recovery_cycles.max(cycles);
+        tel::observe("recovery.episode_cycles", cycles);
     }
 
     /// Execute one rung's action. Errors are deliberately swallowed: a

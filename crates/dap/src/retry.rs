@@ -12,6 +12,7 @@
 
 use crate::error::DapError;
 use crate::transport::DebugTransport;
+use eof_telemetry as tel;
 
 /// Retry budget and backoff shape for transient link errors.
 #[derive(Debug, Clone, Copy)]
@@ -60,24 +61,32 @@ impl RetryPolicy {
         loop {
             attempt += 1;
             stats.attempts += 1;
+            tel::count("dap.retry.attempts", 1);
             match op(pipe) {
                 Ok(v) => {
                     if attempt > 1 {
                         stats.recovered += 1;
+                        tel::count("dap.retry.recovered", 1);
                     }
                     return Ok(v);
                 }
                 Err(e) if e.is_connection_loss() && attempt < self.max_attempts.max(1) => {
                     stats.retries += 1;
+                    tel::count("dap.retry.retries", 1);
                     if backoff > 0 {
                         pipe.sleep(backoff);
                         stats.backoff_cycles += backoff;
+                        tel::count("dap.retry.backoff_cycles", backoff);
                     }
                     backoff = (backoff.saturating_mul(2)).min(self.max_backoff).max(1);
                 }
                 Err(e) => {
                     if e.is_connection_loss() {
                         stats.exhausted += 1;
+                        tel::count("dap.retry.exhausted", 1);
+                        tel::event("dap.retry.exhausted", pipe.now(), || {
+                            format!("attempts={attempt} error={e:?}")
+                        });
                     }
                     return Err(e);
                 }

@@ -16,6 +16,7 @@
 use crate::error::DapError;
 use crate::tap::TapController;
 use eof_hal::{DebugIface, InjectedFault, Machine, RunExit};
+use eof_telemetry as tel;
 
 /// Link parameters of a probe session.
 #[derive(Debug, Clone, Copy)]
@@ -140,13 +141,21 @@ impl DebugTransport {
         let now = self.machine.bus().now();
         for fault in self.machine.take_due_link_faults() {
             match fault {
-                InjectedFault::DropLink { cycles } => self.outages.push((now, now + cycles)),
+                InjectedFault::DropLink { cycles } => {
+                    tel::count("dap.link.outages", 1);
+                    tel::event("dap.link.outage", now, || format!("cycles={cycles}"));
+                    self.outages.push((now, now + cycles));
+                }
                 InjectedFault::FlakyLink {
                     drop_per_mille,
                     cycles,
-                } => self
-                    .flaky
-                    .push((now, now + cycles, drop_per_mille.min(1000))),
+                } => {
+                    tel::count("dap.link.flaky_windows", 1);
+                    tel::event("dap.link.flaky", now, || {
+                        format!("cycles={cycles} drop_per_mille={drop_per_mille}")
+                    });
+                    self.flaky.push((now, now + cycles, drop_per_mille.min(1000)));
+                }
                 _ => {}
             }
         }
@@ -184,9 +193,28 @@ impl DebugTransport {
         }
         if self.flaky_drop() {
             self.flaky_drops += 1;
+            tel::count("dap.link.flaky_drops", 1);
             return Err(DapError::LinkDown);
         }
         Ok(())
+    }
+
+    /// Run one operation body and record its cycle cost and outcome as
+    /// per-op telemetry. Cheaper than a span: the hot fuzzing loop does
+    /// thousands of these per execution.
+    fn record_op<T>(
+        &mut self,
+        name: &'static str,
+        body: impl FnOnce(&mut Self) -> Result<T, DapError>,
+    ) -> Result<T, DapError> {
+        let start = self.machine.bus().now();
+        let result = body(self);
+        tel::op(
+            name,
+            self.machine.bus().now().saturating_sub(start),
+            result.is_err(),
+        );
+        result
     }
 
     /// Preamble of every core-facing operation: charge latency (and TAP
@@ -203,6 +231,7 @@ impl DebugTransport {
             // Block for the full timeout window, then report.
             self.machine.bus_mut().charge(self.config.timeout);
             self.timeouts += 1;
+            tel::count("dap.timeouts", 1);
             return Err(DapError::ConnectionTimeout {
                 waited: self.config.timeout,
             });
@@ -213,64 +242,80 @@ impl DebugTransport {
     /// Cheap aliveness probe: succeeds iff the target answers at all.
     /// `ConnectionTimeout(DebugPipe)` in Algorithm 1 is `ping().is_err()`.
     pub fn ping(&mut self) -> Result<(), DapError> {
-        self.begin_op(8)
+        self.record_op("ping", |t| t.begin_op(8))
     }
 
     /// Halt the core.
     pub fn halt(&mut self) -> Result<(), DapError> {
-        self.begin_op(32)?;
-        self.machine.debug_halt().map_err(Into::into)
+        self.record_op("halt", |t| {
+            t.begin_op(32)?;
+            t.machine.debug_halt().map_err(Into::into)
+        })
     }
 
     /// Resume the core (GDB `-exec-continue` without waiting).
     pub fn resume(&mut self) -> Result<(), DapError> {
-        self.begin_op(32)?;
-        self.machine.debug_resume().map_err(Into::into)
+        self.record_op("resume", |t| {
+            t.begin_op(32)?;
+            t.machine.debug_resume().map_err(Into::into)
+        })
     }
 
     /// Resume and run the target for at most `budget` cycles, reporting
     /// how the run ended. This is the blocking `continue` the fuzzing
     /// loop uses between sync points.
     pub fn continue_until_halt(&mut self, budget: u64) -> Result<LinkEvent, DapError> {
-        self.begin_op(32)?;
-        self.machine.debug_resume()?;
-        Ok(match self.machine.run(budget) {
-            RunExit::Breakpoint { pc } => LinkEvent::BreakpointHit { pc },
-            RunExit::BudgetExhausted => LinkEvent::StillRunning,
-            RunExit::CoreDead => LinkEvent::TargetDead,
-            RunExit::WatchdogReset => LinkEvent::WatchdogReset,
+        self.record_op("continue_until_halt", |t| {
+            t.begin_op(32)?;
+            t.machine.debug_resume()?;
+            Ok(match t.machine.run(budget) {
+                RunExit::Breakpoint { pc } => LinkEvent::BreakpointHit { pc },
+                RunExit::BudgetExhausted => LinkEvent::StillRunning,
+                RunExit::CoreDead => LinkEvent::TargetDead,
+                RunExit::WatchdogReset => LinkEvent::WatchdogReset,
+            })
         })
     }
 
     /// Read target memory.
     pub fn read_mem(&mut self, addr: u32, buf: &mut [u8]) -> Result<(), DapError> {
-        self.begin_op((buf.len() as u32) * 8)?;
-        self.machine.debug_read(addr, buf).map_err(Into::into)
+        self.record_op("read_mem", |t| {
+            t.begin_op((buf.len() as u32) * 8)?;
+            t.machine.debug_read(addr, buf).map_err(Into::into)
+        })
     }
 
     /// Write target memory.
     pub fn write_mem(&mut self, addr: u32, buf: &[u8]) -> Result<(), DapError> {
-        self.begin_op((buf.len() as u32) * 8)?;
-        self.machine.debug_write(addr, buf).map_err(Into::into)
+        self.record_op("write_mem", |t| {
+            t.begin_op((buf.len() as u32) * 8)?;
+            t.machine.debug_write(addr, buf).map_err(Into::into)
+        })
     }
 
     /// Read the program counter.
     pub fn read_pc(&mut self) -> Result<u32, DapError> {
-        self.begin_op(32)?;
-        self.machine.debug_pc().map_err(Into::into)
+        self.record_op("read_pc", |t| {
+            t.begin_op(32)?;
+            t.machine.debug_pc().map_err(Into::into)
+        })
     }
 
     /// Install a hardware breakpoint.
     pub fn set_breakpoint(&mut self, addr: u32) -> Result<(), DapError> {
-        self.begin_op(32)?;
-        self.machine.set_breakpoint(addr).map_err(Into::into)
+        self.record_op("set_breakpoint", |t| {
+            t.begin_op(32)?;
+            t.machine.set_breakpoint(addr).map_err(Into::into)
+        })
     }
 
     /// Remove a hardware breakpoint.
     pub fn clear_breakpoint(&mut self, addr: u32) -> Result<(), DapError> {
-        self.begin_op(32)?;
-        self.machine.clear_breakpoint(addr);
-        Ok(())
+        self.record_op("clear_breakpoint", |t| {
+            t.begin_op(32)?;
+            t.machine.clear_breakpoint(addr);
+            Ok(())
+        })
     }
 
     /// Look up a firmware symbol address.
@@ -281,9 +326,11 @@ impl DebugTransport {
     /// Reset the target (OpenOCD `reset run`). Works even when the target
     /// is dead — the reset line is independent of the core.
     pub fn reset_target(&mut self) -> Result<(), DapError> {
-        self.begin_link_op()?;
-        self.machine.reset();
-        Ok(())
+        self.record_op("reset_target", |t| {
+            t.begin_link_op()?;
+            t.machine.reset();
+            Ok(())
+        })
     }
 
     /// Cut the target's power for `off_cycles`, then cold-boot it. The
@@ -291,24 +338,32 @@ impl DebugTransport {
     /// that works with the debug link completely down, which is why it is
     /// the last rung of the restoration ladder.
     pub fn power_cycle(&mut self, off_cycles: u64) {
+        let start = self.machine.bus().now();
         self.ops += 1;
         self.machine.power_cycle(off_cycles);
+        tel::op(
+            "power_cycle",
+            self.machine.bus().now().saturating_sub(start),
+            false,
+        );
     }
 
     /// Program an image into a named flash partition (OpenOCD
     /// `flash write_image`). Also link-independent of core state.
     pub fn flash_partition(&mut self, name: &str, image: &[u8]) -> Result<(), DapError> {
-        self.begin_link_op()?;
-        self.machine
-            .reflash_partition(name, image)
-            .map_err(Into::into)
+        self.record_op("flash_partition", |t| {
+            t.begin_link_op()?;
+            t.machine.reflash_partition(name, image).map_err(Into::into)
+        })
     }
 
     /// Target-side checksum of a flash partition (OpenOCD
     /// `flash verify_image`). Link-dependent but core-independent.
     pub fn flash_checksum(&mut self, name: &str) -> Result<u64, DapError> {
-        self.begin_link_op()?;
-        self.machine.debug_flash_checksum(name).map_err(Into::into)
+        self.record_op("flash_checksum", |t| {
+            t.begin_link_op()?;
+            t.machine.debug_flash_checksum(name).map_err(Into::into)
+        })
     }
 
     /// Raise an interrupt line on the target, as external stimulus

@@ -99,6 +99,19 @@ pub enum InjectedFault {
 }
 
 impl InjectedFault {
+    /// Stable lower-case label (telemetry counter suffixes, journals).
+    pub fn label(&self) -> &'static str {
+        match self {
+            InjectedFault::FlashBitFlip { .. } => "flash_bit_flip",
+            InjectedFault::FreezeFirmware => "freeze_firmware",
+            InjectedFault::KillCore => "kill_core",
+            InjectedFault::DropLink { .. } => "drop_link",
+            InjectedFault::FlakyLink { .. } => "flaky_link",
+            InjectedFault::Brownout { .. } => "brownout",
+            InjectedFault::UartGarbage => "uart_garbage",
+        }
+    }
+
     /// Whether this fault acts on the debug *link* (consumed by the
     /// `eof-dap` transport) rather than on the core/peripherals
     /// (consumed by the machine's step loop).

@@ -14,6 +14,7 @@ use crate::fault::{FaultKind, FaultPlan, FaultRecord, InjectedFault};
 use crate::firmware::{Firmware, StepResult};
 use crate::flash::Flash;
 use crate::watchdog::HardwareWatchdog;
+use eof_telemetry as tel;
 
 /// Lifecycle state of the simulated core.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -249,6 +250,10 @@ impl Machine {
     /// can pull the plug even when the probe sees nothing.
     pub fn power_cycle(&mut self, off_cycles: u64) {
         self.power_cycles += 1;
+        tel::count("hal.power_cycles", 1);
+        tel::event("hal.power_cycle", self.bus.now(), || {
+            format!("off_cycles={off_cycles}")
+        });
         self.bus.charge(off_cycles);
         self.core_killed = false;
         self.reset();
@@ -261,6 +266,8 @@ impl Machine {
     /// via [`Machine::take_due_link_faults`].
     fn apply_due_faults(&mut self) {
         for f in self.fault_plan.take_due_core(self.bus.now()) {
+            tel::count(fault_counter_key(&f), 1);
+            tel::event("hal.fault", self.bus.now(), || f.label().to_string());
             match f {
                 InjectedFault::FlashBitFlip { offset, bit } => {
                     let _ = self.flash.flip_bit(offset, bit);
@@ -508,6 +515,20 @@ impl Machine {
 /// mostly high-bit bytes (never printable crash-signature text) with a
 /// terminating newline so the burst cannot glue itself onto a real
 /// banner line forever.
+/// Telemetry counter key for an applied core fault. A match (rather than
+/// formatting `hal.fault.{label}`) because counters key on `&'static str`.
+fn fault_counter_key(f: &InjectedFault) -> &'static str {
+    match f {
+        InjectedFault::FlashBitFlip { .. } => "hal.fault.flash_bit_flip",
+        InjectedFault::FreezeFirmware => "hal.fault.freeze_firmware",
+        InjectedFault::KillCore => "hal.fault.kill_core",
+        InjectedFault::DropLink { .. } => "hal.fault.drop_link",
+        InjectedFault::FlakyLink { .. } => "hal.fault.flaky_link",
+        InjectedFault::Brownout { .. } => "hal.fault.brownout",
+        InjectedFault::UartGarbage => "hal.fault.uart_garbage",
+    }
+}
+
 fn uart_noise(seed: u64) -> Vec<u8> {
     let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
     let mut out = Vec::with_capacity(48);

@@ -13,6 +13,7 @@ use eof_dap::{DapError, DebugTransport};
 use eof_hal::clock::secs_to_cycles;
 use eof_hal::flash::fnv1a;
 use eof_hal::PartitionTable;
+use eof_telemetry as tel;
 
 /// Post-reboot settle delay (Algorithm 1 line 19).
 pub const SETTLE_SECS: u64 = 5;
@@ -103,19 +104,25 @@ impl StateRestoration {
     /// the damaged ones, then reboot and settle. An intact image after a
     /// mere hang thus costs seconds, not a full multi-megabyte flash.
     pub fn restore(&mut self, pipe: &mut DebugTransport) -> Result<(), DapError> {
+        let span = tel::span_start("restore.verify_reflash", pipe.now());
         for (i, (name, image)) in self.images.iter().enumerate() {
             let intact = pipe
                 .flash_checksum(name)
                 .map(|cs| cs == self.golden[i].1)
                 .unwrap_or(false);
-            if !intact {
+            if intact {
+                tel::count("restore.partitions_verified_intact", 1);
+            } else {
                 pipe.flash_partition(name, image)?;
                 self.reflashes += 1;
+                tel::count("restore.partitions_reflashed", 1);
             }
         }
         pipe.reset_target()?;
         pipe.sleep(secs_to_cycles(SETTLE_SECS));
         self.restorations += 1;
+        tel::count("restore.restorations", 1);
+        tel::span_end(span, pipe.now());
         Ok(())
     }
 
@@ -124,13 +131,17 @@ impl StateRestoration {
     /// supervisor escalates here when a verified restore did not stick —
     /// e.g. the checksum engine itself answers garbage.
     pub fn restore_full(&mut self, pipe: &mut DebugTransport) -> Result<(), DapError> {
+        let span = tel::span_start("restore.full_reflash", pipe.now());
         for (name, image) in &self.images {
             pipe.flash_partition(name, image)?;
             self.reflashes += 1;
+            tel::count("restore.partitions_reflashed", 1);
         }
         pipe.reset_target()?;
         pipe.sleep(secs_to_cycles(SETTLE_SECS));
         self.restorations += 1;
+        tel::count("restore.restorations", 1);
+        tel::span_end(span, pipe.now());
         Ok(())
     }
 }

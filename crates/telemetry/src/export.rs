@@ -1,0 +1,230 @@
+//! Exporters: Chrome/Perfetto trace, JSONL event journal, and a
+//! Prometheus-style text summary.
+//!
+//! All three render a [`Merged`] set of per-worker registries. The
+//! Chrome trace maps each worker (fleet job, in submission order) to one
+//! `tid` track, with simulated cycles as the microsecond timebase —
+//! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load it directly and nest spans by containment. The JSONL journal is
+//! the lossless form (it keeps wall nanos and event details); the
+//! Prometheus text is for scraping dashboards off a results directory.
+
+use crate::registry::{Histogram, Merged};
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a Chrome trace (`trace.json`): one `X` (complete) event per
+/// span, one `i` (instant) event per journal entry, one track per
+/// worker. Timestamps are simulated cycles interpreted as microseconds.
+pub fn chrome_trace(merged: &Merged) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (track, part) in merged.parts.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {track}, \"args\": {{\"name\": \"worker-{track}\"}}}}"
+        ));
+        for span in &part.spans {
+            events.push(format!(
+                "{{\"name\": \"{}\", \"cat\": \"eof\", \"ph\": \"X\", \"pid\": 0, \"tid\": {track}, \"ts\": {}, \"dur\": {}}}",
+                json_escape(span.name),
+                span.start_cycles,
+                span.end_cycles.saturating_sub(span.start_cycles)
+            ));
+        }
+        for ev in &part.events {
+            events.push(format!(
+                "{{\"name\": \"{}\", \"cat\": \"eof\", \"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {track}, \"ts\": {}, \"args\": {{\"detail\": \"{}\"}}}}",
+                json_escape(ev.name),
+                ev.cycles,
+                json_escape(&ev.detail)
+            ));
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+/// Render the JSONL journal: one JSON object per line, lossless (spans
+/// keep wall nanos, events keep their detail strings), with final
+/// counter/histogram lines per track.
+pub fn jsonl_journal(merged: &Merged) -> String {
+    let mut out = String::new();
+    for (track, part) in merged.parts.iter().enumerate() {
+        for span in &part.spans {
+            let _ = writeln!(
+                out,
+                "{{\"track\": {track}, \"type\": \"span\", \"name\": \"{}\", \"start_cycles\": {}, \"end_cycles\": {}, \"wall_ns\": {}}}",
+                json_escape(span.name),
+                span.start_cycles,
+                span.end_cycles,
+                span.wall_ns
+            );
+        }
+        for ev in &part.events {
+            let _ = writeln!(
+                out,
+                "{{\"track\": {track}, \"type\": \"event\", \"name\": \"{}\", \"cycles\": {}, \"detail\": \"{}\"}}",
+                json_escape(ev.name),
+                ev.cycles,
+                json_escape(&ev.detail)
+            );
+        }
+        for (name, value) in &part.counters {
+            let _ = writeln!(
+                out,
+                "{{\"track\": {track}, \"type\": \"counter\", \"name\": \"{}\", \"value\": {value}}}",
+                json_escape(name)
+            );
+        }
+        if part.spans_dropped > 0 || part.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"track\": {track}, \"type\": \"dropped\", \"spans\": {}, \"events\": {}}}",
+                part.spans_dropped, part.events_dropped
+            );
+        }
+    }
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("eof_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn prom_hist(out: &mut String, name: &str, h: &Histogram) {
+    let base = prom_name(name);
+    let _ = writeln!(out, "# TYPE {base} histogram");
+    let mut cumulative = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        // Bucket i holds values with bit_width == i, i.e. v <= 2^i - 1.
+        let le = if i >= 64 {
+            "+Inf".to_string()
+        } else {
+            ((1u128 << i) - 1).to_string()
+        };
+        let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{base}_sum {}", h.sum);
+    let _ = writeln!(out, "{base}_count {}", h.count);
+}
+
+/// Render a Prometheus-style text summary of the merged registries.
+pub fn prometheus_text(merged: &Merged) -> String {
+    let s = merged.summary();
+    let mut out = String::new();
+    for (name, value) in &s.counters {
+        let base = prom_name(name);
+        let _ = writeln!(out, "# TYPE {base} counter");
+        let _ = writeln!(out, "{base} {value}");
+    }
+    for (name, h) in &s.hists {
+        prom_hist(&mut out, name, h);
+    }
+    for (name, agg) in &s.spans {
+        let base = prom_name(&format!("span.{name}"));
+        let _ = writeln!(out, "# TYPE {base}_cycles counter");
+        let _ = writeln!(out, "{base}_cycles {}", agg.total_cycles);
+        let _ = writeln!(out, "{base}_count {}", agg.count);
+    }
+    for (name, op) in &s.ops {
+        let base = prom_name(&format!("op.{name}"));
+        let _ = writeln!(out, "# TYPE {base}_total counter");
+        let _ = writeln!(out, "{base}_total {}", op.count);
+        let _ = writeln!(out, "{base}_errors {}", op.errors);
+        prom_hist(&mut out, &format!("op.{name}.cycles"), &op.cycles);
+    }
+    let _ = writeln!(out, "eof_telemetry_spans_dropped {}", s.spans_dropped);
+    let _ = writeln!(out, "eof_telemetry_events_dropped {}", s.events_dropped);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{EventRecord, Registry, SpanRecord};
+
+    fn sample() -> Merged {
+        let mut a = Registry::new();
+        a.span(SpanRecord {
+            name: "exec",
+            start_cycles: 100,
+            end_cycles: 200,
+            wall_ns: 5,
+        });
+        a.span(SpanRecord {
+            name: "exec.translate",
+            start_cycles: 110,
+            end_cycles: 120,
+            wall_ns: 1,
+        });
+        a.event(EventRecord {
+            name: "exec.slow",
+            cycles: 150,
+            detail: "cycles=1500000 \"quote\"".to_string(),
+        });
+        a.count("fuzz.execs", 1);
+        a.observe("recovery.episode_cycles", 4_000);
+        a.op("read_mem", 12, false);
+        let mut b = Registry::new();
+        b.count("fuzz.execs", 2);
+        Merged::from_parts(vec![a, b])
+    }
+
+    #[test]
+    fn chrome_trace_has_one_track_per_part_and_nests_by_containment() {
+        let trace = chrome_trace(&sample());
+        assert!(trace.contains("\"tid\": 0"));
+        assert!(trace.contains("\"tid\": 1"));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"name\": \"exec.translate\""));
+        // The child span is contained in the parent interval.
+        assert!(trace.contains("\"ts\": 110, \"dur\": 10"));
+        assert!(trace.contains("\"ts\": 100, \"dur\": 100"));
+    }
+
+    #[test]
+    fn journal_lines_are_json_shaped_and_escape_quotes() {
+        let journal = jsonl_journal(&sample());
+        for line in journal.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(journal.contains("\\\"quote\\\""));
+        assert!(journal.contains("\"wall_ns\": 5"));
+    }
+
+    #[test]
+    fn prometheus_text_sums_across_parts() {
+        let prom = prometheus_text(&sample());
+        assert!(prom.contains("eof_fuzz_execs 3"));
+        assert!(prom.contains("eof_recovery_episode_cycles_sum 4000"));
+        assert!(prom.contains("eof_op_read_mem_total 1"));
+    }
+}

@@ -1,0 +1,423 @@
+//! The per-worker telemetry store and its deterministic merge.
+//!
+//! A [`Registry`] records everything one campaign observes: monotonic
+//! counters, log-scale histograms, per-operation stats, completed spans
+//! and journal events. Every quantity lives in the *simulated-cycle*
+//! domain except span wall-nanos, which are auxiliary profiling data and
+//! are excluded from [`TelemetrySummary`] — the summary is a pure
+//! function of the campaign's inputs, so identical seeds produce
+//! byte-identical summaries regardless of host speed or worker count.
+
+use std::collections::BTreeMap;
+
+/// Detailed span records kept per registry; aggregates keep counting
+/// past the cap, so summaries stay exact — only trace detail truncates.
+pub const MAX_SPANS: usize = 100_000;
+
+/// Detailed journal events kept per registry.
+pub const MAX_EVENTS: usize = 10_000;
+
+/// A log₂-bucketed histogram of non-negative integer samples.
+///
+/// Bucket `i` holds samples whose value `v` satisfies `2^(i-1) < v ≤
+/// 2^i - 1`... more precisely bucket index is `bit_width(v)` (0 for
+/// v = 0), i.e. 65 buckets cover the whole `u64` range. Count, sum and
+/// max are exact, so consistency checks against independently-kept
+/// counters can be equality checks, not approximations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Total samples observed.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+    /// Log₂ buckets, indexed by `bit_width(value)`.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+        self.buckets[bit_width(value)] += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn absorb(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `64 - leading_zeros`.
+pub fn bit_width(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Aggregate over all spans sharing one name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed spans recorded under this name.
+    pub count: u64,
+    /// Total simulated cycles across those spans.
+    pub total_cycles: u64,
+    /// Longest single span, in cycles.
+    pub max_cycles: u64,
+}
+
+impl SpanAgg {
+    fn absorb(&mut self, other: &SpanAgg) {
+        self.count += other.count;
+        self.total_cycles += other.total_cycles;
+        self.max_cycles = self.max_cycles.max(other.max_cycles);
+    }
+}
+
+/// Per-operation stats (debug-port ops and other request-shaped work).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operations performed.
+    pub count: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Cycle-cost distribution.
+    pub cycles: Histogram,
+}
+
+/// One completed span: a named interval in simulated cycles, with the
+/// wall-clock duration as auxiliary (non-deterministic) profiling data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (dot-separated, e.g. `exec.translate`).
+    pub name: &'static str,
+    /// Enter time, simulated cycles.
+    pub start_cycles: u64,
+    /// Exit time, simulated cycles.
+    pub end_cycles: u64,
+    /// Wall-clock duration, nanoseconds. Excluded from summaries.
+    pub wall_ns: u64,
+}
+
+/// One journal event: a named instant with a free-form detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name (e.g. `exec.slow`, `hal.fault`).
+    pub name: &'static str,
+    /// When it happened, simulated cycles.
+    pub cycles: u64,
+    /// Human-readable detail (built lazily; empty when unneeded).
+    pub detail: String,
+}
+
+/// Everything one campaign (one fleet job) recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<&'static str, Histogram>,
+    /// Span aggregates by name (exact even past the span cap).
+    pub span_aggs: BTreeMap<&'static str, SpanAgg>,
+    /// Per-operation stats by op name.
+    pub ops: BTreeMap<&'static str, OpStats>,
+    /// Detailed spans, capped at [`MAX_SPANS`].
+    pub spans: Vec<SpanRecord>,
+    /// Journal events, capped at [`MAX_EVENTS`].
+    pub events: Vec<EventRecord>,
+    /// Spans dropped by the cap (no silent truncation).
+    pub spans_dropped: u64,
+    /// Events dropped by the cap.
+    pub events_dropped: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a counter.
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().observe(value);
+    }
+
+    /// Histogram accessor (None if never touched).
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Record one operation's outcome.
+    pub fn op(&mut self, name: &'static str, cycles: u64, failed: bool) {
+        let stats = self.ops.entry(name).or_default();
+        stats.count += 1;
+        if failed {
+            stats.errors += 1;
+        }
+        stats.cycles.observe(cycles);
+    }
+
+    /// Record a completed span.
+    pub fn span(&mut self, record: SpanRecord) {
+        let agg = self.span_aggs.entry(record.name).or_default();
+        agg.count += 1;
+        let dur = record.end_cycles.saturating_sub(record.start_cycles);
+        agg.total_cycles += dur;
+        agg.max_cycles = agg.max_cycles.max(dur);
+        if self.spans.len() < MAX_SPANS {
+            self.spans.push(record);
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    /// Record a journal event.
+    pub fn event(&mut self, record: EventRecord) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(record);
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Deterministic summary of this registry alone.
+    pub fn summary(&self) -> TelemetrySummary {
+        Merged::from_parts(vec![self.clone()]).summary()
+    }
+}
+
+/// Several registries merged in a fixed (submission) order — one per
+/// fleet job, each becoming one track of the exported trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Merged {
+    /// The per-job registries, in submission order (track = index).
+    pub parts: Vec<Registry>,
+}
+
+impl Merged {
+    /// Merge registries in the given order. The order is part of the
+    /// determinism contract: benches pass results in submission order,
+    /// so `jobs=1` and `jobs=N` produce identical merges.
+    pub fn from_parts(parts: Vec<Registry>) -> Self {
+        Merged { parts }
+    }
+
+    /// The deterministic cross-job summary.
+    pub fn summary(&self) -> TelemetrySummary {
+        let mut s = TelemetrySummary {
+            parts: self.parts.len(),
+            ..TelemetrySummary::default()
+        };
+        for part in &self.parts {
+            for (&name, &v) in &part.counters {
+                *s.counters.entry(name).or_insert(0) += v;
+            }
+            for (&name, h) in &part.hists {
+                s.hists.entry(name).or_default().absorb(h);
+            }
+            for (&name, agg) in &part.span_aggs {
+                s.spans.entry(name).or_default().absorb(agg);
+            }
+            for (&name, op) in &part.ops {
+                let dst = s.ops.entry(name).or_default();
+                dst.count += op.count;
+                dst.errors += op.errors;
+                dst.cycles.absorb(&op.cycles);
+            }
+            s.spans_dropped += part.spans_dropped;
+            s.events_dropped += part.events_dropped;
+        }
+        s
+    }
+}
+
+/// The deterministic merged view: counters, histogram and span
+/// aggregates summed across workers. Contains no wall-clock data, so it
+/// is a pure function of the campaign inputs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// Registries merged.
+    pub parts: usize,
+    /// Summed counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Merged histograms.
+    pub hists: BTreeMap<&'static str, Histogram>,
+    /// Merged span aggregates.
+    pub spans: BTreeMap<&'static str, SpanAgg>,
+    /// Merged per-op stats.
+    pub ops: BTreeMap<&'static str, OpStats>,
+    /// Total spans dropped by per-registry caps.
+    pub spans_dropped: u64,
+    /// Total events dropped by per-registry caps.
+    pub events_dropped: u64,
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| format!("[{i}, {c}]"))
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        buckets.join(", ")
+    )
+}
+
+impl TelemetrySummary {
+    /// Render as a deterministic JSON object (keys in BTreeMap order,
+    /// fixed field order, no floats except derived means with fixed
+    /// precision — byte-identical for identical campaigns).
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        let hists: Vec<String> = self
+            .hists
+            .iter()
+            .map(|(k, h)| format!("\"{k}\": {}", hist_json(h)))
+            .collect();
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|(k, a)| {
+                format!(
+                    "\"{k}\": {{\"count\": {}, \"total_cycles\": {}, \"max_cycles\": {}}}",
+                    a.count, a.total_cycles, a.max_cycles
+                )
+            })
+            .collect();
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|(k, o)| {
+                format!(
+                    "\"{k}\": {{\"count\": {}, \"errors\": {}, \"cycles\": {}}}",
+                    o.count,
+                    o.errors,
+                    hist_json(&o.cycles)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"parts\": {}, \"counters\": {{{}}}, \"histograms\": {{{}}}, \"spans\": {{{}}}, \"ops\": {{{}}}, \"dropped\": {{\"spans\": {}, \"events\": {}}}}}",
+            self.parts,
+            counters.join(", "),
+            hists.join(", "),
+            spans.join(", "),
+            ops.join(", "),
+            self.spans_dropped,
+            self.events_dropped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_exact_moments() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[11], 1); // 1024
+        assert_eq!(h.buckets[64], 1); // u64::MAX
+    }
+
+    #[test]
+    fn span_cap_drops_detail_but_not_aggregates() {
+        let mut r = Registry::new();
+        for i in 0..(MAX_SPANS + 10) {
+            r.span(SpanRecord {
+                name: "s",
+                start_cycles: i as u64,
+                end_cycles: i as u64 + 2,
+                wall_ns: 0,
+            });
+        }
+        assert_eq!(r.spans.len(), MAX_SPANS);
+        assert_eq!(r.spans_dropped, 10);
+        let agg = r.span_aggs["s"];
+        assert_eq!(agg.count, (MAX_SPANS + 10) as u64);
+        assert_eq!(agg.total_cycles, 2 * (MAX_SPANS + 10) as u64);
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_sums_and_summary_is_deterministic() {
+        let mut a = Registry::new();
+        a.count("x", 3);
+        a.observe("h", 7);
+        let mut b = Registry::new();
+        b.count("x", 4);
+        b.observe("h", 900);
+        let ab = Merged::from_parts(vec![a.clone(), b.clone()]).summary();
+        let ba = Merged::from_parts(vec![b, a]).summary();
+        assert_eq!(ab.counters["x"], 7);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert!(ab.to_json().contains("\"x\": 7"));
+    }
+
+    #[test]
+    fn summary_json_has_no_wall_data() {
+        let mut r = Registry::new();
+        r.span(SpanRecord {
+            name: "exec",
+            start_cycles: 10,
+            end_cycles: 30,
+            wall_ns: 123_456_789,
+        });
+        let json = r.summary().to_json();
+        assert!(json.contains("\"exec\""));
+        assert!(!json.contains("123456789"), "wall nanos leaked: {json}");
+    }
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate an EOF Chrome/Perfetto trace (results/<bench>.trace.json).
+
+Checks, with a nonzero exit on any violation:
+
+  1. the file parses as JSON with a non-empty ``traceEvents`` array;
+  2. every event is one of the phases the exporter emits (``M`` thread
+     metadata, ``X`` complete span, ``i`` instant) with the fields that
+     phase requires;
+  3. per track (tid), the ``X`` spans nest properly: sorted by start,
+     every span is either fully contained in the enclosing open span or
+     starts after it ends — partial overlap means the span recorder
+     emitted garbage;
+  4. every track with spans has a ``thread_name`` metadata record.
+
+Usage: check_trace.py TRACE.json [--min-spans N]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--min-spans",
+        type=int,
+        default=1,
+        help="minimum total X span events expected (default 1)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans_by_tid = defaultdict(list)
+    named_tids = set()
+    instants = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "i"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        if "pid" not in ev or "tid" not in ev:
+            fail(f"event {i}: missing pid/tid")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add(ev["tid"])
+        elif ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, int) or not isinstance(dur, int) or ts < 0 or dur < 0:
+                fail(f"event {i}: X span needs integer ts/dur >= 0, got ts={ts} dur={dur}")
+            spans_by_tid[ev["tid"]].append((ts, ts + dur, ev.get("name", "?")))
+        else:
+            if not isinstance(ev.get("ts"), int):
+                fail(f"event {i}: instant needs integer ts")
+            instants += 1
+
+    total_spans = sum(len(s) for s in spans_by_tid.values())
+    if total_spans < args.min_spans:
+        fail(f"expected >= {args.min_spans} span events, found {total_spans}")
+
+    for tid, spans in spans_by_tid.items():
+        if tid not in named_tids:
+            fail(f"tid {tid} has spans but no thread_name metadata")
+        # Longest-first at equal start so a parent precedes the children
+        # it contains.
+        spans.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                p_start, p_end, p_name = stack[-1]
+                fail(
+                    f"tid {tid}: span {name!r} [{start}, {end}) partially overlaps "
+                    f"{p_name!r} [{p_start}, {p_end})"
+                )
+            stack.append((start, end, name))
+
+    print(
+        f"check_trace: OK: {len(events)} events — {total_spans} spans across "
+        f"{len(spans_by_tid)} track(s), {instants} instants, {len(named_tids)} named track(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()
