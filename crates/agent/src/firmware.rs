@@ -97,12 +97,16 @@ impl AgentFirmware {
         order: WireOrder,
     ) -> Self {
         let symbols = layout.symbols(kernel.exception_symbol(), kernel.assert_symbol());
-        let api_table = ApiTable::new(kernel.api_table().iter().map(|d| {
-            eof_speclang::wire::ApiBinding {
-                id: d.id,
-                name: d.name.to_string(),
-            }
-        }));
+        let api_table =
+            ApiTable::new(
+                kernel
+                    .api_table()
+                    .iter()
+                    .map(|d| eof_speclang::wire::ApiBinding {
+                        id: d.id,
+                        name: d.name.to_string(),
+                    }),
+            );
         let name = format!("{}-{}+agent", kernel.os().short(), kernel.os().version());
         AgentFirmware {
             kernel,
@@ -337,8 +341,7 @@ impl Firmware for AgentFirmware {
                             .unwrap_or(false);
                         if had_bytes {
                             self.stats.decode_failures += 1;
-                            let _ =
-                                bus.ram.write_u32(self.layout.prog_addr, 0, bus.endianness);
+                            let _ = bus.ram.write_u32(self.layout.prog_addr, 0, bus.endianness);
                         }
                         self.phase = Phase::ExecutorMain;
                         StepResult::Running {
@@ -552,9 +555,7 @@ mod tests {
         bus.ram
             .write_u32(fw.layout.prog_addr, bytes.len() as u32, bus.endianness)
             .unwrap();
-        bus.ram
-            .write(fw.layout.prog_addr + 4, &bytes)
-            .unwrap();
+        bus.ram.write(fw.layout.prog_addr + 4, &bytes).unwrap();
     }
 
     fn run_steps(fw: &mut AgentFirmware, bus: &mut Bus, n: usize) -> Vec<StepResult> {
@@ -568,10 +569,7 @@ mod tests {
         let log = String::from_utf8(bus.uart.drain()).unwrap();
         assert!(log.contains("FreeRTOS v5.4 booting"), "{log}");
         // With no prog, the agent busy-polls between main and read_prog.
-        assert!(matches!(
-            fw.phase(),
-            Phase::ExecutorMain | Phase::ReadProg
-        ));
+        assert!(matches!(fw.phase(), Phase::ExecutorMain | Phase::ReadProg));
     }
 
     #[test]

@@ -139,14 +139,46 @@ mod tests {
     #[test]
     fn matrix_matches_paper_cells() {
         // Spot checks against Table 1.
-        assert!(supports_cell(Tool::Eof, TargetClass::Os(OsKind::FreeRtos), Arch::Arm));
-        assert!(supports_cell(Tool::Eof, TargetClass::Os(OsKind::FreeRtos), Arch::RiscV));
-        assert!(!supports_cell(Tool::Eof, TargetClass::Os(OsKind::FreeRtos), Arch::PowerPc));
-        assert!(supports_cell(Tool::Shift, TargetClass::Os(OsKind::FreeRtos), Arch::PowerPc));
-        assert!(!supports_cell(Tool::GdbFuzz, TargetClass::Os(OsKind::FreeRtos), Arch::Arm));
-        assert!(supports_cell(Tool::GdbFuzz, TargetClass::Applications, Arch::Msp430));
-        assert!(!supports_cell(Tool::Tardis, TargetClass::Applications, Arch::Arm));
-        assert!(!supports_cell(Tool::Shift, TargetClass::Os(OsKind::RtThread), Arch::Arm));
+        assert!(supports_cell(
+            Tool::Eof,
+            TargetClass::Os(OsKind::FreeRtos),
+            Arch::Arm
+        ));
+        assert!(supports_cell(
+            Tool::Eof,
+            TargetClass::Os(OsKind::FreeRtos),
+            Arch::RiscV
+        ));
+        assert!(!supports_cell(
+            Tool::Eof,
+            TargetClass::Os(OsKind::FreeRtos),
+            Arch::PowerPc
+        ));
+        assert!(supports_cell(
+            Tool::Shift,
+            TargetClass::Os(OsKind::FreeRtos),
+            Arch::PowerPc
+        ));
+        assert!(!supports_cell(
+            Tool::GdbFuzz,
+            TargetClass::Os(OsKind::FreeRtos),
+            Arch::Arm
+        ));
+        assert!(supports_cell(
+            Tool::GdbFuzz,
+            TargetClass::Applications,
+            Arch::Msp430
+        ));
+        assert!(!supports_cell(
+            Tool::Tardis,
+            TargetClass::Applications,
+            Arch::Arm
+        ));
+        assert!(!supports_cell(
+            Tool::Shift,
+            TargetClass::Os(OsKind::RtThread),
+            Arch::Arm
+        ));
     }
 
     #[test]

@@ -173,7 +173,12 @@ mod tests {
     fn full_system_support_matches_paper() {
         // Table 3's rows: EOF & EOF-nf everywhere, Tardis on the four
         // RTOSes, Gustave only on PoK.
-        for os in [OsKind::FreeRtos, OsKind::RtThread, OsKind::NuttX, OsKind::Zephyr] {
+        for os in [
+            OsKind::FreeRtos,
+            OsKind::RtThread,
+            OsKind::NuttX,
+            OsKind::Zephyr,
+        ] {
             assert!(BaselineKind::Eof.supports_full_system(os));
             assert!(BaselineKind::Tardis.supports_full_system(os));
             assert!(!BaselineKind::Gustave.supports_full_system(os));
@@ -185,8 +190,12 @@ mod tests {
 
     #[test]
     fn tardis_differs_only_where_the_paper_says() {
-        let eof = BaselineKind::Eof.full_system_config(OsKind::Zephyr, 1).unwrap();
-        let tardis = BaselineKind::Tardis.full_system_config(OsKind::Zephyr, 1).unwrap();
+        let eof = BaselineKind::Eof
+            .full_system_config(OsKind::Zephyr, 1)
+            .unwrap();
+        let tardis = BaselineKind::Tardis
+            .full_system_config(OsKind::Zephyr, 1)
+            .unwrap();
         // Same generation model and instrumentation.
         assert_eq!(eof.gen_mode, tardis.gen_mode);
         assert_eq!(eof.instrument, tardis.instrument);

@@ -169,14 +169,19 @@ fn bench_fuzz_iteration(c: &mut Criterion) {
 
 fn bench_fleet(c: &mut Criterion) {
     // Four short campaigns — the smallest batch where fan-out matters.
-    let configs: Vec<FuzzerConfig> = [OsKind::NuttX, OsKind::Zephyr, OsKind::FreeRtos, OsKind::RtThread]
-        .into_iter()
-        .map(|os| {
-            let mut cfg = FuzzerConfig::eof(os, 5);
-            cfg.budget_hours = 0.02;
-            cfg
-        })
-        .collect();
+    let configs: Vec<FuzzerConfig> = [
+        OsKind::NuttX,
+        OsKind::Zephyr,
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+    ]
+    .into_iter()
+    .map(|os| {
+        let mut cfg = FuzzerConfig::eof(os, 5);
+        cfg.budget_hours = 0.02;
+        cfg
+    })
+    .collect();
     let jobs = std::thread::available_parallelism().map_or(4, |n| n.get().min(4));
     c.bench_function("fleet/serial_4_campaigns", |b| {
         b.iter(|| black_box(eof_core::FleetRunner::new(1).run(configs.clone())))

@@ -43,7 +43,10 @@ fn main() {
             let execs: u64 = rs.iter().map(|r| r.stats.execs).sum::<u64>() / reps as u64;
             let stalls: u64 = rs.iter().map(|r| r.stats.stalls).sum::<u64>() / reps as u64;
             let branches = eof_bench::mean_branches(&rs);
-            eprintln!("  {} / {label}: {execs} execs, {stalls} stalls, {branches:.1} branches", os.display());
+            eprintln!(
+                "  {} / {label}: {execs} execs, {stalls} stalls, {branches:.1} branches",
+                os.display()
+            );
             rows.push(vec![
                 os.display().to_string(),
                 label.to_string(),
@@ -53,6 +56,12 @@ fn main() {
             ]);
         }
     }
-    let headers = ["Target OS", "Liveness channel", "Execs", "Stalls recovered", "Branches"];
+    let headers = [
+        "Target OS",
+        "Liveness channel",
+        "Execs",
+        "Stalls recovered",
+        "Branches",
+    ];
     eof_bench::emit("ablate_power", &headers, rows);
 }

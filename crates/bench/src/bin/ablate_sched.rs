@@ -36,7 +36,10 @@ fn main() {
         let a = mean_branches(&per_arm.next().expect("unified arm"));
         let b = mean_branches(&per_arm.next().expect("coverage-only arm"));
         let c = mean_branches(&per_arm.next().expect("no-feedback arm"));
-        eprintln!("  {}: unified {a:.1} / coverage-only {b:.1} / none {c:.1}", os.display());
+        eprintln!(
+            "  {}: unified {a:.1} / coverage-only {b:.1} / none {c:.1}",
+            os.display()
+        );
         rows.push(vec![
             os.display().to_string(),
             format!("{a:.1}"),

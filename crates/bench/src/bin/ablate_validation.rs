@@ -28,7 +28,10 @@ fn main() {
     for os in OsKind::ALL {
         // Static view: what the gate does to a heavily-noised spec (the
         // artifact cache serves repeated asks for the same noised spec).
-        let noise = NoiseConfig { seed: 7, defect_rate: 0.6 };
+        let noise = NoiseConfig {
+            seed: 7,
+            defect_rate: 0.6,
+        };
         let gated = eof_core::cached_spec(os, &noise, true).1.clone();
         let raw = eof_core::cached_spec(os, &noise, false).1.clone();
 
@@ -37,7 +40,10 @@ fn main() {
         eprintln!("  {}: gated {on:.1} vs ungated {off:.1}", os.display());
         rows.push(vec![
             os.display().to_string(),
-            format!("{} evicted, {} regenerated", gated.rejected_apis, gated.regenerated_apis),
+            format!(
+                "{} evicted, {} regenerated",
+                gated.rejected_apis, gated.regenerated_apis
+            ),
             raw.admitted_apis.to_string(),
             format!("{on:.1}"),
             format!("{off:.1}"),

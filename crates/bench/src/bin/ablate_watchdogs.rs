@@ -41,7 +41,10 @@ fn main() {
             let execs: u64 = rs.iter().map(|r| r.stats.execs).sum::<u64>() / reps as u64;
             let stalls: u64 = rs.iter().map(|r| r.stats.stalls).sum::<u64>() / reps as u64;
             let branches = eof_bench::mean_branches(&rs);
-            eprintln!("  {} / {label}: {execs} execs, {stalls} stalls", os.display());
+            eprintln!(
+                "  {} / {label}: {execs} execs, {stalls} stalls",
+                os.display()
+            );
             rows.push(vec![
                 os.display().to_string(),
                 label.to_string(),
@@ -51,6 +54,12 @@ fn main() {
             ]);
         }
     }
-    let headers = ["Target OS", "Liveness", "Execs", "Stalls handled", "Branches"];
+    let headers = [
+        "Target OS",
+        "Liveness",
+        "Execs",
+        "Stalls handled",
+        "Branches",
+    ];
     eof_bench::emit("ablate_watchdogs", &headers, rows);
 }

@@ -14,11 +14,17 @@ use eof_core::FuzzerConfig;
 use eof_rtos::OsKind;
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 struct Cell {
@@ -108,7 +114,10 @@ fn main() {
     let mut cells = Vec::new();
     for &os in &oses {
         for &chaos_seed in &chaos_seeds {
-            eprintln!("[chaos] {} seed {chaos_seed}: {faults} faults over {hours}h...", os.display());
+            eprintln!(
+                "[chaos] {} seed {chaos_seed}: {faults} faults over {hours}h...",
+                os.display()
+            );
             let cfg = cell_config(os, hours, chaos_seed, faults);
             let report = run_chaos(&cfg);
             // The determinism contract: identical seeds → identical
@@ -146,7 +155,10 @@ fn main() {
     }
 
     let total_episodes: u64 = cells.iter().map(|c| c.report.resilience().episodes).sum();
-    let total_recovered: u64 = cells.iter().map(|c| c.report.resilience().recovered()).sum();
+    let total_recovered: u64 = cells
+        .iter()
+        .map(|c| c.report.resilience().recovered())
+        .sum();
     let total_manual: u64 = cells
         .iter()
         .map(|c| c.report.resilience().manual_interventions)
@@ -166,7 +178,10 @@ fn main() {
         .map(|m| m.summary().to_json())
         .unwrap_or_else(|| "null".to_string());
 
-    let cell_jsons: Vec<String> = cells.iter().map(|c| format!("    {}", cell_json(c))).collect();
+    let cell_jsons: Vec<String> = cells
+        .iter()
+        .map(|c| format!("    {}", cell_json(c)))
+        .collect();
     let json = format!(
         "{{\n  \"config\": {{\"hours\": {hours}, \"faults_per_cell\": {faults}, \"chaos_seeds\": [{}], \"oses\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \"total\": {{\"episodes\": {total_episodes}, \"recovered\": {total_recovered}, \"manual_interventions\": {total_manual}}},\n  \"all_invariants_hold\": {all_ok},\n  \"telemetry\": {telemetry_json}\n}}\n",
         chaos_seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
@@ -178,8 +193,16 @@ fn main() {
     println!("[written BENCH_chaos.json]");
 
     let headers = [
-        "OS", "seed", "faults", "episodes", "recovered", "manual", "mttr (s)",
-        "failed syncs", "link retries", "branches",
+        "OS",
+        "seed",
+        "faults",
+        "episodes",
+        "recovered",
+        "manual",
+        "mttr (s)",
+        "failed syncs",
+        "link retries",
+        "branches",
     ];
     let rows: Vec<Vec<String>> = cells
         .iter()

@@ -31,7 +31,10 @@ fn ascii_plot(title: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
                 _ => '@',
             });
         }
-        out.push_str(&format!("| {:.0}\n", pts.last().map(|p| p.1).unwrap_or(0.0)));
+        out.push_str(&format!(
+            "| {:.0}\n",
+            pts.last().map(|p| p.1).unwrap_or(0.0)
+        ));
     }
     out
 }
@@ -87,7 +90,10 @@ fn main() {
             eprintln!("  {} / {} done", os.display(), kind.display());
         }
         text.push_str(&ascii_plot(
-            &format!("Figure 7 ({}): branch coverage over {hours} simulated hours", os.display()),
+            &format!(
+                "Figure 7 ({}): branch coverage over {hours} simulated hours",
+                os.display()
+            ),
             &series,
         ));
     }

@@ -12,7 +12,11 @@ fn main() {
     eprintln!("[fig8] {hours} simulated hours × {reps} reps per curve");
 
     // One fleet batch for all three curves.
-    let kinds = [BaselineKind::Eof, BaselineKind::GdbFuzz, BaselineKind::Shift];
+    let kinds = [
+        BaselineKind::Eof,
+        BaselineKind::GdbFuzz,
+        BaselineKind::Shift,
+    ];
     let bases: Vec<_> = kinds
         .iter()
         .map(|kind| {
@@ -29,10 +33,9 @@ fn main() {
     for (kind, results) in kinds.iter().zip(per_kind) {
         let labelled = curve_rows(kind.display(), &results);
         // Saturation check: coverage at 1/6 of budget vs at the end.
-        if let (Some(first_quarter), Some(end)) = (
-            labelled.get(labelled.len() / 6),
-            labelled.last(),
-        ) {
+        if let (Some(first_quarter), Some(end)) =
+            (labelled.get(labelled.len() / 6), labelled.last())
+        {
             summary.push_str(&format!(
                 "  {:8}: {} branches at {}h, {} at {}h\n",
                 kind.display(),

@@ -14,11 +14,17 @@ use eof_rtos::OsKind;
 use std::time::Instant;
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Figure-7-shaped batch: four OS × fuzzer cells, several repetitions
@@ -150,7 +156,14 @@ fn main() {
     println!("{json}");
     println!("[written BENCH_fleet.json]");
 
-    let headers = ["phase", "jobs", "secs", "cache hits", "cache misses", "hit rate"];
+    let headers = [
+        "phase",
+        "jobs",
+        "secs",
+        "cache hits",
+        "cache misses",
+        "hit rate",
+    ];
     let rows = vec![
         vec![
             "serial".to_string(),

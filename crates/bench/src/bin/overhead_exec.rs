@@ -42,8 +42,16 @@ fn main() {
     let mut rows = Vec::new();
     let mut sum = 0.0;
     for &(os, paper_pct) in paper {
-        let plain: u64 = results.by_ref().take(reps as usize).map(|r| r.stats.execs).sum();
-        let inst: u64 = results.by_ref().take(reps as usize).map(|r| r.stats.execs).sum();
+        let plain: u64 = results
+            .by_ref()
+            .take(reps as usize)
+            .map(|r| r.stats.execs)
+            .sum();
+        let inst: u64 = results
+            .by_ref()
+            .take(reps as usize)
+            .map(|r| r.stats.execs)
+            .sum();
         let plain = plain as f64 / reps as f64;
         let inst = inst as f64 / reps as f64;
         let pct = (plain - inst) / plain * 100.0;

@@ -47,6 +47,12 @@ fn main() {
         format!("{:.2}%", sum / n as f64),
         "6.44%".to_string(),
     ]);
-    let headers = ["Target OS", "Uninstrumented", "Instrumented", "Overhead", "Paper"];
+    let headers = [
+        "Target OS",
+        "Uninstrumented",
+        "Instrumented",
+        "Overhead",
+        "Paper",
+    ];
     eof_bench::emit("overhead_mem", &headers, rows);
 }

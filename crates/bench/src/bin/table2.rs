@@ -56,7 +56,15 @@ fn main() {
             .to_string(),
         ]);
     }
-    let headers = ["#", "Target OSs", "Scope", "Bug Types", "Operations", "Status", "Detected by"];
+    let headers = [
+        "#",
+        "Target OSs",
+        "Scope",
+        "Bug Types",
+        "Operations",
+        "Status",
+        "Detected by",
+    ];
     let mut text = eof_core::report::text_table(&headers, &rows);
     text.push_str(&format!(
         "\nEOF found {} of 19 seeded bugs.\n",

@@ -24,12 +24,14 @@ fn main() {
     eprintln!("[table4] {hours} simulated hours × {reps} reps per cell");
 
     // 3 fuzzers × 2 modules = 6 cells, submitted as one fleet batch.
-    let fuzzers = [BaselineKind::Eof, BaselineKind::GdbFuzz, BaselineKind::Shift];
+    let fuzzers = [
+        BaselineKind::Eof,
+        BaselineKind::GdbFuzz,
+        BaselineKind::Shift,
+    ];
     let bases: Vec<FuzzerConfig> = fuzzers
         .iter()
-        .flat_map(|&kind| {
-            ["http", "json"].map(|module| module_config(kind, module, hours))
-        })
+        .flat_map(|&kind| ["http", "json"].map(|module| module_config(kind, module, hours)))
         .collect();
     let mut per_cell = run_config_set(&bases, reps).into_iter();
 

@@ -109,7 +109,10 @@ pub fn export_telemetry(name: &str) -> Option<tel::TelemetrySummary> {
     let merged = merged_telemetry()?;
     let dir = Path::new("results");
     let _ = std::fs::create_dir_all(dir);
-    let _ = std::fs::write(dir.join(format!("{name}.trace.json")), tel::chrome_trace(&merged));
+    let _ = std::fs::write(
+        dir.join(format!("{name}.trace.json")),
+        tel::chrome_trace(&merged),
+    );
     let _ = std::fs::write(
         dir.join(format!("{name}.telemetry.jsonl")),
         tel::jsonl_journal(&merged),
@@ -119,7 +122,10 @@ pub fn export_telemetry(name: &str) -> Option<tel::TelemetrySummary> {
         tel::prometheus_text(&merged),
     );
     let summary = merged.summary();
-    let _ = std::fs::write(dir.join(format!("{name}.telemetry.json")), summary.to_json());
+    let _ = std::fs::write(
+        dir.join(format!("{name}.telemetry.json")),
+        summary.to_json(),
+    );
     eprintln!(
         "[{name}] telemetry: {} campaign(s) merged -> results/{name}.trace.json + .telemetry.{{json,jsonl,prom}}",
         merged.parts.len()
@@ -138,7 +144,10 @@ pub fn run_reps(base: &FuzzerConfig, reps: usize) -> Vec<CampaignResult> {
 pub fn run_config_set(bases: &[FuzzerConfig], reps: usize) -> Vec<Vec<CampaignResult>> {
     let all: Vec<FuzzerConfig> = bases.iter().flat_map(|b| rep_configs(b, reps)).collect();
     let mut flat = run_fleet(all).into_iter();
-    bases.iter().map(|_| flat.by_ref().take(reps).collect()).collect()
+    bases
+        .iter()
+        .map(|_| flat.by_ref().take(reps).collect())
+        .collect()
 }
 
 /// One-line artifact-cache summary for bench logs.

@@ -124,7 +124,11 @@ fn spec_cache() -> &'static Memo<SpecKey, Arc<(SpecFile, GenReport)>> {
 /// once per process. The bytes are shared — clone out of the `Arc` only
 /// where an owned copy is genuinely needed (e.g. the restoration golden
 /// image).
-pub fn cached_image(os: OsKind, profile: ImageProfile, instrument: &InstrumentMode) -> Arc<Vec<u8>> {
+pub fn cached_image(
+    os: OsKind,
+    profile: ImageProfile,
+    instrument: &InstrumentMode,
+) -> Arc<Vec<u8>> {
     image_cache().get_or_build(
         ImageKey {
             os,
@@ -139,11 +143,7 @@ pub fn cached_image(os: OsKind, profile: ImageProfile, instrument: &InstrumentMo
 /// at most once per process. Campaigns clone the `SpecFile` out because
 /// they mutate it (pseudo-API and module filtering); the expensive part
 /// — extraction, noising, validation — is what the cache saves.
-pub fn cached_spec(
-    os: OsKind,
-    noise: &NoiseConfig,
-    validate: bool,
-) -> Arc<(SpecFile, GenReport)> {
+pub fn cached_spec(os: OsKind, noise: &NoiseConfig, validate: bool) -> Arc<(SpecFile, GenReport)> {
     spec_cache().get_or_build(SpecKey::new(os, noise, validate), || {
         Arc::new(generate_validated(os, noise, validate))
     })
@@ -232,11 +232,22 @@ mod tests {
     #[test]
     fn identical_keys_hit_and_share() {
         let before = cache_stats();
-        let a = cached_image(OsKind::FreeRtos, ImageProfile::FullSystem, &InstrumentMode::Full);
-        let b = cached_image(OsKind::FreeRtos, ImageProfile::FullSystem, &InstrumentMode::Full);
+        let a = cached_image(
+            OsKind::FreeRtos,
+            ImageProfile::FullSystem,
+            &InstrumentMode::Full,
+        );
+        let b = cached_image(
+            OsKind::FreeRtos,
+            ImageProfile::FullSystem,
+            &InstrumentMode::Full,
+        );
         assert!(Arc::ptr_eq(&a, &b), "same key must share one build");
         let after = cache_stats();
-        assert!(after.image_hits > before.image_hits, "{before:?} → {after:?}");
+        assert!(
+            after.image_hits > before.image_hits,
+            "{before:?} → {after:?}"
+        );
     }
 
     #[test]
@@ -245,15 +256,26 @@ mod tests {
             for profile in [ImageProfile::FullSystem, ImageProfile::AppLevel] {
                 let cached = cached_image(os, profile, &InstrumentMode::Full);
                 let fresh = build_image(os, profile, &InstrumentMode::Full);
-                assert_eq!(*cached, fresh, "{os} {profile:?}: cache must be bit-identical");
+                assert_eq!(
+                    *cached, fresh,
+                    "{os} {profile:?}: cache must be bit-identical"
+                );
             }
         }
     }
 
     #[test]
     fn distinct_instrumentation_gets_distinct_entries() {
-        let full = cached_image(OsKind::Zephyr, ImageProfile::FullSystem, &InstrumentMode::Full);
-        let none = cached_image(OsKind::Zephyr, ImageProfile::FullSystem, &InstrumentMode::None);
+        let full = cached_image(
+            OsKind::Zephyr,
+            ImageProfile::FullSystem,
+            &InstrumentMode::Full,
+        );
+        let none = cached_image(
+            OsKind::Zephyr,
+            ImageProfile::FullSystem,
+            &InstrumentMode::None,
+        );
         assert_ne!(*full, *none, "instrumentation must change the image");
     }
 

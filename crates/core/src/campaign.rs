@@ -12,15 +12,15 @@ use crate::executor::Executor;
 use crate::fuzzer::{Fuzzer, FuzzerStats};
 use crate::gen::Generator;
 use crate::supervisor::{ResilienceStats, Rung};
-use eof_telemetry as tel;
 use eof_agent::{agent_loader, api_table_of};
 use eof_coverage::Snapshot;
 use eof_dap::{DebugTransport, LinkConfig};
 use eof_hal::FaultPlan;
+use eof_hal::Machine;
 use eof_monitors::{parse_kconfig, render_kconfig, StateRestoration};
 use eof_rtos::bugs::BugId;
 use eof_specgen::{GenReport, NoiseConfig};
-use eof_hal::Machine;
+use eof_telemetry as tel;
 
 /// Everything a campaign produced.
 #[derive(Debug, Clone)]
@@ -216,7 +216,10 @@ fn assert_no_counter_drift(
         ("fuzz.failed_syncs", stats.failed_syncs),
         ("recovery.episodes", resilience.episodes),
         ("recovery.backoff_cycles", resilience.backoff_cycles),
-        ("recovery.manual_interventions", resilience.manual_interventions),
+        (
+            "recovery.manual_interventions",
+            resilience.manual_interventions,
+        ),
         ("exec.failed_syncs", resilience.failed_syncs),
         ("dap.retry.attempts", resilience.link.attempts),
         ("dap.retry.retries", resilience.link.retries),
@@ -291,7 +294,11 @@ mod tests {
         let r = run_campaign(short(OsKind::FreeRtos, 7, 0.02));
         let res = &r.resilience;
         assert_eq!(res.rung_attempts[Rung::Resume.index()], 0, "{res:?}");
-        assert_eq!(res.episodes, res.rung_successes[Rung::Reset.index()], "{res:?}");
+        assert_eq!(
+            res.episodes,
+            res.rung_successes[Rung::Reset.index()],
+            "{res:?}"
+        );
         assert_eq!(res.manual_interventions, 0, "{res:?}");
         assert_eq!(res.failed_syncs, 0, "{res:?}");
         assert_eq!(res.link.retries, 0, "{res:?}");
@@ -306,8 +313,14 @@ mod tests {
         // the call — reaching this point means it held).
         let a = run_campaign_recorded(short(OsKind::FreeRtos, 11, 0.02));
         let b = run_campaign_recorded(short(OsKind::FreeRtos, 11, 0.02));
-        let ta = a.telemetry.as_ref().expect("recorded campaign captures telemetry");
-        let tb = b.telemetry.as_ref().expect("recorded campaign captures telemetry");
+        let ta = a
+            .telemetry
+            .as_ref()
+            .expect("recorded campaign captures telemetry");
+        let tb = b
+            .telemetry
+            .as_ref()
+            .expect("recorded campaign captures telemetry");
         assert!(ta.counter("fuzz.execs") > 0);
         assert_eq!(ta.counter("fuzz.execs"), a.stats.execs);
         // The campaign phases were spanned.

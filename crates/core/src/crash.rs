@@ -111,11 +111,7 @@ impl CrashDb {
 
     /// The set of Table-2 bugs found, sorted by table number.
     pub fn bugs_found(&self) -> Vec<BugId> {
-        let mut bugs: Vec<BugId> = self
-            .unique
-            .values()
-            .filter_map(|r| r.bug)
-            .collect();
+        let mut bugs: Vec<BugId> = self.unique.values().filter_map(|r| r.bug).collect();
         bugs.sort();
         bugs.dedup();
         bugs
@@ -140,10 +136,16 @@ mod tests {
 
     #[test]
     fn triage_matches_figure6_backtrace() {
-        let frames: Vec<String> = ["rt_serial_write", "rt_device_write", "_kputs", "rt_kprintf", "sal_socket"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let frames: Vec<String> = [
+            "rt_serial_write",
+            "rt_device_write",
+            "_kputs",
+            "rt_kprintf",
+            "sal_socket",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         assert_eq!(
             triage(OsKind::RtThread, "BUG: unexpected stop", &frames),
             Some(BugId::B12SerialWrite)
@@ -153,7 +155,11 @@ mod tests {
     #[test]
     fn triage_by_message() {
         assert_eq!(
-            triage(OsKind::NuttX, "PANIC: NULL dereference in gettimeofday", &[]),
+            triage(
+                OsKind::NuttX,
+                "PANIC: NULL dereference in gettimeofday",
+                &[]
+            ),
             Some(BugId::B15Gettimeofday)
         );
         assert_eq!(triage(OsKind::NuttX, "all quiet", &[]), None);

@@ -263,12 +263,11 @@ impl Executor {
     fn recover(&mut self, reason: RecoveryReason) {
         self.restorations += 1;
         let main_addr = self.main_addr;
-        let outcome = self.supervisor.recover(
-            reason,
-            &mut self.transport,
-            &mut self.restoration,
-            |pipe| Self::park_at_main(pipe, main_addr),
-        );
+        let outcome =
+            self.supervisor
+                .recover(reason, &mut self.transport, &mut self.restoration, |pipe| {
+                    Self::park_at_main(pipe, main_addr)
+                });
         self.at_main = outcome.parked;
         self.watchdog.reset();
     }
@@ -489,7 +488,9 @@ impl Executor {
                     // keep the PC on the handler, so each one re-halts.
                     for _ in 0..12 {
                         match self.transport.continue_until_halt(64) {
-                            Ok(LinkEvent::BreakpointHit { pc: p }) if Some(p) == self.exception_addr => {
+                            Ok(LinkEvent::BreakpointHit { pc: p })
+                                if Some(p) == self.exception_addr =>
+                            {
                                 continue
                             }
                             _ => break,
@@ -500,8 +501,7 @@ impl Executor {
                     // signals back as guidance): drain before anything
                     // resets the buffer.
                     all_edges.extend(self.drain_cov());
-                    let report =
-                        self.crash_from_banner(DetectionSource::ExceptionMonitor, prog);
+                    let report = self.crash_from_banner(DetectionSource::ExceptionMonitor, prog);
                     outcome.crash = Some(report);
                     continue;
                 }
@@ -550,21 +550,22 @@ impl Executor {
                         // §6 extension: the current probe spots plateaus
                         // (spin loops) and idle draw (dead core) without
                         // touching the debug link.
-                        if self.power_watchdog.check(&mut self.transport).is_liveness_issue() {
+                        if self
+                            .power_watchdog
+                            .check(&mut self.transport)
+                            .is_liveness_issue()
+                        {
                             self.stall_events += 1;
                             outcome.stalled = true;
                             let hits = self.scan_uart();
                             if self.config.detection.log_monitor {
                                 if let Some(hit) = hits.first() {
-                                    let mut report = self
-                                        .crash_from_banner(DetectionSource::LogMonitor, prog);
+                                    let mut report =
+                                        self.crash_from_banner(DetectionSource::LogMonitor, prog);
                                     report.message = hit.line.clone();
-                                    report.bug = triage(
-                                        self.config.os,
-                                        &hit.line,
-                                        &report.backtrace,
-                                    )
-                                    .or(report.bug);
+                                    report.bug =
+                                        triage(self.config.os, &hit.line, &report.backtrace)
+                                            .or(report.bug);
                                     outcome.crash = Some(report);
                                 }
                             }
@@ -584,26 +585,19 @@ impl Executor {
                                 let hits = self.scan_uart();
                                 if self.config.detection.log_monitor {
                                     if let Some(hit) = hits.first() {
-                                        let mut report = self.crash_from_banner(
-                                            DetectionSource::LogMonitor,
-                                            prog,
-                                        );
+                                        let mut report = self
+                                            .crash_from_banner(DetectionSource::LogMonitor, prog);
                                         report.message = hit.line.clone();
-                                        report.bug = triage(
-                                            self.config.os,
-                                            &hit.line,
-                                            &report.backtrace,
-                                        )
-                                        .or(report.bug);
+                                        report.bug =
+                                            triage(self.config.os, &hit.line, &report.backtrace)
+                                                .or(report.bug);
                                         outcome.crash = Some(report);
                                     }
                                 }
                                 // Algorithm 1 distinguishes the two
                                 // liveness failures; so does the ladder.
                                 let reason = match verdict {
-                                    Liveness::ConnectionTimeout => {
-                                        RecoveryReason::ConnectionLoss
-                                    }
+                                    Liveness::ConnectionTimeout => RecoveryReason::ConnectionLoss,
                                     _ => RecoveryReason::Stall,
                                 };
                                 self.recover(reason);
@@ -671,8 +665,7 @@ impl Executor {
             if let Some(hit) = hits.first() {
                 let mut report = self.crash_from_banner(DetectionSource::LogMonitor, prog);
                 report.message = hit.line.clone();
-                report.bug =
-                    triage(self.config.os, &hit.line, &report.backtrace).or(report.bug);
+                report.bug = triage(self.config.os, &hit.line, &report.backtrace).or(report.bug);
                 outcome.crash = Some(report);
             }
         }
@@ -725,8 +718,7 @@ mod tests {
             config.profile,
             &config.instrument,
         );
-        let kconfig =
-            parse_kconfig(&render_kconfig("arm", machine.flash().table())).unwrap();
+        let kconfig = parse_kconfig(&render_kconfig("arm", machine.flash().table())).unwrap();
         let restoration = StateRestoration::from_kconfig(
             &kconfig,
             config.board.flash_size,
@@ -755,7 +747,10 @@ mod tests {
                     "xQueueSend",
                     vec![ArgValue::ResourceRef(0), ArgValue::Buffer(vec![1, 2, 3])],
                 ),
-                call("json_parse", vec![ArgValue::Buffer(br#"{"a":[1,2]}"#.to_vec())]),
+                call(
+                    "json_parse",
+                    vec![ArgValue::Buffer(br#"{"a":[1,2]}"#.to_vec())],
+                ),
             ],
         };
         let out = e.run_one(&prog);
@@ -782,7 +777,10 @@ mod tests {
         let crash = out.crash.expect("crash detected");
         assert_eq!(crash.source, DetectionSource::ExceptionMonitor);
         assert_eq!(crash.bug.map(|b| b.number()), Some(13));
-        assert!(crash.backtrace.iter().any(|f| f.contains("load_partitions")));
+        assert!(crash
+            .backtrace
+            .iter()
+            .any(|f| f.contains("load_partitions")));
         // Recoverable fault: no restoration needed.
         assert!(!out.restored);
         // The target keeps fuzzing.
@@ -823,7 +821,10 @@ mod tests {
         // is NOT a degraded state.
         let bounded = Prog {
             calls: vec![
-                call("k_msgq_alloc_init", vec![ArgValue::Int(4), ArgValue::Int(16)]),
+                call(
+                    "k_msgq_alloc_init",
+                    vec![ArgValue::Int(4), ArgValue::Int(16)],
+                ),
                 call(
                     "z_impl_k_msgq_get",
                     vec![ArgValue::ResourceRef(0), ArgValue::Int(u64::MAX)],
@@ -835,9 +836,9 @@ mod tests {
         assert!(out.crash.is_none(), "{:?}", out.crash);
         // A frozen core (injected execution stall) IS a degraded state:
         // the watchdog recovers it without calling it a bug.
-        e.transport_mut()
-            .machine_mut()
-            .set_fault_plan(eof_hal::FaultPlan::none().at(10, eof_hal::InjectedFault::FreezeFirmware));
+        e.transport_mut().machine_mut().set_fault_plan(
+            eof_hal::FaultPlan::none().at(10, eof_hal::InjectedFault::FreezeFirmware),
+        );
         let out = e.run_one(&bounded);
         assert!(out.stalled);
         assert!(out.restored);
@@ -852,9 +853,9 @@ mod tests {
         let prog = Prog {
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
         };
-        e.transport_mut()
-            .machine_mut()
-            .set_fault_plan(eof_hal::FaultPlan::none().at(10, eof_hal::InjectedFault::FreezeFirmware));
+        e.transport_mut().machine_mut().set_fault_plan(
+            eof_hal::FaultPlan::none().at(10, eof_hal::InjectedFault::FreezeFirmware),
+        );
         let out = e.run_one(&prog);
         assert!(out.stalled);
         assert!(out.restored);
@@ -944,7 +945,10 @@ mod tests {
         // must match a fault-free run of the identical prog bit-for-bit.
         let prog = Prog {
             calls: vec![
-                call("json_parse", vec![ArgValue::Buffer(br#"{"a":[1,2]}"#.to_vec())]),
+                call(
+                    "json_parse",
+                    vec![ArgValue::Buffer(br#"{"a":[1,2]}"#.to_vec())],
+                ),
                 call(
                     "load_partitions",
                     vec![ArgValue::Int(3), ArgValue::Int(0x10)],
@@ -955,8 +959,7 @@ mod tests {
         let clean = control.run_one(&prog);
         let mut faulted = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 34));
         faulted.transport_mut().machine_mut().set_fault_plan(
-            eof_hal::FaultPlan::none()
-                .at(300, eof_hal::InjectedFault::DropLink { cycles: 600 }),
+            eof_hal::FaultPlan::none().at(300, eof_hal::InjectedFault::DropLink { cycles: 600 }),
         );
         let noisy = faulted.run_one(&prog);
         let r = faulted.resilience();
@@ -973,10 +976,7 @@ mod tests {
             noisy.crash.as_ref().map(|c| c.bug),
             clean.crash.as_ref().map(|c| c.bug)
         );
-        assert_eq!(
-            faulted.coverage().branches(),
-            control.coverage().branches()
-        );
+        assert_eq!(faulted.coverage().branches(), control.coverage().branches());
     }
 
     #[test]
@@ -988,7 +988,10 @@ mod tests {
         // Bug #4 hangs after the fault; timeout-only tools notice the
         // hang and triage offline from the UART tail.
         let prog = Prog {
-            calls: vec![call("k_heap_init", vec![ArgValue::Int(12), ArgValue::Int(7)])],
+            calls: vec![call(
+                "k_heap_init",
+                vec![ArgValue::Int(12), ArgValue::Int(7)],
+            )],
         };
         let before = e.now();
         let out = e.run_one(&prog);
@@ -1043,7 +1046,9 @@ mod tests {
                 ),
                 call(
                     "http_request",
-                    vec![ArgValue::Buffer(b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n".to_vec())],
+                    vec![ArgValue::Buffer(
+                        b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+                    )],
                 ),
             ],
         };
@@ -1066,7 +1071,10 @@ mod tests {
         let mut slow_cfg = fast_cfg.clone();
         slow_cfg.exec_cost_multiplier = 2.0;
         let prog = Prog {
-            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1,2]".to_vec())])],
+            calls: vec![call(
+                "json_parse",
+                vec![ArgValue::Buffer(b"[1,2]".to_vec())],
+            )],
         };
         let mut fast = executor_for(fast_cfg);
         let mut slow = executor_for(slow_cfg);
@@ -1075,4 +1083,3 @@ mod tests {
         assert!(cs > cf + cf / 2, "multiplier not applied: {cf} vs {cs}");
     }
 }
-

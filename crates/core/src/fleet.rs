@@ -106,11 +106,10 @@ impl FleetRunner {
                 break;
             }
             let item = work[i].lock().take().expect("each job claimed once");
-            let out = catch_unwind(AssertUnwindSafe(|| f(i, item)))
-                .map_err(|payload| FleetError {
-                    job: i,
-                    message: panic_message(payload),
-                });
+            let out = catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| FleetError {
+                job: i,
+                message: panic_message(payload),
+            });
             *slots[i].lock() = Some(out);
         };
         crossbeam::thread::scope(|s| {

@@ -87,7 +87,9 @@ impl Fuzzer {
     /// reaction that lets guided search climb breadcrumb ladders).
     pub fn step(&mut self) {
         let gen_span = tel::span_start("fuzz.gen", self.executor.now());
-        let prog = if self.config.coverage_feedback && !self.corpus.is_empty() && self.rng.random_bool(0.5)
+        let prog = if self.config.coverage_feedback
+            && !self.corpus.is_empty()
+            && self.rng.random_bool(0.5)
         {
             match self.corpus.pick_index(&mut self.rng) {
                 // Mutate straight off the corpus entry — the seed prog
@@ -119,9 +121,13 @@ impl Fuzzer {
                 }
                 burst_budget -= 1;
                 let gen_span = tel::span_start("fuzz.gen", self.executor.now());
-                let mutant = self
-                    .generator
-                    .mutate(&self.corpus.get(seed_idx).expect("frontier index is live").prog);
+                let mutant = self.generator.mutate(
+                    &self
+                        .corpus
+                        .get(seed_idx)
+                        .expect("frontier index is live")
+                        .prog,
+                );
                 tel::span_end(gen_span, self.executor.now());
                 let (next, stalled) = self.run_and_record(mutant);
                 if stalled {
@@ -147,7 +153,9 @@ impl Fuzzer {
         if self.config.peripheral_events {
             for _ in 0..self.rng.random_range(0..=2u32) {
                 match self.rng.random_range(0..3u32) {
-                    0 => self.executor.inject_peripheral_event(eof_hal::irq::GPIO, Vec::new()),
+                    0 => self
+                        .executor
+                        .inject_peripheral_event(eof_hal::irq::GPIO, Vec::new()),
                     1 => {
                         let len = self.rng.random_range(0..24usize);
                         let mut payload = Vec::with_capacity(len);
@@ -157,7 +165,9 @@ impl Fuzzer {
                         self.executor
                             .inject_peripheral_event(eof_hal::irq::SERIAL_RX, payload);
                     }
-                    _ => self.executor.inject_peripheral_event(eof_hal::irq::TIMER, Vec::new()),
+                    _ => self
+                        .executor
+                        .inject_peripheral_event(eof_hal::irq::TIMER, Vec::new()),
                 }
             }
         }

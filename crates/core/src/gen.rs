@@ -40,8 +40,8 @@ const BUFFER_DICTIONARY: &[&[u8]] = &[
 
 /// Name-ish strings for cstring parameters.
 const NAME_DICTIONARY: &[&str] = &[
-    "main", "tsk0", "worker", "uart1", "sem0", "evt", "mp0", "q", "a", "idle",
-    "net_rx", "log", "t1", "t2", "cfg",
+    "main", "tsk0", "worker", "uart1", "sem0", "evt", "mp0", "q", "a", "idle", "net_rx", "log",
+    "t1", "t2", "cfg",
 ];
 
 /// The test-case generator for one target's specification.
@@ -121,9 +121,7 @@ impl Generator {
                         let len = self.rng.random_range(0..=(*max_len).min(96) as usize);
                         let bytes: Vec<u8> = (0..len).map(|_| self.rng.random()).collect();
                         if matches!(p.ty, TypeDesc::CString { .. }) {
-                            ArgValue::CString(
-                                String::from_utf8_lossy(&bytes).replace('\u{0}', "x"),
-                            )
+                            ArgValue::CString(String::from_utf8_lossy(&bytes).replace('\u{0}', "x"))
                         } else {
                             ArgValue::Buffer(bytes)
                         }
@@ -381,7 +379,13 @@ impl Generator {
                     // Only a clean in-place generation is inserted;
                     // producer insertion inside a prefix would reorder.
                     if prefix.len() == before {
-                        prog.insert_call(pos, Call { api: api.name, args });
+                        prog.insert_call(
+                            pos,
+                            Call {
+                                api: api.name,
+                                args,
+                            },
+                        );
                     }
                 }
                 prog
@@ -451,9 +455,9 @@ impl Generator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eof_rtos::OsKind;
     use eof_specgen::extract_spec_text;
     use eof_speclang::parser::parse_spec;
-    use eof_rtos::OsKind;
 
     fn generator(os: OsKind, mode: GenerationMode) -> Generator {
         let spec = parse_spec(&extract_spec_text(os)).unwrap();
@@ -547,8 +551,14 @@ mod tests {
         // Heavily reward a→b.
         let pattern = Prog {
             calls: vec![
-                Call { api: "a".into(), args: vec![] },
-                Call { api: "b".into(), args: vec![] },
+                Call {
+                    api: "a".into(),
+                    args: vec![],
+                },
+                Call {
+                    api: "b".into(),
+                    args: vec![],
+                },
             ],
         };
         for _ in 0..10 {

@@ -51,20 +51,18 @@ pub mod minimize;
 pub mod report;
 pub mod supervisor;
 
-pub use artifacts::{cached_image, cached_spec, cache_stats, reset_cache_stats, CacheStats};
+pub use artifacts::{cache_stats, cached_image, cached_spec, reset_cache_stats, CacheStats};
 pub use campaign::{
     run_campaign, run_campaign_recorded, run_campaign_with_coverage, run_campaign_with_faults,
     CampaignResult,
 };
 pub use chaos::{chaos_plan, run_chaos, ChaosConfig, ChaosReport};
-pub use fleet::{FleetError, FleetResult, FleetRunner};
 pub use config::{DetectionConfig, FuzzerConfig, GenerationMode, RecoveryConfig};
 pub use corpus::{Corpus, Seed};
 pub use crash::{triage, CrashDb, CrashReport, DetectionSource};
 pub use executor::{ExecOutcome, Executor};
+pub use fleet::{FleetError, FleetResult, FleetRunner};
 pub use fuzzer::{Fuzzer, FuzzerStats};
 pub use gen::Generator;
 pub use minimize::{minimize, MinimizeResult};
-pub use supervisor::{
-    RecoveryOutcome, RecoveryReason, RecoverySupervisor, ResilienceStats, Rung,
-};
+pub use supervisor::{RecoveryOutcome, RecoveryReason, RecoverySupervisor, ResilienceStats, Rung};

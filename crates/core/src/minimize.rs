@@ -33,7 +33,9 @@ fn same_class(report: &CrashReport, bug: Option<BugId>, message: &str) -> bool {
         Some(b) => report.bug == Some(b),
         None => {
             let strip = |s: &str| -> String {
-                s.chars().map(|c| if c.is_ascii_digit() { '#' } else { c }).collect()
+                s.chars()
+                    .map(|c| if c.is_ascii_digit() { '#' } else { c })
+                    .collect()
             };
             strip(&report.message) == strip(message)
         }
@@ -128,7 +130,12 @@ mod tests {
         let mut config = FuzzerConfig::eof(os, 1);
         config.board = board.clone();
         let image = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full);
-        let machine = boot_machine(board.clone(), os, ImageProfile::FullSystem, &InstrumentMode::Full);
+        let machine = boot_machine(
+            board.clone(),
+            os,
+            ImageProfile::FullSystem,
+            &InstrumentMode::Full,
+        );
         let kconfig = parse_kconfig(&render_kconfig("arm", machine.flash().table())).unwrap();
         let restoration = StateRestoration::from_kconfig(
             &kconfig,
@@ -146,7 +153,10 @@ mod tests {
     }
 
     fn call(api: &str, args: Vec<ArgValue>) -> Call {
-        Call { api: api.into(), args }
+        Call {
+            api: api.into(),
+            args,
+        }
     }
 
     #[test]
@@ -157,7 +167,10 @@ mod tests {
             calls: vec![
                 call("vTaskTickIncrement", vec![ArgValue::Int(2)]),
                 call("pvPortMalloc", vec![ArgValue::Int(64)]),
-                call("load_partitions", vec![ArgValue::Int(3), ArgValue::Int(0x10)]),
+                call(
+                    "load_partitions",
+                    vec![ArgValue::Int(3), ArgValue::Int(0x10)],
+                ),
                 call("json_parse", vec![ArgValue::Buffer(b"[]".to_vec())]),
             ],
         };
@@ -183,7 +196,10 @@ mod tests {
                 call("rt_event_delete", vec![ArgValue::ResourceRef(1)]),
                 call(
                     "rt_event_send",
-                    vec![ArgValue::ResourceRef(1), ArgValue::Int((u32::MAX >> 6) as u64)],
+                    vec![
+                        ArgValue::ResourceRef(1),
+                        ArgValue::Int((u32::MAX >> 6) as u64),
+                    ],
                 ),
             ],
         };
@@ -194,7 +210,10 @@ mod tests {
         // The three-call dependency chain must survive.
         assert_eq!(min.prog.calls.len(), 3, "{}", min.prog);
         let apis: Vec<&str> = min.prog.calls.iter().map(|c| c.api.as_str()).collect();
-        assert_eq!(apis, ["rt_event_create", "rt_event_delete", "rt_event_send"]);
+        assert_eq!(
+            apis,
+            ["rt_event_create", "rt_event_delete", "rt_event_send"]
+        );
         assert_eq!(min.crash.bug.map(|b| b.number()), Some(10));
     }
 
@@ -232,7 +251,10 @@ mod tests {
                 call("rt_event_delete", vec![ArgValue::ResourceRef(1)]),
                 call(
                     "rt_event_send",
-                    vec![ArgValue::ResourceRef(1), ArgValue::Int((u32::MAX >> 6) as u64)],
+                    vec![
+                        ArgValue::ResourceRef(1),
+                        ArgValue::Int((u32::MAX >> 6) as u64),
+                    ],
                 ),
             ],
         };

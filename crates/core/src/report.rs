@@ -119,11 +119,20 @@ pub fn write_campaign_report(
     std::fs::create_dir_all(dir.join("crashes"))?;
 
     let mut summary = std::fs::File::create(dir.join("summary.txt"))?;
-    writeln!(summary, "EOF campaign report — {} {}", os.display(), os.version())?;
+    writeln!(
+        summary,
+        "EOF campaign report — {} {}",
+        os.display(),
+        os.version()
+    )?;
     writeln!(summary, "executions        : {}", result.stats.execs)?;
     writeln!(summary, "branches found    : {}", result.branches)?;
     writeln!(summary, "interesting inputs: {}", result.stats.interesting)?;
-    writeln!(summary, "crash observations: {}", result.stats.crash_observations)?;
+    writeln!(
+        summary,
+        "crash observations: {}",
+        result.stats.crash_observations
+    )?;
     writeln!(summary, "unique crashes    : {}", result.crashes.len())?;
     writeln!(summary, "stalls recovered  : {}", result.stats.stalls)?;
     writeln!(summary, "restorations      : {}", result.stats.restorations)?;
@@ -163,9 +172,8 @@ pub fn write_campaign_report(
             .bug
             .map(|b| format!("bug{:02}", b.number()))
             .unwrap_or_else(|| "untriaged".to_string());
-        let mut f = std::fs::File::create(
-            dir.join("crashes").join(format!("crash-{i:03}-{tag}.txt")),
-        )?;
+        let mut f =
+            std::fs::File::create(dir.join("crashes").join(format!("crash-{i:03}-{tag}.txt")))?;
         writeln!(f, "{}", crash.message)?;
         writeln!(f, "detected by : {:?}", crash.source)?;
         writeln!(f, "at          : {:.2} simulated hours", crash.at_hours)?;
@@ -177,14 +185,21 @@ pub fn write_campaign_report(
                 info.number, info.scope, info.bug_type, info.operation
             )?;
         }
-        writeln!(f, "
-Stack frames at BUG: unexpected stop:")?;
+        writeln!(
+            f,
+            "
+Stack frames at BUG: unexpected stop:"
+        )?;
         for (lvl, frame) in crash.backtrace.iter().enumerate() {
             writeln!(f, "Level: {}: {}", lvl + 1, frame)?;
         }
-        writeln!(f, "
+        writeln!(
+            f,
+            "
 reproducer:
-{}", crash.prog)?;
+{}",
+            crash.prog
+        )?;
     }
     Ok(())
 }

@@ -129,12 +129,24 @@ mod tests {
     #[test]
     fn band_statistics() {
         let r1 = [
-            Snapshot { hours: 1.0, branches: 10 },
-            Snapshot { hours: 2.0, branches: 20 },
+            Snapshot {
+                hours: 1.0,
+                branches: 10,
+            },
+            Snapshot {
+                hours: 2.0,
+                branches: 20,
+            },
         ];
         let r2 = [
-            Snapshot { hours: 1.0, branches: 14 },
-            Snapshot { hours: 2.0, branches: 30 },
+            Snapshot {
+                hours: 1.0,
+                branches: 14,
+            },
+            Snapshot {
+                hours: 2.0,
+                branches: 30,
+            },
         ];
         let band = curve_band(&[&r1, &r2]);
         assert_eq!(band.len(), 2);

@@ -64,7 +64,12 @@ impl CovRegion {
     }
 
     /// Device-side hook: append one edge id.
-    pub fn record(&self, ram: &mut Ram, e: Endianness, edge: u64) -> Result<RecordOutcome, HalError> {
+    pub fn record(
+        &self,
+        ram: &mut Ram,
+        e: Endianness,
+        edge: u64,
+    ) -> Result<RecordOutcome, HalError> {
         let count = ram.read_u32(self.base, e)?;
         if count >= self.capacity {
             let overflow = ram.read_u32(self.base + 8, e)?;

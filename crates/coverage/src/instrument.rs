@@ -142,10 +142,7 @@ mod tests {
             &reg,
         );
         assert_eq!(p.active_sites(), 3);
-        let kernel_site = reg
-            .iter()
-            .find(|s| s.module == "kernel")
-            .unwrap();
+        let kernel_site = reg.iter().find(|s| s.module == "kernel").unwrap();
         assert!(!p.is_active(kernel_site.id));
     }
 
@@ -153,10 +150,7 @@ mod tests {
     fn overhead_scales_with_sites() {
         let reg = registry();
         let full = InstrumentPlan::resolve(InstrumentMode::Full, &reg);
-        let partial = InstrumentPlan::resolve(
-            InstrumentMode::Modules(vec!["json".into()]),
-            &reg,
-        );
+        let partial = InstrumentPlan::resolve(InstrumentMode::Modules(vec!["json".into()]), &reg);
         assert!(full.image_overhead_bytes() > partial.image_overhead_bytes());
         assert!(partial.image_overhead_bytes() >= InstrumentCost::RUNTIME_BYTES);
     }

@@ -125,7 +125,9 @@ impl OcdServer {
                 if target_cs == expect {
                     Ok("verified OK".into())
                 } else {
-                    Ok(format!("MISMATCH: target {target_cs:#x} != image {expect:#x}"))
+                    Ok(format!(
+                        "MISMATCH: target {target_cs:#x} != image {expect:#x}"
+                    ))
                 }
             }
             ["flash", "erase", part] => {
@@ -288,7 +290,11 @@ mod tests {
         let out = s.execute("flash write_image fs 48656c6c6f").unwrap();
         assert!(out.contains("wrote 5 bytes"), "{out}");
         assert_eq!(
-            &s.transport().machine().flash().read_partition("fs").unwrap()[..5],
+            &s.transport()
+                .machine()
+                .flash()
+                .read_partition("fs")
+                .unwrap()[..5],
             b"Hello"
         );
     }
@@ -297,7 +303,10 @@ mod tests {
     fn flash_verify_and_erase() {
         let mut s = server();
         s.execute("flash write_image fs 48656c6c6f").unwrap();
-        assert_eq!(s.execute("flash verify_image fs 48656c6c6f").unwrap(), "verified OK");
+        assert_eq!(
+            s.execute("flash verify_image fs 48656c6c6f").unwrap(),
+            "verified OK"
+        );
         assert!(s
             .execute("flash verify_image fs 42414421")
             .unwrap()

@@ -154,7 +154,8 @@ impl DebugTransport {
                     tel::event("dap.link.flaky", now, || {
                         format!("cycles={cycles} drop_per_mille={drop_per_mille}")
                     });
-                    self.flaky.push((now, now + cycles, drop_per_mille.min(1000)));
+                    self.flaky
+                        .push((now, now + cycles, drop_per_mille.min(1000)));
                 }
                 _ => {}
             }
@@ -405,9 +406,7 @@ impl DebugTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eof_hal::{
-        BoardCatalog, FaultPlan, FirmwareLoader, HalError, InjectedFault, Machine,
-    };
+    use eof_hal::{BoardCatalog, FaultPlan, FirmwareLoader, HalError, InjectedFault, Machine};
 
     // Reuse the HAL's counting firmware shape via a local copy, since the
     // HAL's test firmware is private to its crate.
@@ -558,7 +557,10 @@ mod tests {
     #[test]
     fn uart_drain_over_link() {
         let mut t = transport();
-        t.machine_mut().bus_mut().uart.tx_line("E (123) boot: panic");
+        t.machine_mut()
+            .bus_mut()
+            .uart
+            .tx_line("E (123) boot: panic");
         let log = t.drain_uart();
         assert_eq!(log, b"E (123) boot: panic\n");
     }

@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn step_result_accessors() {
-        let r = StepResult::Running { pc: 0x100, cycles: 3 };
+        let r = StepResult::Running {
+            pc: 0x100,
+            cycles: 3,
+        };
         assert_eq!(r.pc(), 0x100);
         assert_eq!(r.cycles(), 3);
         let f = StepResult::fault(FaultKind::MemFault, 0x200, 7, "boom", vec![]);

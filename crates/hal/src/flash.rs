@@ -141,7 +141,10 @@ impl Flash {
 
     fn check(&self, offset: u32, len: usize) -> Result<usize, HalError> {
         let off = offset as usize;
-        if off.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+        if off
+            .checked_add(len)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(HalError::OutOfBoundsFlash {
                 offset,
                 len,

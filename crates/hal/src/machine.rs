@@ -455,7 +455,9 @@ impl Machine {
 
     /// Look up a firmware symbol (probe-side ELF symbol table stand-in).
     pub fn symbol(&self, name: &str) -> Option<u32> {
-        self.firmware.as_ref().and_then(|f| f.symbols().lookup(name))
+        self.firmware
+            .as_ref()
+            .and_then(|f| f.symbols().lookup(name))
     }
 
     /// Symbolise an address against the loaded firmware.
@@ -613,8 +615,7 @@ mod tests {
 
     #[test]
     fn bad_image_is_boot_failure() {
-        let loader: FirmwareLoader =
-            Box::new(|_, _| Err(HalError::BootFailure("checksum".into())));
+        let loader: FirmwareLoader = Box::new(|_, _| Err(HalError::BootFailure("checksum".into())));
         let mut m = Machine::new(BoardCatalog::stm32f4_disco(), loader);
         m.reset();
         assert!(matches!(m.state(), BootState::Dead(_)));

@@ -41,7 +41,11 @@ impl Ram {
     /// `len`-byte access.
     fn offset(&self, addr: u32, len: usize) -> Result<usize, HalError> {
         let off = addr.wrapping_sub(self.base) as usize;
-        if addr < self.base || off.checked_add(len).is_none_or(|end| end > self.bytes.len()) {
+        if addr < self.base
+            || off
+                .checked_add(len)
+                .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(HalError::OutOfBoundsRam {
                 addr,
                 len,

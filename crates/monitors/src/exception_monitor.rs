@@ -97,7 +97,8 @@ pub fn parse_backtrace(lines: &[String]) -> Vec<String> {
     for line in lines {
         if level.matches(line) {
             if let Some((_, frame)) = line.split_once(": ").and_then(|(_, rest)| {
-                rest.split_once(": ").map(|(n, f)| (n, f.trim().to_string()))
+                rest.split_once(": ")
+                    .map(|(n, f)| (n, f.trim().to_string()))
             }) {
                 frames.push(frame);
             } else if let Some((_, frame)) = line.rsplit_once(": ") {

@@ -47,9 +47,7 @@ impl KConfig {
             let size = self
                 .get(&size_key)
                 .and_then(parse_num_ref)
-                .ok_or_else(|| {
-                    HalError::BadPartitionLayout(format!("missing/bad {size_key}"))
-                })?;
+                .ok_or_else(|| HalError::BadPartitionLayout(format!("missing/bad {size_key}")))?;
             parts.push(Partition::new(name.to_lowercase(), offset, size));
         }
         PartitionTable::new(parts, flash_size)
@@ -103,10 +101,7 @@ pub fn render_kconfig(arch: &str, table: &PartitionTable) -> String {
     out.push_str(&format!("CONFIG_ARCH=\"{arch}\"\n"));
     for p in table.iter() {
         let name = p.name.to_uppercase();
-        out.push_str(&format!(
-            "CONFIG_PARTITION_{name}_OFFSET={:#x}\n",
-            p.offset
-        ));
+        out.push_str(&format!("CONFIG_PARTITION_{name}_OFFSET={:#x}\n", p.offset));
         out.push_str(&format!("CONFIG_PARTITION_{name}_SIZE={:#x}\n", p.size));
     }
     out

@@ -176,7 +176,9 @@ mod tests {
     #[test]
     fn binary_garbage_does_not_panic() {
         let mut m = LogMonitor::new();
-        m.feed(&[0xff, 0xfe, b'\n', 0x00, b'B', b'U', b'G', b':', b' ', b'x', b'\n']);
+        m.feed(&[
+            0xff, 0xfe, b'\n', 0x00, b'B', b'U', b'G', b':', b' ', b'x', b'\n',
+        ]);
         assert_eq!(m.hits().len(), 1);
     }
 }

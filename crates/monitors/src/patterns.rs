@@ -93,7 +93,10 @@ impl PatternSet {
         S: AsRef<str>,
     {
         PatternSet {
-            patterns: sources.into_iter().map(|s| Pattern::new(s.as_ref())).collect(),
+            patterns: sources
+                .into_iter()
+                .map(|s| Pattern::new(s.as_ref()))
+                .collect(),
         }
     }
 

@@ -159,7 +159,11 @@ mod tests {
 
     fn setup() -> (StateRestoration, DebugTransport) {
         let board = BoardCatalog::qemu_virt_arm();
-        let image = build_image(OsKind::Zephyr, ImageProfile::FullSystem, &InstrumentMode::None);
+        let image = build_image(
+            OsKind::Zephyr,
+            ImageProfile::FullSystem,
+            &InstrumentMode::None,
+        );
         let kconfig_text = render_kconfig("arm", &board.default_partitions());
         let kconfig = parse_kconfig(&kconfig_text).unwrap();
         let restoration = StateRestoration::from_kconfig(
@@ -171,7 +175,10 @@ mod tests {
         let mut m = Machine::new(board, agent_loader());
         m.reflash_partition("kernel", &image).unwrap();
         m.reset();
-        (restoration, DebugTransport::attach(m, LinkConfig::default()))
+        (
+            restoration,
+            DebugTransport::attach(m, LinkConfig::default()),
+        )
     }
 
     #[test]
@@ -206,7 +213,10 @@ mod tests {
         let (mut resto, mut t) = setup();
         // Corrupt the kernel image and reboot: boot failure.
         let part = t.machine().flash().table().get("kernel").unwrap().clone();
-        t.machine_mut().flash_mut().flip_bit(part.offset + 100, 1).unwrap();
+        t.machine_mut()
+            .flash_mut()
+            .flip_bit(part.offset + 100, 1)
+            .unwrap();
         t.reset_target().unwrap();
         assert!(t.read_pc().is_err());
         let mut w = LivenessWatchdog::new();
@@ -229,8 +239,7 @@ mod tests {
     #[test]
     fn oversize_golden_image_rejected() {
         let board = BoardCatalog::stm32f4_disco();
-        let kconfig =
-            parse_kconfig(&render_kconfig("arm", &board.default_partitions())).unwrap();
+        let kconfig = parse_kconfig(&render_kconfig("arm", &board.default_partitions())).unwrap();
         let too_big = vec![0u8; board.flash_size as usize];
         let err = StateRestoration::from_kconfig(
             &kconfig,
@@ -243,8 +252,7 @@ mod tests {
     #[test]
     fn unknown_partition_rejected() {
         let board = BoardCatalog::stm32f4_disco();
-        let kconfig =
-            parse_kconfig(&render_kconfig("arm", &board.default_partitions())).unwrap();
+        let kconfig = parse_kconfig(&render_kconfig("arm", &board.default_partitions())).unwrap();
         let err = StateRestoration::from_kconfig(
             &kconfig,
             board.flash_size,

@@ -94,25 +94,234 @@ pub struct BugInfo {
 
 /// The full Table-2 inventory.
 pub const BUG_TABLE: [BugInfo; 19] = [
-    BugInfo { id: BugId::B01HeapStress, number: 1, os: OsKind::Zephyr, scope: "Heap", bug_type: "Kernel Panic", operation: "sys_heap_stress()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
-    BugInfo { id: BugId::B02MsgqGet, number: 2, os: OsKind::Zephyr, scope: "Kernel", bug_type: "Kernel Panic", operation: "z_impl_k_msgq_get()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
-    BugInfo { id: BugId::B03JsonEncode, number: 3, os: OsKind::Zephyr, scope: "JSON", bug_type: "Kernel Panic", operation: "json_obj_encode()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
-    BugInfo { id: BugId::B04KHeapInit, number: 4, os: OsKind::Zephyr, scope: "KHeap", bug_type: "Kernel Panic", operation: "k_heap_init()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
-    BugInfo { id: BugId::B05ObjectGetType, number: 5, os: OsKind::RtThread, scope: "Kernel", bug_type: "Kernel Assertion", operation: "rt_object_get_type()", confirmed: false, detection: DetectionClass::LogMonitor, hangs: true, depth: 1 },
-    BugInfo { id: BugId::B06ListIsEmpty, number: 6, os: OsKind::RtThread, scope: "RTService", bug_type: "Kernel Panic", operation: "rt_list_isempty()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 5 },
-    BugInfo { id: BugId::B07MpAlloc, number: 7, os: OsKind::RtThread, scope: "Memory", bug_type: "Kernel Panic", operation: "rt_mp_alloc()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 3 },
-    BugInfo { id: BugId::B08ObjectInit, number: 8, os: OsKind::RtThread, scope: "Kernel", bug_type: "Kernel Assertion", operation: "rt_object_init()", confirmed: false, detection: DetectionClass::LogMonitor, hangs: true, depth: 1 },
-    BugInfo { id: BugId::B09HeapLock, number: 9, os: OsKind::RtThread, scope: "Heap", bug_type: "Kernel Panic", operation: "_heap_lock()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
-    BugInfo { id: BugId::B10EventSend, number: 10, os: OsKind::RtThread, scope: "IPC", bug_type: "Kernel Panic", operation: "rt_event_send()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 3 },
-    BugInfo { id: BugId::B11SmemSetname, number: 11, os: OsKind::RtThread, scope: "Memory", bug_type: "Kernel Panic", operation: "rt_smem_setname()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
-    BugInfo { id: BugId::B12SerialWrite, number: 12, os: OsKind::RtThread, scope: "Serial", bug_type: "Kernel Panic", operation: "rt_serial_write()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 3 },
-    BugInfo { id: BugId::B13LoadPartitions, number: 13, os: OsKind::FreeRtos, scope: "Kernel", bug_type: "Kernel Panic", operation: "load_partitions()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 1 },
-    BugInfo { id: BugId::B14Setenv, number: 14, os: OsKind::NuttX, scope: "Kernel", bug_type: "Kernel Panic", operation: "setenv()", confirmed: true, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 2 },
-    BugInfo { id: BugId::B15Gettimeofday, number: 15, os: OsKind::NuttX, scope: "Libc", bug_type: "Kernel Panic", operation: "gettimeofday()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
-    BugInfo { id: BugId::B16MqTimedsend, number: 16, os: OsKind::NuttX, scope: "MQueue", bug_type: "Kernel Panic", operation: "nxmq_timedsend()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 3 },
-    BugInfo { id: BugId::B17SemTrywait, number: 17, os: OsKind::NuttX, scope: "Semaphore", bug_type: "Kernel Assertion", operation: "nxsem_trywait()", confirmed: false, detection: DetectionClass::LogMonitor, hangs: true, depth: 4 },
-    BugInfo { id: BugId::B18TimerCreate, number: 18, os: OsKind::NuttX, scope: "Timer", bug_type: "Kernel Panic", operation: "timer_create()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: true, depth: 1 },
-    BugInfo { id: BugId::B19ClockGetres, number: 19, os: OsKind::NuttX, scope: "Libc", bug_type: "Kernel Panic", operation: "clock_getres()", confirmed: false, detection: DetectionClass::ExceptionMonitor, hangs: false, depth: 1 },
+    BugInfo {
+        id: BugId::B01HeapStress,
+        number: 1,
+        os: OsKind::Zephyr,
+        scope: "Heap",
+        bug_type: "Kernel Panic",
+        operation: "sys_heap_stress()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 2,
+    },
+    BugInfo {
+        id: BugId::B02MsgqGet,
+        number: 2,
+        os: OsKind::Zephyr,
+        scope: "Kernel",
+        bug_type: "Kernel Panic",
+        operation: "z_impl_k_msgq_get()",
+        confirmed: true,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 2,
+    },
+    BugInfo {
+        id: BugId::B03JsonEncode,
+        number: 3,
+        os: OsKind::Zephyr,
+        scope: "JSON",
+        bug_type: "Kernel Panic",
+        operation: "json_obj_encode()",
+        confirmed: true,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: true,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B04KHeapInit,
+        number: 4,
+        os: OsKind::Zephyr,
+        scope: "KHeap",
+        bug_type: "Kernel Panic",
+        operation: "k_heap_init()",
+        confirmed: true,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: true,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B05ObjectGetType,
+        number: 5,
+        os: OsKind::RtThread,
+        scope: "Kernel",
+        bug_type: "Kernel Assertion",
+        operation: "rt_object_get_type()",
+        confirmed: false,
+        detection: DetectionClass::LogMonitor,
+        hangs: true,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B06ListIsEmpty,
+        number: 6,
+        os: OsKind::RtThread,
+        scope: "RTService",
+        bug_type: "Kernel Panic",
+        operation: "rt_list_isempty()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 5,
+    },
+    BugInfo {
+        id: BugId::B07MpAlloc,
+        number: 7,
+        os: OsKind::RtThread,
+        scope: "Memory",
+        bug_type: "Kernel Panic",
+        operation: "rt_mp_alloc()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 3,
+    },
+    BugInfo {
+        id: BugId::B08ObjectInit,
+        number: 8,
+        os: OsKind::RtThread,
+        scope: "Kernel",
+        bug_type: "Kernel Assertion",
+        operation: "rt_object_init()",
+        confirmed: false,
+        detection: DetectionClass::LogMonitor,
+        hangs: true,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B09HeapLock,
+        number: 9,
+        os: OsKind::RtThread,
+        scope: "Heap",
+        bug_type: "Kernel Panic",
+        operation: "_heap_lock()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 2,
+    },
+    BugInfo {
+        id: BugId::B10EventSend,
+        number: 10,
+        os: OsKind::RtThread,
+        scope: "IPC",
+        bug_type: "Kernel Panic",
+        operation: "rt_event_send()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 3,
+    },
+    BugInfo {
+        id: BugId::B11SmemSetname,
+        number: 11,
+        os: OsKind::RtThread,
+        scope: "Memory",
+        bug_type: "Kernel Panic",
+        operation: "rt_smem_setname()",
+        confirmed: true,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 2,
+    },
+    BugInfo {
+        id: BugId::B12SerialWrite,
+        number: 12,
+        os: OsKind::RtThread,
+        scope: "Serial",
+        bug_type: "Kernel Panic",
+        operation: "rt_serial_write()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: true,
+        depth: 3,
+    },
+    BugInfo {
+        id: BugId::B13LoadPartitions,
+        number: 13,
+        os: OsKind::FreeRtos,
+        scope: "Kernel",
+        bug_type: "Kernel Panic",
+        operation: "load_partitions()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B14Setenv,
+        number: 14,
+        os: OsKind::NuttX,
+        scope: "Kernel",
+        bug_type: "Kernel Panic",
+        operation: "setenv()",
+        confirmed: true,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 2,
+    },
+    BugInfo {
+        id: BugId::B15Gettimeofday,
+        number: 15,
+        os: OsKind::NuttX,
+        scope: "Libc",
+        bug_type: "Kernel Panic",
+        operation: "gettimeofday()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: true,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B16MqTimedsend,
+        number: 16,
+        os: OsKind::NuttX,
+        scope: "MQueue",
+        bug_type: "Kernel Panic",
+        operation: "nxmq_timedsend()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 3,
+    },
+    BugInfo {
+        id: BugId::B17SemTrywait,
+        number: 17,
+        os: OsKind::NuttX,
+        scope: "Semaphore",
+        bug_type: "Kernel Assertion",
+        operation: "nxsem_trywait()",
+        confirmed: false,
+        detection: DetectionClass::LogMonitor,
+        hangs: true,
+        depth: 4,
+    },
+    BugInfo {
+        id: BugId::B18TimerCreate,
+        number: 18,
+        os: OsKind::NuttX,
+        scope: "Timer",
+        bug_type: "Kernel Panic",
+        operation: "timer_create()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: true,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B19ClockGetres,
+        number: 19,
+        os: OsKind::NuttX,
+        scope: "Libc",
+        bug_type: "Kernel Panic",
+        operation: "clock_getres()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 1,
+    },
 ];
 
 impl BugId {
@@ -135,12 +344,7 @@ impl BugId {
 pub fn eof_nf_expected() -> Vec<BugId> {
     BUG_TABLE
         .iter()
-        .filter(|b| {
-            matches!(
-                b.number,
-                1 | 2 | 3 | 4 | 5 | 8 | 9 | 13 | 15 | 18 | 19
-            )
-        })
+        .filter(|b| matches!(b.number, 1 | 2 | 3 | 4 | 5 | 8 | 9 | 13 | 15 | 18 | 19))
         .map(|b| b.id)
         .collect()
 }
@@ -195,14 +399,20 @@ mod tests {
     fn tardis_subset_of_eof_nf() {
         let nf = eof_nf_expected();
         for b in tardis_expected() {
-            assert!(nf.contains(&b), "bug {b:?} found by Tardis must be in EOF-nf set");
+            assert!(
+                nf.contains(&b),
+                "bug {b:?} found by Tardis must be in EOF-nf set"
+            );
         }
     }
 
     #[test]
     fn tardis_bugs_all_hang() {
         for b in tardis_expected() {
-            assert!(b.info().hangs, "timeout-only detection requires a hang: {b:?}");
+            assert!(
+                b.info().hangs,
+                "timeout-only detection requires a hang: {b:?}"
+            );
         }
     }
 

@@ -164,10 +164,7 @@ mod tests {
         let mut b = bus();
         let region = CovRegion::new(0x2000_0100, 8);
         region.init(&mut b.ram, Endianness::Little).unwrap();
-        let mut cov = CovState::instrumented(
-            InstrumentMode::Modules(vec!["json".into()]),
-            region,
-        );
+        let mut cov = CovState::instrumented(InstrumentMode::Modules(vec!["json".into()]), region);
         {
             let mut ctx = ExecCtx::new(&mut b, &mut cov);
             ctx.cov("os::json::parse::digit");

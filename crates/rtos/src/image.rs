@@ -216,7 +216,8 @@ pub fn parse_image(bytes: &[u8]) -> Result<ImageInfo, HalError> {
     let size_bytes = bytes
         .get(off..off + 4)
         .ok_or_else(|| fail("truncated size"))?;
-    let code_size = u32::from_le_bytes([size_bytes[0], size_bytes[1], size_bytes[2], size_bytes[3]]);
+    let code_size =
+        u32::from_le_bytes([size_bytes[0], size_bytes[1], size_bytes[2], size_bytes[3]]);
     off += 4;
     let total = off + code_size as usize + 8;
     if bytes.len() < total {
@@ -264,34 +265,67 @@ mod tests {
             let inst = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full);
             assert!(inst.len() > plain.len(), "{os}");
             let pct = (inst.len() - plain.len()) as f64 / plain.len() as f64 * 100.0;
-            assert!(pct > 2.0 && pct < 12.0, "{os}: {pct:.2}% out of paper range");
+            assert!(
+                pct > 2.0 && pct < 12.0,
+                "{os}: {pct:.2}% out of paper range"
+            );
         }
     }
 
     #[test]
     fn overhead_percentages_match_paper() {
         let pct = |os: OsKind| {
-            let plain = build_image(os, ImageProfile::FullSystem, &InstrumentMode::None).len() as f64;
-            let inst = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full).len() as f64;
+            let plain =
+                build_image(os, ImageProfile::FullSystem, &InstrumentMode::None).len() as f64;
+            let inst =
+                build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full).len() as f64;
             (inst - plain) / plain * 100.0
         };
         // Paper: NuttX 4.76 %, RT-Thread 7.11 %, Zephyr 9.58 %, FreeRTOS 4.32 %.
-        assert!((pct(OsKind::NuttX) - 4.76).abs() < 0.3, "{}", pct(OsKind::NuttX));
-        assert!((pct(OsKind::RtThread) - 7.11).abs() < 0.3, "{}", pct(OsKind::RtThread));
-        assert!((pct(OsKind::Zephyr) - 9.58).abs() < 0.4, "{}", pct(OsKind::Zephyr));
-        assert!((pct(OsKind::FreeRtos) - 4.32).abs() < 0.3, "{}", pct(OsKind::FreeRtos));
+        assert!(
+            (pct(OsKind::NuttX) - 4.76).abs() < 0.3,
+            "{}",
+            pct(OsKind::NuttX)
+        );
+        assert!(
+            (pct(OsKind::RtThread) - 7.11).abs() < 0.3,
+            "{}",
+            pct(OsKind::RtThread)
+        );
+        assert!(
+            (pct(OsKind::Zephyr) - 9.58).abs() < 0.4,
+            "{}",
+            pct(OsKind::Zephyr)
+        );
+        assert!(
+            (pct(OsKind::FreeRtos) - 4.32).abs() < 0.3,
+            "{}",
+            pct(OsKind::FreeRtos)
+        );
     }
 
     #[test]
     fn app_profile_is_smaller() {
-        let full = build_image(OsKind::FreeRtos, ImageProfile::FullSystem, &InstrumentMode::None);
-        let app = build_image(OsKind::FreeRtos, ImageProfile::AppLevel, &InstrumentMode::None);
+        let full = build_image(
+            OsKind::FreeRtos,
+            ImageProfile::FullSystem,
+            &InstrumentMode::None,
+        );
+        let app = build_image(
+            OsKind::FreeRtos,
+            ImageProfile::AppLevel,
+            &InstrumentMode::None,
+        );
         assert!(app.len() < full.len() / 3);
     }
 
     #[test]
     fn corruption_fails_boot() {
-        let mut img = build_image(OsKind::Zephyr, ImageProfile::FullSystem, &InstrumentMode::None);
+        let mut img = build_image(
+            OsKind::Zephyr,
+            ImageProfile::FullSystem,
+            &InstrumentMode::None,
+        );
         parse_image(&img).unwrap();
         // Flip one bit deep in the code section.
         let mid = img.len() / 2;
@@ -301,7 +335,11 @@ mod tests {
 
     #[test]
     fn bad_magic_and_truncation() {
-        let img = build_image(OsKind::NuttX, ImageProfile::FullSystem, &InstrumentMode::None);
+        let img = build_image(
+            OsKind::NuttX,
+            ImageProfile::FullSystem,
+            &InstrumentMode::None,
+        );
         assert!(parse_image(&img[..10]).is_err());
         let mut bad = img.clone();
         bad[0] = b'X';

@@ -126,12 +126,7 @@ pub trait Kernel: Send {
     /// Service a hardware interrupt (the §6 extension: peripheral models
     /// driving interrupt paths). The default is an unhandled-IRQ return;
     /// OSs with modelled ISRs override it.
-    fn on_interrupt(
-        &mut self,
-        ctx: &mut ExecCtx<'_>,
-        line: u8,
-        payload: &[u8],
-    ) -> InvokeResult {
+    fn on_interrupt(&mut self, ctx: &mut ExecCtx<'_>, line: u8, payload: &[u8]) -> InvokeResult {
         let _ = (ctx, line, payload);
         InvokeResult::Err(-38)
     }

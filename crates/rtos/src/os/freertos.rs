@@ -89,14 +89,36 @@ impl FreeRtosKernel {
         use crate::os::a_res;
         v.push(api(
             "xTaskCreate",
-            vec![a_str("pcName", 16), a_int("usStackDepth", 128, 4096), a_int("uxPriority", 0, 31)],
+            vec![
+                a_str("pcName", 16),
+                a_int("usStackDepth", 128, 4096),
+                a_int("uxPriority", 0, 31),
+            ],
             Some("task"),
             "task",
             "Create a task with a bounded static stack and tick-driven scheduling.",
         ));
-        v.push(api("vTaskDelete", vec![a_res("xTask", "task")], None, "task", "Delete a task."));
-        v.push(api("vTaskSuspend", vec![a_res("xTask", "task")], None, "task", "Suspend a task."));
-        v.push(api("vTaskResume", vec![a_res("xTask", "task")], None, "task", "Resume a suspended task."));
+        v.push(api(
+            "vTaskDelete",
+            vec![a_res("xTask", "task")],
+            None,
+            "task",
+            "Delete a task.",
+        ));
+        v.push(api(
+            "vTaskSuspend",
+            vec![a_res("xTask", "task")],
+            None,
+            "task",
+            "Suspend a task.",
+        ));
+        v.push(api(
+            "vTaskResume",
+            vec![a_res("xTask", "task")],
+            None,
+            "task",
+            "Resume a suspended task.",
+        ));
         v.push(api(
             "vTaskPrioritySet",
             vec![a_res("xTask", "task"), a_int("uxNewPriority", 0, 31)],
@@ -125,8 +147,20 @@ impl FreeRtosKernel {
             "queue",
             "Send an item to the back of a queue.",
         ));
-        v.push(api("xQueueReceive", vec![a_res("xQueue", "queue")], None, "queue", "Receive the front item."));
-        v.push(api("vQueueDelete", vec![a_res("xQueue", "queue")], None, "queue", "Delete a queue."));
+        v.push(api(
+            "xQueueReceive",
+            vec![a_res("xQueue", "queue")],
+            None,
+            "queue",
+            "Receive the front item.",
+        ));
+        v.push(api(
+            "vQueueDelete",
+            vec![a_res("xQueue", "queue")],
+            None,
+            "queue",
+            "Delete a queue.",
+        ));
         v.push(api(
             "xSemaphoreCreateCounting",
             vec![a_int("uxMaxCount", 1, 16), a_int("uxInitialCount", 0, 16)],
@@ -134,17 +168,44 @@ impl FreeRtosKernel {
             "sem",
             "Create a counting semaphore.",
         ));
-        v.push(api("xSemaphoreTake", vec![a_res("xSemaphore", "sem")], None, "sem", "Take (non-blocking)."));
-        v.push(api("xSemaphoreGive", vec![a_res("xSemaphore", "sem")], None, "sem", "Give the semaphore."));
+        v.push(api(
+            "xSemaphoreTake",
+            vec![a_res("xSemaphore", "sem")],
+            None,
+            "sem",
+            "Take (non-blocking).",
+        ));
+        v.push(api(
+            "xSemaphoreGive",
+            vec![a_res("xSemaphore", "sem")],
+            None,
+            "sem",
+            "Give the semaphore.",
+        ));
         v.push(api(
             "xTimerCreate",
-            vec![a_int("xTimerPeriod", 1, 1000), a_enum("uxAutoReload", "timer_mode", TIMER_MODES)],
+            vec![
+                a_int("xTimerPeriod", 1, 1000),
+                a_enum("uxAutoReload", "timer_mode", TIMER_MODES),
+            ],
             Some("timer"),
             "timer",
             "Create a software timer.",
         ));
-        v.push(api("xTimerStart", vec![a_res("xTimer", "timer")], None, "timer", "Arm a timer."));
-        v.push(api("xTimerStop", vec![a_res("xTimer", "timer")], None, "timer", "Disarm a timer."));
+        v.push(api(
+            "xTimerStart",
+            vec![a_res("xTimer", "timer")],
+            None,
+            "timer",
+            "Arm a timer.",
+        ));
+        v.push(api(
+            "xTimerStop",
+            vec![a_res("xTimer", "timer")],
+            None,
+            "timer",
+            "Disarm a timer.",
+        ));
         v.push(api(
             "pvPortMalloc",
             vec![a_int("xWantedSize", 1, 4096)],
@@ -152,10 +213,19 @@ impl FreeRtosKernel {
             "heap",
             "Allocate from the FreeRTOS heap.",
         ));
-        v.push(api("vPortFree", vec![a_res("pv", "mem")], None, "heap", "Free a heap allocation."));
+        v.push(api(
+            "vPortFree",
+            vec![a_res("pv", "mem")],
+            None,
+            "heap",
+            "Free a heap allocation.",
+        ));
         v.push(api(
             "load_partitions",
-            vec![a_int("slot", 0, 3), a_enum("flags", "part_flags", PART_FLAGS)],
+            vec![
+                a_int("slot", 0, 3),
+                a_enum("flags", "part_flags", PART_FLAGS),
+            ],
             None,
             "kernel",
             "Load a flash partition table slot into the kernel.",
@@ -224,7 +294,10 @@ impl Kernel for FreeRtosKernel {
             eof_hal::irq::SERIAL_RX => {
                 ctx.cov("freertos::isr::uart_rx::entry");
                 ctx.charge(4 + payload.len() as u64 / 4);
-                ctx.cov_var("freertos::isr::uart_rx::len_band", (payload.len() as u64 / 4).min(15));
+                ctx.cov_var(
+                    "freertos::isr::uart_rx::len_band",
+                    (payload.len() as u64 / 4).min(15),
+                );
                 // ISR-side FIFO with overrun handling.
                 for &b in payload {
                     if self.rx_fifo.len() >= 64 {
@@ -243,7 +316,10 @@ impl Kernel for FreeRtosKernel {
                 ctx.cov("freertos::isr::gpio::entry");
                 ctx.charge(3);
                 self.gpio_edges = self.gpio_edges.wrapping_add(1);
-                ctx.cov_var("freertos::isr::gpio::edge_band", (self.gpio_edges as u64).min(15));
+                ctx.cov_var(
+                    "freertos::isr::gpio::edge_band",
+                    (self.gpio_edges as u64).min(15),
+                );
                 InvokeResult::Ok(self.gpio_edges as u64)
             }
             eof_hal::irq::TIMER => {
@@ -304,27 +380,44 @@ impl Kernel for FreeRtosKernel {
                     // stack; region geometry branches by stack size. An
                     // emulator without an MPU model skips all of it.
                     if ctx.bus.silicon {
-                        ctx.cov_var("freertos::mpu::stack_region", (arg_int(args, 1) / 256).min(15));
+                        ctx.cov_var(
+                            "freertos::mpu::stack_region",
+                            (arg_int(args, 1) / 256).min(15),
+                        );
                     }
                     InvokeResult::Ok(h as u64)
                 }
                 Err(e) => Self::map_sched(e),
             },
             // vTaskDelete
-            1 => match self.sched.delete(ctx, "freertos::task::vTaskDelete", arg_int(args, 0) as u32) {
-                Ok(()) => InvokeResult::Ok(0),
-                Err(e) => Self::map_sched(e),
-            },
+            1 => {
+                match self
+                    .sched
+                    .delete(ctx, "freertos::task::vTaskDelete", arg_int(args, 0) as u32)
+                {
+                    Ok(()) => InvokeResult::Ok(0),
+                    Err(e) => Self::map_sched(e),
+                }
+            }
             // vTaskSuspend
-            2 => match self.sched.suspend(ctx, "freertos::task::vTaskSuspend", arg_int(args, 0) as u32) {
+            2 => match self.sched.suspend(
+                ctx,
+                "freertos::task::vTaskSuspend",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(e) => Self::map_sched(e),
             },
             // vTaskResume
-            3 => match self.sched.resume(ctx, "freertos::task::vTaskResume", arg_int(args, 0) as u32) {
-                Ok(()) => InvokeResult::Ok(0),
-                Err(e) => Self::map_sched(e),
-            },
+            3 => {
+                match self
+                    .sched
+                    .resume(ctx, "freertos::task::vTaskResume", arg_int(args, 0) as u32)
+                {
+                    Ok(()) => InvokeResult::Ok(0),
+                    Err(e) => Self::map_sched(e),
+                }
+            }
             // vTaskPrioritySet
             4 => match self.sched.set_priority(
                 ctx,
@@ -357,10 +450,12 @@ impl Kernel for FreeRtosKernel {
             7 => {
                 let h = arg_int(args, 0) as usize;
                 match self.queues.get_mut(h).and_then(|q| q.as_mut()) {
-                    Some(q) => match q.put(ctx, "freertos::queue::xQueueSend", arg_bytes(args, 1)) {
-                        Ok(()) => InvokeResult::Ok(0),
-                        Err(e) => Self::map_ipc(e),
-                    },
+                    Some(q) => {
+                        match q.put(ctx, "freertos::queue::xQueueSend", arg_bytes(args, 1)) {
+                            Ok(()) => InvokeResult::Ok(0),
+                            Err(e) => Self::map_ipc(e),
+                        }
+                    }
                     None => InvokeResult::Err(-4),
                 }
             }
@@ -418,30 +513,52 @@ impl Kernel for FreeRtosKernel {
                 } else {
                     TimerMode::OneShot
                 };
-                match self.timers.create(ctx, "freertos::timer::xTimerCreate", arg_int(args, 0), mode) {
+                match self.timers.create(
+                    ctx,
+                    "freertos::timer::xTimerCreate",
+                    arg_int(args, 0),
+                    mode,
+                ) {
                     Ok(h) => InvokeResult::Ok(h as u64),
                     Err(TimerError::BadPeriod) => InvokeResult::Err(-20),
                     Err(_) => InvokeResult::Err(-21),
                 }
             }
             // xTimerStart
-            14 => match self.timers.start(ctx, "freertos::timer::xTimerStart", arg_int(args, 0) as u32) {
+            14 => match self.timers.start(
+                ctx,
+                "freertos::timer::xTimerStart",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(_) => InvokeResult::Err(-4),
             },
             // xTimerStop
-            15 => match self.timers.stop(ctx, "freertos::timer::xTimerStop", arg_int(args, 0) as u32) {
-                Ok(()) => InvokeResult::Ok(0),
-                Err(_) => InvokeResult::Err(-4),
-            },
+            15 => {
+                match self
+                    .timers
+                    .stop(ctx, "freertos::timer::xTimerStop", arg_int(args, 0) as u32)
+                {
+                    Ok(()) => InvokeResult::Ok(0),
+                    Err(_) => InvokeResult::Err(-4),
+                }
+            }
             // pvPortMalloc
-            16 => match self.heap.alloc(ctx, "freertos::heap::pvPortMalloc", arg_int(args, 0) as u32) {
-                Ok(h) => InvokeResult::Ok(h as u64),
-                Err(HeapError::OutOfMemory) => InvokeResult::Err(-30),
-                Err(_) => InvokeResult::Err(-31),
-            },
+            16 => {
+                match self
+                    .heap
+                    .alloc(ctx, "freertos::heap::pvPortMalloc", arg_int(args, 0) as u32)
+                {
+                    Ok(h) => InvokeResult::Ok(h as u64),
+                    Err(HeapError::OutOfMemory) => InvokeResult::Err(-30),
+                    Err(_) => InvokeResult::Err(-31),
+                }
+            }
             // vPortFree
-            17 => match self.heap.free(ctx, "freertos::heap::vPortFree", arg_int(args, 0) as u32) {
+            17 => match self
+                .heap
+                .free(ctx, "freertos::heap::vPortFree", arg_int(args, 0) as u32)
+            {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(_) => InvokeResult::Err(-31),
             },
@@ -495,7 +612,12 @@ impl Kernel for FreeRtosKernel {
                     ctx.cov("freertos::json::encode::bad_width");
                     return InvokeResult::Err(-41);
                 }
-                match json::encode(ctx, "freertos::json::encode", depth.min(json::MAX_DEPTH + 4), width) {
+                match json::encode(
+                    ctx,
+                    "freertos::json::encode",
+                    depth.min(json::MAX_DEPTH + 4),
+                    width,
+                ) {
                     Ok(len) => InvokeResult::Ok(len as u64),
                     Err(_) => InvokeResult::Err(-41),
                 }
@@ -571,15 +693,30 @@ mod tests {
     fn queue_roundtrip() {
         let mut k = FreeRtosKernel::new();
         let mut b = bus();
-        let q = ok(call(&mut k, &mut b, "xQueueCreate", &[KArg::Int(2), KArg::Int(16)]));
-        ok(call(&mut k, &mut b, "xQueueSend", &[KArg::Int(q), KArg::Bytes(vec![1, 2, 3])]));
+        let q = ok(call(
+            &mut k,
+            &mut b,
+            "xQueueCreate",
+            &[KArg::Int(2), KArg::Int(16)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "xQueueSend",
+            &[KArg::Int(q), KArg::Bytes(vec![1, 2, 3])],
+        ));
         assert_eq!(
             ok(call(&mut k, &mut b, "xQueueReceive", &[KArg::Int(q)])),
             3
         );
         ok(call(&mut k, &mut b, "vQueueDelete", &[KArg::Int(q)]));
         assert!(matches!(
-            call(&mut k, &mut b, "xQueueSend", &[KArg::Int(q), KArg::Bytes(vec![1])]),
+            call(
+                &mut k,
+                &mut b,
+                "xQueueSend",
+                &[KArg::Int(q), KArg::Bytes(vec![1])]
+            ),
             InvokeResult::Err(-4)
         ));
     }
@@ -590,10 +727,20 @@ mod tests {
         let mut b = bus();
         // Benign combinations do not fault.
         for (slot, flags) in [(0, 0x10), (3, 0x1), (2, 0x10), (3, 0x4)] {
-            let r = call(&mut k, &mut b, "load_partitions", &[KArg::Int(slot), KArg::Int(flags)]);
+            let r = call(
+                &mut k,
+                &mut b,
+                "load_partitions",
+                &[KArg::Int(slot), KArg::Int(flags)],
+            );
             assert!(!r.is_fault(), "slot={slot} flags={flags:#x}");
         }
-        let r = call(&mut k, &mut b, "load_partitions", &[KArg::Int(3), KArg::Int(0x10)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "load_partitions",
+            &[KArg::Int(3), KArg::Int(0x10)],
+        );
         assert!(is_bug(&r, 13));
         if let InvokeResult::Fault(f) = r {
             assert!(!f.hangs_after);
@@ -606,11 +753,21 @@ mod tests {
         let mut k = FreeRtosKernel::new();
         let mut b = bus();
         assert_eq!(
-            ok(call(&mut k, &mut b, "json_parse", &[KArg::Bytes(br#"{"a":[1]}"#.to_vec())])),
+            ok(call(
+                &mut k,
+                &mut b,
+                "json_parse",
+                &[KArg::Bytes(br#"{"a":[1]}"#.to_vec())]
+            )),
             2
         );
         assert!(matches!(
-            call(&mut k, &mut b, "json_parse", &[KArg::Bytes(b"{{{".to_vec())]),
+            call(
+                &mut k,
+                &mut b,
+                "json_parse",
+                &[KArg::Bytes(b"{{{".to_vec())]
+            ),
             InvokeResult::Err(-40)
         ));
         assert_eq!(
@@ -640,7 +797,12 @@ mod tests {
     fn reset_clears_state() {
         let mut k = FreeRtosKernel::new();
         let mut b = bus();
-        ok(call(&mut k, &mut b, "xQueueCreate", &[KArg::Int(2), KArg::Int(8)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "xQueueCreate",
+            &[KArg::Int(2), KArg::Int(8)],
+        ));
         let mut cov = crate::ctx::CovState::uninstrumented();
         let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
         k.reset(&mut ctx);
@@ -654,7 +816,10 @@ mod tests {
         let mut b = bus();
         let mut cov = crate::ctx::CovState::uninstrumented();
         let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
-        assert!(matches!(k.invoke(&mut ctx, 999, &[]), InvokeResult::Err(-88)));
+        assert!(matches!(
+            k.invoke(&mut ctx, 999, &[]),
+            InvokeResult::Err(-88)
+        ));
     }
 
     #[test]
@@ -679,8 +844,14 @@ mod tests {
         let mut b = bus();
         let mut cov = crate::ctx::CovState::uninstrumented();
         let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
-        assert_eq!(k.on_interrupt(&mut ctx, eof_hal::irq::GPIO, &[]), InvokeResult::Ok(1));
-        assert_eq!(k.on_interrupt(&mut ctx, eof_hal::irq::GPIO, &[]), InvokeResult::Ok(2));
+        assert_eq!(
+            k.on_interrupt(&mut ctx, eof_hal::irq::GPIO, &[]),
+            InvokeResult::Ok(1)
+        );
+        assert_eq!(
+            k.on_interrupt(&mut ctx, eof_hal::irq::GPIO, &[]),
+            InvokeResult::Ok(2)
+        );
         let ticks_before = k.sched.tick_count();
         k.on_interrupt(&mut ctx, eof_hal::irq::TIMER, &[]);
         assert_eq!(k.sched.tick_count(), ticks_before + 1);

@@ -22,11 +22,7 @@ const CLOCK_IDS: &[(&str, u64)] = &[
     ("CLOCK_MONOTONIC", 1),
     ("CLOCK_BOOTTIME", 7),
 ];
-const SIGEV_KINDS: &[(&str, u64)] = &[
-    ("SIGEV_NONE", 0),
-    ("SIGEV_SIGNAL", 1),
-    ("SIGEV_THREAD", 2),
-];
+const SIGEV_KINDS: &[(&str, u64)] = &[("SIGEV_NONE", 0), ("SIGEV_SIGNAL", 1), ("SIGEV_THREAD", 2)];
 const MQ_NAMES: &[(&str, u64)] = &[("MQ0", 0), ("MQ1", 1), ("MQ2", 2), ("MQ3", 3)];
 const NULLNESS: &[(&str, u64)] = &[("PTR_VALID", 0), ("PTR_NULL", 1)];
 
@@ -90,30 +86,66 @@ impl NuttxKernel {
                        returns: Option<&'static str>,
                        module: &'static str,
                        doc: &'static str| {
-            let d = ApiDescriptor { id, name, args, returns, module, doc };
+            let d = ApiDescriptor {
+                id,
+                name,
+                args,
+                returns,
+                module,
+                doc,
+            };
             id += 1;
             d
         };
         v.push(api(
             "task_create",
-            vec![a_str("name", 31), a_int("priority", 0, 31), a_int("stack_size", 256, 8192)],
+            vec![
+                a_str("name", 31),
+                a_int("priority", 0, 31),
+                a_int("stack_size", 256, 8192),
+            ],
             Some("task"),
             "task",
             "Create a NuttX task.",
         ));
-        v.push(api("task_delete", vec![a_res("task", "task")], None, "task", "Delete a task."));
+        v.push(api(
+            "task_delete",
+            vec![a_res("task", "task")],
+            None,
+            "task",
+            "Delete a task.",
+        ));
         v.push(api(
             "setenv",
-            vec![a_str("name", 16), a_str("value", 64), a_int("overwrite", 0, 1)],
+            vec![
+                a_str("name", 16),
+                a_str("value", 64),
+                a_int("overwrite", 0, 1),
+            ],
             None,
             "kernel",
             "Set an environment variable.",
         ));
-        v.push(api("getenv", vec![a_str("name", 16)], None, "kernel", "Read an environment variable."));
-        v.push(api("unsetenv", vec![a_str("name", 16)], None, "kernel", "Remove an environment variable."));
+        v.push(api(
+            "getenv",
+            vec![a_str("name", 16)],
+            None,
+            "kernel",
+            "Read an environment variable.",
+        ));
+        v.push(api(
+            "unsetenv",
+            vec![a_str("name", 16)],
+            None,
+            "kernel",
+            "Remove an environment variable.",
+        ));
         v.push(api(
             "gettimeofday",
-            vec![a_enum("tv", "nullness", NULLNESS), a_enum("tz", "nullness", NULLNESS)],
+            vec![
+                a_enum("tv", "nullness", NULLNESS),
+                a_enum("tz", "nullness", NULLNESS),
+            ],
             None,
             "libc",
             "Read the wall clock into tv (tz is obsolete but accepted).",
@@ -127,7 +159,10 @@ impl NuttxKernel {
         ));
         v.push(api(
             "clock_getres",
-            vec![a_enum("clockid", "clock_ids", CLOCK_IDS), a_int("res_align", 0, 7)],
+            vec![
+                a_enum("clockid", "clock_ids", CLOCK_IDS),
+                a_int("res_align", 0, 7),
+            ],
             None,
             "libc",
             "Read a clock's resolution into an aligned timespec.",
@@ -141,14 +176,22 @@ impl NuttxKernel {
         ));
         v.push(api(
             "mq_open",
-            vec![a_enum("name", "mq_names", MQ_NAMES), a_int("msg_size", 1, 64), a_int("maxmsg", 1, 8)],
+            vec![
+                a_enum("name", "mq_names", MQ_NAMES),
+                a_int("msg_size", 1, 64),
+                a_int("maxmsg", 1, 8),
+            ],
             Some("mqd"),
             "mqueue",
             "Open (or create) a named POSIX message queue.",
         ));
         v.push(api(
             "mq_send",
-            vec![a_res("mqd", "mqd"), a_bytes("msg", 64), a_int("prio", 0, 31)],
+            vec![
+                a_res("mqd", "mqd"),
+                a_bytes("msg", 64),
+                a_int("prio", 0, 31),
+            ],
             None,
             "mqueue",
             "Send a message (non-blocking).",
@@ -165,9 +208,27 @@ impl NuttxKernel {
             "mqueue",
             "Send with a deadline relative to now (0 = already expired).",
         ));
-        v.push(api("mq_receive", vec![a_res("mqd", "mqd")], None, "mqueue", "Receive the highest-priority message."));
-        v.push(api("mq_close", vec![a_res("mqd", "mqd")], None, "mqueue", "Close a queue descriptor."));
-        v.push(api("mq_unlink", vec![a_enum("name", "mq_names", MQ_NAMES)], None, "mqueue", "Unlink a named queue."));
+        v.push(api(
+            "mq_receive",
+            vec![a_res("mqd", "mqd")],
+            None,
+            "mqueue",
+            "Receive the highest-priority message.",
+        ));
+        v.push(api(
+            "mq_close",
+            vec![a_res("mqd", "mqd")],
+            None,
+            "mqueue",
+            "Close a queue descriptor.",
+        ));
+        v.push(api(
+            "mq_unlink",
+            vec![a_enum("name", "mq_names", MQ_NAMES)],
+            None,
+            "mqueue",
+            "Unlink a named queue.",
+        ));
         v.push(api(
             "nxsem_init",
             vec![a_int("value", 0, 8)],
@@ -175,10 +236,34 @@ impl NuttxKernel {
             "semaphore",
             "Initialise an unnamed semaphore.",
         ));
-        v.push(api("nxsem_wait", vec![a_res("sem", "sem")], None, "semaphore", "Wait on a semaphore (records a waiter)."));
-        v.push(api("nxsem_trywait", vec![a_res("sem", "sem")], None, "semaphore", "Non-blocking wait."));
-        v.push(api("nxsem_post", vec![a_res("sem", "sem")], None, "semaphore", "Post a semaphore."));
-        v.push(api("nxsem_destroy", vec![a_res("sem", "sem")], None, "semaphore", "Destroy a semaphore."));
+        v.push(api(
+            "nxsem_wait",
+            vec![a_res("sem", "sem")],
+            None,
+            "semaphore",
+            "Wait on a semaphore (records a waiter).",
+        ));
+        v.push(api(
+            "nxsem_trywait",
+            vec![a_res("sem", "sem")],
+            None,
+            "semaphore",
+            "Non-blocking wait.",
+        ));
+        v.push(api(
+            "nxsem_post",
+            vec![a_res("sem", "sem")],
+            None,
+            "semaphore",
+            "Post a semaphore.",
+        ));
+        v.push(api(
+            "nxsem_destroy",
+            vec![a_res("sem", "sem")],
+            None,
+            "semaphore",
+            "Destroy a semaphore.",
+        ));
         v.push(api(
             "timer_create",
             vec![
@@ -197,8 +282,20 @@ impl NuttxKernel {
             "timer",
             "Arm (period > 0) or disarm (period 0) a timer.",
         ));
-        v.push(api("timer_delete", vec![a_res("timerid", "timerid")], None, "timer", "Delete a POSIX timer."));
-        v.push(api("sched_tick", vec![a_int("n", 1, 10)], None, "kernel", "Advance the system tick."));
+        v.push(api(
+            "timer_delete",
+            vec![a_res("timerid", "timerid")],
+            None,
+            "timer",
+            "Delete a POSIX timer.",
+        ));
+        v.push(api(
+            "sched_tick",
+            vec![a_int("n", 1, 10)],
+            None,
+            "kernel",
+            "Advance the system tick.",
+        ));
         v
     }
 
@@ -235,7 +332,10 @@ impl Kernel for NuttxKernel {
             eof_hal::irq::GPIO => {
                 ctx.cov("nuttx::isr::gpio::entry");
                 ctx.charge(3);
-                ctx.cov_var("nuttx::isr::gpio::env_vars", (self.env.len() as u64).min(15));
+                ctx.cov_var(
+                    "nuttx::isr::gpio::env_vars",
+                    (self.env.len() as u64).min(15),
+                );
                 InvokeResult::Ok(0)
             }
             eof_hal::irq::SERIAL_RX => {
@@ -290,7 +390,10 @@ impl Kernel for NuttxKernel {
                 Err(_) => InvokeResult::Err(-22),
             },
             // task_delete
-            1 => match self.sched.delete(ctx, "nuttx::task::task_delete", arg_int(args, 0) as u32) {
+            1 => match self
+                .sched
+                .delete(ctx, "nuttx::task::task_delete", arg_int(args, 0) as u32)
+            {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(_) => InvokeResult::Err(-3),
             },
@@ -314,8 +417,14 @@ impl Kernel for NuttxKernel {
                     // Breadcrumb ladder: the no-overwrite comparison is
                     // chunked by value length (strncmp word loop) and the
                     // entry lookup is keyed by name length.
-                    ctx.cov_var("nuttx::kernel::setenv::cmp_len", (value.len() as u64).min(64));
-                    ctx.cov_var("nuttx::kernel::setenv::name_len", (name.len() as u64).min(16));
+                    ctx.cov_var(
+                        "nuttx::kernel::setenv::cmp_len",
+                        (value.len() as u64).min(64),
+                    );
+                    ctx.cov_var(
+                        "nuttx::kernel::setenv::name_len",
+                        (name.len() as u64).min(16),
+                    );
                     let first_match = existing
                         .as_deref()
                         .and_then(|e| e.bytes().next())
@@ -336,7 +445,10 @@ impl Kernel for NuttxKernel {
                         ));
                     }
                 }
-                match self.env.setenv(ctx, "nuttx::kernel::setenv", &name, &value, overwrite) {
+                match self
+                    .env
+                    .setenv(ctx, "nuttx::kernel::setenv", &name, &value, overwrite)
+                {
                     Ok(()) => InvokeResult::Ok(0),
                     Err(EnvError::BadName) => InvokeResult::Err(-22),
                     Err(EnvError::Full) => InvokeResult::Err(-12),
@@ -344,12 +456,18 @@ impl Kernel for NuttxKernel {
                 }
             }
             // getenv
-            3 => match self.env.getenv(ctx, "nuttx::kernel::getenv", arg_str(args, 0)) {
+            3 => match self
+                .env
+                .getenv(ctx, "nuttx::kernel::getenv", arg_str(args, 0))
+            {
                 Some(v) => InvokeResult::Ok(v.len() as u64),
                 None => InvokeResult::Err(-2),
             },
             // unsetenv
-            4 => match self.env.unsetenv(ctx, "nuttx::kernel::unsetenv", arg_str(args, 0)) {
+            4 => match self
+                .env
+                .unsetenv(ctx, "nuttx::kernel::unsetenv", arg_str(args, 0))
+            {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(_) => InvokeResult::Err(-2),
             },
@@ -377,21 +495,33 @@ impl Kernel for NuttxKernel {
                     ctx.cov("nuttx::libc::gettimeofday::null_tv");
                     return InvokeResult::Err(-22);
                 }
-                match self.env.clock_gettime_us(ctx, "nuttx::libc::clock_gettime", clockid::REALTIME) {
+                match self.env.clock_gettime_us(
+                    ctx,
+                    "nuttx::libc::clock_gettime",
+                    clockid::REALTIME,
+                ) {
                     Ok(us) => InvokeResult::Ok(us),
                     Err(_) => InvokeResult::Err(-22),
                 }
             }
             // clock_gettime
-            6 => match self.env.clock_gettime_us(ctx, "nuttx::libc::clock_gettime", arg_int(args, 0)) {
-                Ok(us) => InvokeResult::Ok(us),
-                Err(_) => InvokeResult::Err(-22),
-            },
+            6 => {
+                match self
+                    .env
+                    .clock_gettime_us(ctx, "nuttx::libc::clock_gettime", arg_int(args, 0))
+                {
+                    Ok(us) => InvokeResult::Ok(us),
+                    Err(_) => InvokeResult::Err(-22),
+                }
+            }
             // clock_getres — bug #19.
             7 => {
                 let clock = arg_int(args, 0);
                 let align = arg_int(args, 1);
-                ctx.cov_var("nuttx::libc::clock_getres::clock_align", clock.min(15) * 8 + align.min(7));
+                ctx.cov_var(
+                    "nuttx::libc::clock_getres::clock_align",
+                    clock.min(15) * 8 + align.min(7),
+                );
                 // Bug #19: the BOOTTIME branch stores the 64-bit
                 // resolution with a doubleword store that traps on a
                 // misaligned timespec.
@@ -406,20 +536,28 @@ impl Kernel for NuttxKernel {
                         false,
                     ));
                 }
-                match self.env.clock_getres_ns(ctx, "nuttx::libc::clock_getres", clock) {
+                match self
+                    .env
+                    .clock_getres_ns(ctx, "nuttx::libc::clock_getres", clock)
+                {
                     Ok(ns) => InvokeResult::Ok(ns),
                     Err(_) => InvokeResult::Err(-22),
                 }
             }
             // clock_settime
-            8 => match self.env.clock_settime_us(ctx, "nuttx::libc::clock_settime", arg_int(args, 0)) {
-                Ok(()) => {
-                    self.clock_was_set = true;
-                    InvokeResult::Ok(0)
+            8 => {
+                match self
+                    .env
+                    .clock_settime_us(ctx, "nuttx::libc::clock_settime", arg_int(args, 0))
+                {
+                    Ok(()) => {
+                        self.clock_was_set = true;
+                        InvokeResult::Ok(0)
+                    }
+                    Err(EnvError::TimeRollback) => InvokeResult::Err(-22),
+                    Err(_) => InvokeResult::Err(-1),
                 }
-                Err(EnvError::TimeRollback) => InvokeResult::Err(-22),
-                Err(_) => InvokeResult::Err(-1),
-            },
+            }
             // mq_open
             9 => {
                 let name = mq_name_of(arg_int(args, 0));
@@ -466,7 +604,8 @@ impl Kernel for NuttxKernel {
                 // slot — and only a message short enough for the inline
                 // waiter record (≤ 4 bytes) takes that path — so the
                 // expiry frees a record it never allocated.
-                if self.mq.is_full(desc) && rel == 0 && prio == 27 && arg_bytes(args, 1).len() <= 4 {
+                if self.mq.is_full(desc) && rel == 0 && prio == 27 && arg_bytes(args, 1).len() <= 4
+                {
                     ctx.cov("nuttx::mqueue::nxmq_timedsend::expired_highprio");
                     ctx.klog("up_assert: double free in nxmq_timedsend");
                     return InvokeResult::Fault(KernelFault::bug(
@@ -493,17 +632,27 @@ impl Kernel for NuttxKernel {
                 }
             }
             // mq_receive
-            12 => match self.mq.receive(ctx, "nuttx::mqueue::mq_receive", arg_int(args, 0) as u32) {
+            12 => match self
+                .mq
+                .receive(ctx, "nuttx::mqueue::mq_receive", arg_int(args, 0) as u32)
+            {
                 Ok((prio, _)) => InvokeResult::Ok(prio as u64),
                 Err(e) => Self::map_mq(e),
             },
             // mq_close
-            13 => match self.mq.close(ctx, "nuttx::mqueue::mq_close", arg_int(args, 0) as u32) {
+            13 => match self
+                .mq
+                .close(ctx, "nuttx::mqueue::mq_close", arg_int(args, 0) as u32)
+            {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(e) => Self::map_mq(e),
             },
             // mq_unlink
-            14 => match self.mq.unlink(ctx, "nuttx::mqueue::mq_unlink", mq_name_of(arg_int(args, 0))) {
+            14 => match self.mq.unlink(
+                ctx,
+                "nuttx::mqueue::mq_unlink",
+                mq_name_of(arg_int(args, 0)),
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(e) => Self::map_mq(e),
             },
@@ -542,7 +691,10 @@ impl Kernel for NuttxKernel {
                         // fewer still fit the inline slots.
                         ctx.cov("nuttx::semaphore::nxsem_trywait::destroyed");
                         if let Some(waiters) = self.destroyed_with_waiters.get(&h).copied() {
-                            ctx.cov_var("nuttx::semaphore::nxsem_trywait::waitlist", waiters.min(7) as u64);
+                            ctx.cov_var(
+                                "nuttx::semaphore::nxsem_trywait::waitlist",
+                                waiters.min(7) as u64,
+                            );
                             if waiters >= 3 {
                                 ctx.klog("_assert: sem->semcount < 0 with empty waitlist in nxsem_trywait");
                                 return InvokeResult::Fault(KernelFault::bug(
@@ -587,12 +739,19 @@ impl Kernel for NuttxKernel {
                 let notify = arg_int(args, 1);
                 let cookie = arg_int(args, 2);
                 ctx.cov_var("nuttx::timer::timer_create::notify", notify.min(7));
-                ctx.cov_var("nuttx::timer::timer_create::cookie_band", (cookie / 64).min(31));
+                ctx.cov_var(
+                    "nuttx::timer::timer_create::cookie_band",
+                    (cookie / 64).min(31),
+                );
                 // Bug #18: SIGEV_THREAD on the monotonic clock with a
                 // large 16-aligned cookie lands the notification work
                 // item in the wrong pool; the create itself scribbles the
                 // pool header.
-                if clock == clockid::MONOTONIC && notify == 2 && cookie >= 500 && cookie.is_multiple_of(16) {
+                if clock == clockid::MONOTONIC
+                    && notify == 2
+                    && cookie >= 500
+                    && cookie.is_multiple_of(16)
+                {
                     ctx.cov("nuttx::timer::timer_create::monotonic_thread");
                     ctx.klog("up_assert: work queue pool corrupt in timer_create");
                     return InvokeResult::Fault(KernelFault::bug(
@@ -603,7 +762,10 @@ impl Kernel for NuttxKernel {
                         true,
                     ));
                 }
-                match self.wheel.create(ctx, "nuttx::timer::timer_create", 10, TimerMode::Periodic) {
+                match self
+                    .wheel
+                    .create(ctx, "nuttx::timer::timer_create", 10, TimerMode::Periodic)
+                {
                     Ok(h) => {
                         // Silicon-only: the hardware timer's prescaler is
                         // programmed per cookie band.
@@ -670,19 +832,79 @@ mod tests {
         let mut b = bus();
         let v47 = "v".repeat(47);
         // Fresh name: fine.
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("A".into()), KArg::Str(v47.clone()), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[KArg::Str("A".into()), KArg::Str(v47.clone()), KArg::Int(0)],
+        ));
         // Existing + overwrite: fine.
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("A".into()), KArg::Str(v47.clone()), KArg::Int(1)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[KArg::Str("A".into()), KArg::Str(v47.clone()), KArg::Int(1)],
+        ));
         // No-overwrite, first chars differ: strncmp exits early.
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("A".into()), KArg::Str(format!("w{}", "v".repeat(46))), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[
+                KArg::Str("A".into()),
+                KArg::Str(format!("w{}", "v".repeat(46))),
+                KArg::Int(0),
+            ],
+        ));
         // Colliding first char but near-miss lengths: fine.
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("A".into()), KArg::Str("v".repeat(46)), KArg::Int(0)]));
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("A".into()), KArg::Str("v".repeat(48)), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[
+                KArg::Str("A".into()),
+                KArg::Str("v".repeat(46)),
+                KArg::Int(0),
+            ],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[
+                KArg::Str("A".into()),
+                KArg::Str("v".repeat(48)),
+                KArg::Int(0),
+            ],
+        ));
         // Long name: fine.
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("LONGNAME".into()), KArg::Str(v47.clone()), KArg::Int(0)]));
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("LONGNAME".into()), KArg::Str(v47.clone()), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[
+                KArg::Str("LONGNAME".into()),
+                KArg::Str(v47.clone()),
+                KArg::Int(0),
+            ],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[
+                KArg::Str("LONGNAME".into()),
+                KArg::Str(v47.clone()),
+                KArg::Int(0),
+            ],
+        ));
         // Colliding first char + 47 bytes + short name: panic.
-        let r = call(&mut k, &mut b, "setenv", &[KArg::Str("A".into()), KArg::Str(v47), KArg::Int(0)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[KArg::Str("A".into()), KArg::Str(v47), KArg::Int(0)],
+        );
         assert!(is_bug(&r, 14));
     }
 
@@ -690,20 +912,53 @@ mod tests {
     fn bug15_needs_settime_then_null_tv_live_tz() {
         let mut k = NuttxKernel::new();
         let mut b = bus();
-        assert!(ok(call(&mut k, &mut b, "gettimeofday", &[KArg::Int(0), KArg::Int(0)])) > 0);
+        assert!(
+            ok(call(
+                &mut k,
+                &mut b,
+                "gettimeofday",
+                &[KArg::Int(0), KArg::Int(0)]
+            )) > 0
+        );
         // Before any settime, the NULL-tv path is only EINVAL.
         assert!(matches!(
-            call(&mut k, &mut b, "gettimeofday", &[KArg::Int(1), KArg::Int(0)]),
+            call(
+                &mut k,
+                &mut b,
+                "gettimeofday",
+                &[KArg::Int(1), KArg::Int(0)]
+            ),
             InvokeResult::Err(-22)
         ));
         // Set the clock far forward, then the combination faults.
-        ok(call(&mut k, &mut b, "clock_settime", &[KArg::Int(u64::MAX / 4)]));
-        assert!(!call(&mut k, &mut b, "gettimeofday", &[KArg::Int(0), KArg::Int(1)]).is_fault());
+        ok(call(
+            &mut k,
+            &mut b,
+            "clock_settime",
+            &[KArg::Int(u64::MAX / 4)],
+        ));
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "gettimeofday",
+            &[KArg::Int(0), KArg::Int(1)]
+        )
+        .is_fault());
         assert!(matches!(
-            call(&mut k, &mut b, "gettimeofday", &[KArg::Int(1), KArg::Int(1)]),
+            call(
+                &mut k,
+                &mut b,
+                "gettimeofday",
+                &[KArg::Int(1), KArg::Int(1)]
+            ),
             InvokeResult::Err(-22)
         ));
-        let r = call(&mut k, &mut b, "gettimeofday", &[KArg::Int(1), KArg::Int(0)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "gettimeofday",
+            &[KArg::Int(1), KArg::Int(0)],
+        );
         assert!(is_bug(&r, 15));
     }
 
@@ -711,26 +966,81 @@ mod tests {
     fn bug16_full_queue_expired_deadline_high_prio() {
         let mut k = NuttxKernel::new();
         let mut b = bus();
-        let d = ok(call(&mut k, &mut b, "mq_open", &[KArg::Int(0), KArg::Int(16), KArg::Int(2)]));
-        ok(call(&mut k, &mut b, "mq_send", &[KArg::Int(d), KArg::Bytes(vec![1]), KArg::Int(1)]));
-        ok(call(&mut k, &mut b, "mq_send", &[KArg::Int(d), KArg::Bytes(vec![2]), KArg::Int(1)]));
+        let d = ok(call(
+            &mut k,
+            &mut b,
+            "mq_open",
+            &[KArg::Int(0), KArg::Int(16), KArg::Int(2)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "mq_send",
+            &[KArg::Int(d), KArg::Bytes(vec![1]), KArg::Int(1)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "mq_send",
+            &[KArg::Int(d), KArg::Bytes(vec![2]), KArg::Int(1)],
+        ));
         // Full + expired + near-miss priorities: plain ETIMEDOUT.
         for prio in [5u64, 26, 28] {
             assert!(matches!(
-                call(&mut k, &mut b, "nxmq_timedsend", &[KArg::Int(d), KArg::Bytes(vec![3]), KArg::Int(prio), KArg::Int(0)]),
+                call(
+                    &mut k,
+                    &mut b,
+                    "nxmq_timedsend",
+                    &[
+                        KArg::Int(d),
+                        KArg::Bytes(vec![3]),
+                        KArg::Int(prio),
+                        KArg::Int(0)
+                    ]
+                ),
                 InvokeResult::Err(-110)
             ));
         }
         // Full + expired + prio 27 but an over-long message: ETIMEDOUT.
         assert!(matches!(
-            call(&mut k, &mut b, "nxmq_timedsend", &[KArg::Int(d), KArg::Bytes(vec![9; 8]), KArg::Int(27), KArg::Int(0)]),
+            call(
+                &mut k,
+                &mut b,
+                "nxmq_timedsend",
+                &[
+                    KArg::Int(d),
+                    KArg::Bytes(vec![9; 8]),
+                    KArg::Int(27),
+                    KArg::Int(0)
+                ]
+            ),
             InvokeResult::Err(-110)
         ));
         // Not-full + expired + the magic prio: sends fine.
         ok(call(&mut k, &mut b, "mq_receive", &[KArg::Int(d)]));
-        ok(call(&mut k, &mut b, "nxmq_timedsend", &[KArg::Int(d), KArg::Bytes(vec![4]), KArg::Int(27), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "nxmq_timedsend",
+            &[
+                KArg::Int(d),
+                KArg::Bytes(vec![4]),
+                KArg::Int(27),
+                KArg::Int(0),
+            ],
+        ));
         // Full + expired + priority 27 + inline-sized message: panic.
-        let r = call(&mut k, &mut b, "nxmq_timedsend", &[KArg::Int(d), KArg::Bytes(vec![5]), KArg::Int(27), KArg::Int(0)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "nxmq_timedsend",
+            &[
+                KArg::Int(d),
+                KArg::Bytes(vec![5]),
+                KArg::Int(27),
+                KArg::Int(0),
+            ],
+        );
         assert!(is_bug(&r, 16));
     }
 
@@ -768,16 +1078,30 @@ mod tests {
     fn bug18_monotonic_sigev_thread_large_aligned_cookie() {
         let mut k = NuttxKernel::new();
         let mut b = bus();
-        for (clock, notify, cookie) in [(0, 2, 512), (1, 1, 512), (1, 2, 500), (1, 2, 100), (1, 2, 513)] {
+        for (clock, notify, cookie) in [
+            (0, 2, 512),
+            (1, 1, 512),
+            (1, 2, 500),
+            (1, 2, 100),
+            (1, 2, 513),
+        ] {
             let r = call(
                 &mut k,
                 &mut b,
                 "timer_create",
                 &[KArg::Int(clock), KArg::Int(notify), KArg::Int(cookie)],
             );
-            assert!(!r.is_fault(), "clock={clock} notify={notify} cookie={cookie}");
+            assert!(
+                !r.is_fault(),
+                "clock={clock} notify={notify} cookie={cookie}"
+            );
         }
-        let r = call(&mut k, &mut b, "timer_create", &[KArg::Int(1), KArg::Int(2), KArg::Int(512)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "timer_create",
+            &[KArg::Int(1), KArg::Int(2), KArg::Int(512)],
+        );
         assert!(is_bug(&r, 18));
     }
 
@@ -785,9 +1109,26 @@ mod tests {
     fn bug19_boottime_misaligned() {
         let mut k = NuttxKernel::new();
         let mut b = bus();
-        assert!(!call(&mut k, &mut b, "clock_getres", &[KArg::Int(7), KArg::Int(4)]).is_fault());
-        assert!(!call(&mut k, &mut b, "clock_getres", &[KArg::Int(0), KArg::Int(3)]).is_fault());
-        let r = call(&mut k, &mut b, "clock_getres", &[KArg::Int(7), KArg::Int(3)]);
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "clock_getres",
+            &[KArg::Int(7), KArg::Int(4)]
+        )
+        .is_fault());
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "clock_getres",
+            &[KArg::Int(0), KArg::Int(3)]
+        )
+        .is_fault());
+        let r = call(
+            &mut k,
+            &mut b,
+            "clock_getres",
+            &[KArg::Int(7), KArg::Int(3)],
+        );
         assert!(is_bug(&r, 19));
     }
 
@@ -795,9 +1136,26 @@ mod tests {
     fn env_roundtrip_through_api() {
         let mut k = NuttxKernel::new();
         let mut b = bus();
-        ok(call(&mut k, &mut b, "setenv", &[KArg::Str("HOME".into()), KArg::Str("/root".into()), KArg::Int(1)]));
-        assert_eq!(ok(call(&mut k, &mut b, "getenv", &[KArg::Str("HOME".into())])), 5);
-        ok(call(&mut k, &mut b, "unsetenv", &[KArg::Str("HOME".into())]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "setenv",
+            &[
+                KArg::Str("HOME".into()),
+                KArg::Str("/root".into()),
+                KArg::Int(1),
+            ],
+        ));
+        assert_eq!(
+            ok(call(&mut k, &mut b, "getenv", &[KArg::Str("HOME".into())])),
+            5
+        );
+        ok(call(
+            &mut k,
+            &mut b,
+            "unsetenv",
+            &[KArg::Str("HOME".into())],
+        ));
         assert!(matches!(
             call(&mut k, &mut b, "getenv", &[KArg::Str("HOME".into())]),
             InvokeResult::Err(-2)
@@ -808,9 +1166,24 @@ mod tests {
     fn mq_priority_through_api() {
         let mut k = NuttxKernel::new();
         let mut b = bus();
-        let d = ok(call(&mut k, &mut b, "mq_open", &[KArg::Int(1), KArg::Int(16), KArg::Int(4)]));
-        ok(call(&mut k, &mut b, "mq_send", &[KArg::Int(d), KArg::Bytes(vec![1]), KArg::Int(2)]));
-        ok(call(&mut k, &mut b, "mq_send", &[KArg::Int(d), KArg::Bytes(vec![2]), KArg::Int(9)]));
+        let d = ok(call(
+            &mut k,
+            &mut b,
+            "mq_open",
+            &[KArg::Int(1), KArg::Int(16), KArg::Int(4)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "mq_send",
+            &[KArg::Int(d), KArg::Bytes(vec![1]), KArg::Int(2)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "mq_send",
+            &[KArg::Int(d), KArg::Bytes(vec![2]), KArg::Int(9)],
+        ));
         assert_eq!(ok(call(&mut k, &mut b, "mq_receive", &[KArg::Int(d)])), 9);
     }
 
@@ -818,10 +1191,25 @@ mod tests {
     fn timer_lifecycle() {
         let mut k = NuttxKernel::new();
         let mut b = bus();
-        let t = ok(call(&mut k, &mut b, "timer_create", &[KArg::Int(0), KArg::Int(1), KArg::Int(0)]));
-        ok(call(&mut k, &mut b, "timer_settime", &[KArg::Int(t), KArg::Int(5)]));
+        let t = ok(call(
+            &mut k,
+            &mut b,
+            "timer_create",
+            &[KArg::Int(0), KArg::Int(1), KArg::Int(0)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "timer_settime",
+            &[KArg::Int(t), KArg::Int(5)],
+        ));
         ok(call(&mut k, &mut b, "sched_tick", &[KArg::Int(10)]));
-        ok(call(&mut k, &mut b, "timer_settime", &[KArg::Int(t), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "timer_settime",
+            &[KArg::Int(t), KArg::Int(0)],
+        ));
         ok(call(&mut k, &mut b, "timer_delete", &[KArg::Int(t)]));
     }
 

@@ -92,7 +92,14 @@ impl PokKernel {
                        returns: Option<&'static str>,
                        module: &'static str,
                        doc: &'static str| {
-            let d = ApiDescriptor { id, name, args, returns, module, doc };
+            let d = ApiDescriptor {
+                id,
+                name,
+                args,
+                returns,
+                module,
+                doc,
+            };
             id += 1;
             d
         };
@@ -105,14 +112,21 @@ impl PokKernel {
         ));
         v.push(api(
             "pok_partition_set_mode",
-            vec![a_res("part", "partition"), a_enum("mode", "part_modes", PART_MODES)],
+            vec![
+                a_res("part", "partition"),
+                a_enum("mode", "part_modes", PART_MODES),
+            ],
             None,
             "partition",
             "Transition a partition's operating mode.",
         ));
         v.push(api(
             "pok_port_create",
-            vec![a_enum("name", "port_names", PORT_NAMES), a_enum("dir", "port_dirs", PORT_DIRS), a_int("size", 1, 128)],
+            vec![
+                a_enum("name", "port_names", PORT_NAMES),
+                a_enum("dir", "port_dirs", PORT_DIRS),
+                a_int("size", 1, 128),
+            ],
             Some("port"),
             "port",
             "Create a queuing port.",
@@ -124,10 +138,19 @@ impl PokKernel {
             "port",
             "Send through a SOURCE port.",
         ));
-        v.push(api("pok_port_receive", vec![a_res("port", "port")], None, "port", "Receive from a DESTINATION port."));
+        v.push(api(
+            "pok_port_receive",
+            vec![a_res("port", "port")],
+            None,
+            "port",
+            "Receive from a DESTINATION port.",
+        ));
         v.push(api(
             "pok_blackboard_create",
-            vec![a_enum("name", "port_names", PORT_NAMES), a_int("size", 1, 128)],
+            vec![
+                a_enum("name", "port_names", PORT_NAMES),
+                a_int("size", 1, 128),
+            ],
             Some("blackboard"),
             "blackboard",
             "Create a blackboard.",
@@ -139,7 +162,13 @@ impl PokKernel {
             "blackboard",
             "Publish a message on a blackboard.",
         ));
-        v.push(api("pok_blackboard_read", vec![a_res("bb", "blackboard")], None, "blackboard", "Read the current message."));
+        v.push(api(
+            "pok_blackboard_read",
+            vec![a_res("bb", "blackboard")],
+            None,
+            "blackboard",
+            "Read the current message.",
+        ));
         v.push(api(
             "pok_sched_slot",
             vec![a_int("n", 1, 16)],
@@ -149,7 +178,10 @@ impl PokKernel {
         ));
         v.push(api(
             "pok_error_raise",
-            vec![a_res("part", "partition"), a_enum("code", "error_codes", ERROR_CODES)],
+            vec![
+                a_res("part", "partition"),
+                a_enum("code", "error_codes", ERROR_CODES),
+            ],
             None,
             "kernel",
             "Raise a health-monitor error against a partition.",
@@ -168,8 +200,20 @@ impl PokKernel {
             "buffer",
             "Send a message into a buffer.",
         ));
-        v.push(api("pok_buffer_receive", vec![a_res("buf", "msgbuf")], None, "buffer", "Receive the oldest message."));
-        v.push(api("pok_event_create", vec![], Some("event"), "event", "Create an ARINC event."));
+        v.push(api(
+            "pok_buffer_receive",
+            vec![a_res("buf", "msgbuf")],
+            None,
+            "buffer",
+            "Receive the oldest message.",
+        ));
+        v.push(api(
+            "pok_event_create",
+            vec![],
+            Some("event"),
+            "event",
+            "Create an ARINC event.",
+        ));
         v.push(api(
             "pok_event_set",
             vec![a_res("evt", "event"), a_int("bits", 1, 0xffff)],
@@ -179,12 +223,22 @@ impl PokKernel {
         ));
         v.push(api(
             "pok_event_wait",
-            vec![a_res("evt", "event"), a_int("mask", 1, 0xffff), a_int("wait_all", 0, 1)],
+            vec![
+                a_res("evt", "event"),
+                a_int("mask", 1, 0xffff),
+                a_int("wait_all", 0, 1),
+            ],
             None,
             "event",
             "Poll for event bits with AND/OR semantics.",
         ));
-        v.push(api("pok_event_reset", vec![a_res("evt", "event")], None, "event", "Clear all event bits."));
+        v.push(api(
+            "pok_event_reset",
+            vec![a_res("evt", "event")],
+            None,
+            "event",
+            "Clear all event bits.",
+        ));
         v.push(api(
             "pok_sem_create",
             vec![a_int("value", 0, 8), a_int("max", 1, 8)],
@@ -192,8 +246,20 @@ impl PokKernel {
             "sem",
             "Create a counting semaphore.",
         ));
-        v.push(api("pok_sem_wait", vec![a_res("sem", "sem")], None, "sem", "Take a semaphore (no wait)."));
-        v.push(api("pok_sem_signal", vec![a_res("sem", "sem")], None, "sem", "Signal a semaphore."));
+        v.push(api(
+            "pok_sem_wait",
+            vec![a_res("sem", "sem")],
+            None,
+            "sem",
+            "Take a semaphore (no wait).",
+        ));
+        v.push(api(
+            "pok_sem_signal",
+            vec![a_res("sem", "sem")],
+            None,
+            "sem",
+            "Signal a semaphore.",
+        ));
         v
     }
 }
@@ -334,10 +400,7 @@ impl Kernel for PokKernel {
                     return InvokeResult::Err(-5);
                 }
                 let name = p.name;
-                let src = self
-                    .ports
-                    .iter_mut()
-                    .find(|q| q.name == name && q.dir == 0);
+                let src = self.ports.iter_mut().find(|q| q.name == name && q.dir == 0);
                 match src.and_then(|q| {
                     if q.queue.is_empty() {
                         None
@@ -540,13 +603,36 @@ mod tests {
     fn partition_mode_machine() {
         let mut k = PokKernel::new();
         let mut b = bus();
-        let p = ok(call(&mut k, &mut b, "pok_partition_create", &[KArg::Int(2), KArg::Int(10)]));
+        let p = ok(call(
+            &mut k,
+            &mut b,
+            "pok_partition_create",
+            &[KArg::Int(2), KArg::Int(10)],
+        ));
         // COLD_START → NORMAL is legal.
-        assert_eq!(ok(call(&mut k, &mut b, "pok_partition_set_mode", &[KArg::Int(p), KArg::Int(3)])), 3);
+        assert_eq!(
+            ok(call(
+                &mut k,
+                &mut b,
+                "pok_partition_set_mode",
+                &[KArg::Int(p), KArg::Int(3)]
+            )),
+            3
+        );
         // NORMAL → IDLE, then IDLE → NORMAL is illegal.
-        ok(call(&mut k, &mut b, "pok_partition_set_mode", &[KArg::Int(p), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "pok_partition_set_mode",
+            &[KArg::Int(p), KArg::Int(0)],
+        ));
         assert!(matches!(
-            call(&mut k, &mut b, "pok_partition_set_mode", &[KArg::Int(p), KArg::Int(3)]),
+            call(
+                &mut k,
+                &mut b,
+                "pok_partition_set_mode",
+                &[KArg::Int(p), KArg::Int(3)]
+            ),
             InvokeResult::Err(-3)
         ));
     }
@@ -555,15 +641,38 @@ mod tests {
     fn port_channel_source_to_destination() {
         let mut k = PokKernel::new();
         let mut b = bus();
-        let src = ok(call(&mut k, &mut b, "pok_port_create", &[KArg::Int(0), KArg::Int(0), KArg::Int(32)]));
-        let dst = ok(call(&mut k, &mut b, "pok_port_create", &[KArg::Int(0), KArg::Int(1), KArg::Int(32)]));
+        let src = ok(call(
+            &mut k,
+            &mut b,
+            "pok_port_create",
+            &[KArg::Int(0), KArg::Int(0), KArg::Int(32)],
+        ));
+        let dst = ok(call(
+            &mut k,
+            &mut b,
+            "pok_port_create",
+            &[KArg::Int(0), KArg::Int(1), KArg::Int(32)],
+        ));
         // Duplicate (name, dir) is rejected.
         assert!(matches!(
-            call(&mut k, &mut b, "pok_port_create", &[KArg::Int(0), KArg::Int(0), KArg::Int(32)]),
+            call(
+                &mut k,
+                &mut b,
+                "pok_port_create",
+                &[KArg::Int(0), KArg::Int(0), KArg::Int(32)]
+            ),
             InvokeResult::Err(-4)
         ));
-        ok(call(&mut k, &mut b, "pok_port_send", &[KArg::Int(src), KArg::Bytes(b"msg".to_vec())]));
-        assert_eq!(ok(call(&mut k, &mut b, "pok_port_receive", &[KArg::Int(dst)])), 3);
+        ok(call(
+            &mut k,
+            &mut b,
+            "pok_port_send",
+            &[KArg::Int(src), KArg::Bytes(b"msg".to_vec())],
+        ));
+        assert_eq!(
+            ok(call(&mut k, &mut b, "pok_port_receive", &[KArg::Int(dst)])),
+            3
+        );
         assert!(matches!(
             call(&mut k, &mut b, "pok_port_receive", &[KArg::Int(dst)]),
             InvokeResult::Err(-8)
@@ -574,7 +683,12 @@ mod tests {
             InvokeResult::Err(-5)
         ));
         assert!(matches!(
-            call(&mut k, &mut b, "pok_port_send", &[KArg::Int(dst), KArg::Bytes(b"x".to_vec())]),
+            call(
+                &mut k,
+                &mut b,
+                "pok_port_send",
+                &[KArg::Int(dst), KArg::Bytes(b"x".to_vec())]
+            ),
             InvokeResult::Err(-5)
         ));
     }
@@ -583,15 +697,38 @@ mod tests {
     fn blackboard_display_read() {
         let mut k = PokKernel::new();
         let mut b = bus();
-        let bb = ok(call(&mut k, &mut b, "pok_blackboard_create", &[KArg::Int(2), KArg::Int(16)]));
+        let bb = ok(call(
+            &mut k,
+            &mut b,
+            "pok_blackboard_create",
+            &[KArg::Int(2), KArg::Int(16)],
+        ));
         assert!(matches!(
             call(&mut k, &mut b, "pok_blackboard_read", &[KArg::Int(bb)]),
             InvokeResult::Err(-8)
         ));
-        ok(call(&mut k, &mut b, "pok_blackboard_display", &[KArg::Int(bb), KArg::Bytes(b"state".to_vec())]));
-        assert_eq!(ok(call(&mut k, &mut b, "pok_blackboard_read", &[KArg::Int(bb)])), 5);
+        ok(call(
+            &mut k,
+            &mut b,
+            "pok_blackboard_display",
+            &[KArg::Int(bb), KArg::Bytes(b"state".to_vec())],
+        ));
+        assert_eq!(
+            ok(call(
+                &mut k,
+                &mut b,
+                "pok_blackboard_read",
+                &[KArg::Int(bb)]
+            )),
+            5
+        );
         assert!(matches!(
-            call(&mut k, &mut b, "pok_blackboard_display", &[KArg::Int(bb), KArg::Bytes(vec![0; 64])]),
+            call(
+                &mut k,
+                &mut b,
+                "pok_blackboard_display",
+                &[KArg::Int(bb), KArg::Bytes(vec![0; 64])]
+            ),
             InvokeResult::Err(-6)
         ));
     }
@@ -600,17 +737,37 @@ mod tests {
     fn health_monitor_idles_partition() {
         let mut k = PokKernel::new();
         let mut b = bus();
-        let p = ok(call(&mut k, &mut b, "pok_partition_create", &[KArg::Int(1), KArg::Int(10)]));
-        ok(call(&mut k, &mut b, "pok_partition_set_mode", &[KArg::Int(p), KArg::Int(3)]));
+        let p = ok(call(
+            &mut k,
+            &mut b,
+            "pok_partition_create",
+            &[KArg::Int(1), KArg::Int(10)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "pok_partition_set_mode",
+            &[KArg::Int(p), KArg::Int(3)],
+        ));
         for i in 1..=3u64 {
             assert_eq!(
-                ok(call(&mut k, &mut b, "pok_error_raise", &[KArg::Int(p), KArg::Int(2)])),
+                ok(call(
+                    &mut k,
+                    &mut b,
+                    "pok_error_raise",
+                    &[KArg::Int(p), KArg::Int(2)]
+                )),
                 i
             );
         }
         // Partition is now IDLE; NORMAL re-entry is illegal.
         assert!(matches!(
-            call(&mut k, &mut b, "pok_partition_set_mode", &[KArg::Int(p), KArg::Int(3)]),
+            call(
+                &mut k,
+                &mut b,
+                "pok_partition_set_mode",
+                &[KArg::Int(p), KArg::Int(3)]
+            ),
             InvokeResult::Err(-3)
         ));
     }
@@ -619,7 +776,13 @@ mod tests {
     fn sched_slots_accumulate() {
         let mut k = PokKernel::new();
         let mut b = bus();
-        assert_eq!(ok(call(&mut k, &mut b, "pok_sched_slot", &[KArg::Int(4)])), 4);
-        assert_eq!(ok(call(&mut k, &mut b, "pok_sched_slot", &[KArg::Int(4)])), 8);
+        assert_eq!(
+            ok(call(&mut k, &mut b, "pok_sched_slot", &[KArg::Int(4)])),
+            4
+        );
+        assert_eq!(
+            ok(call(&mut k, &mut b, "pok_sched_slot", &[KArg::Int(4)])),
+            8
+        );
     }
 }

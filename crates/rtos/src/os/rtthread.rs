@@ -35,11 +35,7 @@ const EVENT_OPTS: &[(&str, u64)] = &[
     ("RT_EVENT_FLAG_OR", 0x2),
     ("RT_EVENT_FLAG_CLEAR", 0x4),
 ];
-const SOCK_DOMAINS: &[(&str, u64)] = &[
-    ("AF_UNIX", 1),
-    ("AF_INET", 2),
-    ("AF_INET6", 10),
-];
+const SOCK_DOMAINS: &[(&str, u64)] = &[("AF_UNIX", 1), ("AF_INET", 2), ("AF_INET6", 10)];
 const SOCK_TYPES: &[(&str, u64)] = &[("SOCK_STREAM", 1), ("SOCK_DGRAM", 2)];
 const DEV_FLAGS: &[(&str, u64)] = &[
     ("RT_DEVICE_FLAG_RDONLY", 0x001),
@@ -113,18 +109,35 @@ impl RtThreadKernel {
                        returns: Option<&'static str>,
                        module: &'static str,
                        doc: &'static str| {
-            let d = ApiDescriptor { id, name, args, returns, module, doc };
+            let d = ApiDescriptor {
+                id,
+                name,
+                args,
+                returns,
+                module,
+                doc,
+            };
             id += 1;
             d
         };
         v.push(api(
             "rt_thread_create",
-            vec![a_str("name", 15), a_int("priority", 0, 31), a_int("stack_size", 128, 4096)],
+            vec![
+                a_str("name", 15),
+                a_int("priority", 0, 31),
+                a_int("stack_size", 128, 4096),
+            ],
             Some("thread"),
             "thread",
             "Create a thread registered as a kernel object.",
         ));
-        v.push(api("rt_thread_delete", vec![a_res("thread", "thread")], None, "thread", "Delete a thread."));
+        v.push(api(
+            "rt_thread_delete",
+            vec![a_res("thread", "thread")],
+            None,
+            "thread",
+            "Delete a thread.",
+        ));
         v.push(api(
             "rt_object_init",
             vec![a_enum("type", "obj_class", OBJ_CLASSES), a_str("name", 15)],
@@ -132,8 +145,20 @@ impl RtThreadKernel {
             "kernel",
             "Register a static kernel object in the typed container.",
         ));
-        v.push(api("rt_object_detach", vec![a_res("object", "object")], None, "kernel", "Detach an object from its container."));
-        v.push(api("rt_object_get_type", vec![a_res("object", "object")], None, "kernel", "Read an object's class tag."));
+        v.push(api(
+            "rt_object_detach",
+            vec![a_res("object", "object")],
+            None,
+            "kernel",
+            "Detach an object from its container.",
+        ));
+        v.push(api(
+            "rt_object_get_type",
+            vec![a_res("object", "object")],
+            None,
+            "kernel",
+            "Read an object's class tag.",
+        ));
         v.push(api(
             "rt_object_find",
             vec![a_enum("type", "obj_class", OBJ_CLASSES), a_str("name", 15)],
@@ -143,14 +168,21 @@ impl RtThreadKernel {
         ));
         v.push(api(
             "rt_service_check",
-            vec![a_enum("type", "obj_class", OBJ_CLASSES), a_int("max_depth", 0, 4096)],
+            vec![
+                a_enum("type", "obj_class", OBJ_CLASSES),
+                a_int("max_depth", 0, 4096),
+            ],
             None,
             "service",
             "Walk a class container up to max_depth nodes, checking list integrity.",
         ));
         v.push(api(
             "rt_mp_create",
-            vec![a_str("name", 15), a_int("block_size", 4, 128), a_int("block_count", 1, 8)],
+            vec![
+                a_str("name", 15),
+                a_int("block_size", 4, 128),
+                a_int("block_count", 1, 8),
+            ],
             Some("mempool"),
             "memory",
             "Create a fixed-block memory pool.",
@@ -169,8 +201,20 @@ impl RtThreadKernel {
             "memory",
             "Return a block to its pool.",
         ));
-        v.push(api("rt_mp_delete", vec![a_res("mp", "mempool")], None, "memory", "Delete a memory pool."));
-        v.push(api("rt_event_create", vec![a_str("name", 15)], Some("event"), "ipc", "Create an event object."));
+        v.push(api(
+            "rt_mp_delete",
+            vec![a_res("mp", "mempool")],
+            None,
+            "memory",
+            "Delete a memory pool.",
+        ));
+        v.push(api(
+            "rt_event_create",
+            vec![a_str("name", 15)],
+            Some("event"),
+            "ipc",
+            "Create an event object.",
+        ));
         v.push(api(
             "rt_event_send",
             vec![a_res("event", "event"), a_int("set", 0, 0xffff_ffff)],
@@ -180,16 +224,50 @@ impl RtThreadKernel {
         ));
         v.push(api(
             "rt_event_recv",
-            vec![a_res("event", "event"), a_int("set", 1, 0xffff_ffff), a_enum("option", "event_opts", EVENT_OPTS)],
+            vec![
+                a_res("event", "event"),
+                a_int("set", 1, 0xffff_ffff),
+                a_enum("option", "event_opts", EVENT_OPTS),
+            ],
             None,
             "ipc",
             "Receive event flags with AND/OR/CLEAR options.",
         ));
-        v.push(api("rt_event_delete", vec![a_res("event", "event")], None, "ipc", "Delete an event object."));
-        v.push(api("rt_malloc", vec![a_int("size", 1, 8192)], Some("mem"), "heap", "Allocate from the system heap."));
-        v.push(api("rt_free", vec![a_res("ptr", "mem")], None, "heap", "Free a system-heap allocation."));
-        v.push(api("rt_enter_critical", vec![], None, "kernel", "Disable the scheduler (nestable)."));
-        v.push(api("rt_exit_critical", vec![], None, "kernel", "Re-enable the scheduler."));
+        v.push(api(
+            "rt_event_delete",
+            vec![a_res("event", "event")],
+            None,
+            "ipc",
+            "Delete an event object.",
+        ));
+        v.push(api(
+            "rt_malloc",
+            vec![a_int("size", 1, 8192)],
+            Some("mem"),
+            "heap",
+            "Allocate from the system heap.",
+        ));
+        v.push(api(
+            "rt_free",
+            vec![a_res("ptr", "mem")],
+            None,
+            "heap",
+            "Free a system-heap allocation.",
+        ));
+        v.push(api(
+            "rt_enter_critical",
+            vec![],
+            None,
+            "kernel",
+            "Disable the scheduler (nestable).",
+        ));
+        v.push(api(
+            "rt_exit_critical",
+            vec![],
+            None,
+            "kernel",
+            "Re-enable the scheduler.",
+        ));
         v.push(api(
             "rt_smem_init",
             vec![a_int("size", 64, 4096)],
@@ -204,7 +282,13 @@ impl RtThreadKernel {
             "memory",
             "Set the debug name of a small-memory region.",
         ));
-        v.push(api("rt_console_device", vec![], Some("device"), "serial", "Get the console serial device."));
+        v.push(api(
+            "rt_console_device",
+            vec![],
+            Some("device"),
+            "serial",
+            "Get the console serial device.",
+        ));
         v.push(api(
             "rt_device_register",
             vec![a_str("name", 15)],
@@ -212,11 +296,26 @@ impl RtThreadKernel {
             "serial",
             "Register a new serial device.",
         ));
-        v.push(api("rt_device_close", vec![a_res("dev", "device")], None, "serial", "Close an open device."));
-        v.push(api("rt_device_unregister", vec![a_res("dev", "device")], None, "serial", "Unregister a closed device (entry becomes stale)."));
+        v.push(api(
+            "rt_device_close",
+            vec![a_res("dev", "device")],
+            None,
+            "serial",
+            "Close an open device.",
+        ));
+        v.push(api(
+            "rt_device_unregister",
+            vec![a_res("dev", "device")],
+            None,
+            "serial",
+            "Unregister a closed device (entry becomes stale).",
+        ));
         v.push(api(
             "rt_device_open",
-            vec![a_res("dev", "device"), a_enum("oflag", "dev_flags", DEV_FLAGS)],
+            vec![
+                a_res("dev", "device"),
+                a_enum("oflag", "dev_flags", DEV_FLAGS),
+            ],
             None,
             "serial",
             "Open a device with flags.",
@@ -240,7 +339,13 @@ impl RtThreadKernel {
             "sal",
             "Pseudo-syscall: create a socket, log the creation banner, bind it.",
         ));
-        v.push(api("closesocket", vec![a_res("sock", "sock")], None, "sal", "Close a socket."));
+        v.push(api(
+            "closesocket",
+            vec![a_res("sock", "sock")],
+            None,
+            "sal",
+            "Close a socket.",
+        ));
         v.push(api(
             "sal_send",
             vec![a_res("sock", "sock"), a_bytes("data", 128)],
@@ -248,7 +353,13 @@ impl RtThreadKernel {
             "sal",
             "Send bytes on a socket.",
         ));
-        v.push(api("rt_tick_increase", vec![a_int("n", 1, 10)], None, "kernel", "Advance the kernel tick."));
+        v.push(api(
+            "rt_tick_increase",
+            vec![a_int("n", 1, 10)],
+            None,
+            "kernel",
+            "Advance the kernel tick.",
+        ));
         v
     }
 
@@ -265,11 +376,18 @@ impl RtThreadKernel {
     /// The kernel log path: `rt_kprintf` → `_kputs` → `rt_device_write`
     /// on the console. If the console device is stale, this is bug #12 —
     /// the Figure-6 backtrace, innermost frame first.
-    fn kprintf(&mut self, ctx: &mut ExecCtx<'_>, line: &str, via: &'static str) -> Result<(), KernelFault> {
-        match self
-            .serial
-            .write(ctx, "rt-thread::serial::rt_serial_write", self.console, line.as_bytes())
-        {
+    fn kprintf(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        line: &str,
+        via: &'static str,
+    ) -> Result<(), KernelFault> {
+        match self.serial.write(
+            ctx,
+            "rt-thread::serial::rt_serial_write",
+            self.console,
+            line.as_bytes(),
+        ) {
             Ok(_) => {
                 ctx.klog(line);
                 Ok(())
@@ -313,13 +431,19 @@ impl Kernel for RtThreadKernel {
             eof_hal::irq::GPIO => {
                 ctx.cov("rt-thread::isr::gpio::entry");
                 ctx.charge(3);
-                ctx.cov_var("rt-thread::isr::gpio::live_objs", (self.objects.live_count() as u64).min(15));
+                ctx.cov_var(
+                    "rt-thread::isr::gpio::live_objs",
+                    (self.objects.live_count() as u64).min(15),
+                );
                 InvokeResult::Ok(0)
             }
             eof_hal::irq::SERIAL_RX => {
                 ctx.cov("rt-thread::isr::uart_rx::entry");
                 ctx.charge(3 + payload.len() as u64 / 4);
-                ctx.cov_var("rt-thread::isr::uart_rx::len_band", (payload.len() as u64 / 4).min(15));
+                ctx.cov_var(
+                    "rt-thread::isr::uart_rx::len_band",
+                    (payload.len() as u64 / 4).min(15),
+                );
                 InvokeResult::Ok(payload.len() as u64)
             }
             _ => InvokeResult::Err(-38),
@@ -369,7 +493,12 @@ impl Kernel for RtThreadKernel {
                     arg_int(args, 2) as u32,
                 ) {
                     Ok(h) => {
-                        let _ = self.objects.init(ctx, "rt-thread::kernel::rt_object_init", ObjClass::Thread, &name);
+                        let _ = self.objects.init(
+                            ctx,
+                            "rt-thread::kernel::rt_object_init",
+                            ObjClass::Thread,
+                            &name,
+                        );
                         InvokeResult::Ok(h as u64)
                     }
                     Err(SchedError::NameTooLong) => InvokeResult::Err(-4),
@@ -377,7 +506,11 @@ impl Kernel for RtThreadKernel {
                 }
             }
             // rt_thread_delete
-            1 => match self.sched.delete(ctx, "rt-thread::thread::rt_thread_delete", arg_int(args, 0) as u32) {
+            1 => match self.sched.delete(
+                ctx,
+                "rt-thread::thread::rt_thread_delete",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(_) => InvokeResult::Err(-3),
             },
@@ -385,7 +518,10 @@ impl Kernel for RtThreadKernel {
             2 => {
                 let class = obj_class_of(arg_int(args, 0));
                 let name = arg_str(args, 1);
-                match self.objects.init(ctx, "rt-thread::kernel::rt_object_init", class, name) {
+                match self
+                    .objects
+                    .init(ctx, "rt-thread::kernel::rt_object_init", class, name)
+                {
                     Ok(h) => InvokeResult::Ok(h as u64),
                     // Bug #8: RT_ASSERT(name != RT_NULL) passes for an
                     // empty string; only the timer class then takes the
@@ -406,12 +542,20 @@ impl Kernel for RtThreadKernel {
                 }
             }
             // rt_object_detach
-            3 => match self.objects.detach(ctx, "rt-thread::kernel::rt_object_detach", arg_int(args, 0) as u32) {
+            3 => match self.objects.detach(
+                ctx,
+                "rt-thread::kernel::rt_object_detach",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(e) => Self::map_obj(e),
             },
             // rt_object_get_type — bug #5.
-            4 => match self.objects.get_type(ctx, "rt-thread::kernel::rt_object_get_type", arg_int(args, 0) as u32) {
+            4 => match self.objects.get_type(
+                ctx,
+                "rt-thread::kernel::rt_object_get_type",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok((tag, false)) => InvokeResult::Ok(tag as u64),
                 // Bug #5: only the *device* teardown path poisons the
                 // type field on detach; reading a detached device's tag
@@ -419,7 +563,9 @@ impl Kernel for RtThreadKernel {
                 // the stale-but-valid tag.
                 Ok((tag, true)) if tag == ObjClass::Device.tag() => {
                     ctx.cov("rt-thread::kernel::rt_object_get_type::detached");
-                    ctx.klog("(rt_object_get_type(obj) < RT_Object_Class_Unknown) assertion failed");
+                    ctx.klog(
+                        "(rt_object_get_type(obj) < RT_Object_Class_Unknown) assertion failed",
+                    );
                     InvokeResult::Fault(KernelFault::bug(
                         BugId::B05ObjectGetType,
                         FaultKind::Assertion,
@@ -437,7 +583,12 @@ impl Kernel for RtThreadKernel {
             // rt_object_find
             5 => {
                 let class = obj_class_of(arg_int(args, 0));
-                match self.objects.find(ctx, "rt-thread::kernel::rt_object_find", class, arg_str(args, 1)) {
+                match self.objects.find(
+                    ctx,
+                    "rt-thread::kernel::rt_object_find",
+                    class,
+                    arg_str(args, 1),
+                ) {
                     Some(h) => InvokeResult::Ok(h as u64),
                     None => InvokeResult::Err(-3),
                 }
@@ -445,9 +596,11 @@ impl Kernel for RtThreadKernel {
             // rt_service_check — bug #6.
             6 => {
                 let class = obj_class_of(arg_int(args, 0));
-                let (empty, poisoned) =
-                    self.objects
-                        .container_is_empty(ctx, "rt-thread::service::rt_list_isempty", class);
+                let (empty, poisoned) = self.objects.container_is_empty(
+                    ctx,
+                    "rt-thread::service::rt_list_isempty",
+                    class,
+                );
                 let max_depth = arg_int(args, 1);
                 // Breadcrumb ladder: the walker's bail-out comparison
                 // dispatches per depth bound on a poisoned container —
@@ -487,7 +640,12 @@ impl Kernel for RtThreadKernel {
                 }
                 let bs = arg_int(args, 1).clamp(4, 128) as u32;
                 let count = arg_int(args, 2).clamp(1, 8) as usize;
-                let _ = self.objects.init(ctx, "rt-thread::kernel::rt_object_init", ObjClass::MemPool, name);
+                let _ = self.objects.init(
+                    ctx,
+                    "rt-thread::kernel::rt_object_init",
+                    ObjClass::MemPool,
+                    name,
+                );
                 self.pools.push(Some(MemoryPool::new(name, bs, count)));
                 InvokeResult::Ok(self.pools.len() as u64 - 1)
             }
@@ -495,7 +653,10 @@ impl Kernel for RtThreadKernel {
             8 => {
                 let h = arg_int(args, 0) as usize;
                 let flags = arg_int(args, 1);
-                ctx.cov_var("rt-thread::memory::rt_mp_alloc::flags_band", (flags / 16).min(31));
+                ctx.cov_var(
+                    "rt-thread::memory::rt_mp_alloc::flags_band",
+                    (flags / 16).min(31),
+                );
                 let Some(Some(p)) = self.pools.get_mut(h) else {
                     return InvokeResult::Err(-3);
                 };
@@ -503,7 +664,10 @@ impl Kernel for RtThreadKernel {
                 // per flag value (a jump table in the real code), so each
                 // flag reached on an exhausted pool is its own edge.
                 if p.is_exhausted() {
-                    ctx.cov_var("rt-thread::memory::rt_mp_alloc::exhausted_flags", flags.min(255));
+                    ctx.cov_var(
+                        "rt-thread::memory::rt_mp_alloc::exhausted_flags",
+                        flags.min(255),
+                    );
                 }
                 // Bug #7: RT_MP_SUSPEND_RETRY (0x5A) on an exhausted pool
                 // re-reads the free list head after it was nulled.
@@ -530,7 +694,11 @@ impl Kernel for RtThreadKernel {
                 let Some(Some(p)) = self.pools.get_mut(h) else {
                     return InvokeResult::Err(-3);
                 };
-                match p.free(ctx, "rt-thread::memory::rt_mp_free", arg_int(args, 1) as u32) {
+                match p.free(
+                    ctx,
+                    "rt-thread::memory::rt_mp_free",
+                    arg_int(args, 1) as u32,
+                ) {
                     Ok(()) => InvokeResult::Ok(0),
                     Err(_) => InvokeResult::Err(-3),
                 }
@@ -553,7 +721,12 @@ impl Kernel for RtThreadKernel {
                 if name.is_empty() || name.len() > 15 {
                     return InvokeResult::Err(-4);
                 }
-                let _ = self.objects.init(ctx, "rt-thread::kernel::rt_object_init", ObjClass::Event, name);
+                let _ = self.objects.init(
+                    ctx,
+                    "rt-thread::kernel::rt_object_init",
+                    ObjClass::Event,
+                    name,
+                );
                 self.events.push(EventGroup::new());
                 InvokeResult::Ok(self.events.len() as u64 - 1)
             }
@@ -587,7 +760,11 @@ impl Kernel for RtThreadKernel {
                     }
                     return InvokeResult::Err(-3);
                 }
-                match e.send(ctx, "rt-thread::ipc::rt_event_send", arg_int(args, 1) as u32) {
+                match e.send(
+                    ctx,
+                    "rt-thread::ipc::rt_event_send",
+                    arg_int(args, 1) as u32,
+                ) {
                     Ok(bits) => InvokeResult::Ok(bits as u64),
                     Err(IpcError::Empty) => InvokeResult::Err(-7),
                     Err(_) => InvokeResult::Err(-1),
@@ -649,7 +826,10 @@ impl Kernel for RtThreadKernel {
                 }
             }
             // rt_free
-            16 => match self.heap.free(ctx, "rt-thread::heap::rt_free", arg_int(args, 0) as u32) {
+            16 => match self
+                .heap
+                .free(ctx, "rt-thread::heap::rt_free", arg_int(args, 0) as u32)
+            {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(_) => InvokeResult::Err(-1),
             },
@@ -678,7 +858,10 @@ impl Kernel for RtThreadKernel {
             // rt_smem_setname — bug #11.
             20 => {
                 let name = arg_str(args, 1).to_string();
-                ctx.cov_var("rt-thread::memory::rt_smem_setname::len_band", (name.len() as u64 / 4).min(15));
+                ctx.cov_var(
+                    "rt-thread::memory::rt_smem_setname::len_band",
+                    (name.len() as u64 / 4).min(15),
+                );
                 let Some(s) = self.smems.get_mut(arg_int(args, 0) as usize) else {
                     return InvokeResult::Err(-3);
                 };
@@ -721,9 +904,17 @@ impl Kernel for RtThreadKernel {
                 if name.is_empty() || name.len() > 15 {
                     return InvokeResult::Err(-4);
                 }
-                match self.serial.register(ctx, "rt-thread::serial::rt_device_register", name) {
+                match self
+                    .serial
+                    .register(ctx, "rt-thread::serial::rt_device_register", name)
+                {
                     Ok(h) => {
-                        let _ = self.objects.init(ctx, "rt-thread::kernel::rt_object_init", ObjClass::Device, name);
+                        let _ = self.objects.init(
+                            ctx,
+                            "rt-thread::kernel::rt_object_init",
+                            ObjClass::Device,
+                            name,
+                        );
                         InvokeResult::Ok(h as u64)
                     }
                     Err(SerialError::DupName) => InvokeResult::Err(-1),
@@ -767,7 +958,10 @@ impl Kernel for RtThreadKernel {
             26 => {
                 let h = arg_int(args, 0) as u32;
                 let data = arg_bytes(args, 1).to_vec();
-                match self.serial.write(ctx, "rt-thread::serial::rt_serial_write", h, &data) {
+                match self
+                    .serial
+                    .write(ctx, "rt-thread::serial::rt_serial_write", h, &data)
+                {
                     Ok(n) => InvokeResult::Ok(n),
                     Err(_) => InvokeResult::Err(-3),
                 }
@@ -779,7 +973,10 @@ impl Kernel for RtThreadKernel {
                 let ty = arg_int(args, 1);
                 let proto = arg_int(args, 2);
                 let port = arg_int(args, 3).clamp(1, 65535) as u16;
-                match self.sal.socket(ctx, "rt-thread::sal::sal_socket", domain, ty, proto) {
+                match self
+                    .sal
+                    .socket(ctx, "rt-thread::sal::sal_socket", domain, ty, proto)
+                {
                     Ok(sock) => {
                         // sal_socket logs its banner via rt_kprintf. On a
                         // stale console the short banner is dropped by
@@ -788,8 +985,14 @@ impl Kernel for RtThreadKernel {
                         // plus a raw-protocol suffix — bypasses the guard
                         // and dies in rt_serial_write (bug #12).
                         if self.serial.is_stale(self.console) {
-                            ctx.cov_var("rt-thread::sal::sal_socket::lost_banner_port", (port as u64) / 4096);
-                            ctx.cov_var("rt-thread::sal::sal_socket::lost_banner_proto", (proto & 0xff).min(255));
+                            ctx.cov_var(
+                                "rt-thread::sal::sal_socket::lost_banner_port",
+                                (port as u64) / 4096,
+                            );
+                            ctx.cov_var(
+                                "rt-thread::sal::sal_socket::lost_banner_proto",
+                                (proto & 0xff).min(255),
+                            );
                             if port >= 0x8000 && proto & 0xff == 0x01 {
                                 if let Err(fault) = self.kprintf(
                                     ctx,
@@ -817,7 +1020,10 @@ impl Kernel for RtThreadKernel {
                 }
             }
             // closesocket
-            28 => match self.sal.close(ctx, "rt-thread::sal::closesocket", arg_int(args, 0) as u32) {
+            28 => match self
+                .sal
+                .close(ctx, "rt-thread::sal::closesocket", arg_int(args, 0) as u32)
+            {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(_) => InvokeResult::Err(-9),
             },
@@ -855,12 +1061,30 @@ mod tests {
         let mut k = RtThreadKernel::new();
         let mut b = bus();
         // Non-device classes survive a detached-type read.
-        let sem = ok(call(&mut k, &mut b, "rt_object_init", &[KArg::Int(2), KArg::Str("sem0".into())]));
+        let sem = ok(call(
+            &mut k,
+            &mut b,
+            "rt_object_init",
+            &[KArg::Int(2), KArg::Str("sem0".into())],
+        ));
         ok(call(&mut k, &mut b, "rt_object_detach", &[KArg::Int(sem)]));
         assert!(!call(&mut k, &mut b, "rt_object_get_type", &[KArg::Int(sem)]).is_fault());
         // The device class asserts.
-        let dev = ok(call(&mut k, &mut b, "rt_object_init", &[KArg::Int(5), KArg::Str("spi1".into())]));
-        assert_eq!(ok(call(&mut k, &mut b, "rt_object_get_type", &[KArg::Int(dev)])), 5);
+        let dev = ok(call(
+            &mut k,
+            &mut b,
+            "rt_object_init",
+            &[KArg::Int(5), KArg::Str("spi1".into())],
+        ));
+        assert_eq!(
+            ok(call(
+                &mut k,
+                &mut b,
+                "rt_object_get_type",
+                &[KArg::Int(dev)]
+            )),
+            5
+        );
         ok(call(&mut k, &mut b, "rt_object_detach", &[KArg::Int(dev)]));
         let r = call(&mut k, &mut b, "rt_object_get_type", &[KArg::Int(dev)]);
         assert!(is_bug(&r, 5));
@@ -870,20 +1094,42 @@ mod tests {
     fn bug6_needs_poison_and_bound_11() {
         let mut k = RtThreadKernel::new();
         let mut b = bus();
-        let o1 = ok(call(&mut k, &mut b, "rt_object_init", &[KArg::Int(4), KArg::Str("mp0".into())]));
+        let o1 = ok(call(
+            &mut k,
+            &mut b,
+            "rt_object_init",
+            &[KArg::Int(4), KArg::Str("mp0".into())],
+        ));
         ok(call(&mut k, &mut b, "rt_object_detach", &[KArg::Int(o1)]));
         // Clean container: any bound is fine.
-        assert!(!call(&mut k, &mut b, "rt_service_check", &[KArg::Int(4), KArg::Int(11)]).is_fault());
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "rt_service_check",
+            &[KArg::Int(4), KArg::Int(11)]
+        )
+        .is_fault());
         // Poisoned container with near-miss bounds: breadcrumbs only.
         let _ = call(&mut k, &mut b, "rt_object_detach", &[KArg::Int(o1)]);
         for bound in [0u64, 10, 12, 1000] {
             assert!(
-                !call(&mut k, &mut b, "rt_service_check", &[KArg::Int(4), KArg::Int(bound)]).is_fault(),
+                !call(
+                    &mut k,
+                    &mut b,
+                    "rt_service_check",
+                    &[KArg::Int(4), KArg::Int(bound)]
+                )
+                .is_fault(),
                 "bound {bound}"
             );
         }
         // Poisoned + bound 11: panic.
-        let r = call(&mut k, &mut b, "rt_service_check", &[KArg::Int(4), KArg::Int(11)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "rt_service_check",
+            &[KArg::Int(4), KArg::Int(11)],
+        );
         assert!(is_bug(&r, 6));
     }
 
@@ -897,16 +1143,36 @@ mod tests {
             "rt_mp_create",
             &[KArg::Str("mp".into()), KArg::Int(16), KArg::Int(2)],
         ));
-        ok(call(&mut k, &mut b, "rt_mp_alloc", &[KArg::Int(mp), KArg::Int(0)]));
-        ok(call(&mut k, &mut b, "rt_mp_alloc", &[KArg::Int(mp), KArg::Int(0)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_mp_alloc",
+            &[KArg::Int(mp), KArg::Int(0)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_mp_alloc",
+            &[KArg::Int(mp), KArg::Int(0)],
+        ));
         // Exhausted without the magic flag: plain error (near misses too).
         for flags in [0u64, 0x59, 0x5B, 0x50] {
             assert!(matches!(
-                call(&mut k, &mut b, "rt_mp_alloc", &[KArg::Int(mp), KArg::Int(flags)]),
+                call(
+                    &mut k,
+                    &mut b,
+                    "rt_mp_alloc",
+                    &[KArg::Int(mp), KArg::Int(flags)]
+                ),
                 InvokeResult::Err(-6)
             ));
         }
-        let r = call(&mut k, &mut b, "rt_mp_alloc", &[KArg::Int(mp), KArg::Int(0x5A)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "rt_mp_alloc",
+            &[KArg::Int(mp), KArg::Int(0x5A)],
+        );
         assert!(is_bug(&r, 7));
     }
 
@@ -916,15 +1182,30 @@ mod tests {
         let mut b = bus();
         // Empty names on other classes are a plain error.
         assert!(matches!(
-            call(&mut k, &mut b, "rt_object_init", &[KArg::Int(1), KArg::Str("".into())]),
+            call(
+                &mut k,
+                &mut b,
+                "rt_object_init",
+                &[KArg::Int(1), KArg::Str("".into())]
+            ),
             InvokeResult::Err(-4)
         ));
         // Empty name on the timer class asserts and hangs.
-        let r = call(&mut k, &mut b, "rt_object_init", &[KArg::Int(6), KArg::Str("".into())]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "rt_object_init",
+            &[KArg::Int(6), KArg::Str("".into())],
+        );
         assert!(is_bug(&r, 8));
         // Over-long names are only an error.
         assert!(matches!(
-            call(&mut k, &mut b, "rt_object_init", &[KArg::Int(1), KArg::Str("sixteen-chars-xx".into())]),
+            call(
+                &mut k,
+                &mut b,
+                "rt_object_init",
+                &[KArg::Int(1), KArg::Str("sixteen-chars-xx".into())]
+            ),
             InvokeResult::Err(-4)
         ));
     }
@@ -951,17 +1232,37 @@ mod tests {
     fn bug10_deleted_send_needs_dense_mask() {
         let mut k = RtThreadKernel::new();
         let mut b = bus();
-        let e = ok(call(&mut k, &mut b, "rt_event_create", &[KArg::Str("evt".into())]));
-        ok(call(&mut k, &mut b, "rt_event_send", &[KArg::Int(e), KArg::Int(0b1)]));
+        let e = ok(call(
+            &mut k,
+            &mut b,
+            "rt_event_create",
+            &[KArg::Str("evt".into())],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_event_send",
+            &[KArg::Int(e), KArg::Int(0b1)],
+        ));
         ok(call(&mut k, &mut b, "rt_event_delete", &[KArg::Int(e)]));
         // Sparse masks bounce off the NULL guard.
         assert!(matches!(
-            call(&mut k, &mut b, "rt_event_send", &[KArg::Int(e), KArg::Int(0b1)]),
+            call(
+                &mut k,
+                &mut b,
+                "rt_event_send",
+                &[KArg::Int(e), KArg::Int(0b1)]
+            ),
             InvokeResult::Err(-3)
         ));
         // A 26-bit-dense mask skips the guard's fast path: panic.
         let dense = u64::from(u32::MAX >> 6); // 26 ones.
-        let r = call(&mut k, &mut b, "rt_event_send", &[KArg::Int(e), KArg::Int(dense)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "rt_event_send",
+            &[KArg::Int(e), KArg::Int(dense)],
+        );
         assert!(is_bug(&r, 10));
     }
 
@@ -975,12 +1276,32 @@ mod tests {
         let off_slot = ok(call(&mut k, &mut b, "rt_smem_init", &[KArg::Int(128)]));
         let long = "a-very-long-region-name";
         // Long name on a large region: fine.
-        ok(call(&mut k, &mut b, "rt_smem_setname", &[KArg::Int(large), KArg::Str(long.into())]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_smem_setname",
+            &[KArg::Int(large), KArg::Str(long.into())],
+        ));
         // Small region of a near-miss size: fine (breadcrumb only).
-        ok(call(&mut k, &mut b, "rt_smem_setname", &[KArg::Int(off_slot), KArg::Str(long.into())]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_smem_setname",
+            &[KArg::Int(off_slot), KArg::Str(long.into())],
+        ));
         // Short name on the vulnerable region: fine.
-        ok(call(&mut k, &mut b, "rt_smem_setname", &[KArg::Int(small), KArg::Str("ok".into())]));
-        let r = call(&mut k, &mut b, "rt_smem_setname", &[KArg::Int(small), KArg::Str(long.into())]);
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_smem_setname",
+            &[KArg::Int(small), KArg::Str("ok".into())],
+        ));
+        let r = call(
+            &mut k,
+            &mut b,
+            "rt_smem_setname",
+            &[KArg::Int(small), KArg::Str(long.into())],
+        );
         assert!(is_bug(&r, 11));
     }
 
@@ -1005,7 +1326,12 @@ mod tests {
         ));
         // Close it, unregister it, then create a socket: Figure 6.
         ok(call(&mut k, &mut b, "rt_device_close", &[KArg::Int(con)]));
-        ok(call(&mut k, &mut b, "rt_device_unregister", &[KArg::Int(con)]));
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_device_unregister",
+            &[KArg::Int(con)],
+        ));
         // A mundane socket after the unregister only loses its banner
         // (the short-banner guard swallows it).
         assert!(!call(
@@ -1021,7 +1347,12 @@ mod tests {
             &mut k,
             &mut b,
             "syz_create_bind_socket",
-            &[KArg::Int(2), KArg::Int(1), KArg::Int(0x101), KArg::Int(48248)],
+            &[
+                KArg::Int(2),
+                KArg::Int(1),
+                KArg::Int(0x101),
+                KArg::Int(48248),
+            ],
         );
         assert!(is_bug(&r, 12));
         if let InvokeResult::Fault(f) = r {
@@ -1036,16 +1367,36 @@ mod tests {
     fn event_recv_options() {
         let mut k = RtThreadKernel::new();
         let mut b = bus();
-        let e = ok(call(&mut k, &mut b, "rt_event_create", &[KArg::Str("evt".into())]));
-        ok(call(&mut k, &mut b, "rt_event_send", &[KArg::Int(e), KArg::Int(0b0110)]));
+        let e = ok(call(
+            &mut k,
+            &mut b,
+            "rt_event_create",
+            &[KArg::Str("evt".into())],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_event_send",
+            &[KArg::Int(e), KArg::Int(0b0110)],
+        ));
         // AND on a superset mask blocks.
         assert!(matches!(
-            call(&mut k, &mut b, "rt_event_recv", &[KArg::Int(e), KArg::Int(0b1110), KArg::Int(0x1)]),
+            call(
+                &mut k,
+                &mut b,
+                "rt_event_recv",
+                &[KArg::Int(e), KArg::Int(0b1110), KArg::Int(0x1)]
+            ),
             InvokeResult::Err(-11)
         ));
         // OR+CLEAR succeeds.
         assert_eq!(
-            ok(call(&mut k, &mut b, "rt_event_recv", &[KArg::Int(e), KArg::Int(0b0100), KArg::Int(0x2 | 0x4)])),
+            ok(call(
+                &mut k,
+                &mut b,
+                "rt_event_recv",
+                &[KArg::Int(e), KArg::Int(0b0100), KArg::Int(0x2 | 0x4)]
+            )),
             0b0100
         );
     }
@@ -1054,9 +1405,19 @@ mod tests {
     fn zero_flag_event_send_is_error_not_bug() {
         let mut k = RtThreadKernel::new();
         let mut b = bus();
-        let e = ok(call(&mut k, &mut b, "rt_event_create", &[KArg::Str("evt".into())]));
+        let e = ok(call(
+            &mut k,
+            &mut b,
+            "rt_event_create",
+            &[KArg::Str("evt".into())],
+        ));
         assert!(matches!(
-            call(&mut k, &mut b, "rt_event_send", &[KArg::Int(e), KArg::Int(0)]),
+            call(
+                &mut k,
+                &mut b,
+                "rt_event_send",
+                &[KArg::Int(e), KArg::Int(0)]
+            ),
             InvokeResult::Err(-7)
         ));
     }

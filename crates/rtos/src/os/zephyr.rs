@@ -72,20 +72,49 @@ impl ZephyrKernel {
                        returns: Option<&'static str>,
                        module: &'static str,
                        doc: &'static str| {
-            let d = ApiDescriptor { id, name, args, returns, module, doc };
+            let d = ApiDescriptor {
+                id,
+                name,
+                args,
+                returns,
+                module,
+                doc,
+            };
             id += 1;
             d
         };
         v.push(api(
             "k_thread_create",
-            vec![a_str("name", 32), a_int("prio", 0, 15), a_int("stack_size", 256, 8192)],
+            vec![
+                a_str("name", 32),
+                a_int("prio", 0, 15),
+                a_int("stack_size", 256, 8192),
+            ],
             Some("thread"),
             "thread",
             "Create a thread under fully preemptive scheduling.",
         ));
-        v.push(api("k_thread_abort", vec![a_res("thread", "thread")], None, "thread", "Abort a thread."));
-        v.push(api("k_thread_suspend", vec![a_res("thread", "thread")], None, "thread", "Suspend a thread."));
-        v.push(api("k_thread_resume", vec![a_res("thread", "thread")], None, "thread", "Resume a thread."));
+        v.push(api(
+            "k_thread_abort",
+            vec![a_res("thread", "thread")],
+            None,
+            "thread",
+            "Abort a thread.",
+        ));
+        v.push(api(
+            "k_thread_suspend",
+            vec![a_res("thread", "thread")],
+            None,
+            "thread",
+            "Suspend a thread.",
+        ));
+        v.push(api(
+            "k_thread_resume",
+            vec![a_res("thread", "thread")],
+            None,
+            "thread",
+            "Resume a thread.",
+        ));
         v.push(api(
             "k_sleep",
             vec![a_res("thread", "thread"), a_int("ms", 0, 1000)],
@@ -93,7 +122,13 @@ impl ZephyrKernel {
             "thread",
             "Put a thread to sleep for a duration.",
         ));
-        v.push(api("k_yield", vec![], None, "kernel", "Yield the processor, running the scheduler."));
+        v.push(api(
+            "k_yield",
+            vec![],
+            None,
+            "kernel",
+            "Yield the processor, running the scheduler.",
+        ));
         v.push(api(
             "k_msgq_alloc_init",
             vec![a_int("max_msgs", 1, 16), a_int("msg_size", 1, 64)],
@@ -110,12 +145,21 @@ impl ZephyrKernel {
         ));
         v.push(api(
             "z_impl_k_msgq_get",
-            vec![a_res("msgq", "msgq"), a_enum("timeout", "k_timeout", K_TIMEOUTS)],
+            vec![
+                a_res("msgq", "msgq"),
+                a_enum("timeout", "k_timeout", K_TIMEOUTS),
+            ],
             None,
             "kernel",
             "Get a message with a k_timeout_t; the agent bounds K_FOREVER waits.",
         ));
-        v.push(api("k_msgq_purge", vec![a_res("msgq", "msgq")], None, "kernel", "Discard all queued messages."));
+        v.push(api(
+            "k_msgq_purge",
+            vec![a_res("msgq", "msgq")],
+            None,
+            "kernel",
+            "Discard all queued messages.",
+        ));
         v.push(api(
             "k_heap_init",
             vec![a_int("size", 0, 8192), a_int("align", 0, 64)],
@@ -151,8 +195,20 @@ impl ZephyrKernel {
             "sem",
             "Initialise a semaphore.",
         ));
-        v.push(api("k_sem_take", vec![a_res("sem", "sem")], None, "sem", "Take a semaphore (no wait)."));
-        v.push(api("k_sem_give", vec![a_res("sem", "sem")], None, "sem", "Give a semaphore."));
+        v.push(api(
+            "k_sem_take",
+            vec![a_res("sem", "sem")],
+            None,
+            "sem",
+            "Take a semaphore (no wait).",
+        ));
+        v.push(api(
+            "k_sem_give",
+            vec![a_res("sem", "sem")],
+            None,
+            "sem",
+            "Give a semaphore.",
+        ));
         v.push(api(
             "json_obj_parse",
             vec![a_bytes("json", 256)],
@@ -214,7 +270,11 @@ impl Kernel for ZephyrKernel {
                 ctx.charge(4 + payload.len() as u64 / 4);
                 // RX data lands in the first message queue, if any.
                 if let Some(q) = self.msgqs.first_mut() {
-                    match q.put(ctx, "zephyr::kernel::k_msgq_put", &payload[..payload.len().min(32)]) {
+                    match q.put(
+                        ctx,
+                        "zephyr::kernel::k_msgq_put",
+                        &payload[..payload.len().min(32)],
+                    ) {
                         Ok(()) => ctx.cov("zephyr::isr::uart_rx::queued"),
                         Err(_) => ctx.cov("zephyr::isr::uart_rx::dropped"),
                     }
@@ -273,24 +333,39 @@ impl Kernel for ZephyrKernel {
                     // Silicon-only: userspace MPU partitioning per stack
                     // geometry.
                     if ctx.bus.silicon {
-                        ctx.cov_var("zephyr::mpu::stack_region", (arg_int(args, 2) / 512).min(15));
+                        ctx.cov_var(
+                            "zephyr::mpu::stack_region",
+                            (arg_int(args, 2) / 512).min(15),
+                        );
                     }
                     InvokeResult::Ok(h as u64)
                 }
                 Err(e) => Self::map_sched(e),
             },
             // k_thread_abort
-            1 => match self.sched.delete(ctx, "zephyr::thread::k_thread_abort", arg_int(args, 0) as u32) {
+            1 => match self.sched.delete(
+                ctx,
+                "zephyr::thread::k_thread_abort",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(e) => Self::map_sched(e),
             },
             // k_thread_suspend
-            2 => match self.sched.suspend(ctx, "zephyr::thread::k_thread_suspend", arg_int(args, 0) as u32) {
+            2 => match self.sched.suspend(
+                ctx,
+                "zephyr::thread::k_thread_suspend",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(e) => Self::map_sched(e),
             },
             // k_thread_resume
-            3 => match self.sched.resume(ctx, "zephyr::thread::k_thread_resume", arg_int(args, 0) as u32) {
+            3 => match self.sched.resume(
+                ctx,
+                "zephyr::thread::k_thread_resume",
+                arg_int(args, 0) as u32,
+            ) {
                 Ok(()) => InvokeResult::Ok(0),
                 Err(e) => Self::map_sched(e),
             },
@@ -328,7 +403,10 @@ impl Kernel for ZephyrKernel {
             // z_impl_k_msgq_get — bug #2.
             8 => {
                 let timeout = arg_int(args, 1);
-                ctx.cov_var("zephyr::kernel::k_msgq_get::timeout_kind", timeout.min(2000));
+                ctx.cov_var(
+                    "zephyr::kernel::k_msgq_get::timeout_kind",
+                    timeout.min(2000),
+                );
                 let Some(q) = self.msgqs.get_mut(arg_int(args, 0) as usize) else {
                     return InvokeResult::Err(-3);
                 };
@@ -408,7 +486,10 @@ impl Kernel for ZephyrKernel {
                 let Some(kh) = self.kheaps.get_mut(arg_int(args, 0) as usize) else {
                     return InvokeResult::Err(-3);
                 };
-                match kh.heap.alloc(ctx, "zephyr::kheap::k_heap_alloc", arg_int(args, 1) as u32) {
+                match kh
+                    .heap
+                    .alloc(ctx, "zephyr::kheap::k_heap_alloc", arg_int(args, 1) as u32)
+                {
                     Ok(h) => {
                         self.live_allocs += 1;
                         InvokeResult::Ok(h as u64)
@@ -422,7 +503,10 @@ impl Kernel for ZephyrKernel {
                 let Some(kh) = self.kheaps.get_mut(arg_int(args, 0) as usize) else {
                     return InvokeResult::Err(-3);
                 };
-                match kh.heap.free(ctx, "zephyr::kheap::k_heap_free", arg_int(args, 1) as u32) {
+                match kh
+                    .heap
+                    .free(ctx, "zephyr::kheap::k_heap_free", arg_int(args, 1) as u32)
+                {
                     Ok(()) => {
                         self.live_allocs = self.live_allocs.saturating_sub(1);
                         InvokeResult::Ok(0)
@@ -487,7 +571,10 @@ impl Kernel for ZephyrKernel {
             18 => {
                 let depth = arg_int(args, 0) as u32;
                 let width = arg_int(args, 1) as u32;
-                ctx.cov_var("zephyr::json::encode::shape", (depth.min(20) * 8 + width.min(7)) as u64);
+                ctx.cov_var(
+                    "zephyr::json::encode::shape",
+                    (depth.min(20) * 8 + width.min(7)) as u64,
+                );
                 // Bug #3: one past the library limit, a three-wide
                 // descriptor lands exactly on the encoder's spilled frame
                 // and runs off the fixed stack instead of returning
@@ -508,7 +595,12 @@ impl Kernel for ZephyrKernel {
                     ctx.cov("zephyr::json::encode::bad_width");
                     return InvokeResult::Err(-22);
                 }
-                match json::encode(ctx, "zephyr::json::encode", depth.min(json::MAX_DEPTH + 4), width) {
+                match json::encode(
+                    ctx,
+                    "zephyr::json::encode",
+                    depth.min(json::MAX_DEPTH + 4),
+                    width,
+                ) {
                     Ok(len) => InvokeResult::Ok(len as u64),
                     Err(_) => InvokeResult::Err(-22),
                 }
@@ -527,21 +619,41 @@ mod tests {
     fn bug2_needs_purge_then_forever_get() {
         let mut k = ZephyrKernel::new();
         let mut b = bus();
-        let q = ok(call(&mut k, &mut b, "k_msgq_alloc_init", &[KArg::Int(4), KArg::Int(16)]));
+        let q = ok(call(
+            &mut k,
+            &mut b,
+            "k_msgq_alloc_init",
+            &[KArg::Int(4), KArg::Int(16)],
+        ));
         // Forever-get on a fresh empty queue: the agent bounds the wait.
         assert_eq!(
-            call(&mut k, &mut b, "z_impl_k_msgq_get", &[KArg::Int(q), KArg::Int(K_FOREVER)]),
+            call(
+                &mut k,
+                &mut b,
+                "z_impl_k_msgq_get",
+                &[KArg::Int(q), KArg::Int(K_FOREVER)]
+            ),
             InvokeResult::Err(-11)
         );
         // Non-forever get on a purged queue is only -EAGAIN.
         ok(call(&mut k, &mut b, "k_msgq_purge", &[KArg::Int(q)]));
         assert!(matches!(
-            call(&mut k, &mut b, "z_impl_k_msgq_get", &[KArg::Int(q), KArg::Int(10)]),
+            call(
+                &mut k,
+                &mut b,
+                "z_impl_k_msgq_get",
+                &[KArg::Int(q), KArg::Int(10)]
+            ),
             InvokeResult::Err(_)
         ));
         // Purge then K_FOREVER get: bug #2.
         ok(call(&mut k, &mut b, "k_msgq_purge", &[KArg::Int(q)]));
-        let r = call(&mut k, &mut b, "z_impl_k_msgq_get", &[KArg::Int(q), KArg::Int(K_FOREVER)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "z_impl_k_msgq_get",
+            &[KArg::Int(q), KArg::Int(K_FOREVER)],
+        );
         assert!(is_bug(&r, 2));
     }
 
@@ -550,10 +662,20 @@ mod tests {
         let mut k = ZephyrKernel::new();
         let mut b = bus();
         for (size, align) in [(64, 7), (12, 4), (12, 3), (0, 7), (16, 7)] {
-            let r = call(&mut k, &mut b, "k_heap_init", &[KArg::Int(size), KArg::Int(align)]);
+            let r = call(
+                &mut k,
+                &mut b,
+                "k_heap_init",
+                &[KArg::Int(size), KArg::Int(align)],
+            );
             assert!(!r.is_fault(), "size={size} align={align}");
         }
-        let r = call(&mut k, &mut b, "k_heap_init", &[KArg::Int(12), KArg::Int(7)]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "k_heap_init",
+            &[KArg::Int(12), KArg::Int(7)],
+        );
         assert!(is_bug(&r, 4));
         if let InvokeResult::Fault(f) = r {
             assert!(f.hangs_after);
@@ -565,14 +687,52 @@ mod tests {
         let mut k = ZephyrKernel::new();
         let mut b = bus();
         // Without live allocations, nothing happens.
-        assert!(!call(&mut k, &mut b, "sys_heap_stress", &[KArg::Int(64), KArg::Int(7)]).is_fault());
-        let h = ok(call(&mut k, &mut b, "k_heap_init", &[KArg::Int(4096), KArg::Int(8)]));
-        ok(call(&mut k, &mut b, "k_heap_alloc", &[KArg::Int(h), KArg::Int(64)]));
-        ok(call(&mut k, &mut b, "k_heap_alloc", &[KArg::Int(h), KArg::Int(64)]));
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "sys_heap_stress",
+            &[KArg::Int(64), KArg::Int(7)]
+        )
+        .is_fault());
+        let h = ok(call(
+            &mut k,
+            &mut b,
+            "k_heap_init",
+            &[KArg::Int(4096), KArg::Int(8)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "k_heap_alloc",
+            &[KArg::Int(h), KArg::Int(64)],
+        ));
+        ok(call(
+            &mut k,
+            &mut b,
+            "k_heap_alloc",
+            &[KArg::Int(h), KArg::Int(64)],
+        ));
         // Wrong seed: safe. Short run: safe.
-        assert!(!call(&mut k, &mut b, "sys_heap_stress", &[KArg::Int(64), KArg::Int(8)]).is_fault());
-        assert!(!call(&mut k, &mut b, "sys_heap_stress", &[KArg::Int(48), KArg::Int(7)]).is_fault());
-        let r = call(&mut k, &mut b, "sys_heap_stress", &[KArg::Int(64), KArg::Int(7)]);
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "sys_heap_stress",
+            &[KArg::Int(64), KArg::Int(8)]
+        )
+        .is_fault());
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "sys_heap_stress",
+            &[KArg::Int(48), KArg::Int(7)]
+        )
+        .is_fault());
+        let r = call(
+            &mut k,
+            &mut b,
+            "sys_heap_stress",
+            &[KArg::Int(64), KArg::Int(7)],
+        );
         assert!(is_bug(&r, 1));
     }
 
@@ -581,10 +741,33 @@ mod tests {
         let mut k = ZephyrKernel::new();
         let mut b = bus();
         // In-range shapes and other too-deep shapes error cleanly.
-        assert!(!call(&mut k, &mut b, "json_obj_encode", &[KArg::Int(12), KArg::Int(3)]).is_fault());
-        assert!(!call(&mut k, &mut b, "json_obj_encode", &[KArg::Int(13), KArg::Int(2)]).is_fault());
-        assert!(!call(&mut k, &mut b, "json_obj_encode", &[KArg::Int(14), KArg::Int(3)]).is_fault());
-        let r = call(&mut k, &mut b, "json_obj_encode", &[KArg::Int(13), KArg::Int(3)]);
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "json_obj_encode",
+            &[KArg::Int(12), KArg::Int(3)]
+        )
+        .is_fault());
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "json_obj_encode",
+            &[KArg::Int(13), KArg::Int(2)]
+        )
+        .is_fault());
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "json_obj_encode",
+            &[KArg::Int(14), KArg::Int(3)]
+        )
+        .is_fault());
+        let r = call(
+            &mut k,
+            &mut b,
+            "json_obj_encode",
+            &[KArg::Int(13), KArg::Int(3)],
+        );
         assert!(is_bug(&r, 3));
     }
 
@@ -615,7 +798,12 @@ mod tests {
     fn sem_take_give() {
         let mut k = ZephyrKernel::new();
         let mut b = bus();
-        let s = ok(call(&mut k, &mut b, "k_sem_init", &[KArg::Int(1), KArg::Int(2)]));
+        let s = ok(call(
+            &mut k,
+            &mut b,
+            "k_sem_init",
+            &[KArg::Int(1), KArg::Int(2)],
+        ));
         ok(call(&mut k, &mut b, "k_sem_take", &[KArg::Int(s)]));
         assert!(matches!(
             call(&mut k, &mut b, "k_sem_take", &[KArg::Int(s)]),
@@ -628,7 +816,12 @@ mod tests {
     fn gpio_isr_gives_first_semaphore() {
         let mut k = ZephyrKernel::new();
         let mut b = bus();
-        let s = ok(call(&mut k, &mut b, "k_sem_init", &[KArg::Int(0), KArg::Int(4)]));
+        let s = ok(call(
+            &mut k,
+            &mut b,
+            "k_sem_init",
+            &[KArg::Int(0), KArg::Int(4)],
+        ));
         let mut cov = crate::ctx::CovState::uninstrumented();
         {
             let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
@@ -642,14 +835,24 @@ mod tests {
     fn serial_rx_isr_feeds_first_msgq() {
         let mut k = ZephyrKernel::new();
         let mut b = bus();
-        let q = ok(call(&mut k, &mut b, "k_msgq_alloc_init", &[KArg::Int(4), KArg::Int(32)]));
+        let q = ok(call(
+            &mut k,
+            &mut b,
+            "k_msgq_alloc_init",
+            &[KArg::Int(4), KArg::Int(32)],
+        ));
         let mut cov = crate::ctx::CovState::uninstrumented();
         {
             let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
             k.on_interrupt(&mut ctx, eof_hal::irq::SERIAL_RX, b"rx-data");
         }
         assert_eq!(
-            ok(call(&mut k, &mut b, "z_impl_k_msgq_get", &[KArg::Int(q), KArg::Int(0)])),
+            ok(call(
+                &mut k,
+                &mut b,
+                "z_impl_k_msgq_get",
+                &[KArg::Int(q), KArg::Int(0)]
+            )),
             7
         );
     }

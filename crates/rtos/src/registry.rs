@@ -52,10 +52,7 @@ pub fn supported_boards(os: OsKind) -> Vec<BoardSpec> {
             BoardCatalog::stm32h745_nucleo(),
             BoardCatalog::qemu_virt_arm(),
         ],
-        OsKind::PokOs => vec![
-            BoardCatalog::stm32f4_disco(),
-            BoardCatalog::qemu_virt_arm(),
-        ],
+        OsKind::PokOs => vec![BoardCatalog::stm32f4_disco(), BoardCatalog::qemu_virt_arm()],
     }
 }
 

@@ -122,7 +122,12 @@ impl EnvSubsystem {
     }
 
     /// `unsetenv(name)`.
-    pub fn unsetenv(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, name: &str) -> Result<(), EnvError> {
+    pub fn unsetenv(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        name: &str,
+    ) -> Result<(), EnvError> {
         ctx.charge(2);
         let before = self.vars.len();
         self.vars.retain(|(n, _)| n != name);
@@ -259,14 +264,14 @@ mod tests {
             let mono = e.clock_gettime_us(ctx, "s", clockid::MONOTONIC).unwrap();
             assert!(rt > mono);
             assert_eq!(e.clock_gettime_us(ctx, "s", 42), Err(EnvError::BadClock));
-            assert_eq!(e.clock_getres_ns(ctx, "s", clockid::REALTIME).unwrap(), 1_000);
+            assert_eq!(
+                e.clock_getres_ns(ctx, "s", clockid::REALTIME).unwrap(),
+                1_000
+            );
             assert_eq!(e.clock_getres_ns(ctx, "s", 42), Err(EnvError::BadClock));
             // Forward set works, rollback rejected.
             e.clock_settime_us(ctx, "s", rt + 1_000_000).unwrap();
-            assert_eq!(
-                e.clock_settime_us(ctx, "s", 0),
-                Err(EnvError::TimeRollback)
-            );
+            assert_eq!(e.clock_settime_us(ctx, "s", 0), Err(EnvError::TimeRollback));
         });
     }
 }

@@ -92,7 +92,12 @@ impl FreeListHeap {
     }
 
     /// Allocate `size` bytes, returning the block offset as a handle.
-    pub fn alloc(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, size: u32) -> Result<u32, HeapError> {
+    pub fn alloc(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        size: u32,
+    ) -> Result<u32, HeapError> {
         ctx.cov_var(site, 0);
         ctx.charge(4);
         if size == 0 || size > self.capacity {
@@ -100,10 +105,7 @@ impl FreeListHeap {
             return Err(HeapError::BadSize);
         }
         let aligned = (size + 7) & !7;
-        let idx = self
-            .blocks
-            .iter()
-            .position(|b| b.free && b.size >= aligned);
+        let idx = self.blocks.iter().position(|b| b.free && b.size >= aligned);
         let Some(idx) = idx else {
             ctx.cov_var(site, 4);
             return Err(HeapError::OutOfMemory);
@@ -142,7 +144,12 @@ impl FreeListHeap {
     }
 
     /// Free an allocation by handle.
-    pub fn free(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), HeapError> {
+    pub fn free(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), HeapError> {
         ctx.cov_var(site, 5);
         ctx.charge(3);
         let Some(idx) = self.blocks.iter().position(|b| b.offset == handle) else {
@@ -282,9 +289,7 @@ mod tests {
         with_ctx(|ctx| {
             let mut h = FreeListHeap::new(1024);
             // Fill the heap completely: 16 × 64 bytes.
-            let handles: Vec<u32> = (0..16)
-                .map(|_| h.alloc(ctx, "s", 64).unwrap())
-                .collect();
+            let handles: Vec<u32> = (0..16).map(|_| h.alloc(ctx, "s", 64).unwrap()).collect();
             // Free every other block: no coalescing possible.
             for &hd in handles.iter().step_by(2) {
                 h.free(ctx, "s", hd).unwrap();

@@ -69,9 +69,7 @@ pub fn parse_request(
 ) -> Result<Request, HttpError> {
     ctx.cov_var(site, 0);
     ctx.charge(3 + input.len() as u64 / 8);
-    let text = std::str::from_utf8(input).map_err(|_| {
-        HttpError::BadRequestLine
-    })?;
+    let text = std::str::from_utf8(input).map_err(|_| HttpError::BadRequestLine)?;
     let lines: Vec<&str> = text.split("\r\n").collect();
     let reqline = *lines.first().ok_or(HttpError::BadRequestLine)?;
     let mut parts = reqline.split(' ');
@@ -298,7 +296,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_method_and_path() {
-        assert_eq!(parse("BREW /pot HTTP/1.1\r\n\r\n"), Err(HttpError::BadMethod));
+        assert_eq!(
+            parse("BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadMethod)
+        );
         assert_eq!(parse("GET pot HTTP/1.1\r\n\r\n"), Err(HttpError::BadPath));
         assert_eq!(parse("GET / HTTP/2.0\r\n\r\n"), Err(HttpError::BadVersion));
         assert_eq!(parse(""), Err(HttpError::BadRequestLine));

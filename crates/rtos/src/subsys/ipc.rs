@@ -80,7 +80,12 @@ impl MsgQueue {
     }
 
     /// Enqueue a message.
-    pub fn put(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, msg: &[u8]) -> Result<(), IpcError> {
+    pub fn put(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        msg: &[u8],
+    ) -> Result<(), IpcError> {
         ctx.cov_var(site, 0);
         ctx.charge(3);
         if msg.len() > self.msg_size as usize {
@@ -226,7 +231,12 @@ impl Mutex {
     }
 
     /// Acquire for `who`.
-    pub fn lock(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, who: u32) -> Result<(), IpcError> {
+    pub fn lock(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        who: u32,
+    ) -> Result<(), IpcError> {
         ctx.charge(2);
         match self.owner {
             None => {
@@ -248,7 +258,12 @@ impl Mutex {
     }
 
     /// Release for `who`.
-    pub fn unlock(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, who: u32) -> Result<(), IpcError> {
+    pub fn unlock(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        who: u32,
+    ) -> Result<(), IpcError> {
         ctx.charge(2);
         match self.owner {
             Some(o) if o == who => {
@@ -297,7 +312,12 @@ impl EventGroup {
     }
 
     /// OR `set` into the group.
-    pub fn send(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, set: u32) -> Result<u32, IpcError> {
+    pub fn send(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        set: u32,
+    ) -> Result<u32, IpcError> {
         ctx.cov_var(site, 0);
         ctx.charge(2);
         if set == 0 {
@@ -437,7 +457,10 @@ mod tests {
             assert_eq!(e.send(ctx, "s", 0), Err(IpcError::Empty));
             e.send(ctx, "s", 0b0101).unwrap();
             // AND on a partially-set mask blocks.
-            assert_eq!(e.recv(ctx, "s", 0b0111, true, false), Err(IpcError::WouldBlock));
+            assert_eq!(
+                e.recv(ctx, "s", 0b0111, true, false),
+                Err(IpcError::WouldBlock)
+            );
             // OR succeeds and clears only the matched bits.
             assert_eq!(e.recv(ctx, "s", 0b0100, false, true).unwrap(), 0b0100);
             assert_eq!(e.bits(), 0b0001);

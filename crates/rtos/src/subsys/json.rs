@@ -51,7 +51,11 @@ pub struct JsonStats {
 pub const MAX_DEPTH: u32 = 12;
 
 /// Parse a JSON document, returning its statistics.
-pub fn parse(ctx: &mut ExecCtx<'_>, site: &'static str, input: &[u8]) -> Result<JsonStats, JsonError> {
+pub fn parse(
+    ctx: &mut ExecCtx<'_>,
+    site: &'static str,
+    input: &[u8],
+) -> Result<JsonStats, JsonError> {
     ctx.cov_var(site, 0);
     ctx.charge(2 + input.len() as u64 / 8);
     let mut p = Parser {

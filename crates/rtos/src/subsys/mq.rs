@@ -200,7 +200,12 @@ impl MqNamespace {
     }
 
     /// `mq_close(desc)`.
-    pub fn close(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, desc: u32) -> Result<(), MqError> {
+    pub fn close(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        desc: u32,
+    ) -> Result<(), MqError> {
         ctx.charge(2);
         let qi = self.queue_of(desc).inspect_err(|_| {
             ctx.cov_var(site, 11);
@@ -212,7 +217,12 @@ impl MqNamespace {
     }
 
     /// `mq_unlink(name)`.
-    pub fn unlink(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, name: &str) -> Result<(), MqError> {
+    pub fn unlink(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        name: &str,
+    ) -> Result<(), MqError> {
         ctx.charge(2);
         match self
             .queues

@@ -155,7 +155,12 @@ impl ObjectRegistry {
     }
 
     /// Detach an object (it remains as a stale table entry).
-    pub fn detach(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), ObjError> {
+    pub fn detach(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), ObjError> {
         ctx.charge(2);
         let Some(o) = self.objects.iter_mut().find(|o| o.handle == handle) else {
             return Err(ObjError::BadHandle);
@@ -222,8 +227,8 @@ impl ObjectRegistry {
     ) -> (bool, bool) {
         ctx.charge(2);
         let empty = !self.objects.iter().any(|o| !o.detached && o.class == class);
-        let poisoned = self.double_detaches > 0
-            && self.objects.iter().any(|o| o.detached && o.class == class);
+        let poisoned =
+            self.double_detaches > 0 && self.objects.iter().any(|o| o.detached && o.class == class);
         ctx.cov_var(site, if empty { 5 } else { 4 });
         (empty, poisoned)
     }
@@ -259,7 +264,10 @@ mod tests {
     fn name_validation() {
         with_ctx(|ctx| {
             let mut r = ObjectRegistry::new(8);
-            assert_eq!(r.init(ctx, "s", ObjClass::Thread, ""), Err(ObjError::BadName));
+            assert_eq!(
+                r.init(ctx, "s", ObjClass::Thread, ""),
+                Err(ObjError::BadName)
+            );
             assert_eq!(
                 r.init(ctx, "s", ObjClass::Thread, "sixteen-chars-xx"),
                 Err(ObjError::BadName)

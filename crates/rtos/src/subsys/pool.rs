@@ -82,7 +82,12 @@ impl MemoryPool {
     }
 
     /// Free a block by index.
-    pub fn free(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, block: u32) -> Result<(), PoolError> {
+    pub fn free(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        block: u32,
+    ) -> Result<(), PoolError> {
         ctx.charge(2);
         let i = block as usize;
         if i >= self.used.len() {

@@ -139,7 +139,13 @@ impl SocketLayer {
     }
 
     /// Bind to a port.
-    pub fn bind(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32, port: u16) -> Result<(), SalError> {
+    pub fn bind(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+        port: u16,
+    ) -> Result<(), SalError> {
         ctx.charge(3);
         let in_use = self
             .sockets
@@ -160,7 +166,13 @@ impl SocketLayer {
 
     /// Connect to a loopback port; succeeds only if some socket is bound
     /// there.
-    pub fn connect(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32, port: u16) -> Result<(), SalError> {
+    pub fn connect(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+        port: u16,
+    ) -> Result<(), SalError> {
         ctx.charge(3);
         let listening = self
             .sockets
@@ -179,7 +191,13 @@ impl SocketLayer {
     }
 
     /// Send bytes. Streams require connection; datagrams do not.
-    pub fn send(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32, data: &[u8]) -> Result<u64, SalError> {
+    pub fn send(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+        data: &[u8],
+    ) -> Result<u64, SalError> {
         ctx.charge(2 + data.len() as u64 / 8);
         let s = self.get_mut(handle).inspect_err(|_| {
             ctx.cov_var(site, 12);
@@ -199,7 +217,12 @@ impl SocketLayer {
     }
 
     /// Close a socket.
-    pub fn close(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), SalError> {
+    pub fn close(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), SalError> {
         ctx.charge(2);
         let s = self.get_mut(handle).inspect_err(|_| {
             ctx.cov_var(site, 12);
@@ -259,7 +282,10 @@ mod tests {
     fn domain_and_type_validation() {
         with_ctx(|ctx| {
             let mut l = SocketLayer::new(4);
-            assert_eq!(l.socket(ctx, "s", 99, sock::STREAM, 0), Err(SalError::BadDomain));
+            assert_eq!(
+                l.socket(ctx, "s", 99, sock::STREAM, 0),
+                Err(SalError::BadDomain)
+            );
             assert_eq!(l.socket(ctx, "s", af::INET, 9, 0), Err(SalError::BadType));
         });
     }

@@ -84,7 +84,13 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Build a scheduler with the OS's limits.
-    pub fn new(policy: Policy, max_tasks: usize, max_priority: u8, max_name: usize, min_stack: u32) -> Self {
+    pub fn new(
+        policy: Policy,
+        max_tasks: usize,
+        max_priority: u8,
+        max_name: usize,
+        min_stack: u32,
+    ) -> Self {
         Scheduler {
             policy,
             max_tasks,
@@ -177,7 +183,12 @@ impl Scheduler {
     }
 
     /// Delete a task by handle.
-    pub fn delete(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), SchedError> {
+    pub fn delete(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), SchedError> {
         ctx.charge(4);
         let Some(idx) = self.tasks.iter().position(|t| t.handle == handle) else {
             ctx.cov_var(site, 6);
@@ -192,7 +203,12 @@ impl Scheduler {
     }
 
     /// Suspend a task.
-    pub fn suspend(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), SchedError> {
+    pub fn suspend(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), SchedError> {
         ctx.charge(2);
         if self.running == Some(handle) {
             self.running = None;
@@ -211,7 +227,12 @@ impl Scheduler {
     }
 
     /// Resume a suspended task.
-    pub fn resume(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), SchedError> {
+    pub fn resume(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), SchedError> {
         ctx.charge(2);
         match self.task_mut(handle) {
             Some(t) => {
@@ -255,7 +276,13 @@ impl Scheduler {
     }
 
     /// Delay the running (or named) task for `ticks`.
-    pub fn delay(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32, ticks: u64) -> Result<(), SchedError> {
+    pub fn delay(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+        ticks: u64,
+    ) -> Result<(), SchedError> {
         ctx.charge(2);
         let wake = self.tick + ticks;
         if self.running == Some(handle) {
@@ -326,7 +353,11 @@ impl Scheduler {
                 self.context_switches += 1;
                 ctx.cov_var(
                     site,
-                    if self.policy == Policy::TickRoundRobin { 9 } else { 10 },
+                    if self.policy == Policy::TickRoundRobin {
+                        9
+                    } else {
+                        10
+                    },
                 );
             }
             self.tasks[i].state = TaskState::Running;
@@ -361,8 +392,14 @@ mod tests {
                 s.create(ctx, "s", "averyveryverylongname", 1, 256),
                 Err(SchedError::NameTooLong)
             );
-            assert_eq!(s.create(ctx, "s", "t", 99, 256), Err(SchedError::BadPriority));
-            assert_eq!(s.create(ctx, "s", "t", 1, 16), Err(SchedError::StackTooSmall));
+            assert_eq!(
+                s.create(ctx, "s", "t", 99, 256),
+                Err(SchedError::BadPriority)
+            );
+            assert_eq!(
+                s.create(ctx, "s", "t", 1, 16),
+                Err(SchedError::StackTooSmall)
+            );
             let h = s.create(ctx, "s", "t", 1, 256).unwrap();
             assert!(s.task(h).is_some());
         });
@@ -374,7 +411,10 @@ mod tests {
             let mut s = Scheduler::new(Policy::Preemptive, 2, 31, 16, 128);
             s.create(ctx, "s", "a", 1, 256).unwrap();
             s.create(ctx, "s", "b", 1, 256).unwrap();
-            assert_eq!(s.create(ctx, "s", "c", 1, 256), Err(SchedError::TooManyTasks));
+            assert_eq!(
+                s.create(ctx, "s", "c", 1, 256),
+                Err(SchedError::TooManyTasks)
+            );
         });
     }
 

@@ -70,7 +70,12 @@ impl SerialFramework {
     }
 
     /// Register a device by name. Returns its index handle.
-    pub fn register(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, name: &str) -> Result<u32, SerialError> {
+    pub fn register(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        name: &str,
+    ) -> Result<u32, SerialError> {
         ctx.cov_var(site, 0);
         ctx.charge(2);
         if self.devices.iter().any(|d| d.registered && d.name == name) {
@@ -88,7 +93,12 @@ impl SerialFramework {
     }
 
     /// Unregister a device by name. The table entry stays, stale.
-    pub fn unregister(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, name: &str) -> Result<(), SerialError> {
+    pub fn unregister(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        name: &str,
+    ) -> Result<(), SerialError> {
         ctx.charge(2);
         match self
             .devices
@@ -106,7 +116,12 @@ impl SerialFramework {
 
     /// Unregister a device by handle (the entry stays, stale). Open
     /// devices are busy and refuse to unregister.
-    pub fn unregister_handle(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), SerialError> {
+    pub fn unregister_handle(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), SerialError> {
         ctx.charge(2);
         match self.devices.get_mut(handle as usize) {
             Some(d) if d.registered && d.opened => {
@@ -123,7 +138,12 @@ impl SerialFramework {
     }
 
     /// Close an open device by handle.
-    pub fn close_handle(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), SerialError> {
+    pub fn close_handle(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), SerialError> {
         ctx.charge(2);
         match self.devices.get_mut(handle as usize) {
             Some(d) if d.registered && d.opened => {
@@ -155,7 +175,13 @@ impl SerialFramework {
     }
 
     /// Open a device with flags.
-    pub fn open(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32, flags: u32) -> Result<(), SerialError> {
+    pub fn open(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+        flags: u32,
+    ) -> Result<(), SerialError> {
         ctx.charge(2);
         let Some(d) = self.devices.get_mut(handle as usize) else {
             ctx.cov_var(site, 4);

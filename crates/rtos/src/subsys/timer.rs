@@ -83,7 +83,10 @@ impl TimerWheel {
 
     /// Expiry count of a specific timer.
     pub fn fires_of(&self, handle: u32) -> Option<u64> {
-        self.timers.iter().find(|t| t.handle == handle).map(|t| t.fires)
+        self.timers
+            .iter()
+            .find(|t| t.handle == handle)
+            .map(|t| t.fires)
     }
 
     /// Create a stopped timer.
@@ -122,7 +125,12 @@ impl TimerWheel {
     }
 
     /// Arm a timer.
-    pub fn start(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), TimerError> {
+    pub fn start(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), TimerError> {
         ctx.charge(2);
         let now = self.now;
         match self.find_mut(handle) {
@@ -139,7 +147,12 @@ impl TimerWheel {
     }
 
     /// Disarm a timer.
-    pub fn stop(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), TimerError> {
+    pub fn stop(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), TimerError> {
         ctx.charge(2);
         match self.find_mut(handle) {
             Some(t) => {
@@ -155,7 +168,12 @@ impl TimerWheel {
     }
 
     /// Delete a timer.
-    pub fn delete(&mut self, ctx: &mut ExecCtx<'_>, site: &'static str, handle: u32) -> Result<(), TimerError> {
+    pub fn delete(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        site: &'static str,
+        handle: u32,
+    ) -> Result<(), TimerError> {
         ctx.charge(2);
         let before = self.timers.len();
         self.timers.retain(|t| t.handle != handle);

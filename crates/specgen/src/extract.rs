@@ -107,7 +107,10 @@ pub fn extract_from_descriptors(apis: &[ApiDescriptor]) -> String {
 /// Line count of an OS's generated specification — the metric the paper
 /// reports ("203 lines of API specification code" for FreeRTOS).
 pub fn spec_line_count(os: OsKind) -> usize {
-    extract_spec_text(os).lines().filter(|l| !l.trim().is_empty()).count()
+    extract_spec_text(os)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
 }
 
 #[cfg(test)]

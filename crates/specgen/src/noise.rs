@@ -220,9 +220,9 @@ mod tests {
         assert!(!injected.is_empty());
         // At full rate on several APIs, the gate must have something to
         // reject OR the only defects are semantic (widened ranges).
-        let structural = injected.iter().any(|k| {
-            !matches!(k, NoiseKind::WidenedRange)
-        });
+        let structural = injected
+            .iter()
+            .any(|k| !matches!(k, NoiseKind::WidenedRange));
         if structural {
             assert!(!typecheck(&s).is_empty());
         }
@@ -274,6 +274,9 @@ mod tests {
         let mut s = base_spec();
         let api = s.apis.iter_mut().find(|a| a.name == "ping").unwrap();
         assert!(widen_first_range(api));
-        assert!(typecheck(&s).is_empty(), "semantic noise must pass the gate");
+        assert!(
+            typecheck(&s).is_empty(),
+            "semantic noise must pass the gate"
+        );
     }
 }

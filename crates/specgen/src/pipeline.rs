@@ -121,10 +121,7 @@ pub fn generate_validated(
             .or_insert_with(|| fdecl.clone());
     }
     // Final safety: anything still failing is dropped for good.
-    let residual: BTreeSet<String> = typecheck(&spec)
-        .into_iter()
-        .map(|e| e.context)
-        .collect();
+    let residual: BTreeSet<String> = typecheck(&spec).into_iter().map(|e| e.context).collect();
     spec.apis.retain(|a| !residual.contains(&a.name));
 
     report.admitted_apis = spec.apis.len();

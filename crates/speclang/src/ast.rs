@@ -179,7 +179,9 @@ mod tests {
             params: vec![
                 Param {
                     name: "domain".into(),
-                    ty: TypeDesc::Flags { set: "sock_domain".into() },
+                    ty: TypeDesc::Flags {
+                        set: "sock_domain".into(),
+                    },
                 },
                 Param {
                     name: "addr".into(),
@@ -205,9 +207,13 @@ mod tests {
 
     #[test]
     fn resource_consumption_sees_through_pointers() {
-        let ty = TypeDesc::Ptr(Box::new(TypeDesc::Resource { name: "task".into() }));
+        let ty = TypeDesc::Ptr(Box::new(TypeDesc::Resource {
+            name: "task".into(),
+        }));
         assert_eq!(ty.consumed_resource(), Some("task"));
-        assert!(TypeDesc::Buffer { max_len: 4 }.consumed_resource().is_none());
+        assert!(TypeDesc::Buffer { max_len: 4 }
+            .consumed_resource()
+            .is_none());
     }
 
     #[test]

@@ -123,11 +123,8 @@ impl Lexer {
                             return Err(LexError { ch: c, line });
                         }
                         let radix = if hex { 16 } else { 10 };
-                        let magnitude =
-                            u64::from_str_radix(&digits, radix).map_err(|_| LexError {
-                                ch: c,
-                                line,
-                            })?;
+                        let magnitude = u64::from_str_radix(&digits, radix)
+                            .map_err(|_| LexError { ch: c, line })?;
                         let value = if neg {
                             (magnitude as i64).wrapping_neg() as u64
                         } else {
@@ -215,7 +212,10 @@ mod tests {
     #[test]
     fn lex_comment_captures_text() {
         let k = kinds("# creates and binds a socket\nsocket()");
-        assert_eq!(k[0], TokenKind::Comment("creates and binds a socket".into()));
+        assert_eq!(
+            k[0],
+            TokenKind::Comment("creates and binds a socket".into())
+        );
         assert_eq!(k[1], TokenKind::Newline);
     }
 

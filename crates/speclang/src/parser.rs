@@ -49,11 +49,7 @@ pub fn parse_spec(src: &str) -> Result<SpecFile, ParseError> {
         line: e.line,
         message: e.to_string(),
     })?;
-    Parser {
-        tokens,
-        pos: 0,
-    }
-    .file()
+    Parser { tokens, pos: 0 }.file()
 }
 
 struct Parser {
@@ -158,9 +154,8 @@ impl Parser {
                             spec.apis.push(api);
                         }
                         other => {
-                            return Err(
-                                self.err(format!("expected '=' or '(' after name, found {other:?}"))
-                            )
+                            return Err(self
+                                .err(format!("expected '=' or '(' after name, found {other:?}")))
                         }
                     }
                 }
@@ -363,7 +358,13 @@ syz_create_bind_socket(domain flags[sock_domain], type int32, protocol int32, ad
         match &spec.apis[0].params[0].ty {
             TypeDesc::Ptr(inner) => match inner.as_ref() {
                 TypeDesc::Ptr(inner2) => {
-                    assert_eq!(**inner2, TypeDesc::Int { bits: 32, range: None })
+                    assert_eq!(
+                        **inner2,
+                        TypeDesc::Int {
+                            bits: 32,
+                            range: None
+                        }
+                    )
                 }
                 other => panic!("expected nested ptr, got {other:?}"),
             },

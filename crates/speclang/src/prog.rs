@@ -307,16 +307,34 @@ mod tests {
     fn insert_call_shifts_references() {
         let mut p = Prog {
             calls: vec![
-                Call { api: "create".into(), args: vec![ArgValue::Int(3)] },
-                Call { api: "delete".into(), args: vec![ArgValue::ResourceRef(0)] },
+                Call {
+                    api: "create".into(),
+                    args: vec![ArgValue::Int(3)],
+                },
+                Call {
+                    api: "delete".into(),
+                    args: vec![ArgValue::ResourceRef(0)],
+                },
             ],
         };
         // Insert before the producer: the consumer's ref shifts.
-        p.insert_call(0, Call { api: "ping".into(), args: vec![] });
+        p.insert_call(
+            0,
+            Call {
+                api: "ping".into(),
+                args: vec![],
+            },
+        );
         assert_eq!(p.calls[2].args[0], ArgValue::ResourceRef(1));
         assert!(p.conforms_to(&spec()));
         // Insert between producer and consumer: ref shifts again.
-        p.insert_call(2, Call { api: "ping".into(), args: vec![] });
+        p.insert_call(
+            2,
+            Call {
+                api: "ping".into(),
+                args: vec![],
+            },
+        );
         assert_eq!(p.calls[3].args[0], ArgValue::ResourceRef(1));
         assert!(p.conforms_to(&spec()));
     }

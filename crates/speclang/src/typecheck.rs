@@ -221,13 +221,17 @@ mod tests {
         let errs = check("f(x ghost)");
         // Two diagnostics: undeclared in the param type and in the
         // producer analysis.
-        assert!(errs.iter().any(|e| e.message.contains("undeclared resource")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undeclared resource")));
     }
 
     #[test]
     fn undeclared_return_resource() {
         let errs = check("f() ghost");
-        assert!(errs.iter().any(|e| e.message.contains("returns undeclared")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("returns undeclared")));
     }
 
     #[test]
@@ -260,12 +264,15 @@ mod tests {
     #[test]
     fn duplicate_param_rejected() {
         let errs = check("f(a int32, a int32)");
-        assert!(errs.iter().any(|e| e.message.contains("duplicate parameter")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate parameter")));
     }
 
     #[test]
     fn too_many_params() {
-        let errs = check("f(a int8, b int8, c int8, d int8, e int8, g int8, h int8, i int8, j int8)");
+        let errs =
+            check("f(a int8, b int8, c int8, d int8, e int8, g int8, h int8, i int8, j int8)");
         assert!(errs.iter().any(|e| e.message.contains("ABI limit")));
     }
 

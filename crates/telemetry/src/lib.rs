@@ -96,7 +96,10 @@ pub struct RecorderGuard {
 /// Panics if a recorder is already installed (campaigns don't nest).
 pub fn begin() -> RecorderGuard {
     ACTIVE.with(|a| {
-        assert!(!a.get(), "telemetry recorder already installed on this thread");
+        assert!(
+            !a.get(),
+            "telemetry recorder already installed on this thread"
+        );
         a.set(true);
     });
     CURRENT.with(|c| *c.borrow_mut() = Some(Registry::new()));
@@ -199,11 +202,13 @@ pub fn event(name: &'static str, cycles: u64, detail: impl FnOnce() -> String) {
         return;
     }
     let detail = detail();
-    with_registry(|r| r.event(EventRecord {
-        name,
-        cycles,
-        detail,
-    }));
+    with_registry(|r| {
+        r.event(EventRecord {
+            name,
+            cycles,
+            detail,
+        })
+    });
 }
 
 #[cfg(test)]

@@ -18,8 +18,17 @@ fn executor() -> Executor {
         c.board = board.clone();
         c
     };
-    let image = build_image(OsKind::RtThread, ImageProfile::FullSystem, &InstrumentMode::Full);
-    let machine = boot_machine(board.clone(), OsKind::RtThread, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let image = build_image(
+        OsKind::RtThread,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
+    let machine = boot_machine(
+        board.clone(),
+        OsKind::RtThread,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
     let kconfig = eof::monitors::parse_kconfig(&eof::monitors::render_kconfig(
         "arm",
         machine.flash().table(),
@@ -43,9 +52,18 @@ fn main() {
     // The minimised reproducer, as EOF's crash report would render it.
     let repro = Prog {
         calls: vec![
-            Call { api: "rt_console_device".into(), args: vec![] },
-            Call { api: "rt_device_close".into(), args: vec![ArgValue::ResourceRef(0)] },
-            Call { api: "rt_device_unregister".into(), args: vec![ArgValue::ResourceRef(0)] },
+            Call {
+                api: "rt_console_device".into(),
+                args: vec![],
+            },
+            Call {
+                api: "rt_device_close".into(),
+                args: vec![ArgValue::ResourceRef(0)],
+            },
+            Call {
+                api: "rt_device_unregister".into(),
+                args: vec![ArgValue::ResourceRef(0)],
+            },
             Call {
                 api: "syz_create_bind_socket".into(),
                 args: vec![

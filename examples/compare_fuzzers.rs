@@ -12,7 +12,10 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4.0);
     let os = OsKind::Zephyr;
-    println!("target: {} for {hours} simulated hours per fuzzer\n", os.display());
+    println!(
+        "target: {} for {hours} simulated hours per fuzzer\n",
+        os.display()
+    );
 
     let mut rows = Vec::new();
     for kind in [BaselineKind::Eof, BaselineKind::EofNf, BaselineKind::Tardis] {

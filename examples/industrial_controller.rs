@@ -64,13 +64,19 @@ fn main() {
     // Persist the developer-facing artefacts.
     let report_dir = std::path::PathBuf::from("results/campaign-rtthread-h745");
     if write_campaign_report(&report_dir, OsKind::RtThread, &result).is_ok() {
-        println!("
-report written to {}", report_dir.display());
+        println!(
+            "
+report written to {}",
+            report_dir.display()
+        );
     }
 
     for crash in result.crashes.iter().take(3) {
         println!("\ncrash: {}", crash.message);
-        println!("  detected by {:?} at {:.2} h", crash.source, crash.at_hours);
+        println!(
+            "  detected by {:?} at {:.2} h",
+            crash.source, crash.at_hours
+        );
         if let Some(bug) = crash.bug {
             let info = bug.info();
             println!(

@@ -14,14 +14,25 @@ fn main() {
     let mut config = FuzzerConfig::eof(os, 99);
     config.board = board.clone();
     let image = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full);
-    let mut machine = boot_machine(board.clone(), os, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let mut machine = boot_machine(
+        board.clone(),
+        os,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
 
     // Schedule trouble: a flash bit flip deep in the kernel image at
     // t≈10 sim-seconds, and a hard core lockup at t≈30.
     let kernel_off = machine.flash().table().get("kernel").unwrap().offset;
     machine.set_fault_plan(
         FaultPlan::none()
-            .at(10_000, InjectedFault::FlashBitFlip { offset: kernel_off + 0x4000, bit: 2 })
+            .at(
+                10_000,
+                InjectedFault::FlashBitFlip {
+                    offset: kernel_off + 0x4000,
+                    bit: 2,
+                },
+            )
             .at(30_000, InjectedFault::KillCore),
     );
 
@@ -71,5 +82,8 @@ fn main() {
     );
     // The proof of life: the target still answers.
     let out = executor.run_one(&probe);
-    println!("final probe after rescue: crash={} (target healthy)", out.crash.is_some());
+    println!(
+        "final probe after rescue: crash={} (target healthy)",
+        out.crash.is_some()
+    );
 }

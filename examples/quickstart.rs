@@ -11,7 +11,10 @@ fn main() {
     // ── 1. Build an instrumented FreeRTOS image and flash it onto an
     //        ESP32-class devkit. ────────────────────────────────────────
     let board = BoardCatalog::esp32_devkit();
-    println!("target : {} ({}, {} debug)", board.name, board.arch, board.debug_iface);
+    println!(
+        "target : {} ({}, {} debug)",
+        board.name, board.arch, board.debug_iface
+    );
     let machine = boot_machine(
         board.clone(),
         OsKind::FreeRtos,
@@ -23,7 +26,12 @@ fn main() {
     // ── 2. Talk to it the way the paper does: an OpenOCD session over
     //        the debug port. ───────────────────────────────────────────
     let mut ocd = OcdServer::new(DebugTransport::attach(machine, LinkConfig::default()));
-    for cmd in ["targets", "reg pc", "mww 0x3ffb0040 0xdeadbeef", "mdw 0x3ffb0040"] {
+    for cmd in [
+        "targets",
+        "reg pc",
+        "mww 0x3ffb0040 0xdeadbeef",
+        "mdw 0x3ffb0040",
+    ] {
         println!("ocd    > {cmd}");
         println!("ocd    < {}", ocd.execute(cmd).unwrap());
     }
@@ -37,7 +45,11 @@ fn main() {
         transport.machine().flash().table(),
     ))
     .unwrap();
-    let image = build_image(OsKind::FreeRtos, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let image = build_image(
+        OsKind::FreeRtos,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
     let restoration =
         StateRestoration::from_kconfig(&kconfig, board.flash_size, vec![("kernel".into(), image)])
             .unwrap();
@@ -57,7 +69,10 @@ fn main() {
             },
             Call {
                 api: "xQueueSend".into(),
-                args: vec![ArgValue::ResourceRef(0), ArgValue::Buffer(b"hello".to_vec())],
+                args: vec![
+                    ArgValue::ResourceRef(0),
+                    ArgValue::Buffer(b"hello".to_vec()),
+                ],
             },
             Call {
                 api: "json_parse".into(),

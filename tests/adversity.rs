@@ -11,8 +11,12 @@ fn harness(os: OsKind, plan: FaultPlan) -> Executor {
     let mut config = FuzzerConfig::eof(os, 21);
     config.board = board.clone();
     let image = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full);
-    let mut machine =
-        boot_machine(board.clone(), os, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let mut machine = boot_machine(
+        board.clone(),
+        os,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
     machine.set_fault_plan(plan);
     let kconfig = eof::monitors::parse_kconfig(&eof::monitors::render_kconfig(
         "arm",
@@ -75,7 +79,13 @@ fn survives_flash_corruption_plus_lockup() {
     let mut ex = harness(
         OsKind::RtThread,
         FaultPlan::none()
-            .at(1_000, InjectedFault::FlashBitFlip { offset: 0x20_0000, bit: 5 })
+            .at(
+                1_000,
+                InjectedFault::FlashBitFlip {
+                    offset: 0x20_0000,
+                    bit: 5,
+                },
+            )
             .at(2_500, InjectedFault::KillCore),
     );
     let prog = probe(OsKind::RtThread);
@@ -94,7 +104,8 @@ fn survives_repeated_link_outages() {
     // Schedule several short outages ahead of the fuzzing.
     let now = ex.now();
     for k in 0..5 {
-        ex.transport_mut().schedule_outage(now + 5_000 + k * 9_000, 1_500);
+        ex.transport_mut()
+            .schedule_outage(now + 5_000 + k * 9_000, 1_500);
     }
     let mut completed = 0;
     for _ in 0..120 {
@@ -103,7 +114,10 @@ fn survives_repeated_link_outages() {
             completed += 1;
         }
     }
-    assert!(completed > 60, "most executions still complete: {completed}");
+    assert!(
+        completed > 60,
+        "most executions still complete: {completed}"
+    );
 }
 
 #[test]
@@ -113,11 +127,10 @@ fn survives_hostile_coverage_header() {
     let mut ex = harness(OsKind::Zephyr, FaultPlan::none());
     let prog = probe(OsKind::Zephyr);
     let _ = ex.run_one(&prog);
-    let base = eof::agent::AgentLayout::for_board(&eof::rtos::registry::default_board(
-        OsKind::Zephyr,
-    ))
-    .cov
-    .base;
+    let base =
+        eof::agent::AgentLayout::for_board(&eof::rtos::registry::default_board(OsKind::Zephyr))
+            .cov
+            .base;
     // Claim an absurd record count.
     ex.transport_mut()
         .write_mem(base, &u32::MAX.to_le_bytes())

@@ -12,7 +12,12 @@ fn executor(os: OsKind) -> Executor {
     let mut config = FuzzerConfig::eof(os, 2);
     config.board = board.clone();
     let image = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full);
-    let machine = boot_machine(board.clone(), os, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let machine = boot_machine(
+        board.clone(),
+        os,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
     let kconfig = eof::monitors::parse_kconfig(&eof::monitors::render_kconfig(
         "arm",
         machine.flash().table(),
@@ -32,12 +37,7 @@ fn executor(os: OsKind) -> Executor {
 
 /// A benign value for one parameter, producing prerequisite calls into
 /// `prefix` for resource parameters.
-fn benign_value(
-    os: OsKind,
-    kind: &ArgKind,
-    prefix: &mut Vec<Call>,
-    depth: usize,
-) -> ArgValue {
+fn benign_value(os: OsKind, kind: &ArgKind, prefix: &mut Vec<Call>, depth: usize) -> ArgValue {
     match kind {
         ArgKind::Int { min, max, .. } => {
             // Mid-range keeps clear of the magic edges.

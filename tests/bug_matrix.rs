@@ -14,7 +14,12 @@ fn executor(os: OsKind) -> Executor {
     let mut config = FuzzerConfig::eof(os, 1);
     config.board = board.clone();
     let image = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full);
-    let machine = boot_machine(board.clone(), os, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let machine = boot_machine(
+        board.clone(),
+        os,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
     let kconfig = eof::monitors::parse_kconfig(&eof::monitors::render_kconfig(
         "arm",
         machine.flash().table(),
@@ -107,7 +112,10 @@ fn reproducer(number: u8) -> (OsKind, Prog) {
             call("rt_console_device", vec![]),
             call("rt_device_close", vec![r(0)]),
             call("rt_device_unregister", vec![r(0)]),
-            call("syz_create_bind_socket", vec![i(2), i(1), i(0x101), i(48248)]),
+            call(
+                "syz_create_bind_socket",
+                vec![i(2), i(1), i(0x101), i(48248)],
+            ),
         ],
         13 => vec![call("load_partitions", vec![i(3), i(0x10)])],
         14 => vec![
@@ -175,11 +183,9 @@ fn all_nineteen_bugs_trigger_end_to_end() {
             );
             // Detection channel matches Table 2's attribution.
             match info.detection {
-                DetectionClass::LogMonitor => assert_eq!(
-                    crash.source,
-                    DetectionSource::LogMonitor,
-                    "bug #{number}"
-                ),
+                DetectionClass::LogMonitor => {
+                    assert_eq!(crash.source, DetectionSource::LogMonitor, "bug #{number}")
+                }
                 DetectionClass::ExceptionMonitor => assert_eq!(
                     crash.source,
                     DetectionSource::ExceptionMonitor,
@@ -216,7 +222,11 @@ fn hanging_bug_count_matches_inventory() {
     // Sanity on the inventory itself: exactly the timeout-visible bugs
     // (Tardis's six) hang per Table 2's comparison discussion, plus the
     // depth-gated hangs EOF alone reaches.
-    let hanging: Vec<u8> = BUG_TABLE.iter().filter(|b| b.hangs).map(|b| b.number).collect();
+    let hanging: Vec<u8> = BUG_TABLE
+        .iter()
+        .filter(|b| b.hangs)
+        .map(|b| b.number)
+        .collect();
     for required in [3, 4, 5, 8, 15, 18] {
         assert!(hanging.contains(&required), "#{required} must hang");
     }

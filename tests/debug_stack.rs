@@ -28,7 +28,10 @@ fn ocd_session_against_live_agent() {
     assert_ne!(pc1, pc2, "agent must make progress");
     // Memory scratch write via the text protocol.
     ocd.execute("mww 0x40000010 0x12345678").unwrap();
-    assert!(ocd.execute("mdw 0x40000010").unwrap().contains("0x12345678"));
+    assert!(ocd
+        .execute("mdw 0x40000010")
+        .unwrap()
+        .contains("0x12345678"));
 }
 
 #[test]
@@ -37,7 +40,10 @@ fn rsp_session_sets_breakpoint_at_executor_main() {
     let main_addr = t.symbol("executor_main").unwrap();
     let mut rsp = eof::dap::RspServer::new(t);
     let z = format!("Z0,{main_addr:x},4");
-    assert_eq!(parse_packet(&rsp.handle(&frame_packet(&z)).unwrap()).unwrap(), "OK");
+    assert_eq!(
+        parse_packet(&rsp.handle(&frame_packet(&z)).unwrap()).unwrap(),
+        "OK"
+    );
     let reply = rsp.handle(&frame_packet("c")).unwrap();
     assert_eq!(parse_packet(&reply).unwrap(), "S05");
     // Read the PC register packet and confirm it is the breakpoint.

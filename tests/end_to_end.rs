@@ -79,7 +79,9 @@ fn eof_beats_eof_nf_on_zephyr_at_scale() {
 fn baseline_configs_run_and_stay_in_their_lanes() {
     use eof::baselines::BaselineKind;
     // Tardis on Zephyr: timeout-only, QEMU board.
-    let mut cfg = BaselineKind::Tardis.full_system_config(OsKind::Zephyr, 9).unwrap();
+    let mut cfg = BaselineKind::Tardis
+        .full_system_config(OsKind::Zephyr, 9)
+        .unwrap();
     cfg.budget_hours = 0.05;
     let r = run_campaign(cfg);
     assert!(r.stats.execs > 10);
@@ -89,7 +91,9 @@ fn baseline_configs_run_and_stay_in_their_lanes() {
     let r = run_campaign(cfg);
     assert!(r.stats.execs > 10);
     // Gustave refuses non-PoK targets.
-    assert!(BaselineKind::Gustave.full_system_config(OsKind::Zephyr, 9).is_none());
+    assert!(BaselineKind::Gustave
+        .full_system_config(OsKind::Zephyr, 9)
+        .is_none());
 }
 
 #[test]
@@ -118,6 +122,10 @@ fn spec_pipeline_reports_surface_coverage() {
 #[test]
 fn image_bytes_match_builder() {
     let r = run_campaign(short(OsKind::Zephyr, 8, 0.01));
-    let img = build_image(OsKind::Zephyr, ImageProfile::FullSystem, &InstrumentMode::Full);
+    let img = build_image(
+        OsKind::Zephyr,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
     assert_eq!(r.image_bytes, img.len());
 }

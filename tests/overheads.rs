@@ -9,7 +9,12 @@ fn image_overhead_in_paper_band() {
     // Paper: 4.32–9.58 % across the four reported OSs, average 6.44 %.
     let mut sum = 0.0;
     let mut n = 0;
-    for os in [OsKind::NuttX, OsKind::RtThread, OsKind::Zephyr, OsKind::FreeRtos] {
+    for os in [
+        OsKind::NuttX,
+        OsKind::RtThread,
+        OsKind::Zephyr,
+        OsKind::FreeRtos,
+    ] {
         let plain = build_image(os, ImageProfile::FullSystem, &InstrumentMode::None).len() as f64;
         let inst = build_image(os, ImageProfile::FullSystem, &InstrumentMode::Full).len() as f64;
         let pct = (inst - plain) / plain * 100.0;
@@ -23,14 +28,24 @@ fn image_overhead_in_paper_band() {
 
 #[test]
 fn module_confined_instrumentation_is_much_smaller() {
-    let full = build_image(OsKind::FreeRtos, ImageProfile::AppLevel, &InstrumentMode::Full).len();
+    let full = build_image(
+        OsKind::FreeRtos,
+        ImageProfile::AppLevel,
+        &InstrumentMode::Full,
+    )
+    .len();
     let confined = build_image(
         OsKind::FreeRtos,
         ImageProfile::AppLevel,
         &InstrumentMode::Modules(vec!["json".into(), "http".into()]),
     )
     .len();
-    let none = build_image(OsKind::FreeRtos, ImageProfile::AppLevel, &InstrumentMode::None).len();
+    let none = build_image(
+        OsKind::FreeRtos,
+        ImageProfile::AppLevel,
+        &InstrumentMode::None,
+    )
+    .len();
     assert!(none < confined && confined < full);
 }
 

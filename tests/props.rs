@@ -16,19 +16,16 @@ fn arb_arg() -> impl Strategy<Value = ArgValue> {
 }
 
 fn arb_prog() -> impl Strategy<Value = Prog> {
-    proptest::collection::vec(
-        (0u16..4, proptest::collection::vec(arb_arg(), 0..5)),
-        0..10,
-    )
-    .prop_map(|calls| Prog {
-        calls: calls
-            .into_iter()
-            .map(|(id, args)| Call {
-                api: format!("api{id}"),
-                args,
-            })
-            .collect(),
-    })
+    proptest::collection::vec((0u16..4, proptest::collection::vec(arb_arg(), 0..5)), 0..10)
+        .prop_map(|calls| Prog {
+            calls: calls
+                .into_iter()
+                .map(|(id, args)| Call {
+                    api: format!("api{id}"),
+                    args,
+                })
+                .collect(),
+        })
 }
 
 fn table() -> ApiTable {
