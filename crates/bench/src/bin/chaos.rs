@@ -38,6 +38,13 @@ fn cell_config(os: OsKind, hours: f64, chaos_seed: u64, faults: usize) -> ChaosC
     let mut base = FuzzerConfig::eof(os, 42 ^ chaos_seed);
     base.budget_hours = hours;
     base.snapshot_hours = (hours / 8.0).max(0.01);
+    // `EOF_PERSIST_DIR` turns the bench into a persistence torture test:
+    // each cell writes a campaign store while faults fly, and run_chaos
+    // audits it for losses (the nightly job then replays these stores).
+    if let Ok(dir) = std::env::var("EOF_PERSIST_DIR") {
+        base.persist =
+            Some(std::path::Path::new(&dir).join(format!("chaos-{}-{chaos_seed}", os.short())));
+    }
     ChaosConfig {
         base,
         chaos_seed,

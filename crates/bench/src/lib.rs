@@ -93,6 +93,15 @@ pub fn collect_telemetry(results: &[CampaignResult]) {
     }
 }
 
+/// Fold registries recorded outside a campaign — e.g. the replay gate's
+/// per-store recorders — into the accumulator behind
+/// [`export_telemetry`].
+pub fn collect_registries(registries: Vec<tel::Registry>) {
+    if !registries.is_empty() {
+        TELEMETRY_PARTS.lock().unwrap().extend(registries);
+    }
+}
+
 /// Everything collected so far, merged in collection order. `None` when
 /// no campaign recorded telemetry (`EOF_TRACE` off).
 pub fn merged_telemetry() -> Option<tel::Merged> {

@@ -47,6 +47,13 @@ pub struct CampaignResult {
     /// order, so `EOF_JOBS=1` and `EOF_JOBS=8` produce identical merged
     /// summaries for identical seeds.
     pub telemetry: Option<tel::Registry>,
+    /// Stable hashes of every admitted seed, in admission order (culled
+    /// seeds included). The resume path verifies persisted seed pools
+    /// against this.
+    pub corpus_hashes: Vec<u64>,
+    /// What the end-of-campaign persistence pass did; `None` unless
+    /// `config.persist` was set.
+    pub persist: Option<crate::replay::FinalizeAudit>,
 }
 
 /// Run one full campaign, also returning the final coverage map (for
@@ -170,13 +177,48 @@ fn run_campaign_traced(
     .expect("executor binds to sync symbols");
     tel::span_end(boot_span, executor.now());
     let generator = Generator::new(spec, config.seed, config.gen_mode, config.max_calls);
+    // Open the campaign store (if persistence is on) before the config
+    // moves into the fuzzer; the fuzzer writes crash records into it
+    // incrementally on first sighting.
+    let store = config
+        .persist
+        .as_deref()
+        .map(|dir| crate::persist::CampaignStore::create(dir, &config))
+        .transpose()
+        .expect("campaign store directory is writable");
     let mut fuzzer = Fuzzer::new(config, generator, executor);
+    if let Some(store) = store {
+        fuzzer.set_store(store);
+    }
     let fuzz_span = tel::span_start("campaign.fuzz", fuzzer.executor().now());
     let history = fuzzer.run_to_budget();
     tel::span_end(fuzz_span, fuzzer.executor().now());
 
     let stats = fuzzer.stats().clone();
     let resilience = fuzzer.executor().resilience();
+    // End-of-campaign save: confirm + minimize crashes on private fresh
+    // targets, record the seed pool's fresh-boot baseline, write the
+    // manifest last. The re-executions run with the campaign recorder
+    // suspended so they cannot drift the campaign's own counters; only
+    // the save itself is spanned and counted.
+    let persist_audit = fuzzer.take_store().map(|store| {
+        let span = tel::span_start("persist.save", fuzzer.executor().now());
+        let audit = tel::suspended(|| {
+            crate::replay::finalize_store(
+                store,
+                fuzzer.config(),
+                fuzzer.corpus(),
+                fuzzer.crashes(),
+                fuzzer.executor().coverage(),
+                fuzzer.config().budget_hours,
+                stats.execs,
+            )
+        });
+        tel::span_end(span, fuzzer.executor().now());
+        tel::count("persist.seeds", audit.seeds_written as u64);
+        tel::count("persist.crashes", audit.crashes_written as u64);
+        audit
+    });
     let telemetry = guard.map(|g| {
         let registry = g.finish();
         assert_no_counter_drift(&registry, &stats, &resilience);
@@ -193,6 +235,8 @@ fn run_campaign_traced(
         spec_report,
         image_bytes,
         telemetry,
+        corpus_hashes: fuzzer.corpus().admitted_hashes(),
+        persist: persist_audit,
     };
     (result, fuzzer.executor().coverage().clone())
 }

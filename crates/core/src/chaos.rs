@@ -131,7 +131,10 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
     );
     let planned_faults = plan.pending();
     let result = run_campaign_with_faults(config.base.clone(), plan);
-    let violations = check_invariants(&result);
+    let mut violations = check_invariants(&result);
+    if let Some(dir) = &config.base.persist {
+        violations.extend(audit_persistence(&result, dir));
+    }
     ChaosReport {
         result,
         fault_counts,
@@ -169,6 +172,62 @@ pub fn check_invariants(result: &CampaignResult) -> Vec<String> {
         violations.push(format!(
             "recovery episode exceeded bound: {} cycles > {MAX_RECOVERY_SECS} s",
             r.max_recovery_cycles
+        ));
+    }
+    violations
+}
+
+/// Persistence-under-chaos contract: a campaign that rode out injected
+/// outages must still land a complete, loss-free store on disk — every
+/// unique crash the campaign recorded has its record, the seed pool
+/// matches the audit, and nothing was skipped as corrupt.
+pub fn audit_persistence(result: &CampaignResult, dir: &std::path::Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Some(audit) = &result.persist else {
+        violations.push("persistence was requested but the campaign produced no audit".into());
+        return violations;
+    };
+    if audit.write_errors > 0 {
+        violations.push(format!(
+            "store absorbed {} write errors during the campaign",
+            audit.write_errors
+        ));
+    }
+    let loaded = match crate::persist::open(dir) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            violations.push(format!("store did not survive the campaign: {e}"));
+            return violations;
+        }
+    };
+    if loaded.skips.total() > 0 {
+        violations.push(format!(
+            "store load skipped entries after a clean campaign: {:?}",
+            loaded.skips
+        ));
+    }
+    if loaded.seeds.len() != audit.seeds_written {
+        violations.push(format!(
+            "seed pool lost entries: {} on disk, {} written",
+            loaded.seeds.len(),
+            audit.seeds_written
+        ));
+    }
+    let on_disk: std::collections::BTreeSet<&str> =
+        loaded.crashes.iter().map(|c| c.key.as_str()).collect();
+    for report in &result.crashes {
+        let key = crate::crash::dedup_key(report);
+        if !on_disk.contains(key.as_str()) {
+            violations.push(format!(
+                "unique crash lost by the store: {:?} ({:?})",
+                report.message, report.source
+            ));
+        }
+    }
+    if loaded.manifest.branches != result.branches {
+        violations.push(format!(
+            "manifest branch count drifted: {} on disk, {} in the campaign",
+            loaded.manifest.branches, result.branches
         ));
     }
     violations
@@ -224,6 +283,27 @@ mod tests {
             r.recovered() + r.manual_interventions == r.episodes,
             "episodes unaccounted"
         );
+    }
+
+    #[test]
+    fn persistence_survives_injected_outages() {
+        // Crashes are persisted incrementally, so some records land on
+        // disk *between* injected link drops and brownouts; the audit
+        // checks none of them (nor the end-of-campaign pool) went
+        // missing.
+        let dir = std::env::temp_dir().join(format!("eof-chaos-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = chaos_config(OsKind::FreeRtos, 21, 77, 30);
+        config.base.persist = Some(dir.clone());
+        let report = run_chaos(&config);
+        assert!(
+            report.violations.is_empty(),
+            "persistence-under-chaos violations: {:?}",
+            report.violations
+        );
+        let audit = report.result.persist.as_ref().expect("store audited");
+        assert!(audit.seeds_written > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -146,6 +146,12 @@ pub struct FuzzerConfig {
     /// functions are an EOF/LLM feature (§4.5); baselines with
     /// hand-written specs (Tardis, Gustave) never had them.
     pub exclude_pseudo: bool,
+    /// Persist the campaign's artifacts (seed pool, unique crashes,
+    /// coverage bitmap, manifest) into this directory: crashes
+    /// incrementally on discovery, the rest at campaign end. `None` =
+    /// keep nothing. Excluded from the store's config fingerprint, like
+    /// the budget knobs.
+    pub persist: Option<std::path::PathBuf>,
 }
 
 impl FuzzerConfig {
@@ -172,6 +178,7 @@ impl FuzzerConfig {
             module_filter: None,
             peripheral_events: false,
             exclude_pseudo: false,
+            persist: None,
         }
     }
 

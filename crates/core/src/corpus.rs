@@ -9,6 +9,7 @@
 use eof_speclang::prog::Prog;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::collections::BTreeSet;
 
 /// One corpus entry.
 #[derive(Debug, Clone)]
@@ -23,6 +24,12 @@ pub struct Seed {
     pub energy: f64,
     /// Times this seed has been picked for mutation.
     pub picks: u64,
+    /// Admission ordinal (0-based position in the campaign's admission
+    /// sequence) — provenance for persisted pools, and the order seed
+    /// replay re-executes in.
+    pub ordinal: u64,
+    /// Content hash of the prog ([`Prog::stable_hash`]) at admission.
+    pub hash: u64,
 }
 
 /// The seed corpus.
@@ -31,6 +38,10 @@ pub struct Corpus {
     seeds: Vec<Seed>,
     max_seeds: usize,
     admitted: u64,
+    /// Content hashes of every prog ever admitted — including culled
+    /// seeds, so a once-explored input stays rejected for the rest of
+    /// the campaign (and across resumes, where the set is re-derived).
+    hashes: BTreeSet<u64>,
 }
 
 impl Corpus {
@@ -40,6 +51,7 @@ impl Corpus {
             seeds: Vec::new(),
             max_seeds: max_seeds.max(1),
             admitted: 0,
+            hashes: BTreeSet::new(),
         }
     }
 
@@ -61,10 +73,19 @@ impl Corpus {
     /// Admit an interesting input (by value — the fuzzing loop's hot
     /// path must not clone progs). Energy scales with discovery size;
     /// crash signals add a flat bonus (EOF's unified feedback). Returns
-    /// the new seed's index, or `None` in the rare case that the corpus
-    /// was full and the new seed itself was the cull victim. Indices of
-    /// *other* seeds stay valid until the next `admit`.
+    /// the new seed's index; `None` when the input was rejected as a
+    /// byte-identical duplicate of an already-admitted prog, or in the
+    /// rare case that the corpus was full and the new seed itself was
+    /// the cull victim. Indices of *other* seeds stay valid until the
+    /// next `admit`.
     pub fn admit(&mut self, prog: Prog, new_edges: usize, crashed: bool) -> Option<usize> {
+        let hash = prog.stable_hash();
+        if !self.hashes.insert(hash) {
+            // Already explored (possibly culled since): re-admitting it
+            // would let persisted pools accumulate duplicates across
+            // resumes and waste scheduling energy on a known input.
+            return None;
+        }
         let energy = 1.0 + (new_edges as f64).sqrt() + if crashed { 4.0 } else { 0.0 };
         self.seeds.push(Seed {
             prog,
@@ -72,6 +93,8 @@ impl Corpus {
             crashed,
             energy,
             picks: 0,
+            ordinal: self.admitted,
+            hash,
         });
         self.admitted += 1;
         if self.seeds.len() > self.max_seeds {
@@ -128,6 +151,18 @@ impl Corpus {
     /// Iterate over seeds (reporting).
     pub fn iter(&self) -> impl Iterator<Item = &Seed> {
         self.seeds.iter()
+    }
+
+    /// Content hashes of every prog ever admitted (including seeds
+    /// culled since), in ascending hash order. Persisted stores are
+    /// verified against this set on resume.
+    pub fn admitted_hashes(&self) -> Vec<u64> {
+        self.hashes.iter().copied().collect()
+    }
+
+    /// Whether a byte-identical prog has already been admitted.
+    pub fn contains_hash(&self, hash: u64) -> bool {
+        self.hashes.contains(&hash)
     }
 }
 
@@ -214,5 +249,40 @@ mod tests {
         let mut c = Corpus::new(4);
         let mut rng = StdRng::seed_from_u64(3);
         assert!(c.pick(&mut rng).is_none());
+    }
+
+    #[test]
+    fn byte_identical_progs_are_rejected() {
+        let mut c = Corpus::new(8);
+        assert!(c.admit(prog("a"), 3, false).is_some());
+        // Same bytes, different claimed discovery: still a duplicate.
+        assert_eq!(c.admit(prog("a"), 9, true), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.admitted(), 1, "duplicates are not admissions");
+        assert!(c.contains_hash(prog("a").stable_hash()));
+    }
+
+    #[test]
+    fn dedup_survives_culling() {
+        let mut c = Corpus::new(2);
+        c.admit(prog("weak"), 0, false);
+        c.admit(prog("big"), 100, false);
+        // "weak" is culled by the next strong arrival...
+        c.admit(prog("mid"), 25, false);
+        assert!(c.iter().all(|s| s.prog.calls[0].api != "weak"));
+        // ...but stays rejected: it was already explored once.
+        assert_eq!(c.admit(prog("weak"), 50, false), None);
+    }
+
+    #[test]
+    fn ordinals_follow_admission_order() {
+        let mut c = Corpus::new(8);
+        c.admit(prog("a"), 1, false);
+        c.admit(prog("b"), 2, false);
+        c.admit(prog("a"), 2, false); // duplicate: no ordinal consumed
+        c.admit(prog("c"), 3, false);
+        let ordinals: Vec<u64> = c.iter().map(|s| s.ordinal).collect();
+        assert_eq!(ordinals, vec![0, 1, 2]);
+        assert_eq!(c.admitted_hashes().len(), 3);
     }
 }

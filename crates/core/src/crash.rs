@@ -50,8 +50,10 @@ pub fn triage(os: OsKind, message: &str, backtrace: &[String]) -> Option<BugId> 
     None
 }
 
-/// Stable de-duplication key: message class + top frames.
-fn dedup_key(report: &CrashReport) -> String {
+/// Stable de-duplication key: message class + top frames. Public
+/// because the persistence layer keys crash records by it and the
+/// replay engine compares classes with it.
+pub fn dedup_key(report: &CrashReport) -> String {
     let top: Vec<&str> = report
         .backtrace
         .iter()
@@ -92,6 +94,13 @@ impl CrashDb {
                 true
             }
         }
+    }
+
+    /// Whether a report's crash class has already been recorded. Lets
+    /// callers act on first-sighting (e.g. persist the reproducer)
+    /// before `record` consumes the report.
+    pub fn contains(&self, report: &CrashReport) -> bool {
+        self.unique.contains_key(&dedup_key(report))
     }
 
     /// Unique crashes.

@@ -128,6 +128,28 @@ impl FleetRunner {
     pub fn run(&self, configs: Vec<FuzzerConfig>) -> Vec<FleetResult<CampaignResult>> {
         self.map(configs, |_, config| run_campaign(config))
     }
+
+    /// Run a batch of campaigns with persistence: job `i` writes its
+    /// store into `base_dir/job-<i>`, overriding whatever `persist`
+    /// the config carried. The per-job directories keep concurrent
+    /// workers from ever sharing a store; a shared directory would
+    /// still degrade safely (per-file atomic writes, foreign entries
+    /// counted and skipped) but would interleave manifests.
+    pub fn run_persisted(
+        &self,
+        configs: Vec<FuzzerConfig>,
+        base_dir: &std::path::Path,
+    ) -> Vec<FleetResult<CampaignResult>> {
+        let configs: Vec<FuzzerConfig> = configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut c)| {
+                c.persist = Some(base_dir.join(format!("job-{i}")));
+                c
+            })
+            .collect();
+        self.run(configs)
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -214,6 +236,23 @@ mod tests {
         let serial = FleetRunner::new(1).map(configs.clone(), |_, c| run_campaign_recorded(c));
         let parallel = FleetRunner::new(4).map(configs, |_, c| run_campaign_recorded(c));
         assert_eq!(merged_summary(serial), merged_summary(parallel));
+    }
+
+    #[test]
+    fn persisted_fleet_writes_one_store_per_job() {
+        let base = std::env::temp_dir().join(format!("eof-fleet-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let configs = vec![short(OsKind::Zephyr, 31), short(OsKind::FreeRtos, 32)];
+        let out = FleetRunner::new(2).run_persisted(configs, &base);
+        for (i, r) in out.iter().enumerate() {
+            let r = r.as_ref().expect("persisted campaign runs");
+            let audit = r.persist.as_ref().expect("job audited its store");
+            assert_eq!(audit.write_errors, 0);
+            let loaded = crate::persist::open(&base.join(format!("job-{i}"))).unwrap();
+            assert_eq!(loaded.seeds.len(), audit.seeds_written);
+            assert_eq!(loaded.manifest.branches, r.branches);
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::corpus::Corpus;
 use crate::crash::CrashDb;
 use crate::executor::Executor;
 use crate::gen::Generator;
+use crate::persist::{CampaignStore, PersistedCrash};
 use eof_coverage::Snapshot;
 use eof_telemetry as tel;
 use rand::rngs::StdRng;
@@ -44,6 +45,7 @@ pub struct Fuzzer {
     crashes: CrashDb,
     rng: StdRng,
     stats: FuzzerStats,
+    store: Option<CampaignStore>,
 }
 
 impl Fuzzer {
@@ -58,7 +60,26 @@ impl Fuzzer {
             crashes: CrashDb::new(),
             rng,
             stats: FuzzerStats::default(),
+            store: None,
         }
+    }
+
+    /// Attach a persistence store: new crash classes are written the
+    /// moment they are first seen, so a mid-flight outage loses no
+    /// uniques. Store writes never touch the RNG or the simulated clock
+    /// — a persisted campaign is bit-identical to an unpersisted one.
+    pub fn set_store(&mut self, store: CampaignStore) {
+        self.store = Some(store);
+    }
+
+    /// Detach the store (the campaign finalizer takes it over).
+    pub fn take_store(&mut self) -> Option<CampaignStore> {
+        self.store.take()
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &FuzzerConfig {
+        &self.config
     }
 
     /// The crash database.
@@ -195,6 +216,15 @@ impl Fuzzer {
         if let Some(report) = outcome.crash {
             self.stats.crash_observations += 1;
             tel::count("fuzz.crash_observations", 1);
+            if !self.crashes.contains(&report) {
+                // First sighting of this class: persist the raw
+                // reproducer immediately (finalize later upgrades it to
+                // a minimized + confirmed record).
+                if let Some(store) = self.store.as_mut() {
+                    store.record_crash(&PersistedCrash::from_report(&report, false, false));
+                    tel::count("persist.crash_writes", 1);
+                }
+            }
             new_crash_class = self.crashes.record(report);
         }
         if outcome.new_edges > 0 {

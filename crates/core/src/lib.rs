@@ -30,6 +30,13 @@
 //!   campaign in the process (one build per distinct key);
 //! * [`fleet`] — batch campaign execution over a scoped worker pool
 //!   with deterministic, submission-ordered results;
+//! * [`persist`] — the versioned on-disk campaign store: seed pool,
+//!   unique-crash reproducers, coverage bitmap and manifest, written
+//!   atomically and loaded tolerantly (corrupt/foreign entries are
+//!   counted skips, never fatal);
+//! * [`replay`] — deterministic re-execution of persisted stores: the
+//!   save-time confirm/minimize pass, the CI replay gate, and
+//!   replay-based campaign resume;
 //! * [`report`] — serialisable result records for the benches.
 
 // Every dependency in Cargo.toml must actually be linked against —
@@ -48,6 +55,8 @@ pub mod fleet;
 pub mod fuzzer;
 pub mod gen;
 pub mod minimize;
+pub mod persist;
+pub mod replay;
 pub mod report;
 pub mod supervisor;
 
@@ -65,4 +74,12 @@ pub use fleet::{FleetError, FleetResult, FleetRunner};
 pub use fuzzer::{Fuzzer, FuzzerStats};
 pub use gen::Generator;
 pub use minimize::{minimize, MinimizeResult};
+pub use persist::{
+    config_fingerprint, CampaignStore, LoadedStore, PersistedCrash, PersistedSeed, SkipStats,
+    StoreError, StoreManifest, SCHEMA_VERSION,
+};
+pub use replay::{
+    finalize_store, replay_loaded, replay_store, resume_campaign, resume_campaign_with,
+    FinalizeAudit, ReplayCase, ReplayReport, ResumeOutcome,
+};
 pub use supervisor::{RecoveryOutcome, RecoveryReason, RecoverySupervisor, ResilienceStats, Rung};

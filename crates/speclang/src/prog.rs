@@ -179,7 +179,130 @@ impl Prog {
             }
         }
     }
+
+    /// Serialise the prog into a self-contained canonical byte form —
+    /// unlike the [`wire`](crate::wire) encoding it carries API *names*
+    /// rather than table-assigned ids, so the bytes round-trip without
+    /// an [`ApiTable`](crate::wire::ApiTable) and stay stable across
+    /// spec regenerations. This is the form campaign stores persist and
+    /// hash.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.push(CANONICAL_VERSION);
+        out.extend_from_slice(&(self.calls.len() as u16).to_le_bytes());
+        for call in &self.calls {
+            out.extend_from_slice(&(call.api.len() as u16).to_le_bytes());
+            out.extend_from_slice(call.api.as_bytes());
+            out.extend_from_slice(&(call.args.len() as u16).to_le_bytes());
+            for arg in &call.args {
+                match arg {
+                    ArgValue::Int(v) => {
+                        out.push(0);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    ArgValue::ResourceRef(r) => {
+                        out.push(1);
+                        out.extend_from_slice(&r.to_le_bytes());
+                    }
+                    ArgValue::Buffer(b) => {
+                        out.push(2);
+                        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                        out.extend_from_slice(b);
+                    }
+                    ArgValue::CString(s) => {
+                        out.push(3);
+                        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                        out.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a prog from its canonical byte form. Errors describe the
+    /// first malformation encountered (truncation, bad tag, bad UTF-8).
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Result<Prog, String> {
+        let mut off = 0usize;
+        let take = |off: &mut usize, n: usize| -> Result<&[u8], String> {
+            let end = off
+                .checked_add(n)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| format!("truncated prog at offset {off}"))?;
+            let s = &bytes[*off..end];
+            *off = end;
+            Ok(s)
+        };
+        let version = take(&mut off, 1)?[0];
+        if version != CANONICAL_VERSION {
+            return Err(format!("unsupported canonical prog version {version}"));
+        }
+        let n = take(&mut off, 2)?;
+        let ncalls = u16::from_le_bytes([n[0], n[1]]) as usize;
+        let mut calls = Vec::with_capacity(ncalls.min(1024));
+        for _ in 0..ncalls {
+            let n = take(&mut off, 2)?;
+            let name_len = u16::from_le_bytes([n[0], n[1]]) as usize;
+            let api = std::str::from_utf8(take(&mut off, name_len)?)
+                .map_err(|e| format!("API name is not UTF-8: {e}"))?
+                .to_string();
+            let n = take(&mut off, 2)?;
+            let nargs = u16::from_le_bytes([n[0], n[1]]) as usize;
+            let mut args = Vec::with_capacity(nargs.min(1024));
+            for _ in 0..nargs {
+                let tag = take(&mut off, 1)?[0];
+                args.push(match tag {
+                    0 => {
+                        let b = take(&mut off, 8)?;
+                        ArgValue::Int(u64::from_le_bytes(b.try_into().unwrap()))
+                    }
+                    1 => {
+                        let b = take(&mut off, 2)?;
+                        ArgValue::ResourceRef(u16::from_le_bytes([b[0], b[1]]))
+                    }
+                    2 => {
+                        let b = take(&mut off, 4)?;
+                        let len = u32::from_le_bytes(b.try_into().unwrap()) as usize;
+                        ArgValue::Buffer(take(&mut off, len)?.to_vec())
+                    }
+                    3 => {
+                        let b = take(&mut off, 4)?;
+                        let len = u32::from_le_bytes(b.try_into().unwrap()) as usize;
+                        ArgValue::CString(
+                            std::str::from_utf8(take(&mut off, len)?)
+                                .map_err(|e| format!("CString payload is not UTF-8: {e}"))?
+                                .to_string(),
+                        )
+                    }
+                    t => return Err(format!("unknown canonical arg tag {t}")),
+                });
+            }
+            calls.push(Call { api, args });
+        }
+        if off != bytes.len() {
+            return Err(format!("{} trailing bytes after prog", bytes.len() - off));
+        }
+        Ok(Prog { calls })
+    }
+
+    /// Content hash over [`canonical_bytes`](Self::canonical_bytes):
+    /// FNV-1a 64, identical across processes and platforms (unlike
+    /// `std::hash`, whose keys are unspecified). Byte-identical progs —
+    /// and only those — share a stable hash.
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self.canonical_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
 }
+
+/// Version byte leading every canonical prog encoding.
+pub const CANONICAL_VERSION: u8 = 1;
 
 #[cfg(test)]
 mod tests {
@@ -343,5 +466,86 @@ mod tests {
     fn referenced_calls_tracking() {
         let p = valid_prog();
         assert_eq!(p.referenced_calls(), vec![0]);
+    }
+
+    fn exotic_prog() -> Prog {
+        Prog {
+            calls: vec![
+                Call {
+                    api: "create".into(),
+                    args: vec![ArgValue::Int(u64::MAX)],
+                },
+                Call {
+                    api: "delete".into(),
+                    args: vec![
+                        ArgValue::ResourceRef(0),
+                        ArgValue::Buffer(vec![0, 255, 7]),
+                        ArgValue::CString("héllo".into()),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn canonical_bytes_round_trip() {
+        for p in [Prog::new(), valid_prog(), exotic_prog()] {
+            let bytes = p.canonical_bytes();
+            assert_eq!(Prog::from_canonical_bytes(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn canonical_decode_rejects_malformed_input() {
+        let bytes = exotic_prog().canonical_bytes();
+        // Truncation anywhere must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                Prog::from_canonical_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Prog::from_canonical_bytes(&long).is_err());
+        // Foreign version byte.
+        let mut fv = bytes.clone();
+        fv[0] = 99;
+        assert!(Prog::from_canonical_bytes(&fv)
+            .unwrap_err()
+            .contains("version"));
+        // Bad arg tag: version(1) + ncalls(2) + len(2) + "create"(6) +
+        // nargs(2) puts the first call's first arg tag at offset 13.
+        let mut enc = valid_prog().canonical_bytes();
+        enc[13] = 9;
+        assert!(Prog::from_canonical_bytes(&enc)
+            .unwrap_err()
+            .contains("tag"));
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_and_reproduces() {
+        let a = valid_prog();
+        let b = exotic_prog();
+        assert_eq!(a.stable_hash(), valid_prog().stable_hash());
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        // A one-argument tweak must move the hash.
+        let mut c = valid_prog();
+        c.calls[0].args[0] = ArgValue::Int(6);
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        // Pinned value: the hash is part of the on-disk store contract —
+        // if this changes, persisted corpora stop deduplicating against
+        // freshly generated progs.
+        assert_eq!(Prog::new().stable_hash(), {
+            const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = OFFSET;
+            for b in [1u8, 0, 0] {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        });
     }
 }

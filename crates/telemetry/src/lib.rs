@@ -126,6 +126,33 @@ impl Drop for RecorderGuard {
     }
 }
 
+/// Run `f` with any installed recorder temporarily uninstalled, then
+/// restore it. Auxiliary work that re-executes instrumented layers —
+/// replaying a persisted reproducer, minimizing a crash on a fresh
+/// executor — would otherwise pollute the campaign's counters and break
+/// its drift invariants; wrapping such work in `suspended` keeps the
+/// campaign registry describing only the campaign. The recorder is
+/// restored even if `f` panics.
+pub fn suspended<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Registry>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(reg) = self.0.take() {
+                CURRENT.with(|c| *c.borrow_mut() = Some(reg));
+                ACTIVE.with(|a| a.set(true));
+            }
+        }
+    }
+    let saved = if active() {
+        ACTIVE.with(|a| a.set(false));
+        CURRENT.with(|c| c.borrow_mut().take())
+    } else {
+        None
+    };
+    let _restore = Restore(saved);
+    f()
+}
+
 #[inline]
 fn with_registry(f: impl FnOnce(&mut Registry)) {
     if !active() {
@@ -277,5 +304,45 @@ mod tests {
     fn nested_begin_panics() {
         let _a = begin();
         let _b = begin();
+    }
+
+    #[test]
+    fn suspended_hides_records_and_restores_recorder() {
+        let guard = begin();
+        count("kept", 1);
+        let out = suspended(|| {
+            assert!(!active(), "recorder visible inside suspended scope");
+            count("hidden", 7);
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(active(), "recorder not restored");
+        count("kept", 1);
+        let reg = guard.finish();
+        assert_eq!(reg.counter("kept"), 2);
+        assert_eq!(reg.counter("hidden"), 0, "suspended work leaked");
+    }
+
+    #[test]
+    fn suspended_without_recorder_is_a_noop() {
+        assert!(!active());
+        let out = suspended(|| {
+            count("x", 1);
+            5
+        });
+        assert_eq!(out, 5);
+        assert!(!active());
+    }
+
+    #[test]
+    fn suspended_restores_after_panic() {
+        let guard = begin();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            suspended(|| panic!("boom"))
+        }));
+        assert!(caught.is_err());
+        assert!(active(), "recorder lost after panic inside suspended");
+        count("after", 3);
+        assert_eq!(guard.finish().counter("after"), 3);
     }
 }

@@ -55,6 +55,10 @@ pub mod prelude {
     pub use eof_baselines::BaselineKind;
     pub use eof_core::config::{DetectionConfig, GenerationMode, RecoveryConfig};
     pub use eof_core::report::write_campaign_report;
+    pub use eof_core::{
+        replay_store, resume_campaign, resume_campaign_with, CampaignStore, LoadedStore,
+        ReplayReport, StoreError,
+    };
     pub use eof_core::{run_campaign, CampaignResult, Executor, Fuzzer, FuzzerConfig, Generator};
     pub use eof_coverage::InstrumentMode;
     pub use eof_dap::{DebugTransport, LinkConfig, OcdServer, RspServer};

@@ -144,7 +144,9 @@ mod tests {
         for _ in 0..200 {
             let s = generate_from_pattern("[a-z0-9_]{0,24}", &mut r);
             assert!(s.len() <= 24);
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
     }
 
@@ -153,7 +155,9 @@ mod tests {
         let mut r = rng();
         for _ in 0..200 {
             let s = generate_from_pattern("[ -~&&[^$#]]{0,128}", &mut r);
-            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '$' && c != '#'));
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) && c != '$' && c != '#'));
         }
     }
 

@@ -116,9 +116,9 @@ where
         let rendered = format!("{value:?}");
         match catch_unwind(AssertUnwindSafe(|| test(value))) {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => panic!(
-                "property '{name}' failed at case {case}: {e}\n       input: {rendered}"
-            ),
+            Ok(Err(e)) => {
+                panic!("property '{name}' failed at case {case}: {e}\n       input: {rendered}")
+            }
             Err(payload) => {
                 eprintln!("property '{name}' panicked at case {case}; input: {rendered}");
                 resume_unwind(payload);
