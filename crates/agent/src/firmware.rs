@@ -255,7 +255,7 @@ impl Firmware for AgentFirmware {
                 // running. An emulator without peripheral models raises
                 // nothing — the gap the paper's motivation is built on.
                 if bus.silicon {
-                    let now = bus.now();
+                    let now = bus.core_now();
                     if now.saturating_sub(self.last_ambient) > 2_000 {
                         self.last_ambient = now;
                         bus.pending_irqs.push_back(eof_hal::IrqRequest {
@@ -476,7 +476,7 @@ impl Firmware for AgentFirmware {
                         return StepResult::fault(
                             fault.kind,
                             pc,
-                            bus.now(),
+                            bus.core_now(),
                             fault.message.clone(),
                             fault.frames.iter().map(|f| f.to_string()).collect(),
                         );

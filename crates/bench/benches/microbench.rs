@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use eof_core::config::GenerationMode;
 use eof_core::{FuzzerConfig, Generator};
 use eof_coverage::{CovRegion, InstrumentMode};
-use eof_dap::{DebugTransport, LinkConfig};
+use eof_dap::{DebugTransport, LinkConfig, Txn};
 use eof_hal::{BoardCatalog, Bus, Endianness};
 use eof_rtos::api::KArg;
 use eof_rtos::ctx::{CovState, ExecCtx};
@@ -97,6 +97,62 @@ fn bench_debug_port(c: &mut Criterion) {
         b.iter(|| t.read_mem(base + 0x8000, &mut out).unwrap())
     });
     c.bench_function("dap/read_pc", |b| b.iter(|| t.read_pc().unwrap()));
+}
+
+fn bench_dap_txn(c: &mut Criterion) {
+    // Vectored transaction layer vs the same ops issued scalar: one
+    // breakpoint arm/disarm plus a coverage-header-sized read and two
+    // counter resets — the executor's sync + drain shape.
+    let machine = eof_agent::boot_machine(
+        BoardCatalog::qemu_virt_arm(),
+        OsKind::Zephyr,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
+    let mut t = DebugTransport::attach(machine, LinkConfig::default());
+    let base = t.machine().board().ram_base + 0x8000;
+    let zero = [0u8; 4];
+    c.bench_function("dap_txn/drain_shape_vectored", |b| {
+        b.iter(|| {
+            let mut txn = Txn::new();
+            txn.read_mem(base, 12)
+                .write_mem(base, &zero)
+                .write_mem(base + 8, &zero);
+            black_box(t.run_txn(&txn).unwrap())
+        })
+    });
+    c.bench_function("dap_txn/drain_shape_scalar", |b| {
+        b.iter(|| {
+            let mut hdr = [0u8; 12];
+            t.read_mem(base, &mut hdr).unwrap();
+            t.write_mem(base, &zero).unwrap();
+            t.write_mem(base + 8, &zero).unwrap();
+            black_box(hdr)
+        })
+    });
+    let ops: Vec<u32> = (0..8).map(|i| base + 0x100 + i * 16).collect();
+    c.bench_function("dap_txn/breakpoints_8_vectored", |b| {
+        b.iter(|| {
+            let mut txn = Txn::new();
+            for &addr in &ops {
+                txn.set_breakpoint(addr);
+            }
+            for &addr in &ops {
+                txn.clear_breakpoint(addr);
+            }
+            black_box(t.run_txn(&txn).unwrap())
+        })
+    });
+    c.bench_function("dap_txn/breakpoints_8_scalar", |b| {
+        b.iter(|| {
+            for &addr in &ops {
+                t.set_breakpoint(addr).unwrap();
+            }
+            for &addr in &ops {
+                t.clear_breakpoint(addr).unwrap();
+            }
+        })
+    });
 }
 
 fn bench_coverage(c: &mut Criterion) {
@@ -198,6 +254,7 @@ criterion_group!(
     bench_kernel_dispatch,
     bench_parsers,
     bench_debug_port,
+    bench_dap_txn,
     bench_coverage,
     bench_fuzz_iteration,
     bench_fleet

@@ -1,0 +1,101 @@
+//! Vectored-link throughput: the fig-7 experiment re-run as an A/B over
+//! the debug-port wire mode. Same OS, same seed, same simulated time
+//! budget — the only variable is whether the executor issues its hot
+//! debug-port sequences (prog upload, coverage drain, breakpoint sync,
+//! restore verify) as one vectored transaction or as scalar operations.
+//!
+//! Because target-visible time is decoupled from link traffic (timers
+//! freeze on halt), both modes observe the same target per exec; the
+//! batching converts the saved round-trip cycles directly into extra
+//! execs and therefore extra coverage inside the fixed budget. The
+//! paper's claim needs FreeRTOS (the slowest JTAG board) to improve by
+//! at least 15%.
+
+use eof_baselines::BaselineKind;
+use eof_bench::{bench_hours, bench_reps, fmt1, run_config_set};
+use eof_core::CampaignResult;
+use eof_rtos::OsKind;
+
+fn mean(results: &[CampaignResult], f: impl Fn(&CampaignResult) -> f64) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(f).sum::<f64>() / results.len() as f64
+}
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    eprintln!("[vectored] {hours} simulated hours × {reps} reps per cell");
+
+    // One scalar and one vectored cell per OS, fanned out as a single
+    // fleet batch so the comparison shares the worker pool.
+    let mut bases = Vec::new();
+    for os in OsKind::ALL {
+        for vectored in [false, true] {
+            let mut cfg = BaselineKind::Eof
+                .full_system_config(os, 42)
+                .expect("EOF runs on every OS");
+            cfg.budget_hours = hours;
+            cfg.vectored = vectored;
+            bases.push(cfg);
+        }
+    }
+    let mut per_base = run_config_set(&bases, reps).into_iter();
+
+    let mut rows = Vec::new();
+    let mut text =
+        String::from("Vectored debug-port transactions vs scalar link, same simulated budget\n");
+    for os in OsKind::ALL {
+        let scalar = per_base.next().expect("scalar cell");
+        let vectored = per_base.next().expect("vectored cell");
+        let (se, ve) = (
+            mean(&scalar, |r| r.stats.execs as f64),
+            mean(&vectored, |r| r.stats.execs as f64),
+        );
+        let (sb, vb) = (
+            mean(&scalar, |r| r.branches as f64),
+            mean(&vectored, |r| r.branches as f64),
+        );
+        let exec_gain = if se > 0.0 {
+            (ve / se - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let branch_gain = if sb > 0.0 {
+            (vb / sb - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        text.push_str(&format!(
+            "  {:10} execs {:>7} -> {:>7} ({:+.1}%)   branches {:>6} -> {:>6} ({:+.1}%)\n",
+            os.display(),
+            fmt1(se),
+            fmt1(ve),
+            exec_gain,
+            fmt1(sb),
+            fmt1(vb),
+            branch_gain,
+        ));
+        rows.push(vec![
+            os.display().to_string(),
+            fmt1(se),
+            fmt1(ve),
+            format!("{exec_gain:.1}"),
+            fmt1(sb),
+            fmt1(vb),
+            format!("{branch_gain:.1}"),
+        ]);
+        eprintln!("  {} done", os.display());
+    }
+    let headers = [
+        "os",
+        "execs_scalar",
+        "execs_vectored",
+        "exec_gain_pct",
+        "branches_scalar",
+        "branches_vectored",
+        "branch_gain_pct",
+    ];
+    eof_bench::write_outputs("vectored", &text, &headers, &rows);
+}

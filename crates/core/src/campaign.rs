@@ -91,17 +91,13 @@ fn run_campaign_inner(
     run_campaign_traced(config, plan, tel::enabled())
 }
 
-fn run_campaign_traced(
-    config: FuzzerConfig,
-    plan: FaultPlan,
-    record: bool,
-) -> (CampaignResult, eof_coverage::CoverageMap) {
-    // Install a per-campaign recorder on this thread. Every record call
-    // below (executor, supervisor, transport, HAL) checks only "is a
-    // recorder installed" — never the env — so the campaign's telemetry
-    // shape is fixed at entry. The guard uninstalls on panic, keeping
-    // fleet workers clean across panic-isolated jobs.
-    let guard = record.then(tel::begin);
+/// Perform the paper's setup workflow — spec pipeline, image build,
+/// flash, boot, debug attach — and return a fuzzer parked at its first
+/// sync point, plus the spec-generation report and flashed image size.
+/// `run_campaign` drives the returned fuzzer to its time budget; tests
+/// that need exec-count-exact comparisons (the vectored-equivalence
+/// gate) drive [`Fuzzer::step`] themselves instead.
+pub fn build_fuzzer(config: FuzzerConfig, plan: FaultPlan) -> (Fuzzer, GenReport, usize) {
     // ② Extract + validate the API specifications. The pipeline is pure
     // in (os, noise, validation), so it is interned process-wide; the
     // spec is cloned out because the config filters below mutate it.
@@ -190,6 +186,21 @@ fn run_campaign_traced(
     if let Some(store) = store {
         fuzzer.set_store(store);
     }
+    (fuzzer, spec_report, image_bytes)
+}
+
+fn run_campaign_traced(
+    config: FuzzerConfig,
+    plan: FaultPlan,
+    record: bool,
+) -> (CampaignResult, eof_coverage::CoverageMap) {
+    // Install a per-campaign recorder on this thread. Every record call
+    // below (executor, supervisor, transport, HAL) checks only "is a
+    // recorder installed" — never the env — so the campaign's telemetry
+    // shape is fixed at entry. The guard uninstalls on panic, keeping
+    // fleet workers clean across panic-isolated jobs.
+    let guard = record.then(tel::begin);
+    let (mut fuzzer, spec_report, image_bytes) = build_fuzzer(config, plan);
     let fuzz_span = tel::span_start("campaign.fuzz", fuzzer.executor().now());
     let history = fuzzer.run_to_budget();
     tel::span_end(fuzz_span, fuzzer.executor().now());
@@ -251,7 +262,8 @@ fn assert_no_counter_drift(
     stats: &FuzzerStats,
     resilience: &ResilienceStats,
 ) {
-    let checks: [(&str, u64); 14] = [
+    let checks: [(&str, u64); 15] = [
+        ("dap.txn.partial", resilience.txn_partial),
         ("fuzz.execs", stats.execs),
         ("fuzz.interesting", stats.interesting),
         ("fuzz.crash_observations", stats.crash_observations),

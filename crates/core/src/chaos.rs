@@ -174,6 +174,16 @@ pub fn check_invariants(result: &CampaignResult) -> Vec<String> {
             r.max_recovery_cycles
         ));
     }
+    // Transaction atomicity: a vectored batch that fails mid-apply has
+    // torn target state the retry layer cannot reason about (a coverage
+    // buffer half-reset, a breakpoint installed without its partner).
+    // Faults must land before the apply phase — never inside it.
+    if r.txn_partial > 0 {
+        violations.push(format!(
+            "{} vectored transaction(s) were torn mid-apply by a fault",
+            r.txn_partial
+        ));
+    }
     violations
 }
 
@@ -304,6 +314,57 @@ mod tests {
         let audit = report.result.persist.as_ref().expect("store audited");
         assert!(audit.seeds_written > 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_fault_kind_tears_a_transaction() {
+        // One seeded campaign per fault kind, each kind injected
+        // repeatedly on its own: whatever the timing, a fault must land
+        // a vectored transaction whole or not at all (txn_partial is a
+        // `check_invariants` violation), and the supervisor's contract
+        // must hold around it.
+        use eof_hal::FaultPlan;
+        let flash_size = FuzzerConfig::eof(OsKind::FreeRtos, 11).board.flash_size;
+        for (kind, label) in KINDS.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(0xa70_0c17 + kind as u64);
+            let mut plan = FaultPlan::none();
+            for _ in 0..12 {
+                let at = rng.random_range(0..300_000u64);
+                let fault = match kind {
+                    0 => InjectedFault::FlashBitFlip {
+                        offset: rng.random_range(0..flash_size),
+                        bit: rng.random_range(0..=7u8),
+                    },
+                    1 => InjectedFault::FreezeFirmware,
+                    2 => InjectedFault::KillCore,
+                    3 => InjectedFault::DropLink {
+                        cycles: rng.random_range(500..40_000u64),
+                    },
+                    4 => InjectedFault::FlakyLink {
+                        drop_per_mille: rng.random_range(100..=700u16),
+                        cycles: rng.random_range(5_000..60_000u64),
+                    },
+                    5 => InjectedFault::Brownout {
+                        cycles: rng.random_range(2_000..20_000u64),
+                    },
+                    _ => InjectedFault::UartGarbage,
+                };
+                plan = plan.at(at, fault);
+            }
+            let mut base = FuzzerConfig::eof(OsKind::FreeRtos, 11);
+            base.budget_hours = 0.1;
+            base.snapshot_hours = 0.025;
+            let result = run_campaign_with_faults(base, plan);
+            let violations = check_invariants(&result);
+            assert!(
+                violations.is_empty(),
+                "fault kind {label:?}: {violations:?}"
+            );
+            assert_eq!(
+                result.resilience.txn_partial, 0,
+                "fault kind {label:?} tore a vectored transaction"
+            );
+        }
     }
 
     #[test]

@@ -152,6 +152,14 @@ pub struct FuzzerConfig {
     /// keep nothing. Excluded from the store's config fingerprint, like
     /// the budget knobs.
     pub persist: Option<std::path::PathBuf>,
+    /// Batch the exec hot path (prog upload, coverage drain, sync-point
+    /// breakpoints, reflash verify) into vectored debug-port
+    /// transactions. Defaults to the `EOF_VECTORED` environment knob
+    /// (unset = on; `EOF_VECTORED=0` = scalar fallback). A pure
+    /// transport-level optimisation: per-exec results are bit-identical
+    /// either way (`tests/vectored_equiv.rs` enforces this), so it is
+    /// excluded from the store's config fingerprint.
+    pub vectored: bool,
 }
 
 impl FuzzerConfig {
@@ -179,6 +187,7 @@ impl FuzzerConfig {
             peripheral_events: false,
             exclude_pseudo: false,
             persist: None,
+            vectored: eof_dap::vectored_default(),
         }
     }
 

@@ -12,7 +12,7 @@ use crate::crash::{triage, CrashReport, DetectionSource};
 use crate::supervisor::{RecoveryReason, RecoverySupervisor, ResilienceStats};
 use eof_agent::AgentLayout;
 use eof_coverage::{CoverageMap, InstrumentMode};
-use eof_dap::{DebugTransport, LinkEvent, RetryPolicy, RetryStats};
+use eof_dap::{DebugTransport, LinkEvent, RetryPolicy, RetryStats, Txn, TxnResult};
 use eof_hal::clock::{secs_to_cycles, CYCLES_PER_SEC};
 use eof_monitors::{
     parse_backtrace, Liveness, LivenessWatchdog, LogMonitor, PowerWatchdog, StateRestoration,
@@ -115,21 +115,38 @@ impl Executor {
         let buf_full_addr = transport
             .symbol("_kcmp_buf_full")
             .ok_or_else(|| eof_dap::DapError::Protocol("no _kcmp_buf_full symbol".into()))?;
-        transport.set_breakpoint(main_addr)?;
-        if config.instrument != InstrumentMode::None {
-            transport.set_breakpoint(buf_full_addr)?;
-        }
         let exception_addr = if config.detection.exception_breakpoints {
             let kernel = eof_rtos::registry::make_kernel(config.os);
             let addr = transport.symbol(kernel.exception_symbol()).ok_or_else(|| {
                 eof_dap::DapError::Protocol("no exception symbol on target".into())
             })?;
-            transport.set_breakpoint(addr)?;
             Some(addr)
         } else {
             None
         };
+        if config.vectored {
+            // Arm the sync and monitor breakpoints in one round trip.
+            let mut txn = Txn::new();
+            txn.set_breakpoint(main_addr);
+            if config.instrument != InstrumentMode::None {
+                txn.set_breakpoint(buf_full_addr);
+            }
+            if let Some(addr) = exception_addr {
+                txn.set_breakpoint(addr);
+            }
+            transport.run_txn(&txn)?;
+        } else {
+            transport.set_breakpoint(main_addr)?;
+            if config.instrument != InstrumentMode::None {
+                transport.set_breakpoint(buf_full_addr)?;
+            }
+            if let Some(addr) = exception_addr {
+                transport.set_breakpoint(addr)?;
+            }
+        }
         let supervisor = RecoverySupervisor::for_policy(&config.recovery);
+        let mut restoration = restoration;
+        restoration.set_vectored(config.vectored);
         let mut exec = Executor {
             transport,
             config,
@@ -193,6 +210,7 @@ impl Executor {
         let mut stats = *self.supervisor.stats();
         stats.link.absorb(&self.link_retry);
         stats.failed_syncs = self.failed_syncs;
+        stats.txn_partial = self.transport.txn_partials();
         stats
     }
 
@@ -286,35 +304,37 @@ impl Executor {
         if self.config.instrument == InstrumentMode::None {
             return Vec::new();
         }
+        if self.config.vectored {
+            return self.drain_cov_vectored();
+        }
         let region = self.layout.cov;
         let endian = self.config.board.endianness;
         let policy = self.retry;
-        let mut header = [0u8; 12];
-        if policy
-            .run(&mut self.link_retry, &mut self.transport, |p| {
-                p.read_mem(region.base, &mut header)
-            })
-            .is_err()
-        {
+        // Header and records are read inside ONE retried closure: a
+        // replay after a mid-drain drop re-reads the header and sizes the
+        // record read from the *fresh* count. (Splitting them into two
+        // retried ops would let a replayed record read trust a header
+        // count from before the drop.)
+        let Ok(raw) = policy.run(&mut self.link_retry, &mut self.transport, |p| {
+            let mut header = [0u8; 12];
+            p.read_mem(region.base, &mut header)?;
+            let count = endian
+                .u32_from([header[0], header[1], header[2], header[3]])
+                .min(region.capacity);
+            let mut raw = header.to_vec();
+            if count > 0 {
+                let mut records = vec![0u8; (count * 8) as usize];
+                p.read_mem(region.base + 12, &mut records)?;
+                raw.extend_from_slice(&records);
+            }
+            Ok(raw)
+        }) else {
+            return Vec::new();
+        };
+        if raw.len() == 12 {
+            // count == 0: nothing buffered, nothing to reset.
             return Vec::new();
         }
-        let count = endian
-            .u32_from([header[0], header[1], header[2], header[3]])
-            .min(region.capacity);
-        if count == 0 {
-            return Vec::new();
-        }
-        let mut records = vec![0u8; (count * 8) as usize];
-        if policy
-            .run(&mut self.link_retry, &mut self.transport, |p| {
-                p.read_mem(region.base + 12, &mut records)
-            })
-            .is_err()
-        {
-            return Vec::new();
-        }
-        let mut raw = header.to_vec();
-        raw.extend_from_slice(&records);
         let (edges, _overflow) = region.parse_drain(&raw, endian);
         // Reset the buffer for the agent.
         let zero = endian.u32_bytes(0);
@@ -324,6 +344,45 @@ impl Executor {
         let _ = policy.run(&mut self.link_retry, &mut self.transport, |p| {
             p.write_mem(region.base + 8, &zero)
         });
+        edges
+    }
+
+    /// Vectored drain: one transaction peeks the header, a second reads
+    /// header + records coalesced AND resets the buffer — so the drain
+    /// and the reset are all-or-nothing (no torn resets; a replay after
+    /// a drop re-reads everything and `parse_drain` recomputes the
+    /// record count from the re-read header).
+    fn drain_cov_vectored(&mut self) -> Vec<u64> {
+        let region = self.layout.cov;
+        let endian = self.config.board.endianness;
+        let policy = self.retry;
+        let mut peek = Txn::new();
+        peek.read_mem(region.base, 12);
+        let Ok(results) = policy.run_txn(&mut self.link_retry, &mut self.transport, &peek) else {
+            return Vec::new();
+        };
+        let Some(TxnResult::Bytes(header)) = results.into_iter().next() else {
+            return Vec::new();
+        };
+        let count = endian
+            .u32_from([header[0], header[1], header[2], header[3]])
+            .min(region.capacity);
+        if count == 0 {
+            return Vec::new();
+        }
+        let zero = endian.u32_bytes(0);
+        let mut drain = Txn::new();
+        drain
+            .read_mem(region.base, 12 + count * 8)
+            .write_mem(region.base, &zero)
+            .write_mem(region.base + 8, &zero);
+        let Ok(results) = policy.run_txn(&mut self.link_retry, &mut self.transport, &drain) else {
+            return Vec::new();
+        };
+        let Some(TxnResult::Bytes(raw)) = results.into_iter().next() else {
+            return Vec::new();
+        };
+        let (edges, _overflow) = region.parse_drain(&raw, endian);
         edges
     }
 
@@ -431,17 +490,27 @@ impl Executor {
         let len_bytes = endian.u32_bytes(bytes.len() as u32);
         let prog_addr = self.layout.prog_addr;
         let policy = self.retry;
-        if policy
-            .run(&mut self.link_retry, &mut self.transport, |p| {
-                p.write_mem(prog_addr, &len_bytes)
-            })
-            .is_err()
-            || policy
+        let uploaded = if self.config.vectored {
+            // Length word and prog body land in one round trip.
+            let mut txn = Txn::new();
+            txn.write_mem(prog_addr, &len_bytes)
+                .write_mem(prog_addr + 4, &bytes);
+            policy
+                .run_txn(&mut self.link_retry, &mut self.transport, &txn)
+                .is_ok()
+        } else {
+            policy
                 .run(&mut self.link_retry, &mut self.transport, |p| {
-                    p.write_mem(prog_addr + 4, &bytes)
+                    p.write_mem(prog_addr, &len_bytes)
                 })
-                .is_err()
-        {
+                .is_ok()
+                && policy
+                    .run(&mut self.link_retry, &mut self.transport, |p| {
+                        p.write_mem(prog_addr + 4, &bytes)
+                    })
+                    .is_ok()
+        };
+        if !uploaded {
             self.recover(RecoveryReason::ConnectionLoss);
             outcome.restored = true;
             outcome.target_lost = true;

@@ -62,8 +62,8 @@ pub mod supervisor;
 
 pub use artifacts::{cache_stats, cached_image, cached_spec, reset_cache_stats, CacheStats};
 pub use campaign::{
-    run_campaign, run_campaign_recorded, run_campaign_with_coverage, run_campaign_with_faults,
-    CampaignResult,
+    build_fuzzer, run_campaign, run_campaign_recorded, run_campaign_with_coverage,
+    run_campaign_with_faults, CampaignResult,
 };
 pub use chaos::{chaos_plan, run_chaos, ChaosConfig, ChaosReport};
 pub use config::{DetectionConfig, FuzzerConfig, GenerationMode, RecoveryConfig};

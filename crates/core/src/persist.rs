@@ -462,6 +462,13 @@ pub struct StoreManifest {
     pub board: String,
     /// Campaign RNG seed.
     pub seed: u64,
+    /// Whether the producing campaign drove the debug link with
+    /// vectored (batched) transactions. Deliberately *not* part of the
+    /// fingerprint — per-exec behaviour is wire-mode-independent, so
+    /// seeds and reproducers replay under either mode — but resume must
+    /// re-derive the interrupted prefix at the producer's throughput,
+    /// so the knob rides in the manifest.
+    pub vectored: bool,
     /// Simulated hours the producing campaign consumed.
     pub consumed_hours: f64,
     /// Final distinct-branch count of the campaign coverage map.
@@ -495,6 +502,10 @@ impl StoreManifest {
             ("board", self.board.clone()),
             ("seed", self.seed.to_string()),
             (
+                "wire",
+                if self.vectored { "vectored" } else { "scalar" }.to_string(),
+            ),
+            (
                 "consumed_hours_bits",
                 format!("{:016x}", self.consumed_hours.to_bits()),
             ),
@@ -516,6 +527,9 @@ impl StoreManifest {
             },
             board: rec.get("board")?.to_string(),
             seed: rec.u64("seed")?,
+            // Stores from before the wire-mode split carry no key; they
+            // were produced over a scalar link.
+            vectored: rec.get("wire").map(|w| w == "vectored").unwrap_or(false),
             consumed_hours: rec.f64_bits("consumed_hours_bits")?,
             branches: rec.usize("branches")?,
             replay_branches: rec.usize("replay_branches")?,
@@ -565,6 +579,7 @@ pub struct CampaignStore {
     os: OsKind,
     board: String,
     seed: u64,
+    vectored: bool,
     crash_writes: usize,
     write_errors: usize,
 }
@@ -589,6 +604,7 @@ impl CampaignStore {
             os: config.os,
             board: config.board.name.to_string(),
             seed: config.seed,
+            vectored: config.vectored,
             crash_writes: 0,
             write_errors: 0,
         })
@@ -710,6 +726,7 @@ impl CampaignStore {
             os: self.os,
             board: self.board.clone(),
             seed: self.seed,
+            vectored: self.vectored,
             consumed_hours,
             branches,
             replay_branches,

@@ -306,7 +306,11 @@ impl ReplayReport {
 /// [`replay_loaded`] with the producing config — the fingerprint check
 /// refuses to guess.
 pub fn config_for_manifest(manifest: &StoreManifest) -> Result<FuzzerConfig, StoreError> {
-    let config = FuzzerConfig::eof(manifest.os, manifest.seed);
+    let mut config = FuzzerConfig::eof(manifest.os, manifest.seed);
+    // Wire mode is not fingerprinted (per-exec behaviour is identical
+    // either way), but resume re-derives a *time-budgeted* prefix, so
+    // it must run at the producer's throughput.
+    config.vectored = manifest.vectored;
     if config.board.name != manifest.board {
         return Err(StoreError::ConfigMismatch(format!(
             "store was produced on board {:?} but {} now defaults to {:?}",

@@ -170,6 +170,11 @@ pub struct ResilienceStats {
     pub max_recovery_cycles: u64,
     /// Syncs that failed even after recovery (target left unparked).
     pub failed_syncs: u64,
+    /// Vectored transactions that half-applied before failing. Must stay
+    /// zero: validate-then-apply makes partial application unreachable,
+    /// and the chaos harness treats any nonzero value as a torn-state
+    /// invariant violation.
+    pub txn_partial: u64,
     /// Link-layer retry accounting (transient error absorption).
     pub link: RetryStats,
 }
@@ -203,6 +208,7 @@ impl ResilienceStats {
         self.recovery_cycles += other.recovery_cycles;
         self.max_recovery_cycles = self.max_recovery_cycles.max(other.max_recovery_cycles);
         self.failed_syncs += other.failed_syncs;
+        self.txn_partial += other.txn_partial;
         self.link.absorb(&other.link);
     }
 }

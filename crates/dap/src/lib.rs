@@ -19,7 +19,10 @@
 //!   packets), the path the paper's GDB/MI commands travel;
 //! * [`retry`] — [`RetryPolicy`]: exponential-backoff retry of transient
 //!   connection losses, so a flaky probe is ridden out at the link layer
-//!   instead of escalating to a full state restoration.
+//!   instead of escalating to a full state restoration;
+//! * [`txn`] — [`Txn`]: vectored transactions batching the per-exec hot
+//!   path into single link round trips with all-or-nothing semantics
+//!   (`EOF_VECTORED=0` falls back to the scalar path).
 
 pub mod error;
 pub mod ocd;
@@ -27,10 +30,15 @@ pub mod retry;
 pub mod rsp;
 pub mod tap;
 pub mod transport;
+pub mod txn;
 
 pub use error::DapError;
 pub use ocd::OcdServer;
 pub use retry::{RetryPolicy, RetryStats};
-pub use rsp::{checksum, frame_packet, parse_packet, RspServer};
+pub use rsp::{
+    checksum, decode_txn, decode_txn_reply, encode_txn, encode_txn_reply, frame_packet,
+    parse_packet, RspServer,
+};
 pub use tap::{TapController, TapState};
 pub use transport::{DebugTransport, LinkConfig, LinkEvent};
+pub use txn::{vectored_default, Txn, TxnOp, TxnResult};

@@ -19,9 +19,18 @@
 //! | `reset halt` | reset and hold the core |
 //! | `power` | sample the power rail |
 //! | `targets` | identify the attached target |
+//! | `batch CMD;CMD;…` | run sub-commands as **one** vectored transaction |
+//!
+//! `batch` queues its `;`-separated sub-commands into a [`Txn`] and
+//! submits them through `DebugTransport::run_txn`: one link round trip,
+//! all-or-nothing semantics. Sub-command outputs come back joined with
+//! `" | "` in queue order. Supported inside a batch: `halt`, `resume`,
+//! `reset [run]`, `mdw`, `mww`, `bp`, `rbp`, `reg pc`,
+//! `flash write_image`, `flash verify_image`.
 
 use crate::error::DapError;
 use crate::transport::DebugTransport;
+use crate::txn::{Txn, TxnResult};
 use eof_hal::Endianness;
 
 /// A command interpreter bound to one transport.
@@ -52,6 +61,11 @@ impl OcdServer {
 
     /// Execute one command line, returning its textual response.
     pub fn execute(&mut self, line: &str) -> Result<String, DapError> {
+        // `batch` carries `;`-separated sub-commands: peel it off before
+        // the whitespace split mangles the separators.
+        if let Some(body) = line.trim_start().strip_prefix("batch ") {
+            return self.batch(body);
+        }
         let words: Vec<&str> = line.split_whitespace().collect();
         match words.as_slice() {
             [] => Ok(String::new()),
@@ -158,6 +172,127 @@ impl OcdServer {
                 other.join(" ")
             ))),
         }
+    }
+
+    /// Queue `;`-separated sub-commands into one vectored transaction,
+    /// submit it, and render the per-op replies.
+    fn batch(&mut self, body: &str) -> Result<String, DapError> {
+        enum Fmt {
+            Plain(&'static str),
+            Words { addr: u32, n: usize },
+            Pc,
+            Wrote { part: String, len: usize },
+            Verify { expect: u64 },
+        }
+        let e = self.endianness();
+        let mut txn = Txn::new();
+        let mut fmts = Vec::new();
+        for cmd in body.split(';') {
+            let words: Vec<&str> = cmd.split_whitespace().collect();
+            match words.as_slice() {
+                [] => continue,
+                ["halt"] => {
+                    txn.halt();
+                    fmts.push(Fmt::Plain("target halted"));
+                }
+                ["resume"] => {
+                    txn.resume();
+                    fmts.push(Fmt::Plain("target running"));
+                }
+                ["reset", "run"] | ["reset"] => {
+                    txn.reset_target();
+                    fmts.push(Fmt::Plain("target reset"));
+                }
+                ["mdw", addr] | ["mdw", addr, "1"] => {
+                    let addr = parse_num(addr)?;
+                    txn.read_mem(addr, 4);
+                    fmts.push(Fmt::Words { addr, n: 1 });
+                }
+                ["mdw", addr, n] => {
+                    let addr = parse_num(addr)?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| DapError::Protocol(format!("bad count {n:?}")))?;
+                    txn.read_mem(addr, (n as u32) * 4);
+                    fmts.push(Fmt::Words { addr, n });
+                }
+                ["mww", addr, val] => {
+                    txn.write_mem(parse_num(addr)?, &e.u32_bytes(parse_num(val)?));
+                    fmts.push(Fmt::Plain("ok"));
+                }
+                ["bp", addr] => {
+                    txn.set_breakpoint(parse_num(addr)?);
+                    fmts.push(Fmt::Plain("breakpoint set"));
+                }
+                ["rbp", addr] => {
+                    txn.clear_breakpoint(parse_num(addr)?);
+                    fmts.push(Fmt::Plain("breakpoint removed"));
+                }
+                ["reg", "pc"] => {
+                    txn.read_pc();
+                    fmts.push(Fmt::Pc);
+                }
+                ["flash", "write_image", part, hex] => {
+                    let image = parse_hex_bytes(hex)?;
+                    fmts.push(Fmt::Wrote {
+                        part: part.to_string(),
+                        len: image.len(),
+                    });
+                    txn.flash_write(part, &image);
+                }
+                ["flash", "verify_image", part, hex] => {
+                    let image = parse_hex_bytes(hex)?;
+                    let size = self
+                        .transport
+                        .machine()
+                        .flash()
+                        .table()
+                        .get(part)
+                        .map_err(eof_dap_part_err)?
+                        .size as usize;
+                    let mut padded = image;
+                    padded.resize(size, 0xff);
+                    fmts.push(Fmt::Verify {
+                        expect: eof_hal::flash::fnv1a(&padded),
+                    });
+                    txn.flash_checksum(part);
+                }
+                other => {
+                    return Err(DapError::Protocol(format!(
+                        "unknown batch sub-command {:?}",
+                        other.join(" ")
+                    )))
+                }
+            }
+        }
+        let results = self.transport.run_txn(&txn)?;
+        let mut outs = Vec::with_capacity(results.len());
+        for (fmt, res) in fmts.iter().zip(results.iter()) {
+            outs.push(match (fmt, res) {
+                (Fmt::Plain(s), _) => (*s).to_string(),
+                (Fmt::Words { addr, n }, TxnResult::Bytes(b)) => {
+                    let words: Vec<String> = (0..*n)
+                        .map(|i| {
+                            let w =
+                                e.u32_from([b[i * 4], b[i * 4 + 1], b[i * 4 + 2], b[i * 4 + 3]]);
+                            format!("{w:#010x}")
+                        })
+                        .collect();
+                    format!("{addr:#010x}: {}", words.join(" "))
+                }
+                (Fmt::Pc, TxnResult::Pc(pc)) => format!("pc (/32): {pc:#010x}"),
+                (Fmt::Wrote { part, len }, _) => format!("wrote {len} bytes to {part}"),
+                (Fmt::Verify { expect }, TxnResult::Checksum(cs)) => {
+                    if cs == expect {
+                        "verified OK".to_string()
+                    } else {
+                        format!("MISMATCH: target {cs:#x} != image {expect:#x}")
+                    }
+                }
+                _ => return Err(DapError::Protocol("batch reply shape mismatch".into())),
+            });
+        }
+        Ok(outs.join(" | "))
     }
 
     fn endianness(&self) -> Endianness {
@@ -347,5 +482,60 @@ mod tests {
         let mut s = server();
         assert!(s.execute("mdw zzz").is_err());
         assert!(s.execute("flash write_image fs abc").is_err());
+    }
+
+    #[test]
+    fn batch_runs_subcommands_in_one_transaction() {
+        let mut s = server();
+        let out = s
+            .execute("batch halt; mww 0x20000010 0xdeadbeef; mdw 0x20000010; reg pc; resume")
+            .unwrap();
+        assert!(out.contains("target halted"), "{out}");
+        assert!(out.contains("0xdeadbeef"), "{out}");
+        assert!(out.contains("pc (/32): 0x"), "{out}");
+        assert!(out.contains("target running"), "{out}");
+        assert_eq!(out.matches(" | ").count(), 4, "{out}");
+    }
+
+    #[test]
+    fn batch_flash_write_and_verify() {
+        let mut s = server();
+        let out = s
+            .execute("batch flash write_image fs 48656c6c6f; flash verify_image fs 48656c6c6f")
+            .unwrap();
+        assert_eq!(out, "wrote 5 bytes to fs | verified OK");
+        let out = s.execute("batch flash verify_image fs 42414421").unwrap();
+        assert!(out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn batch_is_cheaper_than_scalar_sequence() {
+        let mut scalar = server();
+        let start = scalar.transport().now();
+        scalar.execute("halt").unwrap();
+        scalar.execute("mww 0x20000010 0xdeadbeef").unwrap();
+        scalar.execute("mdw 0x20000010").unwrap();
+        scalar.execute("resume").unwrap();
+        let scalar_cost = scalar.transport().now() - start;
+
+        let mut vectored = server();
+        let start = vectored.transport().now();
+        vectored
+            .execute("batch halt; mww 0x20000010 0xdeadbeef; mdw 0x20000010; resume")
+            .unwrap();
+        let vectored_cost = vectored.transport().now() - start;
+        assert!(
+            vectored_cost < scalar_cost,
+            "vectored {vectored_cost} !< scalar {scalar_cost}"
+        );
+    }
+
+    #[test]
+    fn batch_rejects_unknown_subcommand() {
+        let mut s = server();
+        assert!(matches!(
+            s.execute("batch halt; explode").unwrap_err(),
+            DapError::Protocol(_)
+        ));
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::error::DapError;
 use crate::transport::DebugTransport;
+use crate::txn::{Txn, TxnResult};
 use eof_telemetry as tel;
 
 /// Retry budget and backoff shape for transient link errors.
@@ -92,6 +93,25 @@ impl RetryPolicy {
                 }
             }
         }
+    }
+
+    /// Submit a vectored transaction with all-or-nothing replay.
+    ///
+    /// A scalar retry loop re-issues one operation; replaying a *batch*
+    /// is only sound because `DebugTransport::run_txn` guarantees a
+    /// connection loss precedes application — the batch submit is the
+    /// single fault-injection point, so a dropped transaction applied
+    /// nothing and the retry replays it whole. Partial application
+    /// (some ops landed, then the link died, then the replay re-applies
+    /// them) is impossible by construction, which is exactly the hazard
+    /// that makes naive batch retries corrupt coverage buffers.
+    pub fn run_txn(
+        &self,
+        stats: &mut RetryStats,
+        pipe: &mut DebugTransport,
+        txn: &Txn,
+    ) -> Result<Vec<TxnResult>, DapError> {
+        self.run(stats, pipe, |p| p.run_txn(txn))
     }
 }
 

@@ -15,9 +15,19 @@
 //! | `Z0,ADDR,4` / `z0,ADDR,4` | set / clear breakpoint |
 //! | `c` | continue (bounded by the server's run budget) |
 //! | `R` | restart target |
+//! | `vTxn:OP;OP;…` | vectored transaction (see below) |
+//!
+//! The `vTxn` packet is the wire form of a [`Txn`] (modelled on GDB's
+//! `vFlash`/`vCont` multi-action family): operations separated by `;`,
+//! each a compact command — `h` halt, `r` resume, `mADDR,LEN` read,
+//! `MADDR,LEN:HEX` write, `p` read PC, `ZADDR`/`zADDR` breakpoints,
+//! `FcNAME` flash checksum, `FwNAME:HEX` flash write, `R` reset. The
+//! reply is the `;`-joined per-op results in queue order: `OK`, hex
+//! bytes, `P`+8-hex PC, or `C`+16-hex checksum.
 
 use crate::error::DapError;
 use crate::transport::{DebugTransport, LinkEvent};
+use crate::txn::{Txn, TxnOp, TxnResult};
 
 /// Compute the RSP checksum of packet data.
 pub fn checksum(data: &str) -> u8 {
@@ -133,9 +143,149 @@ impl RspServer {
                 self.transport.clear_breakpoint(addr)?;
                 Ok("OK".into())
             }
+            _ if data.starts_with("vTxn:") => {
+                let txn = decode_txn(data)?;
+                let results = self.transport.run_txn(&txn)?;
+                Ok(encode_txn_reply(&results))
+            }
             other => Err(DapError::Protocol(format!("unsupported packet {other:?}"))),
         }
     }
+}
+
+/// Encode a transaction as a `vTxn:` packet payload (unframed).
+pub fn encode_txn(txn: &Txn) -> Result<String, DapError> {
+    let mut parts = Vec::with_capacity(txn.len());
+    for op in txn.ops() {
+        parts.push(encode_txn_op(op)?);
+    }
+    Ok(format!("vTxn:{}", parts.join(";")))
+}
+
+fn encode_txn_op(op: &TxnOp) -> Result<String, DapError> {
+    let check_name = |name: &str| -> Result<(), DapError> {
+        if name.is_empty() || name.contains([';', ':', '#', '$']) {
+            return Err(DapError::Protocol(format!(
+                "partition name {name:?} is not wire-safe"
+            )));
+        }
+        Ok(())
+    };
+    Ok(match op {
+        TxnOp::Halt => "h".into(),
+        TxnOp::Resume => "r".into(),
+        TxnOp::ReadMem { addr, len } => format!("m{addr:x},{len:x}"),
+        TxnOp::WriteMem { addr, data } => {
+            format!("M{addr:x},{:x}:{}", data.len(), hex_encode(data))
+        }
+        TxnOp::ReadPc => "p".into(),
+        TxnOp::SetBreakpoint { addr } => format!("Z{addr:x}"),
+        TxnOp::ClearBreakpoint { addr } => format!("z{addr:x}"),
+        TxnOp::FlashChecksum { partition } => {
+            check_name(partition)?;
+            format!("Fc{partition}")
+        }
+        TxnOp::FlashWrite { partition, image } => {
+            check_name(partition)?;
+            format!("Fw{partition}:{}", hex_encode(image))
+        }
+        TxnOp::ResetTarget => "R".into(),
+    })
+}
+
+/// Decode a `vTxn:` packet payload back into a transaction.
+pub fn decode_txn(data: &str) -> Result<Txn, DapError> {
+    let body = data
+        .strip_prefix("vTxn:")
+        .ok_or_else(|| DapError::Protocol("not a vTxn packet".into()))?;
+    let mut txn = Txn::new();
+    if body.is_empty() {
+        return Ok(txn);
+    }
+    for item in body.split(';') {
+        txn.push(decode_txn_op(item)?);
+    }
+    Ok(txn)
+}
+
+fn decode_txn_op(item: &str) -> Result<TxnOp, DapError> {
+    let bad = || DapError::Protocol(format!("bad vTxn op {item:?}"));
+    Ok(match item {
+        "h" => TxnOp::Halt,
+        "r" => TxnOp::Resume,
+        "p" => TxnOp::ReadPc,
+        "R" => TxnOp::ResetTarget,
+        _ if item.starts_with('m') => {
+            let (addr, len) = parse_addr_len(&item[1..])?;
+            TxnOp::ReadMem {
+                addr,
+                len: len as u32,
+            }
+        }
+        _ if item.starts_with('M') => {
+            let colon = item.find(':').ok_or_else(bad)?;
+            let (addr, len) = parse_addr_len(&item[1..colon])?;
+            let data = hex_decode(&item[colon + 1..])?;
+            if data.len() != len {
+                return Err(DapError::Protocol(format!(
+                    "vTxn write length mismatch: header {len}, payload {}",
+                    data.len()
+                )));
+            }
+            TxnOp::WriteMem { addr, data }
+        }
+        _ if item.starts_with('Z') => TxnOp::SetBreakpoint {
+            addr: parse_hex_field(&item[1..])?,
+        },
+        _ if item.starts_with('z') => TxnOp::ClearBreakpoint {
+            addr: parse_hex_field(&item[1..])?,
+        },
+        _ if item.starts_with("Fc") => TxnOp::FlashChecksum {
+            partition: item[2..].to_string(),
+        },
+        _ if item.starts_with("Fw") => {
+            let colon = item.find(':').ok_or_else(bad)?;
+            TxnOp::FlashWrite {
+                partition: item[2..colon].to_string(),
+                image: hex_decode(&item[colon + 1..])?,
+            }
+        }
+        _ => return Err(bad()),
+    })
+}
+
+/// Encode per-op results as a `vTxn` reply payload.
+pub fn encode_txn_reply(results: &[TxnResult]) -> String {
+    results
+        .iter()
+        .map(|r| match r {
+            TxnResult::Done => "OK".to_string(),
+            TxnResult::Bytes(b) => hex_encode(b),
+            TxnResult::Pc(pc) => format!("P{pc:08x}"),
+            TxnResult::Checksum(cs) => format!("C{cs:016x}"),
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Decode a `vTxn` reply payload back into per-op results.
+pub fn decode_txn_reply(data: &str) -> Result<Vec<TxnResult>, DapError> {
+    if data.is_empty() {
+        return Ok(Vec::new());
+    }
+    data.split(';')
+        .map(|item| {
+            Ok(match item {
+                "OK" => TxnResult::Done,
+                _ if item.starts_with('P') => TxnResult::Pc(parse_hex_field(&item[1..])?),
+                _ if item.starts_with('C') => TxnResult::Checksum(
+                    u64::from_str_radix(&item[1..], 16)
+                        .map_err(|_| DapError::Protocol(format!("bad checksum reply {item:?}")))?,
+                ),
+                _ => TxnResult::Bytes(hex_decode(item)?),
+            })
+        })
+        .collect()
 }
 
 fn parse_addr_len(s: &str) -> Result<(u32, usize), DapError> {
@@ -286,5 +436,71 @@ mod tests {
     fn unsupported_packet() {
         let mut s = server();
         assert!(s.handle(&frame_packet("qSupported")).is_err());
+    }
+
+    #[test]
+    fn txn_codec_round_trip() {
+        let mut t = Txn::new();
+        t.halt()
+            .read_mem(0x2400_0100, 12)
+            .write_mem(0x2400_0200, &[0xde, 0xad])
+            .read_pc()
+            .set_breakpoint(0x4010)
+            .clear_breakpoint(0x4010)
+            .flash_checksum("kernel")
+            .flash_write("kernel", &[1, 2, 3])
+            .reset_target()
+            .resume();
+        let wire = encode_txn(&t).unwrap();
+        assert!(wire.starts_with("vTxn:h;m24000100,c;M24000200,2:dead;p;Z4010;z4010;"));
+        let back = decode_txn(&wire).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn txn_reply_codec_round_trip() {
+        let results = vec![
+            TxnResult::Done,
+            TxnResult::Bytes(vec![0xde, 0xad, 0xbe, 0xef]),
+            TxnResult::Pc(0x4010),
+            TxnResult::Checksum(0x1234_5678_9abc_def0),
+        ];
+        let wire = encode_txn_reply(&results);
+        assert_eq!(wire, "OK;deadbeef;P00004010;C123456789abcdef0");
+        assert_eq!(decode_txn_reply(&wire).unwrap(), results);
+    }
+
+    #[test]
+    fn txn_packet_dispatch() {
+        let mut s = server();
+        let mut t = Txn::new();
+        t.write_mem(0x2400_0100, &[0xca, 0xfe, 0xba, 0xbe])
+            .read_mem(0x2400_0100, 4)
+            .read_pc();
+        let wire = encode_txn(&t).unwrap();
+        let reply = s.handle(&frame_packet(&wire)).unwrap();
+        let body = parse_packet(&reply).unwrap();
+        let results = decode_txn_reply(body).unwrap();
+        assert_eq!(results[0], TxnResult::Done);
+        assert_eq!(results[1], TxnResult::Bytes(vec![0xca, 0xfe, 0xba, 0xbe]));
+        assert!(matches!(results[2], TxnResult::Pc(_)));
+    }
+
+    #[test]
+    fn txn_codec_rejects_unsafe_partition_names() {
+        let mut t = Txn::new();
+        t.flash_checksum("bad;name");
+        assert!(encode_txn(&t).is_err());
+        let mut t = Txn::new();
+        t.flash_write("bad:name", &[1]);
+        assert!(encode_txn(&t).is_err());
+    }
+
+    #[test]
+    fn txn_codec_rejects_malformed_ops() {
+        assert!(decode_txn("vTxn:x").is_err());
+        assert!(decode_txn("vTxn:M100,4:dead").is_err()); // length mismatch
+        assert!(decode_txn("not-a-txn").is_err());
+        assert!(decode_txn_reply("Cnothex").is_err());
     }
 }

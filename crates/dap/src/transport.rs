@@ -15,7 +15,8 @@
 
 use crate::error::DapError;
 use crate::tap::TapController;
-use eof_hal::{DebugIface, InjectedFault, Machine, RunExit};
+use crate::txn::{Txn, TxnOp, TxnResult, BLOCK_TCK_PER_CORE_CYCLE};
+use eof_hal::{machine::cost, DebugIface, HalError, InjectedFault, Machine, RunExit};
 use eof_telemetry as tel;
 
 /// Link parameters of a probe session.
@@ -67,6 +68,11 @@ pub struct DebugTransport {
     timeouts: u64,
     /// Operations refused by a flaky-link window.
     flaky_drops: u64,
+    /// Vectored transactions that errored *after* applying at least one
+    /// queued operation. Zero by construction — validation refuses a
+    /// doomed batch before anything applies — and asserted zero by the
+    /// chaos harness; a nonzero count means the atomicity contract broke.
+    txn_partials: u64,
 }
 
 impl DebugTransport {
@@ -85,6 +91,7 @@ impl DebugTransport {
             ops: 0,
             timeouts: 0,
             flaky_drops: 0,
+            txn_partials: 0,
         }
     }
 
@@ -111,6 +118,12 @@ impl DebugTransport {
     /// Operations dropped by an injected flaky-link window.
     pub fn flaky_drops(&self) -> u64 {
         self.flaky_drops
+    }
+
+    /// Vectored transactions that partially applied (always zero unless
+    /// the atomicity contract broke; see [`DebugTransport::run_txn`]).
+    pub fn txn_partials(&self) -> u64 {
+        self.txn_partials
     }
 
     /// Schedule a link outage of `duration` cycles starting at `at_cycle`.
@@ -184,7 +197,7 @@ impl DebugTransport {
     /// those lines answer even when the core is dead.
     fn begin_link_op(&mut self) -> Result<(), DapError> {
         self.ops += 1;
-        self.machine.bus_mut().charge(self.config.latency);
+        self.machine.bus_mut().charge_debug(self.config.latency);
         self.poll_link_faults();
         let now = self.machine.bus().now();
         self.outages.retain(|&(_, e)| e > now);
@@ -225,12 +238,12 @@ impl DebugTransport {
             // Each operation is one DR scan of the payload width; the TCK
             // cycles map 1:8 onto core cycles (TCK is slower).
             let tck = tap.scan_dr(payload_bits.max(8));
-            self.machine.bus_mut().charge(tck / 8);
+            self.machine.bus_mut().charge_debug(tck / 8);
         }
         self.begin_link_op()?;
         if self.machine.is_dead() {
             // Block for the full timeout window, then report.
-            self.machine.bus_mut().charge(self.config.timeout);
+            self.machine.bus_mut().charge_debug(self.config.timeout);
             self.timeouts += 1;
             tel::count("dap.timeouts", 1);
             return Err(DapError::ConnectionTimeout {
@@ -319,6 +332,196 @@ impl DebugTransport {
         })
     }
 
+    /// Submit a vectored transaction: every queued operation in one link
+    /// round trip. The batch pays one latency charge, one TAP scan (bulk
+    /// payload shifted in block mode at 1:[`BLOCK_TCK_PER_CORE_CYCLE`]
+    /// instead of the scalar per-word 1:8), and one access-port setup
+    /// ([`cost::MEM_BASE`]) for all its memory operations.
+    ///
+    /// **Atomicity.** The submit itself is the only fault-injection
+    /// point: link outages and flaky drops refuse the batch before
+    /// anything applies, and the dead-target check runs once up front
+    /// (core faults only fire while the target *runs*, so dead-ness
+    /// cannot change mid-batch). Target-side preconditions — address
+    /// bounds, breakpoint-comparator budget, partition names and sizes,
+    /// flash-port availability — are validated for every operation
+    /// before the first one applies; a doomed batch is refused whole
+    /// with the target untouched. A connection-loss error therefore
+    /// always means "nothing applied", which is what makes whole-batch
+    /// replay ([`crate::RetryPolicy::run_txn`]) safe.
+    pub fn run_txn(&mut self, txn: &Txn) -> Result<Vec<TxnResult>, DapError> {
+        if txn.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.record_op("txn", |t| t.run_txn_inner(txn))
+    }
+
+    fn run_txn_inner(&mut self, txn: &Txn) -> Result<Vec<TxnResult>, DapError> {
+        tel::observe("dap.txn.ops", txn.len() as u64);
+        tel::count("dap.txn.round_trips_saved", txn.len() as u64 - 1);
+        // --- link phase: one scan, one latency charge, one dead check ---
+        if let Some(tap) = &mut self.tap {
+            let header_bits = txn.header_bits().min(u32::MAX as u64) as u32;
+            let data_bits = txn
+                .payload_bits()
+                .min((u32::MAX as u64) - header_bits as u64) as u32;
+            let tck = tap.scan_dr((header_bits + data_bits).max(8));
+            // Command descriptors and the state-machine walk are paced by
+            // the host like any scalar scan (1:8); the payload streams
+            // from the probe FIFO in block mode.
+            let walk = tck.saturating_sub(data_bits as u64);
+            self.machine
+                .bus_mut()
+                .charge_debug(walk / 8 + data_bits as u64 / BLOCK_TCK_PER_CORE_CYCLE);
+        }
+        self.begin_link_op()?;
+        if txn.needs_core() && self.machine.is_dead() {
+            self.machine.bus_mut().charge_debug(self.config.timeout);
+            self.timeouts += 1;
+            tel::count("dap.timeouts", 1);
+            return Err(DapError::ConnectionTimeout {
+                waited: self.config.timeout,
+            });
+        }
+        // --- validate phase: no mutation, whole-batch refusal ---
+        self.validate_txn(txn)?;
+        // --- apply phase: charged per payload, infallible by design ---
+        let mut results = Vec::with_capacity(txn.len());
+        if txn
+            .ops()
+            .iter()
+            .any(|op| matches!(op, TxnOp::ReadMem { .. } | TxnOp::WriteMem { .. }))
+        {
+            // One access-port setup for the whole memory burst.
+            self.machine.bus_mut().charge_debug(cost::MEM_BASE);
+        }
+        for op in txn.ops() {
+            match self.apply_txn_op(op) {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    // Validation must make this unreachable; account it
+                    // loudly if it ever is not.
+                    if !results.is_empty() {
+                        self.txn_partials += 1;
+                        tel::count("dap.txn.partial", 1);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Check every queued operation's target-side preconditions without
+    /// mutating anything. Core faults cannot fire between validation and
+    /// application (the target never runs during a transaction), so a
+    /// passing validation guarantees the apply phase succeeds.
+    fn validate_txn(&self, txn: &Txn) -> Result<(), DapError> {
+        // Simulate the comparator budget across the batch's own
+        // set/clear sequence, starting from what is installed now.
+        let mut bps: Vec<u32> = self.machine.breakpoints().to_vec();
+        let max_bps = self.machine.board().max_breakpoints;
+        for op in txn.ops() {
+            match op {
+                TxnOp::Halt | TxnOp::Resume | TxnOp::ReadPc | TxnOp::ResetTarget => {}
+                TxnOp::ReadMem { addr, len } => {
+                    self.machine.debug_check_mem(*addr, *len as usize)?;
+                }
+                TxnOp::WriteMem { addr, data } => {
+                    self.machine.debug_check_mem(*addr, data.len())?;
+                }
+                TxnOp::SetBreakpoint { addr } => {
+                    if !bps.contains(addr) {
+                        if bps.len() >= max_bps {
+                            return Err(HalError::BreakpointLimit { max: max_bps }.into());
+                        }
+                        bps.push(*addr);
+                    }
+                }
+                TxnOp::ClearBreakpoint { addr } => {
+                    bps.retain(|a| a != addr);
+                }
+                TxnOp::FlashChecksum { partition } => {
+                    if !self.machine.flash_port_available() {
+                        return Err(DapError::Target(HalError::BadMachineState {
+                            op: "flash checksum",
+                            state: "flash port unavailable".into(),
+                        }));
+                    }
+                    self.machine
+                        .flash()
+                        .table()
+                        .get(partition)
+                        .map_err(DapError::Target)?;
+                }
+                TxnOp::FlashWrite { partition, image } => {
+                    if self.machine.browned_out() {
+                        return Err(DapError::Target(HalError::BadMachineState {
+                            op: "flash write",
+                            state: "brownout".into(),
+                        }));
+                    }
+                    let part = self
+                        .machine
+                        .flash()
+                        .table()
+                        .get(partition)
+                        .map_err(DapError::Target)?;
+                    if image.len() > part.size as usize {
+                        return Err(DapError::Target(HalError::BadPartitionLayout(format!(
+                            "image ({} bytes) exceeds partition {partition:?} ({} bytes)",
+                            image.len(),
+                            part.size
+                        ))));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_txn_op(&mut self, op: &TxnOp) -> Result<TxnResult, DapError> {
+        Ok(match op {
+            TxnOp::Halt => {
+                self.machine.debug_halt()?;
+                TxnResult::Done
+            }
+            TxnOp::Resume => {
+                self.machine.debug_resume()?;
+                TxnResult::Done
+            }
+            TxnOp::ReadMem { addr, len } => {
+                let mut buf = vec![0u8; *len as usize];
+                self.machine.debug_read_batched(*addr, &mut buf)?;
+                TxnResult::Bytes(buf)
+            }
+            TxnOp::WriteMem { addr, data } => {
+                self.machine.debug_write_batched(*addr, data)?;
+                TxnResult::Done
+            }
+            TxnOp::ReadPc => TxnResult::Pc(self.machine.debug_pc()?),
+            TxnOp::SetBreakpoint { addr } => {
+                self.machine.set_breakpoint(*addr)?;
+                TxnResult::Done
+            }
+            TxnOp::ClearBreakpoint { addr } => {
+                self.machine.clear_breakpoint(*addr);
+                TxnResult::Done
+            }
+            TxnOp::FlashChecksum { partition } => {
+                TxnResult::Checksum(self.machine.debug_flash_checksum(partition)?)
+            }
+            TxnOp::FlashWrite { partition, image } => {
+                self.machine.reflash_partition(partition, image)?;
+                TxnResult::Done
+            }
+            TxnOp::ResetTarget => {
+                self.machine.reset();
+                TxnResult::Done
+            }
+        })
+    }
+
     /// Look up a firmware symbol address.
     pub fn symbol(&self, name: &str) -> Option<u32> {
         self.machine.symbol(name)
@@ -394,6 +597,13 @@ impl DebugTransport {
     /// Current simulated time in cycles.
     pub fn now(&self) -> u64 {
         self.machine.bus().now()
+    }
+
+    /// The target-visible cycle count: total time minus debug-port
+    /// traffic. Use this for decisions that must match what the target
+    /// itself could observe (its timers freeze during debug halts).
+    pub fn core_now(&self) -> u64 {
+        self.machine.bus().core_now()
     }
 
     /// Sleep for `cycles` of simulated time (Algorithm 1 line 19's
@@ -693,5 +903,177 @@ mod tests {
         assert!(!err.is_connection_loss());
         assert_eq!(stats.attempts, 1);
         assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn txn_matches_scalar_results_and_costs_less() {
+        // Same op sequence both ways; the vectored submit must return
+        // identical data and spend strictly fewer cycles.
+        let mut scalar = transport();
+        let base = scalar.machine().board().ram_base;
+        let start = scalar.now();
+        scalar.halt().unwrap();
+        scalar.write_mem(base + 0x40, b"vector-me").unwrap();
+        let mut buf = [0u8; 9];
+        scalar.read_mem(base + 0x40, &mut buf).unwrap();
+        let pc_scalar = scalar.read_pc().unwrap();
+        scalar.resume().unwrap();
+        let scalar_cost = scalar.now() - start;
+
+        let mut vectored = transport();
+        let start = vectored.now();
+        let mut txn = Txn::new();
+        txn.halt()
+            .write_mem(base + 0x40, b"vector-me")
+            .read_mem(base + 0x40, 9)
+            .read_pc()
+            .resume();
+        let results = vectored.run_txn(&txn).unwrap();
+        let vectored_cost = vectored.now() - start;
+
+        assert_eq!(results[0], TxnResult::Done);
+        assert_eq!(results[2], TxnResult::Bytes(b"vector-me".to_vec()));
+        assert_eq!(results[3], TxnResult::Pc(pc_scalar));
+        assert!(
+            vectored_cost < scalar_cost,
+            "vectored {vectored_cost} !< scalar {scalar_cost}"
+        );
+        // 5 ops collapsed into one round trip.
+        assert_eq!(vectored.txn_partials(), 0);
+    }
+
+    #[test]
+    fn txn_validation_failure_applies_nothing() {
+        let mut t = transport();
+        let base = t.machine().board().ram_base;
+        t.halt().unwrap();
+        let mut txn = Txn::new();
+        txn.write_mem(base + 0x80, b"poison")
+            .write_mem(0xffff_0000, b"out-of-bounds");
+        let err = t.run_txn(&txn).unwrap_err();
+        assert!(!err.is_connection_loss());
+        // The first (valid) write must NOT have landed.
+        let mut buf = [0u8; 6];
+        t.read_mem(base + 0x80, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 6], "doomed batch half-applied");
+        assert_eq!(t.txn_partials(), 0);
+    }
+
+    #[test]
+    fn txn_breakpoint_budget_checked_across_batch() {
+        let mut t = transport();
+        let max = t.machine().board().max_breakpoints;
+        t.halt().unwrap();
+        let mut txn = Txn::new();
+        for i in 0..=max as u32 {
+            txn.set_breakpoint(0x0800_0000 + i * 4);
+        }
+        let err = t.run_txn(&txn).unwrap_err();
+        assert!(matches!(
+            err,
+            DapError::Target(HalError::BreakpointLimit { .. })
+        ));
+        assert!(
+            t.machine().breakpoints().is_empty(),
+            "over-budget batch installed comparators"
+        );
+        // A set/clear pair inside one batch stays within budget.
+        let mut txn = Txn::new();
+        for i in 0..max as u32 {
+            txn.set_breakpoint(0x0800_0000 + i * 4);
+            txn.clear_breakpoint(0x0800_0000 + i * 4);
+        }
+        txn.set_breakpoint(0x0800_1000);
+        t.run_txn(&txn).unwrap();
+        assert_eq!(t.machine().breakpoints(), &[0x0800_1000]);
+    }
+
+    #[test]
+    fn empty_txn_is_free() {
+        let mut t = transport();
+        let before = t.now();
+        let ops_before = t.ops();
+        assert!(t.run_txn(&Txn::new()).unwrap().is_empty());
+        assert_eq!(t.now(), before);
+        assert_eq!(t.ops(), ops_before);
+    }
+
+    #[test]
+    fn txn_against_dead_target_times_out_once() {
+        let mut t = transport();
+        t.machine_mut()
+            .set_fault_plan(FaultPlan::none().at(0, InjectedFault::KillCore));
+        let _ = t.continue_until_halt(100);
+        let before = t.now();
+        let mut txn = Txn::new();
+        txn.halt().read_pc().resume();
+        let err = t.run_txn(&txn).unwrap_err();
+        assert!(err.is_connection_loss());
+        // One timeout charge for the whole batch, not one per op.
+        let spent = t.now() - before;
+        assert!(spent >= LinkConfig::default().timeout);
+        assert!(spent < 2 * LinkConfig::default().timeout);
+        assert_eq!(t.timeouts(), 1);
+    }
+
+    #[test]
+    fn flash_txn_works_on_boot_dead_target() {
+        // A target that failed to boot (bad image) is dead, but flash and
+        // reset lines answer independently — exactly like the scalar path.
+        let mut t = transport();
+        t.machine_mut()
+            .reflash_partition("kernel", b"XXX!broken")
+            .unwrap();
+        t.machine_mut().reset();
+        assert!(t.machine().is_dead());
+        let mut txn = Txn::new();
+        txn.flash_write("kernel", b"IMG!fixed")
+            .flash_checksum("kernel")
+            .reset_target();
+        let results = t.run_txn(&txn).unwrap();
+        assert!(matches!(results[1], TxnResult::Checksum(_)));
+        assert!(!t.machine().is_dead());
+        assert!(t.read_pc().is_ok());
+    }
+
+    #[test]
+    fn txn_under_outage_fails_with_nothing_applied() {
+        let mut t = transport();
+        let base = t.machine().board().ram_base;
+        t.halt().unwrap();
+        let now = t.now();
+        t.schedule_outage(now, 5_000);
+        let mut txn = Txn::new();
+        txn.write_mem(base + 0x40, b"ghost")
+            .set_breakpoint(0x0800_0100);
+        assert_eq!(t.run_txn(&txn).unwrap_err(), DapError::LinkDown);
+        t.machine_mut().bus_mut().charge(10_000);
+        let mut buf = [0u8; 5];
+        t.read_mem(base + 0x40, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 5], "write applied through a dark link");
+        assert!(t.machine().breakpoints().is_empty());
+        assert_eq!(t.txn_partials(), 0);
+    }
+
+    #[test]
+    fn txn_retry_replays_whole_batch() {
+        use crate::retry::{RetryPolicy, RetryStats};
+        let mut t = transport();
+        let base = t.machine().board().ram_base;
+        t.halt().unwrap();
+        let now = t.now();
+        // Outage shorter than the first backoff: attempt 1 drops, the
+        // replay applies the whole batch.
+        t.schedule_outage(now, 100);
+        let mut txn = Txn::new();
+        txn.write_mem(base + 0x40, b"retry-me")
+            .read_mem(base + 0x40, 8);
+        let mut stats = RetryStats::default();
+        let results = RetryPolicy::default()
+            .run_txn(&mut stats, &mut t, &txn)
+            .unwrap();
+        assert_eq!(results[1], TxnResult::Bytes(b"retry-me".to_vec()));
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(t.txn_partials(), 0);
     }
 }

@@ -1,0 +1,307 @@
+//! Vectored debug-port transactions.
+//!
+//! The per-exec hot path — prog upload, coverage drain, sync-point
+//! breakpoint churn — is a string of small debug operations, and in the
+//! scalar protocol every one of them pays the full round-trip tax: link
+//! latency, its own DR scan walk, its own access-port setup, and its own
+//! window of exposure to link faults. Real probes batch: FTDI MPSSE
+//! block shifts, CMSIS-DAP packed transfers and AHB-AP address
+//! auto-increment all exist because hardware round trips dominate
+//! on-target fuzzing throughput (the paper's §5.5; EmbedFuzz and
+//! Ember-IO in PAPERS.md make the same argument from opposite ends).
+//!
+//! A [`Txn`] queues operations host-side and submits them as **one**
+//! link transaction:
+//!
+//! * one [`LinkConfig::latency`](crate::LinkConfig) charge and one TAP
+//!   scan for the whole batch, with the bulk payload shifted in block
+//!   mode (the probe streams from its FIFO instead of pacing every word
+//!   from the host);
+//! * one fault-injection point — the submit itself. Link faults can
+//!   only refuse the batch *before* anything applies, so a dropped
+//!   transaction is replayed whole and partial application is
+//!   impossible by construction (see `DebugTransport::run_txn`);
+//! * every queued operation is validated against the target before any
+//!   is applied: a bad address or an over-budget breakpoint refuses the
+//!   whole batch with the target untouched.
+
+use std::sync::OnceLock;
+
+/// Wire-descriptor bits per queued operation (command, address, length).
+pub const TXN_HEADER_BITS: u64 = 32;
+
+/// Block-mode payload shift rate: TCK cycles per core cycle. The scalar
+/// path paces every word from the host at 1:8 ([`crate::tap`]); a
+/// vectored batch streams its payload from the probe FIFO without
+/// per-word turnarounds, an 8× faster effective shift.
+pub const BLOCK_TCK_PER_CORE_CYCLE: u64 = 64;
+
+/// Process-wide default for the vectored-transaction knob: `EOF_VECTORED`
+/// unset or any value but `"0"` enables vectoring; `EOF_VECTORED=0`
+/// selects the scalar fallback path everywhere the default is consulted.
+pub fn vectored_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("EOF_VECTORED")
+            .map(|v| v != "0")
+            .unwrap_or(true)
+    })
+}
+
+/// One queued debug operation inside a [`Txn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Halt the core.
+    Halt,
+    /// Resume the core (non-blocking).
+    Resume,
+    /// Read `len` bytes of target RAM at `addr`.
+    ReadMem {
+        /// RAM address.
+        addr: u32,
+        /// Bytes to read.
+        len: u32,
+    },
+    /// Write bytes into target RAM at `addr`.
+    WriteMem {
+        /// RAM address.
+        addr: u32,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Read the program counter.
+    ReadPc,
+    /// Install a hardware breakpoint.
+    SetBreakpoint {
+        /// Breakpoint address.
+        addr: u32,
+    },
+    /// Remove a hardware breakpoint.
+    ClearBreakpoint {
+        /// Breakpoint address.
+        addr: u32,
+    },
+    /// Target-side checksum of a flash partition (core-independent).
+    FlashChecksum {
+        /// Partition name.
+        partition: String,
+    },
+    /// Program a flash partition (core-independent).
+    FlashWrite {
+        /// Partition name.
+        partition: String,
+        /// Image bytes.
+        image: Vec<u8>,
+    },
+    /// Hardware reset (core-independent; answers even when dead).
+    ResetTarget,
+}
+
+impl TxnOp {
+    /// Whether the operation needs a live core. Flash and reset lines
+    /// answer independently of core state, exactly like their scalar
+    /// counterparts ([`crate::DebugTransport::flash_partition`] & co).
+    pub fn needs_core(&self) -> bool {
+        !matches!(
+            self,
+            TxnOp::FlashChecksum { .. } | TxnOp::FlashWrite { .. } | TxnOp::ResetTarget
+        )
+    }
+
+    /// Bulk payload bits this operation shifts through the probe
+    /// (beyond its fixed command descriptor).
+    pub fn payload_bits(&self) -> u64 {
+        match self {
+            TxnOp::ReadMem { len, .. } => *len as u64 * 8,
+            TxnOp::WriteMem { data, .. } => data.len() as u64 * 8,
+            TxnOp::FlashWrite { image, .. } => image.len() as u64 * 8,
+            TxnOp::FlashChecksum { .. } => 64,
+            TxnOp::ReadPc => 32,
+            TxnOp::Halt
+            | TxnOp::Resume
+            | TxnOp::SetBreakpoint { .. }
+            | TxnOp::ClearBreakpoint { .. }
+            | TxnOp::ResetTarget => 0,
+        }
+    }
+}
+
+/// Result of one [`TxnOp`], in queue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnResult {
+    /// The operation completed with nothing to return.
+    Done,
+    /// Bytes read by a [`TxnOp::ReadMem`].
+    Bytes(Vec<u8>),
+    /// Program counter read by a [`TxnOp::ReadPc`].
+    Pc(u32),
+    /// Checksum computed by a [`TxnOp::FlashChecksum`].
+    Checksum(u64),
+}
+
+/// A host-side batch of debug operations, submitted as one link
+/// transaction via `DebugTransport::run_txn`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Txn {
+    ops: Vec<TxnOp>,
+}
+
+impl Txn {
+    /// An empty transaction.
+    pub fn new() -> Self {
+        Txn::default()
+    }
+
+    /// Queued operations, in submission order.
+    pub fn ops(&self) -> &[TxnOp] {
+        &self.ops
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing is queued (submitting an empty txn is free).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether any queued operation needs a live core.
+    pub fn needs_core(&self) -> bool {
+        self.ops.iter().any(TxnOp::needs_core)
+    }
+
+    /// Total bulk payload bits across the batch.
+    pub fn payload_bits(&self) -> u64 {
+        self.ops.iter().map(TxnOp::payload_bits).sum()
+    }
+
+    /// Total command-descriptor bits across the batch.
+    pub fn header_bits(&self) -> u64 {
+        self.ops.len() as u64 * TXN_HEADER_BITS
+    }
+
+    /// Queue an arbitrary operation.
+    pub fn push(&mut self, op: TxnOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Queue a halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(TxnOp::Halt)
+    }
+
+    /// Queue a resume.
+    pub fn resume(&mut self) -> &mut Self {
+        self.push(TxnOp::Resume)
+    }
+
+    /// Queue a memory read of `len` bytes.
+    pub fn read_mem(&mut self, addr: u32, len: u32) -> &mut Self {
+        self.push(TxnOp::ReadMem { addr, len })
+    }
+
+    /// Queue a memory write.
+    pub fn write_mem(&mut self, addr: u32, data: &[u8]) -> &mut Self {
+        self.push(TxnOp::WriteMem {
+            addr,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Queue a PC read.
+    pub fn read_pc(&mut self) -> &mut Self {
+        self.push(TxnOp::ReadPc)
+    }
+
+    /// Queue a breakpoint install.
+    pub fn set_breakpoint(&mut self, addr: u32) -> &mut Self {
+        self.push(TxnOp::SetBreakpoint { addr })
+    }
+
+    /// Queue a breakpoint removal.
+    pub fn clear_breakpoint(&mut self, addr: u32) -> &mut Self {
+        self.push(TxnOp::ClearBreakpoint { addr })
+    }
+
+    /// Queue a flash checksum.
+    pub fn flash_checksum(&mut self, partition: &str) -> &mut Self {
+        self.push(TxnOp::FlashChecksum {
+            partition: partition.to_string(),
+        })
+    }
+
+    /// Queue a flash write.
+    pub fn flash_write(&mut self, partition: &str, image: &[u8]) -> &mut Self {
+        self.push(TxnOp::FlashWrite {
+            partition: partition.to_string(),
+            image: image.to_vec(),
+        })
+    }
+
+    /// Queue a target reset.
+    pub fn reset_target(&mut self) -> &mut Self {
+        self.push(TxnOp::ResetTarget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_queues_in_order() {
+        let mut t = Txn::new();
+        t.halt()
+            .read_mem(0x100, 8)
+            .write_mem(0x200, &[1, 2])
+            .resume();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.ops()[0], TxnOp::Halt);
+        assert_eq!(
+            t.ops()[1],
+            TxnOp::ReadMem {
+                addr: 0x100,
+                len: 8
+            }
+        );
+        assert_eq!(
+            t.ops()[2],
+            TxnOp::WriteMem {
+                addr: 0x200,
+                data: vec![1, 2]
+            }
+        );
+        assert_eq!(t.ops()[3], TxnOp::Resume);
+    }
+
+    #[test]
+    fn payload_and_header_accounting() {
+        let mut t = Txn::new();
+        t.read_mem(0, 12).write_mem(0, &[0u8; 4]).set_breakpoint(4);
+        assert_eq!(t.payload_bits(), 12 * 8 + 4 * 8);
+        assert_eq!(t.header_bits(), 3 * TXN_HEADER_BITS);
+        assert!(t.needs_core());
+    }
+
+    #[test]
+    fn flash_ops_are_core_independent() {
+        let mut t = Txn::new();
+        t.flash_checksum("kernel")
+            .flash_write("kernel", b"IMG!")
+            .reset_target();
+        assert!(!t.needs_core());
+        t.read_pc();
+        assert!(t.needs_core());
+    }
+
+    #[test]
+    fn empty_txn() {
+        let t = Txn::new();
+        assert!(t.is_empty());
+        assert_eq!(t.payload_bits(), 0);
+        assert_eq!(t.header_bits(), 0);
+    }
+}

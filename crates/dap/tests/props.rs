@@ -1,7 +1,98 @@
 //! Property tests of the debug-protocol layers.
 
-use eof_dap::{checksum, frame_packet, parse_packet, TapController, TapState};
+use eof_dap::{
+    checksum, decode_txn, decode_txn_reply, encode_txn, encode_txn_reply, frame_packet,
+    parse_packet, DebugTransport, LinkConfig, RetryPolicy, RetryStats, TapController, TapState,
+    Txn, TxnOp, TxnResult,
+};
+use eof_hal::{BoardCatalog, FirmwareLoader, HalError, Machine};
 use proptest::prelude::*;
+
+/// Any wire-encodable operation, unconstrained by any particular target.
+fn arb_txn_op() -> impl Strategy<Value = TxnOp> {
+    prop_oneof![
+        Just(TxnOp::Halt),
+        Just(TxnOp::Resume),
+        Just(TxnOp::ReadPc),
+        Just(TxnOp::ResetTarget),
+        (any::<u32>(), 1u32..4096).prop_map(|(addr, len)| TxnOp::ReadMem { addr, len }),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 1..128))
+            .prop_map(|(addr, data)| TxnOp::WriteMem { addr, data }),
+        any::<u32>().prop_map(|addr| TxnOp::SetBreakpoint { addr }),
+        any::<u32>().prop_map(|addr| TxnOp::ClearBreakpoint { addr }),
+        "[a-z0-9_]{1,16}".prop_map(|partition| TxnOp::FlashChecksum { partition }),
+        (
+            "[a-z0-9_]{1,16}",
+            proptest::collection::vec(any::<u8>(), 0..96)
+        )
+            .prop_map(|(partition, image)| TxnOp::FlashWrite { partition, image }),
+    ]
+}
+
+/// Operations that are valid against the `props_transport()` target, so a
+/// replayed batch can actually apply. Breakpoints come from a 4-address
+/// pool (board budget is 8) and memory ops stay inside a scratch window.
+fn arb_applicable_op() -> impl Strategy<Value = TxnOp> {
+    const RAM_BASE: u32 = 0x3ffb_0000; // esp32_devkit
+    prop_oneof![
+        Just(TxnOp::Halt),
+        Just(TxnOp::ReadPc),
+        (0u32..4096, 1u32..64).prop_map(|(off, len)| TxnOp::ReadMem {
+            addr: RAM_BASE + off,
+            len
+        }),
+        (0u32..4096, proptest::collection::vec(any::<u8>(), 1..64)).prop_map(|(off, data)| {
+            TxnOp::WriteMem {
+                addr: RAM_BASE + off,
+                data,
+            }
+        }),
+        (0u32..4).prop_map(|i| TxnOp::SetBreakpoint {
+            addr: 0x0800_0000 + i * 4
+        }),
+        (0u32..4).prop_map(|i| TxnOp::ClearBreakpoint {
+            addr: 0x0800_0000 + i * 4
+        }),
+        Just(TxnOp::FlashChecksum {
+            partition: "kernel".into()
+        }),
+    ]
+}
+
+fn props_transport() -> DebugTransport {
+    struct Idle {
+        symbols: eof_hal::SymbolTable,
+    }
+    impl eof_hal::Firmware for Idle {
+        fn name(&self) -> &str {
+            "idle"
+        }
+        fn symbols(&self) -> &eof_hal::SymbolTable {
+            &self.symbols
+        }
+        fn step(&mut self, bus: &mut eof_hal::Bus) -> eof_hal::StepResult {
+            eof_hal::StepResult::Running {
+                pc: 0x0800_0000 + (bus.now() % 64) as u32,
+                cycles: 1,
+            }
+        }
+        fn on_reset(&mut self, _bus: &mut eof_hal::Bus) {}
+        fn freeze(&mut self) {}
+    }
+    let loader: FirmwareLoader = Box::new(|flash, _| {
+        let kernel = flash.read_partition("kernel")?;
+        if &kernel[..4] != b"IMG!" {
+            return Err(HalError::BootFailure("bad magic".into()));
+        }
+        Ok(Box::new(Idle {
+            symbols: eof_hal::SymbolTable::new(),
+        }))
+    });
+    let mut m = Machine::new(BoardCatalog::esp32_devkit(), loader);
+    m.reflash_partition("kernel", b"IMG!fw").unwrap();
+    m.reset();
+    DebugTransport::attach(m, LinkConfig::default())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -60,5 +151,91 @@ proptest! {
         tap.clock(false); // to Run-Test/Idle
         tap.scan_dr(bits);
         prop_assert_eq!(tap.state(), TapState::RunTestIdle);
+    }
+
+    #[test]
+    fn txn_wire_codec_roundtrips(ops in proptest::collection::vec(arb_txn_op(), 0..24)) {
+        let mut txn = Txn::new();
+        for op in ops {
+            txn.push(op);
+        }
+        let wire = encode_txn(&txn).unwrap();
+        prop_assert_eq!(decode_txn(&wire).unwrap(), txn.clone());
+        // The packet must also survive RSP framing (checksum envelope).
+        let framed = frame_packet(&wire);
+        prop_assert_eq!(decode_txn(parse_packet(&framed).unwrap()).unwrap(), txn);
+    }
+
+    #[test]
+    fn txn_reply_codec_roundtrips(
+        replies in proptest::collection::vec(
+            prop_oneof![
+                Just(TxnResult::Done),
+                proptest::collection::vec(any::<u8>(), 0..64).prop_map(TxnResult::Bytes),
+                any::<u32>().prop_map(TxnResult::Pc),
+                any::<u64>().prop_map(TxnResult::Checksum),
+            ],
+            0..24,
+        )
+    ) {
+        let wire = encode_txn_reply(&replies);
+        prop_assert_eq!(decode_txn_reply(&wire).unwrap(), replies);
+    }
+
+}
+
+proptest! {
+    // Each case boots three simulated targets; keep the case count down.
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn txn_replay_after_drop_matches_fault_free(
+        ops in proptest::collection::vec(arb_applicable_op(), 1..16),
+        delta in 0u64..255,
+    ) {
+        let mut txn = Txn::new();
+        for op in ops {
+            txn.push(op);
+        }
+
+        // Fault-free reference application.
+        let mut clean = props_transport();
+        let clean_results = clean.run_txn(&txn).unwrap();
+
+        // The batch charges its TAP scan *before* the single link check,
+        // so a fixed outage length races the scan duration. Measure when
+        // the check actually fires (a never-ending outage fails exactly
+        // there), then size the real outage to cover the first check but
+        // expire within the retry backoff (256 cycles): exactly one
+        // dropped submit, guaranteed replay.
+        let mut probe = props_transport();
+        let t0 = probe.now();
+        probe.schedule_outage(t0, u64::MAX / 2);
+        probe.run_txn(&txn).unwrap_err();
+        let check_at = probe.now() - t0;
+
+        let mut faulty = props_transport();
+        let now = faulty.now();
+        faulty.schedule_outage(now, check_at + 1 + delta);
+        let mut stats = RetryStats::default();
+        let replayed = RetryPolicy::default()
+            .run_txn(&mut stats, &mut faulty, &txn)
+            .unwrap();
+        prop_assert!(stats.recovered >= 1, "outage never tripped the submit");
+
+        // Identical results, and identical target state: the dropped
+        // attempt applied nothing.
+        prop_assert_eq!(replayed, clean_results);
+        prop_assert_eq!(faulty.txn_partials(), 0);
+        prop_assert_eq!(
+            faulty.machine().breakpoints(),
+            clean.machine().breakpoints()
+        );
+        let base = clean.machine().board().ram_base;
+        let mut clean_ram = vec![0u8; 8192];
+        let mut faulty_ram = vec![0u8; 8192];
+        clean.machine_mut().debug_read_batched(base, &mut clean_ram).unwrap();
+        faulty.machine_mut().debug_read_batched(base, &mut faulty_ram).unwrap();
+        prop_assert_eq!(clean_ram, faulty_ram);
     }
 }

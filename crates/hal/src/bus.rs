@@ -68,9 +68,22 @@ impl Bus {
         self.clock.charge(n);
     }
 
+    /// Charge `n` cycles of debug-port traffic: total time advances, the
+    /// core-visible clock does not (timers freeze on debug halt).
+    pub fn charge_debug(&mut self, n: u64) {
+        self.clock.charge_debug(n);
+    }
+
     /// Current cycle count (convenience).
     pub fn now(&self) -> u64 {
         self.clock.cycles()
+    }
+
+    /// The core-visible cycle count — what target code (kernel clocks,
+    /// ambient peripheral timers) reads. Excludes debug-port traffic, so
+    /// target behaviour does not depend on how the host drives the link.
+    pub fn core_now(&self) -> u64 {
+        self.clock.core_cycles()
     }
 
     /// Reset peripherals and RAM to their power-on state. The clock is

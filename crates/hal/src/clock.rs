@@ -15,9 +15,21 @@
 pub const CYCLES_PER_SEC: u64 = 1_000;
 
 /// A monotonically advancing cycle counter.
+///
+/// The clock distinguishes *debug-port* cycles from everything else.
+/// Debug traffic (TAP scans, memory access over the AP, reflash) happens
+/// while the core is halted, and real MCUs freeze the core-visible timers
+/// during a debug halt (the DBGMCU freeze bits). Charging debug traffic
+/// via [`CycleClock::charge_debug`] advances total time — campaign
+/// budgets and throughput accounting see it — but not
+/// [`CycleClock::core_cycles`], the clock the target reads. This is what
+/// makes target behaviour independent of how chatty the debug link is:
+/// a batched (vectored) transaction and its scalar equivalent leave the
+/// target-visible clock in the same place.
 #[derive(Debug, Clone, Default)]
 pub struct CycleClock {
     cycles: u64,
+    debug_cycles: u64,
 }
 
 impl CycleClock {
@@ -31,9 +43,28 @@ impl CycleClock {
         self.cycles = self.cycles.saturating_add(n);
     }
 
+    /// Advance the clock by `n` cycles of debug-port traffic. Total time
+    /// moves; the core-visible clock does not (timers freeze on halt).
+    pub fn charge_debug(&mut self, n: u64) {
+        self.cycles = self.cycles.saturating_add(n);
+        self.debug_cycles = self.debug_cycles.saturating_add(n);
+    }
+
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Cycles spent on debug-port traffic so far.
+    pub fn debug_cycles(&self) -> u64 {
+        self.debug_cycles
+    }
+
+    /// The core-visible cycle count: total cycles minus debug-port
+    /// cycles. This is what target code (kernel clocks, ambient timers)
+    /// reads.
+    pub fn core_cycles(&self) -> u64 {
+        self.cycles.saturating_sub(self.debug_cycles)
     }
 
     /// Current simulated time in whole seconds.
@@ -67,6 +98,17 @@ mod tests {
         c.charge(10);
         c.charge(5);
         assert_eq!(c.cycles(), 15);
+    }
+
+    #[test]
+    fn debug_charges_freeze_the_core_clock() {
+        let mut c = CycleClock::new();
+        c.charge(100);
+        c.charge_debug(40);
+        c.charge(10);
+        assert_eq!(c.cycles(), 150);
+        assert_eq!(c.debug_cycles(), 40);
+        assert_eq!(c.core_cycles(), 110);
     }
 
     #[test]

@@ -226,7 +226,7 @@ impl Machine {
     pub fn reflash_partition(&mut self, name: &str, image: &[u8]) -> Result<(), HalError> {
         // Debug-port flashing is slow; charge proportional to image size.
         self.bus
-            .charge(cost::FLASH_BASE + (image.len() as u64 / 64) * cost::FLASH_PER_64B);
+            .charge_debug(cost::FLASH_BASE + (image.len() as u64 / 64) * cost::FLASH_PER_64B);
         // The flash controller shares the supply rail: a sagging supply
         // corrupts programming, so the operation is refused outright.
         if self.browned_out() {
@@ -402,7 +402,7 @@ impl Machine {
             return Err(self.bad_state("read memory"));
         }
         self.bus
-            .charge(cost::MEM_BASE + (buf.len() as u64 / 4) * cost::MEM_PER_WORD);
+            .charge_debug(cost::MEM_BASE + (buf.len() as u64 / 4) * cost::MEM_PER_WORD);
         self.bus.ram.read(addr, buf)
     }
 
@@ -412,8 +412,48 @@ impl Machine {
             return Err(self.bad_state("write memory"));
         }
         self.bus
-            .charge(cost::MEM_BASE + (buf.len() as u64 / 4) * cost::MEM_PER_WORD);
+            .charge_debug(cost::MEM_BASE + (buf.len() as u64 / 4) * cost::MEM_PER_WORD);
         self.bus.ram.write(addr, buf)
+    }
+
+    /// Bounds-check a debug memory access without performing it. The
+    /// vectored transaction layer validates every queued operation before
+    /// applying any, so a mid-batch bad address refuses the whole batch
+    /// instead of half-applying it.
+    pub fn debug_check_mem(&self, addr: u32, len: usize) -> Result<(), HalError> {
+        self.bus.ram.slice(addr, len).map(|_| ())
+    }
+
+    /// Like [`Machine::debug_read`] but without the per-access base
+    /// charge: a vectored transaction pays [`cost::MEM_BASE`] once for
+    /// the whole batch (one access-port setup) and streams payload words
+    /// back-to-back.
+    pub fn debug_read_batched(&mut self, addr: u32, buf: &mut [u8]) -> Result<(), HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("read memory"));
+        }
+        self.bus
+            .charge_debug((buf.len() as u64 / 4) * cost::MEM_PER_WORD);
+        self.bus.ram.read(addr, buf)
+    }
+
+    /// Like [`Machine::debug_write`] but without the per-access base
+    /// charge (see [`Machine::debug_read_batched`]).
+    pub fn debug_write_batched(&mut self, addr: u32, buf: &[u8]) -> Result<(), HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("write memory"));
+        }
+        self.bus
+            .charge_debug((buf.len() as u64 / 4) * cost::MEM_PER_WORD);
+        self.bus.ram.write(addr, buf)
+    }
+
+    /// Whether the flash controller's debug path answers at all. A
+    /// hard-locked core takes the whole access port down and a sagging
+    /// supply silences the flash controller; everything else (including
+    /// a boot-dead core) still answers flash commands.
+    pub fn flash_port_available(&self) -> bool {
+        !self.core_killed && !self.browned_out()
     }
 
     /// Read the PC over the debug port. Fails when the core is dead, which
@@ -422,7 +462,7 @@ impl Machine {
         if self.is_dead() {
             return Err(self.bad_state("read pc"));
         }
-        self.bus.charge(cost::REG_READ);
+        self.bus.charge_debug(cost::REG_READ);
         Ok(self.pc)
     }
 
@@ -437,14 +477,14 @@ impl Machine {
                 max: self.board.max_breakpoints,
             });
         }
-        self.bus.charge(cost::BP_OP);
+        self.bus.charge_debug(cost::BP_OP);
         self.breakpoints.push(addr);
         Ok(())
     }
 
     /// Remove a hardware breakpoint (no-op if absent).
     pub fn clear_breakpoint(&mut self, addr: u32) {
-        self.bus.charge(cost::BP_OP);
+        self.bus.charge_debug(cost::BP_OP);
         self.breakpoints.retain(|&a| a != addr);
     }
 
@@ -482,7 +522,7 @@ impl Machine {
         let part = self.flash.table().get(partition)?.clone();
         // The verify loop costs time proportional to the region size.
         self.bus
-            .charge(cost::VERIFY_BASE + (part.size as u64 / 1024) * cost::VERIFY_PER_KB);
+            .charge_debug(cost::VERIFY_BASE + (part.size as u64 / 1024) * cost::VERIFY_PER_KB);
         self.flash.checksum(part.offset, part.size as usize)
     }
 

@@ -9,7 +9,7 @@
 
 use crate::kconfig::KConfig;
 use crate::watchdog::LivenessWatchdog;
-use eof_dap::{DapError, DebugTransport};
+use eof_dap::{DapError, DebugTransport, Txn, TxnResult};
 use eof_hal::clock::secs_to_cycles;
 use eof_hal::flash::fnv1a;
 use eof_hal::PartitionTable;
@@ -28,6 +28,7 @@ pub struct StateRestoration {
     golden: Vec<(String, u64)>,
     restorations: u64,
     reflashes: u64,
+    vectored: bool,
 }
 
 impl StateRestoration {
@@ -64,7 +65,14 @@ impl StateRestoration {
             golden,
             restorations: 0,
             reflashes: 0,
+            vectored: eof_dap::vectored_default(),
         })
+    }
+
+    /// Select vectored (batched) or scalar debug-port traffic for the
+    /// verify/reflash paths. Campaigns thread their `vectored` knob here.
+    pub fn set_vectored(&mut self, vectored: bool) {
+        self.vectored = vectored;
     }
 
     /// The partition map extracted from kconfig.
@@ -105,24 +113,65 @@ impl StateRestoration {
     /// mere hang thus costs seconds, not a full multi-megabyte flash.
     pub fn restore(&mut self, pipe: &mut DebugTransport) -> Result<(), DapError> {
         let span = tel::span_start("restore.verify_reflash", pipe.now());
-        for (i, (name, image)) in self.images.iter().enumerate() {
-            let intact = pipe
-                .flash_checksum(name)
-                .map(|cs| cs == self.golden[i].1)
-                .unwrap_or(false);
-            if intact {
-                tel::count("restore.partitions_verified_intact", 1);
-            } else {
-                pipe.flash_partition(name, image)?;
-                self.reflashes += 1;
-                tel::count("restore.partitions_reflashed", 1);
+        if self.vectored {
+            self.restore_vectored(pipe)?;
+        } else {
+            for (i, (name, image)) in self.images.iter().enumerate() {
+                let intact = pipe
+                    .flash_checksum(name)
+                    .map(|cs| cs == self.golden[i].1)
+                    .unwrap_or(false);
+                if intact {
+                    tel::count("restore.partitions_verified_intact", 1);
+                } else {
+                    pipe.flash_partition(name, image)?;
+                    self.reflashes += 1;
+                    tel::count("restore.partitions_reflashed", 1);
+                }
             }
+            pipe.reset_target()?;
         }
-        pipe.reset_target()?;
         pipe.sleep(secs_to_cycles(SETTLE_SECS));
         self.restorations += 1;
         tel::count("restore.restorations", 1);
         tel::span_end(span, pipe.now());
+        Ok(())
+    }
+
+    /// Vectored verify/reflash: every partition checksum in one
+    /// transaction, then every damaged partition plus the reboot in a
+    /// second. A checksum transaction refused by the target (flash port
+    /// down) marks everything damaged — the same conclusion the scalar
+    /// path reaches one `unwrap_or(false)` at a time.
+    fn restore_vectored(&mut self, pipe: &mut DebugTransport) -> Result<(), DapError> {
+        let mut verify = Txn::new();
+        for (name, _) in &self.images {
+            verify.flash_checksum(name);
+        }
+        let damaged: Vec<bool> = match pipe.run_txn(&verify) {
+            Ok(results) => results
+                .iter()
+                .zip(self.golden.iter())
+                .map(|(r, (_, golden))| !matches!(r, TxnResult::Checksum(cs) if cs == golden))
+                .collect(),
+            Err(e) if e.is_connection_loss() => return Err(e),
+            Err(_) => vec![true; self.images.len()],
+        };
+        let mut reflash = Txn::new();
+        for ((name, image), damaged) in self.images.iter().zip(&damaged) {
+            if *damaged {
+                reflash.flash_write(name, image);
+            } else {
+                tel::count("restore.partitions_verified_intact", 1);
+            }
+        }
+        let reflashed = reflash.len() as u64;
+        reflash.reset_target();
+        pipe.run_txn(&reflash)?;
+        self.reflashes += reflashed;
+        if reflashed > 0 {
+            tel::count("restore.partitions_reflashed", reflashed);
+        }
         Ok(())
     }
 
@@ -132,12 +181,24 @@ impl StateRestoration {
     /// e.g. the checksum engine itself answers garbage.
     pub fn restore_full(&mut self, pipe: &mut DebugTransport) -> Result<(), DapError> {
         let span = tel::span_start("restore.full_reflash", pipe.now());
-        for (name, image) in &self.images {
-            pipe.flash_partition(name, image)?;
-            self.reflashes += 1;
-            tel::count("restore.partitions_reflashed", 1);
+        if self.vectored {
+            // Whole golden set plus the reboot, one transaction.
+            let mut txn = Txn::new();
+            for (name, image) in &self.images {
+                txn.flash_write(name, image);
+            }
+            txn.reset_target();
+            pipe.run_txn(&txn)?;
+            self.reflashes += self.images.len() as u64;
+            tel::count("restore.partitions_reflashed", self.images.len() as u64);
+        } else {
+            for (name, image) in &self.images {
+                pipe.flash_partition(name, image)?;
+                self.reflashes += 1;
+                tel::count("restore.partitions_reflashed", 1);
+            }
+            pipe.reset_target()?;
         }
-        pipe.reset_target()?;
         pipe.sleep(secs_to_cycles(SETTLE_SECS));
         self.restorations += 1;
         tel::count("restore.restorations", 1);

@@ -618,7 +618,7 @@ impl Kernel for NuttxKernel {
                 }
                 // `rel` is attacker-controlled; clamp far-future
                 // deadlines instead of overflowing the tick counter.
-                let deadline = ctx.bus.now().saturating_add(rel);
+                let deadline = ctx.bus.core_now().saturating_add(rel);
                 match self.mq.timedsend(
                     ctx,
                     "nuttx::mqueue::nxmq_timedsend",

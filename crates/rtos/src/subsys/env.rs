@@ -148,7 +148,7 @@ impl EnvSubsystem {
         clock: u64,
     ) -> Result<u64, EnvError> {
         ctx.charge(2);
-        let mono = ctx.bus.now();
+        let mono = ctx.bus.core_now();
         match clock {
             clockid::REALTIME => {
                 ctx.cov_var(site, 8);
@@ -197,13 +197,13 @@ impl EnvSubsystem {
         us: u64,
     ) -> Result<(), EnvError> {
         ctx.charge(2);
-        let now = self.realtime_offset_us + ctx.bus.now();
+        let now = self.realtime_offset_us + ctx.bus.core_now();
         if us < now {
             ctx.cov_var(site, 11);
             return Err(EnvError::TimeRollback);
         }
         ctx.cov_var(site, 10);
-        self.realtime_offset_us = us - ctx.bus.now();
+        self.realtime_offset_us = us - ctx.bus.core_now();
         Ok(())
     }
 }

@@ -164,7 +164,7 @@ impl MqNamespace {
         prio: u8,
         abs_deadline: u64,
     ) -> Result<(), MqError> {
-        let now = ctx.bus.now();
+        let now = ctx.bus.core_now();
         let qi = self.queue_of(desc).inspect_err(|_| {
             ctx.cov_var(site, 11);
         })?;

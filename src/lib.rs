@@ -61,7 +61,7 @@ pub mod prelude {
     };
     pub use eof_core::{run_campaign, CampaignResult, Executor, Fuzzer, FuzzerConfig, Generator};
     pub use eof_coverage::InstrumentMode;
-    pub use eof_dap::{DebugTransport, LinkConfig, OcdServer, RspServer};
+    pub use eof_dap::{DebugTransport, LinkConfig, OcdServer, RspServer, Txn, TxnOp, TxnResult};
     pub use eof_hal::{BoardCatalog, BoardSpec, Machine};
     pub use eof_monitors::{LivenessWatchdog, LogMonitor, StateRestoration};
     pub use eof_rtos::image::{build_image, ImageProfile};

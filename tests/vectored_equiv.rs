@@ -1,0 +1,90 @@
+//! The vectored-equivalence gate: batched debug-port transactions
+//! (`EOF_VECTORED=1`) are an optimisation of the wire protocol, not of
+//! the fuzzer — the same campaign, run over scalar and vectored links,
+//! must observe the *same target*. With target-visible time decoupled
+//! from debug-port traffic (timers freeze on halt, as real DBGMCU
+//! freeze bits do), a fixed number of fuzzing iterations must produce
+//! bit-identical coverage bitmaps, crash lists and triaged BugIds on
+//! every OS. Only the cycle accounting — the thing the optimisation is
+//! *for* — is allowed to differ.
+
+use eof::core::{build_fuzzer, Fuzzer, FuzzerConfig};
+use eof::hal::FaultPlan;
+use eof::rtos::OsKind;
+
+const STEPS: usize = 40;
+const SEED: u64 = 7;
+
+/// Everything an exec campaign can observe about the target, minus
+/// cycle accounting.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    execs: u64,
+    coverage: Vec<u64>,
+    crash_keys: Vec<String>,
+    bugs: Vec<String>,
+    corpus_len: usize,
+    stalls: u64,
+}
+
+fn run(os: OsKind, vectored: bool) -> (Observed, u64) {
+    let mut config = FuzzerConfig::eof(os, SEED);
+    config.budget_hours = 24.0; // never the stopping condition here
+    config.vectored = vectored;
+    let (mut fuzzer, _, _): (Fuzzer, _, _) = build_fuzzer(config, FaultPlan::none());
+    for _ in 0..STEPS {
+        fuzzer.step();
+    }
+    let mut coverage: Vec<u64> = fuzzer.executor().coverage().iter().collect();
+    coverage.sort_unstable();
+    let mut crash_keys: Vec<String> = fuzzer
+        .crashes()
+        .unique()
+        .map(eof::core::crash::dedup_key)
+        .collect();
+    crash_keys.sort();
+    let mut bugs: Vec<String> = fuzzer
+        .crashes()
+        .bugs_found()
+        .iter()
+        .map(|b| format!("{b:?}"))
+        .collect();
+    bugs.sort();
+    let stats = fuzzer.stats();
+    (
+        Observed {
+            execs: stats.execs,
+            coverage,
+            crash_keys,
+            bugs,
+            corpus_len: fuzzer.corpus().len(),
+            stalls: stats.stalls,
+        },
+        fuzzer.executor().now(),
+    )
+}
+
+#[test]
+fn vectored_and_scalar_links_observe_the_same_target() {
+    for os in [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+    ] {
+        let (scalar, scalar_cycles) = run(os, false);
+        let (vectored, vectored_cycles) = run(os, true);
+        assert!(scalar.execs > 0, "{os:?}: campaign executed nothing");
+        assert_eq!(
+            scalar, vectored,
+            "{os:?}: vectored link changed what the campaign observed"
+        );
+        // The one permitted difference — and the point of the batching:
+        // the same work takes fewer simulated cycles over the wire.
+        assert!(
+            vectored_cycles < scalar_cycles,
+            "{os:?}: vectored run saved no cycles \
+             (scalar {scalar_cycles}, vectored {vectored_cycles})"
+        );
+    }
+}
