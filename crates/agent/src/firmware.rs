@@ -86,6 +86,11 @@ pub struct AgentFirmware {
     hung_pc: u32,
     /// Cycle of the last ambient peripheral interrupt.
     last_ambient: u64,
+    /// Ambient timer firings since boot. Drives the GPIO glitch cadence
+    /// (every third tick) — a count, not an absolute-time rule, so the
+    /// ambient schedule depends only on elapsed time since boot and is
+    /// unchanged by how the host restored the board into that boot.
+    ambient_ticks: u64,
 }
 
 impl AgentFirmware {
@@ -125,6 +130,7 @@ impl AgentFirmware {
             pending_banner: Vec::new(),
             hung_pc: 0,
             last_ambient: 0,
+            ambient_ticks: 0,
         }
     }
 
@@ -218,6 +224,8 @@ impl Firmware for AgentFirmware {
         self.results.clear();
         self.fault = None;
         self.frozen = false;
+        self.last_ambient = 0;
+        self.ambient_ticks = 0;
     }
 
     fn freeze(&mut self) {
@@ -258,11 +266,12 @@ impl Firmware for AgentFirmware {
                     let now = bus.core_now();
                     if now.saturating_sub(self.last_ambient) > 2_000 {
                         self.last_ambient = now;
+                        self.ambient_ticks += 1;
                         bus.pending_irqs.push_back(eof_hal::IrqRequest {
                             line: eof_hal::irq::TIMER,
                             payload: Vec::new(),
                         });
-                        if now.is_multiple_of(3) {
+                        if self.ambient_ticks.is_multiple_of(3) {
                             bus.pending_irqs.push_back(eof_hal::IrqRequest {
                                 line: eof_hal::irq::GPIO,
                                 payload: Vec::new(),

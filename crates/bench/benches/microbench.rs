@@ -155,6 +155,58 @@ fn bench_dap_txn(c: &mut Criterion) {
     });
 }
 
+fn bench_snapshot_restore(c: &mut Criterion) {
+    // The recovery fast path against the rungs it displaces: snapshot
+    // capture, dirty-page delta restore at varying dirty counts, and
+    // the verify-reflash / full-reflash ladder rungs.
+    let machine = eof_agent::boot_machine(
+        BoardCatalog::qemu_virt_arm(),
+        OsKind::Zephyr,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
+    let image = eof_rtos::image::build_image(
+        OsKind::Zephyr,
+        ImageProfile::FullSystem,
+        &InstrumentMode::Full,
+    );
+    let kconfig = eof_monitors::parse_kconfig(&eof_monitors::render_kconfig(
+        "arm",
+        machine.flash().table(),
+    ))
+    .unwrap();
+    let mut resto = eof_monitors::StateRestoration::from_kconfig(
+        &kconfig,
+        machine.board().flash_size,
+        vec![("kernel".into(), image)],
+    )
+    .unwrap();
+    let mut t = DebugTransport::attach(machine, LinkConfig::default());
+    let _ = t.continue_until_halt(200);
+    c.bench_function("snapshot_restore/capture", |b| {
+        b.iter(|| black_box(resto.capture_snapshot(&mut t).unwrap()))
+    });
+    let base = t.machine().board().ram_base;
+    for pages in [1usize, 16, 64] {
+        resto.capture_snapshot(&mut t).unwrap();
+        c.bench_function(&format!("snapshot_restore/delta_{pages}_pages"), |b| {
+            b.iter(|| {
+                for i in 0..pages {
+                    t.write_mem(base + 0x4000 + (i * eof_hal::PAGE_SIZE) as u32, &[0xa5; 4])
+                        .unwrap();
+                }
+                resto.snapshot_restore(&mut t).unwrap();
+            })
+        });
+    }
+    c.bench_function("snapshot_restore/verify_reflash", |b| {
+        b.iter(|| resto.restore(&mut t).unwrap())
+    });
+    c.bench_function("snapshot_restore/full_reflash", |b| {
+        b.iter(|| resto.restore_full(&mut t).unwrap())
+    });
+}
+
 fn bench_coverage(c: &mut Criterion) {
     let mut bus = Bus::new(0x2000_0000, 0x1_0000, Endianness::Little);
     let region = CovRegion::new(0x2000_4000, 1024);
@@ -255,6 +307,7 @@ criterion_group!(
     bench_parsers,
     bench_debug_port,
     bench_dap_txn,
+    bench_snapshot_restore,
     bench_coverage,
     bench_fuzz_iteration,
     bench_fleet

@@ -189,8 +189,9 @@ fn main() {
         .iter()
         .map(|c| format!("    {}", cell_json(c)))
         .collect();
+    let snapshot_mode = eof_dap::snapshot_default();
     let json = format!(
-        "{{\n  \"config\": {{\"hours\": {hours}, \"faults_per_cell\": {faults}, \"chaos_seeds\": [{}], \"oses\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \"total\": {{\"episodes\": {total_episodes}, \"recovered\": {total_recovered}, \"manual_interventions\": {total_manual}}},\n  \"all_invariants_hold\": {all_ok},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"config\": {{\"hours\": {hours}, \"faults_per_cell\": {faults}, \"snapshot\": {snapshot_mode}, \"chaos_seeds\": [{}], \"oses\": [{}]}},\n  \"cells\": [\n{}\n  ],\n  \"total\": {{\"episodes\": {total_episodes}, \"recovered\": {total_recovered}, \"manual_interventions\": {total_manual}}},\n  \"all_invariants_hold\": {all_ok},\n  \"telemetry\": {telemetry_json}\n}}\n",
         chaos_seeds.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", "),
         oses.iter().map(|o| format!("\"{}\"", o.display())).collect::<Vec<_>>().join(", "),
         cell_jsons.join(",\n"),

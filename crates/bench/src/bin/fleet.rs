@@ -79,8 +79,8 @@ fn fingerprint(results: &[CampaignResult]) -> String {
 
 fn cache_json(s: &CacheStats) -> String {
     format!(
-        "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"image_hits\": {}, \"image_misses\": {}, \"spec_hits\": {}, \"spec_misses\": {}}}",
-        s.hits(), s.misses(), s.hit_rate(), s.image_hits, s.image_misses, s.spec_hits, s.spec_misses
+        "{{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"image_hits\": {}, \"image_misses\": {}, \"spec_hits\": {}, \"spec_misses\": {}, \"lock_wait_nanos\": {}}}",
+        s.hits(), s.misses(), s.hit_rate(), s.image_hits, s.image_misses, s.spec_hits, s.spec_misses, s.lock_wait_nanos
     )
 }
 
@@ -112,6 +112,17 @@ fn main() {
 
     let identical = fingerprint(&serial_results) == fingerprint(&parallel_results);
     let speedup = serial_secs / parallel_secs.max(1e-9);
+    // A speedup measured with more jobs than physical cores is
+    // oversubscription noise, not a parallel-scaling result: flag it so
+    // nobody quotes it.
+    let speedup_valid = parallel_jobs <= host_cores;
+    if !speedup_valid {
+        eprintln!(
+            "[fleet] WARNING: {parallel_jobs} jobs on {host_cores} host core(s) — \
+             the measured speedup is not a valid scaling number \
+             (speedup_valid=false in BENCH_fleet.json)"
+        );
+    }
     assert!(
         identical,
         "fleet determinism violated: serial and parallel phases disagree"
@@ -134,6 +145,19 @@ fn main() {
     );
     eof_bench::collect_telemetry(&serial_results);
 
+    // Bin-level telemetry: how long fleet jobs queued on the artifact-
+    // cache registry lock. Recorded into a bench-scoped registry, not a
+    // campaign's — lock contention is wall-clock-dependent, and campaign
+    // registries must stay deterministic across job counts.
+    if eof_telemetry::enabled() {
+        let guard = eof_telemetry::begin();
+        eof_telemetry::count(
+            "fleet.cache.lock_wait_cycles",
+            serial_cache.lock_wait_nanos + parallel_cache.lock_wait_nanos,
+        );
+        eof_bench::collect_registries(vec![guard.finish()]);
+    }
+
     let cell_names: Vec<String> = cells
         .iter()
         .map(|(os, kind)| format!("\"{}/{}\"", os.display(), kind.display()))
@@ -147,7 +171,7 @@ fn main() {
         _ => "null".to_string(),
     };
     let json = format!(
-        "{{\n  \"workload\": {{\"cells\": [{}], \"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \"host_cores\": {host_cores},\n  \"serial\": {{\"jobs\": 1, \"secs\": {serial_secs:.3}, \"cache\": {}}},\n  \"parallel\": {{\"jobs\": {parallel_jobs}, \"secs\": {parallel_secs:.3}, \"cache\": {}}},\n  \"speedup\": {speedup:.2},\n  \"identical_results\": {identical},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"workload\": {{\"cells\": [{}], \"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \"host_cores\": {host_cores},\n  \"serial\": {{\"jobs\": 1, \"secs\": {serial_secs:.3}, \"cache\": {}}},\n  \"parallel\": {{\"jobs\": {parallel_jobs}, \"secs\": {parallel_secs:.3}, \"cache\": {}}},\n  \"speedup\": {speedup:.2},\n  \"speedup_valid\": {speedup_valid},\n  \"identical_results\": {identical},\n  \"telemetry\": {telemetry_json}\n}}\n",
         cell_names.join(", "),
         cache_json(&serial_cache),
         cache_json(&parallel_cache),

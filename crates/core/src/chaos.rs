@@ -318,13 +318,23 @@ mod tests {
 
     #[test]
     fn no_fault_kind_tears_a_transaction() {
-        // One seeded campaign per fault kind, each kind injected
-        // repeatedly on its own: whatever the timing, a fault must land
-        // a vectored transaction whole or not at all (txn_partial is a
-        // `check_invariants` violation), and the supervisor's contract
-        // must hold around it.
-        use eof_hal::FaultPlan;
+        // One seeded campaign per fault kind and restore mode, each kind
+        // injected repeatedly on its own: whatever the timing, a fault
+        // must land a vectored transaction whole or not at all
+        // (txn_partial is a `check_invariants` violation), and the
+        // supervisor's contract must hold around it. Snapshot mode adds
+        // a new vectored batch shape — the multi-page delta restore — so
+        // the matrix covers both restore modes: a fault arriving mid-
+        // delta-restore must never leave a half-restored board
+        // uncounted.
         let flash_size = FuzzerConfig::eof(OsKind::FreeRtos, 11).board.flash_size;
+        for snapshot in [false, true] {
+            no_kind_tears(flash_size, snapshot);
+        }
+    }
+
+    fn no_kind_tears(flash_size: u32, snapshot: bool) {
+        use eof_hal::FaultPlan;
         for (kind, label) in KINDS.iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(0xa70_0c17 + kind as u64);
             let mut plan = FaultPlan::none();
@@ -354,15 +364,16 @@ mod tests {
             let mut base = FuzzerConfig::eof(OsKind::FreeRtos, 11);
             base.budget_hours = 0.1;
             base.snapshot_hours = 0.025;
+            base.snapshot = snapshot;
             let result = run_campaign_with_faults(base, plan);
             let violations = check_invariants(&result);
             assert!(
                 violations.is_empty(),
-                "fault kind {label:?}: {violations:?}"
+                "fault kind {label:?} (snapshot={snapshot}): {violations:?}"
             );
             assert_eq!(
                 result.resilience.txn_partial, 0,
-                "fault kind {label:?} tore a vectored transaction"
+                "fault kind {label:?} (snapshot={snapshot}) tore a vectored transaction"
             );
         }
     }

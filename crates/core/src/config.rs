@@ -160,6 +160,14 @@ pub struct FuzzerConfig {
     /// either way (`tests/vectored_equiv.rs` enforces this), so it is
     /// excluded from the store's config fingerprint.
     pub vectored: bool,
+    /// Use board-state snapshots and dirty-page delta restore as the
+    /// recovery ladder's cheapest rung and for inter-exec restoration.
+    /// Defaults to the `EOF_SNAPSHOT` environment knob (unset = on;
+    /// `EOF_SNAPSHOT=0` = reboot/reflash-only fallback). Behaviour-
+    /// neutral like `vectored` — per-exec results are bit-identical
+    /// either way (`tests/snapshot_equiv.rs` enforces this), so it is
+    /// excluded from the store's config fingerprint.
+    pub snapshot: bool,
 }
 
 impl FuzzerConfig {
@@ -188,6 +196,7 @@ impl FuzzerConfig {
             exclude_pseudo: false,
             persist: None,
             vectored: eof_dap::vectored_default(),
+            snapshot: eof_dap::snapshot_default(),
         }
     }
 

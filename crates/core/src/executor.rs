@@ -147,6 +147,7 @@ impl Executor {
         let supervisor = RecoverySupervisor::for_policy(&config.recovery);
         let mut restoration = restoration;
         restoration.set_vectored(config.vectored);
+        restoration.set_snapshot_mode(config.snapshot);
         let mut exec = Executor {
             transport,
             config,
@@ -265,6 +266,7 @@ impl Executor {
     fn sync_to_main(&mut self) {
         if Self::park_at_main(&mut self.transport, self.main_addr) {
             self.at_main = true;
+            self.rearm_snapshot();
             return;
         }
         self.recover(RecoveryReason::ConnectionLoss);
@@ -272,6 +274,22 @@ impl Executor {
             self.failed_syncs += 1;
             tel::count("exec.failed_syncs", 1);
         }
+    }
+
+    /// (Re-)capture the board snapshot when the armed one no longer
+    /// belongs to the current boot. Every reset is host-initiated, so
+    /// the boot-epoch comparison is free host-side bookkeeping: in the
+    /// fault-free steady state this never captures and the snapshot
+    /// path costs nothing. Flash drift within an epoch is caught by the
+    /// supervisor's recovery-time generation probe instead.
+    fn rearm_snapshot(&mut self) {
+        if !self.config.snapshot || !self.at_main {
+            return;
+        }
+        if self.restoration.snapshot_current_epoch(&self.transport) {
+            return;
+        }
+        let _ = self.restoration.capture_snapshot(&mut self.transport);
     }
 
     /// Run one supervisor recovery episode. The episode climbs the
@@ -288,6 +306,7 @@ impl Executor {
                 });
         self.at_main = outcome.parked;
         self.watchdog.reset();
+        self.rearm_snapshot();
     }
 
     /// Drain the on-device coverage buffer and reset it. Transient link
@@ -918,7 +937,12 @@ mod tests {
     #[test]
     fn reset_rung_recovers_frozen_firmware() {
         use crate::supervisor::Rung;
-        let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 31));
+        let mut cfg = FuzzerConfig::eof(OsKind::FreeRtos, 31);
+        // With the snapshot fast path armed, SnapshotRestore would absorb
+        // the episode before Reset ever runs; disable it to exercise the
+        // reboot rung in isolation.
+        cfg.snapshot = false;
+        let mut e = executor_for(cfg);
         let prog = Prog {
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
         };
@@ -937,6 +961,36 @@ mod tests {
         assert_eq!(r.rung_attempts[Rung::Resume.index()], 0, "{r:?}");
         assert_eq!(r.rung_attempts[Rung::VerifyReflash.index()], 0, "{r:?}");
         // Target is healthy again.
+        assert!(e.run_one(&prog).crash.is_none());
+    }
+
+    #[test]
+    fn snapshot_rung_recovers_frozen_firmware_without_reboot() {
+        use crate::supervisor::Rung;
+        let mut cfg = FuzzerConfig::eof(OsKind::FreeRtos, 31);
+        cfg.snapshot = true;
+        let mut e = executor_for(cfg);
+        let prog = Prog {
+            calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
+        };
+        let resets_before = e.transport_mut().machine().reset_count();
+        e.transport_mut().machine_mut().set_fault_plan(
+            eof_hal::FaultPlan::none().at(10, eof_hal::InjectedFault::FreezeFirmware),
+        );
+        let out = e.run_one(&prog);
+        assert!(out.stalled);
+        assert!(out.restored);
+        let r = e.resilience();
+        // The armed snapshot is valid (flash untouched, same boot): the
+        // delta rung must absorb the whole episode without a reboot —
+        // the reset line is never pulled.
+        assert_eq!(r.rung_successes[Rung::SnapshotRestore.index()], 1, "{r:?}");
+        assert_eq!(r.rung_attempts[Rung::Reset.index()], 0, "{r:?}");
+        assert_eq!(
+            e.transport_mut().machine().reset_count(),
+            resets_before,
+            "snapshot restore must not reboot"
+        );
         assert!(e.run_one(&prog).crash.is_none());
     }
 

@@ -102,6 +102,12 @@ impl Fuzzer {
         &self.executor
     }
 
+    /// Mutable executor access (fault injection in tests and the chaos
+    /// harness).
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.executor
+    }
+
     /// Run one fuzzing iteration: pick or generate an input, execute it,
     /// and — when it discovers new coverage — immediately exploit the
     /// frontier with a burst of follow-up mutations (the AFL-style

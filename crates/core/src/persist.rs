@@ -469,6 +469,11 @@ pub struct StoreManifest {
     /// re-derive the interrupted prefix at the producer's throughput,
     /// so the knob rides in the manifest.
     pub vectored: bool,
+    /// Whether the producing campaign recovered via board snapshots and
+    /// dirty-page delta restore. Like `vectored`, behaviour-neutral and
+    /// excluded from the fingerprint (`tests/snapshot_equiv.rs`), but
+    /// recorded so resume reproduces the producer's recovery cost.
+    pub snapshot: bool,
     /// Simulated hours the producing campaign consumed.
     pub consumed_hours: f64,
     /// Final distinct-branch count of the campaign coverage map.
@@ -506,6 +511,10 @@ impl StoreManifest {
                 if self.vectored { "vectored" } else { "scalar" }.to_string(),
             ),
             (
+                "restore",
+                if self.snapshot { "snapshot" } else { "reflash" }.to_string(),
+            ),
+            (
                 "consumed_hours_bits",
                 format!("{:016x}", self.consumed_hours.to_bits()),
             ),
@@ -530,6 +539,9 @@ impl StoreManifest {
             // Stores from before the wire-mode split carry no key; they
             // were produced over a scalar link.
             vectored: rec.get("wire").map(|w| w == "vectored").unwrap_or(false),
+            // Same for stores predating the snapshot fast path: they
+            // recovered by reboot/reflash only.
+            snapshot: rec.get("restore").map(|r| r == "snapshot").unwrap_or(false),
             consumed_hours: rec.f64_bits("consumed_hours_bits")?,
             branches: rec.usize("branches")?,
             replay_branches: rec.usize("replay_branches")?,
@@ -580,6 +592,7 @@ pub struct CampaignStore {
     board: String,
     seed: u64,
     vectored: bool,
+    snapshot: bool,
     crash_writes: usize,
     write_errors: usize,
 }
@@ -605,6 +618,7 @@ impl CampaignStore {
             board: config.board.name.to_string(),
             seed: config.seed,
             vectored: config.vectored,
+            snapshot: config.snapshot,
             crash_writes: 0,
             write_errors: 0,
         })
@@ -727,6 +741,7 @@ impl CampaignStore {
             board: self.board.clone(),
             seed: self.seed,
             vectored: self.vectored,
+            snapshot: self.snapshot,
             consumed_hours,
             branches,
             replay_branches,

@@ -7,16 +7,21 @@
 //! debug port sometimes needs the power rail, not the flash. The
 //! supervisor makes the escalation explicit:
 //!
-//! 1. **Resume** — the target may be fine and only the observation was
+//! 1. **Snapshot-restore** — rewind the board from the armed dirty-page
+//!    snapshot: ship only the pages written since capture and restart
+//!    the core, no reboot, no settle. Gated by the flash generation
+//!    counter — a mutated image disqualifies the snapshot and the ladder
+//!    escalates straight past it.
+//! 2. **Resume** — the target may be fine and only the observation was
 //!    disturbed; try to re-park at the sync point.
-//! 2. **Reset + settle** — reboot in place; an intact image recovers in
+//! 3. **Reset + settle** — reboot in place; an intact image recovers in
 //!    about a second.
-//! 3. **Verify-and-reflash** — Algorithm 1's checksum pass: reflash only
+//! 4. **Verify-and-reflash** — Algorithm 1's checksum pass: reflash only
 //!    the partitions whose target-side CRC disagrees with the golden one
 //!    (§4.4.2), then reboot and settle.
-//! 4. **Full golden reflash** — write everything back unconditionally,
+//! 5. **Full golden reflash** — write everything back unconditionally,
 //!    for when the checksum engine itself cannot be trusted.
-//! 5. **Power-cycle** — the one action that needs no debug link at all.
+//! 6. **Power-cycle** — the one action that needs no debug link at all.
 //!
 //! Each rung has a bounded attempt budget with exponential backoff in
 //! *simulated cycles*, so slow recovery genuinely eats campaign budget.
@@ -42,6 +47,11 @@ const MAX_RUNG_BACKOFF: u64 = 16_000;
 /// One rung of the restoration ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rung {
+    /// Delta-restore from the armed board snapshot: dirty pages + core
+    /// registers over the debug port, no reboot. Skipped outright when
+    /// no valid snapshot is armed (flash generation or boot epoch
+    /// mismatch, snapshot mode off).
+    SnapshotRestore,
     /// Leave the target alone and try to re-park at the sync point.
     Resume,
     /// Reset line + settle delay.
@@ -55,23 +65,25 @@ pub enum Rung {
 }
 
 /// Number of distinct rungs (array-indexed stats).
-pub const RUNG_COUNT: usize = 5;
+pub const RUNG_COUNT: usize = 6;
 
 impl Rung {
     /// Stable index for per-rung stat arrays.
     pub fn index(self) -> usize {
         match self {
-            Rung::Resume => 0,
-            Rung::Reset => 1,
-            Rung::VerifyReflash => 2,
-            Rung::FullReflash => 3,
-            Rung::PowerCycle => 4,
+            Rung::SnapshotRestore => 0,
+            Rung::Resume => 1,
+            Rung::Reset => 2,
+            Rung::VerifyReflash => 3,
+            Rung::FullReflash => 4,
+            Rung::PowerCycle => 5,
         }
     }
 
     /// Human/JSON label.
     pub fn name(self) -> &'static str {
         match self {
+            Rung::SnapshotRestore => "snapshot_restore",
             Rung::Resume => "resume",
             Rung::Reset => "reset",
             Rung::VerifyReflash => "verify_reflash",
@@ -82,6 +94,7 @@ impl Rung {
 
     /// All rungs in escalation order.
     pub const ALL: [Rung; RUNG_COUNT] = [
+        Rung::SnapshotRestore,
         Rung::Resume,
         Rung::Reset,
         Rung::VerifyReflash,
@@ -93,6 +106,7 @@ impl Rung {
     /// than formatting) because counters key on `&'static str`.
     pub fn attempts_counter(self) -> &'static str {
         match self {
+            Rung::SnapshotRestore => "recovery.rung.snapshot_restore.attempts",
             Rung::Resume => "recovery.rung.resume.attempts",
             Rung::Reset => "recovery.rung.reset.attempts",
             Rung::VerifyReflash => "recovery.rung.verify_reflash.attempts",
@@ -104,6 +118,7 @@ impl Rung {
     /// Telemetry counter key for successful recoveries by this rung.
     pub fn successes_counter(self) -> &'static str {
         match self {
+            Rung::SnapshotRestore => "recovery.rung.snapshot_restore.successes",
             Rung::Resume => "recovery.rung.resume.successes",
             Rung::Reset => "recovery.rung.reset.successes",
             Rung::VerifyReflash => "recovery.rung.verify_reflash.successes",
@@ -224,12 +239,18 @@ pub struct RecoverySupervisor {
 impl RecoverySupervisor {
     /// Build the ladder for a recovery policy.
     ///
-    /// * `reflash = true` (EOF): the full five-rung ladder.
+    /// * `reflash = true` (EOF): the full six-rung ladder.
     /// * reboot-only (baselines): a single reset rung — everything past
     ///   a reboot is, by the paper's framing, a manual intervention.
     pub fn for_policy(recovery: &RecoveryConfig) -> Self {
         let ladder = if recovery.reflash {
             vec![
+                RungSpec {
+                    rung: Rung::SnapshotRestore,
+                    attempts: 1,
+                    base_backoff: 0,
+                    settle: 0,
+                },
                 RungSpec {
                     rung: Rung::Resume,
                     attempts: 1,
@@ -250,16 +271,23 @@ impl RecoverySupervisor {
                     settle: 0,
                 },
                 RungSpec {
+                    rung: Rung::PowerCycle,
+                    // Before the full golden stream, not after: pulling
+                    // the plug costs a few thousand cycles against the
+                    // stream's ~half a million, revives a latched core or
+                    // a sagging rail that would refuse the stream anyway,
+                    // and is the only rung that needs no debug link.
+                    // Three attempts with a doubling 5 s backoff outlast
+                    // the longest injected brownout (20 s).
+                    attempts: 3,
+                    base_backoff: secs_to_cycles(5),
+                    settle: secs_to_cycles(1),
+                },
+                RungSpec {
                     rung: Rung::FullReflash,
                     attempts: 1,
                     base_backoff: 0,
                     settle: 0,
-                },
-                RungSpec {
-                    rung: Rung::PowerCycle,
-                    attempts: 2,
-                    base_backoff: secs_to_cycles(5),
-                    settle: secs_to_cycles(1),
                 },
             ]
         } else {
@@ -301,10 +329,35 @@ impl RecoverySupervisor {
         self.stats.episodes += 1;
         tel::count("recovery.episodes", 1);
         let episode_span = tel::span_start("recovery.episode", start);
+        // Whether a verified restore COMPLETED this episode: the flash
+        // port answered, the image was verified (and repaired if need
+        // be) — and the target still would not park.
+        let mut flash_answered = false;
         for spec in self.ladder.clone() {
             // A stall means the core answers but the PC is stuck;
             // re-parking without any action provably cannot help.
             if reason == RecoveryReason::Stall && spec.rung == Rung::Resume {
+                continue;
+            }
+            // The delta fast path is only sound when the armed snapshot
+            // still describes this boot of this image: the flash
+            // generation counter is the suspicion rule (a reflash or a
+            // flipped bit disqualifies it), and an unreachable flash
+            // port disqualifies it too.
+            if spec.rung == Rung::SnapshotRestore && !restoration.snapshot_ready(pipe) {
+                continue;
+            }
+            // The unconditional golden stream answers flash DISTRUST,
+            // not link failure: it only runs when a verified restore
+            // completed this episode — flash port answering, image
+            // proven (or made) golden — yet the target still refused to
+            // park, i.e. the checksum engine itself is suspect. When
+            // the verified restore could not even talk to the flash,
+            // the link is the problem, and a multi-megabyte stream
+            // through the same port provably cannot do better than the
+            // register read that just failed; the episode goes to the
+            // bench operator at walk-over cost instead of stream cost.
+            if spec.rung == Rung::FullReflash && !flash_answered {
                 continue;
             }
             let mut backoff = spec.base_backoff;
@@ -317,8 +370,12 @@ impl RecoverySupervisor {
                 }
                 self.stats.rung_attempts[spec.rung.index()] += 1;
                 tel::count(spec.rung.attempts_counter(), 1);
-                Self::perform(spec, pipe, restoration);
-                if verify(pipe) {
+                let applied = Self::perform(spec, pipe, restoration);
+                if spec.rung == Rung::VerifyReflash && applied {
+                    flash_answered = true;
+                }
+                let ok = verify(pipe);
+                if ok {
                     self.stats.rung_successes[spec.rung.index()] += 1;
                     tel::count(spec.rung.successes_counter(), 1);
                     let cycles = pipe.now() - start;
@@ -342,7 +399,12 @@ impl RecoverySupervisor {
         tel::event("recovery.manual_intervention", pipe.now(), String::new);
         pipe.sleep(secs_to_cycles(MANUAL_INTERVENTION_SECS));
         pipe.power_cycle(secs_to_cycles(1));
-        let _ = restoration.restore_full(pipe);
+        // The bench programmer verifies before it writes, like any modern
+        // probe tool: partitions whose checksum already matches the
+        // golden image are skipped, so an episode whose real problem was
+        // power or the link (image intact all along) costs the human's
+        // minute plus a checksum pass — not a full image stream.
+        let _ = restoration.restore(pipe);
         let parked = verify(pipe);
         let cycles = pipe.now() - start;
         self.finish_episode(cycles);
@@ -360,27 +422,30 @@ impl RecoverySupervisor {
         tel::observe("recovery.episode_cycles", cycles);
     }
 
-    /// Execute one rung's action. Errors are deliberately swallowed: a
-    /// failed action simply fails the verify that follows, and the
-    /// ladder escalates.
-    fn perform(spec: RungSpec, pipe: &mut DebugTransport, restoration: &mut StateRestoration) {
+    /// Execute one rung's action. Errors are deliberately swallowed — a
+    /// failed action simply fails the verify that follows and the
+    /// ladder escalates — but whether the action applied cleanly is
+    /// reported back, so the ladder can gate the golden stream on the
+    /// flash having actually answered a verified restore.
+    fn perform(
+        spec: RungSpec,
+        pipe: &mut DebugTransport,
+        restoration: &mut StateRestoration,
+    ) -> bool {
         match spec.rung {
-            Rung::Resume => {
-                let _ = pipe.resume();
-            }
+            Rung::SnapshotRestore => restoration.snapshot_restore(pipe).is_ok(),
+            Rung::Resume => pipe.resume().is_ok(),
             Rung::Reset => {
-                let _ = pipe.reset_target();
+                let applied = pipe.reset_target().is_ok();
                 pipe.sleep(spec.settle);
+                applied
             }
-            Rung::VerifyReflash => {
-                let _ = restoration.restore(pipe);
-            }
-            Rung::FullReflash => {
-                let _ = restoration.restore_full(pipe);
-            }
+            Rung::VerifyReflash => restoration.restore(pipe).is_ok(),
+            Rung::FullReflash => restoration.restore_full(pipe).is_ok(),
             Rung::PowerCycle => {
                 pipe.power_cycle(secs_to_cycles(1));
                 pipe.sleep(spec.settle);
+                true
             }
         }
     }

@@ -26,7 +26,11 @@
 //! all-or-nothing semantics. Sub-command outputs come back joined with
 //! `" | "` in queue order. Supported inside a batch: `halt`, `resume`,
 //! `reset [run]`, `mdw`, `mww`, `bp`, `rbp`, `reg pc`,
-//! `flash write_image`, `flash verify_image`.
+//! `flash write_image`, `flash verify_image`,
+//! `flash verify_sectors PART N` (per-sector checksums),
+//! `flash write_sectors PART IDX:HEX,IDX:HEX,…` (sector-delta repair),
+//! `write_pages ADDR:HEX,ADDR:HEX,…` (snapshot-delta scatter write) and
+//! `restore_core` (restart from the reset vector without a reset).
 
 use crate::error::DapError;
 use crate::transport::DebugTransport;
@@ -179,10 +183,28 @@ impl OcdServer {
     fn batch(&mut self, body: &str) -> Result<String, DapError> {
         enum Fmt {
             Plain(&'static str),
-            Words { addr: u32, n: usize },
+            Words {
+                addr: u32,
+                n: usize,
+            },
             Pc,
-            Wrote { part: String, len: usize },
-            Verify { expect: u64 },
+            Wrote {
+                part: String,
+                len: usize,
+            },
+            Verify {
+                expect: u64,
+            },
+            Sectors,
+            WroteSectors {
+                part: String,
+                n: usize,
+                bytes: usize,
+            },
+            Pages {
+                n: usize,
+                bytes: usize,
+            },
         }
         let e = self.endianness();
         let mut txn = Txn::new();
@@ -257,6 +279,51 @@ impl OcdServer {
                     });
                     txn.flash_checksum(part);
                 }
+                ["flash", "verify_sectors", part, n] => {
+                    let n: u32 = n
+                        .parse()
+                        .map_err(|_| DapError::Protocol(format!("bad sector count {n:?}")))?;
+                    txn.flash_sector_checksums(part, n);
+                    fmts.push(Fmt::Sectors);
+                }
+                ["flash", "write_sectors", part, spec] => {
+                    let sectors = spec
+                        .split(',')
+                        .map(|sector| {
+                            let (idx, hex) = sector.split_once(':').ok_or_else(|| {
+                                DapError::Protocol(format!("bad sector spec {sector:?}"))
+                            })?;
+                            Ok((parse_num(idx)?, parse_hex_bytes(hex)?))
+                        })
+                        .collect::<Result<Vec<_>, DapError>>()?;
+                    fmts.push(Fmt::WroteSectors {
+                        part: part.to_string(),
+                        n: sectors.len(),
+                        bytes: sectors.iter().map(|(_, d)| d.len()).sum(),
+                    });
+                    txn.flash_write_sectors(part, sectors);
+                }
+                ["write_pages", spec] => {
+                    let pages = spec
+                        .split(',')
+                        .map(|page| {
+                            let (addr, hex) = page.split_once(':').ok_or_else(|| {
+                                DapError::Protocol(format!("bad page spec {page:?}"))
+                            })?;
+                            Ok((parse_num(addr)?, parse_hex_bytes(hex)?))
+                        })
+                        .collect::<Result<Vec<_>, DapError>>()?;
+                    let (n, bytes) = (
+                        pages.len(),
+                        pages.iter().map(|(_, d)| d.len()).sum::<usize>(),
+                    );
+                    txn.write_pages(pages);
+                    fmts.push(Fmt::Pages { n, bytes });
+                }
+                ["restore_core"] => {
+                    txn.restore_core();
+                    fmts.push(Fmt::Plain("core restored"));
+                }
                 other => {
                     return Err(DapError::Protocol(format!(
                         "unknown batch sub-command {:?}",
@@ -282,12 +349,23 @@ impl OcdServer {
                 }
                 (Fmt::Pc, TxnResult::Pc(pc)) => format!("pc (/32): {pc:#010x}"),
                 (Fmt::Wrote { part, len }, _) => format!("wrote {len} bytes to {part}"),
+                (Fmt::Pages { n, bytes }, _) => format!("restored {n} pages ({bytes} bytes)"),
                 (Fmt::Verify { expect }, TxnResult::Checksum(cs)) => {
                     if cs == expect {
                         "verified OK".to_string()
                     } else {
                         format!("MISMATCH: target {cs:#x} != image {expect:#x}")
                     }
+                }
+                (Fmt::Sectors, TxnResult::Checksums(css)) => format!(
+                    "sectors: {}",
+                    css.iter()
+                        .map(|cs| format!("{cs:016x}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+                (Fmt::WroteSectors { part, n, bytes }, _) => {
+                    format!("wrote {n} sectors ({bytes} bytes) to {part}")
                 }
                 _ => return Err(DapError::Protocol("batch reply shape mismatch".into())),
             });
@@ -528,6 +606,19 @@ mod tests {
             vectored_cost < scalar_cost,
             "vectored {vectored_cost} !< scalar {scalar_cost}"
         );
+    }
+
+    #[test]
+    fn batch_snapshot_restore_subcommands() {
+        let mut s = server();
+        s.execute("batch halt; mww 0x20000010 0xdeadbeef").unwrap();
+        let out = s
+            .execute("batch write_pages 0x20000010:00000000,0x20000020:cafebabe; restore_core")
+            .unwrap();
+        assert_eq!(out, "restored 2 pages (8 bytes) | core restored");
+        let out = s.execute("mdw 0x20000010").unwrap();
+        assert!(out.contains("0x00000000"), "{out}");
+        assert!(s.execute("batch write_pages 0x20000010-junk").is_err());
     }
 
     #[test]

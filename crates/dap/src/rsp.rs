@@ -21,7 +21,9 @@
 //! `vFlash`/`vCont` multi-action family): operations separated by `;`,
 //! each a compact command — `h` halt, `r` resume, `mADDR,LEN` read,
 //! `MADDR,LEN:HEX` write, `p` read PC, `ZADDR`/`zADDR` breakpoints,
-//! `FcNAME` flash checksum, `FwNAME:HEX` flash write, `R` reset. The
+//! `FcNAME` flash checksum, `FwNAME:HEX` flash write, `R` reset,
+//! `WADDR:HEX,ADDR:HEX,…` multi-page scatter write, `G` restore core
+//! (restart from the reset vector without a hardware reset). The
 //! reply is the `;`-joined per-op results in queue order: `OK`, hex
 //! bytes, `P`+8-hex PC, or `C`+16-hex checksum.
 
@@ -189,7 +191,29 @@ fn encode_txn_op(op: &TxnOp) -> Result<String, DapError> {
             check_name(partition)?;
             format!("Fw{partition}:{}", hex_encode(image))
         }
+        TxnOp::FlashSectorChecksums { partition, sectors } => {
+            check_name(partition)?;
+            format!("Fs{sectors:x},{partition}")
+        }
+        TxnOp::FlashWriteSectors { partition, sectors } => {
+            check_name(partition)?;
+            let body = sectors
+                .iter()
+                .map(|(idx, data)| format!("{idx:x}:{}", hex_encode(data)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("FS{partition}:{body}")
+        }
         TxnOp::ResetTarget => "R".into(),
+        TxnOp::WritePages { pages } => {
+            let body = pages
+                .iter()
+                .map(|(addr, data)| format!("{addr:x}:{}", hex_encode(data)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("W{body}")
+        }
+        TxnOp::RestoreCore => "G".into(),
     })
 }
 
@@ -215,6 +239,8 @@ fn decode_txn_op(item: &str) -> Result<TxnOp, DapError> {
         "r" => TxnOp::Resume,
         "p" => TxnOp::ReadPc,
         "R" => TxnOp::ResetTarget,
+        "G" => TxnOp::RestoreCore,
+        "W" => TxnOp::WritePages { pages: Vec::new() },
         _ if item.starts_with('m') => {
             let (addr, len) = parse_addr_len(&item[1..])?;
             TxnOp::ReadMem {
@@ -243,12 +269,53 @@ fn decode_txn_op(item: &str) -> Result<TxnOp, DapError> {
         _ if item.starts_with("Fc") => TxnOp::FlashChecksum {
             partition: item[2..].to_string(),
         },
+        _ if item.starts_with("Fs") => {
+            let (sectors, partition) = item[2..].split_once(',').ok_or_else(bad)?;
+            TxnOp::FlashSectorChecksums {
+                partition: partition.to_string(),
+                sectors: parse_hex_field(sectors)?,
+            }
+        }
+        _ if item.starts_with("FS") => {
+            let colon = item.find(':').ok_or_else(bad)?;
+            let body = &item[colon + 1..];
+            let sectors = if body.is_empty() {
+                Vec::new()
+            } else {
+                body.split(',')
+                    .map(|sector| {
+                        let sep = sector.find(':').ok_or_else(bad)?;
+                        Ok((
+                            parse_hex_field(&sector[..sep])?,
+                            hex_decode(&sector[sep + 1..])?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, DapError>>()?
+            };
+            TxnOp::FlashWriteSectors {
+                partition: item[2..colon].to_string(),
+                sectors,
+            }
+        }
         _ if item.starts_with("Fw") => {
             let colon = item.find(':').ok_or_else(bad)?;
             TxnOp::FlashWrite {
                 partition: item[2..colon].to_string(),
                 image: hex_decode(&item[colon + 1..])?,
             }
+        }
+        _ if item.starts_with('W') => {
+            let pages = item[1..]
+                .split(',')
+                .map(|page| {
+                    let colon = page.find(':').ok_or_else(bad)?;
+                    Ok((
+                        parse_hex_field(&page[..colon])?,
+                        hex_decode(&page[colon + 1..])?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, DapError>>()?;
+            TxnOp::WritePages { pages }
         }
         _ => return Err(bad()),
     })
@@ -263,6 +330,13 @@ pub fn encode_txn_reply(results: &[TxnResult]) -> String {
             TxnResult::Bytes(b) => hex_encode(b),
             TxnResult::Pc(pc) => format!("P{pc:08x}"),
             TxnResult::Checksum(cs) => format!("C{cs:016x}"),
+            TxnResult::Checksums(css) => format!(
+                "S{}",
+                css.iter()
+                    .map(|cs| format!("{cs:016x}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
         })
         .collect::<Vec<_>>()
         .join(";")
@@ -281,6 +355,17 @@ pub fn decode_txn_reply(data: &str) -> Result<Vec<TxnResult>, DapError> {
                 _ if item.starts_with('C') => TxnResult::Checksum(
                     u64::from_str_radix(&item[1..], 16)
                         .map_err(|_| DapError::Protocol(format!("bad checksum reply {item:?}")))?,
+                ),
+                "S" => TxnResult::Checksums(Vec::new()),
+                _ if item.starts_with('S') => TxnResult::Checksums(
+                    item[1..]
+                        .split(',')
+                        .map(|cs| {
+                            u64::from_str_radix(cs, 16).map_err(|_| {
+                                DapError::Protocol(format!("bad sector checksum reply {cs:?}"))
+                            })
+                        })
+                        .collect::<Result<Vec<_>, DapError>>()?,
                 ),
                 _ => TxnResult::Bytes(hex_decode(item)?),
             })
@@ -484,6 +569,29 @@ mod tests {
         assert_eq!(results[0], TxnResult::Done);
         assert_eq!(results[1], TxnResult::Bytes(vec![0xca, 0xfe, 0xba, 0xbe]));
         assert!(matches!(results[2], TxnResult::Pc(_)));
+    }
+
+    #[test]
+    fn snapshot_ops_codec_round_trip() {
+        let mut t = Txn::new();
+        t.write_pages(vec![
+            (0x2400_0100, vec![0xde, 0xad]),
+            (0x2400_0200, vec![0xbe, 0xef]),
+        ])
+        .restore_core();
+        let wire = encode_txn(&t).unwrap();
+        assert_eq!(wire, "vTxn:W24000100:dead,24000200:beef;G");
+        assert_eq!(decode_txn(&wire).unwrap(), t);
+        // An empty scatter write survives the trip too.
+        let mut t = Txn::new();
+        t.write_pages(Vec::new());
+        assert_eq!(decode_txn(&encode_txn(&t).unwrap()).unwrap(), t);
+    }
+
+    #[test]
+    fn snapshot_ops_reject_malformed_pages() {
+        assert!(decode_txn("vTxn:W24000100-dead").is_err()); // no colon
+        assert!(decode_txn("vTxn:Wnothex:dead").is_err());
     }
 
     #[test]

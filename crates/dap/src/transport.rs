@@ -16,7 +16,9 @@
 use crate::error::DapError;
 use crate::tap::TapController;
 use crate::txn::{Txn, TxnOp, TxnResult, BLOCK_TCK_PER_CORE_CYCLE};
-use eof_hal::{machine::cost, DebugIface, HalError, InjectedFault, Machine, RunExit};
+use eof_hal::{
+    machine::cost, DebugIface, HalError, InjectedFault, Machine, RunExit, Snapshot, PAGE_SIZE,
+};
 use eof_telemetry as tel;
 
 /// Link parameters of a probe session.
@@ -259,6 +261,16 @@ impl DebugTransport {
         self.record_op("ping", |t| t.begin_op(8))
     }
 
+    /// Link-only probe: succeeds iff the debug LINK answers, regardless
+    /// of core state — the IDCODE read a probe tool fires before doing
+    /// anything else. A dead core still acks on the link lines (that is
+    /// what reset and flash recovery rely on), so this distinguishes "the
+    /// wire is the problem" from "the target is the problem" at
+    /// register-read cost.
+    pub fn probe_link(&mut self) -> Result<(), DapError> {
+        self.record_op("probe_link", |t| t.begin_link_op())
+    }
+
     /// Halt the core.
     pub fn halt(&mut self) -> Result<(), DapError> {
         self.record_op("halt", |t| {
@@ -387,11 +399,12 @@ impl DebugTransport {
         self.validate_txn(txn)?;
         // --- apply phase: charged per payload, infallible by design ---
         let mut results = Vec::with_capacity(txn.len());
-        if txn
-            .ops()
-            .iter()
-            .any(|op| matches!(op, TxnOp::ReadMem { .. } | TxnOp::WriteMem { .. }))
-        {
+        if txn.ops().iter().any(|op| {
+            matches!(
+                op,
+                TxnOp::ReadMem { .. } | TxnOp::WriteMem { .. } | TxnOp::WritePages { .. }
+            )
+        }) {
             // One access-port setup for the whole memory burst.
             self.machine.bus_mut().charge_debug(cost::MEM_BASE);
         }
@@ -475,6 +488,60 @@ impl DebugTransport {
                         ))));
                     }
                 }
+                TxnOp::FlashSectorChecksums { partition, .. } => {
+                    if !self.machine.flash_port_available() {
+                        return Err(DapError::Target(HalError::BadMachineState {
+                            op: "flash sector checksums",
+                            state: "flash port unavailable".into(),
+                        }));
+                    }
+                    self.machine
+                        .flash()
+                        .table()
+                        .get(partition)
+                        .map_err(DapError::Target)?;
+                }
+                TxnOp::FlashWriteSectors { partition, sectors } => {
+                    // A sector write cannot release the hard-lockup
+                    // latch, so a killed core refuses alongside a
+                    // browned-out rail — unlike the full kernel stream.
+                    if !self.machine.flash_port_available() {
+                        return Err(DapError::Target(HalError::BadMachineState {
+                            op: "flash sector write",
+                            state: "flash port unavailable".into(),
+                        }));
+                    }
+                    let part = self
+                        .machine
+                        .flash()
+                        .table()
+                        .get(partition)
+                        .map_err(DapError::Target)?;
+                    for (idx, data) in sectors {
+                        let off = *idx as u64 * eof_hal::flash::SECTOR_SIZE as u64;
+                        if data.len() > eof_hal::flash::SECTOR_SIZE
+                            || off + data.len() as u64 > part.size as u64
+                        {
+                            return Err(DapError::Target(HalError::BadPartitionLayout(format!(
+                                "sector {idx} write ({} bytes) exceeds partition {partition:?} ({} bytes)",
+                                data.len(),
+                                part.size
+                            ))));
+                        }
+                    }
+                }
+                TxnOp::WritePages { pages } => {
+                    for (addr, data) in pages {
+                        self.machine.debug_check_mem(*addr, data.len())?;
+                    }
+                }
+                TxnOp::RestoreCore => {
+                    // Kill/brownout/boot-dead are covered by the batch-level
+                    // dead check; the remaining failure mode is a flash
+                    // image that no longer parses. Dry-run the loader so a
+                    // doomed batch refuses whole with the target untouched.
+                    self.machine.check_boot_image().map_err(DapError::Target)?;
+                }
             }
         }
         Ok(())
@@ -515,8 +582,25 @@ impl DebugTransport {
                 self.machine.reflash_partition(partition, image)?;
                 TxnResult::Done
             }
+            TxnOp::FlashSectorChecksums { partition, .. } => {
+                TxnResult::Checksums(self.machine.debug_flash_sector_checksums(partition)?)
+            }
+            TxnOp::FlashWriteSectors { partition, sectors } => {
+                self.machine.debug_reflash_sectors(partition, sectors)?;
+                TxnResult::Done
+            }
             TxnOp::ResetTarget => {
                 self.machine.reset();
+                TxnResult::Done
+            }
+            TxnOp::WritePages { pages } => {
+                for (addr, data) in pages {
+                    self.machine.debug_write_batched(*addr, data)?;
+                }
+                TxnResult::Done
+            }
+            TxnOp::RestoreCore => {
+                self.machine.debug_restore_core()?;
                 TxnResult::Done
             }
         })
@@ -567,6 +651,71 @@ impl DebugTransport {
         self.record_op("flash_checksum", |t| {
             t.begin_link_op()?;
             t.machine.debug_flash_checksum(name).map_err(Into::into)
+        })
+    }
+
+    /// Per-sector target-side checksums of a flash partition — the
+    /// damage-localisation step of sector-delta reflash. Link-dependent
+    /// but core-independent, like [`Self::flash_checksum`].
+    pub fn flash_sector_checksums(&mut self, name: &str) -> Result<Vec<u64>, DapError> {
+        self.record_op("flash_sector_checksums", |t| {
+            t.begin_link_op()?;
+            t.machine
+                .debug_flash_sector_checksums(name)
+                .map_err(Into::into)
+        })
+    }
+
+    /// Rewrite a sparse set of sectors inside a partition (the write
+    /// step of sector-delta reflash). Link-dependent but
+    /// core-independent, like [`Self::flash_partition`].
+    pub fn flash_write_sectors(
+        &mut self,
+        name: &str,
+        sectors: &[(u32, Vec<u8>)],
+    ) -> Result<(), DapError> {
+        self.record_op("flash_write_sectors", |t| {
+            t.begin_link_op()?;
+            t.machine
+                .debug_reflash_sectors(name, sectors)
+                .map_err(Into::into)
+        })
+    }
+
+    /// Read the flash controller's mutation generation counter — the
+    /// snapshot suspicion probe. A register read on the flash controller;
+    /// link-dependent but core-independent, like [`Self::flash_checksum`].
+    pub fn flash_generation(&mut self) -> Result<u64, DapError> {
+        self.record_op("flash_generation", |t| {
+            t.begin_link_op()?;
+            t.machine.debug_flash_generation().map_err(Into::into)
+        })
+    }
+
+    /// Capture a board snapshot over the debug port. The wire only
+    /// carries the pages written since the last capture (or since
+    /// power-on, the architectural zero-fill baseline) — everything else
+    /// the host already knows — so the charge is proportional to the
+    /// dirty-page count, not the RAM size.
+    pub fn capture_snapshot(&mut self) -> Result<Snapshot, DapError> {
+        self.record_op("capture_snapshot", |t| {
+            let dirty_bytes = (t.machine.dirty_page_count() * PAGE_SIZE) as u64;
+            let bits = (dirty_bytes * 8).clamp(32, u32::MAX as u64) as u32;
+            t.begin_op(bits)?;
+            t.machine
+                .bus_mut()
+                .charge_debug(cost::MEM_BASE + dirty_bytes / 4);
+            t.machine.capture_snapshot().map_err(Into::into)
+        })
+    }
+
+    /// Scalar register-file restore + restart at the reset vector (the
+    /// snapshot restore's final step when vectoring is off; the vectored
+    /// path queues [`TxnOp::RestoreCore`] instead).
+    pub fn restore_core(&mut self) -> Result<(), DapError> {
+        self.record_op("restore_core", |t| {
+            t.begin_op(64)?;
+            t.machine.debug_restore_core().map_err(Into::into)
         })
     }
 
@@ -1053,6 +1202,109 @@ mod tests {
         assert_eq!(buf, [0u8; 5], "write applied through a dark link");
         assert!(t.machine().breakpoints().is_empty());
         assert_eq!(t.txn_partials(), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_restore_over_txn() {
+        let mut t = transport();
+        let base = t.machine().board().ram_base;
+        t.halt().unwrap();
+        t.write_mem(base + 0x100, b"golden").unwrap();
+        let snap = t.capture_snapshot().unwrap();
+        // Scribble over the captured state.
+        t.write_mem(base + 0x100, b"junked").unwrap();
+        t.write_mem(base + 0x900, b"more junk").unwrap();
+        // Ship the delta back as one vectored transaction.
+        let pages: Vec<(u32, Vec<u8>)> = t
+            .machine()
+            .dirty_pages()
+            .into_iter()
+            .map(|p| (snap.page_addr(p), snap.page(p).to_vec()))
+            .collect();
+        assert!(!pages.is_empty());
+        let mut txn = Txn::new();
+        txn.write_pages(pages).restore_core();
+        t.run_txn(&txn).unwrap();
+        let mut buf = [0u8; 6];
+        t.read_mem(base + 0x100, &mut buf).unwrap();
+        assert_eq!(&buf, b"golden");
+        let mut buf = [0u8; 9];
+        t.read_mem(base + 0x900, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 9], "junk survived the delta restore");
+        assert_eq!(t.txn_partials(), 0);
+        // The core restarted without a hardware reset.
+        assert!(!t.machine().is_dead());
+        assert!(t.continue_until_halt(100).is_ok());
+    }
+
+    #[test]
+    fn restore_core_refused_whole_when_image_is_stale() {
+        let mut t = transport();
+        let base = t.machine().board().ram_base;
+        t.halt().unwrap();
+        // Corrupt the image magic without resetting: the core still
+        // answers, but a RestoreCore would boot-fail.
+        t.machine_mut()
+            .reflash_partition("kernel", b"XXX!broken")
+            .unwrap();
+        let mut txn = Txn::new();
+        txn.write_pages(vec![(base + 0x40, b"ghost".to_vec())])
+            .restore_core();
+        let err = t.run_txn(&txn).unwrap_err();
+        assert!(!err.is_connection_loss());
+        let mut buf = [0u8; 5];
+        t.read_mem(base + 0x40, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 5], "doomed restore batch half-applied");
+        assert_eq!(t.txn_partials(), 0);
+    }
+
+    #[test]
+    fn capture_cost_scales_with_dirty_pages_not_ram_size() {
+        let mut t = transport();
+        let base = t.machine().board().ram_base;
+        t.halt().unwrap();
+        let first = t.capture_snapshot().unwrap();
+        // Baseline established: a capture with nothing dirty is cheap.
+        let before = t.now();
+        t.capture_snapshot().unwrap();
+        let clean_cost = t.now() - before;
+        // Dirty a lot of pages; capture cost must grow with them.
+        t.write_mem(base, &vec![0xAAu8; 64 * PAGE_SIZE]).unwrap();
+        let before = t.now();
+        let snap = t.capture_snapshot().unwrap();
+        let dirty_cost = t.now() - before;
+        assert!(
+            dirty_cost > clean_cost + (64 * PAGE_SIZE as u64) / 8,
+            "dirty capture ({dirty_cost}) not clearly dearer than clean ({clean_cost})"
+        );
+        // And far cheaper than shipping the whole RAM at scalar rates.
+        let full_ram_cost = snap.ram_len() as u64 / 4;
+        assert!(
+            dirty_cost < full_ram_cost,
+            "capture ({dirty_cost}) cost as much as a full RAM read ({full_ram_cost})"
+        );
+        assert_eq!(first.ram_len(), snap.ram_len());
+    }
+
+    #[test]
+    fn flash_generation_probe_tracks_mutations() {
+        let mut t = transport();
+        let g0 = t.flash_generation().unwrap();
+        t.flash_partition("kernel", b"IMG!other").unwrap();
+        let g1 = t.flash_generation().unwrap();
+        assert!(g1 > g0);
+        let g2 = t.flash_generation().unwrap();
+        assert_eq!(g1, g2, "reads must not bump the generation");
+    }
+
+    #[test]
+    fn scalar_restore_core_restarts_without_reset_charge() {
+        let mut t = transport();
+        t.halt().unwrap();
+        let resets_before = t.machine().reset_count();
+        t.restore_core().unwrap();
+        assert_eq!(t.machine().reset_count(), resets_before);
+        assert!(t.continue_until_halt(100).is_ok());
     }
 
     #[test]

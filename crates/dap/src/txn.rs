@@ -48,6 +48,19 @@ pub fn vectored_default() -> bool {
     })
 }
 
+/// Process-wide default for the snapshot/delta-restore knob:
+/// `EOF_SNAPSHOT` unset or any value but `"0"` enables the snapshot
+/// fast path; `EOF_SNAPSHOT=0` selects the reboot/reflash-only fallback
+/// everywhere the default is consulted.
+pub fn snapshot_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("EOF_SNAPSHOT")
+            .map(|v| v != "0")
+            .unwrap_or(true)
+    })
+}
+
 /// One queued debug operation inside a [`Txn`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxnOp {
@@ -93,8 +106,39 @@ pub enum TxnOp {
         /// Image bytes.
         image: Vec<u8>,
     },
+    /// Per-sector checksums of a flash partition (core-independent):
+    /// the damage-localisation step of sector-delta reflash. The host
+    /// states how many sector checksums it expects back so the response
+    /// payload is metered honestly.
+    FlashSectorChecksums {
+        /// Partition name.
+        partition: String,
+        /// Number of sectors the partition holds (response size).
+        sectors: u32,
+    },
+    /// Rewrite a sparse set of sectors inside a partition
+    /// (core-independent). Each entry is `(sector index, bytes)` — the
+    /// sector-delta reflash's write step: only the sectors that failed
+    /// verification travel the wire.
+    FlashWriteSectors {
+        /// Partition name.
+        partition: String,
+        /// Sectors to rewrite, in ascending index order.
+        sectors: Vec<(u32, Vec<u8>)>,
+    },
     /// Hardware reset (core-independent; answers even when dead).
     ResetTarget,
+    /// Scatter-write a set of RAM pages in one burst — the snapshot
+    /// delta restore's bulk carrier. Each entry is `(addr, bytes)`.
+    WritePages {
+        /// Pages to write, in ascending address order.
+        pages: Vec<(u32, Vec<u8>)>,
+    },
+    /// Restore the core's register file from the loaded image and
+    /// restart it at the reset vector *without* a hardware reset — RAM
+    /// keeps its (just delta-restored) contents and no reset latency is
+    /// paid. The snapshot restore's final step.
+    RestoreCore,
 }
 
 impl TxnOp {
@@ -104,7 +148,11 @@ impl TxnOp {
     pub fn needs_core(&self) -> bool {
         !matches!(
             self,
-            TxnOp::FlashChecksum { .. } | TxnOp::FlashWrite { .. } | TxnOp::ResetTarget
+            TxnOp::FlashChecksum { .. }
+                | TxnOp::FlashWrite { .. }
+                | TxnOp::FlashSectorChecksums { .. }
+                | TxnOp::FlashWriteSectors { .. }
+                | TxnOp::ResetTarget
         )
     }
 
@@ -116,7 +164,21 @@ impl TxnOp {
             TxnOp::WriteMem { data, .. } => data.len() as u64 * 8,
             TxnOp::FlashWrite { image, .. } => image.len() as u64 * 8,
             TxnOp::FlashChecksum { .. } => 64,
+            TxnOp::FlashSectorChecksums { sectors, .. } => *sectors as u64 * 64,
+            // Like WritePages: a 32-bit sector descriptor ahead of each
+            // sector's bytes.
+            TxnOp::FlashWriteSectors { sectors, .. } => sectors
+                .iter()
+                .map(|(_, data)| 32 + data.len() as u64 * 8)
+                .sum(),
             TxnOp::ReadPc => 32,
+            // Each page carries a 32-bit address descriptor ahead of its
+            // bytes; the register-file restore ships PC + status words.
+            TxnOp::WritePages { pages } => pages
+                .iter()
+                .map(|(_, data)| 32 + data.len() as u64 * 8)
+                .sum(),
+            TxnOp::RestoreCore => 64,
             TxnOp::Halt
             | TxnOp::Resume
             | TxnOp::SetBreakpoint { .. }
@@ -137,6 +199,8 @@ pub enum TxnResult {
     Pc(u32),
     /// Checksum computed by a [`TxnOp::FlashChecksum`].
     Checksum(u64),
+    /// Per-sector checksums computed by a [`TxnOp::FlashSectorChecksums`].
+    Checksums(Vec<u64>),
 }
 
 /// A host-side batch of debug operations, submitted as one link
@@ -233,7 +297,28 @@ impl Txn {
         })
     }
 
-    /// Queue a flash write.
+    /// Queue a per-sector partition checksum; `sectors` is the count the
+    /// host expects back (it knows the partition size).
+    pub fn flash_sector_checksums(&mut self, partition: &str, sectors: u32) -> &mut Self {
+        self.push(TxnOp::FlashSectorChecksums {
+            partition: partition.to_string(),
+            sectors,
+        })
+    }
+
+    /// Queue a sparse sector rewrite inside a partition.
+    pub fn flash_write_sectors(
+        &mut self,
+        partition: &str,
+        sectors: Vec<(u32, Vec<u8>)>,
+    ) -> &mut Self {
+        self.push(TxnOp::FlashWriteSectors {
+            partition: partition.to_string(),
+            sectors,
+        })
+    }
+
+    /// Queue a whole-partition flash program.
     pub fn flash_write(&mut self, partition: &str, image: &[u8]) -> &mut Self {
         self.push(TxnOp::FlashWrite {
             partition: partition.to_string(),
@@ -244,6 +329,16 @@ impl Txn {
     /// Queue a target reset.
     pub fn reset_target(&mut self) -> &mut Self {
         self.push(TxnOp::ResetTarget)
+    }
+
+    /// Queue a scatter-write of RAM pages.
+    pub fn write_pages(&mut self, pages: Vec<(u32, Vec<u8>)>) -> &mut Self {
+        self.push(TxnOp::WritePages { pages })
+    }
+
+    /// Queue a register-file restore + restart at the reset vector.
+    pub fn restore_core(&mut self) -> &mut Self {
+        self.push(TxnOp::RestoreCore)
     }
 }
 
@@ -295,6 +390,20 @@ mod tests {
         assert!(!t.needs_core());
         t.read_pc();
         assert!(t.needs_core());
+    }
+
+    #[test]
+    fn snapshot_ops_account_and_need_core() {
+        let mut t = Txn::new();
+        t.write_pages(vec![(0x100, vec![0u8; 256]), (0x300, vec![0u8; 16])])
+            .restore_core();
+        assert!(t.needs_core());
+        assert_eq!(
+            t.payload_bits(),
+            (32 + 256 * 8) + (32 + 16 * 8) + 64,
+            "each page ships a 32-bit descriptor + bytes; restore-core ships 64"
+        );
+        assert_eq!(t.header_bits(), 2 * TXN_HEADER_BITS);
     }
 
     #[test]

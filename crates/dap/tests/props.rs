@@ -26,6 +26,22 @@ fn arb_txn_op() -> impl Strategy<Value = TxnOp> {
             proptest::collection::vec(any::<u8>(), 0..96)
         )
             .prop_map(|(partition, image)| TxnOp::FlashWrite { partition, image }),
+        Just(TxnOp::RestoreCore),
+        proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..4
+        )
+        .prop_map(|pages| TxnOp::WritePages { pages }),
+        ("[a-z0-9_]{1,16}", any::<u32>())
+            .prop_map(|(partition, sectors)| TxnOp::FlashSectorChecksums { partition, sectors }),
+        (
+            "[a-z0-9_]{1,16}",
+            proptest::collection::vec(
+                (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..64)),
+                0..4
+            )
+        )
+            .prop_map(|(partition, sectors)| TxnOp::FlashWriteSectors { partition, sectors }),
     ]
 }
 
@@ -55,6 +71,21 @@ fn arb_applicable_op() -> impl Strategy<Value = TxnOp> {
         }),
         Just(TxnOp::FlashChecksum {
             partition: "kernel".into()
+        }),
+        Just(TxnOp::FlashSectorChecksums {
+            partition: "kernel".into(),
+            sectors: 1,
+        }),
+        Just(TxnOp::RestoreCore),
+        proptest::collection::vec(
+            (0u32..4096, proptest::collection::vec(any::<u8>(), 1..64)),
+            0..4
+        )
+        .prop_map(|pages| TxnOp::WritePages {
+            pages: pages
+                .into_iter()
+                .map(|(off, data)| (RAM_BASE + off, data))
+                .collect(),
         }),
     ]
 }
@@ -174,6 +205,7 @@ proptest! {
                 proptest::collection::vec(any::<u8>(), 0..64).prop_map(TxnResult::Bytes),
                 any::<u32>().prop_map(TxnResult::Pc),
                 any::<u64>().prop_map(TxnResult::Checksum),
+                proptest::collection::vec(any::<u64>(), 0..8).prop_map(TxnResult::Checksums),
             ],
             0..24,
         )

@@ -89,8 +89,16 @@ impl Bus {
     /// Reset peripherals and RAM to their power-on state. The clock is
     /// *not* reset: simulated time keeps flowing across reboots, exactly as
     /// wall-clock time does for a real campaign.
+    ///
+    /// The dirty-page bitmap is cleared too: power-on zero-fill is the
+    /// architectural baseline of this RAM, so "dirty" afterwards means
+    /// "written since power-on" — which is exactly the set of pages a
+    /// snapshot capture has to read back over the wire (everything else
+    /// is known to be zero). Snapshots guard against this clear with the
+    /// machine's boot-epoch counter.
     pub fn power_cycle(&mut self) {
         self.ram.fill(0);
+        self.ram.clear_dirty();
         self.uart.reset();
         self.pending_irqs.clear();
     }

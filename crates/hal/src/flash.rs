@@ -14,6 +14,11 @@ use crate::error::HalError;
 /// Erased state of a NOR flash byte.
 pub const ERASED: u8 = 0xff;
 
+/// NOR sector size: the erase granularity the flash controller exposes.
+/// Sector-delta reflash verifies and rewrites at this unit, so repairing
+/// a flipped bit costs one sector's programming time, not a partition's.
+pub const SECTOR_SIZE: usize = 4096;
+
 /// One entry of a partition table: a named, contiguous flash region.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
@@ -112,6 +117,10 @@ pub struct Flash {
     table: PartitionTable,
     /// Count of program/erase operations, for wear statistics in reports.
     program_ops: u64,
+    /// Bumped on every mutation (erase, program, bit flip). A snapshot
+    /// records this counter at capture; a mismatch at restore time means
+    /// flash changed underneath the snapshot and it cannot be trusted.
+    generation: u64,
 }
 
 impl Flash {
@@ -121,6 +130,7 @@ impl Flash {
             bytes: vec![ERASED; size],
             table,
             program_ops: 0,
+            generation: 0,
         }
     }
 
@@ -137,6 +147,12 @@ impl Flash {
     /// Total program/erase operations performed since power-on.
     pub fn program_ops(&self) -> u64 {
         self.program_ops
+    }
+
+    /// Mutation generation counter: increments on every erase, program
+    /// or injected bit flip. Never decreases.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn check(&self, offset: u32, len: usize) -> Result<usize, HalError> {
@@ -172,6 +188,7 @@ impl Flash {
         let off = self.check(offset, len)?;
         self.bytes[off..off + len].fill(ERASED);
         self.program_ops += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -188,6 +205,7 @@ impl Flash {
         }
         self.bytes[off..off + data.len()].copy_from_slice(data);
         self.program_ops += 1;
+        self.generation += 1;
         Ok(())
     }
 
@@ -223,6 +241,7 @@ impl Flash {
     pub fn flip_bit(&mut self, offset: u32, bit: u8) -> Result<(), HalError> {
         let off = self.check(offset, 1)?;
         self.bytes[off] ^= 1 << (bit & 7);
+        self.generation += 1;
         Ok(())
     }
 
@@ -231,6 +250,23 @@ impl Flash {
         let off = self.check(offset, len)?;
         Ok(fnv1a(&self.bytes[off..off + len]))
     }
+
+    /// Per-sector checksums of a region, chunked at [`SECTOR_SIZE`]. The
+    /// verify loop of sector-delta reflash: same pass over the same bytes
+    /// as [`Flash::checksum`], reported at erase granularity so the host
+    /// can localise damage.
+    pub fn sector_checksums(&self, offset: u32, len: usize) -> Result<Vec<u64>, HalError> {
+        let off = self.check(offset, len)?;
+        Ok(sector_checksums_of(&self.bytes[off..off + len]))
+    }
+}
+
+/// Per-sector FNV-1a checksums of a byte image, chunked at
+/// [`SECTOR_SIZE`] (trailing partial sector hashed as-is). Shared by the
+/// target-side verify loop and the host's golden-image bookkeeping so
+/// both ends agree on the chunking rule.
+pub fn sector_checksums_of(data: &[u8]) -> Vec<u64> {
+    data.chunks(SECTOR_SIZE).map(fnv1a).collect()
 }
 
 /// 64-bit FNV-1a hash, the integrity primitive shared by image headers.
@@ -340,6 +376,24 @@ mod tests {
         // reflash-sufficient property Algorithm 1 relies on.
         f.flash_partition("kernel", b"kernel-image").unwrap();
         assert_eq!(f.checksum(0x1000, 0x8000).unwrap(), before);
+    }
+
+    #[test]
+    fn generation_counter_tracks_every_mutation() {
+        let mut f = Flash::new(0x10_0000, table());
+        assert_eq!(f.generation(), 0);
+        f.erase(0x1000, 0x100).unwrap();
+        assert_eq!(f.generation(), 1);
+        f.program(0x1000, b"image").unwrap();
+        assert_eq!(f.generation(), 2);
+        // The injected-fault corruption primitive also bumps it — this is
+        // what invalidates a snapshot after a flash_bit_flip fault.
+        f.flip_bit(0x1002, 4).unwrap();
+        assert_eq!(f.generation(), 3);
+        // Reads never bump it.
+        let _ = f.checksum(0x1000, 0x100).unwrap();
+        let _ = f.slice(0x1000, 8).unwrap();
+        assert_eq!(f.generation(), 3);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod firmware;
 pub mod flash;
 pub mod machine;
 pub mod mem;
+pub mod snapshot;
 pub mod symbols;
 pub mod uart;
 pub mod watchdog;
@@ -47,7 +48,8 @@ pub use fault::{FaultKind, FaultPlan, InjectedFault};
 pub use firmware::{Firmware, StepResult};
 pub use flash::{Flash, Partition, PartitionTable};
 pub use machine::{BootState, FirmwareLoader, Machine, RunExit};
-pub use mem::Ram;
+pub use mem::{Ram, PAGE_SIZE};
+pub use snapshot::Snapshot;
 pub use symbols::SymbolTable;
 pub use uart::Uart;
 pub use watchdog::HardwareWatchdog;

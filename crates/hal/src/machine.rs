@@ -13,6 +13,7 @@ use crate::error::HalError;
 use crate::fault::{FaultKind, FaultPlan, FaultRecord, InjectedFault};
 use crate::firmware::{Firmware, StepResult};
 use crate::flash::Flash;
+use crate::snapshot::Snapshot;
 use crate::watchdog::HardwareWatchdog;
 use eof_telemetry as tel;
 
@@ -73,6 +74,10 @@ pub struct Machine {
     brownout_until: u64,
     /// Number of full power-cycles performed since construction.
     power_cycles: u64,
+    /// Bumped on every reset/power-cycle. Resets re-baseline the RAM
+    /// dirty bitmap, so a snapshot is only restorable within the boot
+    /// epoch it was captured in.
+    boot_epoch: u64,
     /// Most recent power-rail sample in milliwatts (external probe view).
     power_mw: f32,
 }
@@ -100,6 +105,7 @@ impl Machine {
             core_killed: false,
             brownout_until: 0,
             power_cycles: 0,
+            boot_epoch: 0,
             power_mw: POWER_IDLE_MW,
         }
     }
@@ -199,6 +205,7 @@ impl Machine {
     /// reproducing the "a simple reboot is insufficient" property (§3.2).
     pub fn reset(&mut self) {
         self.reset_count += 1;
+        self.boot_epoch += 1;
         self.bus.power_cycle();
         self.bus.charge(cost::RESET);
         self.last_fault = None;
@@ -526,6 +533,188 @@ impl Machine {
         self.flash.checksum(part.offset, part.size as usize)
     }
 
+    /// Per-sector target-side checksums of a flash partition: the same
+    /// verify loop as [`Machine::debug_flash_checksum`] (and the same
+    /// cost — the target walks the same bytes), reported at erase
+    /// granularity so the host can localise damage and rewrite only the
+    /// sectors that differ, the way probe-rs/OpenOCD flashers diff
+    /// sectors before programming.
+    pub fn debug_flash_sector_checksums(&mut self, partition: &str) -> Result<Vec<u64>, HalError> {
+        if self.core_killed || self.browned_out() {
+            return Err(self.bad_state("flash sector checksums"));
+        }
+        let part = self.flash.table().get(partition)?.clone();
+        self.bus
+            .charge_debug(cost::VERIFY_BASE + (part.size as u64 / 1024) * cost::VERIFY_PER_KB);
+        self.flash.sector_checksums(part.offset, part.size as usize)
+    }
+
+    /// Rewrite a sparse set of sectors inside a partition — the
+    /// sector-delta counterpart of [`Machine::reflash_partition`]. Each
+    /// entry is `(sector index within the partition, bytes)`. One
+    /// programming session is opened for the batch and only the shipped
+    /// sectors pay per-byte streaming cost, so a bit flip repairs at
+    /// sector cost instead of partition cost. Unlike a full kernel
+    /// stream this does NOT release the hard-lockup latch: a latched
+    /// core needs a power-on reset, not a spot repair.
+    pub fn debug_reflash_sectors(
+        &mut self,
+        partition: &str,
+        sectors: &[(u32, Vec<u8>)],
+    ) -> Result<(), HalError> {
+        let total: u64 = sectors.iter().map(|(_, d)| d.len() as u64).sum();
+        self.bus
+            .charge_debug(cost::FLASH_BASE + (total / 64) * cost::FLASH_PER_64B);
+        // Same supply-rail rule as reflash_partition: the cost of the
+        // stream is paid before the controller refuses it. Unlike the
+        // full kernel stream, a sector write cannot release the
+        // hard-lockup latch, so a killed core refuses too — programming
+        // sectors into a controller that cannot come back is wasted
+        // wire time.
+        if !self.flash_port_available() {
+            return Err(self.bad_state("flash sector write"));
+        }
+        let part = self.flash.table().get(partition)?.clone();
+        for (idx, data) in sectors {
+            let off = *idx as u64 * crate::flash::SECTOR_SIZE as u64;
+            if data.len() > crate::flash::SECTOR_SIZE || off + data.len() as u64 > part.size as u64
+            {
+                return Err(HalError::BadPartitionLayout(format!(
+                    "sector {idx} write ({} bytes) exceeds partition {partition:?} ({} bytes)",
+                    data.len(),
+                    part.size
+                )));
+            }
+            self.flash.reprogram(part.offset + off as u32, data)?;
+        }
+        Ok(())
+    }
+
+    // ----- snapshot & delta restore ----------------------------------------
+
+    /// Current boot epoch (bumped on every reset/power-cycle).
+    pub fn boot_epoch(&self) -> u64 {
+        self.boot_epoch
+    }
+
+    /// Number of RAM pages written since power-on or the last snapshot
+    /// capture — what a capture has to read back and what a delta
+    /// restore has to write. Reading the trace unit's bitmap is what
+    /// the transport layer charges for; this accessor itself is free.
+    pub fn dirty_page_count(&self) -> usize {
+        self.bus.ram.dirty_page_count()
+    }
+
+    /// Indices of RAM pages written since the last capture (host-side
+    /// bookkeeping; free, like [`Machine::dirty_page_count`]).
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        self.bus.ram.dirty_pages()
+    }
+
+    /// Dry-run the firmware loader against current flash without touching
+    /// machine state: does the image still parse? Vectored-transaction
+    /// validation uses this to refuse a doomed `RestoreCore` before
+    /// anything applies.
+    pub fn check_boot_image(&self) -> Result<(), HalError> {
+        (self.loader)(&self.flash, &self.board).map(|_| ())
+    }
+
+    /// Capture the board state: full RAM image (host-side; the wire only
+    /// ever carried the dirty pages — everything else is the
+    /// architectural power-on zero fill or a previously captured page),
+    /// core registers, and the flash generation + boot epoch the capture
+    /// is valid against. Clears the dirty bitmap, making this capture
+    /// the new delta baseline.
+    pub fn capture_snapshot(&mut self) -> Result<Snapshot, HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("capture snapshot"));
+        }
+        let ram = self
+            .bus
+            .ram
+            .slice(self.bus.ram.base(), self.bus.ram.size())?
+            .to_vec();
+        let snap = Snapshot::new(
+            ram,
+            self.bus.ram.base(),
+            self.pc,
+            self.flash.generation(),
+            self.boot_epoch,
+            self.bus.now(),
+        );
+        self.bus.ram.clear_dirty();
+        Ok(snap)
+    }
+
+    /// Whether `snap` may be restored right now: the core must answer,
+    /// flash must not have mutated since capture (the generation-counter
+    /// suspicion rule — an injected bit flip or a reflash makes the
+    /// snapshot's view of the image stale), and no reset may have
+    /// re-baselined the dirty bitmap in between.
+    pub fn snapshot_valid(&self, snap: &Snapshot) -> bool {
+        !self.core_killed
+            && !self.browned_out()
+            && snap.flash_generation() == self.flash.generation()
+            && snap.boot_epoch() == self.boot_epoch
+    }
+
+    /// Snapshot-restore entry point: rebuild the core from the (still
+    /// trusted) flash image without clearing RAM and without paying the
+    /// reset latency — the debug-port equivalent of writing the register
+    /// file and jumping to the reset vector. Peripherals are quiesced
+    /// exactly as a reset would leave them. Does *not* bump the boot
+    /// epoch: RAM keeps its contents and the dirty bitmap its meaning.
+    pub fn debug_restore_core(&mut self) -> Result<(), HalError> {
+        if self.core_killed || self.browned_out() {
+            return Err(self.bad_state("restore core"));
+        }
+        self.bus.uart.reset();
+        self.bus.pending_irqs.clear();
+        self.last_fault = None;
+        match (self.loader)(&self.flash, &self.board) {
+            Ok(mut fw) => {
+                fw.on_reset(&mut self.bus);
+                self.pc = fw.symbols().lookup("reset_vector").unwrap_or(0);
+                self.firmware = Some(fw);
+                self.state = BootState::Running;
+                Ok(())
+            }
+            Err(e) => {
+                self.firmware = None;
+                self.state = BootState::Dead(e.to_string());
+                Err(HalError::BootFailure(e.to_string()))
+            }
+        }
+    }
+
+    /// Host/test-side delta restore: write every dirty page back from
+    /// the snapshot, then restore the core. Returns the number of pages
+    /// written. The campaign path goes through the debug transport
+    /// instead, which ships the same pages as one vectored transaction
+    /// and meters the wire; the state transitions are identical.
+    pub fn restore_snapshot(&mut self, snap: &Snapshot) -> Result<usize, HalError> {
+        if !self.snapshot_valid(snap) {
+            return Err(self.bad_state("restore snapshot"));
+        }
+        let pages = self.bus.ram.dirty_pages();
+        for &p in &pages {
+            self.bus.ram.write(snap.page_addr(p), snap.page(p))?;
+        }
+        self.debug_restore_core()?;
+        Ok(pages.len())
+    }
+
+    /// Read the flash controller's mutation generation counter over the
+    /// debug port (a register read on the flash controller; answers
+    /// whenever the flash port does).
+    pub fn debug_flash_generation(&mut self) -> Result<u64, HalError> {
+        if !self.flash_port_available() {
+            return Err(self.bad_state("flash generation"));
+        }
+        self.bus.charge_debug(cost::REG_READ);
+        Ok(self.flash.generation())
+    }
+
     /// Power-rail sample as an external current probe sees it — works
     /// regardless of debug-link or core state (a dead core draws idle
     /// current). The paper's §6 names power signals as a complementary
@@ -836,5 +1025,120 @@ mod tests {
         m.reset();
         m.bus_mut().uart.tx_line("hello from fw");
         assert_eq!(m.drain_uart(), b"hello from fw\n");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_ram_and_restarts_core() {
+        let mut m = counting_machine();
+        m.reset();
+        m.run(100);
+        let base = m.bus().ram.base();
+        let snap = m.capture_snapshot().unwrap();
+        let at_capture = m
+            .bus()
+            .ram
+            .read_u32(base, crate::arch::Endianness::Little)
+            .unwrap();
+        // Keep running: RAM diverges from the snapshot.
+        m.run(100);
+        assert_ne!(
+            m.bus()
+                .ram
+                .read_u32(base, crate::arch::Endianness::Little)
+                .unwrap(),
+            at_capture
+        );
+        let pages = m.restore_snapshot(&snap).unwrap();
+        assert!(pages > 0);
+        assert_eq!(*m.state(), BootState::Running);
+        // The counting firmware's on_reset zeroes its step counter, so
+        // the restored board behaves like a fresh boot over trusted RAM.
+        assert_eq!(m.run(100), RunExit::BudgetExhausted);
+    }
+
+    #[test]
+    fn capture_restore_capture_is_idempotent() {
+        let mut m = counting_machine();
+        m.reset();
+        m.run(60);
+        let s1 = m.capture_snapshot().unwrap();
+        m.run(60);
+        m.restore_snapshot(&s1).unwrap();
+        // Re-running the deterministic firmware from the restored state
+        // and re-capturing after the same number of cycles reproduces the
+        // same RAM image bit for bit.
+        m.run(60);
+        let s2 = m.capture_snapshot().unwrap();
+        assert_eq!(s1.ram_image(), s2.ram_image());
+        assert_eq!(s1.flash_generation(), s2.flash_generation());
+    }
+
+    #[test]
+    fn restore_only_touches_dirty_pages() {
+        let mut m = counting_machine();
+        m.reset();
+        m.run(50);
+        let snap = m.capture_snapshot().unwrap();
+        assert_eq!(m.dirty_page_count(), 0);
+        // One step dirties only the firmware's counter page.
+        m.run(4);
+        let dirty = m.dirty_page_count();
+        assert!(dirty >= 1);
+        let written = m.restore_snapshot(&snap).unwrap();
+        assert_eq!(written, dirty);
+        assert!(written < m.bus().ram.page_count());
+    }
+
+    #[test]
+    fn seeded_flash_bit_flip_invalidates_snapshot() {
+        let mut m = counting_machine();
+        m.reset();
+        m.run(20);
+        let snap = m.capture_snapshot().unwrap();
+        assert!(m.snapshot_valid(&snap));
+        // A scheduled FlashBitFlip fault fires mid-run and bumps the
+        // generation counter: the snapshot becomes suspect.
+        m.set_fault_plan(
+            FaultPlan::none().at(5, InjectedFault::FlashBitFlip { offset: 8, bit: 1 }),
+        );
+        m.run(50);
+        assert!(!m.snapshot_valid(&snap));
+        assert!(m.restore_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn reset_rebases_the_epoch_and_invalidates_snapshot() {
+        let mut m = counting_machine();
+        m.reset();
+        m.run(20);
+        let snap = m.capture_snapshot().unwrap();
+        m.reset();
+        assert!(!m.snapshot_valid(&snap));
+        // A fresh capture in the new epoch works again.
+        m.run(20);
+        let snap2 = m.capture_snapshot().unwrap();
+        assert!(m.snapshot_valid(&snap2));
+    }
+
+    #[test]
+    fn dead_core_refuses_capture_and_restore() {
+        let mut m = counting_machine();
+        m.reset();
+        m.run(20);
+        let snap = m.capture_snapshot().unwrap();
+        m.set_fault_plan(FaultPlan::none().at(1, InjectedFault::KillCore));
+        m.run(50);
+        assert!(!m.snapshot_valid(&snap));
+        assert!(m.restore_snapshot(&snap).is_err());
+        assert!(m.capture_snapshot().is_err());
+    }
+
+    #[test]
+    fn flash_generation_readable_over_debug_port() {
+        let mut m = counting_machine();
+        m.reset();
+        let g = m.debug_flash_generation().unwrap();
+        m.flash_mut().flip_bit(4, 0).unwrap();
+        assert_eq!(m.debug_flash_generation().unwrap(), g + 1);
     }
 }

@@ -11,11 +11,20 @@
 use crate::arch::Endianness;
 use crate::error::HalError;
 
+/// Dirty-tracking page granularity in bytes. Snapshot delta restores
+/// copy whole pages, so the page size trades bitmap overhead against
+/// restore amplification; 256 B matches small MPU region granularity.
+pub const PAGE_SIZE: usize = 256;
+
 /// Byte-addressable simulated SRAM with a fixed base address.
 #[derive(Debug, Clone)]
 pub struct Ram {
     base: u32,
     bytes: Vec<u8>,
+    /// One bit per [`PAGE_SIZE`] page, set on every mutation since the
+    /// last [`Ram::clear_dirty`]. Snapshot captures and restores clear
+    /// it so a delta restore touches only pages written in between.
+    dirty: Vec<u64>,
 }
 
 impl Ram {
@@ -24,6 +33,7 @@ impl Ram {
         Ram {
             base,
             bytes: vec![0; size],
+            dirty: vec![0; size.div_ceil(PAGE_SIZE).div_ceil(64)],
         }
     }
 
@@ -66,6 +76,7 @@ impl Ram {
     pub fn write(&mut self, addr: u32, buf: &[u8]) -> Result<(), HalError> {
         let off = self.offset(addr, buf.len())?;
         self.bytes[off..off + buf.len()].copy_from_slice(buf);
+        self.mark_dirty(off, buf.len());
         Ok(())
     }
 
@@ -79,6 +90,7 @@ impl Ram {
     pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), HalError> {
         let off = self.offset(addr, 1)?;
         self.bytes[off] = v;
+        self.mark_dirty(off, 1);
         Ok(())
     }
 
@@ -128,12 +140,64 @@ impl Ram {
     /// Fill the whole RAM with a byte value (power-on / reset pattern).
     pub fn fill(&mut self, v: u8) {
         self.bytes.fill(v);
+        let len = self.bytes.len();
+        self.mark_dirty(0, len);
     }
 
     /// Borrow a region as a slice (host-side convenience for bulk drains).
     pub fn slice(&self, addr: u32, len: usize) -> Result<&[u8], HalError> {
         let off = self.offset(addr, len)?;
         Ok(&self.bytes[off..off + len])
+    }
+
+    fn mark_dirty(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / PAGE_SIZE;
+        let last = (off + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.dirty[page / 64] |= 1 << (page % 64);
+        }
+    }
+
+    /// Number of [`PAGE_SIZE`] pages covering this RAM.
+    pub fn page_count(&self) -> usize {
+        self.bytes.len().div_ceil(PAGE_SIZE)
+    }
+
+    /// Whether page `page` has been written since the last
+    /// [`Ram::clear_dirty`].
+    pub fn page_is_dirty(&self, page: usize) -> bool {
+        self.dirty[page / 64] & (1 << (page % 64)) != 0
+    }
+
+    /// Indices of all pages written since the last [`Ram::clear_dirty`],
+    /// in ascending order.
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        (0..self.page_count())
+            .filter(|&p| self.page_is_dirty(p))
+            .collect()
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clear the dirty bitmap (done by snapshot capture and restore).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.fill(0);
+    }
+
+    /// Absolute address of the first byte of page `page`.
+    pub fn page_addr(&self, page: usize) -> u32 {
+        self.base + (page * PAGE_SIZE) as u32
+    }
+
+    /// Length in bytes of page `page` (the last page may be short).
+    pub fn page_len(&self, page: usize) -> usize {
+        (self.bytes.len() - page * PAGE_SIZE).min(PAGE_SIZE)
     }
 }
 
@@ -205,5 +269,80 @@ mod tests {
         r.write(0x2000_0100, b"hello").unwrap();
         assert_eq!(r.slice(0x2000_0100, 5).unwrap(), b"hello");
         assert!(r.slice(0x2000_0100, 0x1000).is_err());
+    }
+
+    #[test]
+    fn fresh_ram_has_no_dirty_pages() {
+        let r = ram();
+        assert_eq!(r.dirty_page_count(), 0);
+        assert_eq!(r.page_count(), 0x1000 / PAGE_SIZE);
+        assert!(r.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn single_byte_write_dirties_one_page() {
+        let mut r = ram();
+        r.write_u8(0x2000_0000 + PAGE_SIZE as u32 * 3 + 7, 0xaa)
+            .unwrap();
+        assert_eq!(r.dirty_pages(), vec![3]);
+    }
+
+    #[test]
+    fn write_straddling_a_page_boundary_dirties_both_pages() {
+        let mut r = ram();
+        // Last 2 bytes of page 1, first 2 bytes of page 2.
+        let addr = 0x2000_0000 + (2 * PAGE_SIZE - 2) as u32;
+        r.write(addr, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(r.dirty_pages(), vec![1, 2]);
+    }
+
+    #[test]
+    fn word_writes_delegate_through_dirty_tracking() {
+        let mut r = ram();
+        r.write_u64(
+            0x2000_0000 + (PAGE_SIZE - 4) as u32,
+            0x0123_4567_89ab_cdef,
+            Endianness::Little,
+        )
+        .unwrap();
+        assert_eq!(r.dirty_pages(), vec![0, 1]);
+    }
+
+    #[test]
+    fn fill_marks_every_page_dirty() {
+        let mut r = ram();
+        r.fill(0);
+        assert_eq!(r.dirty_page_count(), r.page_count());
+    }
+
+    #[test]
+    fn clear_dirty_is_idempotent_and_reads_stay_clean() {
+        let mut r = ram();
+        r.write(0x2000_0010, &[1, 2, 3, 4]).unwrap();
+        r.clear_dirty();
+        assert_eq!(r.dirty_page_count(), 0);
+        r.clear_dirty();
+        assert_eq!(r.dirty_page_count(), 0);
+        // Reads never dirty.
+        let mut b = [0u8; 4];
+        r.read(0x2000_0010, &mut b).unwrap();
+        let _ = r.slice(0x2000_0000, 64).unwrap();
+        assert_eq!(r.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn failed_write_does_not_dirty() {
+        let mut r = ram();
+        assert!(r.write(0x2000_0ffe, &[0; 8]).is_err());
+        assert_eq!(r.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn last_page_may_be_short() {
+        let r = Ram::new(0x2000_0000, PAGE_SIZE + PAGE_SIZE / 2);
+        assert_eq!(r.page_count(), 2);
+        assert_eq!(r.page_len(0), PAGE_SIZE);
+        assert_eq!(r.page_len(1), PAGE_SIZE / 2);
+        assert_eq!(r.page_addr(1), 0x2000_0000 + PAGE_SIZE as u32);
     }
 }

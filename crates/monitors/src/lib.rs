@@ -30,5 +30,5 @@ pub use kconfig::{parse_kconfig, render_kconfig, KConfig};
 pub use log_monitor::{LogHit, LogMonitor};
 pub use patterns::{Pattern, PatternSet};
 pub use power::{PowerVerdict, PowerWatchdog};
-pub use restore::StateRestoration;
+pub use restore::{StateRestoration, REBOOT_SETTLE_SECS, SETTLE_SECS};
 pub use watchdog::{Liveness, LivenessWatchdog};

@@ -284,7 +284,12 @@ impl Scheduler {
         ticks: u64,
     ) -> Result<(), SchedError> {
         ctx.charge(2);
-        let wake = self.tick + ticks;
+        // A fuzzed delay can be astronomically large. Real kernels do
+        // modular tick arithmetic (FreeRTOS' vTaskDelay wraps its
+        // TickType_t), so the deadline wraps too — which in the model
+        // means an absurd delay comes due almost immediately rather
+        // than parking the task forever.
+        let wake = self.tick.wrapping_add(ticks);
         if self.running == Some(handle) {
             self.running = None;
         }

@@ -227,4 +227,33 @@ mod tests {
         assert!(prom.contains("eof_recovery_episode_cycles_sum 4000"));
         assert!(prom.contains("eof_op_read_mem_total 1"));
     }
+
+    #[test]
+    fn snapshot_rung_counters_flow_through_every_exporter() {
+        // The exporters are name-generic; this pins that the snapshot
+        // rung's counters and the delta-restore spans actually surface,
+        // so a rename on either side breaks loudly here.
+        let mut r = Registry::new();
+        r.count("recovery.rung.snapshot_restore.attempts", 3);
+        r.count("recovery.rung.snapshot_restore.successes", 2);
+        r.count("restore.snapshot.captures", 1);
+        r.observe("restore.snapshot.pages", 17);
+        r.span(SpanRecord {
+            name: "restore.snapshot",
+            start_cycles: 10,
+            end_cycles: 60,
+            wall_ns: 2,
+        });
+        let merged = Merged::from_parts(vec![r]);
+        let prom = prometheus_text(&merged);
+        assert!(prom.contains("eof_recovery_rung_snapshot_restore_attempts 3"));
+        assert!(prom.contains("eof_recovery_rung_snapshot_restore_successes 2"));
+        assert!(prom.contains("eof_restore_snapshot_captures 1"));
+        assert!(prom.contains("eof_restore_snapshot_pages_sum 17"));
+        assert!(prom.contains("eof_span_restore_snapshot_cycles 50"));
+        let trace = chrome_trace(&merged);
+        assert!(trace.contains("\"name\": \"restore.snapshot\""));
+        let journal = jsonl_journal(&merged);
+        assert!(journal.contains("restore.snapshot"));
+    }
 }

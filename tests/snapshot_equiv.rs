@@ -1,0 +1,116 @@
+//! The snapshot-equivalence gate: dirty-page delta restore
+//! (`EOF_SNAPSHOT=1`) is an optimisation of *recovery*, not of the
+//! fuzzer — the same campaign, recovering via snapshot rewind or via
+//! the reboot/reflash ladder, must observe the *same target*. The delta
+//! restore rewinds RAM to the parked snapshot and restarts the core,
+//! which is observationally identical to a reboot of an intact image;
+//! a fixed number of fuzzing iterations with identically-timed injected
+//! faults must therefore produce bit-identical coverage bitmaps, crash
+//! lists and triaged BugIds on every OS. Only the cycle accounting —
+//! the thing the fast path is *for* — is allowed to differ, and it must
+//! differ in the right direction.
+
+use eof::core::{build_fuzzer, Fuzzer, FuzzerConfig};
+use eof::hal::{FaultPlan, InjectedFault};
+use eof::rtos::OsKind;
+
+const STEPS: usize = 40;
+const SEED: u64 = 7;
+/// Steps after which a firmware freeze is injected (relative to the
+/// next exec, so it lands at the same logical point in both runs).
+const FAULT_AFTER: [usize; 2] = [10, 25];
+
+/// Everything an exec campaign can observe about the target, minus
+/// cycle accounting.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    execs: u64,
+    coverage: Vec<u64>,
+    crash_keys: Vec<String>,
+    bugs: Vec<String>,
+    corpus_len: usize,
+    stalls: u64,
+    episodes: u64,
+}
+
+fn run(os: OsKind, snapshot: bool) -> (Observed, u64) {
+    let mut config = FuzzerConfig::eof(os, SEED);
+    config.budget_hours = 24.0; // never the stopping condition here
+    config.snapshot = snapshot;
+    let (mut fuzzer, _, _): (Fuzzer, _, _) = build_fuzzer(config, FaultPlan::none());
+    for step in 0..STEPS {
+        // Freeze the firmware a fixed distance into an upcoming exec:
+        // `set_fault_plan` rebases to the current bus time, and per-exec
+        // target behaviour is mode-independent, so the freeze fires at
+        // the same logical point whether or not earlier recoveries took
+        // the fast path.
+        if FAULT_AFTER.contains(&step) {
+            fuzzer
+                .executor_mut()
+                .transport_mut()
+                .machine_mut()
+                .set_fault_plan(FaultPlan::none().at(10, InjectedFault::FreezeFirmware));
+        }
+        fuzzer.step();
+    }
+    let mut coverage: Vec<u64> = fuzzer.executor().coverage().iter().collect();
+    coverage.sort_unstable();
+    let mut crash_keys: Vec<String> = fuzzer
+        .crashes()
+        .unique()
+        .map(eof::core::crash::dedup_key)
+        .collect();
+    crash_keys.sort();
+    let mut bugs: Vec<String> = fuzzer
+        .crashes()
+        .bugs_found()
+        .iter()
+        .map(|b| format!("{b:?}"))
+        .collect();
+    bugs.sort();
+    let stats = fuzzer.stats();
+    let episodes = fuzzer.executor().resilience().episodes;
+    (
+        Observed {
+            execs: stats.execs,
+            coverage,
+            crash_keys,
+            bugs,
+            corpus_len: fuzzer.corpus().len(),
+            stalls: stats.stalls,
+            episodes,
+        },
+        fuzzer.executor().now(),
+    )
+}
+
+#[test]
+fn snapshot_and_reboot_recovery_observe_the_same_target() {
+    for os in [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+    ] {
+        let (reboot, reboot_cycles) = run(os, false);
+        let (snap, snap_cycles) = run(os, true);
+        assert!(reboot.execs > 0, "{os:?}: campaign executed nothing");
+        assert!(
+            reboot.episodes >= FAULT_AFTER.len() as u64,
+            "{os:?}: injected freezes produced no recovery episodes \
+             ({} episodes) — the gate is vacuous",
+            reboot.episodes
+        );
+        assert_eq!(
+            reboot, snap,
+            "{os:?}: snapshot recovery changed what the campaign observed"
+        );
+        // The one permitted difference — and the point of the fast
+        // path: the same recoveries take fewer simulated cycles.
+        assert!(
+            snap_cycles < reboot_cycles,
+            "{os:?}: snapshot run saved no cycles \
+             (reboot {reboot_cycles}, snapshot {snap_cycles})"
+        );
+    }
+}
