@@ -9,7 +9,10 @@
 
 use eof_baselines::BaselineKind;
 use eof_bench::rep_configs;
-use eof_core::{artifacts, cache_stats, CacheStats, CampaignResult, FleetRunner, FuzzerConfig};
+use eof_core::{
+    artifacts, cache_stats, run_campaign, CacheStats, CampaignResult, FleetRunner, FleetStats,
+    FuzzerConfig,
+};
 use eof_rtos::OsKind;
 use std::time::Instant;
 
@@ -51,17 +54,27 @@ fn workload(hours: f64, reps: usize) -> (Vec<(OsKind, BaselineKind)>, Vec<Fuzzer
 }
 
 /// Run one phase from cold caches; returns wall seconds, the results in
-/// submission order and the phase's cache counters.
-fn run_phase(jobs: usize, configs: Vec<FuzzerConfig>) -> (f64, Vec<CampaignResult>, CacheStats) {
+/// submission order, the phase's cache counters and the fleet's
+/// scheduling accounting.
+fn run_phase(
+    jobs: usize,
+    configs: Vec<FuzzerConfig>,
+) -> (f64, Vec<CampaignResult>, CacheStats, FleetStats) {
     artifacts::clear_caches();
     eof_core::reset_cache_stats();
     let start = Instant::now();
-    let results: Vec<CampaignResult> = FleetRunner::new(jobs)
-        .run(configs)
+    let (out, fleet_stats) =
+        FleetRunner::new(jobs).map_with_stats(configs, |_, config| run_campaign(config));
+    let results: Vec<CampaignResult> = out
         .into_iter()
         .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
         .collect();
-    (start.elapsed().as_secs_f64(), results, cache_stats())
+    (
+        start.elapsed().as_secs_f64(),
+        results,
+        cache_stats(),
+        fleet_stats,
+    )
 }
 
 /// Order-sensitive fingerprint of everything a campaign reports.
@@ -96,7 +109,12 @@ fn main() {
     let hours = env_f64("EOF_FLEET_HOURS", 0.25);
     let reps = env_usize("EOF_FLEET_REPS", 3);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let parallel_jobs = FleetRunner::from_env().jobs().max(4);
+    // What the environment asked for vs what the host can actually run
+    // in parallel: oversubscribing cores never measures scaling, so the
+    // parallel phase is clamped to the hardware and both figures land
+    // in BENCH_fleet.json.
+    let requested_jobs = FleetRunner::from_env().jobs().max(4);
+    let parallel_jobs = requested_jobs.min(host_cores).max(1);
 
     let (cells, configs) = workload(hours, reps);
     eprintln!(
@@ -104,22 +122,29 @@ fn main() {
         configs.len(),
         cells.len()
     );
+    if parallel_jobs < requested_jobs {
+        eprintln!(
+            "[fleet] clamped parallel phase from {requested_jobs} requested jobs \
+             to {parallel_jobs} (host has {host_cores} core(s))"
+        );
+    }
 
     eprintln!("[fleet] serial phase (1 job)...");
-    let (serial_secs, serial_results, serial_cache) = run_phase(1, configs.clone());
+    let (serial_secs, serial_results, serial_cache, serial_fleet) = run_phase(1, configs.clone());
     eprintln!("[fleet] parallel phase ({parallel_jobs} jobs)...");
-    let (parallel_secs, parallel_results, parallel_cache) = run_phase(parallel_jobs, configs);
+    let (parallel_secs, parallel_results, parallel_cache, parallel_fleet) =
+        run_phase(parallel_jobs, configs);
 
     let identical = fingerprint(&serial_results) == fingerprint(&parallel_results);
     let speedup = serial_secs / parallel_secs.max(1e-9);
-    // A speedup measured with more jobs than physical cores is
-    // oversubscription noise, not a parallel-scaling result: flag it so
-    // nobody quotes it.
-    let speedup_valid = parallel_jobs <= host_cores;
+    // Honest scaling requires a phase that was actually parallel: on a
+    // 1-core runner the clamped "parallel" phase is the serial phase
+    // again, and its speedup (~1.0) is not a scaling result.
+    let speedup_valid = parallel_jobs > 1 && parallel_jobs <= host_cores;
     if !speedup_valid {
         eprintln!(
-            "[fleet] WARNING: {parallel_jobs} jobs on {host_cores} host core(s) — \
-             the measured speedup is not a valid scaling number \
+            "[fleet] WARNING: parallel phase ran {parallel_jobs} job(s) on {host_cores} \
+             host core(s) — the measured speedup is not a valid scaling number \
              (speedup_valid=false in BENCH_fleet.json)"
         );
     }
@@ -170,10 +195,18 @@ fn main() {
         ),
         _ => "null".to_string(),
     };
+    // Scheduler-acquisition wait, serial vs parallel. Under the old
+    // per-item-mutex work list this was lock wait; the lock-free
+    // cursor keeps it near zero, and the delta records what parallel
+    // claiming costs over serial claiming on this host.
+    let sched_delta_nanos =
+        parallel_fleet.sched_wait_nanos as i64 - serial_fleet.sched_wait_nanos as i64;
     let json = format!(
-        "{{\n  \"workload\": {{\"cells\": [{}], \"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \"host_cores\": {host_cores},\n  \"serial\": {{\"jobs\": 1, \"secs\": {serial_secs:.3}, \"cache\": {}}},\n  \"parallel\": {{\"jobs\": {parallel_jobs}, \"secs\": {parallel_secs:.3}, \"cache\": {}}},\n  \"speedup\": {speedup:.2},\n  \"speedup_valid\": {speedup_valid},\n  \"identical_results\": {identical},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"workload\": {{\"cells\": [{}], \"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \"host_cores\": {host_cores},\n  \"jobs\": {{\"requested\": {requested_jobs}, \"effective\": {parallel_jobs}}},\n  \"serial\": {{\"jobs\": 1, \"secs\": {serial_secs:.3}, \"lock_wait_nanos\": {}, \"cache\": {}}},\n  \"parallel\": {{\"jobs\": {parallel_jobs}, \"jobs_requested\": {requested_jobs}, \"secs\": {parallel_secs:.3}, \"lock_wait_nanos\": {}, \"cache\": {}}},\n  \"lock_wait_delta_nanos\": {sched_delta_nanos},\n  \"speedup\": {speedup:.2},\n  \"speedup_valid\": {speedup_valid},\n  \"identical_results\": {identical},\n  \"telemetry\": {telemetry_json}\n}}\n",
         cell_names.join(", "),
+        serial_fleet.sched_wait_nanos,
         cache_json(&serial_cache),
+        parallel_fleet.sched_wait_nanos,
         cache_json(&parallel_cache),
     );
     std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");

@@ -30,6 +30,11 @@
 //!   campaign in the process (one build per distinct key);
 //! * [`fleet`] — batch campaign execution over a scoped worker pool
 //!   with deterministic, submission-ordered results;
+//! * [`fabric`] — the fault-tolerant distributed campaign fabric:
+//!   lease-based cell assignment with heartbeats and fencing epochs,
+//!   checkpoint/resume through the persist store, bounded backed-off
+//!   reassignment of crashed/hung workers, worker-fault chaos
+//!   schedules, and an N-workers ≡ serial determinism gate;
 //! * [`persist`] — the versioned on-disk campaign store: seed pool,
 //!   unique-crash reproducers, coverage bitmap and manifest, written
 //!   atomically and loaded tolerantly (corrupt/foreign entries are
@@ -51,6 +56,7 @@ pub mod config;
 pub mod corpus;
 pub mod crash;
 pub mod executor;
+pub mod fabric;
 pub mod fleet;
 pub mod fuzzer;
 pub mod gen;
@@ -70,13 +76,17 @@ pub use config::{DetectionConfig, FuzzerConfig, GenerationMode, RecoveryConfig};
 pub use corpus::{Corpus, Seed};
 pub use crash::{triage, CrashDb, CrashReport, DetectionSource};
 pub use executor::{ExecOutcome, Executor};
-pub use fleet::{FleetError, FleetResult, FleetRunner};
+pub use fabric::{
+    diff_against_serial, fabric_chaos_plan, fabric_grid, run_fabric, run_serial, FabricChaosPlan,
+    FabricConfig, FabricFault, FabricReport, SerialMerge,
+};
+pub use fleet::{FleetError, FleetResult, FleetRunner, FleetStats};
 pub use fuzzer::{Fuzzer, FuzzerStats};
 pub use gen::Generator;
 pub use minimize::{minimize, MinimizeResult};
 pub use persist::{
-    config_fingerprint, CampaignStore, LoadedStore, PersistedCrash, PersistedSeed, SkipStats,
-    StoreError, StoreManifest, SCHEMA_VERSION,
+    config_fingerprint, CampaignStore, Exchange, ExchangeImport, LoadedStore, PersistedCrash,
+    PersistedSeed, SkipStats, StoreError, StoreManifest, SCHEMA_VERSION,
 };
 pub use replay::{
     finalize_store, replay_loaded, replay_store, resume_campaign, resume_campaign_with,

@@ -440,6 +440,9 @@ pub struct ResumeOutcome {
     pub verified_crashes: usize,
     /// Persisted coverage edges verified re-derived.
     pub verified_edges: usize,
+    /// Store entries persist skipped (corrupt / foreign) while loading
+    /// the checkpoint — the fabric surfaces these as degraded-but-alive.
+    pub skips: persist::SkipStats,
 }
 
 /// Resume a persisted campaign: re-run `config` (whose budget is the
@@ -507,6 +510,7 @@ pub fn resume_campaign_with(
         verified_seeds: loaded.seeds.len(),
         verified_crashes: loaded.crashes.len(),
         verified_edges: loaded.coverage_edges.len(),
+        skips: loaded.skips,
         prior: loaded.manifest,
         result,
         coverage,

@@ -354,6 +354,276 @@ impl TelemetrySummary {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cross-process merge
+// ---------------------------------------------------------------------------
+
+/// Intern a summary key parsed from another process's JSON. Registry
+/// keys are `&'static str` by design (recording sites use literals);
+/// keys crossing a process boundary arrive as owned strings and are
+/// leaked once into a global cache — the key universe is the fixed set
+/// of instrumentation names, so the leak is bounded and each name is
+/// leaked at most once.
+fn intern(name: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<std::collections::BTreeSet<&'static str>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(std::collections::BTreeSet::new()))
+        .lock()
+        .expect("key intern cache");
+    if let Some(&s) = cache.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    cache.insert(leaked);
+    leaked
+}
+
+impl TelemetrySummary {
+    /// Fold another summary into this one — the cross-process merge.
+    /// Summing is commutative on every field, so coordinator-side
+    /// absorption of per-worker summaries (in any arrival order)
+    /// matches a single-process [`Merged::from_parts`] over the same
+    /// registries.
+    pub fn absorb(&mut self, other: &TelemetrySummary) {
+        self.parts += other.parts;
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, h) in &other.hists {
+            self.hists.entry(name).or_default().absorb(h);
+        }
+        for (&name, agg) in &other.spans {
+            self.spans.entry(name).or_default().absorb(agg);
+        }
+        for (&name, op) in &other.ops {
+            let dst = self.ops.entry(name).or_default();
+            dst.count += op.count;
+            dst.errors += op.errors;
+            dst.cycles.absorb(&op.cycles);
+        }
+        self.spans_dropped += other.spans_dropped;
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// Parse a summary previously rendered by [`Self::to_json`] — how a
+    /// coordinator reads a worker process's summary back. The parser
+    /// accepts exactly the deterministic shape `to_json` emits (flat
+    /// keys, no string escapes, integer values), and round-trips it:
+    /// `from_json(s.to_json()) == s`.
+    pub fn from_json(text: &str) -> Result<TelemetrySummary, String> {
+        let mut p = JsonCursor::new(text);
+        let mut s = TelemetrySummary::default();
+        p.object(|p, key| {
+            match key {
+                "parts" => s.parts = p.integer()? as usize,
+                "counters" => p.object(|p, k| {
+                    s.counters.insert(intern(k), p.integer()?);
+                    Ok(())
+                })?,
+                "histograms" => p.object(|p, k| {
+                    let h = p.histogram()?;
+                    s.hists.insert(intern(k), h);
+                    Ok(())
+                })?,
+                "spans" => p.object(|p, k| {
+                    let mut agg = SpanAgg::default();
+                    p.object(|p, f| {
+                        match f {
+                            "count" => agg.count = p.integer()?,
+                            "total_cycles" => agg.total_cycles = p.integer()?,
+                            "max_cycles" => agg.max_cycles = p.integer()?,
+                            other => return Err(format!("unknown span field {other:?}")),
+                        }
+                        Ok(())
+                    })?;
+                    s.spans.insert(intern(k), agg);
+                    Ok(())
+                })?,
+                "ops" => p.object(|p, k| {
+                    let mut op = OpStats::default();
+                    p.object(|p, f| {
+                        match f {
+                            "count" => op.count = p.integer()?,
+                            "errors" => op.errors = p.integer()?,
+                            "cycles" => op.cycles = p.histogram()?,
+                            other => return Err(format!("unknown op field {other:?}")),
+                        }
+                        Ok(())
+                    })?;
+                    s.ops.insert(intern(k), op);
+                    Ok(())
+                })?,
+                "dropped" => p.object(|p, f| {
+                    match f {
+                        "spans" => s.spans_dropped = p.integer()?,
+                        "events" => s.events_dropped = p.integer()?,
+                        other => return Err(format!("unknown dropped field {other:?}")),
+                    }
+                    Ok(())
+                })?,
+                other => return Err(format!("unknown summary field {other:?}")),
+            }
+            Ok(())
+        })?;
+        p.end()?;
+        Ok(s)
+    }
+}
+
+/// Minimal cursor over the fixed JSON dialect [`TelemetrySummary::
+/// to_json`] emits: objects, arrays, unescaped string keys and `u64`
+/// integers. Not a general JSON parser on purpose — anything outside
+/// the emitted shape is an error, so schema drift is caught loudly.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonCursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|&b| b as char)
+            )),
+        }
+    }
+
+    fn peek(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&byte)
+    }
+
+    /// An unescaped string literal.
+    fn string(&mut self) -> Result<&'a str, String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(format!("escape in key at byte {}", self.pos));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("bad utf8 in key: {e}"))?;
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+
+    /// `{ "key": <value parsed by f>, ... }` — `f` must consume the
+    /// value for each key it is handed.
+    fn object(
+        &mut self,
+        mut f: impl FnMut(&mut Self, &str) -> Result<(), String>,
+    ) -> Result<(), String> {
+        self.eat(b'{')?;
+        if self.peek(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?.to_string();
+            self.eat(b':')?;
+            f(self, &key)?;
+            if self.peek(b',') {
+                self.pos += 1;
+                continue;
+            }
+            return self.eat(b'}');
+        }
+    }
+
+    /// The histogram shape `hist_json` emits.
+    fn histogram(&mut self) -> Result<Histogram, String> {
+        let mut h = Histogram::default();
+        self.object(|p, f| {
+            match f {
+                "count" => h.count = p.integer()?,
+                "sum" => h.sum = p.integer()?,
+                "max" => h.max = p.integer()?,
+                "buckets" => {
+                    p.eat(b'[')?;
+                    if p.peek(b']') {
+                        p.pos += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        p.eat(b'[')?;
+                        let idx = p.integer()? as usize;
+                        p.eat(b',')?;
+                        let count = p.integer()?;
+                        p.eat(b']')?;
+                        *h.buckets
+                            .get_mut(idx)
+                            .ok_or_else(|| format!("bucket index {idx} out of range"))? = count;
+                        if p.peek(b',') {
+                            p.pos += 1;
+                            continue;
+                        }
+                        return p.eat(b']');
+                    }
+                }
+                other => return Err(format!("unknown histogram field {other:?}")),
+            }
+            Ok(())
+        })?;
+        Ok(h)
+    }
+
+    /// Assert the input is fully consumed.
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", self.pos))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +675,92 @@ mod tests {
         assert_eq!(ab.counters["x"], 7);
         assert_eq!(ab.to_json(), ba.to_json());
         assert!(ab.to_json().contains("\"x\": 7"));
+    }
+
+    fn sample_summary(salt: u64) -> TelemetrySummary {
+        let mut r = Registry::new();
+        r.count("exec.total", 10 + salt);
+        r.count("fleet.jobs", 1);
+        r.observe("exec.cycles", 512 + salt);
+        r.observe("exec.cycles", 3);
+        r.op("dap.read_word", 40, false);
+        r.op("dap.read_word", 55, true);
+        r.span(SpanRecord {
+            name: "campaign",
+            start_cycles: 0,
+            end_cycles: 1000 + salt,
+            wall_ns: 42,
+        });
+        r.summary()
+    }
+
+    #[test]
+    fn summary_json_round_trips_across_a_process_boundary() {
+        let s = sample_summary(7);
+        let back = TelemetrySummary::from_json(&s.to_json()).expect("parse own output");
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), s.to_json(), "byte-stable round trip");
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_shapes() {
+        for bad in [
+            "",
+            "{",
+            "{\"parts\": 1}trailing",
+            "{\"unknown_field\": 3}",
+            "{\"parts\": -1}",
+            "{\"counters\": {\"a\": 1}}{",
+        ] {
+            assert!(
+                TelemetrySummary::from_json(bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_matches_single_process_merge() {
+        // Coordinator-side: absorb per-worker summaries (as they would
+        // arrive over a process boundary, via JSON)...
+        let a = sample_summary(1);
+        let b = sample_summary(2);
+        let mut absorbed = TelemetrySummary::from_json(&a.to_json()).unwrap();
+        absorbed.absorb(&TelemetrySummary::from_json(&b.to_json()).unwrap());
+
+        // ...must equal a single-process merge of the same registries.
+        let mut ra = Registry::new();
+        ra.count("exec.total", 11);
+        ra.count("fleet.jobs", 1);
+        ra.observe("exec.cycles", 513);
+        ra.observe("exec.cycles", 3);
+        ra.op("dap.read_word", 40, false);
+        ra.op("dap.read_word", 55, true);
+        ra.span(SpanRecord {
+            name: "campaign",
+            start_cycles: 0,
+            end_cycles: 1001,
+            wall_ns: 42,
+        });
+        let mut rb = Registry::new();
+        rb.count("exec.total", 12);
+        rb.count("fleet.jobs", 1);
+        rb.observe("exec.cycles", 514);
+        rb.observe("exec.cycles", 3);
+        rb.op("dap.read_word", 40, false);
+        rb.op("dap.read_word", 55, true);
+        rb.span(SpanRecord {
+            name: "campaign",
+            start_cycles: 0,
+            end_cycles: 1002,
+            wall_ns: 99, // wall clock must not matter
+        });
+        let merged = Merged::from_parts(vec![ra, rb]).summary();
+        assert_eq!(absorbed, merged);
+        // And absorb is order-insensitive.
+        let mut reversed = sample_summary(2);
+        reversed.absorb(&sample_summary(1));
+        assert_eq!(reversed.to_json(), absorbed.to_json());
     }
 
     #[test]

@@ -56,8 +56,12 @@ pub mod prelude {
     pub use eof_core::config::{DetectionConfig, GenerationMode, RecoveryConfig};
     pub use eof_core::report::write_campaign_report;
     pub use eof_core::{
-        replay_store, resume_campaign, resume_campaign_with, CampaignStore, LoadedStore,
-        ReplayReport, StoreError,
+        diff_against_serial, fabric_chaos_plan, fabric_grid, run_fabric, run_serial,
+        FabricChaosPlan, FabricConfig, FabricFault, FabricReport, SerialMerge,
+    };
+    pub use eof_core::{
+        replay_store, resume_campaign, resume_campaign_with, CampaignStore, Exchange,
+        ExchangeImport, LoadedStore, ReplayReport, StoreError,
     };
     pub use eof_core::{run_campaign, CampaignResult, Executor, Fuzzer, FuzzerConfig, Generator};
     pub use eof_coverage::InstrumentMode;

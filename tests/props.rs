@@ -183,3 +183,153 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Concurrent persist-store writers (the fabric's corpus exchange)
+// ---------------------------------------------------------------------------
+//
+// Two workers importing seeds into one exchange must never lose an
+// update. The exchange earns this without locks: every seed is a
+// content-addressed file written atomically (temp + rename), and the
+// manifest-last marker carries no membership data — loads scan the
+// directory — so there is no read-modify-write step for interleavings
+// to tear.
+
+use eof::core::{persist::PersistedSeed, Exchange};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn exchange_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "eof-props-exchange-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic-but-valid persisted seed: the hash really is the prog's
+/// stable hash, so `Exchange::load`'s integrity check accepts it.
+fn synthetic_seed(i: u64) -> PersistedSeed {
+    let prog = Prog {
+        calls: vec![Call {
+            api: format!("api{}", i % 4),
+            args: vec![ArgValue::Int(i)],
+        }],
+    };
+    PersistedSeed {
+        hash: prog.stable_hash(),
+        ordinal: i,
+        new_edges: (i % 7) as usize,
+        crashed: false,
+        replay_edges: (i % 5) as usize,
+        prog,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exchange_two_writer_interleavings_never_lose_seeds(
+        batch_a in proptest::collection::vec(0u64..24, 1..16),
+        batch_b in proptest::collection::vec(0u64..24, 1..16),
+        schedule in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let dir = exchange_dir("interleave");
+        // Each writer holds its own handle, exactly like two fabric
+        // workers pointed at the same exchange directory.
+        let writer_a = Exchange::open(&dir).unwrap();
+        let writer_b = Exchange::open(&dir).unwrap();
+        let seeds_a: Vec<PersistedSeed> = batch_a.iter().map(|&i| synthetic_seed(i)).collect();
+        let seeds_b: Vec<PersistedSeed> = batch_b.iter().map(|&i| synthetic_seed(i)).collect();
+
+        // Drive the two imports one seed at a time in an arbitrary
+        // interleaving (schedule bools pick the writer; an exhausted
+        // writer yields its turn).
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let mut accounted = 0usize;
+        let mut steps = schedule.into_iter();
+        while ia < seeds_a.len() || ib < seeds_b.len() {
+            let pick_a = steps.next().unwrap_or(true);
+            let stats = if (pick_a && ia < seeds_a.len()) || ib >= seeds_b.len() {
+                ia += 1;
+                writer_a.import(&seeds_a[ia - 1..ia], 0xfeed)
+            } else {
+                ib += 1;
+                writer_b.import(&seeds_b[ib - 1..ib], 0xbeef)
+            };
+            prop_assert_eq!(stats.write_errors, 0);
+            accounted += stats.imported + stats.deduped;
+
+            // The pool is loadable mid-interleaving, never torn.
+            let (loaded, skips) = writer_a.load();
+            prop_assert_eq!(skips.total(), 0);
+            prop_assert_eq!(loaded.len(), accounted_distinct(&seeds_a[..ia], &seeds_b[..ib]));
+        }
+        prop_assert_eq!(accounted, seeds_a.len() + seeds_b.len());
+
+        // No update lost: the final pool is exactly the hash-union.
+        let (loaded, skips) = writer_b.load();
+        prop_assert_eq!(skips.total(), 0);
+        let expect: std::collections::BTreeSet<u64> = seeds_a
+            .iter()
+            .chain(seeds_b.iter())
+            .map(|s| s.hash)
+            .collect();
+        let got: std::collections::BTreeSet<u64> = loaded.iter().map(|s| s.hash).collect();
+        prop_assert_eq!(got, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Distinct hash count over the seeds imported so far.
+fn accounted_distinct(a: &[PersistedSeed], b: &[PersistedSeed]) -> usize {
+    a.iter()
+        .chain(b.iter())
+        .map(|s| s.hash)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+}
+
+#[test]
+fn exchange_truly_concurrent_writers_reach_the_union() {
+    // The threaded flavor of the property above: two OS threads racing
+    // seed-by-seed imports into one directory. Scheduling is real, the
+    // postcondition is the same — the union, with nothing torn.
+    let dir = exchange_dir("threads");
+    let seeds: Vec<PersistedSeed> = (0..48).map(synthetic_seed).collect();
+    // Overlapping halves: [0, 32) and [16, 48) share a middle third.
+    let a: Vec<PersistedSeed> = seeds[..32].to_vec();
+    let b: Vec<PersistedSeed> = seeds[16..].to_vec();
+    let dir_a = dir.clone();
+    let dir_b = dir.clone();
+    let ta = std::thread::spawn(move || {
+        let ex = Exchange::open(&dir_a).unwrap();
+        let mut errors = 0;
+        for s in &a {
+            errors += ex.import(std::slice::from_ref(s), 0xaaaa).write_errors;
+        }
+        errors
+    });
+    let tb = std::thread::spawn(move || {
+        let ex = Exchange::open(&dir_b).unwrap();
+        let mut errors = 0;
+        for s in &b {
+            errors += ex.import(std::slice::from_ref(s), 0xbbbb).write_errors;
+        }
+        errors
+    });
+    assert_eq!(ta.join().unwrap(), 0, "writer A hit write errors");
+    assert_eq!(tb.join().unwrap(), 0, "writer B hit write errors");
+
+    let ex = Exchange::open(&dir).unwrap();
+    let (loaded, skips) = ex.load();
+    assert_eq!(skips.total(), 0, "a racing writer tore an entry");
+    let got: std::collections::BTreeSet<u64> = loaded.iter().map(|s| s.hash).collect();
+    let expect: std::collections::BTreeSet<u64> = seeds.iter().map(|s| s.hash).collect();
+    assert_eq!(got, expect, "concurrent import lost an update");
+    let _ = std::fs::remove_dir_all(&dir);
+}
