@@ -333,6 +333,11 @@ impl Firmware for AgentFirmware {
                             ctx.charge(25);
                             self.kernel.reset(&mut ctx);
                         }
+                        // Arm the model-free peripheral region with the
+                        // prog's MMIO response stream (second input
+                        // plane); empty for pure-API progs, which leaves
+                        // the region in its reset state.
+                        bus.mmio.load_stream(&prog.mmio);
                         self.results.clear();
                         self.prog = Some(prog);
                         self.phase = Phase::ExecuteOne { call_idx: 0 };
@@ -586,6 +591,7 @@ mod tests {
         let (mut fw, mut bus) = setup(OsKind::FreeRtos);
         run_steps(&mut fw, &mut bus, 6);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "xQueueCreate".into(),
@@ -615,6 +621,7 @@ mod tests {
         let (mut fw, mut bus) = setup(OsKind::FreeRtos);
         run_steps(&mut fw, &mut bus, 6);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: "load_partitions".into(),
                 args: vec![ArgValue::Int(3), ArgValue::Int(0x10)],
@@ -639,6 +646,7 @@ mod tests {
         let (mut fw, mut bus) = setup(OsKind::Zephyr);
         run_steps(&mut fw, &mut bus, 6);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: "json_obj_encode".into(),
                 args: vec![ArgValue::Int(13), ArgValue::Int(3)],
@@ -658,6 +666,7 @@ mod tests {
         let (mut fw, mut bus) = setup(OsKind::RtThread);
         run_steps(&mut fw, &mut bus, 8);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: "rt_object_init".into(),
                 args: vec![ArgValue::Int(6), ArgValue::CString(String::new())],
@@ -679,6 +688,7 @@ mod tests {
         let (mut fw, mut bus) = setup(OsKind::NuttX);
         run_steps(&mut fw, &mut bus, 6);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "nxsem_init".into(),
@@ -724,6 +734,7 @@ mod tests {
         fw.on_reset(&mut bus);
         run_steps(&mut fw, &mut bus, 6);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "json_parse".into(),

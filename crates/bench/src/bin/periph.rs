@@ -1,0 +1,163 @@
+//! Driver-workload A/B: the Table-2 driver-bug experiment. Same OS,
+//! same seed schedule, same simulated budget — the only variable is the
+//! MMIO peripheral plane (`FuzzerConfig::eof_driver` vs the pure-API
+//! `FuzzerConfig::eof`). The pure campaign's spec omits the driver
+//! modules entirely, so any driver bug (number ≥ 20) it reports is a
+//! workload-separation violation and fails the bench; the driver
+//! campaign must confirm at least one driver bug per seeded OS within
+//! the budget, or the peripheral plane isn't earning its keep.
+//!
+//! Writes `results/periph.{txt,csv}` and the machine-readable verdict
+//! `BENCH_periph.json`.
+
+use eof_bench::{bench_hours, bench_reps, fmt1, run_config_set};
+use eof_core::{CampaignResult, FuzzerConfig};
+use eof_rtos::bugs::DRIVER_BUG_TABLE;
+use eof_rtos::OsKind;
+use std::collections::BTreeSet;
+
+fn mean(results: &[CampaignResult], f: impl Fn(&CampaignResult) -> f64) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(f).sum::<f64>() / results.len() as f64
+}
+
+/// Distinct driver-bug numbers found across a cell's repetitions.
+fn driver_bugs(results: &[CampaignResult]) -> BTreeSet<u8> {
+    results
+        .iter()
+        .flat_map(|r| r.bugs.iter())
+        .map(|b| b.number())
+        .filter(|&n| n >= 20)
+        .collect()
+}
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    eprintln!("[periph] {hours} simulated hours × {reps} reps per cell");
+
+    // One pure-API and one driver cell per OS, fanned out as a single
+    // fleet batch so the A/B shares the worker pool. PoK rides along:
+    // its driver layer is deliberately bug-free, so it checks that the
+    // MMIO plane alone does not manufacture crashes.
+    let mut bases = Vec::new();
+    for os in OsKind::ALL {
+        let mut pure = FuzzerConfig::eof(os, 42);
+        pure.budget_hours = hours;
+        bases.push(pure);
+        let mut driver = FuzzerConfig::eof_driver(os, 42);
+        driver.budget_hours = hours;
+        bases.push(driver);
+    }
+    let mut per_base = run_config_set(&bases, reps).into_iter();
+
+    let seeded: BTreeSet<OsKind> = DRIVER_BUG_TABLE.iter().map(|b| b.os).collect();
+    let mut rows = Vec::new();
+    let mut cells_json = Vec::new();
+    let mut violations = Vec::new();
+    let mut text =
+        String::from("Driver workload vs pure API surface, same seeds and simulated budget\n");
+    for os in OsKind::ALL {
+        let pure = per_base.next().expect("pure cell");
+        let driver = per_base.next().expect("driver cell");
+        let (pe, de) = (
+            mean(&pure, |r| r.stats.execs as f64),
+            mean(&driver, |r| r.stats.execs as f64),
+        );
+        let (pb, db) = (
+            mean(&pure, |r| r.branches as f64),
+            mean(&driver, |r| r.branches as f64),
+        );
+        let pure_driver_bugs = driver_bugs(&pure);
+        let found = driver_bugs(&driver);
+        if !pure_driver_bugs.is_empty() {
+            violations.push(format!(
+                "{}: pure-API campaign reached driver bugs {pure_driver_bugs:?}",
+                os.display()
+            ));
+        }
+        if seeded.contains(&os) && found.is_empty() {
+            violations.push(format!(
+                "{}: driver campaign confirmed no driver bug in {hours}h × {reps} reps",
+                os.display()
+            ));
+        }
+        if !seeded.contains(&os) && !found.is_empty() {
+            violations.push(format!(
+                "{}: unseeded OS reported driver bugs {found:?}",
+                os.display()
+            ));
+        }
+        let found_list: Vec<String> = found.iter().map(|n| format!("#{n}")).collect();
+        text.push_str(&format!(
+            "  {:10} execs {:>7} -> {:>7}   branches {:>6} -> {:>6}   driver bugs: {}\n",
+            os.display(),
+            fmt1(pe),
+            fmt1(de),
+            fmt1(pb),
+            fmt1(db),
+            if found_list.is_empty() {
+                "none".to_string()
+            } else {
+                found_list.join(" ")
+            },
+        ));
+        rows.push(vec![
+            os.display().to_string(),
+            fmt1(pe),
+            fmt1(de),
+            fmt1(pb),
+            fmt1(db),
+            found.len().to_string(),
+            found_list.join(" "),
+        ]);
+        cells_json.push(format!(
+            "{{\"os\": \"{}\", \"seeded\": {}, \"execs_pure\": {pe:.1}, \"execs_driver\": {de:.1}, \
+             \"branches_pure\": {pb:.1}, \"branches_driver\": {db:.1}, \
+             \"driver_bugs_pure\": {}, \"driver_bugs_driver\": [{}]}}",
+            os.display(),
+            seeded.contains(&os),
+            pure_driver_bugs.len(),
+            found
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+        eprintln!("  {} done", os.display());
+    }
+    let headers = [
+        "os",
+        "execs_pure",
+        "execs_driver",
+        "branches_pure",
+        "branches_driver",
+        "driver_bug_count",
+        "driver_bugs",
+    ];
+    eof_bench::write_outputs("periph", &text, &headers, &rows);
+
+    let pass = violations.is_empty();
+    let json = format!(
+        "{{\n  \"workload\": {{\"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \
+         \"verdict\": \"{}\",\n  \"violations\": [{}],\n  \"cells\": [\n    {}\n  ]\n}}\n",
+        if pass { "PASS" } else { "FAIL" },
+        violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", "),
+        cells_json.join(",\n    "),
+    );
+    std::fs::write("BENCH_periph.json", &json).expect("write BENCH_periph.json");
+    println!("[written BENCH_periph.json]");
+    if !pass {
+        for v in &violations {
+            eprintln!("[periph] VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("[periph] driver-workload gate PASSED");
+}

@@ -28,9 +28,15 @@ use std::path::{Path, PathBuf};
 
 /// The fixed cells the regression corpus is built from: short,
 /// deterministic campaigns that reliably admit seeds and find
-/// confirmable crashes.
-const CORPUS_CELLS: &[(OsKind, u64, f64)] =
-    &[(OsKind::FreeRtos, 7, 0.1), (OsKind::RtThread, 3, 0.1)];
+/// confirmable crashes. The last field arms the MMIO peripheral plane
+/// (`FuzzerConfig::eof_driver`) — that cell's store carries a
+/// driver-bug reproducer, so the gate also proves the second input
+/// plane round-trips through persistence.
+const CORPUS_CELLS: &[(OsKind, u64, f64, bool)] = &[
+    (OsKind::FreeRtos, 7, 0.1, false),
+    (OsKind::RtThread, 3, 0.1, false),
+    (OsKind::Zephyr, 5, 0.1, true),
+];
 
 /// Where the checked-in regression corpus lives.
 const CORPUS_DIR: &str = "tests/regression_corpus";
@@ -50,14 +56,20 @@ fn corpus_stores(root: &Path) -> Vec<PathBuf> {
 }
 
 fn record(dir: &Path) {
-    for &(os, seed, hours) in CORPUS_CELLS {
-        let store = dir.join(format!("{}-{seed}", os.short()));
+    for &(os, seed, hours, mmio) in CORPUS_CELLS {
+        let suffix = if mmio { "-mmio" } else { "" };
+        let store = dir.join(format!("{}-{seed}{suffix}", os.short()));
         eprintln!(
-            "[replay] recording {} seed {seed} ({hours}h) -> {}",
+            "[replay] recording {} seed {seed} ({hours}h{}) -> {}",
             os.display(),
+            if mmio { ", mmio" } else { "" },
             store.display()
         );
-        let mut config = FuzzerConfig::eof(os, seed);
+        let mut config = if mmio {
+            FuzzerConfig::eof_driver(os, seed)
+        } else {
+            FuzzerConfig::eof(os, seed)
+        };
         config.budget_hours = hours;
         config.snapshot_hours = hours / 4.0;
         config.persist = Some(store.clone());
@@ -68,6 +80,11 @@ fn record(dir: &Path) {
         assert!(
             audit.confirmed > 0,
             "{} seed {seed}: no confirmed crash — the corpus cell is useless as a gate",
+            os.display()
+        );
+        assert!(
+            !mmio || result.bugs.iter().any(|b| b.number() >= 20),
+            "{} seed {seed}: MMIO cell found no driver bug — its store gates nothing new",
             os.display()
         );
         println!(

@@ -23,7 +23,7 @@ use std::sync::{Arc, OnceLock};
 use eof_coverage::InstrumentMode;
 use eof_rtos::image::{build_image, ImageProfile};
 use eof_rtos::OsKind;
-use eof_specgen::{generate_validated, GenReport, NoiseConfig};
+use eof_specgen::{generate_validated_scoped, GenReport, NoiseConfig};
 use eof_speclang::ast::SpecFile;
 use parking_lot::Mutex;
 
@@ -50,15 +50,18 @@ pub struct SpecKey {
     pub noise_rate_bits: u64,
     /// Whether the validation pass ran.
     pub validate: bool,
+    /// Whether the SPI/I2C/DMA driver APIs are in scope.
+    pub drivers: bool,
 }
 
 impl SpecKey {
-    fn new(os: OsKind, noise: &NoiseConfig, validate: bool) -> Self {
+    fn new(os: OsKind, noise: &NoiseConfig, validate: bool, drivers: bool) -> Self {
         SpecKey {
             os,
             noise_seed: noise.seed,
             noise_rate_bits: noise.defect_rate.to_bits(),
             validate,
+            drivers,
         }
     }
 }
@@ -156,8 +159,19 @@ pub fn cached_image(
 /// they mutate it (pseudo-API and module filtering); the expensive part
 /// — extraction, noising, validation — is what the cache saves.
 pub fn cached_spec(os: OsKind, noise: &NoiseConfig, validate: bool) -> Arc<(SpecFile, GenReport)> {
-    spec_cache().get_or_build(SpecKey::new(os, noise, validate), || {
-        Arc::new(generate_validated(os, noise, validate))
+    cached_spec_scoped(os, noise, validate, false)
+}
+
+/// [`cached_spec`] with an explicit driver-layer scope; `drivers` keys a
+/// separate cache entry carrying the SPI/I2C/DMA APIs.
+pub fn cached_spec_scoped(
+    os: OsKind,
+    noise: &NoiseConfig,
+    validate: bool,
+    drivers: bool,
+) -> Arc<(SpecFile, GenReport)> {
+    spec_cache().get_or_build(SpecKey::new(os, noise, validate, drivers), || {
+        Arc::new(generate_validated_scoped(os, noise, validate, drivers))
     })
 }
 
@@ -229,6 +243,7 @@ pub fn clear_caches() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eof_specgen::generate_validated;
 
     // Counter-exact assertions run against a private `Memo`: the global
     // caches are shared by every concurrently-running test (campaign

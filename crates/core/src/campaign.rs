@@ -108,8 +108,16 @@ pub fn build_fuzzer(config: FuzzerConfig, plan: FaultPlan) -> (Fuzzer, GenReport
         Some(seed) => NoiseConfig::default_llm(seed),
         None => NoiseConfig::none(),
     };
-    let (mut spec, spec_report) =
-        (*crate::artifacts::cached_spec(config.os, &noise, config.spec_validation)).clone();
+    // The driver workload widens the spec scope to the SPI/I2C/DMA
+    // driver APIs; the default scope reproduces the legacy pure-API
+    // spec byte-for-byte.
+    let (mut spec, spec_report) = (*crate::artifacts::cached_spec_scoped(
+        config.os,
+        &noise,
+        config.spec_validation,
+        config.mmio,
+    ))
+    .clone();
 
     // Baselines with hand-written specs never had LLM pseudo-syscalls.
     if config.exclude_pseudo {
@@ -172,7 +180,8 @@ pub fn build_fuzzer(config: FuzzerConfig, plan: FaultPlan) -> (Fuzzer, GenReport
     )
     .expect("executor binds to sync symbols");
     tel::span_end(boot_span, executor.now());
-    let generator = Generator::new(spec, config.seed, config.gen_mode, config.max_calls);
+    let generator =
+        Generator::new(spec, config.seed, config.gen_mode, config.max_calls).with_mmio(config.mmio);
     // Open the campaign store (if persistence is on) before the config
     // moves into the fuzzer; the fuzzer writes crash records into it
     // incrementally on first sighting.

@@ -168,6 +168,13 @@ pub struct FuzzerConfig {
     /// either way (`tests/snapshot_equiv.rs` enforces this), so it is
     /// excluded from the store's config fingerprint.
     pub snapshot: bool,
+    /// Fuzz the model-free MMIO input plane: include the SPI/I2C/DMA
+    /// driver APIs in the specification and generate/mutate the
+    /// peripheral response stream (`Prog::mmio`) alongside the call
+    /// sequence. Off in the headline configuration; the driver-workload
+    /// campaigns (`FuzzerConfig::eof_driver`) switch it on. Part of the
+    /// store's config fingerprint — reproducers depend on it.
+    pub mmio: bool,
 }
 
 impl FuzzerConfig {
@@ -197,6 +204,17 @@ impl FuzzerConfig {
             persist: None,
             vectored: eof_dap::vectored_default(),
             snapshot: eof_dap::snapshot_default(),
+            mmio: false,
+        }
+    }
+
+    /// The driver-fuzzing workload: EOF plus the model-free MMIO input
+    /// plane (driver APIs in the spec, peripheral response stream as a
+    /// second mutated plane).
+    pub fn eof_driver(os: OsKind, seed: u64) -> Self {
+        FuzzerConfig {
+            mmio: true,
+            ..Self::eof(os, seed)
         }
     }
 
@@ -223,6 +241,17 @@ mod tests {
         assert!(c.detection.timeout_only_secs.is_none());
         assert!(c.recovery.reflash);
         assert_eq!(c.budget_hours, 24.0);
+    }
+
+    #[test]
+    fn eof_driver_only_adds_the_mmio_plane() {
+        let base = FuzzerConfig::eof(OsKind::NuttX, 7);
+        let drv = FuzzerConfig::eof_driver(OsKind::NuttX, 7);
+        assert!(!base.mmio);
+        assert!(drv.mmio);
+        assert!(drv.coverage_feedback);
+        assert_eq!(drv.gen_mode, GenerationMode::ApiAware);
+        assert_eq!(drv.max_calls, base.max_calls);
     }
 
     #[test]

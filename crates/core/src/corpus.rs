@@ -174,6 +174,7 @@ mod tests {
 
     fn prog(tag: &str) -> Prog {
         Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: tag.to_string(),
                 args: vec![],

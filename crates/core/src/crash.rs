@@ -1,6 +1,6 @@
 //! Crash reports, de-duplication and Table-2 triage.
 
-use eof_rtos::bugs::{BugId, BUG_TABLE};
+use eof_rtos::bugs::{BugId, BUG_TABLE, DRIVER_BUG_TABLE};
 use eof_rtos::OsKind;
 use eof_speclang::prog::Prog;
 use std::collections::BTreeMap;
@@ -37,11 +37,16 @@ pub struct CrashReport {
     pub bug: Option<BugId>,
 }
 
-/// Attribute a crash to a seeded Table-2 bug by matching the triggering
-/// operation's name against the backtrace and banner — the offline
-/// analysis step every fuzzer does on its crash dumps.
+/// Attribute a crash to a seeded bug (Table-2 or driver inventory) by
+/// matching the triggering operation's name against the backtrace and
+/// banner — the offline analysis step every fuzzer does on its crash
+/// dumps.
 pub fn triage(os: OsKind, message: &str, backtrace: &[String]) -> Option<BugId> {
-    for info in BUG_TABLE.iter().filter(|b| b.os == os) {
+    for info in BUG_TABLE
+        .iter()
+        .chain(DRIVER_BUG_TABLE.iter())
+        .filter(|b| b.os == os)
+    {
         let op = info.operation.trim_end_matches("()");
         if backtrace.iter().any(|f| f.contains(op)) || message.contains(op) {
             return Some(info.id);
@@ -179,6 +184,27 @@ mod tests {
         // A Zephyr-looking message on RT-Thread triages to nothing.
         assert_eq!(
             triage(OsKind::RtThread, "panic in z_impl_k_msgq_get", &[]),
+            None
+        );
+    }
+
+    #[test]
+    fn triage_reaches_driver_inventory() {
+        assert_eq!(
+            triage(
+                OsKind::NuttX,
+                "up_assert: length fault",
+                &["nx_dma_setup".to_string(), "dma_channel".to_string()]
+            ),
+            Some(BugId::B24DmaLenTruncation)
+        );
+        // Same frames on the wrong OS triage to nothing.
+        assert_eq!(
+            triage(
+                OsKind::Zephyr,
+                "up_assert: length fault",
+                &["nx_dma_setup".to_string()]
+            ),
             None
         );
     }

@@ -763,6 +763,23 @@ impl Executor {
         outcome.new_edges = self.cov_map.merge(&observed);
         self.execs += 1;
 
+        // Drain the MMIO-plane counters once per exec so campaign totals
+        // are exact; a restoration wipes the space's stats with the rest
+        // of the board state, so anything not drained here is gone.
+        let mmio = self.transport.machine_mut().bus_mut().mmio.take_stats();
+        for (name, v) in [
+            ("mmio.reads", mmio.reads),
+            ("mmio.replay_hits", mmio.replay_hits),
+            ("mmio.inject_bytes", mmio.inject_bytes),
+            ("mmio.irq.spi", mmio.irq_spi),
+            ("mmio.irq.i2c", mmio.irq_i2c),
+            ("mmio.irq.dma", mmio.irq_dma),
+        ] {
+            if v > 0 {
+                tel::count(name, v);
+            }
+        }
+
         // Baseline execution-cost model (QEMU TCG, semihosting traps).
         let spent = self.transport.now() - start;
         if self.config.exec_cost_multiplier > 1.0 {
@@ -829,6 +846,7 @@ mod tests {
     fn healthy_prog_executes_and_covers() {
         let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 1));
         let prog = Prog {
+            mmio: vec![],
             calls: vec![
                 call("xQueueCreate", vec![ArgValue::Int(4), ArgValue::Int(16)]),
                 call(
@@ -856,6 +874,7 @@ mod tests {
     fn exception_bug_is_caught_and_triaged() {
         let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 2));
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call(
                 "load_partitions",
                 vec![ArgValue::Int(3), ArgValue::Int(0x10)],
@@ -873,6 +892,7 @@ mod tests {
         assert!(!out.restored);
         // The target keeps fuzzing.
         let out2 = e.run_one(&Prog {
+            mmio: vec![],
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[]".to_vec())])],
         });
         assert!(out2.crash.is_none());
@@ -883,6 +903,7 @@ mod tests {
         let mut e = executor_for(FuzzerConfig::eof(OsKind::RtThread, 3));
         // Bug #8: assert + hang; detection class is the log monitor.
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call(
                 "rt_object_init",
                 vec![ArgValue::Int(6), ArgValue::CString(String::new())],
@@ -896,6 +917,7 @@ mod tests {
         assert!(out.restored);
         // Target restored and fuzzing continues.
         let out2 = e.run_one(&Prog {
+            mmio: vec![],
             calls: vec![call("rt_malloc", vec![ArgValue::Int(64)])],
         });
         assert!(out2.crash.is_none(), "{:?}", out2.crash);
@@ -908,6 +930,7 @@ mod tests {
         // A K_FOREVER get on an empty queue is bounded by the agent and
         // is NOT a degraded state.
         let bounded = Prog {
+            mmio: vec![],
             calls: vec![
                 call(
                     "k_msgq_alloc_init",
@@ -944,6 +967,7 @@ mod tests {
         cfg.snapshot = false;
         let mut e = executor_for(cfg);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
         };
         e.transport_mut().machine_mut().set_fault_plan(
@@ -971,6 +995,7 @@ mod tests {
         cfg.snapshot = true;
         let mut e = executor_for(cfg);
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
         };
         let resets_before = e.transport_mut().machine().reset_count();
@@ -999,6 +1024,7 @@ mod tests {
         use crate::supervisor::Rung;
         let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 32));
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
         };
         let kernel = e
@@ -1038,6 +1064,7 @@ mod tests {
         use crate::supervisor::Rung;
         let mut e = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 33));
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
         };
         // A killed core with the probe link down defeats every rung that
@@ -1067,6 +1094,7 @@ mod tests {
         // link-layer retry: the coverage drained and the crash detected
         // must match a fault-free run of the identical prog bit-for-bit.
         let prog = Prog {
+            mmio: vec![],
             calls: vec![
                 call(
                     "json_parse",
@@ -1111,6 +1139,7 @@ mod tests {
         // Bug #4 hangs after the fault; timeout-only tools notice the
         // hang and triage offline from the UART tail.
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call(
                 "k_heap_init",
                 vec![ArgValue::Int(12), ArgValue::Int(7)],
@@ -1133,6 +1162,7 @@ mod tests {
         // Bug #13 does not hang: without exception breakpoints it is
         // invisible.
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call(
                 "load_partitions",
                 vec![ArgValue::Int(3), ArgValue::Int(0x10)],
@@ -1149,6 +1179,7 @@ mod tests {
         cfg.instrument = InstrumentMode::None;
         let mut e = executor_for(cfg);
         let out = e.run_one(&Prog {
+            mmio: vec![],
             calls: vec![call("json_parse", vec![ArgValue::Buffer(b"[1]".to_vec())])],
         });
         assert_eq!(out.new_edges, 0);
@@ -1162,6 +1193,7 @@ mod tests {
         let mut partial_cfg = full_cfg.clone();
         partial_cfg.cov_observe_fraction = 0.15;
         let prog = Prog {
+            mmio: vec![],
             calls: vec![
                 call(
                     "json_parse",
@@ -1194,6 +1226,7 @@ mod tests {
         let mut slow_cfg = fast_cfg.clone();
         slow_cfg.exec_cost_multiplier = 2.0;
         let prog = Prog {
+            mmio: vec![],
             calls: vec![call(
                 "json_parse",
                 vec![ArgValue::Buffer(b"[1,2]".to_vec())],

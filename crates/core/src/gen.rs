@@ -44,12 +44,28 @@ const NAME_DICTIONARY: &[&str] = &[
     "t1", "t2", "cfg",
 ];
 
+/// Status-register bytes the driver layer actually branches on (busy,
+/// NACK, half-complete, error latch…). The MMIO plane biases toward
+/// these so generated streams hit the drivers' status decodes instead of
+/// wandering uniform byte space.
+const MMIO_DICTIONARY: &[u8] = &[0x00, 0x01, 0x04, 0x08, 0x40, 0x80, 0xff];
+
+/// Cap on a generated peripheral response stream. Replay answers
+/// repeated reads from memory, so a short stream goes a long way.
+const MMIO_MAX_LEN: usize = 48;
+
 /// The test-case generator for one target's specification.
 pub struct Generator {
     spec: SpecFile,
     rng: StdRng,
     mode: GenerationMode,
     max_calls: usize,
+    /// Fill and mutate the peripheral response stream (`Prog::mmio`)
+    /// as a second input plane. The stream draws from its own RNG
+    /// (`mmio_rng`), so a pure campaign and a driver campaign with the
+    /// same seed generate identical call planes throughout.
+    mmio: bool,
+    mmio_rng: StdRng,
     /// Adjacency score: `(prev_api_idx, next_api_idx) → weight`.
     adjacency: HashMap<(usize, usize), f64>,
     api_index: HashMap<String, usize>,
@@ -69,9 +85,17 @@ impl Generator {
             rng: StdRng::seed_from_u64(seed),
             mode,
             max_calls: max_calls.max(1),
+            mmio: false,
+            mmio_rng: StdRng::seed_from_u64(seed ^ 0x4d4d_494f),
             adjacency: HashMap::new(),
             api_index,
         }
+    }
+
+    /// Enable the MMIO input plane (the driver-fuzzing workload).
+    pub fn with_mmio(mut self, mmio: bool) -> Self {
+        self.mmio = mmio;
+        self
     }
 
     /// The specification in use.
@@ -81,9 +105,58 @@ impl Generator {
 
     /// Generate a fresh prog.
     pub fn generate(&mut self) -> Prog {
-        match self.mode {
+        let mut prog = match self.mode {
             GenerationMode::ApiAware => self.generate_api_aware(),
             GenerationMode::RandomBytes => self.generate_random_bytes(),
+        };
+        if self.mmio && !prog.is_empty() {
+            prog.mmio = self.gen_mmio_stream();
+        }
+        prog
+    }
+
+    /// Draw a fresh peripheral response stream: dictionary-biased status
+    /// bytes with raw filler.
+    fn gen_mmio_stream(&mut self) -> Vec<u8> {
+        let len = self.mmio_rng.random_range(0..=MMIO_MAX_LEN);
+        (0..len)
+            .map(|_| {
+                if self.mmio_rng.random_bool(0.6) {
+                    MMIO_DICTIONARY[self.mmio_rng.random_range(0..MMIO_DICTIONARY.len())]
+                } else {
+                    self.mmio_rng.random()
+                }
+            })
+            .collect()
+    }
+
+    /// Mutate the peripheral response stream in place.
+    fn mutate_mmio(&mut self, mmio: &mut Vec<u8>) {
+        match self.mmio_rng.random_range(0..5u32) {
+            // Overwrite one byte (dictionary-biased).
+            0 | 1 if !mmio.is_empty() => {
+                let i = self.mmio_rng.random_range(0..mmio.len());
+                mmio[i] = if self.mmio_rng.random_bool(0.6) {
+                    MMIO_DICTIONARY[self.mmio_rng.random_range(0..MMIO_DICTIONARY.len())]
+                } else {
+                    self.mmio_rng.random()
+                };
+            }
+            // Append a byte.
+            2 => {
+                if mmio.len() < MMIO_MAX_LEN {
+                    mmio.push(
+                        MMIO_DICTIONARY[self.mmio_rng.random_range(0..MMIO_DICTIONARY.len())],
+                    );
+                }
+            }
+            // Truncate.
+            3 if !mmio.is_empty() => {
+                let keep = self.mmio_rng.random_range(0..mmio.len());
+                mmio.truncate(keep);
+            }
+            // Regenerate wholesale.
+            _ => *mmio = self.gen_mmio_stream(),
         }
     }
 
@@ -101,7 +174,10 @@ impl Generator {
             self.push_call(idx, &mut calls, 0);
             last = Some(idx);
         }
-        Prog { calls }
+        Prog {
+            mmio: vec![],
+            calls,
+        }
     }
 
     fn generate_random_bytes(&mut self) -> Prog {
@@ -149,7 +225,10 @@ impl Generator {
                 args,
             });
         }
-        Prog { calls }
+        Prog {
+            mmio: vec![],
+            calls,
+        }
     }
 
     /// Pick the next API, weighted by learned adjacency.
@@ -328,7 +407,7 @@ impl Generator {
         if prog.calls.is_empty() {
             return self.generate();
         }
-        match self.rng.random_range(0..10u32) {
+        let mut prog = match self.rng.random_range(0..10u32) {
             // Regenerate one argument value.
             0..=4 => {
                 let ci = self.rng.random_range(0..prog.calls.len());
@@ -354,9 +433,9 @@ impl Generator {
             5 => {
                 if prog.calls.len() < self.max_calls * 2 {
                     let idx = self.rng.random_range(0..self.spec.apis.len().max(1));
-                    let mut calls = prog.calls;
+                    let Prog { mmio, mut calls } = prog;
                     self.push_call(idx, &mut calls, 0);
-                    prog = Prog { calls };
+                    prog = Prog { mmio, calls };
                 }
                 prog
             }
@@ -432,7 +511,14 @@ impl Generator {
                 }
                 prog
             }
+        };
+        // The MMIO plane mutates independently of the call plane — half
+        // the mutants keep the stream that got the seed admitted, half
+        // explore around it.
+        if self.mmio && self.mmio_rng.random_bool(0.5) {
+            self.mutate_mmio(&mut prog.mmio);
         }
+        prog
     }
 
     /// Reward the adjacencies of a prog that produced new coverage.
@@ -550,6 +636,7 @@ mod tests {
         let mut g = Generator::new(spec, 3, GenerationMode::ApiAware, 2);
         // Heavily reward a→b.
         let pattern = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "a".into(),
@@ -579,6 +666,53 @@ mod tests {
             b_count > c_count * 2,
             "adjacency not biasing: b={b_count} c={c_count}"
         );
+    }
+
+    #[test]
+    fn mmio_plane_rides_behind_the_call_plane() {
+        // Same seed, mmio off vs on: the call sequences are identical —
+        // the stream is drawn after call construction — and the on-side
+        // eventually produces nonempty streams.
+        let spec = parse_spec(&extract_spec_text(OsKind::FreeRtos)).unwrap();
+        let mut plain = Generator::new(spec.clone(), 21, GenerationMode::ApiAware, 6);
+        let mut drv = Generator::new(spec, 21, GenerationMode::ApiAware, 6).with_mmio(true);
+        let mut nonempty = 0;
+        for _ in 0..50 {
+            let a = plain.generate();
+            let b = drv.generate();
+            assert_eq!(a.calls, b.calls);
+            assert!(a.mmio.is_empty());
+            if !b.mmio.is_empty() {
+                nonempty += 1;
+            }
+            assert!(b.mmio.len() <= MMIO_MAX_LEN);
+        }
+        assert!(nonempty > 20, "mmio plane almost never fills: {nonempty}");
+    }
+
+    #[test]
+    fn mmio_mutation_explores_and_preserves() {
+        let spec = parse_spec(&extract_spec_text(OsKind::RtThread)).unwrap();
+        let mut g = Generator::new(spec, 5, GenerationMode::ApiAware, 6).with_mmio(true);
+        let base = g.generate();
+        let mut changed = 0;
+        let mut kept = 0;
+        let mut p = base.clone();
+        for _ in 0..200 {
+            let next = g.mutate(&p);
+            assert!(next.mmio.len() <= MMIO_MAX_LEN);
+            if next.mmio == p.mmio {
+                kept += 1;
+            } else {
+                changed += 1;
+            }
+            p = next;
+            if p.is_empty() {
+                p = g.generate();
+            }
+        }
+        assert!(changed > 20, "stream never mutates: {changed}");
+        assert!(kept > 20, "stream never survives a mutant: {kept}");
     }
 
     #[test]

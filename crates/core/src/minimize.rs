@@ -164,6 +164,7 @@ mod tests {
         let mut ex = executor(OsKind::FreeRtos);
         // Bug #13 needs only load_partitions(3, 0x10); bury it in noise.
         let noisy = Prog {
+            mmio: vec![],
             calls: vec![
                 call("vTaskTickIncrement", vec![ArgValue::Int(2)]),
                 call("pvPortMalloc", vec![ArgValue::Int(64)]),
@@ -189,6 +190,7 @@ mod tests {
         let mut ex = executor(OsKind::RtThread);
         // Bug #10's chain (create → delete → send) plus two noise calls.
         let noisy = Prog {
+            mmio: vec![],
             calls: vec![
                 call("rt_tick_increase", vec![ArgValue::Int(1)]),
                 call("rt_event_create", vec![ArgValue::CString("evt".into())]),
@@ -221,6 +223,7 @@ mod tests {
     fn trial_budget_is_respected() {
         let mut ex = executor(OsKind::FreeRtos);
         let noisy = Prog {
+            mmio: vec![],
             calls: (0..6)
                 .map(|_| call("pvPortMalloc", vec![ArgValue::Int(64)]))
                 .chain(std::iter::once(call(
@@ -244,6 +247,7 @@ mod tests {
         // break the crash, so a tiny budget strands the search early.
         let mut ex = executor(OsKind::RtThread);
         let noisy = Prog {
+            mmio: vec![],
             calls: vec![
                 call("rt_tick_increase", vec![ArgValue::Int(1)]),
                 call("rt_event_create", vec![ArgValue::CString("evt".into())]),

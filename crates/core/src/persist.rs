@@ -57,7 +57,7 @@ pub fn config_fingerprint(config: &FuzzerConfig) -> u64 {
 }
 
 fn config_canonical(config: &FuzzerConfig) -> String {
-    format!(
+    let mut canon = format!(
         "schema={SCHEMA_VERSION};os={};osver={};board={};seed={};covfb={};crashfb={};gen={:?};\
          instr={:?};profile={:?};detect={:?};recover={:?};covfrac={:e};costmul={:e};maxcalls={};\
          noise={:?};validation={};modules={:?};periph={};nopseudo={}",
@@ -80,7 +80,13 @@ fn config_canonical(config: &FuzzerConfig) -> String {
         config.module_filter,
         config.peripheral_events,
         config.exclude_pseudo,
-    )
+    );
+    // Appended only when on, so every pre-MMIO store fingerprint stays
+    // byte-identical and old stores remain owned by their configs.
+    if config.mmio {
+        canon.push_str(";mmio=true");
+    }
+    canon
 }
 
 pub(crate) fn hex(bytes: &[u8]) -> String {
@@ -474,6 +480,12 @@ pub struct StoreManifest {
     /// excluded from the fingerprint (`tests/snapshot_equiv.rs`), but
     /// recorded so resume reproduces the producer's recovery cost.
     pub snapshot: bool,
+    /// Whether the producing campaign fuzzed the MMIO input plane
+    /// (driver workload). Part of the fingerprint — driver reproducers
+    /// carry peripheral response streams — and carried here so replay
+    /// and resume reconstruct the right configuration. Reads tolerate
+    /// the key's absence (pre-MMIO stores are pure API plane).
+    pub mmio: bool,
     /// Simulated hours the producing campaign consumed.
     pub consumed_hours: f64,
     /// Final distinct-branch count of the campaign coverage map.
@@ -518,6 +530,7 @@ impl StoreManifest {
                 "consumed_hours_bits",
                 format!("{:016x}", self.consumed_hours.to_bits()),
             ),
+            ("io", if self.mmio { "mmio" } else { "api" }.to_string()),
             ("branches", self.branches.to_string()),
             ("replay_branches", self.replay_branches.to_string()),
             ("seed_count", self.seed_count.to_string()),
@@ -542,6 +555,9 @@ impl StoreManifest {
             // Same for stores predating the snapshot fast path: they
             // recovered by reboot/reflash only.
             snapshot: rec.get("restore").map(|r| r == "snapshot").unwrap_or(false),
+            // Stores predating the driver workload carry no key: pure
+            // API plane only.
+            mmio: rec.get("io").map(|v| v == "mmio").unwrap_or(false),
             consumed_hours: rec.f64_bits("consumed_hours_bits")?,
             branches: rec.usize("branches")?,
             replay_branches: rec.usize("replay_branches")?,
@@ -593,6 +609,7 @@ pub struct CampaignStore {
     seed: u64,
     vectored: bool,
     snapshot: bool,
+    mmio: bool,
     crash_writes: usize,
     write_errors: usize,
 }
@@ -619,6 +636,7 @@ impl CampaignStore {
             seed: config.seed,
             vectored: config.vectored,
             snapshot: config.snapshot,
+            mmio: config.mmio,
             crash_writes: 0,
             write_errors: 0,
         })
@@ -742,6 +760,7 @@ impl CampaignStore {
             seed: self.seed,
             vectored: self.vectored,
             snapshot: self.snapshot,
+            mmio: self.mmio,
             consumed_hours,
             branches,
             replay_branches,
@@ -1052,6 +1071,7 @@ mod tests {
 
     fn prog(tag: &str, n: u64) -> Prog {
         Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: tag.to_string(),
                 args: vec![ArgValue::Int(n)],

@@ -306,7 +306,11 @@ impl ReplayReport {
 /// [`replay_loaded`] with the producing config — the fingerprint check
 /// refuses to guess.
 pub fn config_for_manifest(manifest: &StoreManifest) -> Result<FuzzerConfig, StoreError> {
-    let mut config = FuzzerConfig::eof(manifest.os, manifest.seed);
+    let mut config = if manifest.mmio {
+        FuzzerConfig::eof_driver(manifest.os, manifest.seed)
+    } else {
+        FuzzerConfig::eof(manifest.os, manifest.seed)
+    };
     // Wire mode is not fingerprinted (per-exec behaviour is identical
     // either way), but resume re-derives a *time-budgeted* prefix, so
     // it must run at the producer's throughput.
@@ -630,6 +634,7 @@ mod tests {
         // well-formed (same key, same schema, same fingerprint).
         let mut broken = victim.clone();
         broken.prog = eof_speclang::prog::Prog {
+            mmio: vec![],
             calls: vec![eof_speclang::prog::Call {
                 api: "pvPortMalloc".to_string(),
                 args: vec![eof_speclang::prog::ArgValue::Int(16)],

@@ -767,6 +767,10 @@ mod tests {
     use super::*;
     use eof_hal::{BoardCatalog, FaultPlan, FirmwareLoader, HalError, InjectedFault, Machine};
 
+    /// An image whose magic is wrong, so a reset after flashing it
+    /// boot-fails — the "corrupted kernel partition" fixture.
+    const BROKEN_IMAGE: &[u8] = b"XXX!broken";
+
     // Reuse the HAL's counting firmware shape via a local copy, since the
     // HAL's test firmware is private to its crate.
     struct Walker {
@@ -1171,7 +1175,7 @@ mod tests {
         // reset lines answer independently — exactly like the scalar path.
         let mut t = transport();
         t.machine_mut()
-            .reflash_partition("kernel", b"XXX!broken")
+            .reflash_partition("kernel", BROKEN_IMAGE)
             .unwrap();
         t.machine_mut().reset();
         assert!(t.machine().is_dead());
@@ -1245,7 +1249,7 @@ mod tests {
         // Corrupt the image magic without resetting: the core still
         // answers, but a RestoreCore would boot-fail.
         t.machine_mut()
-            .reflash_partition("kernel", b"XXX!broken")
+            .reflash_partition("kernel", BROKEN_IMAGE)
             .unwrap();
         let mut txn = Txn::new();
         txn.write_pages(vec![(base + 0x40, b"ghost".to_vec())])

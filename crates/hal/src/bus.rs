@@ -9,6 +9,7 @@
 use crate::arch::Endianness;
 use crate::clock::CycleClock;
 use crate::mem::Ram;
+use crate::mmio::MmioSpace;
 use crate::uart::Uart;
 use std::collections::VecDeque;
 
@@ -23,13 +24,34 @@ pub struct IrqRequest {
 }
 
 /// Well-known interrupt lines of the simulated boards.
+///
+/// Payload semantics are fixed per line; a kernel's `on_interrupt` may
+/// rely on them without inspecting the raiser:
+///
+/// | line        | payload                                                |
+/// |-------------|--------------------------------------------------------|
+/// | `GPIO`      | empty — edge event only                                |
+/// | `SERIAL_RX` | the received bytes, in arrival order                   |
+/// | `TIMER`     | empty — tick event only                                |
+/// | `SPI`       | empty — transfer complete; data sits in the DATA reg   |
+/// | `I2C`       | empty — transaction complete; ACK/NACK via STATUS reg  |
+/// | `DMA`       | transferred length as little-endian `u32` (4 bytes)    |
 pub mod irq {
-    /// GPIO edge interrupt.
+    /// GPIO edge interrupt (no payload).
     pub const GPIO: u8 = 1;
     /// Serial receive interrupt (payload = received bytes).
     pub const SERIAL_RX: u8 = 2;
-    /// Auxiliary timer tick.
+    /// Auxiliary timer tick (no payload).
     pub const TIMER: u8 = 3;
+    /// SPI transfer-complete interrupt (no payload; the driver reads the
+    /// controller's DATA/STATUS registers).
+    pub const SPI: u8 = 4;
+    /// I2C transaction-complete interrupt (no payload; ACK/NACK is read
+    /// from the controller's STATUS register).
+    pub const I2C: u8 = 5;
+    /// DMA channel-complete interrupt (payload = transferred length as a
+    /// little-endian `u32`).
+    pub const DMA: u8 = 6;
 }
 
 /// Everything the firmware can access while executing.
@@ -45,6 +67,8 @@ pub struct Bus {
     pub endianness: Endianness,
     /// Interrupt requests waiting for the firmware to service.
     pub pending_irqs: VecDeque<IrqRequest>,
+    /// Model-free MMIO peripheral region (SPI/I2C/DMA).
+    pub mmio: MmioSpace,
     /// Whether this bus belongs to real silicon (ambient peripheral
     /// activity exists) or an emulator instance (it does not).
     pub silicon: bool,
@@ -59,7 +83,28 @@ impl Bus {
             clock: CycleClock::new(),
             endianness,
             pending_irqs: VecDeque::new(),
+            mmio: MmioSpace::default(),
             silicon: true,
+        }
+    }
+
+    /// Model-free read of an MMIO data/status register at driver call-site
+    /// `site` (the replay/inject key — see [`crate::mmio`]).
+    pub fn mmio_read(&mut self, site: u32, periph: u8, reg: u8) -> u8 {
+        self.mmio.read_data(site, periph, reg)
+    }
+
+    /// Read an MMIO write-through latch register (CTRL/SRC/DST/LEN).
+    pub fn mmio_read_latch(&mut self, periph: u8, reg: u8) -> u64 {
+        self.mmio.read_latch(periph, reg)
+    }
+
+    /// Write an MMIO register. A START-bit write into a `CTRL` register
+    /// completes the programmed operation and queues that peripheral's
+    /// completion IRQ on [`Bus::pending_irqs`].
+    pub fn mmio_write(&mut self, periph: u8, reg: u8, val: u64) {
+        if let Some(req) = self.mmio.write(periph, reg, val) {
+            self.pending_irqs.push_back(req);
         }
     }
 
@@ -101,6 +146,7 @@ impl Bus {
         self.ram.clear_dirty();
         self.uart.reset();
         self.pending_irqs.clear();
+        self.mmio.reset();
     }
 }
 
@@ -118,5 +164,98 @@ mod tests {
         assert_eq!(b.now(), 123);
         assert_eq!(b.ram.read_u8(0x2000_0000).unwrap(), 0);
         assert_eq!(b.uart.pending(), 0);
+    }
+
+    #[test]
+    fn power_cycle_clears_mmio_state() {
+        let mut b = Bus::new(0x2000_0000, 64, Endianness::Little);
+        b.mmio.load_stream(&[0x5a, 0x5b]);
+        assert_eq!(
+            b.mmio_read(1, crate::mmio::periph::SPI, crate::mmio::reg::DATA),
+            0x5a
+        );
+        b.mmio_write(crate::mmio::periph::DMA, crate::mmio::reg::LEN, 0x99);
+        b.power_cycle();
+        assert_eq!(b.mmio.stream_remaining(), 0);
+        assert_eq!(
+            b.mmio_read_latch(crate::mmio::periph::DMA, crate::mmio::reg::LEN),
+            0
+        );
+    }
+
+    /// Payload-carrying lines interleaved with empty ones must each keep
+    /// their own payload and their queue position.
+    #[test]
+    fn irq_queue_interleaves_payload_and_empty_lines() {
+        let mut b = Bus::new(0x2000_0000, 64, Endianness::Little);
+        b.pending_irqs.push_back(IrqRequest {
+            line: irq::GPIO,
+            payload: Vec::new(),
+        });
+        b.pending_irqs.push_back(IrqRequest {
+            line: irq::SERIAL_RX,
+            payload: b"abc".to_vec(),
+        });
+        b.pending_irqs.push_back(IrqRequest {
+            line: irq::TIMER,
+            payload: Vec::new(),
+        });
+        // DMA completion enqueues through the MMIO wrapper with its
+        // little-endian length payload.
+        b.mmio_write(crate::mmio::periph::DMA, crate::mmio::reg::LEN, 0x20);
+        b.mmio_write(
+            crate::mmio::periph::DMA,
+            crate::mmio::reg::CTRL,
+            crate::mmio::CTRL_START,
+        );
+        let drained: Vec<IrqRequest> = std::mem::take(&mut b.pending_irqs).into_iter().collect();
+        assert_eq!(
+            drained.iter().map(|r| r.line).collect::<Vec<_>>(),
+            vec![irq::GPIO, irq::SERIAL_RX, irq::TIMER, irq::DMA]
+        );
+        assert!(drained[0].payload.is_empty());
+        assert_eq!(drained[1].payload, b"abc");
+        assert!(drained[2].payload.is_empty());
+        assert_eq!(drained[3].payload, 0x20u32.to_le_bytes().to_vec());
+    }
+
+    /// Coalesced raises (several START writes before the firmware services
+    /// anything) must deliver one request per raise, in raise order — the
+    /// queue never merges same-line requests.
+    #[test]
+    fn irq_queue_preserves_order_under_coalesced_raises() {
+        let mut b = Bus::new(0x2000_0000, 64, Endianness::Little);
+        for len in [1u64, 2, 3] {
+            b.mmio_write(crate::mmio::periph::DMA, crate::mmio::reg::LEN, len);
+            b.mmio_write(
+                crate::mmio::periph::DMA,
+                crate::mmio::reg::CTRL,
+                crate::mmio::CTRL_START,
+            );
+            b.mmio_write(
+                crate::mmio::periph::SPI,
+                crate::mmio::reg::CTRL,
+                crate::mmio::CTRL_START,
+            );
+        }
+        let lines: Vec<u8> = b.pending_irqs.iter().map(|r| r.line).collect();
+        assert_eq!(
+            lines,
+            vec![irq::DMA, irq::SPI, irq::DMA, irq::SPI, irq::DMA, irq::SPI]
+        );
+        let dma_payloads: Vec<Vec<u8>> = b
+            .pending_irqs
+            .iter()
+            .filter(|r| r.line == irq::DMA)
+            .map(|r| r.payload.clone())
+            .collect();
+        assert_eq!(
+            dma_payloads,
+            vec![
+                1u32.to_le_bytes().to_vec(),
+                2u32.to_le_bytes().to_vec(),
+                3u32.to_le_bytes().to_vec()
+            ]
+        );
     }
 }

@@ -34,6 +34,7 @@ pub mod firmware;
 pub mod flash;
 pub mod machine;
 pub mod mem;
+pub mod mmio;
 pub mod snapshot;
 pub mod symbols;
 pub mod uart;
@@ -49,6 +50,7 @@ pub use firmware::{Firmware, StepResult};
 pub use flash::{Flash, Partition, PartitionTable};
 pub use machine::{BootState, FirmwareLoader, Machine, RunExit};
 pub use mem::{Ram, PAGE_SIZE};
+pub use mmio::{MmioSpace, MmioStats};
 pub use snapshot::Snapshot;
 pub use symbols::SymbolTable;
 pub use uart::Uart;

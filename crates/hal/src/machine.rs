@@ -670,6 +670,7 @@ impl Machine {
         }
         self.bus.uart.reset();
         self.bus.pending_irqs.clear();
+        self.bus.mmio.reset();
         self.last_fault = None;
         match (self.loader)(&self.flash, &self.board) {
             Ok(mut fw) => {
@@ -1131,6 +1132,41 @@ mod tests {
         assert!(!m.snapshot_valid(&snap));
         assert!(m.restore_snapshot(&snap).is_err());
         assert!(m.capture_snapshot().is_err());
+    }
+
+    /// IRQ delivery across snapshot restore: requests pending at restore
+    /// time are quiesced (a restore leaves peripherals exactly as a reset
+    /// would), and lines raised *after* the restore deliver normally with
+    /// their payloads intact.
+    #[test]
+    fn snapshot_restore_quiesces_pending_irqs_then_delivers_fresh_ones() {
+        let mut m = counting_machine();
+        m.reset();
+        m.run(50);
+        let snap = m.capture_snapshot().unwrap();
+        m.bus_mut().pending_irqs.push_back(crate::bus::IrqRequest {
+            line: crate::bus::irq::SERIAL_RX,
+            payload: b"stale".to_vec(),
+        });
+        m.bus_mut().mmio.load_stream(&[0x7f]);
+        m.restore_snapshot(&snap).unwrap();
+        assert!(
+            m.bus().pending_irqs.is_empty(),
+            "restore must quiesce pending IRQs"
+        );
+        assert_eq!(m.bus().mmio.stream_remaining(), 0);
+        // Fresh raises after the restore flow through untouched.
+        m.bus_mut().pending_irqs.push_back(crate::bus::IrqRequest {
+            line: crate::bus::irq::GPIO,
+            payload: Vec::new(),
+        });
+        m.bus_mut().mmio_write(
+            crate::mmio::periph::SPI,
+            crate::mmio::reg::CTRL,
+            crate::mmio::CTRL_START,
+        );
+        let lines: Vec<u8> = m.bus().pending_irqs.iter().map(|r| r.line).collect();
+        assert_eq!(lines, vec![crate::bus::irq::GPIO, crate::bus::irq::SPI]);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Model-free memory-mapped peripheral region (Ember-IO style).
+//!
+//! Real driver code spends its life reading peripheral data/status
+//! registers whose values come from the outside world. Instead of
+//! modelling each peripheral's behaviour, this module answers those
+//! reads *model-free* from a fuzzer-supplied response stream, using the
+//! Ember-IO replay/inject strategy:
+//!
+//! * **replay** — the first response served at a given *site* (a call-site
+//!   id standing in for the faulting PC) × register pair is remembered;
+//!   every later read at the same site×register replays the same byte.
+//!   This is what makes status-poll loops terminate (or provably hang):
+//!   a driver polling `STATUS` at one PC sees a *stable* value.
+//! * **inject** — a read at a fresh site×register consumes the next byte
+//!   of the fuzzer's response stream. When the stream runs dry, a
+//!   deterministic xorshift fallback keeps execution reproducible.
+//!
+//! Control-class registers behave as ordinary write-through latches
+//! (reads return the last value written), and writing the START bit of a
+//! peripheral's `CTRL` register raises that peripheral's completion IRQ
+//! line on [`crate::bus::Bus::pending_irqs`] — kernels service it from
+//! their interrupt path exactly like the pre-existing GPIO/serial lines.
+//!
+//! All dynamic state (stream, cursor, replay memo, latches) is cleared by
+//! [`MmioSpace::reset`] on every power cycle *and* on every debug-port
+//! core restore, so the snapshot fast path and the reboot/reflash ladder
+//! observe identical peripheral state — a requirement of the
+//! snapshot-equivalence gate.
+
+use crate::bus::{irq, IrqRequest};
+use std::collections::BTreeMap;
+
+/// Peripheral indices of the MMIO region.
+pub mod periph {
+    /// SPI controller.
+    pub const SPI: u8 = 0;
+    /// I2C controller.
+    pub const I2C: u8 = 1;
+    /// DMA engine.
+    pub const DMA: u8 = 2;
+}
+
+/// Register offsets within each peripheral's window.
+pub mod reg {
+    /// Control register (write-through latch; START bit 0x1 fires the
+    /// peripheral and raises its completion IRQ).
+    pub const CTRL: u8 = 0;
+    /// Status register (model-free read).
+    pub const STATUS: u8 = 1;
+    /// Data register (model-free read).
+    pub const DATA: u8 = 2;
+    /// DMA source address (write-through latch).
+    pub const SRC: u8 = 3;
+    /// DMA destination address (write-through latch).
+    pub const DST: u8 = 4;
+    /// DMA transfer length (write-through latch).
+    pub const LEN: u8 = 5;
+}
+
+/// START bit of every peripheral's `CTRL` register.
+pub const CTRL_START: u64 = 0x1;
+
+/// Counters drained into host telemetry after every execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MmioStats {
+    /// Total register reads (model-free and latch reads alike).
+    pub reads: u64,
+    /// Model-free reads answered from the per-site replay memo.
+    pub replay_hits: u64,
+    /// Fresh bytes consumed from the fuzzer's response stream.
+    pub inject_bytes: u64,
+    /// SPI completion IRQs raised.
+    pub irq_spi: u64,
+    /// I2C completion IRQs raised.
+    pub irq_i2c: u64,
+    /// DMA completion IRQs raised.
+    pub irq_dma: u64,
+}
+
+/// The model-free MMIO peripheral space hosted on the [`crate::bus::Bus`].
+#[derive(Debug, Default)]
+pub struct MmioSpace {
+    /// Fuzzer-supplied response stream for model-free register reads.
+    stream: Vec<u8>,
+    /// Next unconsumed stream byte.
+    cursor: usize,
+    /// Ember-IO replay memo: (site, periph, reg) → first response served.
+    replay: BTreeMap<(u32, u8, u8), u8>,
+    /// Write-through latches: (periph, reg) → last value written.
+    latch: BTreeMap<(u8, u8), u64>,
+    /// Deterministic fallback generator once the stream is exhausted.
+    fallback: u64,
+    /// Telemetry counters (drained host-side via [`MmioSpace::take_stats`]).
+    pub stats: MmioStats,
+}
+
+impl MmioSpace {
+    /// Install a fresh response stream for the next execution. Clears the
+    /// replay memo and latches: a new input means a new peripheral world.
+    pub fn load_stream(&mut self, stream: &[u8]) {
+        self.stream.clear();
+        self.stream.extend_from_slice(stream);
+        self.cursor = 0;
+        self.replay.clear();
+        self.latch.clear();
+        self.fallback = FALLBACK_SEED;
+    }
+
+    /// Clear all dynamic state (stream, cursor, memo, latches). Telemetry
+    /// counters survive — they are host-side observability, drained by
+    /// [`MmioSpace::take_stats`], and must not be lost to a recovery.
+    pub fn reset(&mut self) {
+        self.stream.clear();
+        self.cursor = 0;
+        self.replay.clear();
+        self.latch.clear();
+        self.fallback = FALLBACK_SEED;
+    }
+
+    /// Drain the counters accumulated since the previous drain.
+    pub fn take_stats(&mut self) -> MmioStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Bytes of response stream not yet consumed.
+    pub fn stream_remaining(&self) -> usize {
+        self.stream.len().saturating_sub(self.cursor)
+    }
+
+    /// Model-free read of a data/status register at call-site `site`.
+    ///
+    /// First read at a (site, periph, reg) triple injects a fresh byte
+    /// from the response stream (deterministic fallback once exhausted);
+    /// every later read replays the remembered byte.
+    pub fn read_data(&mut self, site: u32, periph: u8, reg: u8) -> u8 {
+        self.stats.reads += 1;
+        let key = (site, periph, reg);
+        if let Some(&b) = self.replay.get(&key) {
+            self.stats.replay_hits += 1;
+            return b;
+        }
+        let b = if self.cursor < self.stream.len() {
+            let b = self.stream[self.cursor];
+            self.cursor += 1;
+            self.stats.inject_bytes += 1;
+            b
+        } else {
+            self.fallback_byte()
+        };
+        self.replay.insert(key, b);
+        b
+    }
+
+    /// Read a write-through latch register (CTRL/SRC/DST/LEN). Returns the
+    /// last value written, or zero after reset.
+    pub fn read_latch(&mut self, periph: u8, reg: u8) -> u64 {
+        self.stats.reads += 1;
+        self.latch.get(&(periph, reg)).copied().unwrap_or(0)
+    }
+
+    /// Write a register. Every write latches; writing [`CTRL_START`] into
+    /// a peripheral's `CTRL` register additionally completes the
+    /// programmed operation and returns the completion [`IrqRequest`] the
+    /// caller must queue (the [`crate::bus::Bus`] wrapper does this).
+    pub fn write(&mut self, periph: u8, r: u8, val: u64) -> Option<IrqRequest> {
+        self.latch.insert((periph, r), val);
+        if r != reg::CTRL || val & CTRL_START == 0 {
+            return None;
+        }
+        match periph {
+            periph::SPI => {
+                self.stats.irq_spi += 1;
+                Some(IrqRequest {
+                    line: irq::SPI,
+                    payload: Vec::new(),
+                })
+            }
+            periph::I2C => {
+                self.stats.irq_i2c += 1;
+                Some(IrqRequest {
+                    line: irq::I2C,
+                    payload: Vec::new(),
+                })
+            }
+            periph::DMA => {
+                self.stats.irq_dma += 1;
+                let len = self
+                    .latch
+                    .get(&(periph::DMA, reg::LEN))
+                    .copied()
+                    .unwrap_or(0) as u32;
+                Some(IrqRequest {
+                    line: irq::DMA,
+                    payload: len.to_le_bytes().to_vec(),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn fallback_byte(&mut self) -> u8 {
+        // xorshift64*: deterministic, state reset with the stream so the
+        // same input always sees the same exhaustion-tail bytes.
+        let mut x = self.fallback;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.fallback = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8
+    }
+}
+
+const FALLBACK_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_then_replay_per_site() {
+        let mut m = MmioSpace::default();
+        m.load_stream(&[0xaa, 0xbb]);
+        // Fresh site: inject.
+        assert_eq!(m.read_data(1, periph::SPI, reg::STATUS), 0xaa);
+        // Same site: replay the remembered byte, stream untouched.
+        assert_eq!(m.read_data(1, periph::SPI, reg::STATUS), 0xaa);
+        assert_eq!(m.stream_remaining(), 1);
+        // Different register at the same site: fresh injection.
+        assert_eq!(m.read_data(1, periph::SPI, reg::DATA), 0xbb);
+        assert_eq!(m.stats.reads, 3);
+        assert_eq!(m.stats.replay_hits, 1);
+        assert_eq!(m.stats.inject_bytes, 2);
+    }
+
+    #[test]
+    fn exhausted_stream_falls_back_deterministically() {
+        let run = || {
+            let mut m = MmioSpace::default();
+            m.load_stream(&[0x01]);
+            (0..8u32)
+                .map(|site| m.read_data(site, periph::I2C, reg::DATA))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a[0], 0x01);
+    }
+
+    #[test]
+    fn latch_registers_read_back_last_write() {
+        let mut m = MmioSpace::default();
+        assert_eq!(m.read_latch(periph::DMA, reg::LEN), 0);
+        assert!(m.write(periph::DMA, reg::LEN, 0x40).is_none());
+        assert_eq!(m.read_latch(periph::DMA, reg::LEN), 0x40);
+    }
+
+    #[test]
+    fn ctrl_start_raises_completion_irqs() {
+        let mut m = MmioSpace::default();
+        m.write(periph::DMA, reg::LEN, 0x1234);
+        let dma = m.write(periph::DMA, reg::CTRL, CTRL_START).unwrap();
+        assert_eq!(dma.line, irq::DMA);
+        assert_eq!(dma.payload, 0x1234u32.to_le_bytes().to_vec());
+        let spi = m.write(periph::SPI, reg::CTRL, CTRL_START).unwrap();
+        assert_eq!(spi.line, irq::SPI);
+        assert!(spi.payload.is_empty());
+        // Writing CTRL without the START bit latches but does not fire.
+        assert!(m.write(periph::I2C, reg::CTRL, 0x2).is_none());
+        assert_eq!(m.stats.irq_spi, 1);
+        assert_eq!(m.stats.irq_i2c, 0);
+        assert_eq!(m.stats.irq_dma, 1);
+    }
+
+    #[test]
+    fn load_stream_clears_memo_but_not_stats() {
+        let mut m = MmioSpace::default();
+        m.load_stream(&[0x11]);
+        assert_eq!(m.read_data(7, periph::SPI, reg::DATA), 0x11);
+        m.load_stream(&[0x22]);
+        // Memo cleared: the same site re-injects from the new stream.
+        assert_eq!(m.read_data(7, periph::SPI, reg::DATA), 0x22);
+        assert_eq!(m.stats.inject_bytes, 2);
+        let drained = m.take_stats();
+        assert_eq!(drained.inject_bytes, 2);
+        assert_eq!(m.stats, MmioStats::default());
+    }
+}

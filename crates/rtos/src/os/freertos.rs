@@ -20,6 +20,20 @@ use crate::subsys::timer::{TimerError, TimerMode, TimerWheel};
 use eof_hal::FaultKind;
 
 const TIMER_MODES: &[(&str, u64)] = &[("ONE_SHOT", 0), ("AUTO_RELOAD", 1)];
+const SPI_FLAGS: &[(&str, u64)] = &[
+    ("SPI_NONE", 0x0),
+    ("SPI_LSB_FIRST", 0x1),
+    ("SPI_DMA_ASSIST", 0x2),
+    ("SPI_LOOPBACK", 0x4),
+];
+
+// MMIO replay/inject site ids of the driver layer (the PC stand-ins —
+// each distinct read location in driver code gets its own site).
+const SITE_SPI_STATUS: u32 = 0x4600;
+const SITE_SPI_DATA: u32 = 0x4610;
+const SITE_I2C_STATUS: u32 = 0x4620;
+const SITE_I2C_DATA: u32 = 0x4630;
+const SITE_DMA_STATUS: u32 = 0x4640;
 const PART_FLAGS: &[(&str, u64)] = &[
     ("PART_NONE", 0x0),
     ("PART_VERIFY", 0x1),
@@ -258,6 +272,34 @@ impl FreeRtosKernel {
             "kernel",
             "Advance the kernel tick, driving the scheduler and timers.",
         ));
+        v.push(api(
+            "xSpiTransfer",
+            vec![
+                a_int("xLength", 0, 64),
+                a_enum("uxFlags", "spi_flags", SPI_FLAGS),
+            ],
+            None,
+            "spi",
+            "Clock one SPI transfer through the controller, polling STATUS and draining DATA.",
+        ));
+        v.push(api(
+            "xI2cMasterRead",
+            vec![a_int("ucAddress", 0, 127), a_int("xLength", 0, 32)],
+            None,
+            "i2c",
+            "Master-mode I2C read: address the slave, check ACK, drain DATA bytes.",
+        ));
+        v.push(api(
+            "xDmaStart",
+            vec![
+                a_int("ulSrc", 0, 0xffff_ffff),
+                a_int("ulDst", 0, 0xffff_ffff),
+                a_int("xLength", 0, 0x2_0000),
+            ],
+            None,
+            "dma",
+            "Program a DMA channel (src/dst/len) and start it; completion raises the DMA IRQ.",
+        ));
         v
     }
 
@@ -327,6 +369,30 @@ impl Kernel for FreeRtosKernel {
                 self.sched.tick(ctx, "freertos::kernel::tick");
                 self.timers.advance(ctx, "freertos::timer::advance", 1);
                 InvokeResult::Ok(self.sched.tick_count())
+            }
+            eof_hal::irq::SPI => {
+                ctx.cov("freertos::isr::spi_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::I2C => {
+                ctx.cov("freertos::isr::i2c_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::DMA => {
+                ctx.cov("freertos::isr::dma_done::entry");
+                ctx.charge(4);
+                // Completion payload carries the transferred length.
+                let len = payload
+                    .first_chunk::<4>()
+                    .map(|b| u32::from_le_bytes(*b))
+                    .unwrap_or(0);
+                ctx.cov_var(
+                    "freertos::isr::dma_done::len_band",
+                    (len as u64 / 64).min(15),
+                );
+                InvokeResult::Ok(len as u64)
             }
             _ => {
                 ctx.cov("freertos::isr::spurious");
@@ -650,6 +716,78 @@ impl Kernel for FreeRtosKernel {
                 self.timers.advance(ctx, "freertos::timer::advance", n);
                 InvokeResult::Ok(self.sched.tick_count())
             }
+            // xSpiTransfer — driver bug #20.
+            23 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("freertos::spi::xSpiTransfer::entry");
+                let len = arg_int(args, 0).min(64);
+                let flags = arg_int(args, 1);
+                ctx.charge(8 + len);
+                ctx.bus
+                    .mmio_write(periph::SPI, reg::CTRL, CTRL_START | (flags << 1));
+                let status = ctx.bus.mmio_read(SITE_SPI_STATUS, periph::SPI, reg::STATUS);
+                ctx.cov_var("freertos::spi::status_band", (status & 0x7) as u64);
+                if flags & 0x2 != 0 {
+                    ctx.cov("freertos::spi::xSpiTransfer::dma_assist");
+                }
+                // Bug #20: under DMA-assist the driver spin-polls the BUSY
+                // bit with the scheduler locked. Replay semantics pin the
+                // STATUS byte per poll site, so a busy controller never
+                // clears and the task spins forever.
+                if len > 0 && flags & 0x2 != 0 && status & 0x80 != 0 {
+                    ctx.cov("freertos::spi::xSpiTransfer::busy_poll");
+                    ctx.klog("E (512) spi: transfer timeout, bus held");
+                    return InvokeResult::Fault(KernelFault::bug(
+                        BugId::B20SpiPollHang,
+                        FaultKind::Panic,
+                        "Guru Meditation Error: task watchdog in xSpiTransfer busy-poll",
+                        vec!["xSpiTransfer", "prvSpiPollStatus", "main"],
+                        true,
+                    ));
+                }
+                let mut sum = 0u64;
+                for i in 0..len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_SPI_DATA + i, periph::SPI, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // xI2cMasterRead
+            24 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("freertos::i2c::xI2cMasterRead::entry");
+                let addr = arg_int(args, 0) & 0x7f;
+                let len = arg_int(args, 1).min(32);
+                ctx.charge(6 + len);
+                ctx.bus
+                    .mmio_write(periph::I2C, reg::CTRL, CTRL_START | (addr << 1));
+                let status = ctx.bus.mmio_read(SITE_I2C_STATUS, periph::I2C, reg::STATUS);
+                if status & 0x1 != 0 {
+                    // NACK: the slave did not answer.
+                    ctx.cov("freertos::i2c::xI2cMasterRead::nack");
+                    return InvokeResult::Err(-60);
+                }
+                let mut sum = 0u64;
+                for i in 0..len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_I2C_DATA + i, periph::I2C, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // xDmaStart
+            25 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("freertos::dma::xDmaStart::entry");
+                let src = arg_int(args, 0);
+                let dst = arg_int(args, 1);
+                let len = arg_int(args, 2);
+                ctx.charge(10 + len / 64);
+                ctx.bus.mmio_write(periph::DMA, reg::SRC, src);
+                ctx.bus.mmio_write(periph::DMA, reg::DST, dst);
+                ctx.bus.mmio_write(periph::DMA, reg::LEN, len);
+                ctx.bus.mmio_write(periph::DMA, reg::CTRL, CTRL_START);
+                let status = ctx.bus.mmio_read(SITE_DMA_STATUS, periph::DMA, reg::STATUS);
+                ctx.cov_var("freertos::dma::chan_band", (status & 0x3) as u64);
+                InvokeResult::Ok(len)
+            }
             _ => InvokeResult::Err(-88),
         }
     }
@@ -869,5 +1007,90 @@ mod tests {
             let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
             let _ = k.invoke(&mut ctx, id, &[]);
         }
+    }
+
+    #[test]
+    fn bug20_requires_dma_assist_and_busy_status() {
+        // Benign near-misses: busy status without DMA-assist, DMA-assist
+        // with an idle controller, and a zero-length transfer.
+        for (stream, len, flags) in [(0x82u8, 4, 0x0), (0x00, 4, 0x2), (0x82, 0, 0x2)] {
+            let mut k = FreeRtosKernel::new();
+            let mut b = bus();
+            b.mmio.load_stream(&[stream]);
+            let r = call(
+                &mut k,
+                &mut b,
+                "xSpiTransfer",
+                &[KArg::Int(len), KArg::Int(flags)],
+            );
+            assert!(
+                !matches!(r, InvokeResult::Fault(_)),
+                "{stream:#x}/{len}/{flags}"
+            );
+        }
+        // The full gate: DMA-assist transfer polling a stuck BUSY bit.
+        let mut k = FreeRtosKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x82]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "xSpiTransfer",
+            &[KArg::Int(4), KArg::Int(0x2)],
+        );
+        assert!(is_bug(&r, 20), "got {r:?}");
+    }
+
+    #[test]
+    fn i2c_read_nacks_on_odd_status() {
+        let mut k = FreeRtosKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x01]);
+        assert_eq!(
+            call(
+                &mut k,
+                &mut b,
+                "xI2cMasterRead",
+                &[KArg::Int(0x50), KArg::Int(4)],
+            ),
+            InvokeResult::Err(-60)
+        );
+        // An ACKing slave delivers data and queues the completion IRQ.
+        b.mmio.load_stream(&[0x00, 0xaa, 0xbb]);
+        let sum = ok(call(
+            &mut k,
+            &mut b,
+            "xI2cMasterRead",
+            &[KArg::Int(0x50), KArg::Int(2)],
+        ));
+        assert_eq!(sum, 0xaa + 0xbb);
+        assert!(b.pending_irqs.iter().any(|r| r.line == eof_hal::irq::I2C));
+    }
+
+    #[test]
+    fn dma_start_latches_and_completes() {
+        let mut k = FreeRtosKernel::new();
+        let mut b = bus();
+        let len = ok(call(
+            &mut k,
+            &mut b,
+            "xDmaStart",
+            &[KArg::Int(0x100), KArg::Int(0x200), KArg::Int(4096)],
+        ));
+        assert_eq!(len, 4096);
+        let dma = b
+            .pending_irqs
+            .iter()
+            .find(|r| r.line == eof_hal::irq::DMA)
+            .cloned()
+            .expect("DMA completion IRQ queued");
+        assert_eq!(dma.payload, 4096u32.to_le_bytes());
+        // The completion ISR decodes the transferred length.
+        let mut cov = crate::ctx::CovState::uninstrumented();
+        let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
+        assert_eq!(
+            k.on_interrupt(&mut ctx, eof_hal::irq::DMA, &dma.payload),
+            InvokeResult::Ok(4096)
+        );
     }
 }

@@ -26,6 +26,13 @@ const SIGEV_KINDS: &[(&str, u64)] = &[("SIGEV_NONE", 0), ("SIGEV_SIGNAL", 1), ("
 const MQ_NAMES: &[(&str, u64)] = &[("MQ0", 0), ("MQ1", 1), ("MQ2", 2), ("MQ3", 3)];
 const NULLNESS: &[(&str, u64)] = &[("PTR_VALID", 0), ("PTR_NULL", 1)];
 
+/// PC-site ids for the driver layer's MMIO polls (replay keys on them).
+const SITE_SPI_STATUS: u32 = 0x4900;
+const SITE_SPI_DATA: u32 = 0x4910;
+const SITE_I2C_STATUS: u32 = 0x4920;
+const SITE_I2C_DATA: u32 = 0x4930;
+const SITE_DMA_STATUS: u32 = 0x4940;
+
 fn mq_name_of(v: u64) -> &'static str {
     match v {
         1 => "/mq1",
@@ -296,6 +303,35 @@ impl NuttxKernel {
             "kernel",
             "Advance the system tick.",
         ));
+        v.push(api(
+            "nx_spi_exchange",
+            vec![a_int("tx_len", 0, 64), a_int("rx_len", 0, 64)],
+            None,
+            "spi",
+            "Exchange words on the SPI bus.",
+        ));
+        v.push(api(
+            "nx_i2c_read",
+            vec![
+                a_int("addr", 0, 127),
+                a_int("len", 0, 32),
+                a_int("restart", 0, 1),
+            ],
+            None,
+            "i2c",
+            "I2C read with an optional repeated-start condition.",
+        ));
+        v.push(api(
+            "nx_dma_setup",
+            vec![
+                a_int("src", 0, 65535),
+                a_int("dst", 0, 65535),
+                a_int64("len", 0, 131072),
+            ],
+            None,
+            "dma",
+            "Set up and start a DMA transfer descriptor.",
+        ));
         v
     }
 
@@ -342,6 +378,26 @@ impl Kernel for NuttxKernel {
                 ctx.cov("nuttx::isr::uart_rx::entry");
                 ctx.charge(3 + payload.len() as u64 / 4);
                 InvokeResult::Ok(payload.len() as u64)
+            }
+            eof_hal::irq::SPI => {
+                ctx.cov("nuttx::isr::spi_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::I2C => {
+                ctx.cov("nuttx::isr::i2c_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::DMA => {
+                ctx.cov("nuttx::isr::dma_done::entry");
+                ctx.charge(4);
+                let len = payload
+                    .first_chunk::<4>()
+                    .map(|b| u32::from_le_bytes(*b))
+                    .unwrap_or(0);
+                ctx.cov_var("nuttx::isr::dma_done::len_band", (len as u64 / 64).min(15));
+                InvokeResult::Ok(len as u64)
             }
             _ => InvokeResult::Err(-38),
         }
@@ -816,6 +872,98 @@ impl Kernel for NuttxKernel {
                 self.wheel.advance(ctx, "nuttx::timer::advance", n);
                 InvokeResult::Ok(self.sched.tick_count())
             }
+            // nx_spi_exchange
+            24 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("nuttx::spi::nx_spi_exchange::entry");
+                let tx_len = arg_int(args, 0).min(64);
+                let rx_len = arg_int(args, 1).min(64);
+                ctx.charge(8 + tx_len + rx_len);
+                ctx.bus
+                    .mmio_write(periph::SPI, reg::CTRL, CTRL_START | (tx_len << 8));
+                let status = ctx.bus.mmio_read(SITE_SPI_STATUS, periph::SPI, reg::STATUS);
+                ctx.cov_var(
+                    "nuttx::spi::nx_spi_exchange::status_band",
+                    (status & 0x7) as u64,
+                );
+                let mut sum = 0u64;
+                for i in 0..rx_len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_SPI_DATA + i, periph::SPI, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // nx_i2c_read — bug #25.
+            25 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("nuttx::i2c::nx_i2c_read::entry");
+                let addr = arg_int(args, 0) & 0x7f;
+                let len = arg_int(args, 1).min(32);
+                let restart = arg_int(args, 2) != 0;
+                ctx.charge(6 + len);
+                if restart {
+                    ctx.cov("nuttx::i2c::nx_i2c_read::restart");
+                }
+                ctx.bus
+                    .mmio_write(periph::I2C, reg::CTRL, CTRL_START | (addr << 1));
+                let status = ctx.bus.mmio_read(SITE_I2C_STATUS, periph::I2C, reg::STATUS);
+                if status & 0x1 != 0 {
+                    ctx.cov("nuttx::i2c::nx_i2c_read::nack");
+                    // Bug #25: a NACK while a repeated-start is pending
+                    // leaves the bus state machine mid-transaction; the
+                    // recovery DEBUGASSERT on the controller state trips
+                    // and the bus is wedged afterwards.
+                    if restart {
+                        ctx.klog("_assert: i2c state machine stuck in nx_i2c_read");
+                        return InvokeResult::Fault(KernelFault::bug(
+                            BugId::B25I2cNackRestart,
+                            FaultKind::Assertion,
+                            "Assertion failed: pending restart after NACK in nx_i2c_read",
+                            vec!["nx_i2c_read", "i2c_sem_waitdone", "_assert"],
+                            true,
+                        ));
+                    }
+                    return InvokeResult::Err(-5);
+                }
+                let mut sum = 0u64;
+                for i in 0..len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_I2C_DATA + i, periph::I2C, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // nx_dma_setup — bug #24.
+            26 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("nuttx::dma::nx_dma_setup::entry");
+                let src = arg_int(args, 0);
+                let dst = arg_int(args, 1);
+                let len = arg_int(args, 2).min(131072);
+                ctx.charge(10 + len / 64);
+                ctx.bus.mmio_write(periph::DMA, reg::SRC, src);
+                ctx.bus.mmio_write(periph::DMA, reg::DST, dst);
+                // The register write keeps the full length; the *driver's*
+                // shadow copy below is what bug #24 truncates.
+                ctx.bus.mmio_write(periph::DMA, reg::LEN, len);
+                ctx.bus.mmio_write(periph::DMA, reg::CTRL, CTRL_START);
+                let status = ctx.bus.mmio_read(SITE_DMA_STATUS, periph::DMA, reg::STATUS);
+                ctx.cov_var("nuttx::dma::nx_dma_setup::chan_band", (status & 0x3) as u64);
+                // Bug #24: the driver stores the length in a uint16_t
+                // shadow field. Past 65535 the shadow wraps; when the
+                // engine then signals a half-complete (bit 0x4) the
+                // residue computation underflows and the cleanup walks
+                // past the buffer.
+                if len > 65535 && status & 0x4 != 0 {
+                    ctx.cov("nuttx::dma::nx_dma_setup::len_wrap");
+                    ctx.klog("up_assert: residue underflow in nx_dma_setup");
+                    return InvokeResult::Fault(KernelFault::bug(
+                        BugId::B24DmaLenTruncation,
+                        FaultKind::Panic,
+                        "PANIC: 16-bit length truncation in nx_dma_setup",
+                        vec!["nx_dma_setup", "dma_residue", "up_assert"],
+                        false,
+                    ));
+                }
+                InvokeResult::Ok(len)
+            }
             _ => InvokeResult::Err(-88),
         }
     }
@@ -1222,6 +1370,71 @@ mod tests {
             let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
             let r = k.invoke(&mut ctx, id, &[]);
             assert!(!r.is_fault(), "api {id} faulted with no args: {r:?}");
+        }
+    }
+
+    #[test]
+    fn bug24_needs_oversize_len_and_half_complete() {
+        // Oversize length on a quiet engine, in-range length with the
+        // half-complete bit: both benign.
+        for (stream, len) in [(0x00u8, 100_000u64), (0x04, 65_535)] {
+            let mut k = NuttxKernel::new();
+            let mut b = bus();
+            b.mmio.load_stream(&[stream]);
+            let r = call(
+                &mut k,
+                &mut b,
+                "nx_dma_setup",
+                &[KArg::Int(0x10), KArg::Int(0x20), KArg::Int(len)],
+            );
+            assert!(!r.is_fault(), "{stream:#x}/{len}");
+        }
+        let mut k = NuttxKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x04]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "nx_dma_setup",
+            &[KArg::Int(0x10), KArg::Int(0x20), KArg::Int(100_000)],
+        );
+        assert!(is_bug(&r, 24), "got {r:?}");
+    }
+
+    #[test]
+    fn bug25_needs_nack_with_pending_restart() {
+        // NACK without restart: plain error. ACK with restart: fine.
+        let mut k = NuttxKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x01]);
+        assert_eq!(
+            call(
+                &mut k,
+                &mut b,
+                "nx_i2c_read",
+                &[KArg::Int(0x50), KArg::Int(4), KArg::Int(0)],
+            ),
+            InvokeResult::Err(-5)
+        );
+        b.mmio.load_stream(&[0x00, 0x05]);
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "nx_i2c_read",
+            &[KArg::Int(0x50), KArg::Int(1), KArg::Int(1)],
+        )
+        .is_fault());
+        // NACK while a repeated-start is pending: assertion, bus wedged.
+        b.mmio.load_stream(&[0x01]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "nx_i2c_read",
+            &[KArg::Int(0x50), KArg::Int(4), KArg::Int(1)],
+        );
+        assert!(is_bug(&r, 25), "got {r:?}");
+        if let InvokeResult::Fault(f) = r {
+            assert!(f.hangs_after);
         }
     }
 }

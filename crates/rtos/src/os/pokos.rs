@@ -14,6 +14,13 @@ use crate::os::{a_bytes, a_enum, a_int, a_res, arg_bytes, arg_int};
 use crate::subsys::ipc::{EventGroup, IpcError, MsgQueue, Semaphore};
 
 const PORT_DIRS: &[(&str, u64)] = &[("SOURCE", 0), ("DESTINATION", 1)];
+
+/// PC-site ids for the driver layer's MMIO polls (replay keys on them).
+const SITE_SPI_STATUS: u32 = 0x4a00;
+const SITE_SPI_DATA: u32 = 0x4a10;
+const SITE_I2C_STATUS: u32 = 0x4a20;
+const SITE_I2C_DATA: u32 = 0x4a30;
+const SITE_DMA_STATUS: u32 = 0x4a40;
 const PART_MODES: &[(&str, u64)] = &[
     ("IDLE", 0),
     ("COLD_START", 1),
@@ -260,6 +267,31 @@ impl PokKernel {
             "sem",
             "Signal a semaphore.",
         ));
+        v.push(api(
+            "pok_spi_transfer",
+            vec![a_int("tx_len", 0, 64), a_int("rx_len", 0, 64)],
+            None,
+            "spi",
+            "Exchange bytes on the partition's SPI device.",
+        ));
+        v.push(api(
+            "pok_i2c_read",
+            vec![a_int("addr", 0, 127), a_int("len", 0, 32)],
+            None,
+            "i2c",
+            "Read from an I2C slave through the partition device server.",
+        ));
+        v.push(api(
+            "pok_dma_start",
+            vec![
+                a_int("src", 0, 65535),
+                a_int("dst", 0, 65535),
+                a_int("len", 0, 65535),
+            ],
+            None,
+            "dma",
+            "Start a bounded DMA transfer (space partitioning enforced).",
+        ));
         v
     }
 }
@@ -269,7 +301,7 @@ impl Kernel for PokKernel {
         OsKind::PokOs
     }
 
-    fn on_interrupt(&mut self, ctx: &mut ExecCtx<'_>, line: u8, _payload: &[u8]) -> InvokeResult {
+    fn on_interrupt(&mut self, ctx: &mut ExecCtx<'_>, line: u8, payload: &[u8]) -> InvokeResult {
         match line {
             eof_hal::irq::TIMER => {
                 ctx.cov("pokos::isr::minor_frame::entry");
@@ -285,6 +317,25 @@ impl Kernel for PokKernel {
                 ctx.cov("pokos::isr::gpio::entry");
                 ctx.charge(2);
                 InvokeResult::Ok(0)
+            }
+            eof_hal::irq::SPI => {
+                ctx.cov("pokos::isr::spi_done::entry");
+                ctx.charge(2);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::I2C => {
+                ctx.cov("pokos::isr::i2c_done::entry");
+                ctx.charge(2);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::DMA => {
+                ctx.cov("pokos::isr::dma_done::entry");
+                ctx.charge(3);
+                let len = payload
+                    .first_chunk::<4>()
+                    .map(|b| u32::from_le_bytes(*b))
+                    .unwrap_or(0);
+                InvokeResult::Ok(len as u64)
             }
             _ => InvokeResult::Err(-38),
         }
@@ -589,6 +640,66 @@ impl Kernel for PokKernel {
                 },
                 None => InvokeResult::Err(-2),
             },
+            // pok_spi_transfer — PoK's partitioned drivers carry no
+            // seeded bugs; the layer exists for the Gustave comparison.
+            20 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("pokos::spi::pok_spi_transfer::entry");
+                let tx_len = arg_int(args, 0).min(64);
+                let rx_len = arg_int(args, 1).min(64);
+                ctx.charge(8 + tx_len + rx_len);
+                ctx.bus
+                    .mmio_write(periph::SPI, reg::CTRL, CTRL_START | (tx_len << 8));
+                let status = ctx.bus.mmio_read(SITE_SPI_STATUS, periph::SPI, reg::STATUS);
+                ctx.cov_var(
+                    "pokos::spi::pok_spi_transfer::status_band",
+                    (status & 0x7) as u64,
+                );
+                let mut sum = 0u64;
+                for i in 0..rx_len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_SPI_DATA + i, periph::SPI, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // pok_i2c_read
+            21 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("pokos::i2c::pok_i2c_read::entry");
+                let addr = arg_int(args, 0) & 0x7f;
+                let len = arg_int(args, 1).min(32);
+                ctx.charge(6 + len);
+                ctx.bus
+                    .mmio_write(periph::I2C, reg::CTRL, CTRL_START | (addr << 1));
+                let status = ctx.bus.mmio_read(SITE_I2C_STATUS, periph::I2C, reg::STATUS);
+                if status & 0x1 != 0 {
+                    ctx.cov("pokos::i2c::pok_i2c_read::nack");
+                    return InvokeResult::Err(-8);
+                }
+                let mut sum = 0u64;
+                for i in 0..len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_I2C_DATA + i, periph::I2C, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // pok_dma_start
+            22 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("pokos::dma::pok_dma_start::entry");
+                let src = arg_int(args, 0);
+                let dst = arg_int(args, 1);
+                let len = arg_int(args, 2).min(65535);
+                ctx.charge(10 + len / 64);
+                ctx.bus.mmio_write(periph::DMA, reg::SRC, src);
+                ctx.bus.mmio_write(periph::DMA, reg::DST, dst);
+                ctx.bus.mmio_write(periph::DMA, reg::LEN, len);
+                ctx.bus.mmio_write(periph::DMA, reg::CTRL, CTRL_START);
+                let status = ctx.bus.mmio_read(SITE_DMA_STATUS, periph::DMA, reg::STATUS);
+                ctx.cov_var(
+                    "pokos::dma::pok_dma_start::chan_band",
+                    (status & 0x3) as u64,
+                );
+                InvokeResult::Ok(len)
+            }
             _ => InvokeResult::Err(-88),
         }
     }
@@ -784,5 +895,37 @@ mod tests {
             ok(call(&mut k, &mut b, "pok_sched_slot", &[KArg::Int(4)])),
             8
         );
+    }
+
+    #[test]
+    fn driver_layer_is_bug_free_under_hostile_streams() {
+        // PoK carries no seeded driver bugs: any status byte only varies
+        // data/error paths, never faults.
+        for stream in [0x00u8, 0x01, 0x04, 0x08, 0x40, 0x80, 0xff] {
+            let mut k = PokKernel::new();
+            let mut b = bus();
+            b.mmio.load_stream(&[stream]);
+            assert!(!call(
+                &mut k,
+                &mut b,
+                "pok_spi_transfer",
+                &[KArg::Int(8), KArg::Int(64)],
+            )
+            .is_fault());
+            assert!(!call(
+                &mut k,
+                &mut b,
+                "pok_i2c_read",
+                &[KArg::Int(0x50), KArg::Int(32)],
+            )
+            .is_fault());
+            assert!(!call(
+                &mut k,
+                &mut b,
+                "pok_dma_start",
+                &[KArg::Int(1), KArg::Int(2), KArg::Int(65535)],
+            )
+            .is_fault());
+        }
     }
 }

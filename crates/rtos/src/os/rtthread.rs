@@ -44,6 +44,13 @@ const DEV_FLAGS: &[(&str, u64)] = &[
     ("RT_DEVICE_FLAG_STREAM", 0x040),
 ];
 
+/// PC-site ids for the driver layer's MMIO polls (replay keys on them).
+const SITE_SPI_STATUS: u32 = 0x4800;
+const SITE_SPI_DATA: u32 = 0x4810;
+const SITE_I2C_STATUS: u32 = 0x4820;
+const SITE_I2C_DATA: u32 = 0x4830;
+const SITE_DMA_STATUS: u32 = 0x4840;
+
 fn obj_class_of(v: u64) -> ObjClass {
     match v {
         2 => ObjClass::Semaphore,
@@ -75,6 +82,8 @@ pub struct RtThreadKernel {
     critical_nest: u32,
     /// Console device handle within the serial framework.
     console: u32,
+    /// A DMA descriptor is in flight (bug #23's first hop).
+    dma_busy: bool,
 }
 
 impl Default for RtThreadKernel {
@@ -98,6 +107,7 @@ impl RtThreadKernel {
             sal: SocketLayer::new(8),
             critical_nest: 0,
             console: 0,
+            dma_busy: false,
         }
     }
 
@@ -360,6 +370,31 @@ impl RtThreadKernel {
             "kernel",
             "Advance the kernel tick.",
         ));
+        v.push(api(
+            "rt_spi_transfer",
+            vec![a_int("send_len", 0, 64), a_int("recv_len", 0, 64)],
+            None,
+            "spi",
+            "Transfer a message on the SPI bus device.",
+        ));
+        v.push(api(
+            "rt_i2c_master_recv",
+            vec![a_int("addr", 0, 127), a_int("len", 0, 32)],
+            None,
+            "i2c",
+            "Master-mode receive from an I2C slave.",
+        ));
+        v.push(api(
+            "rt_dma_start",
+            vec![
+                a_int("src", 0, 0xffff),
+                a_int("dst", 0, 0xffff),
+                a_int("len", 0, 65536),
+            ],
+            None,
+            "dma",
+            "Program and start a DMA descriptor.",
+        ));
         v
     }
 
@@ -445,6 +480,31 @@ impl Kernel for RtThreadKernel {
                     (payload.len() as u64 / 4).min(15),
                 );
                 InvokeResult::Ok(payload.len() as u64)
+            }
+            eof_hal::irq::SPI => {
+                ctx.cov("rt-thread::isr::spi_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::I2C => {
+                ctx.cov("rt-thread::isr::i2c_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::DMA => {
+                ctx.cov("rt-thread::isr::dma_done::entry");
+                ctx.charge(4);
+                // Completion retires the in-flight descriptor.
+                self.dma_busy = false;
+                let len = payload
+                    .first_chunk::<4>()
+                    .map(|b| u32::from_le_bytes(*b))
+                    .unwrap_or(0);
+                ctx.cov_var(
+                    "rt-thread::isr::dma_done::len_band",
+                    (len as u64 / 64).min(15),
+                );
+                InvokeResult::Ok(len as u64)
             }
             _ => InvokeResult::Err(-38),
         }
@@ -1046,6 +1106,97 @@ impl Kernel for RtThreadKernel {
                 }
                 InvokeResult::Ok(self.sched.tick_count())
             }
+            // rt_spi_transfer
+            31 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("rt-thread::spi::rt_spi_transfer::entry");
+                let send_len = arg_int(args, 0).min(64);
+                let recv_len = arg_int(args, 1).min(64);
+                ctx.charge(8 + send_len + recv_len);
+                ctx.bus
+                    .mmio_write(periph::SPI, reg::CTRL, CTRL_START | (send_len << 8));
+                let status = ctx.bus.mmio_read(SITE_SPI_STATUS, periph::SPI, reg::STATUS);
+                ctx.cov_var(
+                    "rt-thread::spi::rt_spi_transfer::status_band",
+                    (status & 0x7) as u64,
+                );
+                let mut sum = 0u64;
+                for i in 0..recv_len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_SPI_DATA + i, periph::SPI, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // rt_i2c_master_recv — bug #22.
+            32 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("rt-thread::i2c::rt_i2c_master_recv::entry");
+                let addr = arg_int(args, 0) & 0x7f;
+                let len = arg_int(args, 1).min(32);
+                ctx.charge(6 + len);
+                ctx.bus
+                    .mmio_write(periph::I2C, reg::CTRL, CTRL_START | (addr << 1));
+                let status = ctx.bus.mmio_read(SITE_I2C_STATUS, periph::I2C, reg::STATUS);
+                if status & 0x1 != 0 {
+                    ctx.cov("rt-thread::i2c::rt_i2c_master_recv::nack");
+                    // Bug #22: the NACK error path for a multi-block read
+                    // frees the rx bounce buffer, then the cleanup epilogue
+                    // frees it again. Short reads use the inline buffer and
+                    // skip the first free.
+                    if len > 16 {
+                        ctx.cov("rt-thread::i2c::rt_i2c_master_recv::nack_bounce");
+                        ctx.klog("E rt_i2c: bounce buffer double free on NACK");
+                        return InvokeResult::Fault(KernelFault::bug(
+                            BugId::B22I2cNackDoubleFree,
+                            FaultKind::Panic,
+                            "BUG: double free of rx bounce buffer in rt_i2c_master_recv",
+                            vec!["rt_i2c_master_recv", "i2c_bit_xfer", "rt_free"],
+                            false,
+                        ));
+                    }
+                    return InvokeResult::Err(-5);
+                }
+                let mut sum = 0u64;
+                for i in 0..len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_I2C_DATA + i, periph::I2C, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // rt_dma_start — bug #23.
+            33 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("rt-thread::dma::rt_dma_start::entry");
+                let src = arg_int(args, 0);
+                let dst = arg_int(args, 1);
+                let len = arg_int(args, 2).min(65536);
+                ctx.charge(10 + len / 64);
+                ctx.bus.mmio_write(periph::DMA, reg::SRC, src);
+                ctx.bus.mmio_write(periph::DMA, reg::DST, dst);
+                ctx.bus.mmio_write(periph::DMA, reg::LEN, len);
+                let status = ctx.bus.mmio_read(SITE_DMA_STATUS, periph::DMA, reg::STATUS);
+                if self.dma_busy {
+                    ctx.cov("rt-thread::dma::rt_dma_start::restart");
+                }
+                // Bug #23 (depth 2): starting a second transfer while the
+                // first descriptor is still in flight AND the engine's
+                // ACTIVE bit is latched rewrites the live descriptor's
+                // next pointer — the engine then chases a freed chain.
+                if self.dma_busy && len > 0 && status & 0x8 != 0 {
+                    ctx.cov("rt-thread::dma::rt_dma_start::desc_reuse");
+                    ctx.klog("E rt_dma: in-flight descriptor rewritten in rt_dma_start");
+                    return InvokeResult::Fault(KernelFault::bug(
+                        BugId::B23DmaDescReuse,
+                        FaultKind::Panic,
+                        "BUG: in-flight descriptor reuse in rt_dma_start",
+                        vec!["rt_dma_start", "dma_desc_link", "executor"],
+                        false,
+                    ));
+                }
+                ctx.bus.mmio_write(periph::DMA, reg::CTRL, CTRL_START);
+                if len > 0 {
+                    self.dma_busy = true;
+                }
+                InvokeResult::Ok(len)
+            }
             _ => InvokeResult::Err(-88),
         }
     }
@@ -1420,6 +1571,97 @@ mod tests {
             ),
             InvokeResult::Err(-7)
         ));
+    }
+
+    #[test]
+    fn bug22_needs_nack_and_long_read() {
+        // NACK on a short read is a plain error; a long read off an
+        // ACKing slave is fine.
+        let mut k = RtThreadKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x01]);
+        assert_eq!(
+            call(
+                &mut k,
+                &mut b,
+                "rt_i2c_master_recv",
+                &[KArg::Int(0x50), KArg::Int(8)],
+            ),
+            InvokeResult::Err(-5)
+        );
+        b.mmio.load_stream(&[0x00]);
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "rt_i2c_master_recv",
+            &[KArg::Int(0x50), KArg::Int(20)],
+        )
+        .is_fault());
+        // NACK on a bounce-buffered (long) read: double free.
+        b.mmio.load_stream(&[0x01]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "rt_i2c_master_recv",
+            &[KArg::Int(0x50), KArg::Int(20)],
+        );
+        assert!(is_bug(&r, 22), "got {r:?}");
+    }
+
+    #[test]
+    fn bug23_needs_second_start_on_active_engine() {
+        // Two starts with the ACTIVE bit clear: fine.
+        let mut k = RtThreadKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x00]);
+        for _ in 0..2 {
+            ok(call(
+                &mut k,
+                &mut b,
+                "rt_dma_start",
+                &[KArg::Int(0x10), KArg::Int(0x20), KArg::Int(256)],
+            ));
+        }
+        // Completion between starts retires the descriptor: fine.
+        let mut k = RtThreadKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x08]);
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_dma_start",
+            &[KArg::Int(0x10), KArg::Int(0x20), KArg::Int(256)],
+        ));
+        {
+            let mut cov = crate::ctx::CovState::uninstrumented();
+            let mut ctx = crate::ctx::ExecCtx::new(&mut b, &mut cov);
+            k.on_interrupt(&mut ctx, eof_hal::irq::DMA, &256u32.to_le_bytes());
+        }
+        assert!(!call(
+            &mut k,
+            &mut b,
+            "rt_dma_start",
+            &[KArg::Int(0x10), KArg::Int(0x20), KArg::Int(256)],
+        )
+        .is_fault());
+        // Back-to-back starts on an ACTIVE engine: depth-2 bug #23
+        // (replay pins the latched status byte across both polls).
+        let mut k = RtThreadKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x08]);
+        ok(call(
+            &mut k,
+            &mut b,
+            "rt_dma_start",
+            &[KArg::Int(0x10), KArg::Int(0x20), KArg::Int(256)],
+        ));
+        let r = call(
+            &mut k,
+            &mut b,
+            "rt_dma_start",
+            &[KArg::Int(0x10), KArg::Int(0x20), KArg::Int(256)],
+        );
+        assert!(is_bug(&r, 23), "got {r:?}");
     }
 
     #[test]

@@ -29,6 +29,13 @@ const K_TIMEOUTS: &[(&str, u64)] = &[
     ("K_FOREVER", K_FOREVER),
 ];
 
+/// PC-site ids for the driver layer's MMIO polls (replay keys on them).
+const SITE_SPI_STATUS: u32 = 0x4700;
+const SITE_SPI_DATA: u32 = 0x4710;
+const SITE_I2C_STATUS: u32 = 0x4720;
+const SITE_I2C_DATA: u32 = 0x4730;
+const SITE_DMA_STATUS: u32 = 0x4740;
+
 /// One k_heap instance.
 struct KHeap {
     heap: FreeListHeap,
@@ -223,6 +230,27 @@ impl ZephyrKernel {
             "json",
             "Encode an object descriptor tree to JSON.",
         ));
+        v.push(api(
+            "spi_transceive",
+            vec![a_int("tx_len", 0, 64), a_int("rx_len", 0, 64)],
+            None,
+            "spi",
+            "Full-duplex SPI transfer through the spi_context layer.",
+        ));
+        v.push(api(
+            "i2c_read",
+            vec![a_int("addr", 0, 127), a_int("len", 0, 32)],
+            None,
+            "i2c",
+            "Master-mode I2C read from a slave address.",
+        ));
+        v.push(api(
+            "dma_start",
+            vec![a_int("channel", 0, 7), a_int("len", 0, 65536)],
+            None,
+            "dma",
+            "Kick a DMA channel and return the programmed length.",
+        ));
         v
     }
 
@@ -285,6 +313,26 @@ impl Kernel for ZephyrKernel {
                 ctx.cov("zephyr::isr::tick::entry");
                 self.sched.tick(ctx, "zephyr::kernel::k_yield");
                 InvokeResult::Ok(self.sched.tick_count())
+            }
+            eof_hal::irq::SPI => {
+                ctx.cov("zephyr::isr::spi_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::I2C => {
+                ctx.cov("zephyr::isr::i2c_done::entry");
+                ctx.charge(3);
+                InvokeResult::Ok(0)
+            }
+            eof_hal::irq::DMA => {
+                ctx.cov("zephyr::isr::dma_done::entry");
+                ctx.charge(4);
+                let len = payload
+                    .first_chunk::<4>()
+                    .map(|b| u32::from_le_bytes(*b))
+                    .unwrap_or(0);
+                ctx.cov_var("zephyr::isr::dma_done::len_band", (len as u64 / 64).min(15));
+                InvokeResult::Ok(len as u64)
             }
             _ => InvokeResult::Err(-38),
         }
@@ -605,6 +653,74 @@ impl Kernel for ZephyrKernel {
                     Err(_) => InvokeResult::Err(-22),
                 }
             }
+            // spi_transceive — driver bug #21.
+            19 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("zephyr::spi::spi_transceive::entry");
+                let tx_len = arg_int(args, 0).min(64);
+                let rx_len = arg_int(args, 1).min(64);
+                ctx.charge(8 + tx_len + rx_len);
+                ctx.bus
+                    .mmio_write(periph::SPI, reg::CTRL, CTRL_START | (tx_len << 8));
+                let status = ctx.bus.mmio_read(SITE_SPI_STATUS, periph::SPI, reg::STATUS);
+                ctx.cov_var(
+                    "zephyr::spi::spi_transceive::status_band",
+                    (status & 0x7) as u64,
+                );
+                // Bug #21: a long RX leg with the controller's OVERRUN bit
+                // already latched copies one FIFO depth too many into the
+                // spi_context RX buffer and corrupts the adjacent struct.
+                if rx_len > 32 && status & 0x40 != 0 {
+                    ctx.cov("zephyr::spi::spi_transceive::rx_overrun");
+                    ctx.klog("E: <err> spi: RX FIFO overrun");
+                    return InvokeResult::Fault(KernelFault::bug(
+                        BugId::B21SpiRxOverrun,
+                        FaultKind::Panic,
+                        ">>> ZEPHYR FATAL ERROR 4: Kernel panic in spi_transceive",
+                        vec!["spi_transceive", "spi_context_update_rx", "executor"],
+                        false,
+                    ));
+                }
+                let mut sum = 0u64;
+                for i in 0..rx_len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_SPI_DATA + i, periph::SPI, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // i2c_read
+            20 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("zephyr::i2c::i2c_read::entry");
+                let addr = arg_int(args, 0) & 0x7f;
+                let len = arg_int(args, 1).min(32);
+                ctx.charge(6 + len);
+                ctx.bus
+                    .mmio_write(periph::I2C, reg::CTRL, CTRL_START | (addr << 1));
+                let status = ctx.bus.mmio_read(SITE_I2C_STATUS, periph::I2C, reg::STATUS);
+                if status & 0x1 != 0 {
+                    ctx.cov("zephyr::i2c::i2c_read::nack");
+                    return InvokeResult::Err(-5);
+                }
+                let mut sum = 0u64;
+                for i in 0..len.min(8) as u32 {
+                    sum += ctx.bus.mmio_read(SITE_I2C_DATA + i, periph::I2C, reg::DATA) as u64;
+                }
+                InvokeResult::Ok(sum)
+            }
+            // dma_start
+            21 => {
+                use eof_hal::mmio::{periph, reg, CTRL_START};
+                ctx.cov("zephyr::dma::dma_start::entry");
+                let chan = arg_int(args, 0) & 0x7;
+                let len = arg_int(args, 1).min(65536);
+                ctx.charge(10 + len / 64);
+                ctx.bus.mmio_write(periph::DMA, reg::SRC, chan);
+                ctx.bus.mmio_write(periph::DMA, reg::LEN, len);
+                ctx.bus.mmio_write(periph::DMA, reg::CTRL, CTRL_START);
+                let status = ctx.bus.mmio_read(SITE_DMA_STATUS, periph::DMA, reg::STATUS);
+                ctx.cov_var("zephyr::dma::dma_start::chan_band", (status & 0x3) as u64);
+                InvokeResult::Ok(len)
+            }
             _ => InvokeResult::Err(-88),
         }
     }
@@ -867,5 +983,57 @@ mod tests {
             let r = k.invoke(&mut ctx, id, &[]);
             assert!(!r.is_fault(), "api {id} faulted with no args");
         }
+    }
+
+    #[test]
+    fn bug21_needs_long_rx_and_latched_overrun() {
+        // Short RX with overrun, long RX on a clean controller: benign.
+        for (stream, rx) in [(0x40u8, 32), (0x00, 64)] {
+            let mut k = ZephyrKernel::new();
+            let mut b = bus();
+            b.mmio.load_stream(&[stream]);
+            let r = call(
+                &mut k,
+                &mut b,
+                "spi_transceive",
+                &[KArg::Int(8), KArg::Int(rx)],
+            );
+            assert!(!r.is_fault(), "{stream:#x}/{rx}");
+        }
+        let mut k = ZephyrKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x40]);
+        let r = call(
+            &mut k,
+            &mut b,
+            "spi_transceive",
+            &[KArg::Int(8), KArg::Int(64)],
+        );
+        assert!(is_bug(&r, 21), "got {r:?}");
+    }
+
+    #[test]
+    fn i2c_and_dma_drivers_complete_with_irqs() {
+        let mut k = ZephyrKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x00, 0x11, 0x22]);
+        assert_eq!(
+            ok(call(
+                &mut k,
+                &mut b,
+                "i2c_read",
+                &[KArg::Int(0x29), KArg::Int(2)],
+            )),
+            0x11 + 0x22
+        );
+        ok(call(
+            &mut k,
+            &mut b,
+            "dma_start",
+            &[KArg::Int(1), KArg::Int(512)],
+        ));
+        let lines: Vec<u8> = b.pending_irqs.iter().map(|r| r.line).collect();
+        assert!(lines.contains(&eof_hal::irq::I2C));
+        assert!(lines.contains(&eof_hal::irq::DMA));
     }
 }

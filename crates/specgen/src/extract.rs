@@ -28,12 +28,36 @@ fn render_kind(kind: &ArgKind) -> String {
     }
 }
 
-/// Extract the full Syzlang specification text for an OS — resources,
-/// flag sets, then API signatures with their doc comments, in the same
-/// layout the paper's Figure 6 shows.
+/// Modules that belong to the driver layer. Default extraction excludes
+/// them so the legacy pure-API specs stay byte-identical; campaigns that
+/// target kernel↔peripheral interaction opt in with
+/// [`extract_spec_text_scoped`].
+pub const DRIVER_MODULES: &[&str] = &["spi", "i2c", "dma"];
+
+/// Extract the Syzlang specification text for an OS — resources, flag
+/// sets, then API signatures with their doc comments, in the same layout
+/// the paper's Figure 6 shows. Driver-layer APIs are excluded; see
+/// [`extract_spec_text_scoped`].
 pub fn extract_spec_text(os: OsKind) -> String {
+    extract_spec_text_scoped(os, false)
+}
+
+/// Extraction with an explicit driver-layer scope. `include_drivers`
+/// adds the SPI/I2C/DMA driver APIs (the [`DRIVER_MODULES`]) to the
+/// spec; `false` reproduces the legacy pure-API spec byte-for-byte.
+pub fn extract_spec_text_scoped(os: OsKind, include_drivers: bool) -> String {
     let kernel = make_kernel(os);
-    extract_from_descriptors(kernel.api_table())
+    if include_drivers {
+        extract_from_descriptors(kernel.api_table())
+    } else {
+        let pure: Vec<ApiDescriptor> = kernel
+            .api_table()
+            .iter()
+            .filter(|d| !DRIVER_MODULES.contains(&d.module))
+            .cloned()
+            .collect();
+        extract_from_descriptors(&pure)
+    }
 }
 
 /// Extraction over an explicit descriptor slice (testable without a
@@ -135,9 +159,36 @@ mod tests {
         for os in OsKind::ALL {
             let kernel = make_kernel(os);
             let spec = parse_spec(&extract_spec_text(os)).unwrap();
-            assert_eq!(spec.apis.len(), kernel.api_table().len(), "{os}");
-            for d in kernel.api_table() {
+            let pure: Vec<_> = kernel
+                .api_table()
+                .iter()
+                .filter(|d| !DRIVER_MODULES.contains(&d.module))
+                .collect();
+            assert_eq!(spec.apis.len(), pure.len(), "{os}");
+            for d in pure {
                 assert!(spec.api(d.name).is_some(), "{os}: missing {}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn driver_scope_extends_the_pure_spec() {
+        for os in OsKind::ALL {
+            let kernel = make_kernel(os);
+            let pure = parse_spec(&extract_spec_text_scoped(os, false)).unwrap();
+            let full = parse_spec(&extract_spec_text_scoped(os, true)).unwrap();
+            assert_eq!(full.apis.len(), kernel.api_table().len(), "{os}");
+            assert!(typecheck(&full).is_empty(), "{os}");
+            // Legacy default is the driver-free scope, byte-identical.
+            assert_eq!(extract_spec_text(os), extract_spec_text_scoped(os, false));
+            // Every driver API is present in full and absent from pure.
+            for d in kernel
+                .api_table()
+                .iter()
+                .filter(|d| DRIVER_MODULES.contains(&d.module))
+            {
+                assert!(full.api(d.name).is_some(), "{os}: missing {}", d.name);
+                assert!(pure.api(d.name).is_none(), "{os}: leaked {}", d.name);
             }
         }
     }

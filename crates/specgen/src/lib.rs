@@ -23,6 +23,6 @@ pub mod extract;
 pub mod noise;
 pub mod pipeline;
 
-pub use extract::{extract_spec_text, spec_line_count};
+pub use extract::{extract_spec_text, extract_spec_text_scoped, spec_line_count, DRIVER_MODULES};
 pub use noise::{NoiseConfig, NoiseKind};
-pub use pipeline::{generate_validated, GenReport};
+pub use pipeline::{generate_validated, generate_validated_scoped, GenReport};

@@ -7,7 +7,7 @@
 //! and reports what happened — the numbers the validation-gate ablation
 //! bench compares.
 
-use crate::extract::extract_spec_text;
+use crate::extract::extract_spec_text_scoped;
 use crate::noise::{apply_noise, NoiseConfig};
 use eof_rtos::kernel::OsKind;
 use eof_speclang::ast::SpecFile;
@@ -43,7 +43,19 @@ pub fn generate_validated(
     noise: &NoiseConfig,
     validate: bool,
 ) -> (SpecFile, GenReport) {
-    let text = extract_spec_text(os);
+    generate_validated_scoped(os, noise, validate, false)
+}
+
+/// [`generate_validated`] with an explicit driver-layer scope —
+/// `include_drivers` runs the pipeline over the spec that also carries
+/// the SPI/I2C/DMA driver APIs.
+pub fn generate_validated_scoped(
+    os: OsKind,
+    noise: &NoiseConfig,
+    validate: bool,
+    include_drivers: bool,
+) -> (SpecFile, GenReport) {
+    let text = extract_spec_text_scoped(os, include_drivers);
     let mut spec = parse_spec(&text).expect("extractor output always parses");
     let injected = apply_noise(&mut spec, noise);
 
@@ -156,10 +168,13 @@ mod tests {
             .filter(|e| spec.api(&e.context).is_some())
             .collect();
         assert!(residual.is_empty(), "{residual:?}");
-        // And the regeneration round restored the full real surface.
+        // And the regeneration round restored the full real (pure-API)
+        // surface — the default scope excludes driver modules.
         let kernel_apis = eof_rtos::registry::make_kernel(OsKind::RtThread)
             .api_table()
-            .len();
+            .iter()
+            .filter(|d| !crate::extract::DRIVER_MODULES.contains(&d.module))
+            .count();
         assert_eq!(report.admitted_apis, kernel_apis);
         if report.rejected_apis > 0 {
             assert!(report.regenerated_apis > 0);
@@ -179,6 +194,18 @@ mod tests {
         // The unvalidated spec still carries structural defects.
         if with_gate.rejected_apis > 0 {
             assert!(!typecheck(&spec_raw).is_empty());
+        }
+    }
+
+    #[test]
+    fn driver_scope_flows_through_the_gate() {
+        for os in OsKind::ALL {
+            let (pure, _) = generate_validated_scoped(os, &NoiseConfig::none(), true, false);
+            let (full, report) = generate_validated_scoped(os, &NoiseConfig::none(), true, true);
+            assert_eq!(report.rejected_apis, 0, "{os}");
+            let kernel_apis = eof_rtos::registry::make_kernel(os).api_table().len();
+            assert_eq!(full.apis.len(), kernel_apis, "{os}");
+            assert!(full.apis.len() > pure.apis.len(), "{os}");
         }
     }
 

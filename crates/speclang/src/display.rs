@@ -141,6 +141,7 @@ mod tests {
     #[test]
     fn prog_rendering_numbers_results() {
         let p = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "create".into(),

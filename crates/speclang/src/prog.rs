@@ -35,6 +35,12 @@ pub struct Call {
 pub struct Prog {
     /// The call sequence.
     pub calls: Vec<Call>,
+    /// The MMIO response stream: the prog's *second input plane*. Loaded
+    /// into the target's model-free peripheral region before execution,
+    /// it answers driver-layer data/status register reads (Ember-IO
+    /// replay/inject). Empty for pure-API progs — and then absent from
+    /// both encodings, keeping legacy bytes and hashes unchanged.
+    pub mmio: Vec<u8>,
 }
 
 impl Prog {
@@ -217,6 +223,11 @@ impl Prog {
                 }
             }
         }
+        if !self.mmio.is_empty() {
+            out.push(MMIO_TRAILER);
+            out.extend_from_slice(&(self.mmio.len() as u32).to_le_bytes());
+            out.extend_from_slice(&self.mmio);
+        }
         out
     }
 
@@ -279,10 +290,25 @@ impl Prog {
             }
             calls.push(Call { api, args });
         }
+        let mut mmio = Vec::new();
+        if off != bytes.len() {
+            let tag = take(&mut off, 1)?[0];
+            if tag != MMIO_TRAILER {
+                return Err(format!("unknown canonical trailer tag {tag}"));
+            }
+            let b = take(&mut off, 4)?;
+            let len = u32::from_le_bytes(b.try_into().unwrap()) as usize;
+            mmio = take(&mut off, len)?.to_vec();
+            if mmio.is_empty() {
+                // Canonical form omits the trailer entirely when empty;
+                // an explicit empty trailer would break hash uniqueness.
+                return Err("empty MMIO trailer is non-canonical".into());
+            }
+        }
         if off != bytes.len() {
             return Err(format!("{} trailing bytes after prog", bytes.len() - off));
         }
-        Ok(Prog { calls })
+        Ok(Prog { calls, mmio })
     }
 
     /// Content hash over [`canonical_bytes`](Self::canonical_bytes):
@@ -304,6 +330,11 @@ impl Prog {
 /// Version byte leading every canonical prog encoding.
 pub const CANONICAL_VERSION: u8 = 1;
 
+/// Tag byte introducing the optional MMIO response-stream trailer after
+/// the call sequence ('M'). Deliberately distinct from every arg tag and
+/// from 0x00 so legacy trailing-garbage inputs still fail to decode.
+pub const MMIO_TRAILER: u8 = 0x4d;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +352,7 @@ mod tests {
 
     fn valid_prog() -> Prog {
         Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "create".into(),
@@ -370,6 +402,7 @@ mod tests {
         )
         .unwrap();
         let p = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "mksock".into(),
@@ -387,6 +420,7 @@ mod tests {
     #[test]
     fn sentinel_int_for_resource_is_allowed() {
         let p = Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: "delete".into(),
                 args: vec![ArgValue::Int(u64::MAX)],
@@ -398,6 +432,7 @@ mod tests {
     #[test]
     fn remove_call_fixes_references() {
         let mut p = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "ping".into(),
@@ -429,6 +464,7 @@ mod tests {
     #[test]
     fn insert_call_shifts_references() {
         let mut p = Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "create".into(),
@@ -470,6 +506,7 @@ mod tests {
 
     fn exotic_prog() -> Prog {
         Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "create".into(),
@@ -493,6 +530,38 @@ mod tests {
             let bytes = p.canonical_bytes();
             assert_eq!(Prog::from_canonical_bytes(&bytes).unwrap(), p);
         }
+    }
+
+    #[test]
+    fn mmio_trailer_round_trips_and_moves_the_hash() {
+        let mut p = valid_prog();
+        let plain = p.canonical_bytes();
+        let plain_hash = p.stable_hash();
+        p.mmio = vec![0xde, 0xad, 0x00, 0xff];
+        let bytes = p.canonical_bytes();
+        assert_eq!(Prog::from_canonical_bytes(&bytes).unwrap(), p);
+        // The trailer extends — never alters — the legacy prefix, so
+        // stores of pure-API progs keep their exact bytes and hashes.
+        assert_eq!(&bytes[..plain.len()], &plain[..]);
+        assert_ne!(p.stable_hash(), plain_hash);
+        // Truncating at exactly the calls/trailer boundary is the valid
+        // trailer-free encoding; any cut *inside* the trailer errors.
+        assert_eq!(
+            Prog::from_canonical_bytes(&bytes[..plain.len()]).unwrap(),
+            valid_prog()
+        );
+        for cut in plain.len() + 1..bytes.len() {
+            assert!(
+                Prog::from_canonical_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // An explicit empty trailer is non-canonical (would alias the
+        // trailer-free encoding under two different byte strings).
+        let mut empty = plain.clone();
+        empty.push(MMIO_TRAILER);
+        empty.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Prog::from_canonical_bytes(&empty).is_err());
     }
 
     #[test]

@@ -17,9 +17,17 @@
 //!              1 ResourceRef u16 producing call index
 //!              2 Buffer      u16 len, len bytes
 //!              3 CString     u16 len, len bytes (NUL not stored)
+//! then, only when the prog carries an MMIO response stream:
+//!            u8       trailer tag 'M' (0x4d)
+//!            u16      stream length
+//!            bytes    the response stream
 //! ```
+//!
+//! The trailer is strictly additive: pure-API progs encode byte-for-byte
+//! as they always have, and decoders ignore trailing bytes that do not
+//! start with the trailer tag (the historical contract).
 
-use crate::prog::{ArgValue, Call, Prog};
+use crate::prog::{ArgValue, Call, Prog, MMIO_TRAILER};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -206,6 +214,14 @@ pub fn encode_prog(prog: &Prog, table: &ApiTable, order: WireOrder) -> Result<Ve
             }
         }
     }
+    if !prog.mmio.is_empty() {
+        if prog.mmio.len() > u16::MAX as usize {
+            return Err(WireError::PayloadTooLong(prog.mmio.len()));
+        }
+        out.push(MMIO_TRAILER);
+        out.extend_from_slice(&order.u16_bytes(prog.mmio.len() as u16));
+        out.extend_from_slice(&prog.mmio);
+    }
     Ok(out)
 }
 
@@ -271,7 +287,14 @@ pub fn decode_prog(bytes: &[u8], table: &ApiTable, order: WireOrder) -> Result<P
         }
         calls.push(Call { api: name, args });
     }
-    Ok(Prog { calls })
+    let mut mmio = Vec::new();
+    if off < bytes.len() && bytes[off] == MMIO_TRAILER {
+        off += 1;
+        let lb = take(&mut off, 2)?;
+        let len = order.u16_from([lb[0], lb[1]]) as usize;
+        mmio = take(&mut off, len)?.to_vec();
+    }
+    Ok(Prog { mmio, calls })
 }
 
 #[cfg(test)]
@@ -293,6 +316,7 @@ mod tests {
 
     fn sample() -> Prog {
         Prog {
+            mmio: vec![],
             calls: vec![
                 Call {
                     api: "create".into(),
@@ -341,6 +365,7 @@ mod tests {
     #[test]
     fn unbound_api_rejected() {
         let p = Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: "ghost".into(),
                 args: vec![],
@@ -403,6 +428,25 @@ mod tests {
         assert!(decode_prog(&bytes, &t, WireOrder::Little)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn mmio_trailer_roundtrips_on_both_orders() {
+        let t = table();
+        let mut p = sample();
+        p.mmio = vec![0x4d, 0x00, 0xff, 0x10];
+        for order in [WireOrder::Little, WireOrder::Big] {
+            let bytes = encode_prog(&p, &t, order).unwrap();
+            assert_eq!(decode_prog(&bytes, &t, order).unwrap(), p);
+            // Truncation inside the trailer is detected, never a panic.
+            for cut in bytes.len() - p.mmio.len()..bytes.len() {
+                assert!(decode_prog(&bytes[..cut], &t, order).is_err());
+            }
+        }
+        // The trailer extends the plain encoding without altering it.
+        let plain = encode_prog(&sample(), &t, WireOrder::Little).unwrap();
+        let with = encode_prog(&p, &t, WireOrder::Little).unwrap();
+        assert_eq!(&with[..plain.len()], &plain[..]);
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn main() {
 
     // The minimised reproducer, as EOF's crash report would render it.
     let repro = Prog {
+        mmio: vec![],
         calls: vec![
             Call {
                 api: "rt_console_device".into(),
@@ -79,6 +80,7 @@ fn main() {
 
     // A healthy socket creation first, to show the log path working.
     let healthy = Prog {
+        mmio: vec![],
         calls: vec![Call {
             api: "syz_create_bind_socket".into(),
             args: vec![

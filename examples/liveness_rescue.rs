@@ -53,6 +53,7 @@ fn main() {
     .unwrap();
 
     let probe = Prog {
+        mmio: vec![],
         calls: vec![Call {
             api: "getenv".into(),
             args: vec![ArgValue::CString("PATH".into())],

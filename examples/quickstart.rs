@@ -62,6 +62,7 @@ fn main() {
     .unwrap();
 
     let prog = Prog {
+        mmio: vec![],
         calls: vec![
             Call {
                 api: "xQueueCreate".into(),
@@ -93,6 +94,7 @@ fn main() {
     //        monitor catches it at the panic handler and recovers the
     //        backtrace from the crash banner. ─────────────────────────
     let crasher = Prog {
+        mmio: vec![],
         calls: vec![Call {
             api: "load_partitions".into(),
             args: vec![ArgValue::Int(3), ArgValue::Int(0x10)],

@@ -50,7 +50,10 @@ fn probe(os: OsKind) -> Prog {
             args: vec![ArgValue::Int(1)],
         },
     };
-    Prog { calls: vec![call] }
+    Prog {
+        mmio: vec![],
+        calls: vec![call],
+    }
 }
 
 #[test]

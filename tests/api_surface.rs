@@ -89,7 +89,10 @@ fn every_api_of_every_os_executes_end_to_end() {
                 api: desc.name.to_string(),
                 args,
             });
-            let prog = Prog { calls };
+            let prog = Prog {
+                mmio: vec![],
+                calls,
+            };
             let outcome = ex.run_one(&prog);
             // Benign mid-range arguments must not trip any seeded bug
             // (the Table-2 triggers all need edge values or chains that
@@ -103,6 +106,7 @@ fn every_api_of_every_os_executes_end_to_end() {
         }
         // The target is still healthy after sweeping the whole surface.
         let probe = Prog {
+            mmio: vec![],
             calls: vec![Call {
                 api: kernel.api_table()[0].name.to_string(),
                 args: kernel.api_table()[0]
@@ -119,10 +123,24 @@ fn every_api_of_every_os_executes_end_to_end() {
 
 #[test]
 fn spec_surface_equals_kernel_surface() {
-    // The validated spec drives exactly the published APIs.
+    // The validated spec drives exactly the published APIs: the default
+    // scope is everything outside the driver modules, and the driver
+    // scope restores the full surface.
     for os in OsKind::ALL {
-        let (spec, _) = generate_validated(os, &NoiseConfig::none(), true);
         let kernel = eof::rtos::registry::make_kernel(os);
-        assert_eq!(spec.apis.len(), kernel.api_table().len(), "{os}");
+        let pure_surface = kernel
+            .api_table()
+            .iter()
+            .filter(|d| !eof::specgen::DRIVER_MODULES.contains(&d.module))
+            .count();
+        let (spec, _) = generate_validated(os, &NoiseConfig::none(), true);
+        assert_eq!(spec.apis.len(), pure_surface, "{os}");
+        let (full, _) =
+            eof::specgen::generate_validated_scoped(os, &NoiseConfig::none(), true, true);
+        assert_eq!(
+            full.apis.len(),
+            kernel.api_table().len(),
+            "{os} driver scope"
+        );
     }
 }

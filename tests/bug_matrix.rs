@@ -149,7 +149,13 @@ fn reproducer(number: u8) -> (OsKind, Prog) {
         .find(|info| info.number == number)
         .unwrap()
         .os;
-    (os, Prog { calls })
+    (
+        os,
+        Prog {
+            mmio: vec![],
+            calls,
+        },
+    )
 }
 
 #[test]
@@ -200,6 +206,7 @@ fn all_nineteen_bugs_trigger_end_to_end() {
             );
             // The campaign continues afterwards: a benign input runs.
             let benign = Prog {
+                mmio: vec![],
                 calls: vec![match os {
                     OsKind::Zephyr => call("k_yield", vec![]),
                     OsKind::RtThread => call("rt_tick_increase", vec![i(1)]),

@@ -1,0 +1,171 @@
+//! The driver-workload gate: the model-free MMIO peripheral plane is a
+//! *second fuzzer input*, not a source of nondeterminism. Two claims
+//! are enforced here, per OS:
+//!
+//! 1. **Determinism** — a driver campaign (`FuzzerConfig::eof_driver`)
+//!    with a fixed seed observes a bit-identical target over scalar and
+//!    vectored debug links: same coverage bitmap, same crash dedup
+//!    keys, same triaged BugIds. Only cycle accounting may differ.
+//! 2. **Unreachability** — the seeded driver bugs (numbers ≥ 20) are
+//!    provably out of reach for a pure-API campaign: the driver APIs
+//!    are absent from its generated spec, so no mutation of the call
+//!    plane can ever touch the kernel↔peripheral interaction; while the
+//!    driver campaign, whose only difference is the MMIO plane and the
+//!    driver-scoped spec, confirms at least one within the same budget.
+
+use eof::core::{build_fuzzer, Fuzzer, FuzzerConfig};
+use eof::hal::FaultPlan;
+use eof::rtos::OsKind;
+use eof::specgen::{extract_spec_text_scoped, DRIVER_MODULES};
+
+const STEPS: usize = 40;
+const SEED: u64 = 7;
+
+/// Fuzzing iterations for the bug-hunt half of the gate. Driver bugs
+/// are gated on (argument condition) && (MMIO stream condition), so
+/// they need a longer campaign than the link-equivalence check.
+const HUNT_STEPS: usize = 400;
+
+/// Everything an exec campaign can observe about the target, minus
+/// cycle accounting.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    execs: u64,
+    coverage: Vec<u64>,
+    crash_keys: Vec<String>,
+    bugs: Vec<String>,
+    corpus_len: usize,
+    stalls: u64,
+}
+
+fn run(config: FuzzerConfig, steps: usize) -> (Observed, Vec<u8>, u64) {
+    let (mut fuzzer, _, _): (Fuzzer, _, _) = build_fuzzer(config, FaultPlan::none());
+    for _ in 0..steps {
+        fuzzer.step();
+    }
+    let mut coverage: Vec<u64> = fuzzer.executor().coverage().iter().collect();
+    coverage.sort_unstable();
+    let mut crash_keys: Vec<String> = fuzzer
+        .crashes()
+        .unique()
+        .map(eof::core::crash::dedup_key)
+        .collect();
+    crash_keys.sort();
+    let found = fuzzer.crashes().bugs_found();
+    let mut bugs: Vec<String> = found.iter().map(|b| format!("{b:?}")).collect();
+    bugs.sort();
+    let mut numbers: Vec<u8> = found.iter().map(|b| b.number()).collect();
+    numbers.sort_unstable();
+    let stats = fuzzer.stats();
+    (
+        Observed {
+            execs: stats.execs,
+            coverage,
+            crash_keys,
+            bugs,
+            corpus_len: fuzzer.corpus().len(),
+            stalls: stats.stalls,
+        },
+        numbers,
+        fuzzer.executor().now(),
+    )
+}
+
+fn driver_config(os: OsKind, vectored: bool) -> FuzzerConfig {
+    let mut config = FuzzerConfig::eof_driver(os, SEED);
+    config.budget_hours = 24.0; // never the stopping condition here
+    config.vectored = vectored;
+    config
+}
+
+#[test]
+fn driver_campaigns_survive_the_vectored_link() {
+    for os in [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+    ] {
+        let (scalar, _, scalar_cycles) = run(driver_config(os, false), STEPS);
+        let (vectored, _, vectored_cycles) = run(driver_config(os, true), STEPS);
+        assert!(scalar.execs > 0, "{os:?}: campaign executed nothing");
+        assert_eq!(
+            scalar, vectored,
+            "{os:?}: vectored link changed what the driver campaign observed"
+        );
+        assert!(
+            vectored_cycles < scalar_cycles,
+            "{os:?}: vectored run saved no cycles \
+             (scalar {scalar_cycles}, vectored {vectored_cycles})"
+        );
+    }
+}
+
+#[test]
+fn driver_campaigns_replay_bit_exact() {
+    // Same seed, run twice from scratch: the MMIO plane is drawn from
+    // a seeded stream, so the whole campaign — peripheral responses
+    // included — must be a pure function of the config.
+    for os in [OsKind::FreeRtos, OsKind::Zephyr] {
+        let (first, _, first_cycles) = run(driver_config(os, false), STEPS);
+        let (second, _, second_cycles) = run(driver_config(os, false), STEPS);
+        assert_eq!(first, second, "{os:?}: driver campaign is nondeterministic");
+        assert_eq!(
+            first_cycles, second_cycles,
+            "{os:?}: cycle accounting drifted between identical runs"
+        );
+    }
+}
+
+#[test]
+fn driver_bugs_need_the_mmio_plane() {
+    for os in [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+    ] {
+        // The pure spec provably cannot express a driver call: every
+        // driver-module API name is absent from its text.
+        let pure_spec = extract_spec_text_scoped(os, false);
+        let driver_spec = extract_spec_text_scoped(os, true);
+        let driver_apis: Vec<&str> = eof::rtos::make_kernel(os)
+            .api_table()
+            .iter()
+            .filter(|d| DRIVER_MODULES.contains(&d.module))
+            .map(|d| d.name)
+            .collect();
+        assert!(
+            !driver_apis.is_empty(),
+            "{os:?}: kernel exposes no driver APIs"
+        );
+        for name in &driver_apis {
+            assert!(
+                !pure_spec.contains(name),
+                "{os:?}: pure spec leaks driver API {name}"
+            );
+            assert!(
+                driver_spec.contains(name),
+                "{os:?}: driver spec is missing {name}"
+            );
+        }
+
+        // Same seed, same budget; the only delta is `mmio: true` (which
+        // scopes the spec to include drivers and arms the MMIO plane).
+        let mut pure = FuzzerConfig::eof(os, SEED);
+        pure.budget_hours = 24.0;
+        let (_, pure_bugs, _) = run(pure, HUNT_STEPS);
+        assert!(
+            pure_bugs.iter().all(|&n| n < 20),
+            "{os:?}: pure-API campaign reached a driver bug ({pure_bugs:?}) — \
+             the workload separation is broken"
+        );
+
+        let (_, driver_bugs, _) = run(driver_config(os, false), HUNT_STEPS);
+        assert!(
+            driver_bugs.iter().any(|&n| n >= 20),
+            "{os:?}: driver campaign confirmed no driver bug in {HUNT_STEPS} steps \
+             (found {driver_bugs:?})"
+        );
+    }
+}

@@ -18,6 +18,7 @@ fn arb_arg() -> impl Strategy<Value = ArgValue> {
 fn arb_prog() -> impl Strategy<Value = Prog> {
     proptest::collection::vec((0u16..4, proptest::collection::vec(arb_arg(), 0..5)), 0..10)
         .prop_map(|calls| Prog {
+            mmio: vec![],
             calls: calls
                 .into_iter()
                 .map(|(id, args)| Call {
@@ -214,6 +215,7 @@ fn exchange_dir(tag: &str) -> PathBuf {
 /// stable hash, so `Exchange::load`'s integrity check accepts it.
 fn synthetic_seed(i: u64) -> PersistedSeed {
     let prog = Prog {
+        mmio: vec![],
         calls: vec![Call {
             api: format!("api{}", i % 4),
             args: vec![ArgValue::Int(i)],
