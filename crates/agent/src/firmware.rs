@@ -218,6 +218,11 @@ impl Firmware for AgentFirmware {
         if let Some(region) = self.cov.region {
             let _ = region.init(&mut bus.ram, bus.endianness);
         }
+        // The cmp ring re-initialises DISARMED on every reset: the image
+        // never arms itself, only a cmplog host does (per exec).
+        if let Some(region) = self.cov.cmp_region {
+            let _ = region.init(&mut bus.ram, bus.endianness);
+        }
         self.cov.buffer_full = false;
         self.phase = Phase::Boot { line: 0 };
         self.prog = None;

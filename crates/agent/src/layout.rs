@@ -5,7 +5,7 @@
 //! (paper workflow step ①). Here the layout is derived from the board's
 //! RAM window, and the code symbols sit in the flash-mapped region.
 
-use eof_coverage::CovRegion;
+use eof_coverage::{CmpRegion, CovRegion};
 use eof_hal::{BoardSpec, SymbolTable};
 
 /// Where the agent's buffers and sync symbols live for one board.
@@ -18,6 +18,10 @@ pub struct AgentLayout {
     pub prog_max: u32,
     /// The coverage buffer region.
     pub cov: CovRegion,
+    /// The comparison-operand ring (cmplog channel). Always laid out —
+    /// it boots disarmed (capacity word 0) and only a host that wants
+    /// the channel arms it, so its presence costs nothing.
+    pub cmp: CmpRegion,
     /// Code base for the agent's sync symbols.
     pub code_base: u32,
 }
@@ -42,6 +46,9 @@ impl AgentLayout {
                 prog_addr: board.ram_base + 0x200,
                 prog_max: 1024,
                 cov: CovRegion::new(board.ram_base + 0x800, 128),
+                // Cov ends at +0xc0c; 16 records keep the tiny parts
+                // under their RAM ceiling.
+                cmp: CmpRegion::new(board.ram_base + 0xc80, 16),
                 code_base,
             }
         } else {
@@ -49,6 +56,8 @@ impl AgentLayout {
                 prog_addr: board.ram_base + 0x1000,
                 prog_max: 4096,
                 cov: CovRegion::new(board.ram_base + 0x3000, 1024),
+                // Cov ends at +0x500c.
+                cmp: CmpRegion::new(board.ram_base + 0x5100, 128),
                 code_base,
             }
         }
@@ -113,7 +122,14 @@ mod tests {
     fn layout_fits_in_ram() {
         for board in BoardCatalog::all() {
             let l = AgentLayout::for_board(&board);
-            let end = l.cov.base + l.cov.footprint();
+            let cov_end = l.cov.base + l.cov.footprint();
+            assert!(
+                l.cmp.base >= cov_end,
+                "{}: cmp ring {:#x} overlaps coverage buffer ending {cov_end:#x}",
+                board.name,
+                l.cmp.base
+            );
+            let end = l.cmp.base + l.cmp.footprint();
             assert!(
                 (end - board.ram_base) as usize <= board.ram_size,
                 "{}: layout end {end:#x} past RAM",

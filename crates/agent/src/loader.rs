@@ -42,7 +42,7 @@ pub fn agent_loader() -> FirmwareLoader {
         let layout = AgentLayout::for_board(board);
         let cov = match &info.mode {
             InstrumentMode::None => CovState::uninstrumented(),
-            mode => CovState::instrumented(mode.clone(), layout.cov),
+            mode => CovState::instrumented(mode.clone(), layout.cov).with_cmp(layout.cmp),
         };
         let kernel = make_kernel(info.os);
         let order = match board.endianness {

@@ -1,0 +1,219 @@
+//! Redqueen/I2S A/B: the cmplog time-to-bug experiment. Same OS, same
+//! seed schedule, same MMIO plane, same simulated budget — the only
+//! variable is the comparison channel (`FuzzerConfig::eof_cmplog` vs
+//! the plain driver `FuzzerConfig::eof_driver`). The magic-guarded
+//! bugs sit behind exact 16/32-bit equality checks that random
+//! mutation cannot thread at any realistic budget, so:
+//!
+//! * the pure arm reporting a magic bug is an A/B-control violation;
+//! * the cmplog arm missing a magic bug on its seeded OS means the
+//!   observed-operand splice isn't earning its keep;
+//! * both arms run on every OS, so unseeded OSs double as the check
+//!   that the channel doesn't manufacture crashes.
+//!
+//! Writes `results/i2s.{txt,csv}` and the machine-readable verdict
+//! `BENCH_i2s.json`. Wire mode follows `EOF_VECTORED`, so the nightly
+//! matrix covers pure/cmplog × scalar/vectored with this one binary.
+//!
+//! Inspired by the Fig-7-style growth comparison: alongside the
+//! verdicts, the mean time-to-bug (simulated hours at first attributed
+//! crash) quantifies *how much faster* the channel gets there.
+
+use eof_bench::{bench_hours, bench_reps, fmt1, run_config_set};
+use eof_core::{CampaignResult, FuzzerConfig, MutOp};
+use eof_rtos::bugs::magic_guarded_bugs;
+use eof_rtos::OsKind;
+use std::collections::BTreeSet;
+
+fn mean(results: &[CampaignResult], f: impl Fn(&CampaignResult) -> f64) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(f).sum::<f64>() / results.len() as f64
+}
+
+/// Distinct magic-bug numbers found across a cell's repetitions.
+fn magic_found(results: &[CampaignResult], magic: &BTreeSet<u8>) -> BTreeSet<u8> {
+    results
+        .iter()
+        .flat_map(|r| r.bugs.iter())
+        .map(|b| b.number())
+        .filter(|n| magic.contains(n))
+        .collect()
+}
+
+/// Mean simulated hours to the first crash attributed to `bug`, over
+/// the repetitions that found it (`None` when none did).
+fn time_to_bug(results: &[CampaignResult], bug: u8) -> Option<f64> {
+    let hits: Vec<f64> = results
+        .iter()
+        .filter_map(|r| {
+            r.crashes
+                .iter()
+                .filter(|c| c.bug.map(|b| b.number()) == Some(bug))
+                .map(|c| c.at_hours)
+                .fold(None, |best: Option<f64>, h| {
+                    Some(best.map_or(h, |b| b.min(h)))
+                })
+        })
+        .collect();
+    (!hits.is_empty()).then(|| hits.iter().sum::<f64>() / hits.len() as f64)
+}
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    eprintln!("[i2s] {hours} simulated hours × {reps} reps per cell");
+
+    // One pure-driver and one cmplog cell per OS, fanned out as a
+    // single fleet batch so the A/B shares the worker pool.
+    let mut bases = Vec::new();
+    for os in OsKind::ALL {
+        let mut pure = FuzzerConfig::eof_driver(os, 42);
+        pure.budget_hours = hours;
+        bases.push(pure);
+        let mut cmplog = FuzzerConfig::eof_cmplog(os, 42);
+        cmplog.budget_hours = hours;
+        bases.push(cmplog);
+    }
+    let mut per_base = run_config_set(&bases, reps).into_iter();
+
+    let magic: BTreeSet<u8> = magic_guarded_bugs().iter().map(|b| b.number()).collect();
+    let seeded: BTreeSet<OsKind> = magic_guarded_bugs().iter().map(|b| b.info().os).collect();
+    let mut rows = Vec::new();
+    let mut cells_json = Vec::new();
+    let mut violations = Vec::new();
+    let mut text = String::from(
+        "Cmplog (I2S operand splice) vs pure driver mutation, same seeds and simulated budget\n",
+    );
+    for os in OsKind::ALL {
+        let pure = per_base.next().expect("pure cell");
+        let cmplog = per_base.next().expect("cmplog cell");
+        let (pe, ce) = (
+            mean(&pure, |r| r.stats.execs as f64),
+            mean(&cmplog, |r| r.stats.execs as f64),
+        );
+        let (pb, cb) = (
+            mean(&pure, |r| r.branches as f64),
+            mean(&cmplog, |r| r.branches as f64),
+        );
+        let pure_magic = magic_found(&pure, &magic);
+        let found = magic_found(&cmplog, &magic);
+        let expected: BTreeSet<u8> = magic_guarded_bugs()
+            .iter()
+            .filter(|b| b.info().os == os)
+            .map(|b| b.number())
+            .collect();
+        if !pure_magic.is_empty() {
+            violations.push(format!(
+                "{}: pure driver campaign reached magic bugs {pure_magic:?} — \
+                 the A/B control is broken",
+                os.display()
+            ));
+        }
+        for &bug in &expected {
+            if !found.contains(&bug) {
+                violations.push(format!(
+                    "{}: cmplog campaign missed magic bug #{bug} in {hours}h × {reps} reps",
+                    os.display()
+                ));
+            }
+        }
+        if !seeded.contains(&os) && !found.is_empty() {
+            violations.push(format!(
+                "{}: unseeded OS reported magic bugs {found:?}",
+                os.display()
+            ));
+        }
+        let ttb: Vec<String> = found
+            .iter()
+            .filter_map(|&bug| time_to_bug(&cmplog, bug).map(|h| format!("#{bug}@{h:.3}h")))
+            .collect();
+        let scheduled = mean(&cmplog, |r| r.stats.op_execs.iter().sum::<u64>() as f64);
+        let i2s_share = mean(&cmplog, |r| {
+            let total: u64 = r.stats.op_execs.iter().sum();
+            if total == 0 {
+                return 0.0;
+            }
+            let i2s = total - r.stats.op_execs[MutOp::Baseline.index()];
+            i2s as f64 / total as f64
+        });
+        text.push_str(&format!(
+            "  {:10} execs {:>7} -> {:>7}   branches {:>6} -> {:>6}   magic bugs: {}\n",
+            os.display(),
+            fmt1(pe),
+            fmt1(ce),
+            fmt1(pb),
+            fmt1(cb),
+            if ttb.is_empty() {
+                "none".to_string()
+            } else {
+                ttb.join(" ")
+            },
+        ));
+        rows.push(vec![
+            os.display().to_string(),
+            fmt1(pe),
+            fmt1(ce),
+            fmt1(pb),
+            fmt1(cb),
+            found.len().to_string(),
+            ttb.join(" "),
+        ]);
+        let ttb_json: Vec<String> = found
+            .iter()
+            .filter_map(|&bug| {
+                time_to_bug(&cmplog, bug).map(|h| format!("{{\"bug\": {bug}, \"hours\": {h:.4}}}"))
+            })
+            .collect();
+        cells_json.push(format!(
+            "{{\"os\": \"{}\", \"seeded\": {}, \"execs_pure\": {pe:.1}, \"execs_cmplog\": {ce:.1}, \
+             \"branches_pure\": {pb:.1}, \"branches_cmplog\": {cb:.1}, \
+             \"magic_bugs_pure\": {}, \"magic_bugs_cmplog\": [{}], \
+             \"scheduled_mutants\": {scheduled:.1}, \"i2s_share\": {i2s_share:.3}, \
+             \"time_to_bug\": [{}]}}",
+            os.display(),
+            seeded.contains(&os),
+            pure_magic.len(),
+            found
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            ttb_json.join(", "),
+        ));
+        eprintln!("  {} done", os.display());
+    }
+    let headers = [
+        "os",
+        "execs_pure",
+        "execs_cmplog",
+        "branches_pure",
+        "branches_cmplog",
+        "magic_bug_count",
+        "time_to_bug",
+    ];
+    eof_bench::write_outputs("i2s", &text, &headers, &rows);
+
+    let pass = violations.is_empty();
+    let json = format!(
+        "{{\n  \"workload\": {{\"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \
+         \"verdict\": \"{}\",\n  \"violations\": [{}],\n  \"cells\": [\n    {}\n  ]\n}}\n",
+        if pass { "PASS" } else { "FAIL" },
+        violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", "),
+        cells_json.join(",\n    "),
+    );
+    std::fs::write("BENCH_i2s.json", &json).expect("write BENCH_i2s.json");
+    println!("[written BENCH_i2s.json]");
+    if !pass {
+        for v in &violations {
+            eprintln!("[i2s] VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("[i2s] cmplog time-to-bug gate PASSED");
+}

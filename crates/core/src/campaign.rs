@@ -84,6 +84,14 @@ pub fn run_campaign_recorded(config: FuzzerConfig) -> CampaignResult {
     run_campaign_traced(config, FaultPlan::none(), true).0
 }
 
+/// [`run_campaign_recorded`] under a harness-injected fault schedule:
+/// the chaos harness uses this to check telemetry-visible invariants
+/// (e.g. that every discarded comparison drain was counted) while the
+/// hardware misbehaves.
+pub fn run_campaign_recorded_with_faults(config: FuzzerConfig, plan: FaultPlan) -> CampaignResult {
+    run_campaign_traced(config, plan, true).0
+}
+
 fn run_campaign_inner(
     config: FuzzerConfig,
     plan: FaultPlan,
@@ -312,6 +320,20 @@ fn assert_no_counter_drift(
             rung.name()
         );
     }
+    for op in crate::cmplog::MutOp::ALL {
+        assert_eq!(
+            registry.counter(op.execs_counter()),
+            stats.op_execs[op.index()],
+            "operator {} exec accounting drifted",
+            op.name()
+        );
+        assert_eq!(
+            registry.counter(op.interesting_counter()),
+            stats.op_interesting[op.index()],
+            "operator {} interesting accounting drifted",
+            op.name()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +425,29 @@ mod tests {
         assert_eq!(a.branches, plain.branches);
         assert_eq!(a.stats.execs, plain.stats.execs);
         assert_eq!(a.resilience, plain.resilience);
+    }
+
+    #[test]
+    fn cmplog_campaigns_run_and_account_per_operator() {
+        // A cmplog campaign exercises the full Redqueen pipeline: the
+        // armed ring drains into the journal, the scheduler attributes
+        // every scheduled mutant to an operator, and the drift gate
+        // (inside `run_campaign_recorded`) proves the `fuzz.op.*`
+        // telemetry mirrors `FuzzerStats` exactly.
+        let mut c = FuzzerConfig::eof_cmplog(OsKind::FreeRtos, 7);
+        c.budget_hours = 0.02;
+        c.snapshot_hours = 0.005;
+        let r = run_campaign_recorded(c);
+        let scheduled: u64 = r.stats.op_execs.iter().sum();
+        assert!(scheduled > 0, "no mutants were attributed to operators");
+        // Scheduled mutants are a subset of all execs (fresh generated
+        // progs carry no operator).
+        assert!(scheduled <= r.stats.execs, "{:?}", r.stats);
+        let tel = r.telemetry.as_ref().expect("recorded");
+        assert!(
+            tel.counter("exec.cmp_records") > 0,
+            "armed ring never produced a comparison record"
+        );
     }
 
     #[test]

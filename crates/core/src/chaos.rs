@@ -379,6 +379,79 @@ mod tests {
     }
 
     #[test]
+    fn no_fault_kind_tears_a_cmp_drain() {
+        // The comparison channel adds two wire operations per exec — the
+        // armed header riding the upload and the end-of-exec ring drain —
+        // and each is a new place a fault can land. Same per-kind matrix
+        // as the transaction-tear test, but with cmplog armed in both
+        // wire modes: a fault inside the cmp drain must either deliver
+        // the records whole or discard them with the discard counted —
+        // never tear a transaction or wedge the campaign. Running the
+        // campaigns recorded also re-checks the `fuzz.op.*` counter-drift
+        // gate under every fault kind.
+        use crate::campaign::run_campaign_recorded_with_faults;
+        use eof_hal::FaultPlan;
+        let flash_size = FuzzerConfig::eof(OsKind::FreeRtos, 11).board.flash_size;
+        let mut records_total = 0u64;
+        for vectored in [false, true] {
+            for (kind, label) in KINDS.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(0xc3b_d4a1 + kind as u64);
+                let mut plan = FaultPlan::none();
+                for _ in 0..12 {
+                    let at = rng.random_range(0..300_000u64);
+                    let fault = match kind {
+                        0 => InjectedFault::FlashBitFlip {
+                            offset: rng.random_range(0..flash_size),
+                            bit: rng.random_range(0..=7u8),
+                        },
+                        1 => InjectedFault::FreezeFirmware,
+                        2 => InjectedFault::KillCore,
+                        3 => InjectedFault::DropLink {
+                            cycles: rng.random_range(500..40_000u64),
+                        },
+                        4 => InjectedFault::FlakyLink {
+                            drop_per_mille: rng.random_range(100..=700u16),
+                            cycles: rng.random_range(5_000..60_000u64),
+                        },
+                        5 => InjectedFault::Brownout {
+                            cycles: rng.random_range(2_000..20_000u64),
+                        },
+                        _ => InjectedFault::UartGarbage,
+                    };
+                    plan = plan.at(at, fault);
+                }
+                let mut base = FuzzerConfig::eof_cmplog(OsKind::FreeRtos, 11);
+                base.budget_hours = 0.1;
+                base.snapshot_hours = 0.025;
+                base.vectored = vectored;
+                let result = run_campaign_recorded_with_faults(base, plan);
+                let violations = check_invariants(&result);
+                assert!(
+                    violations.is_empty(),
+                    "fault kind {label:?} (vectored={vectored}, cmplog): {violations:?}"
+                );
+                assert_eq!(
+                    result.resilience.txn_partial, 0,
+                    "fault kind {label:?} (vectored={vectored}) tore a cmplog transaction"
+                );
+                let tel = result.telemetry.as_ref().expect("recorded");
+                records_total += tel.counter("exec.cmp_records");
+            }
+        }
+        // The channel stayed live across the matrix: records kept
+        // arriving despite the outages (a torn drain that silently
+        // corrupted the ring would starve every subsequent exec), and
+        // any drain the fault machinery gave up on is visible as a
+        // counted discard rather than a wedge. No single kind is
+        // required to produce records — the heavy link-outage schedules
+        // legitimately spend most of their budget in recovery.
+        assert!(
+            records_total > 0,
+            "every chaos schedule starved the cmp channel"
+        );
+    }
+
+    #[test]
     fn chaos_is_reproducible() {
         let a = run_chaos(&chaos_config(OsKind::Zephyr, 5, 99, 20));
         let b = run_chaos(&chaos_config(OsKind::Zephyr, 5, 99, 20));

@@ -175,6 +175,14 @@ pub struct FuzzerConfig {
     /// campaigns (`FuzzerConfig::eof_driver`) switch it on. Part of the
     /// store's config fingerprint — reproducers depend on it.
     pub mmio: bool,
+    /// Redqueen/I2S cmplog: arm the on-device comparison-operand ring,
+    /// drain observed operand pairs into a per-campaign cmp journal, and
+    /// run the input-to-state mutation stage with MOpt-style operator
+    /// scheduling. Defaults to the `EOF_CMPLOG` environment knob —
+    /// **off** unless set (`EOF_CMPLOG=1`), unlike `vectored`/`snapshot`,
+    /// because cmplog changes which inputs are generated. Part of the
+    /// store's config fingerprint for the same reason.
+    pub cmplog: bool,
 }
 
 impl FuzzerConfig {
@@ -205,6 +213,7 @@ impl FuzzerConfig {
             vectored: eof_dap::vectored_default(),
             snapshot: eof_dap::snapshot_default(),
             mmio: false,
+            cmplog: eof_dap::cmplog_default(),
         }
     }
 
@@ -215,6 +224,16 @@ impl FuzzerConfig {
         FuzzerConfig {
             mmio: true,
             ..Self::eof(os, seed)
+        }
+    }
+
+    /// The cmplog driver workload: the driver campaign with the
+    /// Redqueen/I2S pipeline armed — the "cmplog" arm of the pure-vs-
+    /// cmplog A/B (`bench/src/bin/i2s.rs`).
+    pub fn eof_cmplog(os: OsKind, seed: u64) -> Self {
+        FuzzerConfig {
+            cmplog: true,
+            ..Self::eof_driver(os, seed)
         }
     }
 
@@ -252,6 +271,17 @@ mod tests {
         assert!(drv.coverage_feedback);
         assert_eq!(drv.gen_mode, GenerationMode::ApiAware);
         assert_eq!(drv.max_calls, base.max_calls);
+    }
+
+    #[test]
+    fn eof_cmplog_only_arms_the_cmp_channel() {
+        let drv = FuzzerConfig::eof_driver(OsKind::FreeRtos, 3);
+        let i2s = FuzzerConfig::eof_cmplog(OsKind::FreeRtos, 3);
+        assert!(!drv.cmplog, "cmplog defaults off without EOF_CMPLOG");
+        assert!(i2s.cmplog);
+        assert!(i2s.mmio, "cmplog builds on the driver workload");
+        assert!(i2s.coverage_feedback);
+        assert_eq!(i2s.max_calls, drv.max_calls);
     }
 
     #[test]

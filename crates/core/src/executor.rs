@@ -11,7 +11,7 @@ use crate::config::FuzzerConfig;
 use crate::crash::{triage, CrashReport, DetectionSource};
 use crate::supervisor::{RecoveryReason, RecoverySupervisor, ResilienceStats};
 use eof_agent::AgentLayout;
-use eof_coverage::{CoverageMap, InstrumentMode};
+use eof_coverage::{CmpRecord, CoverageMap, InstrumentMode, CMP_RECORD_BYTES};
 use eof_dap::{DebugTransport, LinkEvent, RetryPolicy, RetryStats, Txn, TxnResult};
 use eof_hal::clock::{secs_to_cycles, CYCLES_PER_SEC};
 use eof_monitors::{
@@ -62,6 +62,9 @@ pub struct ExecOutcome {
     pub sync_failed: bool,
     /// Cycles consumed by this execution, all costs included.
     pub cycles: u64,
+    /// Comparison operands drained from the cmplog ring (empty unless
+    /// the campaign armed the channel and the exec completed healthy).
+    pub cmp_records: Vec<CmpRecord>,
 }
 
 /// The host-side executor bound to one probe session.
@@ -87,6 +90,7 @@ pub struct Executor {
     restorations: u64,
     stall_events: u64,
     failed_syncs: u64,
+    cmp_discards: u64,
 }
 
 impl Executor {
@@ -170,6 +174,7 @@ impl Executor {
             restorations: 0,
             stall_events: 0,
             failed_syncs: 0,
+            cmp_discards: 0,
         };
         exec.sync_to_main();
         Ok(exec)
@@ -203,6 +208,13 @@ impl Executor {
     /// Syncs that failed even after a full recovery episode.
     pub fn failed_syncs(&self) -> u64 {
         self.failed_syncs
+    }
+
+    /// Cmp-ring drains discarded because the transaction never applied
+    /// (counted, never silently swallowed — the arming header written
+    /// with the next upload guarantees the ring restarts empty).
+    pub fn cmp_discards(&self) -> u64 {
+        self.cmp_discards
     }
 
     /// Combined resilience accounting: supervisor ladder counters plus
@@ -405,6 +417,146 @@ impl Executor {
         edges
     }
 
+    /// Vectored drain of both channels inside the coverage drain's own
+    /// two wire conversations: the atomic `DrainRing` op rides the
+    /// header-peek transaction, so the comparison channel costs zero
+    /// extra transactions per exec — the wire advantage the scalar path
+    /// cannot match.
+    fn drain_cov_and_cmp(&mut self) -> (Vec<u64>, Vec<CmpRecord>) {
+        let cov_span = tel::span_start("exec.cov_drain", self.transport.now());
+        let cmp_span = tel::span_start("exec.cmp_drain", self.transport.now());
+        let (edges, records) = self.drain_cov_and_cmp_vectored();
+        tel::span_end(cmp_span, self.transport.now());
+        tel::span_end(cov_span, self.transport.now());
+        if !records.is_empty() {
+            tel::count("exec.cmp_records", records.len() as u64);
+        }
+        (edges, records)
+    }
+
+    fn drain_cov_and_cmp_vectored(&mut self) -> (Vec<u64>, Vec<CmpRecord>) {
+        let cov = self.layout.cov;
+        let cmp = self.layout.cmp;
+        let endian = self.config.board.endianness;
+        let policy = self.retry;
+        let mut peek = Txn::new();
+        peek.read_mem(cov.base, 12)
+            .drain_ring(cmp.base, cmp.capacity, CMP_RECORD_BYTES);
+        let Ok(results) = policy.run_txn(&mut self.link_retry, &mut self.transport, &peek) else {
+            return (Vec::new(), self.discard_cmp_drain());
+        };
+        let mut results = results.into_iter();
+        let Some(TxnResult::Bytes(header)) = results.next() else {
+            return (Vec::new(), self.discard_cmp_drain());
+        };
+        let records = match results.next() {
+            Some(TxnResult::Bytes(raw)) => {
+                let (records, overflow) = cmp.parse_drain(&raw, endian);
+                if overflow > 0 {
+                    tel::count("exec.cmp_overflow", overflow as u64);
+                }
+                records
+            }
+            _ => self.discard_cmp_drain(),
+        };
+        let count = endian
+            .u32_from([header[0], header[1], header[2], header[3]])
+            .min(cov.capacity);
+        if count == 0 {
+            return (Vec::new(), records);
+        }
+        let zero = endian.u32_bytes(0);
+        let mut drain = Txn::new();
+        drain
+            .read_mem(cov.base, 12 + count * 8)
+            .write_mem(cov.base, &zero)
+            .write_mem(cov.base + 8, &zero);
+        let Ok(results) = policy.run_txn(&mut self.link_retry, &mut self.transport, &drain) else {
+            return (Vec::new(), records);
+        };
+        let Some(TxnResult::Bytes(raw)) = results.into_iter().next() else {
+            return (Vec::new(), records);
+        };
+        let (edges, _overflow) = cov.parse_drain(&raw, endian);
+        (edges, records)
+    }
+
+    /// Drain the cmplog operand ring. Mirrors the coverage drain's
+    /// torn-drain discipline: the vectored path uses the atomic
+    /// `DrainRing` op (read + reset in one transaction, so a partial
+    /// application is impossible by construction), the scalar path reads
+    /// header and records inside ONE retried closure so a replay re-sizes
+    /// from the fresh count. A drain that still fails is discarded and
+    /// counted — never a half-parsed journal entry; the next exec's
+    /// arming header restarts the ring empty regardless.
+    fn drain_cmp(&mut self) -> Vec<CmpRecord> {
+        let span = tel::span_start("exec.cmp_drain", self.transport.now());
+        let records = self.drain_cmp_inner();
+        tel::span_end(span, self.transport.now());
+        if !records.is_empty() {
+            tel::count("exec.cmp_records", records.len() as u64);
+        }
+        records
+    }
+
+    fn drain_cmp_inner(&mut self) -> Vec<CmpRecord> {
+        let region = self.layout.cmp;
+        let endian = self.config.board.endianness;
+        let policy = self.retry;
+        if self.config.vectored {
+            let mut txn = Txn::new();
+            txn.drain_ring(region.base, region.capacity, CMP_RECORD_BYTES);
+            let raw = match policy.run_txn(&mut self.link_retry, &mut self.transport, &txn) {
+                Ok(results) => match results.into_iter().next() {
+                    Some(TxnResult::Bytes(raw)) => raw,
+                    _ => return self.discard_cmp_drain(),
+                },
+                Err(_) => return self.discard_cmp_drain(),
+            };
+            let (records, overflow) = region.parse_drain(&raw, endian);
+            if overflow > 0 {
+                tel::count("exec.cmp_overflow", overflow as u64);
+            }
+            return records;
+        }
+        let Ok(raw) = policy.run(&mut self.link_retry, &mut self.transport, |p| {
+            let mut header = [0u8; 12];
+            p.read_mem(region.base, &mut header)?;
+            let count = endian
+                .u32_from([header[0], header[1], header[2], header[3]])
+                .min(region.capacity);
+            let mut raw = header.to_vec();
+            if count > 0 {
+                let mut records = vec![0u8; (count * CMP_RECORD_BYTES) as usize];
+                p.read_mem(region.base + 12, &mut records)?;
+                raw.extend_from_slice(&records);
+            }
+            Ok(raw)
+        }) else {
+            return self.discard_cmp_drain();
+        };
+        let (records, overflow) = region.parse_drain(&raw, endian);
+        if overflow > 0 {
+            tel::count("exec.cmp_overflow", overflow as u64);
+        }
+        // Reset count and overflow; the arming word survives (and the
+        // next upload rewrites the whole header anyway).
+        let zero = endian.u32_bytes(0);
+        let _ = policy.run(&mut self.link_retry, &mut self.transport, |p| {
+            p.write_mem(region.base, &zero)
+        });
+        let _ = policy.run(&mut self.link_retry, &mut self.transport, |p| {
+            p.write_mem(region.base + 8, &zero)
+        });
+        records
+    }
+
+    fn discard_cmp_drain(&mut self) -> Vec<CmpRecord> {
+        self.cmp_discards += 1;
+        tel::count("exec.cmp_discarded", 1);
+        Vec::new()
+    }
+
     /// Apply the coverage observability model (GDBFuzz's rotating
     /// hardware breakpoints see only a deterministic subset of edges).
     fn observe(&self, edges: Vec<u64>) -> Vec<u64> {
@@ -509,11 +661,24 @@ impl Executor {
         let len_bytes = endian.u32_bytes(bytes.len() as u32);
         let prog_addr = self.layout.prog_addr;
         let policy = self.retry;
+        // Cmplog campaigns arm the operand ring alongside the upload: a
+        // fresh header (count 0, capacity set) every exec, so the ring
+        // starts empty even if the previous drain was lost. Without
+        // cmplog no extra bytes touch the wire — the exec is
+        // bit-identical to the pre-cmplog pipeline.
+        let armed_header = self
+            .config
+            .cmplog
+            .then(|| self.layout.cmp.armed_header(endian));
         let uploaded = if self.config.vectored {
-            // Length word and prog body land in one round trip.
+            // Length word, prog body (and arming header) land in one
+            // round trip.
             let mut txn = Txn::new();
             txn.write_mem(prog_addr, &len_bytes)
                 .write_mem(prog_addr + 4, &bytes);
+            if let Some(header) = armed_header.as_ref() {
+                txn.write_mem(self.layout.cmp.base, header);
+            }
             policy
                 .run_txn(&mut self.link_retry, &mut self.transport, &txn)
                 .is_ok()
@@ -528,6 +693,14 @@ impl Executor {
                         p.write_mem(prog_addr + 4, &bytes)
                     })
                     .is_ok()
+                && armed_header.as_ref().is_none_or(|header| {
+                    let cmp_base = self.layout.cmp.base;
+                    policy
+                        .run(&mut self.link_retry, &mut self.transport, |p| {
+                            p.write_mem(cmp_base, header)
+                        })
+                        .is_ok()
+                })
         };
         if !uploaded {
             self.recover(RecoveryReason::ConnectionLoss);
@@ -742,9 +915,25 @@ impl Executor {
             }
         }
 
-        // Final coverage drain (healthy completion path).
+        // Final coverage drain (healthy completion path). The operand
+        // ring rides the same path — vectored inside the coverage
+        // drain's own transactions, scalar as its own retried reads.
+        // Degraded paths skip it deliberately: a restoration wipes the
+        // ring with the rest of board state anyway.
         if self.at_main {
-            all_edges.extend(self.drain_cov());
+            if self.config.cmplog
+                && self.config.vectored
+                && self.config.instrument != InstrumentMode::None
+            {
+                let (edges, records) = self.drain_cov_and_cmp();
+                all_edges.extend(edges);
+                outcome.cmp_records = records;
+            } else {
+                all_edges.extend(self.drain_cov());
+                if self.config.cmplog {
+                    outcome.cmp_records = self.drain_cmp();
+                }
+            }
         }
 
         // Log monitor on the healthy path too (non-hanging assert spam).

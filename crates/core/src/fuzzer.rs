@@ -7,6 +7,7 @@
 //! fresh and nothing is retained, which is exactly the ablation the
 //! paper measures.
 
+use crate::cmplog::{CmpJournal, MutOp, OpScheduler};
 use crate::config::FuzzerConfig;
 use crate::corpus::Corpus;
 use crate::crash::CrashDb;
@@ -34,6 +35,11 @@ pub struct FuzzerStats {
     /// Executions skipped because the target could not be parked at the
     /// sync point even after recovery.
     pub failed_syncs: u64,
+    /// Per-operator executions, indexed by [`MutOp::index`]. All zero
+    /// unless the campaign runs cmplog (only scheduled mutants count).
+    pub op_execs: [u64; MutOp::COUNT],
+    /// Per-operator interesting hits, indexed by [`MutOp::index`].
+    pub op_interesting: [u64; MutOp::COUNT],
 }
 
 /// The EOF fuzzing loop.
@@ -46,12 +52,19 @@ pub struct Fuzzer {
     rng: StdRng,
     stats: FuzzerStats,
     store: Option<CampaignStore>,
+    /// Cmplog state: the operand journal and the operator scheduler.
+    /// `None` when the campaign runs without cmplog — the loop then
+    /// takes the exact pre-cmplog path, consuming identical RNG draws.
+    cmplog: Option<(CmpJournal, OpScheduler)>,
 }
 
 impl Fuzzer {
     /// Assemble the loop.
     pub fn new(config: FuzzerConfig, generator: Generator, executor: Executor) -> Self {
         let rng = StdRng::seed_from_u64(config.seed ^ 0xf00d);
+        let cmplog = config
+            .cmplog
+            .then(|| (CmpJournal::new(), OpScheduler::new(config.seed)));
         Fuzzer {
             config,
             generator,
@@ -61,6 +74,7 @@ impl Fuzzer {
             rng,
             stats: FuzzerStats::default(),
             store: None,
+            cmplog,
         }
     }
 
@@ -108,29 +122,35 @@ impl Fuzzer {
         &mut self.executor
     }
 
+    /// The cmplog operand journal (`None` without cmplog).
+    pub fn cmp_journal(&self) -> Option<&CmpJournal> {
+        self.cmplog.as_ref().map(|(j, _)| j)
+    }
+
+    /// The cmplog operator scheduler (`None` without cmplog).
+    pub fn op_scheduler(&self) -> Option<&OpScheduler> {
+        self.cmplog.as_ref().map(|(_, s)| s)
+    }
+
     /// Run one fuzzing iteration: pick or generate an input, execute it,
     /// and — when it discovers new coverage — immediately exploit the
     /// frontier with a burst of follow-up mutations (the AFL-style
     /// reaction that lets guided search climb breadcrumb ladders).
     pub fn step(&mut self) {
         let gen_span = tel::span_start("fuzz.gen", self.executor.now());
-        let prog = if self.config.coverage_feedback
+        let (prog, op) = if self.config.coverage_feedback
             && !self.corpus.is_empty()
             && self.rng.random_bool(0.5)
         {
             match self.corpus.pick_index(&mut self.rng) {
-                // Mutate straight off the corpus entry — the seed prog
-                // is only read, never cloned.
-                Some(i) => self
-                    .generator
-                    .mutate(&self.corpus.get(i).expect("picked index is live").prog),
-                None => self.generator.generate(),
+                Some(i) => self.mutate_seed(i),
+                None => (self.generator.generate(), None),
             }
         } else {
-            self.generator.generate()
+            (self.generator.generate(), None)
         };
         tel::span_end(gen_span, self.executor.now());
-        let (mut frontier, _) = self.run_and_record(prog);
+        let (mut frontier, _) = self.run_and_record(prog, op);
         if !self.config.coverage_feedback {
             return;
         }
@@ -148,15 +168,9 @@ impl Fuzzer {
                 }
                 burst_budget -= 1;
                 let gen_span = tel::span_start("fuzz.gen", self.executor.now());
-                let mutant = self.generator.mutate(
-                    &self
-                        .corpus
-                        .get(seed_idx)
-                        .expect("frontier index is live")
-                        .prog,
-                );
+                let (mutant, op) = self.mutate_seed(seed_idx);
                 tel::span_end(gen_span, self.executor.now());
-                let (next, stalled) = self.run_and_record(mutant);
+                let (next, stalled) = self.run_and_record(mutant, op);
                 if stalled {
                     break 'burst;
                 }
@@ -168,11 +182,32 @@ impl Fuzzer {
         }
     }
 
+    /// Mutate the corpus entry at `idx`. Cmplog campaigns route the
+    /// mutation through the operator scheduler (and tag the mutant with
+    /// the operator picked, for per-operator accounting); without cmplog
+    /// this is exactly the pre-cmplog `Generator::mutate` call — same
+    /// RNG draws, same mutants. The seed prog is only read, never cloned.
+    fn mutate_seed(&mut self, idx: usize) -> (eof_speclang::prog::Prog, Option<MutOp>) {
+        let base = &self.corpus.get(idx).expect("picked index is live").prog;
+        match self.cmplog.as_mut() {
+            Some((journal, scheduler)) => {
+                let op = scheduler.pick();
+                (self.generator.mutate_op(base, op, journal), Some(op))
+            }
+            None => (self.generator.mutate(base), None),
+        }
+    }
+
     /// Execute one prog with full bookkeeping. Returns the corpus index
     /// of the prog when it was interesting (new coverage or a new crash
     /// class) — the caller may exploit it further — plus whether the
-    /// target stalled.
-    fn run_and_record(&mut self, prog: eof_speclang::prog::Prog) -> (Option<usize>, bool) {
+    /// target stalled. `op` tags scheduled cmplog mutants with the
+    /// operator that produced them.
+    fn run_and_record(
+        &mut self,
+        prog: eof_speclang::prog::Prog,
+        op: Option<MutOp>,
+    ) -> (Option<usize>, bool) {
         if prog.is_empty() {
             return (None, false);
         }
@@ -251,6 +286,22 @@ impl Fuzzer {
         let interesting = !hangs_target
             && ((self.config.coverage_feedback && outcome.new_edges > 0)
                 || (self.config.crash_feedback && new_crash_class));
+        if let Some((journal, scheduler)) = self.cmplog.as_mut() {
+            // Feed the drained operand pairs into the journal and close
+            // the scheduling loop: every `FuzzerStats` per-operator
+            // increment is mirrored onto its telemetry counter at the
+            // same site (the campaign asserts the two paths agree).
+            journal.absorb(&outcome.cmp_records);
+            if let Some(op) = op {
+                scheduler.record(op, interesting);
+                self.stats.op_execs[op.index()] += 1;
+                tel::count(op.execs_counter(), 1);
+                if interesting {
+                    self.stats.op_interesting[op.index()] += 1;
+                    tel::count(op.interesting_counter(), 1);
+                }
+            }
+        }
         if interesting {
             self.generator
                 .reward(&prog, 0.5 + (outcome.new_edges as f64).sqrt() * 0.25);

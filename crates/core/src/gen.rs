@@ -11,6 +11,7 @@
 //! shape-blind values thrown at the same entry points, which the target
 //! mostly rejects at the API boundary.
 
+use crate::cmplog::{CmpJournal, MutOp};
 use crate::config::GenerationMode;
 use eof_speclang::ast::{SpecFile, TypeDesc};
 use eof_speclang::prog::{ArgValue, Call, Prog};
@@ -521,6 +522,122 @@ impl Generator {
         prog
     }
 
+    /// Mutate under a scheduled cmplog operator. `Baseline` is exactly
+    /// [`Generator::mutate`] — byte-for-byte the pre-cmplog operator,
+    /// same RNG draws — and the I2S operators splice journal operands
+    /// into the input. Operators that find nothing to splice fall back
+    /// to the baseline mutation, so a scheduled pick is never a no-op.
+    pub fn mutate_op(&mut self, base: &Prog, op: MutOp, journal: &CmpJournal) -> Prog {
+        match op {
+            MutOp::Baseline => self.mutate(base),
+            MutOp::I2sInt => self.splice_int(base, journal),
+            MutOp::I2sMmio => self.splice_mmio(base, journal),
+        }
+    }
+
+    /// Input-to-state splice into the call plane: pick an observed
+    /// comparison pair, find an integer argument currently holding the
+    /// input-derived side (`lhs`), and replace it with the constant the
+    /// kernel compared it against (`rhs`), clamped to the parameter's
+    /// declared range. With no lhs match the constant lands in a random
+    /// integer argument — the colorization-free fallback.
+    fn splice_int(&mut self, base: &Prog, journal: &CmpJournal) -> Prog {
+        if journal.is_empty() || base.calls.is_empty() {
+            return self.mutate(base);
+        }
+        let (width, lhs, rhs) = journal.get(self.rng.random_range(0..journal.len()));
+        let mask = width_mask(width);
+        let mut slots: Vec<(usize, usize)> = Vec::new();
+        let mut lhs_slots: Vec<(usize, usize)> = Vec::new();
+        for (ci, call) in base.calls.iter().enumerate() {
+            let Some(api) = self.spec.api(&call.api) else {
+                continue;
+            };
+            for (ai, arg) in call.args.iter().enumerate().take(api.params.len()) {
+                let (ArgValue::Int(v), TypeDesc::Int { .. }) = (arg, &api.params[ai].ty) else {
+                    continue;
+                };
+                slots.push((ci, ai));
+                if v & mask == lhs & mask {
+                    lhs_slots.push((ci, ai));
+                }
+            }
+        }
+        let pool = if lhs_slots.is_empty() {
+            &slots
+        } else {
+            &lhs_slots
+        };
+        if pool.is_empty() {
+            return self.mutate(base);
+        }
+        let (ci, ai) = pool[self.rng.random_range(0..pool.len())];
+        let mut prog = base.clone();
+        let ty = self
+            .spec
+            .api(&prog.calls[ci].api)
+            .map(|a| a.params[ai].ty.clone());
+        if let Some(TypeDesc::Int { bits, range }) = ty {
+            prog.calls[ci].args[ai] = ArgValue::Int(clamp_int(rhs & mask, bits, range));
+        }
+        prog
+    }
+
+    /// Input-to-state splice into the MMIO response stream: replace an
+    /// occurrence of the observed lhs bytes (the value the driver
+    /// actually consumed from the stream) with the constant — which
+    /// plants the magic exactly at a position the kernel reads. Without
+    /// an occurrence the bytes land at a random offset.
+    fn splice_mmio(&mut self, base: &Prog, journal: &CmpJournal) -> Prog {
+        if !self.mmio || journal.is_empty() {
+            return self.mutate(base);
+        }
+        let mut prog = base.clone();
+        // Positional candidates: every journal pair whose observed
+        // (input-derived) side occurs verbatim in this prog's stream,
+        // at every position it occurs. Splicing one plants the
+        // compared-against constant at a byte offset the kernel
+        // actually consumed — the I2S step proper. Wider operands are
+        // rarer and more specific, so a match set is scanned whole
+        // rather than sampled pair-first: a 16-bit vendor word with one
+        // match must not be drowned out by an 8-bit pair that never had
+        // a chance.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for i in 0..journal.len() {
+            let (width, lhs, _) = journal.get(i);
+            let n = ((width / 8).max(1) as usize).min(8);
+            if prog.mmio.len() < n {
+                continue;
+            }
+            let lhs_bytes = lhs.to_le_bytes();
+            for pos in 0..=prog.mmio.len() - n {
+                if prog.mmio[pos..pos + n] == lhs_bytes[..n] {
+                    candidates.push((i, pos));
+                }
+            }
+        }
+        if !candidates.is_empty() {
+            let (i, pos) = candidates[self.mmio_rng.random_range(0..candidates.len())];
+            let (width, _, rhs) = journal.get(i);
+            let n = ((width / 8).max(1) as usize).min(8);
+            prog.mmio[pos..pos + n].copy_from_slice(&rhs.to_le_bytes()[..n]);
+            return prog;
+        }
+        // No positional match anywhere: plant a constant blind.
+        let (width, _, rhs) = journal.get(self.mmio_rng.random_range(0..journal.len()));
+        let n = ((width / 8).max(1) as usize).min(8);
+        let rhs_bytes = rhs.to_le_bytes();
+        if prog.mmio.len() >= n {
+            let pos = self.mmio_rng.random_range(0..=prog.mmio.len() - n);
+            prog.mmio[pos..pos + n].copy_from_slice(&rhs_bytes[..n]);
+        } else if prog.mmio.len() + n <= MMIO_MAX_LEN {
+            prog.mmio.extend_from_slice(&rhs_bytes[..n]);
+        } else {
+            return self.mutate(base);
+        }
+        prog
+    }
+
     /// Reward the adjacencies of a prog that produced new coverage.
     pub fn reward(&mut self, prog: &Prog, strength: f64) {
         for pair in prog.calls.windows(2) {
@@ -536,6 +653,29 @@ impl Generator {
             *w = (*w + strength).min(2.0);
         }
     }
+}
+
+/// All-ones mask for an operand width in bits.
+fn width_mask(width: u32) -> u64 {
+    match width {
+        8 => 0xff,
+        16 => 0xffff,
+        32 => 0xffff_ffff,
+        _ => u64::MAX,
+    }
+}
+
+/// Clamp a spliced constant into a parameter's declared domain.
+fn clamp_int(v: u64, bits: u8, range: Option<(u64, u64)>) -> u64 {
+    let ceiling = match bits {
+        8 => u8::MAX as u64,
+        16 => u16::MAX as u64,
+        32 => u32::MAX as u64,
+        _ => u64::MAX,
+    };
+    let (min, max) = range.unwrap_or((0, ceiling));
+    let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+    v.clamp(lo, hi)
 }
 
 #[cfg(test)]
@@ -719,5 +859,102 @@ mod tests {
     fn empty_spec_yields_empty_prog() {
         let mut g = Generator::new(SpecFile::default(), 1, GenerationMode::ApiAware, 4);
         assert!(g.generate().is_empty());
+    }
+
+    fn journal_with(pairs: &[(u32, u64, u64)]) -> CmpJournal {
+        let mut j = CmpJournal::new();
+        let records: Vec<eof_coverage::CmpRecord> = pairs
+            .iter()
+            .map(|&(width, lhs, rhs)| eof_coverage::CmpRecord {
+                site: 0,
+                width,
+                lhs,
+                rhs,
+            })
+            .collect();
+        j.absorb(&records);
+        j
+    }
+
+    #[test]
+    fn baseline_op_is_byte_identical_to_plain_mutate() {
+        let spec = parse_spec(&extract_spec_text(OsKind::FreeRtos)).unwrap();
+        let mut plain = Generator::new(spec.clone(), 17, GenerationMode::ApiAware, 6);
+        let mut scheduled = Generator::new(spec, 17, GenerationMode::ApiAware, 6);
+        let journal = journal_with(&[(32, 1, 0xD3AD_BEA7)]);
+        let mut a = plain.generate();
+        let mut b = scheduled.generate();
+        assert_eq!(a, b);
+        for _ in 0..100 {
+            a = plain.mutate(&a);
+            b = scheduled.mutate_op(&b, MutOp::Baseline, &journal);
+            assert_eq!(a, b, "Baseline diverged from mutate()");
+        }
+    }
+
+    #[test]
+    fn i2s_int_splice_plants_the_constant_within_range() {
+        let spec = parse_spec("f(x int32[0:4294967295])").unwrap();
+        let mut g = Generator::new(spec, 11, GenerationMode::ApiAware, 2);
+        let journal = journal_with(&[(32, 7, 0xD3AD_BEA7)]);
+        let base = g.generate();
+        let mut hit = false;
+        for _ in 0..50 {
+            let m = g.mutate_op(&base, MutOp::I2sInt, &journal);
+            assert!(m.conforms_to(g.spec()), "nonconforming splice: {m}");
+            if m.calls
+                .iter()
+                .any(|c| c.args.first() == Some(&ArgValue::Int(0xD3AD_BEA7)))
+            {
+                hit = true;
+            }
+        }
+        assert!(hit, "splice never planted the constant");
+        // A range that excludes the magic clamps instead of violating.
+        let spec = parse_spec("f(x int32[10:20])").unwrap();
+        let mut g = Generator::new(spec, 11, GenerationMode::ApiAware, 2);
+        let base = g.generate();
+        for _ in 0..30 {
+            let m = g.mutate_op(&base, MutOp::I2sInt, &journal);
+            assert!(m.conforms_to(g.spec()), "clamp violated range: {m}");
+        }
+    }
+
+    #[test]
+    fn i2s_mmio_splice_replaces_the_consumed_byte() {
+        let spec = parse_spec(&extract_spec_text(OsKind::Zephyr)).unwrap();
+        let mut g = Generator::new(spec, 13, GenerationMode::ApiAware, 4).with_mmio(true);
+        // The driver read 0x11 and compared it to the 0x5A tag.
+        let journal = journal_with(&[(8, 0x11, 0x5A)]);
+        let mut base = g.generate();
+        base.mmio = vec![0x00, 0x11, 0x22, 0x11];
+        let mut replaced = false;
+        for _ in 0..40 {
+            let m = g.mutate_op(&base, MutOp::I2sMmio, &journal);
+            // The splice overwrites an occurrence of the consumed value
+            // in place — stream length never changes on the match path.
+            if m.mmio.len() == base.mmio.len() && m.mmio.contains(&0x5A) {
+                let changed: Vec<usize> = (0..m.mmio.len())
+                    .filter(|&i| m.mmio[i] != base.mmio[i])
+                    .collect();
+                assert_eq!(changed.len(), 1);
+                assert_eq!(base.mmio[changed[0]], 0x11);
+                assert_eq!(m.mmio[changed[0]], 0x5A);
+                replaced = true;
+            }
+        }
+        assert!(replaced, "mmio splice never replaced the lhs byte");
+    }
+
+    #[test]
+    fn i2s_ops_fall_back_to_mutation_without_candidates() {
+        let spec = parse_spec(&extract_spec_text(OsKind::FreeRtos)).unwrap();
+        let mut g = Generator::new(spec, 19, GenerationMode::ApiAware, 6);
+        let empty = CmpJournal::new();
+        let base = g.generate();
+        for op in [MutOp::I2sInt, MutOp::I2sMmio] {
+            let m = g.mutate_op(&base, op, &empty);
+            assert!(m.conforms_to(g.spec()));
+        }
     }
 }

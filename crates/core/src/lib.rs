@@ -22,6 +22,9 @@
 //!   restoration ladder (resume → reset → verify-reflash → full
 //!   reflash → power-cycle) with bounded, backed-off retries and
 //!   [`supervisor::ResilienceStats`] accounting;
+//! * [`cmplog`] — the Redqueen/I2S pipeline's host half: the
+//!   per-campaign comparison-operand journal, the input-to-state
+//!   mutation operators, and the MOpt-style operator scheduler;
 //! * [`fuzzer`] — the feedback loop;
 //! * [`campaign`] — image build → flash → boot → fuzz → results;
 //! * [`chaos`] — seeded chaos harness: full campaigns under randomized
@@ -52,6 +55,7 @@
 pub mod artifacts;
 pub mod campaign;
 pub mod chaos;
+pub mod cmplog;
 pub mod config;
 pub mod corpus;
 pub mod crash;
@@ -68,10 +72,11 @@ pub mod supervisor;
 
 pub use artifacts::{cache_stats, cached_image, cached_spec, reset_cache_stats, CacheStats};
 pub use campaign::{
-    build_fuzzer, run_campaign, run_campaign_recorded, run_campaign_with_coverage,
-    run_campaign_with_faults, CampaignResult,
+    build_fuzzer, run_campaign, run_campaign_recorded, run_campaign_recorded_with_faults,
+    run_campaign_with_coverage, run_campaign_with_faults, CampaignResult,
 };
 pub use chaos::{chaos_plan, run_chaos, ChaosConfig, ChaosReport};
+pub use cmplog::{CmpJournal, MutOp, OpScheduler};
 pub use config::{DetectionConfig, FuzzerConfig, GenerationMode, RecoveryConfig};
 pub use corpus::{Corpus, Seed};
 pub use crash::{triage, CrashDb, CrashReport, DetectionSource};

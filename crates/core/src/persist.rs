@@ -86,6 +86,13 @@ fn config_canonical(config: &FuzzerConfig) -> String {
     if config.mmio {
         canon.push_str(";mmio=true");
     }
+    // Same scheme for cmplog: the I2S mutation stage changes which
+    // inputs are generated, so the fingerprint must split, but a
+    // cmplog-off campaign keeps its pre-cmplog fingerprint byte for
+    // byte.
+    if config.cmplog {
+        canon.push_str(";cmplog=true");
+    }
     canon
 }
 
@@ -486,6 +493,11 @@ pub struct StoreManifest {
     /// and resume reconstruct the right configuration. Reads tolerate
     /// the key's absence (pre-MMIO stores are pure API plane).
     pub mmio: bool,
+    /// Whether the producing campaign ran the Redqueen/I2S cmplog
+    /// pipeline. Part of the fingerprint — cmplog changes generation —
+    /// and carried here for replay/resume reconstruction. Reads
+    /// tolerate the key's absence (pre-cmplog stores are pure).
+    pub cmplog: bool,
     /// Simulated hours the producing campaign consumed.
     pub consumed_hours: f64,
     /// Final distinct-branch count of the campaign coverage map.
@@ -531,6 +543,10 @@ impl StoreManifest {
                 format!("{:016x}", self.consumed_hours.to_bits()),
             ),
             ("io", if self.mmio { "mmio" } else { "api" }.to_string()),
+            (
+                "i2s",
+                if self.cmplog { "cmplog" } else { "pure" }.to_string(),
+            ),
             ("branches", self.branches.to_string()),
             ("replay_branches", self.replay_branches.to_string()),
             ("seed_count", self.seed_count.to_string()),
@@ -558,6 +574,8 @@ impl StoreManifest {
             // Stores predating the driver workload carry no key: pure
             // API plane only.
             mmio: rec.get("io").map(|v| v == "mmio").unwrap_or(false),
+            // Stores predating the cmplog channel carry no key.
+            cmplog: rec.get("i2s").map(|v| v == "cmplog").unwrap_or(false),
             consumed_hours: rec.f64_bits("consumed_hours_bits")?,
             branches: rec.usize("branches")?,
             replay_branches: rec.usize("replay_branches")?,
@@ -610,6 +628,7 @@ pub struct CampaignStore {
     vectored: bool,
     snapshot: bool,
     mmio: bool,
+    cmplog: bool,
     crash_writes: usize,
     write_errors: usize,
 }
@@ -637,6 +656,7 @@ impl CampaignStore {
             vectored: config.vectored,
             snapshot: config.snapshot,
             mmio: config.mmio,
+            cmplog: config.cmplog,
             crash_writes: 0,
             write_errors: 0,
         })
@@ -761,6 +781,7 @@ impl CampaignStore {
             vectored: self.vectored,
             snapshot: self.snapshot,
             mmio: self.mmio,
+            cmplog: self.cmplog,
             consumed_hours,
             branches,
             replay_branches,
@@ -1303,6 +1324,29 @@ mod tests {
         let mut other_seed = base.clone();
         other_seed.seed = 8;
         assert_ne!(config_fingerprint(&base), config_fingerprint(&other_seed));
+    }
+
+    #[test]
+    fn cmplog_splits_the_fingerprint_and_absent_key_reads_pure() {
+        let base = config();
+        let mut on = base.clone();
+        on.cmplog = true;
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&on));
+        let dir = tmpdir("cmplog");
+        let mut store = CampaignStore::create(&dir, &on).unwrap();
+        store.write_manifest(0.1, 1, 1, 0, 0, 5);
+        assert!(open(&dir).unwrap().manifest.cmplog);
+        // Strip the key: a pre-cmplog manifest loads as a pure campaign.
+        let path = dir.join("manifest.eof");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("i2s"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, stripped).unwrap();
+        assert!(!open(&dir).unwrap().manifest.cmplog);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! The on-device comparison-operand ring buffer (the cmplog channel).
+//!
+//! Redqueen-style input-to-state mutation needs the *operands* of the
+//! comparisons the kernel executes, not just which branches it took.
+//! The planted `trace_cmp` hooks append `(site, width, lhs, rhs)`
+//! records into this RAM region; the host drains it alongside the
+//! coverage buffer and feeds the observed operands back into the
+//! mutator as splice candidates.
+//!
+//! Layout mirrors [`crate::buffer::CovRegion`] — a 12-byte header
+//! (count, capacity, overflow) followed by fixed-size records — with
+//! one deliberate twist: the **capacity word doubles as the arming
+//! switch**. [`CmpRegion::init`] writes it as 0 (disarmed), and the
+//! firmware never arms itself; only a host that wants the cmplog
+//! channel writes the real capacity before an execution. The image
+//! bytes are therefore identical with and without cmplog, and a
+//! disarmed hook costs zero cycles and zero RAM traffic — `EOF_CMPLOG=0`
+//! campaigns are bit-for-bit the campaigns this PR inherited.
+
+use crate::buffer::RecordOutcome;
+use eof_hal::{Endianness, HalError, Ram};
+
+/// Header: count (u32), capacity/arming word (u32), overflow (u32).
+pub const CMP_HEADER_BYTES: u32 = 12;
+
+/// One record: site id (u32), operand width in bits (u32), lhs (u64),
+/// rhs (u64).
+pub const CMP_RECORD_BYTES: u32 = 24;
+
+/// One drained comparison observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CmpRecord {
+    /// Stable site id (truncated edge id of the hook's site string).
+    pub site: u32,
+    /// Operand width in bits (8/16/32/64).
+    pub width: u32,
+    /// Left operand (the value the kernel computed from the input).
+    pub lhs: u64,
+    /// Right operand (usually the constant the input is compared to).
+    pub rhs: u64,
+}
+
+/// The comparison ring buffer region in target RAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpRegion {
+    /// Base address of the header.
+    pub base: u32,
+    /// Maximum records the region can hold when armed.
+    pub capacity: u32,
+}
+
+impl CmpRegion {
+    /// Describe a region (does not touch memory).
+    pub fn new(base: u32, capacity: u32) -> Self {
+        CmpRegion { base, capacity }
+    }
+
+    /// Total footprint in RAM, header included.
+    pub fn footprint(&self) -> u32 {
+        CMP_HEADER_BYTES + self.capacity * CMP_RECORD_BYTES
+    }
+
+    /// Initialise the header **disarmed**: count 0, capacity word 0,
+    /// overflow 0. Arming is the host's move, never the firmware's.
+    pub fn init(&self, ram: &mut Ram, e: Endianness) -> Result<(), HalError> {
+        ram.write_u32(self.base, 0, e)?;
+        ram.write_u32(self.base + 4, 0, e)?;
+        ram.write_u32(self.base + 8, 0, e)?;
+        Ok(())
+    }
+
+    /// Arm the channel for one execution: a fresh header with the real
+    /// capacity in the arming word. The host's move — on the wire this
+    /// rides the prog-upload transaction as [`CmpRegion::armed_header`].
+    pub fn arm(&self, ram: &mut Ram, e: Endianness) -> Result<(), HalError> {
+        ram.write(self.base, &self.armed_header(e))
+    }
+
+    /// The 12-byte armed header image (count 0, capacity, overflow 0).
+    /// Writing this before every execution guarantees the ring starts
+    /// empty even if the previous drain was lost mid-transaction.
+    pub fn armed_header(&self, e: Endianness) -> [u8; 12] {
+        let mut h = [0u8; 12];
+        h[4..8].copy_from_slice(&e.u32_bytes(self.capacity));
+        h
+    }
+
+    /// Whether the host has armed the channel (nonzero capacity word).
+    /// A read failure reads as disarmed — the hook must never trap.
+    pub fn armed(&self, ram: &Ram, e: Endianness) -> bool {
+        ram.read_u32(self.base + 4, e).is_ok_and(|cap| cap != 0)
+    }
+
+    /// Append one record. The capacity is read back from RAM (the
+    /// arming word), clamped by the descriptor's own capacity so a
+    /// hostile value cannot push writes past the region. Disarmed or
+    /// full, the record is dropped; the hook never traps.
+    pub fn record(
+        &self,
+        ram: &mut Ram,
+        e: Endianness,
+        rec: CmpRecord,
+    ) -> Result<RecordOutcome, HalError> {
+        let cap = ram.read_u32(self.base + 4, e)?.min(self.capacity);
+        if cap == 0 {
+            return Ok(RecordOutcome::Dropped);
+        }
+        let count = ram.read_u32(self.base, e)?;
+        if count >= cap {
+            let overflow = ram.read_u32(self.base + 8, e)?;
+            ram.write_u32(self.base + 8, overflow.saturating_add(1), e)?;
+            return Ok(RecordOutcome::Dropped);
+        }
+        let slot = self.base + CMP_HEADER_BYTES + count * CMP_RECORD_BYTES;
+        ram.write_u32(slot, rec.site, e)?;
+        ram.write_u32(slot + 4, rec.width, e)?;
+        ram.write_u64(slot + 8, rec.lhs, e)?;
+        ram.write_u64(slot + 16, rec.rhs, e)?;
+        ram.write_u32(self.base, count + 1, e)?;
+        Ok(if count + 1 >= cap {
+            RecordOutcome::Full
+        } else {
+            RecordOutcome::Stored
+        })
+    }
+
+    /// Bytes a full drain reads: header plus every possible record.
+    pub fn drain_len(&self) -> usize {
+        self.footprint() as usize
+    }
+
+    /// Parse a drained byte image (header + records) into records and
+    /// the overflow count. Tolerates truncation and hostile counts: the
+    /// count is clamped to the descriptor capacity and a record that
+    /// runs past the slice ends the parse.
+    pub fn parse_drain(&self, bytes: &[u8], e: Endianness) -> (Vec<CmpRecord>, u32) {
+        if bytes.len() < CMP_HEADER_BYTES as usize {
+            return (Vec::new(), 0);
+        }
+        let word =
+            |off: usize| e.u32_from([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+        let count = word(0).min(self.capacity);
+        let overflow = word(8);
+        let mut records = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let off = (CMP_HEADER_BYTES + i * CMP_RECORD_BYTES) as usize;
+            if off + CMP_RECORD_BYTES as usize > bytes.len() {
+                break;
+            }
+            let wide = |o: usize| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&bytes[o..o + 8]);
+                e.u64_from(b)
+            };
+            records.push(CmpRecord {
+                site: word(off),
+                width: word(off + 4),
+                lhs: wide(off + 8),
+                rhs: wide(off + 16),
+            });
+        }
+        (records, overflow)
+    }
+
+    /// Reset count and overflow (a host-side drain's epilogue). The
+    /// arming word is left alone.
+    pub fn reset(&self, ram: &mut Ram, e: Endianness) -> Result<(), HalError> {
+        ram.write_u32(self.base, 0, e)?;
+        ram.write_u32(self.base + 8, 0, e)?;
+        Ok(())
+    }
+
+    /// Current record count.
+    pub fn count(&self, ram: &Ram, e: Endianness) -> Result<u32, HalError> {
+        ram.read_u32(self.base, e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: Endianness = Endianness::Little;
+
+    fn rec(site: u32, lhs: u64, rhs: u64) -> CmpRecord {
+        CmpRecord {
+            site,
+            width: 32,
+            lhs,
+            rhs,
+        }
+    }
+
+    fn armed_region(ram: &mut Ram, capacity: u32) -> CmpRegion {
+        let r = CmpRegion::new(0x2000_0100, capacity);
+        r.init(ram, E).unwrap();
+        ram.write_u32(r.base + 4, capacity, E).unwrap();
+        r
+    }
+
+    #[test]
+    fn disarmed_region_records_nothing() {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let r = CmpRegion::new(0x2000_0100, 8);
+        r.init(&mut ram, E).unwrap();
+        assert!(!r.armed(&ram, E));
+        assert_eq!(
+            r.record(&mut ram, E, rec(1, 2, 3)).unwrap(),
+            RecordOutcome::Dropped
+        );
+        assert_eq!(r.count(&ram, E).unwrap(), 0);
+        // Overflow untouched: a disarmed drop is free, not an overflow.
+        assert_eq!(ram.read_u32(r.base + 8, E).unwrap(), 0);
+    }
+
+    #[test]
+    fn armed_region_records_until_full_then_drops() {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let r = armed_region(&mut ram, 3);
+        assert!(r.armed(&ram, E));
+        assert_eq!(
+            r.record(&mut ram, E, rec(1, 10, 20)).unwrap(),
+            RecordOutcome::Stored
+        );
+        assert_eq!(
+            r.record(&mut ram, E, rec(2, 11, 21)).unwrap(),
+            RecordOutcome::Stored
+        );
+        assert_eq!(
+            r.record(&mut ram, E, rec(3, 12, 22)).unwrap(),
+            RecordOutcome::Full
+        );
+        assert_eq!(
+            r.record(&mut ram, E, rec(4, 13, 23)).unwrap(),
+            RecordOutcome::Dropped
+        );
+        assert_eq!(ram.read_u32(r.base + 8, E).unwrap(), 1);
+    }
+
+    #[test]
+    fn drain_roundtrip() {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let r = armed_region(&mut ram, 8);
+        let a = CmpRecord {
+            site: 0xcafe,
+            width: 32,
+            lhs: 0xD3AD_BEA7,
+            rhs: 0x0BAD_F00D,
+        };
+        let b = CmpRecord {
+            site: 0xf00d,
+            width: 8,
+            lhs: 0x5A,
+            rhs: 0xC3,
+        };
+        r.record(&mut ram, E, a).unwrap();
+        r.record(&mut ram, E, b).unwrap();
+        let bytes = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        let (records, overflow) = r.parse_drain(&bytes, E);
+        assert_eq!(records, vec![a, b]);
+        assert_eq!(overflow, 0);
+    }
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut ram = Ram::new(0x8000_0000, 0x1000);
+        let r = CmpRegion::new(0x8000_0100, 4);
+        r.init(&mut ram, Endianness::Big).unwrap();
+        ram.write_u32(r.base + 4, 4, Endianness::Big).unwrap();
+        let a = rec(7, u64::MAX - 1, 0x1234_5678_9abc_def0);
+        r.record(&mut ram, Endianness::Big, a).unwrap();
+        let bytes = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        let (records, _) = r.parse_drain(&bytes, Endianness::Big);
+        assert_eq!(records, vec![a]);
+    }
+
+    #[test]
+    fn reset_reopens_buffer_and_keeps_arming() {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let r = armed_region(&mut ram, 2);
+        r.record(&mut ram, E, rec(1, 1, 1)).unwrap();
+        r.record(&mut ram, E, rec(2, 2, 2)).unwrap();
+        r.record(&mut ram, E, rec(3, 3, 3)).unwrap();
+        r.reset(&mut ram, E).unwrap();
+        assert_eq!(r.count(&ram, E).unwrap(), 0);
+        assert_eq!(ram.read_u32(r.base + 8, E).unwrap(), 0);
+        assert!(r.armed(&ram, E));
+        assert_eq!(
+            r.record(&mut ram, E, rec(4, 4, 4)).unwrap(),
+            RecordOutcome::Stored
+        );
+    }
+
+    #[test]
+    fn truncated_drain_is_safe() {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let r = armed_region(&mut ram, 4);
+        r.record(&mut ram, E, rec(1, 1, 1)).unwrap();
+        r.record(&mut ram, E, rec(2, 2, 2)).unwrap();
+        let bytes = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        // Cut mid-record: only the whole first record survives.
+        let (records, _) = r.parse_drain(&bytes[..CMP_HEADER_BYTES as usize + 30], E);
+        assert_eq!(records.len(), 1);
+        let (none, _) = r.parse_drain(&bytes[..6], E);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn hostile_counts_are_clamped() {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let r = armed_region(&mut ram, 4);
+        r.record(&mut ram, E, rec(1, 1, 1)).unwrap();
+        // Corrupt the count and the arming word with huge values.
+        ram.write_u32(r.base, u32::MAX, E).unwrap();
+        ram.write_u32(r.base + 4, u32::MAX, E).unwrap();
+        let bytes = ram.slice(r.base, r.drain_len()).unwrap().to_vec();
+        let (records, _) = r.parse_drain(&bytes, E);
+        assert!(records.len() <= r.capacity as usize);
+        // And a record against the corrupted header drops, never traps.
+        assert_eq!(
+            r.record(&mut ram, E, rec(2, 2, 2)).unwrap(),
+            RecordOutcome::Dropped
+        );
+    }
+
+    #[test]
+    fn arm_writes_a_fresh_header() {
+        let mut ram = Ram::new(0x2000_0000, 0x1000);
+        let r = CmpRegion::new(0x2000_0100, 4);
+        r.init(&mut ram, E).unwrap();
+        // Pretend a stale run left a partial count and an overflow.
+        ram.write_u32(r.base, 3, E).unwrap();
+        ram.write_u32(r.base + 8, 9, E).unwrap();
+        r.arm(&mut ram, E).unwrap();
+        assert!(r.armed(&ram, E));
+        assert_eq!(r.count(&ram, E).unwrap(), 0);
+        assert_eq!(ram.read_u32(r.base + 8, E).unwrap(), 0);
+        let h = r.armed_header(E);
+        assert_eq!(&h[0..4], &[0, 0, 0, 0]);
+        assert_eq!(E.u32_from([h[4], h[5], h[6], h[7]]), 4);
+    }
+
+    #[test]
+    fn footprint_math() {
+        let r = CmpRegion::new(0, 128);
+        assert_eq!(r.footprint(), 12 + 128 * 24);
+        assert_eq!(r.drain_len(), r.footprint() as usize);
+    }
+}

@@ -14,16 +14,21 @@
 //!   cycle cost model;
 //! * [`buffer`] — the on-device ring-buffer layout and the device/host
 //!   halves of the drain protocol;
+//! * [`cmp`] — the comparison-operand ring (the cmplog channel): the
+//!   planted `trace_cmp` hooks record operand pairs here when the host
+//!   arms the region, feeding Redqueen-style input-to-state mutation;
 //! * [`bitmap`] — the host-side coverage map that decides "did this input
 //!   find anything new?" and accumulates branch counts for the paper's
 //!   tables and curves.
 
 pub mod bitmap;
 pub mod buffer;
+pub mod cmp;
 pub mod edge;
 pub mod instrument;
 
 pub use bitmap::{CoverageMap, Snapshot};
 pub use buffer::{CovRegion, RecordOutcome, COV_HEADER_BYTES, COV_RECORD_BYTES};
+pub use cmp::{CmpRecord, CmpRegion, CMP_HEADER_BYTES, CMP_RECORD_BYTES};
 pub use edge::{edge_id, EdgeId, EdgeRegistry, EdgeSite};
 pub use instrument::{InstrumentCost, InstrumentMode, InstrumentPlan};

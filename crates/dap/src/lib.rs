@@ -41,4 +41,4 @@ pub use rsp::{
 };
 pub use tap::{TapController, TapState};
 pub use transport::{DebugTransport, LinkConfig, LinkEvent};
-pub use txn::{snapshot_default, vectored_default, Txn, TxnOp, TxnResult};
+pub use txn::{cmplog_default, snapshot_default, vectored_default, Txn, TxnOp, TxnResult};

@@ -29,8 +29,10 @@
 //! `flash write_image`, `flash verify_image`,
 //! `flash verify_sectors PART N` (per-sector checksums),
 //! `flash write_sectors PART IDX:HEX,IDX:HEX,…` (sector-delta repair),
-//! `write_pages ADDR:HEX,ADDR:HEX,…` (snapshot-delta scatter write) and
-//! `restore_core` (restart from the reset vector without a reset).
+//! `write_pages ADDR:HEX,ADDR:HEX,…` (snapshot-delta scatter write),
+//! `restore_core` (restart from the reset vector without a reset) and
+//! `drain_ring ADDR CAP RECBYTES` (atomic cmplog ring drain-and-reset,
+//! replying the raw ring image as hex).
 
 use crate::error::DapError;
 use crate::transport::DebugTransport;
@@ -205,6 +207,7 @@ impl OcdServer {
                 n: usize,
                 bytes: usize,
             },
+            Ring,
         }
         let e = self.endianness();
         let mut txn = Txn::new();
@@ -324,6 +327,10 @@ impl OcdServer {
                     txn.restore_core();
                     fmts.push(Fmt::Plain("core restored"));
                 }
+                ["drain_ring", base, cap, rec] => {
+                    txn.drain_ring(parse_num(base)?, parse_num(cap)?, parse_num(rec)?);
+                    fmts.push(Fmt::Ring);
+                }
                 other => {
                     return Err(DapError::Protocol(format!(
                         "unknown batch sub-command {:?}",
@@ -367,6 +374,10 @@ impl OcdServer {
                 (Fmt::WroteSectors { part, n, bytes }, _) => {
                     format!("wrote {n} sectors ({bytes} bytes) to {part}")
                 }
+                (Fmt::Ring, TxnResult::Bytes(b)) => format!(
+                    "ring: {}",
+                    b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+                ),
                 _ => return Err(DapError::Protocol("batch reply shape mismatch".into())),
             });
         }
@@ -619,6 +630,20 @@ mod tests {
         let out = s.execute("mdw 0x20000010").unwrap();
         assert!(out.contains("0x00000000"), "{out}");
         assert!(s.execute("batch write_pages 0x20000010-junk").is_err());
+    }
+
+    #[test]
+    fn batch_drain_ring_reads_and_resets() {
+        let mut s = server();
+        // Ring at 0x20000100: count=1, cap=2, overflow=0, one 8-byte record.
+        s.execute("batch halt; mww 0x20000100 1; mww 0x20000104 2; mww 0x20000108 0")
+            .unwrap();
+        s.execute("mww 0x2000010c 0xdeadbeef").unwrap();
+        let out = s.execute("batch drain_ring 0x20000100 2 8").unwrap();
+        assert!(out.starts_with("ring: 01000000"), "{out}");
+        // Count and overflow zeroed, arming word kept.
+        let out = s.execute("mdw 0x20000100 3").unwrap();
+        assert!(out.contains("0x00000000 0x00000002 0x00000000"), "{out}");
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! `MADDR,LEN:HEX` write, `p` read PC, `ZADDR`/`zADDR` breakpoints,
 //! `FcNAME` flash checksum, `FwNAME:HEX` flash write, `R` reset,
 //! `WADDR:HEX,ADDR:HEX,…` multi-page scatter write, `G` restore core
-//! (restart from the reset vector without a hardware reset). The
+//! (restart from the reset vector without a hardware reset),
+//! `DBASE,CAP,RECBYTES` atomic ring drain-and-reset (cmplog). The
 //! reply is the `;`-joined per-op results in queue order: `OK`, hex
 //! bytes, `P`+8-hex PC, or `C`+16-hex checksum.
 
@@ -214,6 +215,11 @@ fn encode_txn_op(op: &TxnOp) -> Result<String, DapError> {
             format!("W{body}")
         }
         TxnOp::RestoreCore => "G".into(),
+        TxnOp::DrainRing {
+            base,
+            capacity,
+            record_bytes,
+        } => format!("D{base:x},{capacity:x},{record_bytes:x}"),
     })
 }
 
@@ -302,6 +308,19 @@ fn decode_txn_op(item: &str) -> Result<TxnOp, DapError> {
             TxnOp::FlashWrite {
                 partition: item[2..colon].to_string(),
                 image: hex_decode(&item[colon + 1..])?,
+            }
+        }
+        _ if item.starts_with('D') => {
+            let mut fields = item[1..].split(',');
+            let mut next = || fields.next().ok_or_else(bad).and_then(parse_hex_field);
+            let (base, capacity, record_bytes) = (next()?, next()?, next()?);
+            if fields.next().is_some() {
+                return Err(bad());
+            }
+            TxnOp::DrainRing {
+                base,
+                capacity,
+                record_bytes,
             }
         }
         _ if item.starts_with('W') => {
@@ -586,6 +605,17 @@ mod tests {
         let mut t = Txn::new();
         t.write_pages(Vec::new());
         assert_eq!(decode_txn(&encode_txn(&t).unwrap()).unwrap(), t);
+    }
+
+    #[test]
+    fn drain_ring_codec_round_trip() {
+        let mut t = Txn::new();
+        t.drain_ring(0x2400_5100, 128, 24);
+        let wire = encode_txn(&t).unwrap();
+        assert_eq!(wire, "vTxn:D24005100,80,18");
+        assert_eq!(decode_txn(&wire).unwrap(), t);
+        assert!(decode_txn("vTxn:D24005100,80").is_err()); // missing field
+        assert!(decode_txn("vTxn:D24005100,80,18,9").is_err()); // extra field
     }
 
     #[test]

@@ -402,7 +402,10 @@ impl DebugTransport {
         if txn.ops().iter().any(|op| {
             matches!(
                 op,
-                TxnOp::ReadMem { .. } | TxnOp::WriteMem { .. } | TxnOp::WritePages { .. }
+                TxnOp::ReadMem { .. }
+                    | TxnOp::WriteMem { .. }
+                    | TxnOp::WritePages { .. }
+                    | TxnOp::DrainRing { .. }
             )
         }) {
             // One access-port setup for the whole memory burst.
@@ -542,6 +545,14 @@ impl DebugTransport {
                     // doomed batch refuses whole with the target untouched.
                     self.machine.check_boot_image().map_err(DapError::Target)?;
                 }
+                TxnOp::DrainRing {
+                    base,
+                    capacity,
+                    record_bytes,
+                } => {
+                    let len = 12 + *capacity as usize * *record_bytes as usize;
+                    self.machine.debug_check_mem(*base, len)?;
+                }
             }
         }
         Ok(())
@@ -602,6 +613,43 @@ impl DebugTransport {
             TxnOp::RestoreCore => {
                 self.machine.debug_restore_core()?;
                 TxnResult::Done
+            }
+            TxnOp::DrainRing {
+                base,
+                capacity,
+                record_bytes,
+            } => {
+                // Dependent read: header first, then only the live
+                // records — a mostly-empty ring costs a dozen bytes on
+                // the wire, not the full capacity image. Count + reset
+                // still happen inside the one op, so a fault can lose
+                // the drain whole but never leave the ring half-reset.
+                let mut header = [0u8; 12];
+                self.machine.debug_read_batched(*base, &mut header)?;
+                let e = self.machine.board().endianness;
+                let count = e
+                    .u32_from([header[0], header[1], header[2], header[3]])
+                    .min(*capacity);
+                let len = 12 + count as usize * *record_bytes as usize;
+                let mut buf = vec![0u8; len];
+                buf[..12].copy_from_slice(&header);
+                if count > 0 {
+                    self.machine
+                        .debug_read_batched(*base + 12, &mut buf[12..])?;
+                    // The records' TCK stream bits are charged here —
+                    // the static payload accounting covers only the
+                    // descriptor and header, since the live count is
+                    // unknown until the header comes back.
+                    if self.tap.is_some() {
+                        let bits = count as u64 * *record_bytes as u64 * 8;
+                        self.machine
+                            .bus_mut()
+                            .charge_debug(bits / BLOCK_TCK_PER_CORE_CYCLE);
+                    }
+                }
+                self.machine.debug_write_batched(*base, &[0u8; 4])?;
+                self.machine.debug_write_batched(*base + 8, &[0u8; 4])?;
+                TxnResult::Bytes(buf)
             }
         })
     }

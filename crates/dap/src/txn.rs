@@ -61,6 +61,20 @@ pub fn snapshot_default() -> bool {
     })
 }
 
+/// Process-wide default for the cmplog (Redqueen/I2S) knob: unlike the
+/// two above, this one defaults **off** — `EOF_CMPLOG` unset or `"0"`
+/// leaves campaigns byte-identical to pre-cmplog ones; any other value
+/// arms the comparison-operand channel everywhere the default is
+/// consulted.
+pub fn cmplog_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("EOF_CMPLOG")
+            .map(|v| v != "0")
+            .unwrap_or(false)
+    })
+}
+
 /// One queued debug operation inside a [`Txn`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxnOp {
@@ -139,6 +153,19 @@ pub enum TxnOp {
     /// keeps its (just delta-restored) contents and no reset latency is
     /// paid. The snapshot restore's final step.
     RestoreCore,
+    /// Atomically drain **and reset** a record ring (the cmplog
+    /// channel): read `header + capacity × record_bytes` at `base`, then
+    /// zero the count and overflow words — one operation, so a link
+    /// fault can only lose the whole drain (replayed whole), never leave
+    /// the ring half-reset under a stale count.
+    DrainRing {
+        /// Ring header address.
+        base: u32,
+        /// Maximum records the ring holds.
+        capacity: u32,
+        /// Bytes per record.
+        record_bytes: u32,
+    },
 }
 
 impl TxnOp {
@@ -179,6 +206,13 @@ impl TxnOp {
                 .map(|(_, data)| 32 + data.len() as u64 * 8)
                 .sum(),
             TxnOp::RestoreCore => 64,
+            // A 32-bit ring descriptor goes out and the 12-byte header
+            // always streams back. The records are a probe-side
+            // dependent read — the transport charges their stream bits
+            // at apply time, when the live count is known, so a
+            // mostly-empty ring costs a dozen bytes rather than the
+            // full capacity image.
+            TxnOp::DrainRing { .. } => 32 + 12 * 8,
             TxnOp::Halt
             | TxnOp::Resume
             | TxnOp::SetBreakpoint { .. }
@@ -340,6 +374,15 @@ impl Txn {
     pub fn restore_core(&mut self) -> &mut Self {
         self.push(TxnOp::RestoreCore)
     }
+
+    /// Queue an atomic ring drain-and-reset (the cmplog channel).
+    pub fn drain_ring(&mut self, base: u32, capacity: u32, record_bytes: u32) -> &mut Self {
+        self.push(TxnOp::DrainRing {
+            base,
+            capacity,
+            record_bytes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +447,18 @@ mod tests {
             "each page ships a 32-bit descriptor + bytes; restore-core ships 64"
         );
         assert_eq!(t.header_bits(), 2 * TXN_HEADER_BITS);
+    }
+
+    #[test]
+    fn drain_ring_accounts_and_needs_core() {
+        let mut t = Txn::new();
+        t.drain_ring(0x2000_5100, 128, 24);
+        assert!(t.needs_core());
+        assert_eq!(
+            t.payload_bits(),
+            32 + 12 * 8,
+            "descriptor out, header back; live records are charged at apply time"
+        );
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub enum BugId {
     /// #25 NuttX / I2C / Kernel Assertion / `nx_i2c_read()` NACK with
     /// pending restart.
     B25I2cNackRestart,
+    /// #26 FreeRTOS / DMA / Kernel Panic / `xDmaStart()` — gated on two
+    /// 32-bit magic descriptor addresses; the Redqueen/I2S showcase.
+    B26DmaMagicDesc,
+    /// #27 Zephyr / I2C / Kernel Panic / `i2c_read()` — gated on two
+    /// consecutive magic bytes in the MMIO response stream.
+    B27I2cMagicSeq,
 }
 
 /// Which monitor detects a bug's signal.
@@ -348,7 +354,7 @@ pub const BUG_TABLE: [BugInfo; 19] = [
 /// pure-API campaigns cannot exercise. Kept separate from [`BUG_TABLE`]
 /// so the paper-pinned Table-2 invariants (19 rows, per-OS counts,
 /// monitor split) stay byte-exact.
-pub const DRIVER_BUG_TABLE: [BugInfo; 6] = [
+pub const DRIVER_BUG_TABLE: [BugInfo; 8] = [
     BugInfo {
         id: BugId::B20SpiPollHang,
         number: 20,
@@ -421,7 +427,41 @@ pub const DRIVER_BUG_TABLE: [BugInfo; 6] = [
         hangs: true,
         depth: 1,
     },
+    // #26 and #27 are the magic-comparison-guarded rows: random argument
+    // and MMIO mutation essentially never hits the exact constants, but
+    // the cmplog operand ring observes them on the first near-miss and
+    // the I2S splice stage closes the gap — the pure-vs-cmplog A/B
+    // (`bench/src/bin/i2s.rs`) is built on exactly these two.
+    BugInfo {
+        id: BugId::B26DmaMagicDesc,
+        number: 26,
+        os: OsKind::FreeRtos,
+        scope: "DMA",
+        bug_type: "Kernel Panic",
+        operation: "xDmaStart()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 1,
+    },
+    BugInfo {
+        id: BugId::B27I2cMagicSeq,
+        number: 27,
+        os: OsKind::Zephyr,
+        scope: "I2C",
+        bug_type: "Kernel Panic",
+        operation: "i2c_read()",
+        confirmed: false,
+        detection: DetectionClass::ExceptionMonitor,
+        hangs: false,
+        depth: 1,
+    },
 ];
+
+/// The magic-comparison-guarded driver bugs (the cmplog A/B targets).
+pub fn magic_guarded_bugs() -> Vec<BugId> {
+    vec![BugId::B26DmaMagicDesc, BugId::B27I2cMagicSeq]
+}
 
 impl BugId {
     /// Metadata for this bug (Table-2 or driver inventory).
@@ -566,6 +606,20 @@ mod tests {
             );
         }
         assert!(!DRIVER_BUG_TABLE.iter().any(|b| b.os == OsKind::PokOs));
+    }
+
+    #[test]
+    fn magic_guarded_bugs_span_two_oses() {
+        let magic = magic_guarded_bugs();
+        assert_eq!(magic.len(), 2);
+        let oses: Vec<OsKind> = magic.iter().map(|b| b.info().os).collect();
+        assert!(oses.contains(&OsKind::FreeRtos));
+        assert!(oses.contains(&OsKind::Zephyr));
+        for b in magic {
+            assert!(b.is_driver_bug());
+            assert_eq!(b.info().detection, DetectionClass::ExceptionMonitor);
+            assert_eq!(b.info().depth, 1);
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! coverage buffer; when the buffer fills, a flag is raised so the agent
 //! traps at `_kcmp_buf_full` for the host to drain (paper §4.5.1).
 
-use eof_coverage::{edge_id, CovRegion, InstrumentCost, InstrumentMode, RecordOutcome};
+use eof_coverage::{
+    edge_id, CmpRecord, CmpRegion, CovRegion, InstrumentCost, InstrumentMode, RecordOutcome,
+};
 use eof_hal::Bus;
 
 /// Per-boot coverage state shared between the agent and the kernel.
@@ -24,6 +26,13 @@ pub struct CovState {
     pub hits: u64,
     /// Records dropped because the buffer was full.
     pub dropped: u64,
+    /// The comparison-operand ring (cmplog channel), if the layout has
+    /// one. It boots disarmed — hooks stay free until a host arms it.
+    pub cmp_region: Option<CmpRegion>,
+    /// Comparison hook executions while armed.
+    pub cmp_hits: u64,
+    /// Comparison records dropped (ring full or broken region).
+    pub cmp_dropped: u64,
 }
 
 impl CovState {
@@ -35,6 +44,9 @@ impl CovState {
             buffer_full: false,
             hits: 0,
             dropped: 0,
+            cmp_region: None,
+            cmp_hits: 0,
+            cmp_dropped: 0,
         }
     }
 
@@ -46,7 +58,17 @@ impl CovState {
             buffer_full: false,
             hits: 0,
             dropped: 0,
+            cmp_region: None,
+            cmp_hits: 0,
+            cmp_dropped: 0,
         }
+    }
+
+    /// Attach the comparison-operand ring (still disarmed until a host
+    /// writes its capacity word).
+    pub fn with_cmp(mut self, region: CmpRegion) -> Self {
+        self.cmp_region = Some(region);
+        self
     }
 
     /// Whether a site in `module` carries a callback in this build.
@@ -112,6 +134,39 @@ impl<'a> ExecCtx<'a> {
                 // counting only; never crashes the host.
                 Err(_) => self.cov.dropped += 1,
             }
+        }
+    }
+
+    /// Comparison hook at a static site (the planted `trace_cmp`
+    /// callback). Free unless the site's module is instrumented AND the
+    /// layout has a cmp ring AND a host armed it — so an image with the
+    /// ring laid out but nobody listening costs zero cycles, and the
+    /// `EOF_CMPLOG=0` campaign is bit-identical to a pre-cmplog one.
+    pub fn cmp(&mut self, site: &'static str, width: u32, lhs: u64, rhs: u64) {
+        let module = site.split("::").nth(1).unwrap_or("");
+        if !self.cov.module_active(module) {
+            return;
+        }
+        let Some(region) = self.cov.cmp_region else {
+            return;
+        };
+        let e = self.bus.endianness;
+        if !region.armed(&self.bus.ram, e) {
+            return;
+        }
+        self.cov.cmp_hits += 1;
+        self.bus.charge(InstrumentCost::CYCLES_PER_HIT);
+        let id = (edge_id(site) & 0xffff_ffff) as u32;
+        let rec = CmpRecord {
+            site: id,
+            width,
+            lhs,
+            rhs,
+        };
+        match region.record(&mut self.bus.ram, e, rec) {
+            Ok(RecordOutcome::Stored) | Ok(RecordOutcome::Full) => {}
+            // Ring full or broken region: degrade to counting only.
+            Ok(RecordOutcome::Dropped) | Err(_) => self.cov.cmp_dropped += 1,
         }
     }
 
@@ -212,6 +267,72 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), 4, "all four variants must be distinct edges");
+    }
+
+    #[test]
+    fn disarmed_cmp_hook_is_free() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 8);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let cmp = CmpRegion::new(0x2000_0300, 8);
+        cmp.init(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(InstrumentMode::Full, region).with_cmp(cmp);
+        let before = b.now();
+        ExecCtx::new(&mut b, &mut cov).cmp("os::m::f::guard", 4, 7, 0xdead_beef);
+        assert_eq!(cov.cmp_hits, 0, "disarmed ring must not count hits");
+        assert_eq!(b.now(), before, "disarmed hook must be free");
+        assert_eq!(cmp.count(&b.ram, Endianness::Little).unwrap(), 0);
+    }
+
+    #[test]
+    fn armed_cmp_hook_records_and_charges() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 8);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let cmp = CmpRegion::new(0x2000_0300, 8);
+        cmp.init(&mut b.ram, Endianness::Little).unwrap();
+        cmp.arm(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov =
+            CovState::instrumented(InstrumentMode::Modules(vec!["m".into()]), region).with_cmp(cmp);
+        let before = b.now();
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cmp("os::m::f::guard", 4, 7, 0xdead_beef);
+            // An uninstrumented module stays silent even when armed.
+            ctx.cmp("other::quiet::f::guard", 8, 1, 2);
+        }
+        assert_eq!(cov.cmp_hits, 1);
+        assert!(b.now() > before);
+        let raw = b.ram.slice(0x2000_0300, cmp.drain_len()).unwrap().to_vec();
+        let (recs, _) = cmp.parse_drain(&raw, Endianness::Little);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].width, 4);
+        assert_eq!(recs[0].lhs, 7);
+        assert_eq!(recs[0].rhs, 0xdead_beef);
+        assert_eq!(
+            recs[0].site,
+            (edge_id("os::m::f::guard") & 0xffff_ffff) as u32
+        );
+    }
+
+    #[test]
+    fn full_cmp_ring_counts_drops() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 8);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let cmp = CmpRegion::new(0x2000_0300, 2);
+        cmp.init(&mut b.ram, Endianness::Little).unwrap();
+        cmp.arm(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(InstrumentMode::Full, region).with_cmp(cmp);
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cmp("os::m::f::a", 4, 1, 2);
+            ctx.cmp("os::m::f::b", 4, 3, 4);
+            ctx.cmp("os::m::f::c", 4, 5, 6);
+        }
+        assert_eq!(cov.cmp_hits, 3, "drops still count as hits (cycles burned)");
+        assert_eq!(cov.cmp_dropped, 1);
+        assert_eq!(cmp.count(&b.ram, Endianness::Little).unwrap(), 2);
     }
 
     #[test]

@@ -780,6 +780,29 @@ impl Kernel for FreeRtosKernel {
                 let dst = arg_int(args, 1);
                 let len = arg_int(args, 2);
                 ctx.charge(10 + len / 64);
+                // Bug #26: a descriptor whose source aliases the
+                // controller's scratch window (one exact 32-bit address)
+                // skips the bounds rewrite, and a destination aliasing
+                // the config mirror then corrupts the channel table.
+                // Random 32-bit argument search essentially never lands
+                // on either constant; the planted trace_cmp hooks hand
+                // both operands to the cmplog ring, and the second
+                // compare only executes once the first matches — the
+                // staged-discovery shape Redqueen is built for.
+                ctx.cmp("freertos::dma::xDmaStart::src_magic", 32, src, 0xD3AD_BEA7);
+                if src == 0xD3AD_BEA7 {
+                    ctx.cov("freertos::dma::xDmaStart::src_scratch");
+                    ctx.cmp("freertos::dma::xDmaStart::dst_magic", 32, dst, 0x0BAD_F00D);
+                    if dst == 0x0BAD_F00D {
+                        return InvokeResult::Fault(KernelFault::bug(
+                            BugId::B26DmaMagicDesc,
+                            FaultKind::Panic,
+                            "Guru Meditation Error: channel table corrupt in xDmaStart",
+                            vec!["xDmaStart", "prvDmaProgramDescriptor", "main"],
+                            false,
+                        ));
+                    }
+                }
                 ctx.bus.mmio_write(periph::DMA, reg::SRC, src);
                 ctx.bus.mmio_write(periph::DMA, reg::DST, dst);
                 ctx.bus.mmio_write(periph::DMA, reg::LEN, len);
@@ -1065,6 +1088,31 @@ mod tests {
         ));
         assert_eq!(sum, 0xaa + 0xbb);
         assert!(b.pending_irqs.iter().any(|r| r.line == eof_hal::irq::I2C));
+    }
+
+    #[test]
+    fn dma_magic_descriptor_is_bug26_and_near_miss_is_not() {
+        let mut k = FreeRtosKernel::new();
+        let mut b = bus();
+        // The src magic alone is a near miss: new coverage, no fault.
+        let r = call(
+            &mut k,
+            &mut b,
+            "xDmaStart",
+            &[KArg::Int(0xD3AD_BEA7), KArg::Int(0x200), KArg::Int(64)],
+        );
+        assert!(!matches!(r, InvokeResult::Fault(_)), "got {r:?}");
+        let r = call(
+            &mut k,
+            &mut b,
+            "xDmaStart",
+            &[
+                KArg::Int(0xD3AD_BEA7),
+                KArg::Int(0x0BAD_F00D),
+                KArg::Int(64),
+            ],
+        );
+        assert!(is_bug(&r, 26), "got {r:?}");
     }
 
     #[test]

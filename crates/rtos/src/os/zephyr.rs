@@ -701,9 +701,40 @@ impl Kernel for ZephyrKernel {
                     ctx.cov("zephyr::i2c::i2c_read::nack");
                     return InvokeResult::Err(-5);
                 }
+                // Bug #27: the driver parses a vendor register word inline
+                // while draining the FIFO — the tag byte followed by the
+                // mode byte (two exact magic bytes back to back in the
+                // peripheral's response stream) takes a config path that
+                // dereferences a never-initialised transfer descriptor.
+                // Neither byte is in the mutation dictionary. The planted
+                // trace_cmp hooks expose the rolling 16-bit window to the
+                // cmplog ring — stream order equals little-endian operand
+                // order, so one positional splice plants both bytes at
+                // the exact consumed offsets — plus a per-byte tag
+                // compare with a near-miss edge once the tag lands.
                 let mut sum = 0u64;
+                let mut prev: Option<u64> = None;
                 for i in 0..len.min(8) as u32 {
-                    sum += ctx.bus.mmio_read(SITE_I2C_DATA + i, periph::I2C, reg::DATA) as u64;
+                    let byte = ctx.bus.mmio_read(SITE_I2C_DATA + i, periph::I2C, reg::DATA) as u64;
+                    if let Some(prev) = prev {
+                        let word = (byte << 8) | prev;
+                        ctx.cmp("zephyr::i2c::i2c_read::vendor_word", 16, word, 0xC35A);
+                        if word == 0xC35A {
+                            return InvokeResult::Fault(KernelFault::bug(
+                                BugId::B27I2cMagicSeq,
+                                FaultKind::Panic,
+                                ">>> ZEPHYR FATAL ERROR 4: Kernel panic in i2c_read",
+                                vec!["i2c_read", "i2c_parse_vendor_tag", "executor"],
+                                false,
+                            ));
+                        }
+                    }
+                    ctx.cmp("zephyr::i2c::i2c_read::tag_magic", 8, byte, 0x5A);
+                    if byte == 0x5A {
+                        ctx.cov("zephyr::i2c::i2c_read::tag_seen");
+                    }
+                    prev = Some(byte);
+                    sum += byte;
                 }
                 InvokeResult::Ok(sum)
             }
@@ -1010,6 +1041,22 @@ mod tests {
             &[KArg::Int(8), KArg::Int(64)],
         );
         assert!(is_bug(&r, 21), "got {r:?}");
+    }
+
+    #[test]
+    fn i2c_magic_byte_pair_is_bug27_and_lone_tag_is_not() {
+        let mut k = ZephyrKernel::new();
+        let mut b = bus();
+        // A lone tag byte is a near miss: new coverage, no fault.
+        b.mmio.load_stream(&[0x00, 0x5A, 0x00, 0x11]);
+        let r = call(&mut k, &mut b, "i2c_read", &[KArg::Int(0x29), KArg::Int(3)]);
+        assert!(!r.is_fault(), "got {r:?}");
+        // Tag then mode back to back dereferences the bad descriptor.
+        let mut k = ZephyrKernel::new();
+        let mut b = bus();
+        b.mmio.load_stream(&[0x00, 0x11, 0x5A, 0xC3]);
+        let r = call(&mut k, &mut b, "i2c_read", &[KArg::Int(0x29), KArg::Int(4)]);
+        assert!(is_bug(&r, 27), "got {r:?}");
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The cmplog gate: the Redqueen/I2S comparison channel is a *mutation
+//! oracle*, not a source of nondeterminism — and it must be invisible
+//! when disarmed. Four claims are enforced here:
+//!
+//! 1. **Determinism** — a cmplog campaign (`FuzzerConfig::eof_cmplog`)
+//!    with a fixed seed observes a bit-identical target over scalar and
+//!    vectored debug links, operator accounting included; and a rerun
+//!    from scratch is bit-exact down to cycle accounting.
+//! 2. **Invisibility** — with the channel disarmed (`cmplog: false`)
+//!    the campaign is byte-identical, cycles included, to the plain
+//!    driver baseline: the ring stays cold, the hooks free, and the
+//!    scheduler never runs.
+//! 3. **Job-independence** — a fleet of cmplog campaigns merges to the
+//!    same per-cell results at any worker count.
+//! 4. **Reach** — the magic-guarded driver bugs (#26, #27) are found by
+//!    the cmplog campaign and *not* by the otherwise-identical pure
+//!    driver campaign at the same step budget: the comparison operands
+//!    are load-bearing, not decorative.
+
+use eof::core::{build_fuzzer, FleetRunner, Fuzzer, FuzzerConfig, MutOp};
+use eof::hal::FaultPlan;
+use eof::rtos::bugs::magic_guarded_bugs;
+use eof::rtos::OsKind;
+
+const STEPS: usize = 40;
+const SEED: u64 = 7;
+
+/// Fuzzing iterations for the bug-hunt half of the gate. The magic
+/// bugs are staged (two comparisons deep, the second only reachable
+/// after the first matches), so the ladder needs a longer campaign
+/// than the link-equivalence check.
+const HUNT_STEPS: usize = 400;
+
+/// Everything an exec campaign can observe about the target, minus
+/// cycle accounting.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    execs: u64,
+    coverage: Vec<u64>,
+    crash_keys: Vec<String>,
+    bugs: Vec<String>,
+    corpus_len: usize,
+    stalls: u64,
+    op_execs: [u64; MutOp::COUNT],
+    op_interesting: [u64; MutOp::COUNT],
+}
+
+fn run(config: FuzzerConfig, steps: usize) -> (Observed, Vec<u8>, u64) {
+    let (mut fuzzer, _, _): (Fuzzer, _, _) = build_fuzzer(config, FaultPlan::none());
+    for _ in 0..steps {
+        fuzzer.step();
+    }
+    let mut coverage: Vec<u64> = fuzzer.executor().coverage().iter().collect();
+    coverage.sort_unstable();
+    let mut crash_keys: Vec<String> = fuzzer
+        .crashes()
+        .unique()
+        .map(eof::core::crash::dedup_key)
+        .collect();
+    crash_keys.sort();
+    let found = fuzzer.crashes().bugs_found();
+    let mut bugs: Vec<String> = found.iter().map(|b| format!("{b:?}")).collect();
+    bugs.sort();
+    let mut numbers: Vec<u8> = found.iter().map(|b| b.number()).collect();
+    numbers.sort_unstable();
+    let stats = fuzzer.stats();
+    (
+        Observed {
+            execs: stats.execs,
+            coverage,
+            crash_keys,
+            bugs,
+            corpus_len: fuzzer.corpus().len(),
+            stalls: stats.stalls,
+            op_execs: stats.op_execs,
+            op_interesting: stats.op_interesting,
+        },
+        numbers,
+        fuzzer.executor().now(),
+    )
+}
+
+/// The cmplog arm is always set in code — never via `EOF_CMPLOG` — so
+/// the gate is immune to the parallel test runner's shared environment.
+fn cmplog_config(os: OsKind, vectored: bool) -> FuzzerConfig {
+    let mut config = FuzzerConfig::eof_cmplog(os, SEED);
+    config.budget_hours = 24.0; // never the stopping condition here
+    config.vectored = vectored;
+    config
+}
+
+fn driver_config(os: OsKind, vectored: bool) -> FuzzerConfig {
+    let mut config = FuzzerConfig::eof_driver(os, SEED);
+    config.budget_hours = 24.0;
+    config.vectored = vectored;
+    config
+}
+
+#[test]
+fn cmplog_campaigns_survive_the_vectored_link() {
+    for os in [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+    ] {
+        let (scalar, _, scalar_cycles) = run(cmplog_config(os, false), STEPS);
+        let (vectored, _, vectored_cycles) = run(cmplog_config(os, true), STEPS);
+        assert!(scalar.execs > 0, "{os:?}: campaign executed nothing");
+        assert_eq!(
+            scalar, vectored,
+            "{os:?}: vectored link changed what the cmplog campaign observed"
+        );
+        assert!(
+            vectored_cycles < scalar_cycles,
+            "{os:?}: vectored run saved no cycles \
+             (scalar {scalar_cycles}, vectored {vectored_cycles})"
+        );
+        // The scheduler really attributed mutants to operators.
+        assert!(
+            scalar.op_execs.iter().sum::<u64>() > 0,
+            "{os:?}: no mutants were attributed to operators"
+        );
+    }
+}
+
+#[test]
+fn cmplog_campaigns_replay_bit_exact() {
+    // Same seed, run twice from scratch: the journal is filled from the
+    // target's own comparison operands and the scheduler from its own
+    // seeded RNG plane, so the whole campaign must be a pure function
+    // of the config — cycle accounting included.
+    for os in [OsKind::FreeRtos, OsKind::Zephyr] {
+        let (first, _, first_cycles) = run(cmplog_config(os, false), STEPS);
+        let (second, _, second_cycles) = run(cmplog_config(os, false), STEPS);
+        assert_eq!(first, second, "{os:?}: cmplog campaign is nondeterministic");
+        assert_eq!(
+            first_cycles, second_cycles,
+            "{os:?}: cycle accounting drifted between identical runs"
+        );
+    }
+}
+
+#[test]
+fn disarmed_cmplog_is_invisible() {
+    // `eof_cmplog` with the arm flipped off must be byte-identical —
+    // cycles included — to the plain driver baseline: the ring header
+    // rides the upload only when armed, the kernel hooks early-out on
+    // the cold capacity word, and the generator's RNG planes are not
+    // consulted by a scheduler that never runs.
+    for os in [OsKind::FreeRtos, OsKind::Zephyr] {
+        for vectored in [false, true] {
+            let mut disarmed = cmplog_config(os, vectored);
+            disarmed.cmplog = false;
+            let (off, _, off_cycles) = run(disarmed, STEPS);
+            let (base, _, base_cycles) = run(driver_config(os, vectored), STEPS);
+            assert_eq!(
+                off, base,
+                "{os:?} (vectored={vectored}): disarmed cmplog changed the campaign"
+            );
+            assert_eq!(
+                off_cycles, base_cycles,
+                "{os:?} (vectored={vectored}): disarmed cmplog cost cycles"
+            );
+            assert_eq!(
+                off.op_execs,
+                [0; MutOp::COUNT],
+                "{os:?}: operators ran while disarmed"
+            );
+        }
+    }
+}
+
+#[test]
+fn jobs_do_not_change_cmplog_results() {
+    // The per-campaign journal and scheduler live inside the fuzzer, so
+    // worker count is pure mechanism: a 3-worker fleet must produce the
+    // same per-cell results as a serial one.
+    let grid = |_: ()| -> Vec<FuzzerConfig> {
+        [OsKind::FreeRtos, OsKind::Zephyr]
+            .into_iter()
+            .map(|os| {
+                let mut c = FuzzerConfig::eof_cmplog(os, SEED);
+                c.budget_hours = 0.02;
+                c.snapshot_hours = 0.005;
+                c
+            })
+            .collect()
+    };
+    let serial: Vec<_> = FleetRunner::new(1).run(grid(()));
+    let fleet: Vec<_> = FleetRunner::new(3).run(grid(()));
+    assert_eq!(serial.len(), fleet.len());
+    for (a, b) in serial.iter().zip(&fleet) {
+        let (a, b) = match (a, b) {
+            (Ok(a), Ok(b)) => (a, b),
+            other => panic!("fleet cell failed: {other:?}"),
+        };
+        assert_eq!(a.branches, b.branches);
+        assert_eq!(a.bugs, b.bugs);
+        assert_eq!(a.stats.execs, b.stats.execs);
+        assert_eq!(a.stats.op_execs, b.stats.op_execs);
+        assert_eq!(a.stats.op_interesting, b.stats.op_interesting);
+    }
+}
+
+#[test]
+fn magic_bugs_need_the_comparison_channel() {
+    // The A/B at the heart of the PR: same OS, same seed, same step
+    // budget, same MMIO plane — the only delta is the comparison
+    // channel. The magic-guarded bugs sit behind 32-bit (and staged
+    // 8-bit) equality checks that random mutation cannot thread, and
+    // the observed-operand splice can.
+    let expect: &[(OsKind, u8)] = &[(OsKind::FreeRtos, 26), (OsKind::Zephyr, 27)];
+    assert_eq!(
+        magic_guarded_bugs().len(),
+        expect.len(),
+        "bug table and gate drifted apart"
+    );
+    for &(os, bug) in expect {
+        let (_, pure_bugs, _) = run(driver_config(os, false), HUNT_STEPS);
+        assert!(
+            !pure_bugs.contains(&bug),
+            "{os:?}: the pure driver campaign reached magic bug #{bug} — \
+             the A/B control is broken"
+        );
+        let (_, cmplog_bugs, _) = run(cmplog_config(os, false), HUNT_STEPS);
+        assert!(
+            cmplog_bugs.contains(&bug),
+            "{os:?}: cmplog campaign missed magic bug #{bug} in {HUNT_STEPS} steps \
+             (found {cmplog_bugs:?})"
+        );
+    }
+}
