@@ -430,14 +430,18 @@ impl Firmware for AgentFirmware {
                         return StepResult::Running { pc, cycles: 12 };
                     }
                 }
-                // Coverage buffer full? Trap for the host.
+                // Coverage buffer full? Trap for the host. The trap only
+                // exists because instrumentation does, so its cost goes on
+                // the instrumentation clock: the core-cycle history stays
+                // identical to the uninstrumented build's.
                 if self.cov.buffer_full {
                     self.phase = Phase::CovBufFull {
                         resume_at: call_idx + 1,
                     };
+                    bus.charge_instr(4);
                     return StepResult::Running {
                         pc: self.layout.pc_buf_full(),
-                        cycles: 4,
+                        cycles: 0,
                     };
                 }
                 self.phase = Phase::ExecuteOne {
@@ -464,14 +468,16 @@ impl Firmware for AgentFirmware {
                     self.phase = Phase::ExecuteOne {
                         call_idx: resume_at,
                     };
+                    bus.charge_instr(4);
                     StepResult::Running {
                         pc: self.layout.pc_execute_one(),
-                        cycles: 4,
+                        cycles: 0,
                     }
                 } else {
+                    bus.charge_instr(2);
                     StepResult::Stalled {
                         pc: self.layout.pc_buf_full(),
-                        cycles: 2,
+                        cycles: 0,
                     }
                 }
             }

@@ -33,7 +33,7 @@ use std::path::{Path, PathBuf};
 /// driver-bug reproducer, so the gate also proves the second input
 /// plane round-trips through persistence.
 const CORPUS_CELLS: &[(OsKind, u64, f64, bool)] = &[
-    (OsKind::FreeRtos, 7, 0.1, false),
+    (OsKind::FreeRtos, 9, 0.1, false),
     (OsKind::RtThread, 3, 0.1, false),
     (OsKind::Zephyr, 5, 0.1, true),
 ];

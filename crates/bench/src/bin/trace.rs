@@ -1,0 +1,158 @@
+//! Coverage-acquisition three-way A/B: what does *observing* the target
+//! cost? Same OS, same seed schedule, same simulated budget — the only
+//! variable is the acquisition channel:
+//!
+//! * `none`  — plain build, no coverage read back at all: the raw
+//!   execs-per-budget ceiling of the harness;
+//! * `ring`  — the instrumented build with the on-device ring and its
+//!   `_kcmp_buf_full` drain protocol (the paper's software channel);
+//! * `trace` — the plain build again, with edges recovered from the
+//!   hardware trace unit over `DrainTrace` (non-intrusive channel).
+//!
+//! Each arm runs under both wire modes, because the trace FIFO drain is
+//! exactly the kind of hot-path operation the vectored link batches:
+//! the gate below requires the vectored trace campaign to complete
+//! strictly more execs than the scalar one on every OS. The equivalence
+//! claim (trace observes the *same campaign* as ring) is enforced by
+//! `tests/trace_equiv.rs`; this bin quantifies what each channel costs.
+//!
+//! Writes `results/trace.{txt,csv}` and the machine-readable verdict
+//! `BENCH_trace.json`.
+
+use eof_bench::{bench_hours, bench_reps, fmt1, run_config_set};
+use eof_core::{CampaignResult, FuzzerConfig};
+use eof_coverage::{CoverageKind, InstrumentMode};
+use eof_rtos::OsKind;
+
+/// The three acquisition arms, in fixed batch order.
+const ARMS: &[&str] = &["none", "ring", "trace"];
+
+fn mean(results: &[CampaignResult], f: impl Fn(&CampaignResult) -> f64) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(f).sum::<f64>() / results.len() as f64
+}
+
+fn arm_config(os: OsKind, arm: &str, vectored: bool, hours: f64) -> FuzzerConfig {
+    let mut cfg = FuzzerConfig::eof(os, 42);
+    cfg.budget_hours = hours;
+    cfg.vectored = vectored;
+    match arm {
+        "none" => cfg.instrument = InstrumentMode::None,
+        "ring" => {}
+        "trace" => cfg.coverage_backend = CoverageKind::Trace,
+        other => unreachable!("unknown arm {other}"),
+    }
+    cfg
+}
+
+fn main() {
+    let hours = bench_hours();
+    let reps = bench_reps();
+    eprintln!("[trace] {hours} simulated hours × {reps} reps per cell");
+
+    // Full cross: OS × arm × wire, one fleet batch sharing the pool.
+    let mut bases = Vec::new();
+    for os in OsKind::ALL {
+        for arm in ARMS {
+            for vectored in [false, true] {
+                bases.push(arm_config(os, arm, vectored, hours));
+            }
+        }
+    }
+    let mut per_base = run_config_set(&bases, reps).into_iter();
+
+    let mut rows = Vec::new();
+    let mut cells_json = Vec::new();
+    let mut violations = Vec::new();
+    let mut text = String::from(
+        "Coverage acquisition three-way: none vs instrumented ring vs hardware trace,\n\
+         same seeds and simulated budget, both wire modes\n",
+    );
+    for os in OsKind::ALL {
+        // execs[arm][wire], branches[arm][wire]
+        let mut execs = [[0.0f64; 2]; 3];
+        let mut branches = [[0.0f64; 2]; 3];
+        for (ai, _) in ARMS.iter().enumerate() {
+            for wi in 0..2 {
+                let cell = per_base.next().expect("cell result");
+                execs[ai][wi] = mean(&cell, |r| r.stats.execs as f64);
+                branches[ai][wi] = mean(&cell, |r| r.branches as f64);
+            }
+        }
+        for (ai, arm) in ARMS.iter().enumerate() {
+            for (wi, wire) in ["scalar", "vectored"].iter().enumerate() {
+                rows.push(vec![
+                    os.display().to_string(),
+                    arm.to_string(),
+                    wire.to_string(),
+                    fmt1(execs[ai][wi]),
+                    fmt1(branches[ai][wi]),
+                ]);
+                cells_json.push(format!(
+                    "{{\"os\": \"{}\", \"arm\": \"{arm}\", \"wire\": \"{wire}\", \
+                     \"execs\": {:.1}, \"branches\": {:.1}}}",
+                    os.display(),
+                    execs[ai][wi],
+                    branches[ai][wi],
+                ));
+            }
+        }
+        // The vectored DrainTrace must be strictly cheaper than scalar:
+        // one wire op per drain instead of an op per 96-byte chunk.
+        let (ts, tv) = (execs[2][0], execs[2][1]);
+        if tv <= ts {
+            violations.push(format!(
+                "{}: vectored trace campaign not faster than scalar ({tv:.1} <= {ts:.1} execs)",
+                os.display()
+            ));
+        }
+        // Overhead summary against the no-acquisition ceiling (vectored).
+        let ceiling = execs[0][1];
+        let pct = |e: f64| {
+            if ceiling > 0.0 {
+                (ceiling - e) / ceiling * 100.0
+            } else {
+                0.0
+            }
+        };
+        text.push_str(&format!(
+            "  {:10} execs/budget  none {:>8}  ring {:>8} ({:+.1}%)  trace {:>8} ({:+.1}%)   \
+             [trace wire: scalar {:>8} -> vectored {:>8}]\n",
+            os.display(),
+            fmt1(ceiling),
+            fmt1(execs[1][1]),
+            -pct(execs[1][1]),
+            fmt1(execs[2][1]),
+            -pct(execs[2][1]),
+            fmt1(ts),
+            fmt1(tv),
+        ));
+        eprintln!("  {} done", os.display());
+    }
+    let headers = ["os", "arm", "wire", "execs", "branches"];
+    eof_bench::write_outputs("trace", &text, &headers, &rows);
+
+    let pass = violations.is_empty();
+    let json = format!(
+        "{{\n  \"workload\": {{\"reps\": {reps}, \"hours_per_campaign\": {hours}}},\n  \
+         \"verdict\": \"{}\",\n  \"violations\": [{}],\n  \"cells\": [\n    {}\n  ]\n}}\n",
+        if pass { "PASS" } else { "FAIL" },
+        violations
+            .iter()
+            .map(|v| format!("\"{}\"", v.replace('"', "'")))
+            .collect::<Vec<_>>()
+            .join(", "),
+        cells_json.join(",\n    "),
+    );
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!("[written BENCH_trace.json]");
+    if !pass {
+        for v in &violations {
+            eprintln!("[trace] VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("[trace] acquisition-overhead gate PASSED");
+}

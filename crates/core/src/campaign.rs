@@ -148,7 +148,8 @@ pub fn build_fuzzer(config: FuzzerConfig, plan: FaultPlan) -> (Fuzzer, GenReport
 
     // ③ Build (or fetch the interned) instrumented image and flash it.
     let image_span = tel::span_start("campaign.image", 0);
-    let image = crate::artifacts::cached_image(config.os, config.profile, &config.instrument);
+    let image =
+        crate::artifacts::cached_image(config.os, config.profile, &config.effective_instrument());
     let image_bytes = image.len();
     tel::span_end(image_span, 0);
     let boot_span = tel::span_start("campaign.boot", 0);

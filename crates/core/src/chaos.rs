@@ -452,6 +452,81 @@ mod tests {
     }
 
     #[test]
+    fn no_fault_kind_tears_a_trace_drain() {
+        // The trace backend replaces every ring read with the
+        // destructive `DrainTrace` wire op — a new place for every
+        // fault kind to land, in both wire modes. A fault inside the
+        // drain must deliver the stream whole or discard the drain
+        // whole with the discard counted (`exec.cov_discarded`); a
+        // half-applied drain would surface as a torn transaction, and a
+        // decoder fed torn bytes would poison the bitmap with invented
+        // edges, so the invariant gate plus the live-channel check
+        // below cover both layers.
+        use crate::campaign::run_campaign_recorded_with_faults;
+        use eof_coverage::CoverageKind;
+        use eof_hal::FaultPlan;
+        let flash_size = FuzzerConfig::eof(OsKind::FreeRtos, 11).board.flash_size;
+        let mut packets_total = 0u64;
+        for vectored in [false, true] {
+            for (kind, label) in KINDS.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(0x7ace_d4a1 + kind as u64);
+                let mut plan = FaultPlan::none();
+                for _ in 0..12 {
+                    let at = rng.random_range(0..300_000u64);
+                    let fault = match kind {
+                        0 => InjectedFault::FlashBitFlip {
+                            offset: rng.random_range(0..flash_size),
+                            bit: rng.random_range(0..=7u8),
+                        },
+                        1 => InjectedFault::FreezeFirmware,
+                        2 => InjectedFault::KillCore,
+                        3 => InjectedFault::DropLink {
+                            cycles: rng.random_range(500..40_000u64),
+                        },
+                        4 => InjectedFault::FlakyLink {
+                            drop_per_mille: rng.random_range(100..=700u16),
+                            cycles: rng.random_range(5_000..60_000u64),
+                        },
+                        5 => InjectedFault::Brownout {
+                            cycles: rng.random_range(2_000..20_000u64),
+                        },
+                        _ => InjectedFault::UartGarbage,
+                    };
+                    plan = plan.at(at, fault);
+                }
+                let mut base = FuzzerConfig::eof(OsKind::FreeRtos, 11);
+                base.coverage_backend = CoverageKind::Trace;
+                base.budget_hours = 0.1;
+                base.snapshot_hours = 0.025;
+                base.vectored = vectored;
+                let result = run_campaign_recorded_with_faults(base, plan);
+                let violations = check_invariants(&result);
+                assert!(
+                    violations.is_empty(),
+                    "fault kind {label:?} (vectored={vectored}, trace): {violations:?}"
+                );
+                assert_eq!(
+                    result.resilience.txn_partial, 0,
+                    "fault kind {label:?} (vectored={vectored}) tore a trace drain"
+                );
+                // Edge feedback survived the schedule: the uninstrumented
+                // image has no other coverage path, so a corrupted or
+                // silently-wedged stream would show up as zero branches.
+                assert!(
+                    result.branches > 0,
+                    "fault kind {label:?} (vectored={vectored}) starved the trace channel"
+                );
+                let tel = result.telemetry.as_ref().expect("recorded");
+                packets_total += tel.counter("cov.trace.packets");
+            }
+        }
+        assert!(
+            packets_total > 0,
+            "every chaos schedule starved the trace stream"
+        );
+    }
+
+    #[test]
     fn chaos_is_reproducible() {
         let a = run_chaos(&chaos_config(OsKind::Zephyr, 5, 99, 20));
         let b = run_chaos(&chaos_config(OsKind::Zephyr, 5, 99, 20));

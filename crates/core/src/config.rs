@@ -4,7 +4,7 @@
 //! evaluation compares against, so the comparison benches differ *only*
 //! in the knobs the paper says they differ in.
 
-use eof_coverage::InstrumentMode;
+use eof_coverage::{CoverageKind, InstrumentMode};
 use eof_hal::BoardSpec;
 use eof_rtos::image::ImageProfile;
 use eof_rtos::OsKind;
@@ -183,6 +183,17 @@ pub struct FuzzerConfig {
     /// because cmplog changes which inputs are generated. Part of the
     /// store's config fingerprint for the same reason.
     pub cmplog: bool,
+    /// How coverage leaves the device: the paper's compiled-in SanCov
+    /// ring ([`CoverageKind::Ring`]) or the µAFL-style hardware trace
+    /// unit ([`CoverageKind::Trace`]), which needs no instrumentation
+    /// in the image at all — the campaign flashes the *plain* build
+    /// (see [`FuzzerConfig::effective_instrument`]). Defaults to the
+    /// `EOF_COV` environment knob (unset = ring; `EOF_COV=trace` =
+    /// hardware trace). Behaviour-equivalent on the edge stream
+    /// (`tests/trace_equiv.rs` enforces bit-identical campaigns), so —
+    /// like `wire`/`restore` — it is recorded in persist manifests
+    /// (`cov =`) but excluded from the config fingerprint.
+    pub coverage_backend: CoverageKind,
 }
 
 impl FuzzerConfig {
@@ -214,6 +225,19 @@ impl FuzzerConfig {
             snapshot: eof_dap::snapshot_default(),
             mmio: false,
             cmplog: eof_dap::cmplog_default(),
+            coverage_backend: eof_coverage::backend_default(),
+        }
+    }
+
+    /// The instrumentation mode the flashed image actually carries.
+    /// Under the trace backend coverage is the hardware's job, so the
+    /// campaign flashes the plain build whatever `instrument` says —
+    /// that is the point of the backend: zero image overhead. The ring
+    /// backend flashes `instrument` as configured.
+    pub fn effective_instrument(&self) -> InstrumentMode {
+        match self.coverage_backend {
+            CoverageKind::Trace => InstrumentMode::None,
+            CoverageKind::Ring => self.instrument.clone(),
         }
     }
 
@@ -282,6 +306,14 @@ mod tests {
         assert!(i2s.mmio, "cmplog builds on the driver workload");
         assert!(i2s.coverage_feedback);
         assert_eq!(i2s.max_calls, drv.max_calls);
+    }
+
+    #[test]
+    fn trace_backend_flashes_the_plain_build() {
+        let mut c = FuzzerConfig::eof(OsKind::Zephyr, 1);
+        assert_eq!(c.effective_instrument(), c.instrument);
+        c.coverage_backend = CoverageKind::Trace;
+        assert_eq!(c.effective_instrument(), InstrumentMode::None);
     }
 
     #[test]

@@ -11,9 +11,13 @@ use crate::config::FuzzerConfig;
 use crate::crash::{triage, CrashReport, DetectionSource};
 use crate::supervisor::{RecoveryReason, RecoverySupervisor, ResilienceStats};
 use eof_agent::AgentLayout;
-use eof_coverage::{CmpRecord, CoverageMap, InstrumentMode, CMP_RECORD_BYTES};
+use eof_coverage::{
+    CmpRecord, CoverageBackend, CoverageKind, CoverageMap, InstrumentMode, InstrumentedRing,
+    TraceDecode, TraceStats, CMP_RECORD_BYTES,
+};
 use eof_dap::{DebugTransport, LinkEvent, RetryPolicy, RetryStats, Txn, TxnResult};
 use eof_hal::clock::{secs_to_cycles, CYCLES_PER_SEC};
+use eof_hal::Endianness;
 use eof_monitors::{
     parse_backtrace, Liveness, LivenessWatchdog, LogMonitor, PowerWatchdog, StateRestoration,
 };
@@ -65,6 +69,10 @@ pub struct ExecOutcome {
     /// Comparison operands drained from the cmplog ring (empty unless
     /// the campaign armed the channel and the exec completed healthy).
     pub cmp_records: Vec<CmpRecord>,
+    /// The coverage channel lost events this exec (ring records
+    /// dropped, trace FIFO overflow, or a drain discarded whole): the
+    /// edges observed are valid, but absence proves nothing.
+    pub cov_partial: bool,
 }
 
 /// The host-side executor bound to one probe session.
@@ -85,12 +93,21 @@ pub struct Executor {
     retry: RetryPolicy,
     link_retry: RetryStats,
     cov_map: CoverageMap,
+    /// How edge ids leave the device: the instrumented ring or the
+    /// hardware trace stream. The fuzzing loop never looks past this.
+    backend: Box<dyn CoverageBackend + Send>,
+    /// Sticky per-exec flag: a drain this exec reported loss.
+    cov_partial_pending: bool,
+    /// Trace-decoder stats already surfaced to telemetry (the decoder
+    /// counts lifetime totals; we emit per-exec deltas).
+    trace_seen: TraceStats,
     at_main: bool,
     execs: u64,
     restorations: u64,
     stall_events: u64,
     failed_syncs: u64,
     cmp_discards: u64,
+    cov_discards: u64,
 }
 
 impl Executor {
@@ -128,11 +145,15 @@ impl Executor {
         } else {
             None
         };
+        // What the flashed image actually carries: a trace-backend
+        // campaign flashes the plain build, so the `_kcmp_buf_full`
+        // trap never fires and must not be armed.
+        let instrument = config.effective_instrument();
         if config.vectored {
             // Arm the sync and monitor breakpoints in one round trip.
             let mut txn = Txn::new();
             txn.set_breakpoint(main_addr);
-            if config.instrument != InstrumentMode::None {
+            if instrument != InstrumentMode::None {
                 txn.set_breakpoint(buf_full_addr);
             }
             if let Some(addr) = exception_addr {
@@ -141,13 +162,23 @@ impl Executor {
             transport.run_txn(&txn)?;
         } else {
             transport.set_breakpoint(main_addr)?;
-            if config.instrument != InstrumentMode::None {
+            if instrument != InstrumentMode::None {
                 transport.set_breakpoint(buf_full_addr)?;
             }
             if let Some(addr) = exception_addr {
                 transport.set_breakpoint(addr)?;
             }
         }
+        let backend: Box<dyn CoverageBackend + Send> = match config.coverage_backend {
+            CoverageKind::Ring => Box::new(InstrumentedRing::new(layout.cov)),
+            CoverageKind::Trace => {
+                // Arm the trace unit once per session; the latch lives
+                // in the debug power domain and survives every reset
+                // the recovery ladder can throw at the target.
+                transport.trace_set_enabled(true)?;
+                Box::new(TraceDecode::new())
+            }
+        };
         let supervisor = RecoverySupervisor::for_policy(&config.recovery);
         let mut restoration = restoration;
         restoration.set_vectored(config.vectored);
@@ -169,12 +200,16 @@ impl Executor {
             retry: RetryPolicy::default(),
             link_retry: RetryStats::default(),
             cov_map: CoverageMap::new(),
+            backend,
+            cov_partial_pending: false,
+            trace_seen: TraceStats::default(),
             at_main: false,
             execs: 0,
             restorations: 0,
             stall_events: 0,
             failed_syncs: 0,
             cmp_discards: 0,
+            cov_discards: 0,
         };
         exec.sync_to_main();
         Ok(exec)
@@ -215,6 +250,24 @@ impl Executor {
     /// with the next upload guarantees the ring restarts empty).
     pub fn cmp_discards(&self) -> u64 {
         self.cmp_discards
+    }
+
+    /// Coverage drains discarded whole because the transaction could
+    /// not be confirmed applied even after retries (counted, never
+    /// silently swallowed; the exec is marked coverage-partial).
+    pub fn cov_discards(&self) -> u64 {
+        self.cov_discards
+    }
+
+    /// Which coverage channel this executor acquires edges over.
+    pub fn coverage_kind(&self) -> CoverageKind {
+        self.backend.kind()
+    }
+
+    /// Lifetime trace-decoder statistics (all-zero on the ring
+    /// backend, which has no decoder).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.backend.stats()
     }
 
     /// Combined resilience accounting: supervisor ladder counters plus
@@ -318,6 +371,11 @@ impl Executor {
                 });
         self.at_main = outcome.parked;
         self.watchdog.reset();
+        // Whatever rung acted, the device side of the coverage stream
+        // was quiesced (reset, restore and power-cycle all flush the
+        // trace FIFO; a reboot re-arms the ring): drop the host
+        // decoder's cross-drain state to match.
+        self.backend.reset_stream();
         self.rearm_snapshot();
     }
 
@@ -331,9 +389,46 @@ impl Executor {
         edges
     }
 
+    /// Is any coverage channel live? The ring needs hooks compiled into
+    /// the image; the trace unit watches the core itself and works on
+    /// the plain build.
+    fn cov_active(&self) -> bool {
+        match self.backend.kind() {
+            CoverageKind::Trace => true,
+            CoverageKind::Ring => self.config.instrument != InstrumentMode::None,
+        }
+    }
+
+    /// Decode one raw drain through the backend, folding its loss flag
+    /// into the exec's coverage-partial marker. Observed edges stay
+    /// valid either way; absence proves nothing once events were lost.
+    fn ingest(&mut self, raw: &[u8], endian: Endianness) -> Vec<u64> {
+        let drained = self.backend.decode_drain(raw, endian);
+        if drained.partial() {
+            self.cov_partial_pending = true;
+        }
+        drained.edges
+    }
+
+    /// A coverage drain that could not be confirmed applied is
+    /// discarded whole — counted, marked partial, and the decoder's
+    /// cross-drain state dropped (an attempt may have consumed the
+    /// device FIFO with its reply lost, so the stream position is no
+    /// longer trustworthy; the decoder re-locks at the next SYNC).
+    fn discard_cov_drain(&mut self) -> Vec<u64> {
+        self.cov_discards += 1;
+        self.cov_partial_pending = true;
+        tel::count("exec.cov_discarded", 1);
+        self.backend.reset_stream();
+        Vec::new()
+    }
+
     fn drain_cov_inner(&mut self) -> Vec<u64> {
-        if self.config.instrument == InstrumentMode::None {
+        if !self.cov_active() {
             return Vec::new();
+        }
+        if self.backend.kind() == CoverageKind::Trace {
+            return self.drain_trace();
         }
         if self.config.vectored {
             return self.drain_cov_vectored();
@@ -366,7 +461,7 @@ impl Executor {
             // count == 0: nothing buffered, nothing to reset.
             return Vec::new();
         }
-        let (edges, _overflow) = region.parse_drain(&raw, endian);
+        let edges = self.ingest(&raw, endian);
         // Reset the buffer for the agent.
         let zero = endian.u32_bytes(0);
         let _ = policy.run(&mut self.link_retry, &mut self.transport, |p| {
@@ -413,8 +508,35 @@ impl Executor {
         let Some(TxnResult::Bytes(raw)) = results.into_iter().next() else {
             return Vec::new();
         };
-        let (edges, _overflow) = region.parse_drain(&raw, endian);
-        edges
+        self.ingest(&raw, endian)
+    }
+
+    /// Drain the hardware trace FIFO: one atomic destructive wire op
+    /// either way (the vectored path rides a transaction, the scalar
+    /// path uses the dedicated probe command; both ship identical
+    /// bytes — header first, then the live stream). There is no header
+    /// peek and no reset write: the drain IS the reset, so a torn
+    /// drain cannot leave host and device disagreeing about counts.
+    fn drain_trace(&mut self) -> Vec<u64> {
+        let endian = self.config.board.endianness;
+        let policy = self.retry;
+        let raw = if self.config.vectored {
+            let mut txn = Txn::new();
+            txn.drain_trace();
+            match policy.run_txn(&mut self.link_retry, &mut self.transport, &txn) {
+                Ok(results) => match results.into_iter().next() {
+                    Some(TxnResult::Bytes(raw)) => raw,
+                    _ => return self.discard_cov_drain(),
+                },
+                Err(_) => return self.discard_cov_drain(),
+            }
+        } else {
+            match policy.run(&mut self.link_retry, &mut self.transport, |p| p.drain_trace()) {
+                Ok(raw) => raw,
+                Err(_) => return self.discard_cov_drain(),
+            }
+        };
+        self.ingest(&raw, endian)
     }
 
     /// Vectored drain of both channels inside the coverage drain's own
@@ -425,7 +547,11 @@ impl Executor {
     fn drain_cov_and_cmp(&mut self) -> (Vec<u64>, Vec<CmpRecord>) {
         let cov_span = tel::span_start("exec.cov_drain", self.transport.now());
         let cmp_span = tel::span_start("exec.cmp_drain", self.transport.now());
-        let (edges, records) = self.drain_cov_and_cmp_vectored();
+        let (edges, records) = if self.backend.kind() == CoverageKind::Trace {
+            self.drain_trace_and_cmp_vectored()
+        } else {
+            self.drain_cov_and_cmp_vectored()
+        };
         tel::span_end(cmp_span, self.transport.now());
         tel::span_end(cov_span, self.transport.now());
         if !records.is_empty() {
@@ -477,7 +603,39 @@ impl Executor {
         let Some(TxnResult::Bytes(raw)) = results.into_iter().next() else {
             return (Vec::new(), records);
         };
-        let (edges, _overflow) = cov.parse_drain(&raw, endian);
+        let edges = self.ingest(&raw, endian);
+        (edges, records)
+    }
+
+    /// Trace-backend twin of [`Self::drain_cov_and_cmp_vectored`]: both
+    /// destructive drains ride ONE transaction (`DrainTrace` +
+    /// `DrainRing`), so the whole end-of-exec harvest is a single wire
+    /// conversation that either applies atomically or not at all.
+    fn drain_trace_and_cmp_vectored(&mut self) -> (Vec<u64>, Vec<CmpRecord>) {
+        let cmp = self.layout.cmp;
+        let endian = self.config.board.endianness;
+        let policy = self.retry;
+        let mut txn = Txn::new();
+        txn.drain_trace()
+            .drain_ring(cmp.base, cmp.capacity, CMP_RECORD_BYTES);
+        let Ok(results) = policy.run_txn(&mut self.link_retry, &mut self.transport, &txn) else {
+            return (self.discard_cov_drain(), self.discard_cmp_drain());
+        };
+        let mut results = results.into_iter();
+        let edges = match results.next() {
+            Some(TxnResult::Bytes(raw)) => self.ingest(&raw, endian),
+            _ => self.discard_cov_drain(),
+        };
+        let records = match results.next() {
+            Some(TxnResult::Bytes(raw)) => {
+                let (records, overflow) = cmp.parse_drain(&raw, endian);
+                if overflow > 0 {
+                    tel::count("exec.cmp_overflow", overflow as u64);
+                }
+                records
+            }
+            _ => self.discard_cmp_drain(),
+        };
         (edges, records)
     }
 
@@ -629,6 +787,7 @@ impl Executor {
         let start = self.transport.now();
         let mut outcome = ExecOutcome::default();
         let mut all_edges: Vec<u64> = Vec::new();
+        self.cov_partial_pending = false;
         // Scope crash attribution to this execution: stale banner lines
         // from an earlier test case must not leak into this one's
         // backtrace recovery.
@@ -921,10 +1080,7 @@ impl Executor {
         // Degraded paths skip it deliberately: a restoration wipes the
         // ring with the rest of board state anyway.
         if self.at_main {
-            if self.config.cmplog
-                && self.config.vectored
-                && self.config.instrument != InstrumentMode::None
-            {
+            if self.config.cmplog && self.config.vectored && self.cov_active() {
                 let (edges, records) = self.drain_cov_and_cmp();
                 all_edges.extend(edges);
                 outcome.cmp_records = records;
@@ -950,7 +1106,30 @@ impl Executor {
         let observed = self.observe(all_edges);
         outcome.edges_hit = observed.len();
         outcome.new_edges = self.cov_map.merge(&observed);
+        outcome.cov_partial = self.cov_partial_pending;
+        if outcome.cov_partial {
+            tel::count("exec.cov_partial", 1);
+        }
         self.execs += 1;
+
+        // Surface the trace decoder's per-exec deltas (its counters are
+        // lifetime totals). Zero-cost on the ring backend: its stats
+        // are all-zero and nothing is emitted.
+        let stats = self.backend.stats();
+        for (name, v) in [
+            ("cov.trace.packets", stats.packets - self.trace_seen.packets),
+            ("cov.trace.bytes", stats.bytes - self.trace_seen.bytes),
+            (
+                "cov.trace.overflow",
+                stats.overflows - self.trace_seen.overflows,
+            ),
+            ("cov.trace.resyncs", stats.resyncs - self.trace_seen.resyncs),
+        ] {
+            if v > 0 {
+                tel::count(name, v);
+            }
+        }
+        self.trace_seen = stats;
 
         // Drain the MMIO-plane counters once per exec so campaign totals
         // are exact; a restoration wipes the space's stats with the rest
@@ -1005,13 +1184,11 @@ mod tests {
     use eof_speclang::prog::{ArgValue, Call};
 
     fn executor_for(config: FuzzerConfig) -> Executor {
-        let image = build_image(config.os, config.profile, &config.instrument);
-        let machine = boot_machine(
-            config.board.clone(),
-            config.os,
-            config.profile,
-            &config.instrument,
-        );
+        // What the campaign would flash: the plain build when the trace
+        // backend is selected, the instrumented build otherwise.
+        let instrument = config.effective_instrument();
+        let image = build_image(config.os, config.profile, &instrument);
+        let machine = boot_machine(config.board.clone(), config.os, config.profile, &instrument);
         let kconfig = parse_kconfig(&render_kconfig("arm", machine.flash().table())).unwrap();
         let restoration = StateRestoration::from_kconfig(
             &kconfig,
@@ -1373,6 +1550,66 @@ mod tests {
         });
         assert_eq!(out.new_edges, 0);
         assert!(out.crash.is_none());
+    }
+
+    #[test]
+    fn trace_backend_covers_an_uninstrumented_image() {
+        use eof_coverage::CoverageKind;
+        let mut cfg = FuzzerConfig::eof(OsKind::FreeRtos, 7);
+        cfg.coverage_backend = CoverageKind::Trace;
+        // The flashed image carries no hooks at all...
+        assert_eq!(cfg.effective_instrument(), InstrumentMode::None);
+        let mut e = executor_for(cfg);
+        assert_eq!(e.coverage_kind(), CoverageKind::Trace);
+        let prog = Prog {
+            mmio: vec![],
+            calls: vec![call(
+                "json_parse",
+                vec![ArgValue::Buffer(br#"{"a":[1,2]}"#.to_vec())],
+            )],
+        };
+        // ...yet the trace unit delivers full edge feedback.
+        let out = e.run_one(&prog);
+        assert!(out.new_edges > 0, "trace backend observed no edges");
+        assert!(!out.cov_partial, "default FIFO must not overflow");
+        let stats = e.trace_stats();
+        assert!(stats.packets > 0 && stats.bytes > 0);
+        assert_eq!(stats.overflows, 0);
+        // Re-running the same prog finds nothing new — the stream
+        // decodes deterministically across drains.
+        let out2 = e.run_one(&prog);
+        assert_eq!(out2.new_edges, 0);
+        assert!(out2.edges_hit > 0);
+    }
+
+    #[test]
+    fn trace_and_ring_merge_identical_coverage() {
+        use eof_coverage::CoverageKind;
+        let prog = Prog {
+            mmio: vec![],
+            calls: vec![
+                call("xQueueCreate", vec![ArgValue::Int(4), ArgValue::Int(16)]),
+                call(
+                    "json_parse",
+                    vec![ArgValue::Buffer(br#"{"a":[1,{"b":true}]}"#.to_vec())],
+                ),
+            ],
+        };
+        let mut ring = executor_for(FuzzerConfig::eof(OsKind::FreeRtos, 41));
+        let mut cfg = FuzzerConfig::eof(OsKind::FreeRtos, 41);
+        cfg.coverage_backend = CoverageKind::Trace;
+        let mut trace = executor_for(cfg);
+        let r = ring.run_one(&prog);
+        let t = trace.run_one(&prog);
+        // Same edges observed, same bitmap — backend invisible above
+        // the trait. (The full 4-OS campaign-level gate lives in
+        // tests/trace_equiv.rs; this is the single-exec kernel of it.)
+        assert_eq!(r.edges_hit, t.edges_hit);
+        assert_eq!(r.new_edges, t.new_edges);
+        assert_eq!(
+            ring.coverage().sorted_edges(),
+            trace.coverage().sorted_edges()
+        );
     }
 
     #[test]

@@ -352,13 +352,9 @@ mod tests {
     use eof_speclang::parser::parse_spec;
 
     fn fuzzer_for(config: FuzzerConfig) -> Fuzzer {
-        let image = build_image(config.os, config.profile, &config.instrument);
-        let machine = boot_machine(
-            config.board.clone(),
-            config.os,
-            config.profile,
-            &config.instrument,
-        );
+        let instrument = config.effective_instrument();
+        let image = build_image(config.os, config.profile, &instrument);
+        let machine = boot_machine(config.board.clone(), config.os, config.profile, &instrument);
         let kconfig = parse_kconfig(&render_kconfig("arm", machine.flash().table())).unwrap();
         let restoration = StateRestoration::from_kconfig(
             &kconfig,

@@ -27,6 +27,7 @@
 
 use crate::config::FuzzerConfig;
 use crate::crash::{dedup_key, CrashReport, DetectionSource};
+use eof_coverage::CoverageKind;
 use eof_rtos::OsKind;
 use eof_speclang::prog::Prog;
 use std::collections::{BTreeMap, BTreeSet};
@@ -498,6 +499,12 @@ pub struct StoreManifest {
     /// and carried here for replay/resume reconstruction. Reads
     /// tolerate the key's absence (pre-cmplog stores are pure).
     pub cmplog: bool,
+    /// Which coverage channel the producing campaign acquired edges
+    /// over. Like `wire`/`restore`, behaviour-neutral and excluded from
+    /// the fingerprint (`tests/trace_equiv.rs` is the gate), but
+    /// recorded so resume re-runs the producer's acquisition path.
+    /// Reads tolerate the key's absence (pre-trace stores are ring).
+    pub coverage: CoverageKind,
     /// Simulated hours the producing campaign consumed.
     pub consumed_hours: f64,
     /// Final distinct-branch count of the campaign coverage map.
@@ -547,6 +554,7 @@ impl StoreManifest {
                 "i2s",
                 if self.cmplog { "cmplog" } else { "pure" }.to_string(),
             ),
+            ("cov", self.coverage.token().to_string()),
             ("branches", self.branches.to_string()),
             ("replay_branches", self.replay_branches.to_string()),
             ("seed_count", self.seed_count.to_string()),
@@ -576,6 +584,12 @@ impl StoreManifest {
             mmio: rec.get("io").map(|v| v == "mmio").unwrap_or(false),
             // Stores predating the cmplog channel carry no key.
             cmplog: rec.get("i2s").map(|v| v == "cmplog").unwrap_or(false),
+            // Stores predating the trace backend carry no key: they
+            // were produced over the instrumented ring.
+            coverage: rec
+                .get("cov")
+                .map(CoverageKind::from_token)
+                .unwrap_or(CoverageKind::Ring),
             consumed_hours: rec.f64_bits("consumed_hours_bits")?,
             branches: rec.usize("branches")?,
             replay_branches: rec.usize("replay_branches")?,
@@ -629,6 +643,7 @@ pub struct CampaignStore {
     snapshot: bool,
     mmio: bool,
     cmplog: bool,
+    coverage: CoverageKind,
     crash_writes: usize,
     write_errors: usize,
 }
@@ -657,6 +672,7 @@ impl CampaignStore {
             snapshot: config.snapshot,
             mmio: config.mmio,
             cmplog: config.cmplog,
+            coverage: config.coverage_backend,
             crash_writes: 0,
             write_errors: 0,
         })
@@ -782,6 +798,7 @@ impl CampaignStore {
             snapshot: self.snapshot,
             mmio: self.mmio,
             cmplog: self.cmplog,
+            coverage: self.coverage,
             consumed_hours,
             branches,
             replay_branches,
@@ -1346,6 +1363,31 @@ mod tests {
             .collect();
         std::fs::write(&path, stripped).unwrap();
         assert!(!open(&dir).unwrap().manifest.cmplog);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coverage_backend_rides_the_manifest_outside_the_fingerprint() {
+        let base = config();
+        let mut trace = base.clone();
+        trace.coverage_backend = CoverageKind::Trace;
+        // Equivalence-gated knob: the store's contents are backend-
+        // independent, so the fingerprint must not split on it.
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&trace));
+        let dir = tmpdir("cov");
+        let mut store = CampaignStore::create(&dir, &trace).unwrap();
+        store.write_manifest(0.1, 1, 1, 0, 0, 5);
+        assert_eq!(open(&dir).unwrap().manifest.coverage, CoverageKind::Trace);
+        // Strip the key: a pre-trace manifest loads as a ring campaign.
+        let path = dir.join("manifest.eof");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("cov"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, stripped).unwrap();
+        assert_eq!(open(&dir).unwrap().manifest.coverage, CoverageKind::Ring);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

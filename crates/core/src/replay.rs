@@ -50,7 +50,8 @@ const MINIMIZE_TRIALS: u32 = 96;
 /// clock are private to the returned executor, so replay work never
 /// perturbs a live campaign.
 pub(crate) fn fresh_executor(config: &FuzzerConfig) -> Executor {
-    let image = crate::artifacts::cached_image(config.os, config.profile, &config.instrument);
+    let image =
+        crate::artifacts::cached_image(config.os, config.profile, &config.effective_instrument());
     let mut machine = Machine::new(config.board.clone(), agent_loader());
     machine
         .reflash_partition("kernel", &image)
@@ -315,6 +316,10 @@ pub fn config_for_manifest(manifest: &StoreManifest) -> Result<FuzzerConfig, Sto
     // either way), but resume re-derives a *time-budgeted* prefix, so
     // it must run at the producer's throughput.
     config.vectored = manifest.vectored;
+    // Same contract for the coverage channel: equivalence-gated and
+    // excluded from the fingerprint, but resume must acquire edges the
+    // way the producer did.
+    config.coverage_backend = manifest.coverage;
     if config.board.name != manifest.board {
         return Err(StoreError::ConfigMismatch(format!(
             "store was produced on board {:?} but {} now defaults to {:?}",
@@ -565,7 +570,7 @@ mod tests {
     #[test]
     fn persisted_campaign_round_trips_and_replays_green() {
         let dir = tmpdir("roundtrip");
-        let mut config = short(OsKind::FreeRtos, 7, 0.1);
+        let mut config = short(OsKind::FreeRtos, 9, 0.1);
         config.persist = Some(dir.clone());
         let result = run_campaign(config.clone());
         let audit = result.persist.as_ref().expect("persisted campaign audits");
@@ -620,7 +625,7 @@ mod tests {
         // The acceptance-criterion demonstration: tamper with a stored
         // reproducer and the gate must go red.
         let dir = tmpdir("tampered");
-        let mut config = short(OsKind::FreeRtos, 7, 0.1);
+        let mut config = short(OsKind::FreeRtos, 9, 0.1);
         config.persist = Some(dir.clone());
         run_campaign(config.clone());
         let loaded = persist::open(&dir).unwrap();

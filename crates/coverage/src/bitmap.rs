@@ -65,6 +65,14 @@ impl CoverageMap {
         self.seen.extend(other.seen.iter().copied());
     }
 
+    /// The discovered edge set in sorted order — the canonical form the
+    /// equivalence gates compare two campaigns' final bitmaps in.
+    pub fn sorted_edges(&self) -> Vec<u64> {
+        let mut edges: Vec<u64> = self.seen.iter().copied().collect();
+        edges.sort_unstable();
+        edges
+    }
+
     /// Iterate over discovered edge ids (unordered).
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         self.seen.iter().copied()

@@ -29,9 +29,11 @@ pub const COV_RECORD_BYTES: u32 = 8;
 pub enum RecordOutcome {
     /// Record stored; buffer still has room.
     Stored,
-    /// Record stored and the buffer is now full — time to trap.
+    /// Record stored and the buffer passed its high-water mark — time to
+    /// trap. The headroom above the mark keeps absorbing hits until the
+    /// host drains, so the tail of an in-flight kernel call is not lost.
     Full,
-    /// Buffer was already full; the record was dropped (overflow counter
+    /// Buffer was brim-full; the record was dropped (overflow counter
     /// incremented). Happens when the host is slow to drain.
     Dropped,
 }
@@ -79,11 +81,20 @@ impl CovRegion {
         let slot = self.base + COV_HEADER_BYTES + count * COV_RECORD_BYTES;
         ram.write_u64(slot, edge, e)?;
         ram.write_u32(self.base, count + 1, e)?;
-        Ok(if count + 1 >= self.capacity {
+        Ok(if count + 1 >= self.high_water() {
             RecordOutcome::Full
         } else {
             RecordOutcome::Stored
         })
+    }
+
+    /// The record count at which the device asks to be drained. A quarter
+    /// of the capacity is held back as headroom: the trap fires between
+    /// kernel calls, so the hits the current call keeps emitting after
+    /// the mark must still fit or they would be dropped — and a lossy
+    /// ring could never be equivalent to the lossless trace backend.
+    pub fn high_water(&self) -> u32 {
+        self.capacity - self.capacity / 4
     }
 
     /// Host-side: number of bytes to read over the debug port to capture
@@ -227,5 +238,25 @@ mod tests {
     fn footprint_math() {
         let r = CovRegion::new(0, 256);
         assert_eq!(r.footprint(), 12 + 256 * 8);
+    }
+
+    #[test]
+    fn high_water_traps_early_but_keeps_storing() {
+        let (mut ram, r, e) = setup(8);
+        r.init(&mut ram, e).unwrap();
+        assert_eq!(r.high_water(), 6);
+        for id in 0..5 {
+            assert_eq!(r.record(&mut ram, e, id).unwrap(), RecordOutcome::Stored);
+        }
+        // The mark fires with headroom to spare...
+        assert_eq!(r.record(&mut ram, e, 5).unwrap(), RecordOutcome::Full);
+        // ...and the headroom still stores the in-flight call's tail.
+        assert_eq!(r.record(&mut ram, e, 6).unwrap(), RecordOutcome::Full);
+        assert_eq!(r.record(&mut ram, e, 7).unwrap(), RecordOutcome::Full);
+        assert_eq!(r.record(&mut ram, e, 8).unwrap(), RecordOutcome::Dropped);
+        assert_eq!(r.count(&ram, e).unwrap(), 8);
+        // Tiny rings degenerate to trap-at-full rather than underflowing.
+        let tiny = CovRegion::new(0, 3);
+        assert_eq!(tiny.high_water(), 3);
     }
 }

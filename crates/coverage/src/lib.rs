@@ -19,16 +19,27 @@
 //!   arms the region, feeding Redqueen-style input-to-state mutation;
 //! * [`bitmap`] — the host-side coverage map that decides "did this input
 //!   find anything new?" and accumulates branch counts for the paper's
-//!   tables and curves.
+//!   tables and curves;
+//! * [`trace`] — the host half of the µAFL-style hardware trace channel:
+//!   a streaming decoder for the [`eof_hal::trace`] packet format;
+//! * [`backend`] — the [`CoverageBackend`] trait that makes the fuzzing
+//!   loop agnostic to which of the two channels (instrumented ring or
+//!   hardware trace) supplied its edges.
 
+pub mod backend;
 pub mod bitmap;
 pub mod buffer;
 pub mod cmp;
 pub mod edge;
 pub mod instrument;
+pub mod trace;
 
+pub use backend::{
+    backend_default, CoverageBackend, CoverageKind, DrainedCoverage, InstrumentedRing, TraceDecode,
+};
 pub use bitmap::{CoverageMap, Snapshot};
 pub use buffer::{CovRegion, RecordOutcome, COV_HEADER_BYTES, COV_RECORD_BYTES};
 pub use cmp::{CmpRecord, CmpRegion, CMP_HEADER_BYTES, CMP_RECORD_BYTES};
 pub use edge::{edge_id, EdgeId, EdgeRegistry, EdgeSite};
 pub use instrument::{InstrumentCost, InstrumentMode, InstrumentPlan};
+pub use trace::{TraceDecoder, TraceStats};

@@ -1,0 +1,140 @@
+//! Property tests for the hardware-trace packet codec: whatever branch
+//! sequence the device emits, the host decoder reconstructs it exactly
+//! — across arbitrary drain chunking, FIFO overflow truncation, and
+//! mid-packet resync — and never invents an edge.
+
+use eof_coverage::TraceDecoder;
+use eof_hal::TraceUnit;
+use proptest::prelude::*;
+
+fn armed(cap: usize) -> TraceUnit {
+    let mut t = TraceUnit::with_capacity(cap);
+    t.set_enabled(true);
+    t
+}
+
+/// Branch sequences biased toward the shapes real runs produce: small
+/// site pools (lots of repeats and short deltas) mixed with arbitrary
+/// 64-bit ids, each hit tagged direct or indirect.
+fn branch_seq() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                3 => (0u64..32).prop_map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                1 => any::<u64>(),
+            ],
+            any::<bool>(),
+        ),
+        0..200,
+    )
+}
+
+proptest! {
+    /// Encode → decode is the identity on the hit sequence.
+    #[test]
+    fn encode_decode_identity(seq in branch_seq()) {
+        let mut t = armed(1 << 20);
+        for &(id, ind) in &seq {
+            t.emit(id, ind);
+        }
+        let (bytes, lost) = t.drain();
+        prop_assert_eq!(lost, 0);
+        let mut d = TraceDecoder::new();
+        let got = d.feed(&bytes);
+        let want: Vec<u64> = seq.iter().map(|&(id, _)| id).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(d.stats().resyncs, 0);
+    }
+
+    /// Chunking the stream at arbitrary points (packets split across
+    /// drain boundaries) changes nothing.
+    #[test]
+    fn chunked_feed_is_identical(seq in branch_seq(), splits in proptest::collection::vec(1usize..16, 1..8)) {
+        let mut t = armed(1 << 20);
+        for &(id, ind) in &seq {
+            t.emit(id, ind);
+        }
+        let (bytes, _) = t.drain();
+        let mut d = TraceDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        let mut i = 0usize;
+        while pos < bytes.len() {
+            let end = (pos + splits[i % splits.len()]).min(bytes.len());
+            got.extend(d.feed(&bytes[pos..end]));
+            pos = end;
+            i += 1;
+        }
+        let want: Vec<u64> = seq.iter().map(|&(id, _)| id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// A FIFO too small for the sequence truncates it: the decode is a
+    /// strict prefix of the true hit sequence (never an invented edge), the
+    /// loss is counted, and the post-drain stream re-locks so later
+    /// hits decode exactly.
+    #[test]
+    fn overflow_truncates_to_a_prefix_and_relocks(
+        seq in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..120),
+        // ≥ 11: a FIFO smaller than one OVERFLOW + SYNC re-lock packet
+        // can never recover from overflow — degenerate by construction.
+        cap in 11usize..64,
+    ) {
+        let mut t = armed(cap);
+        for &(id, ind) in &seq {
+            t.emit(id, ind);
+        }
+        let lost_live = t.lost();
+        let mut wire = t.header().to_vec();
+        let (stream, lost) = t.drain();
+        wire.extend_from_slice(&stream);
+        prop_assert_eq!(lost, lost_live);
+        let mut d = TraceDecoder::new();
+        let (got, lost_hdr) = d.feed_drain(&wire);
+        prop_assert_eq!(lost_hdr, lost);
+        let want: Vec<u64> = seq.iter().map(|&(id, _)| id).collect();
+        prop_assert_eq!(got.len() + lost as usize, want.len());
+        prop_assert_eq!(&got[..], &want[..got.len()]);
+        // After the drain, the stream must re-lock and decode cleanly.
+        t.emit(0x5157, false);
+        let mut wire2 = t.header().to_vec();
+        let (stream2, _) = t.drain();
+        wire2.extend_from_slice(&stream2);
+        let (got2, _) = d.feed_drain(&wire2);
+        prop_assert_eq!(got2, vec![0x5157]);
+        if lost > 0 {
+            prop_assert!(d.stats().overflows > 0);
+        }
+    }
+
+    /// Arbitrary line noise — including a true stream cut mid-packet —
+    /// never panics the decoder, and a `reset` drops every trace of it:
+    /// the next intact stream decodes to the exact hit sequence. (The
+    /// transport never feeds torn drains to the decoder — a given-up
+    /// drain is discarded whole — so garbage-feeding is strictly a
+    /// robustness property, not an equivalence path.)
+    #[test]
+    fn garbage_never_panics_and_reset_recovers(
+        noise in proptest::collection::vec(any::<u8>(), 0..200),
+        cut in 0usize..64,
+        seq in branch_seq(),
+    ) {
+        let mut t = armed(1 << 20);
+        for &(id, ind) in &seq {
+            t.emit(id, ind);
+        }
+        let (bytes, _) = t.drain();
+        let mut d = TraceDecoder::new();
+        let _ = d.feed(&noise);
+        let _ = d.feed(&bytes[cut.min(bytes.len())..]);
+        d.reset();
+        t.quiesce(); // fresh stream opens with its own SYNC
+        for &(id, ind) in &seq {
+            t.emit(id, ind);
+        }
+        let (fresh, _) = t.drain();
+        let got = d.feed(&fresh);
+        let want: Vec<u64> = seq.iter().map(|&(id, _)| id).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -32,7 +32,8 @@
 //! `write_pages ADDR:HEX,ADDR:HEX,…` (snapshot-delta scatter write),
 //! `restore_core` (restart from the reset vector without a reset) and
 //! `drain_ring ADDR CAP RECBYTES` (atomic cmplog ring drain-and-reset,
-//! replying the raw ring image as hex).
+//! replying the raw ring image as hex) and `drain_trace` (atomic
+//! hardware-trace FIFO drain-and-reset, replying header + stream hex).
 
 use crate::error::DapError;
 use crate::transport::DebugTransport;
@@ -208,6 +209,7 @@ impl OcdServer {
                 bytes: usize,
             },
             Ring,
+            Trace,
         }
         let e = self.endianness();
         let mut txn = Txn::new();
@@ -331,6 +333,10 @@ impl OcdServer {
                     txn.drain_ring(parse_num(base)?, parse_num(cap)?, parse_num(rec)?);
                     fmts.push(Fmt::Ring);
                 }
+                ["drain_trace"] => {
+                    txn.drain_trace();
+                    fmts.push(Fmt::Trace);
+                }
                 other => {
                     return Err(DapError::Protocol(format!(
                         "unknown batch sub-command {:?}",
@@ -376,6 +382,10 @@ impl OcdServer {
                 }
                 (Fmt::Ring, TxnResult::Bytes(b)) => format!(
                     "ring: {}",
+                    b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+                ),
+                (Fmt::Trace, TxnResult::Bytes(b)) => format!(
+                    "trace: {}",
                     b.iter().map(|x| format!("{x:02x}")).collect::<String>()
                 ),
                 _ => return Err(DapError::Protocol("batch reply shape mismatch".into())),
@@ -644,6 +654,21 @@ mod tests {
         // Count and overflow zeroed, arming word kept.
         let out = s.execute("mdw 0x20000100 3").unwrap();
         assert!(out.contains("0x00000000 0x00000002 0x00000000"), "{out}");
+    }
+
+    #[test]
+    fn batch_drain_trace_reads_and_resets() {
+        let mut s = server();
+        let bus = s.transport.machine_mut().bus_mut();
+        bus.trace.set_enabled(true);
+        bus.trace.emit(0x42, false);
+        let out = s.execute("batch halt; drain_trace").unwrap();
+        // 10-byte SYNC packet: used=0x0a, then the packet bytes.
+        assert!(out.contains("trace: 0a000000"), "{out}");
+        assert!(out.contains("00a54200000000000000"), "{out}");
+        // FIFO reset: a second drain returns an empty stream.
+        let out = s.execute("batch drain_trace").unwrap();
+        assert!(out.contains("trace: 00000000"), "{out}");
     }
 
     #[test]

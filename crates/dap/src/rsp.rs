@@ -24,9 +24,10 @@
 //! `FcNAME` flash checksum, `FwNAME:HEX` flash write, `R` reset,
 //! `WADDR:HEX,ADDR:HEX,…` multi-page scatter write, `G` restore core
 //! (restart from the reset vector without a hardware reset),
-//! `DBASE,CAP,RECBYTES` atomic ring drain-and-reset (cmplog). The
-//! reply is the `;`-joined per-op results in queue order: `OK`, hex
-//! bytes, `P`+8-hex PC, or `C`+16-hex checksum.
+//! `DBASE,CAP,RECBYTES` atomic ring drain-and-reset (cmplog),
+//! `T` atomic trace-FIFO drain-and-reset (hardware-trace coverage).
+//! The reply is the `;`-joined per-op results in queue order: `OK`,
+//! hex bytes, `P`+8-hex PC, or `C`+16-hex checksum.
 
 use crate::error::DapError;
 use crate::transport::{DebugTransport, LinkEvent};
@@ -220,6 +221,7 @@ fn encode_txn_op(op: &TxnOp) -> Result<String, DapError> {
             capacity,
             record_bytes,
         } => format!("D{base:x},{capacity:x},{record_bytes:x}"),
+        TxnOp::DrainTrace => "T".into(),
     })
 }
 
@@ -246,6 +248,7 @@ fn decode_txn_op(item: &str) -> Result<TxnOp, DapError> {
         "p" => TxnOp::ReadPc,
         "R" => TxnOp::ResetTarget,
         "G" => TxnOp::RestoreCore,
+        "T" => TxnOp::DrainTrace,
         "W" => TxnOp::WritePages { pages: Vec::new() },
         _ if item.starts_with('m') => {
             let (addr, len) = parse_addr_len(&item[1..])?;
@@ -616,6 +619,15 @@ mod tests {
         assert_eq!(decode_txn(&wire).unwrap(), t);
         assert!(decode_txn("vTxn:D24005100,80").is_err()); // missing field
         assert!(decode_txn("vTxn:D24005100,80,18,9").is_err()); // extra field
+    }
+
+    #[test]
+    fn drain_trace_codec_round_trip() {
+        let mut t = Txn::new();
+        t.drain_trace().drain_ring(0x2400_5100, 128, 24);
+        let wire = encode_txn(&t).unwrap();
+        assert_eq!(wire, "vTxn:T;D24005100,80,18");
+        assert_eq!(decode_txn(&wire).unwrap(), t);
     }
 
     #[test]

@@ -406,6 +406,7 @@ impl DebugTransport {
                     | TxnOp::WriteMem { .. }
                     | TxnOp::WritePages { .. }
                     | TxnOp::DrainRing { .. }
+                    | TxnOp::DrainTrace
             )
         }) {
             // One access-port setup for the whole memory burst.
@@ -437,6 +438,13 @@ impl DebugTransport {
         // set/clear sequence, starting from what is installed now.
         let mut bps: Vec<u32> = self.machine.breakpoints().to_vec();
         let max_bps = self.machine.board().max_breakpoints;
+        // Destructive drains consume their resource: a second drain of
+        // the same ring (or the trace FIFO) in one batch would read a
+        // header the first drain already reset — the stale-header trap.
+        // Refuse the batch whole instead of letting the duplicate
+        // observe inconsistent counts.
+        let mut drained_rings: Vec<u32> = Vec::new();
+        let mut trace_drained = false;
         for op in txn.ops() {
             match op {
                 TxnOp::Halt | TxnOp::Resume | TxnOp::ReadPc | TxnOp::ResetTarget => {}
@@ -550,8 +558,26 @@ impl DebugTransport {
                     capacity,
                     record_bytes,
                 } => {
+                    if drained_rings.contains(base) {
+                        return Err(DapError::Target(HalError::BadMachineState {
+                            op: "drain ring",
+                            state: format!(
+                                "duplicate drain of ring {base:#x} in one transaction"
+                            ),
+                        }));
+                    }
+                    drained_rings.push(*base);
                     let len = 12 + *capacity as usize * *record_bytes as usize;
                     self.machine.debug_check_mem(*base, len)?;
+                }
+                TxnOp::DrainTrace => {
+                    if trace_drained {
+                        return Err(DapError::Target(HalError::BadMachineState {
+                            op: "drain trace",
+                            state: "duplicate trace drain in one transaction".into(),
+                        }));
+                    }
+                    trace_drained = true;
                 }
             }
         }
@@ -649,6 +675,21 @@ impl DebugTransport {
                 }
                 self.machine.debug_write_batched(*base, &[0u8; 4])?;
                 self.machine.debug_write_batched(*base + 8, &[0u8; 4])?;
+                TxnResult::Bytes(buf)
+            }
+            TxnOp::DrainTrace => {
+                // Same dependent-read shape as DrainRing, against the
+                // debug subsystem's trace FIFO instead of target RAM:
+                // the machine returns header + live stream bytes and
+                // resets the FIFO inside the one op. The stream's TCK
+                // bits are charged here, once the live count is known.
+                let buf = self.machine.debug_drain_trace_batched()?;
+                if self.tap.is_some() {
+                    let bits = buf.len().saturating_sub(12) as u64 * 8;
+                    self.machine
+                        .bus_mut()
+                        .charge_debug(bits / BLOCK_TCK_PER_CORE_CYCLE);
+                }
                 TxnResult::Bytes(buf)
             }
         })
@@ -764,6 +805,33 @@ impl DebugTransport {
         self.record_op("restore_core", |t| {
             t.begin_op(64)?;
             t.machine.debug_restore_core().map_err(Into::into)
+        })
+    }
+
+    /// Arm or disarm the hardware trace unit. A register poke in the
+    /// debug power domain; the latch survives resets and power cycles
+    /// like breakpoint comparators do.
+    pub fn trace_set_enabled(&mut self, on: bool) -> Result<(), DapError> {
+        self.record_op("trace_set_enabled", |t| {
+            t.begin_op(32)?;
+            t.machine.debug_trace_set_enabled(on).map_err(Into::into)
+        })
+    }
+
+    /// Scalar trace-FIFO drain (the fallback when vectoring is off; the
+    /// vectored path queues [`TxnOp::DrainTrace`] instead). Both paths
+    /// call the same machine primitive, so the drained bytes are
+    /// identical either way — only the wire accounting differs: the
+    /// scalar path paces the whole stream at the per-word 1:8 rate.
+    pub fn drain_trace(&mut self) -> Result<Vec<u8>, DapError> {
+        self.record_op("drain_trace", |t| {
+            t.begin_op(32 + 12 * 8)?;
+            let buf = t.machine.debug_drain_trace_batched()?;
+            // The live stream bytes are a dependent read, charged once
+            // the header's count is known — at the scalar shift rate.
+            let bits = buf.len().saturating_sub(12) as u64 * 8;
+            t.machine.bus_mut().charge_debug(bits / 8);
+            Ok(buf)
         })
     }
 
@@ -1357,6 +1425,106 @@ mod tests {
         t.restore_core().unwrap();
         assert_eq!(t.machine().reset_count(), resets_before);
         assert!(t.continue_until_halt(100).is_ok());
+    }
+
+    fn prime_trace(t: &mut DebugTransport, ids: &[u64]) {
+        let bus = t.machine_mut().bus_mut();
+        bus.trace.set_enabled(true);
+        for &id in ids {
+            bus.trace.emit(id, false);
+        }
+    }
+
+    #[test]
+    fn vectored_trace_drain_returns_stream_and_resets_fifo() {
+        let mut t = transport();
+        prime_trace(&mut t, &[0x42, 0x43, 0x43]);
+        t.halt().unwrap();
+        let mut txn = Txn::new();
+        txn.drain_trace();
+        let results = t.run_txn(&txn).unwrap();
+        let TxnResult::Bytes(buf) = &results[0] else {
+            panic!("expected bytes, got {results:?}");
+        };
+        let used = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        assert!(used > 0);
+        assert_eq!(buf.len(), 12 + used);
+        // The drain reset the FIFO inside the same op.
+        let again = t.run_txn(&txn).unwrap();
+        let TxnResult::Bytes(empty) = &again[0] else {
+            panic!("expected bytes");
+        };
+        assert_eq!(u32::from_le_bytes([empty[0], empty[1], empty[2], empty[3]]), 0);
+    }
+
+    #[test]
+    fn scalar_and_vectored_trace_drains_return_identical_bytes() {
+        let ids: &[u64] = &[7, 7, 9, 0xffff_0001, 9];
+        let mut a = transport();
+        prime_trace(&mut a, ids);
+        a.halt().unwrap();
+        let scalar = a.drain_trace().unwrap();
+        let mut b = transport();
+        prime_trace(&mut b, ids);
+        b.halt().unwrap();
+        let mut txn = Txn::new();
+        txn.drain_trace();
+        let results = b.run_txn(&txn).unwrap();
+        assert_eq!(results[0], TxnResult::Bytes(scalar));
+    }
+
+    /// The stale-header regression (seeded): a batch that drains the
+    /// same resource twice would have its second drain observe the
+    /// header the first drain already reset — validation refuses the
+    /// whole batch with the target untouched, for the trace FIFO and
+    /// for a cmplog ring alike.
+    #[test]
+    fn duplicate_drains_in_one_txn_are_refused_whole() {
+        let mut t = transport();
+        prime_trace(&mut t, &[1, 2, 3]);
+        t.halt().unwrap();
+        let base = t.machine().board().ram_base;
+
+        let mut txn = Txn::new();
+        txn.drain_trace().drain_trace();
+        assert!(matches!(t.run_txn(&txn), Err(DapError::Target(_))));
+        // Refused whole: the FIFO still holds every packet.
+        assert!(t.machine().bus().trace.used() > 0);
+
+        // Same ring twice: refused. Two distinct rings: fine.
+        let mut txn = Txn::new();
+        txn.drain_ring(base + 0x100, 4, 8).drain_ring(base + 0x100, 4, 8);
+        assert!(matches!(t.run_txn(&txn), Err(DapError::Target(_))));
+        let mut txn = Txn::new();
+        txn.drain_ring(base + 0x100, 4, 8)
+            .drain_ring(base + 0x200, 4, 8)
+            .drain_trace();
+        assert_eq!(t.run_txn(&txn).unwrap().len(), 3);
+    }
+
+    /// A retried trace drain after a dropped submit returns exactly the
+    /// bytes a fault-free drain would have: the drop applied nothing, so
+    /// no packet is lost or duplicated across the retry.
+    #[test]
+    fn trace_drain_retry_is_lossless() {
+        use crate::retry::{RetryPolicy, RetryStats};
+        let ids: &[u64] = &[11, 12, 12, 13];
+        let mut clean = transport();
+        prime_trace(&mut clean, ids);
+        clean.halt().unwrap();
+        let mut txn = Txn::new();
+        txn.drain_trace();
+        let want = clean.run_txn(&txn).unwrap();
+
+        let mut t = transport();
+        prime_trace(&mut t, ids);
+        t.halt().unwrap();
+        let now = t.now();
+        t.schedule_outage(now, 100);
+        let mut stats = RetryStats::default();
+        let got = RetryPolicy::default().run_txn(&mut stats, &mut t, &txn).unwrap();
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -166,6 +166,14 @@ pub enum TxnOp {
         /// Bytes per record.
         record_bytes: u32,
     },
+    /// Atomically drain the hardware trace FIFO: the 12-byte trace
+    /// header streams back first, then exactly the live stream bytes it
+    /// announced, and the FIFO is reset — one operation, so a link
+    /// fault can only lose the whole drain (replayed whole; the host
+    /// decoder's stream state is reset alongside), never split a packet
+    /// across a retry. The FIFO lives in the debug subsystem, not
+    /// target RAM, so the op is addressless.
+    DrainTrace,
 }
 
 impl TxnOp {
@@ -213,6 +221,10 @@ impl TxnOp {
             // mostly-empty ring costs a dozen bytes rather than the
             // full capacity image.
             TxnOp::DrainRing { .. } => 32 + 12 * 8,
+            // Same dependent-read shape as DrainRing: descriptor out,
+            // 12-byte trace header back, live stream bytes charged at
+            // apply time when the FIFO's used count is known.
+            TxnOp::DrainTrace => 32 + 12 * 8,
             TxnOp::Halt
             | TxnOp::Resume
             | TxnOp::SetBreakpoint { .. }
@@ -383,6 +395,12 @@ impl Txn {
             record_bytes,
         })
     }
+
+    /// Queue an atomic trace-FIFO drain-and-reset (the hardware-trace
+    /// coverage channel).
+    pub fn drain_trace(&mut self) -> &mut Self {
+        self.push(TxnOp::DrainTrace)
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +476,18 @@ mod tests {
             t.payload_bits(),
             32 + 12 * 8,
             "descriptor out, header back; live records are charged at apply time"
+        );
+    }
+
+    #[test]
+    fn drain_trace_accounts_and_needs_core() {
+        let mut t = Txn::new();
+        t.drain_trace();
+        assert!(t.needs_core());
+        assert_eq!(
+            t.payload_bits(),
+            32 + 12 * 8,
+            "descriptor out, trace header back; live stream bytes are charged at apply time"
         );
     }
 

@@ -42,6 +42,14 @@ fn arb_txn_op() -> impl Strategy<Value = TxnOp> {
             )
         )
             .prop_map(|(partition, sectors)| TxnOp::FlashWriteSectors { partition, sectors }),
+        (any::<u32>(), 1u32..4096, 1u32..64).prop_map(|(base, capacity, record_bytes)| {
+            TxnOp::DrainRing {
+                base,
+                capacity,
+                record_bytes,
+            }
+        }),
+        Just(TxnOp::DrainTrace),
     ]
 }
 
@@ -87,6 +95,7 @@ fn arb_applicable_op() -> impl Strategy<Value = TxnOp> {
                 .map(|(off, data)| (RAM_BASE + off, data))
                 .collect(),
         }),
+        Just(TxnOp::DrainTrace),
     ]
 }
 
@@ -226,12 +235,33 @@ proptest! {
         delta in 0u64..255,
     ) {
         let mut txn = Txn::new();
+        // A trace drain consumes its FIFO: a second one in the same
+        // batch is refused by validation (stale-header guard), so keep
+        // at most one per generated batch.
+        let mut trace_drains = 0usize;
         for op in ops {
+            if matches!(op, TxnOp::DrainTrace) {
+                trace_drains += 1;
+                if trace_drains > 1 {
+                    continue;
+                }
+            }
             txn.push(op);
         }
 
+        // Give the trace FIFO real content so a drained batch carries
+        // stream bytes; identical on every transport instance.
+        let prime_trace = |t: &mut DebugTransport| {
+            let bus = t.machine_mut().bus_mut();
+            bus.trace.set_enabled(true);
+            for i in 0..5u64 {
+                bus.trace.emit(0x1000 + i * 7, i % 2 == 0);
+            }
+        };
+
         // Fault-free reference application.
         let mut clean = props_transport();
+        prime_trace(&mut clean);
         let clean_results = clean.run_txn(&txn).unwrap();
 
         // The batch charges its TAP scan *before* the single link check,
@@ -241,12 +271,14 @@ proptest! {
         // expire within the retry backoff (256 cycles): exactly one
         // dropped submit, guaranteed replay.
         let mut probe = props_transport();
+        prime_trace(&mut probe);
         let t0 = probe.now();
         probe.schedule_outage(t0, u64::MAX / 2);
         probe.run_txn(&txn).unwrap_err();
         let check_at = probe.now() - t0;
 
         let mut faulty = props_transport();
+        prime_trace(&mut faulty);
         let now = faulty.now();
         faulty.schedule_outage(now, check_at + 1 + delta);
         let mut stats = RetryStats::default();

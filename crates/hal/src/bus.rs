@@ -10,6 +10,7 @@ use crate::arch::Endianness;
 use crate::clock::CycleClock;
 use crate::mem::Ram;
 use crate::mmio::MmioSpace;
+use crate::trace::TraceUnit;
 use crate::uart::Uart;
 use std::collections::VecDeque;
 
@@ -69,6 +70,8 @@ pub struct Bus {
     pub pending_irqs: VecDeque<IrqRequest>,
     /// Model-free MMIO peripheral region (SPI/I2C/DMA).
     pub mmio: MmioSpace,
+    /// ETM-style hardware trace unit watching the core's branch sites.
+    pub trace: TraceUnit,
     /// Whether this bus belongs to real silicon (ambient peripheral
     /// activity exists) or an emulator instance (it does not).
     pub silicon: bool,
@@ -84,6 +87,7 @@ impl Bus {
             endianness,
             pending_irqs: VecDeque::new(),
             mmio: MmioSpace::default(),
+            trace: TraceUnit::default(),
             silicon: true,
         }
     }
@@ -119,6 +123,14 @@ impl Bus {
         self.clock.charge_debug(n);
     }
 
+    /// Charge `n` cycles of coverage-instrumentation dilation: total
+    /// time (campaign budget, throughput) advances, the core-visible
+    /// clock does not — target behaviour stays a property of the
+    /// workload, not of the coverage channel observing it.
+    pub fn charge_instr(&mut self, n: u64) {
+        self.clock.charge_instr(n);
+    }
+
     /// Current cycle count (convenience).
     pub fn now(&self) -> u64 {
         self.clock.cycles()
@@ -147,6 +159,10 @@ impl Bus {
         self.uart.reset();
         self.pending_irqs.clear();
         self.mmio.reset();
+        // The trace stream dies with the run that produced it, but the
+        // enable latch lives in the debug power domain and survives —
+        // like breakpoints, the host arms it once per attach.
+        self.trace.quiesce();
     }
 }
 
@@ -164,6 +180,17 @@ mod tests {
         assert_eq!(b.now(), 123);
         assert_eq!(b.ram.read_u8(0x2000_0000).unwrap(), 0);
         assert_eq!(b.uart.pending(), 0);
+    }
+
+    #[test]
+    fn power_cycle_quiesces_trace_but_keeps_it_armed() {
+        let mut b = Bus::new(0x2000_0000, 64, Endianness::Little);
+        b.trace.set_enabled(true);
+        b.trace.emit(0x42, false);
+        assert!(b.trace.used() > 0);
+        b.power_cycle();
+        assert!(b.trace.enabled());
+        assert_eq!(b.trace.used(), 0);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub const CYCLES_PER_SEC: u64 = 1_000;
 pub struct CycleClock {
     cycles: u64,
     debug_cycles: u64,
+    instr_cycles: u64,
 }
 
 impl CycleClock {
@@ -50,6 +51,20 @@ impl CycleClock {
         self.debug_cycles = self.debug_cycles.saturating_add(n);
     }
 
+    /// Advance the clock by `n` cycles of coverage-instrumentation
+    /// dilation. Total time moves — campaign budgets and the §5.5
+    /// throughput A/B see the slowdown — but the core-visible clock
+    /// does not: target behaviour (kernel clocks, ambient timers,
+    /// queue deadlines) stays a property of the workload, not of the
+    /// coverage channel observing it. This is the same stipulation the
+    /// clock already makes for debug traffic, and it is what lets an
+    /// instrumented-ring campaign and a hardware-trace campaign on an
+    /// uninstrumented image execute bit-identical target histories.
+    pub fn charge_instr(&mut self, n: u64) {
+        self.cycles = self.cycles.saturating_add(n);
+        self.instr_cycles = self.instr_cycles.saturating_add(n);
+    }
+
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         self.cycles
@@ -60,11 +75,18 @@ impl CycleClock {
         self.debug_cycles
     }
 
+    /// Cycles spent on coverage-instrumentation dilation so far.
+    pub fn instr_cycles(&self) -> u64 {
+        self.instr_cycles
+    }
+
     /// The core-visible cycle count: total cycles minus debug-port
-    /// cycles. This is what target code (kernel clocks, ambient timers)
-    /// reads.
+    /// cycles and instrumentation dilation. This is what target code
+    /// (kernel clocks, ambient timers) reads.
     pub fn core_cycles(&self) -> u64 {
-        self.cycles.saturating_sub(self.debug_cycles)
+        self.cycles
+            .saturating_sub(self.debug_cycles)
+            .saturating_sub(self.instr_cycles)
     }
 
     /// Current simulated time in whole seconds.
@@ -107,6 +129,19 @@ mod tests {
         c.charge_debug(40);
         c.charge(10);
         assert_eq!(c.cycles(), 150);
+        assert_eq!(c.debug_cycles(), 40);
+        assert_eq!(c.core_cycles(), 110);
+    }
+
+    #[test]
+    fn instr_charges_burn_budget_but_freeze_the_core_clock() {
+        let mut c = CycleClock::new();
+        c.charge(100);
+        c.charge_instr(30);
+        c.charge_debug(40);
+        c.charge(10);
+        assert_eq!(c.cycles(), 180);
+        assert_eq!(c.instr_cycles(), 30);
         assert_eq!(c.debug_cycles(), 40);
         assert_eq!(c.core_cycles(), 110);
     }

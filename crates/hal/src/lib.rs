@@ -37,6 +37,7 @@ pub mod mem;
 pub mod mmio;
 pub mod snapshot;
 pub mod symbols;
+pub mod trace;
 pub mod uart;
 pub mod watchdog;
 
@@ -53,5 +54,6 @@ pub use mem::{Ram, PAGE_SIZE};
 pub use mmio::{MmioSpace, MmioStats};
 pub use snapshot::Snapshot;
 pub use symbols::SymbolTable;
+pub use trace::{TraceUnit, TRACE_FIFO_DEFAULT, TRACE_HEADER_BYTES};
 pub use uart::Uart;
 pub use watchdog::HardwareWatchdog;

@@ -14,6 +14,7 @@ use crate::fault::{FaultKind, FaultPlan, FaultRecord, InjectedFault};
 use crate::firmware::{Firmware, StepResult};
 use crate::flash::Flash;
 use crate::snapshot::Snapshot;
+use crate::trace::TRACE_HEADER_BYTES;
 use crate::watchdog::HardwareWatchdog;
 use eof_telemetry as tel;
 
@@ -641,6 +642,7 @@ impl Machine {
             self.flash.generation(),
             self.boot_epoch,
             self.bus.now(),
+            self.bus.trace.enabled(),
         );
         self.bus.ram.clear_dirty();
         Ok(snap)
@@ -671,6 +673,7 @@ impl Machine {
         self.bus.uart.reset();
         self.bus.pending_irqs.clear();
         self.bus.mmio.reset();
+        self.bus.trace.quiesce();
         self.last_fault = None;
         match (self.loader)(&self.flash, &self.board) {
             Ok(mut fw) => {
@@ -702,6 +705,7 @@ impl Machine {
             self.bus.ram.write(snap.page_addr(p), snap.page(p))?;
         }
         self.debug_restore_core()?;
+        self.bus.trace.set_enabled(snap.trace_enabled());
         Ok(pages.len())
     }
 
@@ -714,6 +718,48 @@ impl Machine {
         }
         self.bus.charge_debug(cost::REG_READ);
         Ok(self.flash.generation())
+    }
+
+    /// Arm or disarm the hardware trace unit over the debug port. Like
+    /// breakpoints, the latch lives in the debug power domain and
+    /// survives target resets; the stream state does not.
+    pub fn debug_trace_set_enabled(&mut self, on: bool) -> Result<(), HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("trace enable"));
+        }
+        self.bus.charge_debug(cost::BP_OP);
+        self.bus.trace.set_enabled(on);
+        Ok(())
+    }
+
+    /// Scalar peek of the trace unit's drain header (used, capacity,
+    /// lost) without consuming the stream.
+    pub fn debug_trace_header(&mut self) -> Result<[u8; TRACE_HEADER_BYTES], HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("trace header"));
+        }
+        self.bus
+            .charge_debug(cost::MEM_BASE + (TRACE_HEADER_BYTES as u64 / 4) * cost::MEM_PER_WORD);
+        Ok(self.bus.trace.header())
+    }
+
+    /// Destructive trace drain: header first, then exactly the live
+    /// stream bytes — the dependent-read shape both wire modes share,
+    /// so a scalar drain and a vectored `DrainTrace` return identical
+    /// bytes. Charges per-word debug cycles without the access-port
+    /// base charge; the caller accounts for its own wire framing.
+    pub fn debug_drain_trace_batched(&mut self) -> Result<Vec<u8>, HalError> {
+        if self.is_dead() {
+            return Err(self.bad_state("drain trace"));
+        }
+        let header = self.bus.trace.header();
+        let (stream, _lost) = self.bus.trace.drain();
+        let mut buf = Vec::with_capacity(TRACE_HEADER_BYTES + stream.len());
+        buf.extend_from_slice(&header);
+        buf.extend_from_slice(&stream);
+        self.bus
+            .charge_debug((buf.len() as u64 / 4) * cost::MEM_PER_WORD);
+        Ok(buf)
     }
 
     /// Power-rail sample as an external current probe sees it — works

@@ -27,6 +27,7 @@ pub struct Snapshot {
     flash_generation: u64,
     boot_epoch: u64,
     captured_at: u64,
+    trace_enabled: bool,
 }
 
 impl Snapshot {
@@ -38,6 +39,7 @@ impl Snapshot {
         flash_generation: u64,
         boot_epoch: u64,
         captured_at: u64,
+        trace_enabled: bool,
     ) -> Self {
         Snapshot {
             ram,
@@ -46,6 +48,7 @@ impl Snapshot {
             flash_generation,
             boot_epoch,
             captured_at,
+            trace_enabled,
         }
     }
 
@@ -85,6 +88,13 @@ impl Snapshot {
     /// Total-cycle timestamp of the capture (diagnostics).
     pub fn captured_at(&self) -> u64 {
         self.captured_at
+    }
+
+    /// Whether the trace unit was armed at capture time. Restore
+    /// re-applies the latch (and quiesces the stream — a restored state
+    /// is a fresh run as far as the trace decoder is concerned).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
     }
 
     /// Number of [`PAGE_SIZE`] pages in the captured image.

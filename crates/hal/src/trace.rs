@@ -1,0 +1,331 @@
+//! An ETM-style hardware trace unit.
+//!
+//! Real Cortex parts ship an Embedded Trace Macrocell: a silicon block
+//! that watches the core's branch unit and streams compressed packets
+//! into an on-chip buffer (ETB) that the debugger drains — no
+//! instrumentation in the image, no core cycles spent. µAFL built its
+//! coverage channel on exactly this, and the model here mirrors the
+//! shape: the unit hangs off the [`crate::Bus`], the kernel's branch
+//! sites feed it whether or not the image carries SanCov-style hooks,
+//! and the host reads it out over the debug port.
+//!
+//! ## Packet format
+//!
+//! Byte-oriented, little-endian (the unit is part of the debug
+//! subsystem; its registers and stream are fixed LE regardless of core
+//! endianness). Events carry the 64-bit edge id as their "address".
+//!
+//! ```text
+//! 00 A5 <id:8>      SYNC          full address; decoder state reset
+//! 01                REPEAT        same address as the previous event
+//! 02                OVERFLOW      events were lost; a SYNC follows
+//! 1n <delta:n>      BRANCH        direct branch, n ∈ 1..=8 delta bytes,
+//!                                 address = previous ^ delta
+//! 2n <delta:n>      ADDR          indirect branch, same delta encoding
+//! ```
+//!
+//! `0x00` is never a packet header on its own — it only occurs as the
+//! first byte of the two-byte SYNC preamble — so a desynchronised
+//! decoder can scan for `00 A5` to re-lock.
+//!
+//! ## Overflow discipline
+//!
+//! Packets are written whole or not at all. When a packet does not fit
+//! the FIFO, the event is counted in the `lost` register, nothing is
+//! written, and the unit latches a resync condition: the first event
+//! after space frees up (in practice, after the host drains) emits
+//! `OVERFLOW` + `SYNC` so the decoder knows the gap exists and where
+//! the stream re-locks. Lost events are lost — the host marks that
+//! window's coverage partial and never invents edges.
+
+/// Default FIFO capacity in bytes. Sized so an entire test-case
+/// execution (boot burst included) fits without overflow at the
+/// repo's default exec horizons — the differential gate requires
+/// zero overflow at this size.
+pub const TRACE_FIFO_DEFAULT: usize = 256 * 1024;
+
+/// Bytes of the drain header (used, capacity, lost — u32 LE each),
+/// the same shape as the coverage ring's header.
+pub const TRACE_HEADER_BYTES: usize = 12;
+
+/// First byte of the SYNC preamble. Never a standalone packet header.
+pub const PKT_SYNC0: u8 = 0x00;
+/// Second byte of the SYNC preamble.
+pub const PKT_SYNC1: u8 = 0xA5;
+/// Repeat-last-address atom.
+pub const PKT_REPEAT: u8 = 0x01;
+/// Overflow marker: events were lost before this point.
+pub const PKT_OVERFLOW: u8 = 0x02;
+/// Direct-branch delta packet header base; low nibble = delta bytes.
+pub const PKT_BRANCH: u8 = 0x10;
+/// Indirect-branch address packet header base; low nibble = delta bytes.
+pub const PKT_ADDR: u8 = 0x20;
+
+/// The trace unit: enable latch, bounded packet FIFO, and the
+/// compressing encoder state.
+#[derive(Debug, Clone)]
+pub struct TraceUnit {
+    enabled: bool,
+    fifo: Vec<u8>,
+    capacity: usize,
+    /// Address of the last event successfully encoded.
+    last: Option<u64>,
+    /// Latched after an event is dropped: the next encodable event
+    /// must open with OVERFLOW + SYNC.
+    need_sync: bool,
+    /// Events dropped since the last drain.
+    lost: u32,
+    /// Lifetime packets written (diagnostic register).
+    packets: u64,
+    /// Lifetime payload bytes written (diagnostic register).
+    bytes: u64,
+}
+
+impl Default for TraceUnit {
+    fn default() -> Self {
+        Self::with_capacity(TRACE_FIFO_DEFAULT)
+    }
+}
+
+impl TraceUnit {
+    /// A disabled unit with the given FIFO capacity in bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceUnit {
+            enabled: false,
+            fifo: Vec::new(),
+            capacity,
+            last: None,
+            need_sync: false,
+            lost: 0,
+            packets: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Is the unit armed? The latch lives in the debug power domain:
+    /// like breakpoints, it survives target resets and power cycles.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Arm or disarm the unit (host-side, over the debug port).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.quiesce();
+        }
+    }
+
+    /// FIFO capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn used(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Events dropped since the last drain.
+    pub fn lost(&self) -> u32 {
+        self.lost
+    }
+
+    /// Lifetime packets written.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Lifetime stream bytes written.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Reset the stream state (FIFO, encoder, loss counter) without
+    /// touching the enable latch or lifetime counters. Called on target
+    /// reset / power cycle / core restore: the sinked stream dies with
+    /// the run that produced it.
+    pub fn quiesce(&mut self) {
+        self.fifo.clear();
+        self.last = None;
+        self.need_sync = false;
+        self.lost = 0;
+    }
+
+    /// One branch event from the core. `indirect` selects the address
+    /// packet flavour; the decoder reconstructs the same id either way.
+    /// Free of core cycles — tracing is the hardware's job.
+    pub fn emit(&mut self, id: u64, indirect: bool) {
+        if !self.enabled {
+            return;
+        }
+        let mut pkt = [0u8; 11];
+        let len = if self.need_sync {
+            // OVERFLOW marker, then a full re-lock.
+            pkt[0] = PKT_OVERFLOW;
+            Self::encode_sync(&mut pkt[1..11], id);
+            11
+        } else if self.last == Some(id) {
+            pkt[0] = PKT_REPEAT;
+            1
+        } else if let Some(prev) = self.last {
+            let delta = prev ^ id;
+            let n = ((64 - delta.leading_zeros()).div_ceil(8)).max(1) as usize;
+            pkt[0] = if indirect { PKT_ADDR } else { PKT_BRANCH } | n as u8;
+            pkt[1..1 + n].copy_from_slice(&delta.to_le_bytes()[..n]);
+            1 + n
+        } else {
+            Self::encode_sync(&mut pkt[0..10], id);
+            10
+        };
+        if self.fifo.len() + len > self.capacity {
+            self.lost = self.lost.saturating_add(1);
+            self.need_sync = true;
+            return;
+        }
+        self.fifo.extend_from_slice(&pkt[..len]);
+        self.need_sync = false;
+        self.last = Some(id);
+        self.packets += 1;
+        self.bytes += len as u64;
+    }
+
+    fn encode_sync(buf: &mut [u8], id: u64) {
+        buf[0] = PKT_SYNC0;
+        buf[1] = PKT_SYNC1;
+        buf[2..10].copy_from_slice(&id.to_le_bytes());
+    }
+
+    /// The 12-byte drain header: used bytes, capacity, lost events.
+    pub fn header(&self) -> [u8; TRACE_HEADER_BYTES] {
+        let mut h = [0u8; TRACE_HEADER_BYTES];
+        h[0..4].copy_from_slice(&(self.fifo.len() as u32).to_le_bytes());
+        h[4..8].copy_from_slice(&(self.capacity as u32).to_le_bytes());
+        h[8..12].copy_from_slice(&self.lost.to_le_bytes());
+        h
+    }
+
+    /// Destructive drain: take the buffered stream and the loss count,
+    /// clearing both. Encoder address state survives (the stream
+    /// continues seamlessly across drains); a latched resync condition
+    /// survives too, so a post-overflow stream still opens with
+    /// OVERFLOW + SYNC.
+    pub fn drain(&mut self) -> (Vec<u8>, u32) {
+        let lost = self.lost;
+        self.lost = 0;
+        (std::mem::take(&mut self.fifo), lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed(cap: usize) -> TraceUnit {
+        let mut t = TraceUnit::with_capacity(cap);
+        t.set_enabled(true);
+        t
+    }
+
+    #[test]
+    fn disabled_unit_stays_silent() {
+        let mut t = TraceUnit::default();
+        t.emit(0xdead_beef, false);
+        assert_eq!(t.used(), 0);
+        assert_eq!(t.packets(), 0);
+    }
+
+    #[test]
+    fn first_event_is_a_sync_packet() {
+        let mut t = armed(1024);
+        t.emit(0x1122_3344_5566_7788, false);
+        assert_eq!(t.used(), 10);
+        let (bytes, lost) = t.drain();
+        assert_eq!(lost, 0);
+        assert_eq!(bytes[0], PKT_SYNC0);
+        assert_eq!(bytes[1], PKT_SYNC1);
+        assert_eq!(
+            u64::from_le_bytes(bytes[2..10].try_into().unwrap()),
+            0x1122_3344_5566_7788
+        );
+    }
+
+    #[test]
+    fn repeats_and_deltas_compress() {
+        let mut t = armed(1024);
+        t.emit(0x100, false);
+        t.emit(0x100, false); // repeat: 1 byte
+        t.emit(0x101, false); // delta 0x001: 2 bytes
+        let (bytes, _) = t.drain();
+        assert_eq!(bytes.len(), 10 + 1 + 2);
+        assert_eq!(bytes[10], PKT_REPEAT);
+        assert_eq!(bytes[11], PKT_BRANCH | 1);
+        assert_eq!(bytes[12], 0x01);
+    }
+
+    #[test]
+    fn indirect_branches_use_address_packets() {
+        let mut t = armed(1024);
+        t.emit(0x100, false);
+        t.emit(0xFFFF_0100, true);
+        let (bytes, _) = t.drain();
+        assert_eq!(bytes[10] & 0xF0, PKT_ADDR);
+    }
+
+    #[test]
+    fn overflow_drops_whole_packets_and_relocks_with_sync() {
+        let mut t = armed(12);
+        t.emit(1, false); // 10-byte sync fits
+        t.emit(2, false); // 2-byte delta fits exactly (12 total)
+        t.emit(3, false); // nothing fits: lost
+        t.emit(4, false); // still lost
+        assert_eq!(t.lost(), 2);
+        let (bytes, lost) = t.drain();
+        assert_eq!(lost, 2);
+        assert_eq!(bytes.len(), 12);
+        // After the drain the unit re-locks with OVERFLOW + SYNC.
+        t.emit(5, false);
+        let (bytes, lost) = t.drain();
+        assert_eq!(lost, 0);
+        assert_eq!(bytes[0], PKT_OVERFLOW);
+        assert_eq!(bytes[1], PKT_SYNC0);
+        assert_eq!(bytes[2], PKT_SYNC1);
+        assert_eq!(u64::from_le_bytes(bytes[3..11].try_into().unwrap()), 5);
+    }
+
+    #[test]
+    fn header_reports_used_capacity_lost() {
+        let mut t = armed(16);
+        t.emit(10, false);
+        t.emit(u64::MAX, false); // 9-byte delta packet: dropped (16-10=6)
+        let h = t.header();
+        assert_eq!(u32::from_le_bytes(h[0..4].try_into().unwrap()), 10);
+        assert_eq!(u32::from_le_bytes(h[4..8].try_into().unwrap()), 16);
+        assert_eq!(u32::from_le_bytes(h[8..12].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn quiesce_clears_stream_but_keeps_latch_and_lifetime_counters() {
+        let mut t = armed(1024);
+        t.emit(7, false);
+        let packets = t.packets();
+        t.quiesce();
+        assert!(t.enabled());
+        assert_eq!(t.used(), 0);
+        assert_eq!(t.packets(), packets);
+        // Stream restarts with a fresh SYNC.
+        t.emit(7, false);
+        let (bytes, _) = t.drain();
+        assert_eq!(bytes[0], PKT_SYNC0);
+    }
+
+    #[test]
+    fn disarming_quiesces() {
+        let mut t = armed(1024);
+        t.emit(1, false);
+        t.set_enabled(false);
+        assert_eq!(t.used(), 0);
+        t.emit(2, false);
+        assert_eq!(t.used(), 0);
+    }
+}

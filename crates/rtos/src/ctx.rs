@@ -6,6 +6,15 @@
 //! instrumentation cycles and appends the edge id to the on-device
 //! coverage buffer; when the buffer fills, a flag is raised so the agent
 //! traps at `_kcmp_buf_full` for the host to drain (paper §4.5.1).
+//!
+//! Instrumentation cycles are charged through
+//! [`eof_hal::Bus::charge_instr`]: campaign budgets and the throughput
+//! A/B see the slowdown, but the core-visible clock does not, so an
+//! instrumented build and a plain build execute identical
+//! target-visible histories. Independently of instrumentation, every
+//! hook first offers the branch to the bus's hardware trace unit —
+//! which captures it even on a fully uninstrumented image, at zero
+//! core cycles.
 
 use eof_coverage::{
     edge_id, CmpRecord, CmpRegion, CovRegion, InstrumentCost, InstrumentMode, RecordOutcome,
@@ -26,6 +35,13 @@ pub struct CovState {
     pub hits: u64,
     /// Records dropped because the buffer was full.
     pub dropped: u64,
+    /// Suppress *every* coverage channel, the trace unit included.
+    /// For internal kernel probes that model inlined, specialised
+    /// helper code: its branches are not modelled edge sites, so
+    /// neither the ring nor the silicon's packet engine may see them
+    /// — otherwise the two acquisition backends could never observe
+    /// identical campaigns.
+    pub silent: bool,
     /// The comparison-operand ring (cmplog channel), if the layout has
     /// one. It boots disarmed — hooks stay free until a host arms it.
     pub cmp_region: Option<CmpRegion>,
@@ -44,10 +60,19 @@ impl CovState {
             buffer_full: false,
             hits: 0,
             dropped: 0,
+            silent: false,
             cmp_region: None,
             cmp_hits: 0,
             cmp_dropped: 0,
         }
+    }
+
+    /// State for a silent internal probe: no channel — ring, counters
+    /// or trace packets — observes anything executed under it.
+    pub fn silent_probe() -> Self {
+        let mut cov = Self::uninstrumented();
+        cov.silent = true;
+        cov
     }
 
     /// State for an instrumented image with a buffer at `region`.
@@ -58,6 +83,7 @@ impl CovState {
             buffer_full: false,
             hits: 0,
             dropped: 0,
+            silent: false,
             cmp_region: None,
             cmp_hits: 0,
             cmp_dropped: 0,
@@ -101,30 +127,41 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// Coverage hook at a static site. Site names are fully qualified:
-    /// `"<os>::<module>::<function>::<branch>"`.
+    /// `"<os>::<module>::<function>::<branch>"`. Models a direct branch
+    /// for the trace unit.
     pub fn cov(&mut self, site: &'static str) {
-        self.cov_id(site, edge_id(site));
+        self.cov_id(site, edge_id(site), false);
     }
 
     /// Coverage hook for a *variant* site: a family of edges derived from
     /// one static name (e.g. one edge per parser state). Cheap — no
-    /// allocation — and deterministic.
+    /// allocation — and deterministic. Models an indirect branch (the
+    /// target depends on runtime data), so the trace unit emits an
+    /// address packet rather than a direct-branch delta.
     pub fn cov_var(&mut self, site: &'static str, variant: u64) {
         // Mix the variant in with a splitmix-style finaliser so variants
         // of one site do not collide with other sites' base ids.
         let mut v = edge_id(site) ^ variant.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         v ^= v >> 30;
         v = v.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        self.cov_id(site, v);
+        self.cov_id(site, v, true);
     }
 
-    fn cov_id(&mut self, site: &str, id: u64) {
+    fn cov_id(&mut self, site: &str, id: u64, indirect: bool) {
+        if self.cov.silent {
+            return;
+        }
+        // The hardware trace unit sees every branch the core retires,
+        // before and regardless of what the image compiled in — tracing
+        // is the silicon's job, not the image's — and at zero core
+        // cycles: the packet engine runs in the debug power domain.
+        self.bus.trace.emit(id, indirect);
         let module = site.split("::").nth(1).unwrap_or("");
         if !self.cov.module_active(module) {
             return;
         }
         self.cov.hits += 1;
-        self.bus.charge(InstrumentCost::CYCLES_PER_HIT);
+        self.bus.charge_instr(InstrumentCost::CYCLES_PER_HIT);
         if let Some(region) = self.cov.region {
             match region.record(&mut self.bus.ram, self.bus.endianness, id) {
                 Ok(RecordOutcome::Stored) => {}
@@ -155,7 +192,7 @@ impl<'a> ExecCtx<'a> {
             return;
         }
         self.cov.cmp_hits += 1;
-        self.bus.charge(InstrumentCost::CYCLES_PER_HIT);
+        self.bus.charge_instr(InstrumentCost::CYCLES_PER_HIT);
         let id = (edge_id(site) & 0xffff_ffff) as u32;
         let rec = CmpRecord {
             site: id,
@@ -333,6 +370,77 @@ mod tests {
         assert_eq!(cov.cmp_hits, 3, "drops still count as hits (cycles burned)");
         assert_eq!(cov.cmp_dropped, 1);
         assert_eq!(cmp.count(&b.ram, Endianness::Little).unwrap(), 2);
+    }
+
+    #[test]
+    fn instrumentation_charges_burn_budget_but_not_core_time() {
+        let mut b = bus();
+        let region = CovRegion::new(0x2000_0100, 8);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(InstrumentMode::Full, region);
+        let core_before = b.core_now();
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cov("os::kernel::f::a");
+            ctx.cov("os::kernel::f::b");
+        }
+        // The campaign clock moved (overheads A/B sees the slowdown)…
+        assert_eq!(b.now(), 2 * InstrumentCost::CYCLES_PER_HIT);
+        // …but the kernel-visible clock did not: an instrumented image
+        // and a plain one run identical target histories.
+        assert_eq!(b.core_now(), core_before);
+    }
+
+    #[test]
+    fn armed_trace_captures_uninstrumented_hooks_for_free() {
+        let mut b = bus();
+        b.trace.set_enabled(true);
+        let mut cov = CovState::uninstrumented();
+        let before = b.now();
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cov("os::kernel::f::a");
+            ctx.cov_var("os::json::parse::state", 3);
+            ctx.cov("os::kernel::f::a");
+        }
+        // Trace is the hardware's job, not the image's: no hook fired,
+        // no cycle burned, yet every branch is in the FIFO.
+        assert_eq!(cov.hits, 0);
+        assert_eq!(b.now(), before);
+        assert_eq!(b.trace.packets(), 3);
+        let (bytes, lost) = b.trace.drain();
+        assert_eq!(lost, 0);
+        let mut d = eof_coverage::TraceDecoder::new();
+        let edges = d.feed(&bytes);
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0], edges[2]);
+        assert_eq!(edges[0], edge_id("os::kernel::f::a"));
+    }
+
+    #[test]
+    fn trace_and_ring_see_the_same_hit_sequence() {
+        let mut b = bus();
+        b.trace.set_enabled(true);
+        let region = CovRegion::new(0x2000_0100, 32);
+        region.init(&mut b.ram, Endianness::Little).unwrap();
+        let mut cov = CovState::instrumented(InstrumentMode::Full, region);
+        {
+            let mut ctx = ExecCtx::new(&mut b, &mut cov);
+            ctx.cov("os::m::f::a");
+            ctx.cov_var("os::m::g::state", 1);
+            ctx.cov_var("os::m::g::state", 2);
+            ctx.cov("os::m::f::a");
+        }
+        let raw = b
+            .ram
+            .slice(0x2000_0100, region.drain_len())
+            .unwrap()
+            .to_vec();
+        let (ring_edges, _) = region.parse_drain(&raw, Endianness::Little);
+        let (bytes, _) = b.trace.drain();
+        let mut d = eof_coverage::TraceDecoder::new();
+        let trace_edges = d.feed(&bytes);
+        assert_eq!(trace_edges, ring_edges, "both channels record every hit in order");
     }
 
     #[test]

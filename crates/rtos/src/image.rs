@@ -180,6 +180,15 @@ pub fn build_image(os: OsKind, profile: ImageProfile, mode: &InstrumentMode) -> 
     out
 }
 
+/// Build the plain (uninstrumented) variant of an image: the bytes a
+/// hardware-trace campaign flashes. Coverage is the trace unit's job,
+/// so nothing coverage-related is compiled in — the image is
+/// byte-identical to [`build_image`] with [`InstrumentMode::None`],
+/// and therefore to what a no-coverage baseline run would flash.
+pub fn image_plain(os: OsKind, profile: ImageProfile) -> Vec<u8> {
+    build_image(os, profile, &InstrumentMode::None)
+}
+
 /// Validate and parse an image (the bootloader's job). Any corruption —
 /// bad magic, bad fields, bad checksum — is a boot failure.
 pub fn parse_image(bytes: &[u8]) -> Result<ImageInfo, HalError> {
@@ -302,6 +311,19 @@ mod tests {
             "{}",
             pct(OsKind::FreeRtos)
         );
+    }
+
+    #[test]
+    fn plain_image_is_byte_identical_to_uninstrumented_build() {
+        for os in OsKind::ALL {
+            for profile in [ImageProfile::FullSystem, ImageProfile::AppLevel] {
+                assert_eq!(
+                    image_plain(os, profile),
+                    build_image(os, profile, &InstrumentMode::None),
+                    "{os}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -464,7 +464,7 @@ impl Kernel for NuttxKernel {
                 // and only when the first characters collide does the
                 // strncmp word loop run far enough to fault.
                 let existing = {
-                    let mut probe_cov = crate::ctx::CovState::uninstrumented();
+                    let mut probe_cov = crate::ctx::CovState::silent_probe();
                     let mut probe = ExecCtx::new(ctx.bus, &mut probe_cov);
                     self.env.getenv(&mut probe, "nuttx::kernel::getenv", &name)
                 };

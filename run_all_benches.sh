@@ -7,7 +7,7 @@ export EOF_BENCH_HOURS=${EOF_BENCH_HOURS:-24} EOF_BENCH_REPS=${EOF_BENCH_REPS:-5
 export EOF_JOBS=${EOF_JOBS:-}
 for b in table1 table2 table3 table4 fig7 fig8 overhead_mem overhead_exec \
          ablate_inputs ablate_watchdogs ablate_validation ablate_sched \
-         ablate_power ablate_irq periph fleet; do
+         ablate_power ablate_irq periph fleet trace; do
   echo "=== $b ($(date +%T)) ==="
   cargo run --release -p eof-bench --bin "$b" 2>/dev/null
 done

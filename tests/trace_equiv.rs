@@ -1,0 +1,228 @@
+//! The trace gate: hardware-trace coverage is an *acquisition channel*,
+//! not a different fuzzer — and it must be invisible when disarmed.
+//! Four claims are enforced here:
+//!
+//! 1. **Equivalence** — on every OS, a campaign over the trace backend
+//!    (plain image, `DrainTrace` wire op, host-side packet decode)
+//!    observes the identical target: same confirmed bug sets, same
+//!    final coverage bitmap, same crash keys, same stall count as the
+//!    instrumented-ring campaign at the same seed and step budget. The
+//!    instrumentation clock (`charge_instr`) makes the two images
+//!    execute the same core history, so this is exact, not approximate.
+//! 2. **Losslessness** — at the default FIFO size the stream never
+//!    overflows during the gate: every edge the ring would have seen
+//!    arrived by trace too.
+//! 3. **Determinism and job-independence** — a trace campaign rerun
+//!    from scratch is bit-exact, cycle accounting included, and a
+//!    fleet of trace campaigns merges to the same per-cell results at
+//!    any worker count.
+//! 4. **Invisibility** — the trace unit lives in the probe and the
+//!    debug power domain: the *images* are untouched. The plain build
+//!    a trace campaign flashes is byte-identical to the uninstrumented
+//!    build from before the trace subsystem existed.
+
+use eof::core::{build_fuzzer, FleetRunner, Fuzzer, FuzzerConfig, MutOp};
+use eof::coverage::{CoverageKind, InstrumentMode};
+use eof::hal::FaultPlan;
+use eof::rtos::image::{build_image, image_plain};
+use eof::rtos::OsKind;
+
+const STEPS: usize = 40;
+const SEED: u64 = 7;
+
+/// Everything an exec campaign can observe about the target, minus
+/// cycle accounting (the two backends pay different wire and
+/// instrumentation costs by design; the *observations* must agree).
+#[derive(Debug, PartialEq)]
+struct Observed {
+    execs: u64,
+    coverage: Vec<u64>,
+    crash_keys: Vec<String>,
+    bugs: Vec<String>,
+    corpus_len: usize,
+    stalls: u64,
+    op_execs: [u64; MutOp::COUNT],
+    op_interesting: [u64; MutOp::COUNT],
+}
+
+fn run(config: FuzzerConfig, steps: usize) -> (Observed, u64, u64) {
+    let (mut fuzzer, _, _): (Fuzzer, _, _) = build_fuzzer(config, FaultPlan::none());
+    for _ in 0..steps {
+        fuzzer.step();
+    }
+    let coverage = fuzzer.executor().coverage().sorted_edges();
+    let mut crash_keys: Vec<String> = fuzzer
+        .crashes()
+        .unique()
+        .map(eof::core::crash::dedup_key)
+        .collect();
+    crash_keys.sort();
+    let mut bugs: Vec<String> = fuzzer
+        .crashes()
+        .bugs_found()
+        .iter()
+        .map(|b| format!("{b:?}"))
+        .collect();
+    bugs.sort();
+    let stats = fuzzer.stats();
+    let overflows = fuzzer.executor().trace_stats().overflows;
+    (
+        Observed {
+            execs: stats.execs,
+            coverage,
+            crash_keys,
+            bugs,
+            corpus_len: fuzzer.corpus().len(),
+            stalls: stats.stalls,
+            op_execs: stats.op_execs,
+            op_interesting: stats.op_interesting,
+        },
+        overflows,
+        fuzzer.executor().now(),
+    )
+}
+
+/// The backend is always set in code — never via `EOF_COV` — so the
+/// gate is immune to the parallel test runner's shared environment.
+fn config_with(os: OsKind, backend: CoverageKind) -> FuzzerConfig {
+    let mut config = FuzzerConfig::eof(os, SEED);
+    config.budget_hours = 24.0; // never the stopping condition here
+    config.coverage_backend = backend;
+    config
+}
+
+#[test]
+fn trace_and_ring_observe_the_identical_campaign() {
+    for os in [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+    ] {
+        let (ring, _, _) = run(config_with(os, CoverageKind::Ring), STEPS);
+        let (trace, overflows, _) = run(config_with(os, CoverageKind::Trace), STEPS);
+        assert!(ring.execs > 0, "{os:?}: campaign executed nothing");
+        assert!(
+            !ring.coverage.is_empty(),
+            "{os:?}: ring campaign saw no coverage"
+        );
+        assert_eq!(
+            ring, trace,
+            "{os:?}: the trace backend changed what the campaign observed"
+        );
+        assert_eq!(
+            overflows, 0,
+            "{os:?}: the default trace FIFO overflowed during the gate"
+        );
+    }
+}
+
+#[test]
+fn trace_campaigns_replay_bit_exact() {
+    // Same seed, run twice from scratch: decoder state, FIFO drains and
+    // wire accounting are all pure functions of the config — cycle
+    // accounting included.
+    for os in [OsKind::FreeRtos, OsKind::Zephyr] {
+        for vectored in [false, true] {
+            let mut config = config_with(os, CoverageKind::Trace);
+            config.vectored = vectored;
+            let (first, _, first_cycles) = run(config.clone(), STEPS);
+            let (second, _, second_cycles) = run(config, STEPS);
+            assert_eq!(
+                first, second,
+                "{os:?} (vectored={vectored}): trace campaign is nondeterministic"
+            );
+            assert_eq!(
+                first_cycles, second_cycles,
+                "{os:?} (vectored={vectored}): cycle accounting drifted between identical runs"
+            );
+        }
+    }
+}
+
+#[test]
+fn wire_mode_does_not_change_what_trace_observes() {
+    // Scalar and vectored `DrainTrace` ship byte-identical payloads, so
+    // the only difference a trace campaign may see is cycle cost.
+    for os in [OsKind::FreeRtos, OsKind::RtThread] {
+        let mut scalar_config = config_with(os, CoverageKind::Trace);
+        scalar_config.vectored = false;
+        let (scalar, _, scalar_cycles) = run(scalar_config, STEPS);
+        let mut vectored_config = config_with(os, CoverageKind::Trace);
+        vectored_config.vectored = true;
+        let (vectored, _, vectored_cycles) = run(vectored_config, STEPS);
+        assert_eq!(
+            scalar, vectored,
+            "{os:?}: wire mode changed what the trace campaign observed"
+        );
+        assert!(
+            vectored_cycles < scalar_cycles,
+            "{os:?}: vectored trace drains saved no cycles \
+             (scalar {scalar_cycles}, vectored {vectored_cycles})"
+        );
+    }
+}
+
+#[test]
+fn jobs_do_not_change_trace_results() {
+    // The decoder and the FIFO live per-executor, so worker count is
+    // pure mechanism: a 3-worker fleet must produce the same per-cell
+    // results as a serial one.
+    let grid = |_: ()| -> Vec<FuzzerConfig> {
+        [OsKind::FreeRtos, OsKind::Zephyr]
+            .into_iter()
+            .map(|os| {
+                let mut c = FuzzerConfig::eof(os, SEED);
+                c.coverage_backend = CoverageKind::Trace;
+                c.budget_hours = 0.02;
+                c.snapshot_hours = 0.005;
+                c
+            })
+            .collect()
+    };
+    let serial: Vec<_> = FleetRunner::new(1).run(grid(()));
+    let fleet: Vec<_> = FleetRunner::new(3).run(grid(()));
+    assert_eq!(serial.len(), fleet.len());
+    for (a, b) in serial.iter().zip(&fleet) {
+        let (a, b) = match (a, b) {
+            (Ok(a), Ok(b)) => (a, b),
+            other => panic!("fleet cell failed: {other:?}"),
+        };
+        assert_eq!(a.branches, b.branches);
+        assert_eq!(a.bugs, b.bugs);
+        assert_eq!(a.stats.execs, b.stats.execs);
+    }
+}
+
+#[test]
+fn disarmed_trace_leaves_every_image_untouched() {
+    // The trace unit needs nothing from the build: the plain image a
+    // trace campaign flashes is exactly the uninstrumented build, and
+    // selecting the trace backend changes no image bytes anywhere —
+    // coverage hooks are still real when the ring asks for them.
+    for os in [
+        OsKind::FreeRtos,
+        OsKind::RtThread,
+        OsKind::NuttX,
+        OsKind::Zephyr,
+    ] {
+        let config = config_with(os, CoverageKind::Trace);
+        assert_eq!(config.effective_instrument(), InstrumentMode::None);
+        assert_eq!(
+            image_plain(os, config.profile),
+            build_image(os, config.profile, &InstrumentMode::None),
+            "{os:?}: the plain build drifted from the uninstrumented baseline"
+        );
+        assert_ne!(
+            image_plain(os, config.profile),
+            build_image(os, config.profile, &InstrumentMode::Full),
+            "{os:?}: instrumentation no longer changes the image"
+        );
+        let ring = config_with(os, CoverageKind::Ring);
+        assert_eq!(
+            ring.effective_instrument(),
+            ring.instrument,
+            "{os:?}: the ring backend no longer flashes the configured build"
+        );
+    }
+}
